@@ -1,0 +1,247 @@
+//! Ablation studies for the design knobs the paper calls out: the ECM
+//! threshold, the dynamic growth policy, the RNR timer, the credit
+//! delivery path, on-demand connections, the eager buffer size, and the
+//! buffer-memory scalability projection that motivates the whole study.
+
+use crate::report::table;
+use ibfabric::FabricParams;
+use ibsim::SimDuration;
+use mpib::{CreditMsgMode, FlowControlScheme, GrowthPolicy, MpiConfig, MpiWorld};
+use nasbench::common::Kernel;
+use nasbench::{run_kernel, NasClass};
+
+/// Runs one kernel under an explicit MPI configuration and fabric.
+pub fn run_kernel_cfg(
+    kernel: Kernel,
+    class: NasClass,
+    cfg: MpiConfig,
+    params: FabricParams,
+) -> (f64, mpib::WorldStats, ibfabric::FabricStats) {
+    let procs = kernel.paper_procs();
+    let out = MpiWorld::run(procs, cfg, params, move |mpi| run_kernel(mpi, kernel, class))
+        .unwrap_or_else(|e| panic!("{kernel:?} ablation failed: {e}"));
+    assert!(out.results.iter().all(|r| r.verified), "{kernel:?} must verify");
+    let time_ms = out.results.iter().map(|r| r.time.as_secs_f64() * 1e3).fold(0.0, f64::max);
+    (time_ms, out.stats, out.fabric.stats.clone())
+}
+
+/// ECM threshold sweep on LU (paper §6.3.1: raising the threshold
+/// suppresses credit messages and can improve LU).
+pub fn ecm_threshold(class: NasClass) -> String {
+    let mut rows = Vec::new();
+    for thr in [1u32, 2, 5, 10, 20, 50] {
+        let cfg = MpiConfig { ecm_threshold: thr, ..MpiConfig::scheme(FlowControlScheme::UserStatic, 100) };
+        let (time_ms, stats, _) = run_kernel_cfg(Kernel::Lu, class, cfg, FabricParams::mt23108());
+        rows.push(vec![
+            thr.to_string(),
+            format!("{time_ms:.2}"),
+            format!("{:.1}", stats.avg_ecm_per_connection()),
+        ]);
+    }
+    table(&["ecm threshold", "LU time (ms)", "ECM/conn"], &rows)
+}
+
+/// Growth policy sweep on LU with one initial buffer (Table 2 regime).
+pub fn growth_policy(class: NasClass) -> String {
+    let mut rows = Vec::new();
+    for (name, growth) in [
+        ("linear(1)", GrowthPolicy::Linear(1)),
+        ("linear(2)", GrowthPolicy::Linear(2)),
+        ("linear(4)", GrowthPolicy::Linear(4)),
+        ("linear(8)", GrowthPolicy::Linear(8)),
+        ("exponential", GrowthPolicy::Exponential),
+    ] {
+        let cfg = MpiConfig { growth, ..MpiConfig::scheme(FlowControlScheme::UserDynamic, 1) };
+        let (time_ms, stats, _) = run_kernel_cfg(Kernel::Lu, class, cfg, FabricParams::mt23108());
+        rows.push(vec![
+            name.to_string(),
+            format!("{time_ms:.2}"),
+            stats.max_posted_buffers().to_string(),
+        ]);
+    }
+    table(&["growth policy", "LU time (ms)", "max posted"], &rows)
+}
+
+/// RNR timer sweep for the hardware scheme at pre-post 1 (the timeout
+/// cost Figure 10 attributes the hardware scheme's LU/MG drops to).
+pub fn rnr_timer(class: NasClass) -> String {
+    let mut rows = Vec::new();
+    for us in [20u64, 60, 120, 320, 640] {
+        let mut params = FabricParams::mt23108();
+        params.rnr_timer = SimDuration::micros(us);
+        let cfg = MpiConfig::scheme(FlowControlScheme::Hardware, 1);
+        let (time_ms, _, fstats) = run_kernel_cfg(Kernel::Lu, class, cfg, params);
+        rows.push(vec![
+            format!("{us}"),
+            format!("{time_ms:.2}"),
+            fstats.rnr_naks.get().to_string(),
+            fstats.retransmissions.get().to_string(),
+        ]);
+    }
+    table(&["rnr timer (us)", "LU time (ms)", "RNR NAKs", "retransmits"], &rows)
+}
+
+/// Credit delivery path comparison on the ECM-heavy LU pattern:
+/// optimistic send-based messages vs RDMA mailbox writes (paper §7's
+/// "RDMA approach").
+pub fn credit_path(class: NasClass) -> String {
+    let mut rows = Vec::new();
+    for (name, mode) in [("optimistic", CreditMsgMode::Optimistic), ("rdma", CreditMsgMode::Rdma)] {
+        let cfg = MpiConfig { credit_msg_mode: mode, ..MpiConfig::scheme(FlowControlScheme::UserStatic, 100) };
+        let (time_ms, stats, _) = run_kernel_cfg(Kernel::Lu, class, cfg, FabricParams::mt23108());
+        let ecm: u64 = stats.ranks.iter().map(|r| r.total_ecm()).sum();
+        let rdma: u64 = stats
+            .ranks
+            .iter()
+            .flat_map(|r| r.conns.iter())
+            .map(|c| c.rdma_credit_updates.get())
+            .sum();
+        rows.push(vec![
+            name.to_string(),
+            format!("{time_ms:.2}"),
+            ecm.to_string(),
+            rdma.to_string(),
+        ]);
+    }
+    table(&["credit path", "LU time (ms)", "credit msgs", "rdma updates"], &rows)
+}
+
+/// The RDMA-based eager channel (the paper's companion design \[13\]) vs
+/// the send/receive-based design this paper studies: small-message
+/// latency and the path each message takes.
+pub fn rdma_channel() -> String {
+    let latency = |cfg: MpiConfig| -> (f64, u64, u64) {
+        let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), |mpi| {
+            let peer = 1 - mpi.rank();
+            let iters = 50u32;
+            let mut total = 0u64;
+            for it in 0..4 + iters {
+                let t0 = mpi.now();
+                if mpi.rank() == 0 {
+                    mpi.send(&[0u8; 4], peer, 1);
+                    let _ = mpi.recv(Some(peer), Some(1));
+                } else {
+                    let _ = mpi.recv(Some(peer), Some(1));
+                    mpi.send(&[0u8; 4], peer, 1);
+                }
+                if it >= 4 {
+                    total += mpi.now().since(t0).as_nanos();
+                }
+            }
+            total as f64 / (2.0 * iters as f64) / 1000.0
+        })
+        .expect("latency run");
+        let c = &out.stats.ranks[0].conns[1];
+        (out.results[0], c.eager_sent.get(), c.ring_sent.get())
+    };
+    let (sr_lat, sr_eager, sr_ring) = latency(MpiConfig::scheme(FlowControlScheme::UserStatic, 100));
+    let (ring_lat, ring_eager, ring_ring) = latency(MpiConfig {
+        rdma_eager_channel: true,
+        credit_msg_mode: CreditMsgMode::Rdma,
+        ..MpiConfig::scheme(FlowControlScheme::UserStatic, 100)
+    });
+    table(
+        &["design", "4B latency (us)", "send/recv frames", "ring frames"],
+        &[
+            vec!["send/recv eager (this paper)".into(), format!("{sr_lat:.2}"), sr_eager.to_string(), sr_ring.to_string()],
+            vec!["RDMA eager channel [13]".into(), format!("{ring_lat:.2}"), ring_eager.to_string(), ring_ring.to_string()],
+        ],
+    )
+}
+
+/// On-demand connection management (related work \[23\]) on a sparse
+/// (ring) communication pattern.
+pub fn on_demand(ranks: usize) -> String {
+    let mut rows = Vec::new();
+    for (name, on_demand) in [("all-to-all setup", false), ("on-demand setup", true)] {
+        let cfg = MpiConfig { on_demand_connections: on_demand, ..MpiConfig::scheme(FlowControlScheme::UserStatic, 32) };
+        let out = MpiWorld::run(ranks, cfg, FabricParams::mt23108(), |mpi| {
+            // Ring halo pattern: only 2 of the n-1 connections are used.
+            let right = (mpi.rank() + 1) % mpi.size();
+            let left = (mpi.rank() + mpi.size() - 1) % mpi.size();
+            for _ in 0..20 {
+                let _ = mpi.sendrecv(&[0u8; 512], right, 0, Some(left), Some(0));
+            }
+            mpi.total_posted_buffers()
+        })
+        .expect("on-demand run");
+        let buffers: u64 = out.results.iter().sum();
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.3}", out.end_time.as_secs_f64() * 1e3),
+            buffers.to_string(),
+            format!("{} KB", buffers * 2),
+        ]);
+    }
+    table(&["setup policy", "time (ms)", "posted buffers (total)", "pinned memory"], &rows)
+}
+
+/// Eager buffer size sweep on a mixed small-message workload.
+pub fn buffer_size() -> String {
+    let mut rows = Vec::new();
+    for buf in [1024usize, 2048, 4096, 8192] {
+        let cfg = MpiConfig {
+            buf_size: buf,
+            eager_threshold: buf - mpib::HEADER_LEN,
+            ..MpiConfig::scheme(FlowControlScheme::UserStatic, 32)
+        };
+        let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), |mpi| {
+            let peer = 1 - mpi.rank();
+            // Mixed sizes straddling the various thresholds.
+            for size in [64usize, 512, 1500, 3000, 6000] {
+                let data = vec![1u8; size];
+                for _ in 0..20 {
+                    if mpi.rank() == 0 {
+                        mpi.send(&data, peer, 0);
+                    } else {
+                        let _ = mpi.recv(Some(peer), Some(0));
+                    }
+                }
+            }
+        })
+        .expect("buffer size run");
+        rows.push(vec![
+            buf.to_string(),
+            format!("{:.3}", out.end_time.as_secs_f64() * 1e3),
+            format!("{} KB", 32 * buf / 1024),
+        ]);
+    }
+    table(&["buffer size (B)", "time (ms)", "pinned/conn (32 bufs)"], &rows)
+}
+
+/// Buffer-memory scalability projection: measured pinned memory per rank
+/// for growing worlds, plus the paper's 1 000/10 000-node extrapolation.
+pub fn scalability() -> String {
+    let mut rows = Vec::new();
+    for ranks in [4usize, 8, 16, 32] {
+        // Static 100 vs dynamic adapting on a nearest-neighbour workload.
+        let mut measured = Vec::new();
+        for scheme in [FlowControlScheme::UserStatic, FlowControlScheme::UserDynamic] {
+            let prepost = if scheme == FlowControlScheme::UserStatic { 100 } else { 1 };
+            let cfg = MpiConfig::scheme(scheme, prepost);
+            let out = MpiWorld::run(ranks, cfg, FabricParams::mt23108(), |mpi| {
+                let right = (mpi.rank() + 1) % mpi.size();
+                let left = (mpi.rank() + mpi.size() - 1) % mpi.size();
+                for _ in 0..30 {
+                    let _ = mpi.sendrecv(&[7u8; 256], right, 0, Some(left), Some(0));
+                }
+                mpi.total_posted_buffers()
+            })
+            .expect("scalability run");
+            let max_per_rank = out.results.iter().copied().max().unwrap_or(0);
+            measured.push(max_per_rank);
+        }
+        rows.push(vec![
+            ranks.to_string(),
+            format!("{} ({} KB)", measured[0], measured[0] * 2),
+            format!("{} ({} KB)", measured[1], measured[1] * 2),
+        ]);
+    }
+    let mut t = table(&["ranks", "static-100: bufs/rank (pinned)", "dynamic: bufs/rank (pinned)"], &rows);
+    t.push_str(
+        "\nProjection (static, 100 x 2 KB per connection): 1,000 nodes -> ~195 MB/rank;\n\
+         10,000 nodes -> ~1.9 GB/rank of pinned receive buffers. The dynamic scheme's\n\
+         footprint follows the application's live neighbourhood instead (paper §1, §8).\n",
+    );
+    t
+}

@@ -1,0 +1,5 @@
+//! Ablation: Eager buffer size sweep.
+fn main() {
+    println!("Eager buffer size sweep\n");
+    print!("{}", ibflow_bench::ablations::buffer_size());
+}

@@ -1,0 +1,5 @@
+//! Ablation: On-demand vs eager connection setup (16 ranks, ring traffic).
+fn main() {
+    println!("On-demand vs eager connection setup (16 ranks, ring traffic)\n");
+    print!("{}", ibflow_bench::ablations::on_demand(16));
+}

@@ -1,0 +1,5 @@
+//! Ablation: The RDMA-based eager channel \[13\] vs the send/receive design.
+fn main() {
+    println!("RDMA eager channel vs send/recv eager protocol\n");
+    print!("{}", ibflow_bench::ablations::rdma_channel());
+}

@@ -1,0 +1,5 @@
+//! Ablation: Pinned-buffer scalability: static vs dynamic.
+fn main() {
+    println!("Pinned-buffer scalability: static vs dynamic\n");
+    print!("{}", ibflow_bench::ablations::scalability());
+}

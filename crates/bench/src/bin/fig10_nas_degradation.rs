@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 10: performance degradation when the
+//! pre-post depth drops from 100 to 1.
+use ibflow_bench::figures::{fig10_table, nas_battery};
+
+fn main() {
+    let class = ibflow_bench::nas_class_from_env();
+    println!("Figure 10 — degradation, pre-post 100 -> 1 (class {class:?})\n");
+    let runs = nas_battery(class);
+    print!("{}", fig10_table(&runs));
+}

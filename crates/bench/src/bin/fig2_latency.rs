@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 2: one-way MPI latency vs message size
+//! for the three flow control schemes (pre-post 100).
+fn main() {
+    println!("Figure 2 — MPI latency (us), pre-post = 100, blocking ping-pong\n");
+    let rows = ibflow_bench::figures::fig2_latency();
+    print!("{}", ibflow_bench::figures::fig2_table(&rows));
+}

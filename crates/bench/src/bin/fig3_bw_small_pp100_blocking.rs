@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 3 — bandwidth, 4 B messages, pre-post = 100, blocking.
+fn main() {
+    println!("Figure 3 — bandwidth, 4 B messages, pre-post = 100, blocking\n");
+    let rows = ibflow_bench::figures::bandwidth_figure(4, 100, true);
+    print!("{}", ibflow_bench::figures::bandwidth_table(&rows));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 4 — bandwidth, 4 B messages, pre-post = 100, non-blocking.
+fn main() {
+    println!("Figure 4 — bandwidth, 4 B messages, pre-post = 100, non-blocking\n");
+    let rows = ibflow_bench::figures::bandwidth_figure(4, 100, false);
+    print!("{}", ibflow_bench::figures::bandwidth_table(&rows));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 7 — bandwidth, 32 KB messages, pre-post = 10, blocking.
+fn main() {
+    println!("Figure 7 — bandwidth, 32 KB messages, pre-post = 10, blocking\n");
+    let rows = ibflow_bench::figures::bandwidth_figure(32768, 10, true);
+    print!("{}", ibflow_bench::figures::bandwidth_table(&rows));
+}

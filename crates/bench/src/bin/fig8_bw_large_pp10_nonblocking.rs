@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 8 — bandwidth, 32 KB messages, pre-post = 10, non-blocking.
+fn main() {
+    println!("Figure 8 — bandwidth, 32 KB messages, pre-post = 10, non-blocking\n");
+    let rows = ibflow_bench::figures::bandwidth_figure(32768, 10, false);
+    print!("{}", ibflow_bench::figures::bandwidth_table(&rows));
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 9: NAS benchmark runtimes under the
+//! three flow control schemes with 100 pre-posted buffers per connection.
+use ibflow_bench::figures::{fig9_table, nas_battery};
+
+fn main() {
+    let class = ibflow_bench::nas_class_from_env();
+    println!("Figure 9 — NAS runtimes (class {class:?}), pre-post = 100\n");
+    let runs = nas_battery(class);
+    print!("{}", fig9_table(&runs));
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Table 1: explicit credit messages per
+//! connection under the user-level static scheme.
+use ibflow_bench::figures::{nas_battery, table1};
+
+fn main() {
+    let class = ibflow_bench::nas_class_from_env();
+    println!("Table 1 — explicit credit messages, user-level static, pre-post = 100 (class {class:?})\n");
+    let runs = nas_battery(class);
+    print!("{}", table1(&runs));
+}

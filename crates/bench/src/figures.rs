@@ -1,0 +1,281 @@
+//! One function per table/figure of the paper: each returns the rows the
+//! corresponding binary prints, so integration tests can assert the
+//! paper's *shape* claims against the exact data the harness reports.
+
+use crate::micro::{bandwidth_test, latency_test, MicroParams};
+use crate::nas::{run_nas, NasRun};
+use crate::report::table;
+use crate::SCHEMES;
+use ibfabric::FabricParams;
+use mpib::FlowControlScheme;
+use nasbench::common::Kernel;
+use nasbench::NasClass;
+
+/// Message sizes for the latency figure.
+pub const FIG2_SIZES: [usize; 8] = [4, 16, 64, 256, 1024, 1984, 4096, 16384];
+
+/// Window sizes for the bandwidth figures.
+pub const BW_WINDOWS: [u32; 7] = [1, 4, 8, 16, 32, 64, 100];
+
+/// Fig 2 — one-way latency (µs) per message size per scheme.
+pub struct Fig2Row {
+    /// Message size in bytes.
+    pub size: usize,
+    /// Latency per scheme, in [`SCHEMES`] order.
+    pub us: [f64; 3],
+}
+
+/// Runs the Fig 2 sweep (pre-post 100, blocking ping-pong).
+pub fn fig2_latency() -> Vec<Fig2Row> {
+    FIG2_SIZES
+        .iter()
+        .map(|&size| {
+            let mut us = [0.0; 3];
+            for (i, scheme) in SCHEMES.into_iter().enumerate() {
+                us[i] = latency_test(&MicroParams::new(scheme, 100), size, FabricParams::mt23108());
+            }
+            Fig2Row { size, us }
+        })
+        .collect()
+}
+
+/// Formats Fig 2 rows.
+pub fn fig2_table(rows: &[Fig2Row]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.size.to_string(),
+                format!("{:.2}", r.us[0]),
+                format!("{:.2}", r.us[1]),
+                format!("{:.2}", r.us[2]),
+            ]
+        })
+        .collect();
+    table(&["size(B)", "hardware(us)", "user-static(us)", "user-dynamic(us)"], &data)
+}
+
+/// One bandwidth-figure row: MB/s per scheme at one window size.
+pub struct BwRow {
+    /// Window size (messages per burst).
+    pub window: u32,
+    /// Bandwidth per scheme, in [`SCHEMES`] order, MB/s.
+    pub mbps: [f64; 3],
+}
+
+/// Runs one of the bandwidth figures (Figs 3–8 are parameterizations of
+/// this sweep).
+pub fn bandwidth_figure(size: usize, prepost: u32, blocking: bool) -> Vec<BwRow> {
+    BW_WINDOWS
+        .iter()
+        .map(|&window| {
+            let mut mbps = [0.0; 3];
+            for (i, scheme) in SCHEMES.into_iter().enumerate() {
+                let p = MicroParams { iters: 20, warmup: 4, ..MicroParams::new(scheme, prepost) };
+                mbps[i] = bandwidth_test(&p, size, window, blocking, FabricParams::mt23108()).mb_per_s;
+            }
+            BwRow { window, mbps }
+        })
+        .collect()
+}
+
+/// Formats bandwidth rows.
+pub fn bandwidth_table(rows: &[BwRow]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.window.to_string(),
+                format!("{:.3}", r.mbps[0]),
+                format!("{:.3}", r.mbps[1]),
+                format!("{:.3}", r.mbps[2]),
+            ]
+        })
+        .collect();
+    table(&["window", "hardware(MB/s)", "user-static(MB/s)", "user-dynamic(MB/s)"], &data)
+}
+
+/// Fig 9 / Fig 10 / Tables 1–2 all come from the same application runs;
+/// this sweep runs every kernel under every scheme at both pre-post
+/// depths.
+pub fn nas_battery(class: NasClass) -> Vec<NasRun> {
+    let mut out = Vec::new();
+    for kernel in Kernel::ALL {
+        for prepost in [100u32, 1] {
+            for scheme in SCHEMES {
+                out.push(run_nas(kernel, class, scheme, prepost));
+            }
+        }
+    }
+    out
+}
+
+/// Extracts one run from a battery.
+pub fn pick<'a>(runs: &'a [NasRun], kernel: Kernel, scheme: FlowControlScheme, prepost: u32) -> &'a NasRun {
+    runs.iter()
+        .find(|r| r.kernel == kernel && r.scheme == scheme && r.prepost == prepost)
+        .expect("battery is complete")
+}
+
+/// Fig 9 — NAS runtimes at pre-post 100.
+pub fn fig9_table(runs: &[NasRun]) -> String {
+    let data: Vec<Vec<String>> = Kernel::ALL
+        .iter()
+        .map(|&k| {
+            let hw = pick(runs, k, FlowControlScheme::Hardware, 100).time_ms;
+            let us = pick(runs, k, FlowControlScheme::UserStatic, 100).time_ms;
+            let ud = pick(runs, k, FlowControlScheme::UserDynamic, 100).time_ms;
+            vec![
+                k.name().to_string(),
+                format!("{}", k.paper_procs()),
+                format!("{hw:.2}"),
+                format!("{us:.2}"),
+                format!("{ud:.2}"),
+                format!("{:+.1}%", (us / hw - 1.0) * 100.0),
+            ]
+        })
+        .collect();
+    table(
+        &["app", "procs", "hardware(ms)", "user-static(ms)", "user-dynamic(ms)", "static vs hw"],
+        &data,
+    )
+}
+
+/// Fig 10 — percentage degradation going from pre-post 100 to 1.
+pub fn fig10_table(runs: &[NasRun]) -> String {
+    let mut data = Vec::new();
+    for k in Kernel::ALL {
+        let mut row = vec![k.name().to_string()];
+        for scheme in SCHEMES {
+            let base = pick(runs, k, scheme, 100).time_ms;
+            let one = pick(runs, k, scheme, 1).time_ms;
+            row.push(format!("{:+.1}%", (one / base - 1.0) * 100.0));
+        }
+        data.push(row);
+    }
+    table(&["app", "hardware", "user-static", "user-dynamic"], &data)
+}
+
+/// Table 1 — explicit credit messages, user-level static at pre-post 100.
+pub fn table1(runs: &[NasRun]) -> String {
+    let data: Vec<Vec<String>> = Kernel::ALL
+        .iter()
+        .map(|&k| {
+            let r = pick(runs, k, FlowControlScheme::UserStatic, 100);
+            let pct = if r.msgs_per_conn > 0.0 { r.ecm_per_conn / r.msgs_per_conn * 100.0 } else { 0.0 };
+            vec![
+                k.name().to_string(),
+                format!("{:.1}", r.ecm_per_conn),
+                format!("{:.0}", r.msgs_per_conn),
+                format!("{pct:.1}%"),
+            ]
+        })
+        .collect();
+    table(&["app", "# ECM msg/conn", "# total msg/conn", "ECM share"], &data)
+}
+
+/// Table 2 — maximum posted buffers, user-level dynamic starting from 1.
+pub fn table2(runs: &[NasRun]) -> String {
+    let data: Vec<Vec<String>> = Kernel::ALL
+        .iter()
+        .map(|&k| {
+            let r = pick(runs, k, FlowControlScheme::UserDynamic, 1);
+            vec![k.name().to_string(), r.max_posted.to_string()]
+        })
+        .collect();
+    table(&["app", "max posted buffers"], &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_shape_schemes_comparable() {
+        let rows = fig2_latency();
+        for r in &rows {
+            let base = r.us[0];
+            for &v in &r.us[1..] {
+                assert!(
+                    (v - base).abs() / base < 0.06,
+                    "size {}: latencies {:?} should be within a few percent",
+                    r.size,
+                    r.us
+                );
+            }
+        }
+        // Latency grows with size; the rendezvous knee is visible.
+        assert!(rows.last().unwrap().us[0] > rows[0].us[0] * 3.0);
+    }
+
+    #[test]
+    fn fig3_fig4_shape_all_comparable_at_pp100() {
+        for blocking in [true, false] {
+            let rows = bandwidth_figure(4, 100, blocking);
+            for r in &rows {
+                let max = r.mbps.iter().cloned().fold(0.0, f64::max);
+                let min = r.mbps.iter().cloned().fold(f64::INFINITY, f64::min);
+                assert!(
+                    max / min < 1.1,
+                    "window {} (blocking={blocking}): schemes should be comparable, got {:?}",
+                    r.window,
+                    r.mbps
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig5_fig6_shape_static_worst_beyond_prepost() {
+        for blocking in [true, false] {
+            let rows = bandwidth_figure(4, 10, blocking);
+            for r in rows.iter().filter(|r| r.window > 10) {
+                let [hw, stat, dyn_] = r.mbps;
+                assert!(
+                    stat < hw && stat < dyn_,
+                    "window {} (blocking={blocking}): static ({stat:.2}) must be worst of {:?}",
+                    r.window,
+                    r.mbps
+                );
+                if r.window >= 32 {
+                    assert!(
+                        dyn_ > stat * 1.2,
+                        "window {}: dynamic must clearly beat static ({dyn_:.2} vs {stat:.2})",
+                        r.window
+                    );
+                }
+            }
+            // Within the pre-posted window everything is comparable.
+            for r in rows.iter().filter(|r| r.window <= 8) {
+                let max = r.mbps.iter().cloned().fold(0.0, f64::max);
+                let min = r.mbps.iter().cloned().fold(f64::INFINITY, f64::min);
+                assert!(max / min < 1.1, "window {} should be scheme-insensitive", r.window);
+            }
+        }
+    }
+
+    #[test]
+    fn fig7_fig8_shape_rendezvous_insensitive_and_overlap_wins() {
+        let blocking = bandwidth_figure(32 * 1024, 10, true);
+        let nonblocking = bandwidth_figure(32 * 1024, 10, false);
+        for (b, nb) in blocking.iter().zip(&nonblocking) {
+            // All schemes comparable in each mode (rendezvous handshakes
+            // keep the pattern symmetric)...
+            for rows in [b, nb] {
+                let max = rows.mbps.iter().cloned().fold(0.0, f64::max);
+                let min = rows.mbps.iter().cloned().fold(f64::INFINITY, f64::min);
+                assert!(max / min < 1.15, "window {}: {:?}", rows.window, rows.mbps);
+            }
+            // ...and non-blocking clearly beats blocking at real windows.
+            if b.window >= 4 {
+                assert!(
+                    nb.mbps[0] > b.mbps[0] * 1.15,
+                    "window {}: overlap should win ({} vs {})",
+                    b.window,
+                    nb.mbps[0],
+                    b.mbps[0]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! `ibflow-bench` — the harness that regenerates every table and figure of
+//! *"Implementing Efficient and Scalable Flow Control Schemes in MPI over
+//! InfiniBand"* (Liu & Panda, IPDPS 2004).
+//!
+//! * [`micro`] — the paper's §6.2 micro-benchmarks: ping-pong latency and
+//!   windowed bandwidth (blocking and non-blocking variants).
+//! * [`nas`] — the §6.3 application harness running the NAS kernels under
+//!   each flow control scheme and pre-post depth.
+//! * [`report`] — plain-text table/series formatting used by the
+//!   per-figure binaries (`fig2_latency` … `table2_max_buffers`).
+//!
+//! All numbers are *virtual-time* measurements from the deterministic
+//! simulation, so every figure regenerates bit-identically.
+
+pub mod ablations;
+pub mod figures;
+pub mod micro;
+pub mod nas;
+pub mod report;
+
+pub use micro::{bandwidth_test, latency_test, BandwidthResult, MicroParams};
+
+use mpib::FlowControlScheme;
+use nasbench::NasClass;
+
+/// Reads the NAS class for application figures from `IBFLOW_CLASS`
+/// (`test`, `w`, or `a`); defaults to the paper-scale `W`.
+pub fn nas_class_from_env() -> NasClass {
+    match std::env::var("IBFLOW_CLASS").unwrap_or_default().to_lowercase().as_str() {
+        "test" => NasClass::Test,
+        "a" => NasClass::A,
+        _ => NasClass::W,
+    }
+}
+
+/// The three schemes in the paper's presentation order.
+pub const SCHEMES: [FlowControlScheme; 3] = [
+    FlowControlScheme::Hardware,
+    FlowControlScheme::UserStatic,
+    FlowControlScheme::UserDynamic,
+];

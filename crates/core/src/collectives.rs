@@ -1,0 +1,371 @@
+//! Collective operations over [`Comm`] groups, built on point-to-point.
+//!
+//! Algorithms are the textbook ones the MPICH lineage used in this era:
+//! dissemination barrier, binomial broadcast/reduce, recursive-doubling
+//! allreduce (with a pre/post fold for non-powers of two), ring allgather,
+//! and pairwise-exchange all-to-all.
+
+use crate::comm::Comm;
+use crate::rank::MpiRank;
+use crate::scalar::{decode_slice, encode_slice, ReduceOp, Scalar};
+use crate::types::Tag;
+
+/// Collective calls reserve the tag space above this bit.
+const COLL_TAG_BASE: Tag = 0x4000_0000;
+
+impl MpiRank {
+    fn coll_tag(&mut self, comm: &Comm) -> Tag {
+        let seq = self.coll_seq.entry(comm.ctx).or_insert(0);
+        let tag = COLL_TAG_BASE + (*seq as Tag & 0x3FFF_FFFF);
+        *seq = seq.wrapping_add(1);
+        tag
+    }
+
+    fn cwait_send(&mut self, data: &[u8], dst_world: usize, tag: Tag, comm: &Comm) {
+        let req = self.isend_ctx(data, dst_world, tag, comm.ctx);
+        self.wait(req);
+    }
+
+    fn crecv(&mut self, src_world: usize, tag: Tag, comm: &Comm) -> Vec<u8> {
+        let req = self.irecv_ctx(Some(src_world), Some(tag), comm.ctx, None);
+        let (_status, data) = self.wait_recv(req);
+        data
+    }
+}
+
+/// Dissemination barrier: `ceil(log2 n)` rounds of shifted exchanges.
+pub fn barrier(mpi: &mut MpiRank, comm: &Comm) {
+    let n = comm.size();
+    if n <= 1 {
+        return;
+    }
+    let me = comm.my_rank(mpi);
+    let tag = mpi.coll_tag(comm);
+    let mut dist = 1;
+    while dist < n {
+        let to = comm.world_rank((me + dist) % n);
+        let from = comm.world_rank((me + n - dist) % n);
+        let sreq = mpi.isend_ctx(&[], to, tag, comm.ctx);
+        let rreq = mpi.irecv_ctx(Some(from), Some(tag), comm.ctx, None);
+        mpi.wait(sreq);
+        let _ = mpi.wait_recv(rreq);
+        dist <<= 1;
+    }
+}
+
+/// Binomial-tree broadcast of a byte buffer from `root` (communicator
+/// rank). Non-roots receive into the returned vector.
+pub fn bcast_bytes(mpi: &mut MpiRank, comm: &Comm, root: usize, data: Vec<u8>) -> Vec<u8> {
+    let n = comm.size();
+    if n <= 1 {
+        return data;
+    }
+    let me = comm.my_rank(mpi);
+    let tag = mpi.coll_tag(comm);
+    // Rotate so the root is virtual rank 0.
+    let vrank = (me + n - root) % n;
+    let mut data = data;
+    // Receive phase: find the highest set bit of vrank.
+    if vrank != 0 {
+        let mask = 1 << (usize::BITS - 1 - vrank.leading_zeros());
+        let parent = (vrank - mask + root) % n;
+        data = mpi.crecv(comm.world_rank(parent), tag, comm);
+    }
+    // Send phase: children are vrank + 2^k for 2^k > vrank's high bit.
+    let mut mask = if vrank == 0 { 1 } else { 1 << (usize::BITS - vrank.leading_zeros()) };
+    while vrank + mask < n {
+        let child = (vrank + mask + root) % n;
+        mpi.cwait_send(&data, comm.world_rank(child), tag, comm);
+        mask <<= 1;
+    }
+    data
+}
+
+/// Broadcast of typed scalars.
+pub fn bcast_scalars<T: Scalar>(mpi: &mut MpiRank, comm: &Comm, root: usize, data: &mut [T]) {
+    let bytes = if comm.my_rank(mpi) == root { encode_slice(data) } else { Vec::new() };
+    let out = bcast_bytes(mpi, comm, root, bytes);
+    if comm.my_rank(mpi) != root {
+        crate::scalar::decode_into(&out, data);
+    }
+}
+
+/// Binomial-tree reduction to `root`; returns the reduced vector there.
+pub fn reduce_scalars<T: Scalar>(
+    mpi: &mut MpiRank,
+    comm: &Comm,
+    root: usize,
+    op: ReduceOp,
+    data: &[T],
+) -> Option<Vec<T>> {
+    let n = comm.size();
+    let me = comm.my_rank(mpi);
+    let tag = mpi.coll_tag(comm);
+    let mut acc: Vec<T> = data.to_vec();
+    if n > 1 {
+        let vrank = (me + n - root) % n;
+        let mut mask = 1usize;
+        while mask < n {
+            if vrank & mask != 0 {
+                let parent = (vrank - mask + root) % n;
+                mpi.cwait_send(&encode_slice(&acc), comm.world_rank(parent), tag, comm);
+                break;
+            } else if vrank + mask < n {
+                let child = (vrank + mask + root) % n;
+                let bytes = mpi.crecv(comm.world_rank(child), tag, comm);
+                let other: Vec<T> = decode_slice(&bytes);
+                assert_eq!(other.len(), acc.len(), "reduce length mismatch");
+                for (a, b) in acc.iter_mut().zip(other) {
+                    *a = T::reduce(op, *a, b);
+                }
+            }
+            mask <<= 1;
+        }
+    }
+    (me == root).then_some(acc)
+}
+
+/// Allreduce: recursive doubling on the power-of-two core, with extra
+/// ranks folding in before and receiving the result after.
+pub fn allreduce_scalars<T: Scalar>(
+    mpi: &mut MpiRank,
+    comm: &Comm,
+    op: ReduceOp,
+    data: &[T],
+) -> Vec<T> {
+    let n = comm.size();
+    let me = comm.my_rank(mpi);
+    let tag = mpi.coll_tag(comm);
+    let mut acc: Vec<T> = data.to_vec();
+    if n == 1 {
+        return acc;
+    }
+    let pof2 = 1usize << (usize::BITS - 1 - n.leading_zeros());
+    let rem = n - pof2;
+    // Phase 1: ranks >= pof2 send their data to (me - pof2).
+    if me >= pof2 {
+        mpi.cwait_send(&encode_slice(&acc), comm.world_rank(me - pof2), tag, comm);
+    } else if me < rem {
+        let bytes = mpi.crecv(comm.world_rank(me + pof2), tag, comm);
+        for (a, b) in acc.iter_mut().zip(decode_slice::<T>(&bytes)) {
+            *a = T::reduce(op, *a, b);
+        }
+    }
+    // Phase 2: recursive doubling among the first pof2 ranks.
+    if me < pof2 {
+        let mut mask = 1usize;
+        while mask < pof2 {
+            let partner = me ^ mask;
+            let sreq = mpi.isend_ctx(&encode_slice(&acc), comm.world_rank(partner), tag, comm.ctx);
+            let rreq = mpi.irecv_ctx(Some(comm.world_rank(partner)), Some(tag), comm.ctx, None);
+            mpi.wait(sreq);
+            let (_s, bytes) = mpi.wait_recv(rreq);
+            for (a, b) in acc.iter_mut().zip(decode_slice::<T>(&bytes)) {
+                *a = T::reduce(op, *a, b);
+            }
+            mask <<= 1;
+        }
+    }
+    // Phase 3: send results back to the folded-in ranks.
+    if me < rem {
+        mpi.cwait_send(&encode_slice(&acc), comm.world_rank(me + pof2), tag, comm);
+    } else if me >= pof2 {
+        let bytes = mpi.crecv(comm.world_rank(me - pof2), tag, comm);
+        acc = decode_slice(&bytes);
+    }
+    acc
+}
+
+/// Ring allgather of equally-typed contributions; result is the
+/// concatenation in communicator-rank order.
+pub fn allgather_scalars<T: Scalar>(mpi: &mut MpiRank, comm: &Comm, mine: &[T]) -> Vec<T> {
+    let chunks = allgather_bytes(mpi, comm, &encode_slice(mine));
+    let mut out = Vec::with_capacity(mine.len() * comm.size());
+    for c in chunks {
+        out.extend(decode_slice::<T>(&c));
+    }
+    out
+}
+
+/// Allgather of byte buffers (possibly different sizes).
+///
+/// Power-of-two groups use recursive doubling — symmetric pairwise
+/// exchanges, as the MPICH lineage did, which also keeps per-connection
+/// credit flow bidirectional. Other sizes fall back to a ring.
+pub fn allgather_bytes(mpi: &mut MpiRank, comm: &Comm, mine: &[u8]) -> Vec<Vec<u8>> {
+    let n = comm.size();
+    let me = comm.my_rank(mpi);
+    let tag = mpi.coll_tag(comm);
+    let mut chunks: Vec<Vec<u8>> = vec![Vec::new(); n];
+    chunks[me] = mine.to_vec();
+    if n == 1 {
+        return chunks;
+    }
+    if n.is_power_of_two() {
+        // Recursive doubling: at step s, exchange the 2^s chunks already
+        // held with the partner me ^ 2^s. Chunks are framed with their
+        // owner index so ragged sizes survive concatenation.
+        let mut mask = 1usize;
+        while mask < n {
+            let partner = me ^ mask;
+            let group0 = me & !(mask - 1); // base of my current block
+            let held: Vec<usize> = (group0..group0 + mask).collect();
+            let mut payload = Vec::new();
+            for &idx in &held {
+                payload.extend_from_slice(&(idx as u32).to_le_bytes());
+                payload.extend_from_slice(&(chunks[idx].len() as u32).to_le_bytes());
+                payload.extend_from_slice(&chunks[idx]);
+            }
+            let sreq = mpi.isend_ctx(&payload, comm.world_rank(partner), tag, comm.ctx);
+            let rreq = mpi.irecv_ctx(Some(comm.world_rank(partner)), Some(tag), comm.ctx, None);
+            mpi.wait(sreq);
+            let (_s, data) = mpi.wait_recv(rreq);
+            let mut off = 0;
+            while off < data.len() {
+                let idx = u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize;
+                let len = u32::from_le_bytes(data[off + 4..off + 8].try_into().unwrap()) as usize;
+                chunks[idx] = data[off + 8..off + 8 + len].to_vec();
+                off += 8 + len;
+            }
+            mask <<= 1;
+        }
+        return chunks;
+    }
+    let right = comm.world_rank((me + 1) % n);
+    let left = comm.world_rank((me + n - 1) % n);
+    // Ring fallback: pass chunk (me - step) to the right each round.
+    for step in 0..n - 1 {
+        let send_idx = (me + n - step) % n;
+        let sreq = mpi.isend_ctx(&chunks[send_idx], right, tag, comm.ctx);
+        let rreq = mpi.irecv_ctx(Some(left), Some(tag), comm.ctx, None);
+        mpi.wait(sreq);
+        let (_s, data) = mpi.wait_recv(rreq);
+        let recv_idx = (me + n - step - 1) % n;
+        chunks[recv_idx] = data;
+    }
+    chunks
+}
+
+/// Pairwise-exchange all-to-all: `chunks[i]` goes to communicator rank
+/// `i`; returns what everyone sent to this process (indexed by source).
+/// Handles unequal sizes, so this is also `alltoallv`.
+pub fn alltoallv_bytes(mpi: &mut MpiRank, comm: &Comm, chunks: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let n = comm.size();
+    assert_eq!(chunks.len(), n, "need one chunk per member");
+    let me = comm.my_rank(mpi);
+    let tag = mpi.coll_tag(comm);
+    let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
+    out[me] = chunks[me].clone();
+    for step in 1..n {
+        // For power-of-two sizes this is the XOR schedule; otherwise a
+        // rotation — both pair every process exactly once per step.
+        let partner = if n.is_power_of_two() { me ^ step } else { (me + step) % n };
+        let recv_from = if n.is_power_of_two() { partner } else { (me + n - step) % n };
+        let sreq = mpi.isend_ctx(&chunks[partner], comm.world_rank(partner), tag, comm.ctx);
+        let rreq = mpi.irecv_ctx(Some(comm.world_rank(recv_from)), Some(tag), comm.ctx, None);
+        mpi.wait(sreq);
+        let (_s, data) = mpi.wait_recv(rreq);
+        out[recv_from] = data;
+    }
+    out
+}
+
+/// All-to-all of typed scalars, equal count per destination.
+pub fn alltoall_scalars<T: Scalar>(mpi: &mut MpiRank, comm: &Comm, data: &[T]) -> Vec<T> {
+    let n = comm.size();
+    assert_eq!(data.len() % n, 0, "data must divide evenly");
+    let per = data.len() / n;
+    let chunks: Vec<Vec<u8>> =
+        (0..n).map(|i| encode_slice(&data[i * per..(i + 1) * per])).collect();
+    let got = alltoallv_bytes(mpi, comm, &chunks);
+    let mut out = Vec::with_capacity(data.len());
+    for c in got {
+        out.extend(decode_slice::<T>(&c));
+    }
+    out
+}
+
+/// Reduce-scatter: elementwise reduction of equal-length contributions,
+/// with block `i` of the result delivered to communicator rank `i`
+/// (reduce + scatter, as the MPICH lineage implemented it at this scale).
+pub fn reduce_scatter_scalars<T: Scalar>(
+    mpi: &mut MpiRank,
+    comm: &Comm,
+    op: ReduceOp,
+    data: &[T],
+) -> Vec<T> {
+    let n = comm.size();
+    assert_eq!(data.len() % n, 0, "data must divide evenly over members");
+    let per = data.len() / n;
+    let me = comm.my_rank(mpi);
+    let reduced = reduce_scalars(mpi, comm, 0, op, data);
+    let chunks: Option<Vec<Vec<u8>>> = reduced
+        .map(|full| (0..n).map(|i| encode_slice(&full[i * per..(i + 1) * per])).collect());
+    let mine = scatter_bytes(mpi, comm, 0, chunks.as_deref());
+    let _ = me;
+    decode_slice(&mine)
+}
+
+/// Inclusive prefix reduction (`MPI_Scan`): rank `k` receives the
+/// reduction of contributions from ranks `0..=k`.
+pub fn scan_scalars<T: Scalar>(mpi: &mut MpiRank, comm: &Comm, op: ReduceOp, data: &[T]) -> Vec<T> {
+    let n = comm.size();
+    let me = comm.my_rank(mpi);
+    let tag = mpi.coll_tag(comm);
+    let mut acc: Vec<T> = data.to_vec();
+    // Linear pipeline: receive the prefix from the left, fold, forward.
+    if me > 0 {
+        let bytes = mpi.crecv(comm.world_rank(me - 1), tag, comm);
+        for (a, b) in acc.iter_mut().zip(decode_slice::<T>(&bytes)) {
+            *a = T::reduce(op, b, *a);
+        }
+    }
+    if me + 1 < n {
+        mpi.cwait_send(&encode_slice(&acc), comm.world_rank(me + 1), tag, comm);
+    }
+    acc
+}
+
+/// Gather byte buffers to `root` (communicator rank order); `None` on
+/// non-roots.
+pub fn gather_bytes(mpi: &mut MpiRank, comm: &Comm, root: usize, mine: &[u8]) -> Option<Vec<Vec<u8>>> {
+    let n = comm.size();
+    let me = comm.my_rank(mpi);
+    let tag = mpi.coll_tag(comm);
+    if me == root {
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
+        out[me] = mine.to_vec();
+        for r in 0..n {
+            if r != root {
+                out[r] = mpi.crecv(comm.world_rank(r), tag, comm);
+            }
+        }
+        Some(out)
+    } else {
+        mpi.cwait_send(mine, comm.world_rank(root), tag, comm);
+        None
+    }
+}
+
+/// Scatter byte buffers from `root`; each member receives its chunk.
+pub fn scatter_bytes(mpi: &mut MpiRank, comm: &Comm, root: usize, chunks: Option<&[Vec<u8>]>) -> Vec<u8> {
+    let n = comm.size();
+    let me = comm.my_rank(mpi);
+    let tag = mpi.coll_tag(comm);
+    if me == root {
+        let chunks = chunks.expect("root must supply chunks");
+        assert_eq!(chunks.len(), n);
+        let mut reqs = Vec::new();
+        for r in 0..n {
+            if r != root {
+                reqs.push(mpi.isend_ctx(&chunks[r], comm.world_rank(r), tag, comm.ctx));
+            }
+        }
+        for r in reqs {
+            mpi.wait(r);
+        }
+        chunks[me].clone()
+    } else {
+        mpi.crecv(comm.world_rank(root), tag, comm)
+    }
+}

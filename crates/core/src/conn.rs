@@ -1,0 +1,194 @@
+//! Per-connection state: credits, the backlog queue, the receive slab,
+//! and the RDMA credit mailbox.
+
+use crate::buffers::RecvSlab;
+use crate::requests::ReqId;
+use crate::stats::ConnStats;
+use crate::types::Rank;
+use ibfabric::{MrId, QpId};
+use std::collections::VecDeque;
+
+/// One endpoint's state for its connection to a single peer.
+#[derive(Debug)]
+pub(crate) struct Conn {
+    pub peer: Rank,
+    pub qp: QpId,
+    /// False until the connection handshake ran (on-demand mode starts
+    /// false; eager mode connects everything during init).
+    pub established: bool,
+
+    // ---- sending toward the peer (user-level schemes) ----
+    /// Buffers at the peer this endpoint may still consume.
+    pub credits: u32,
+    /// Send requests waiting for credits, FIFO.
+    pub backlog: VecDeque<ReqId>,
+    /// The one credit-less *optimistic* rendezvous start allowed in flight
+    /// (its handshake brings credits back even from a fully starved
+    /// connection; the hardware's RNR retry is the backstop if the
+    /// receiver is truly out of buffers).
+    pub optimistic_req: Option<ReqId>,
+    /// Per-connection send sequence (stamped into every header).
+    pub send_seq: u32,
+
+    // ---- receiving from the peer ----
+    /// The pre-pinned buffer slab.
+    pub slab: RecvSlab,
+    /// How many buffers should currently be posted (the dynamic scheme
+    /// grows this; static/hardware keep it at `prepost`).
+    pub prepost_target: u32,
+    /// Buffers actually posted right now.
+    pub posted: u32,
+    /// Credits freed since the last update reached the peer (piggyback or
+    /// explicit message resets this).
+    pub consumed_since_update: u32,
+
+    // ---- RDMA credit mailboxes (CreditMsgMode::Rdma) ----
+    /// Region the *peer* writes cumulative credit counts into; this
+    /// endpoint polls it during progress.
+    pub my_mailbox: MrId,
+    /// Last cumulative value read from `my_mailbox`.
+    pub mailbox_seen: u64,
+    /// Region at the peer this endpoint RDMA-writes its cumulative
+    /// returned-credit counter into.
+    pub peer_mailbox: MrId,
+    /// Cumulative credits returned via the mailbox.
+    pub mailbox_sent_total: u64,
+
+    // ---- RDMA eager channel (companion design [13]) ----
+    /// Ring slots available for eager frames toward the peer.
+    pub ring_credits: u32,
+    /// Ring slots this endpoint consumed and not yet returned.
+    pub ring_consumed_since_update: u32,
+    /// Cumulative ring-slot returns written to the peer's mailbox.
+    pub ring_mailbox_sent_total: u64,
+    /// Last cumulative ring-credit value read from `my_mailbox`.
+    pub ring_mailbox_seen: u64,
+    /// Next sequence number to *deliver* (cross-channel ordering gate).
+    pub next_deliver_seq: u32,
+    /// Frames that arrived ahead of `next_deliver_seq`.
+    pub reorder: std::collections::BTreeMap<u32, (crate::wire::MsgHeader, Vec<u8>)>,
+    /// Ring this endpoint polls for frames the peer RDMA-writes.
+    pub my_ring: MrId,
+    /// Next ring slot to read.
+    pub ring_read_slot: u32,
+    /// The peer's ring this endpoint writes into.
+    pub peer_ring: MrId,
+    /// Next slot to write at the peer.
+    pub ring_write_slot: u32,
+
+    /// Statistics for this connection.
+    pub stats: ConnStats,
+}
+
+impl Conn {
+    #[allow(clippy::too_many_arguments)] // world-bootstrap wiring: all six handles come from the deterministic layout
+    pub fn new(
+        peer: Rank,
+        qp: QpId,
+        slab: RecvSlab,
+        prepost: u32,
+        my_mailbox: MrId,
+        peer_mailbox: MrId,
+        my_ring: MrId,
+        peer_ring: MrId,
+    ) -> Self {
+        Conn {
+            peer,
+            qp,
+            established: false,
+            credits: 0,
+            backlog: VecDeque::new(),
+            optimistic_req: None,
+            send_seq: 0,
+            slab,
+            prepost_target: prepost,
+            posted: 0,
+            consumed_since_update: 0,
+            my_mailbox,
+            mailbox_seen: 0,
+            peer_mailbox,
+            mailbox_sent_total: 0,
+            ring_credits: 0,
+            ring_consumed_since_update: 0,
+            ring_mailbox_sent_total: 0,
+            ring_mailbox_seen: 0,
+            next_deliver_seq: 0,
+            reorder: std::collections::BTreeMap::new(),
+            my_ring,
+            ring_read_slot: 0,
+            peer_ring,
+            ring_write_slot: 0,
+            stats: ConnStats::default(),
+        }
+    }
+
+    /// Applies `n` returned credits. Returns for optimistically-borrowed
+    /// buffers are spendable like any other: settling them against the
+    /// loan would permanently starve a one-directional flow (each
+    /// handshake's return would vanish into the debt), so the float is
+    /// allowed to exceed the pool by the one in-flight loan and the
+    /// hardware flow control absorbs the transient.
+    pub fn apply_credits(&mut self, n: u32) {
+        self.credits += n;
+    }
+
+    /// Takes the pending credit return for piggybacking onto an outgoing
+    /// header (clamped to the wire field width).
+    pub fn take_piggyback_credits(&mut self) -> u16 {
+        let n = self.consumed_since_update.min(u16::MAX as u32) as u16;
+        self.consumed_since_update -= n as u32;
+        self.stats.credits_piggybacked.add(n as u64);
+        n
+    }
+
+    /// Takes the pending ring-slot return for piggybacking.
+    pub fn take_piggyback_ring_credits(&mut self) -> u16 {
+        let n = self.ring_consumed_since_update.min(u16::MAX as u32) as u16;
+        self.ring_consumed_since_update -= n as u32;
+        n
+    }
+
+    /// Stamps and returns the next send sequence number.
+    pub fn next_seq(&mut self) -> u32 {
+        let s = self.send_seq;
+        self.send_seq = self.send_seq.wrapping_add(1);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibfabric::QpId;
+
+    fn conn() -> Conn {
+        Conn::new(
+            1,
+            QpId::from_index_for_tests(0),
+            RecvSlab::new(MrId::from_index_for_tests(0), 2048, 8),
+            4,
+            MrId::from_index_for_tests(1),
+            MrId::from_index_for_tests(2),
+            MrId::from_index_for_tests(3),
+            MrId::from_index_for_tests(4),
+        )
+    }
+
+    #[test]
+    fn piggyback_drains_consumed() {
+        let mut c = conn();
+        c.consumed_since_update = 7;
+        assert_eq!(c.take_piggyback_credits(), 7);
+        assert_eq!(c.consumed_since_update, 0);
+        assert_eq!(c.take_piggyback_credits(), 0);
+        assert_eq!(c.stats.credits_piggybacked.get(), 7);
+    }
+
+    #[test]
+    fn seq_increments() {
+        let mut c = conn();
+        assert_eq!(c.next_seq(), 0);
+        assert_eq!(c.next_seq(), 1);
+        assert_eq!(c.next_seq(), 2);
+    }
+}

@@ -1,0 +1,524 @@
+//! The progress engine: completion dispatch, credit accounting, backlog
+//! draining, explicit credit returns, and dynamic pool growth.
+
+use crate::buffers::{decode_wrid, WrKind};
+use crate::config::{CreditMsgMode, FlowControlScheme, GrowthPolicy};
+use crate::rank::{MpiRank, Unexpected};
+use crate::requests::{RecvState, ReqId, Request, SendState};
+use crate::types::Rank;
+use crate::wire::{MsgHeader, MsgKind, HEADER_LEN};
+use ibfabric::{CqeOpcode, CqeStatus, SendOp, SendWr};
+
+impl MpiRank {
+    /// One progress sweep: drain the CQ, apply flow control bookkeeping,
+    /// drain backlogs, and emit credit updates. Returns true if anything
+    /// happened.
+    pub fn progress(&mut self) -> bool {
+        let mut any = false;
+        loop {
+            let cq = self.cq;
+            let cqes = self.proc.with(|ctx| ctx.world.poll_cq(cq, 64));
+            if cqes.is_empty() {
+                break;
+            }
+            let poll_cost = self.proc.with(|ctx| ctx.world.params().sw_poll_cost);
+            self.charge(poll_cost);
+            any = true;
+            for cqe in cqes {
+                self.dispatch_cqe(cqe);
+            }
+        }
+        // RDMA eager-channel rings (companion design [13]).
+        if self.cfg.rdma_eager_channel {
+            any |= self.poll_rings();
+        }
+        // RDMA credit mailboxes (paper §7's "RDMA approach").
+        if self.cfg.scheme.is_user_level() && self.cfg.credit_msg_mode == CreditMsgMode::Rdma {
+            any |= self.poll_credit_mailboxes();
+        }
+        // Credits may have arrived: drain backlogs.
+        any |= self.drain_backlogs();
+        // Return credits that piggybacking didn't carry.
+        if self.cfg.scheme.is_user_level() {
+            self.emit_credit_updates();
+        }
+        any
+    }
+
+    fn dispatch_cqe(&mut self, cqe: ibfabric::Cqe) {
+        let (kind, value) = decode_wrid(cqe.wr_id);
+        match cqe.status {
+            CqeStatus::Success => {}
+            other => panic!(
+                "rank {}: work request {:?}/{:?} failed with {:?}",
+                self.rank, kind, cqe.opcode, other
+            ),
+        }
+        match (cqe.opcode, kind) {
+            (CqeOpcode::RecvComplete, WrKind::RecvSlot) => {
+                let peer = *self.qp_to_peer.get(&cqe.qp).expect("unknown QP");
+                self.handle_incoming(peer, value, cqe.byte_len);
+            }
+            (CqeOpcode::SendComplete, WrKind::CtrlSend | WrKind::Ecm) => {
+                self.outstanding_ctrl -= 1;
+            }
+            (CqeOpcode::RdmaWriteComplete, WrKind::RndzWrite) => {
+                // Zero-copy data placed: the send buffer is reusable.
+                let req = ReqId(value as u32);
+                let detached = if let Request::Send(s) = self.reqs.get_mut(req) {
+                    debug_assert_eq!(s.state, SendState::Writing);
+                    s.state = SendState::Done;
+                    s.detached
+                } else {
+                    panic!("RndzWrite completion for non-send request");
+                };
+                if detached {
+                    self.reqs.remove(req);
+                }
+            }
+            (CqeOpcode::RdmaWriteComplete, WrKind::CreditRdma | WrKind::RingWrite) => {
+                self.outstanding_ctrl -= 1;
+            }
+            (op, k) => panic!("rank {}: unexpected completion {op:?} for {k:?}", self.rank),
+        }
+    }
+
+    /// A message landed in slot `slot` of the connection from `peer`.
+    fn handle_incoming(&mut self, peer: Rank, slot: u64, byte_len: usize) {
+        self.stats.msgs_received.incr();
+        // Read the frame out of the slab.
+        let (header, payload) = {
+            let (mr, offset) = {
+                let c = self.conn(peer);
+                (c.slab.mr, c.slab.byte_offset(slot as u32))
+            };
+            self.proc.with(|ctx| {
+                let bytes = &ctx.world.mr_bytes(mr)[offset..offset + byte_len];
+                let header = MsgHeader::decode(bytes);
+                let payload = bytes[HEADER_LEN..HEADER_LEN + header.payload_len as usize].to_vec();
+                (header, payload)
+            })
+        };
+        debug_assert_eq!(header.src_rank, peer, "message arrived on wrong connection");
+
+        // On-demand bookkeeping: the peer connected to us first.
+        if !self.conn(peer).established {
+            let prepost = self.cfg.prepost;
+            let c = self.conn_mut(peer);
+            c.established = true;
+            c.posted = prepost;
+            c.credits = prepost;
+            c.stats.max_posted.observe(prepost as u64);
+            for _ in 0..prepost {
+                let _ = c.slab.take_free();
+            }
+        }
+
+        let user_level = self.cfg.scheme.is_user_level();
+
+        // Credit accounting for the consumed buffer: kinds the sender
+        // gates on credits earn a return (Eager, RndzStart). Optimistic
+        // starts count too: they *borrowed* a credit the sender did not
+        // have, and returning it lets a starved connection recover
+        // instead of degrading permanently (at most one loan is
+        // outstanding per connection, so credits exceed the pool only
+        // transiently and the hardware flow control absorbs it).
+        let consumes_credit = matches!(header.kind, MsgKind::Eager | MsgKind::RndzStart);
+        if user_level && consumes_credit {
+            self.conn_mut(peer).consumed_since_update += 1;
+        }
+
+        // Repost the slot immediately (paper §3.2).
+        self.repost_slot(peer, slot);
+
+        self.gate_and_dispatch(peer, header, payload);
+    }
+
+    /// Delivers a frame to the protocol layer in per-connection sequence
+    /// order. With the RDMA eager channel, data frames (ring) and control
+    /// frames (send/receive) travel on different channels of the same QP,
+    /// so a frame can reach software ahead of its predecessor; MPI
+    /// matching order requires holding it back.
+    fn gate_and_dispatch(&mut self, peer: Rank, header: MsgHeader, payload: Vec<u8>) {
+        if !self.cfg.rdma_eager_channel {
+            self.dispatch_frame(peer, header, payload);
+            return;
+        }
+        {
+            let c = self.conn_mut(peer);
+            if header.seq != c.next_deliver_seq {
+                debug_assert!(header.seq > c.next_deliver_seq, "duplicate frame");
+                c.reorder.insert(header.seq, (header, payload));
+                return;
+            }
+            c.next_deliver_seq += 1;
+        }
+        self.dispatch_frame(peer, header, payload);
+        loop {
+            let next = {
+                let c = self.conn_mut(peer);
+                let seq = c.next_deliver_seq;
+                match c.reorder.remove(&seq) {
+                    Some(f) => {
+                        c.next_deliver_seq += 1;
+                        Some(f)
+                    }
+                    None => None,
+                }
+            };
+            match next {
+                Some((h, p)) => self.dispatch_frame(peer, h, p),
+                None => break,
+            }
+        }
+    }
+
+    /// Protocol-level handling of one in-order frame.
+    fn dispatch_frame(&mut self, peer: Rank, header: MsgHeader, payload: Vec<u8>) {
+        let user_level = self.cfg.scheme.is_user_level();
+
+        // 1. Piggybacked credits (buffer credits and ring-slot returns).
+        if user_level && header.credits > 0 {
+            self.conn_mut(peer).apply_credits(header.credits as u32);
+        }
+        if self.cfg.rdma_eager_channel && header.ring_credits > 0 {
+            self.conn_mut(peer).ring_credits += header.ring_credits as u32;
+        }
+
+        // 2. Dynamic growth feedback.
+        if self.cfg.scheme == FlowControlScheme::UserDynamic && header.backlog_flag {
+            self.grow_pool(peer);
+        }
+
+        // 3. Protocol dispatch.
+        match header.kind {
+            MsgKind::Eager => {
+                let copy_cost = self
+                    .proc
+                    .with(|ctx| ctx.world.params().copy_time(payload.len()));
+                self.charge(copy_cost);
+                match self.match_posted(peer, header.tag, header.comm) {
+                    Some(req) => self.complete_eager_recv(req, peer, header.tag, payload),
+                    None => {
+                        self.stats.unexpected_msgs.incr();
+                        self.unexpected.push_back(Unexpected::Eager {
+                            src: peer,
+                            tag: header.tag,
+                            comm: header.comm,
+                            data: payload,
+                        });
+                    }
+                }
+            }
+            MsgKind::RndzStart => {
+                let data_len = header.data_len as usize;
+                match self.match_posted(peer, header.tag, header.comm) {
+                    Some(req) => self.accept_rndz(req, peer, header.tag, header.rndz_id, data_len),
+                    None => {
+                        self.stats.unexpected_msgs.incr();
+                        self.unexpected.push_back(Unexpected::Rndz {
+                            src: peer,
+                            tag: header.tag,
+                            comm: header.comm,
+                            rndz_id: header.rndz_id,
+                            data_len,
+                        });
+                    }
+                }
+            }
+            MsgKind::RndzReply => self.handle_rndz_reply(peer, &header),
+            MsgKind::RndzFin => self.handle_rndz_fin(&header),
+            MsgKind::Credit => {
+                // Credits were applied in step 1; nothing else to do.
+            }
+        }
+    }
+
+    /// Finds the first posted receive matching `(src, tag, comm)` and
+    /// removes it from the posted list.
+    fn match_posted(&mut self, src: Rank, tag: crate::types::Tag, comm: crate::types::CommCtx) -> Option<ReqId> {
+        let pos = self.posted_recvs.iter().position(|&rid| {
+            if let Request::Recv(r) = self.reqs.get(rid) {
+                r.comm == comm
+                    && crate::pt2pt::wildcard_match(r.src, src)
+                    && crate::pt2pt::wildcard_match(r.tag, tag)
+            } else {
+                false
+            }
+        })?;
+        Some(self.posted_recvs.remove(pos))
+    }
+
+    /// Completes an eager receive (payload already copied out of the slab).
+    pub(crate) fn complete_eager_recv(&mut self, req: ReqId, src: Rank, tag: crate::types::Tag, data: Vec<u8>) {
+        if let Request::Recv(r) = self.reqs.get_mut(req) {
+            r.status = Some(crate::types::Status { source: src, tag, len: data.len() });
+            r.data = Some(data);
+            r.state = RecvState::Done;
+        } else {
+            panic!("eager completion for non-recv request");
+        }
+    }
+
+    /// The receiver told us where to put rendezvous data: RDMA-write it,
+    /// then send fin (same QP, so ordering guarantees data-before-fin).
+    fn handle_rndz_reply(&mut self, peer: Rank, h: &MsgHeader) {
+        let req = ReqId(h.rndz_id as u32);
+        // A reply proves the receiver consumed and reposted our start's
+        // buffer: a starved connection may launch its next optimistic
+        // start (the end-of-progress backlog drain picks it up).
+        if self.conn(peer).optimistic_req == Some(req) {
+            self.conn_mut(peer).optimistic_req = None;
+        }
+        let data = match self.reqs.get_mut(req) {
+            Request::Send(s) => {
+                debug_assert_eq!(s.state, SendState::StartSent);
+                s.state = SendState::Writing;
+                s.data.clone()
+            }
+            _ => panic!("rndz reply for non-send request"),
+        };
+        let qp = self.conn(peer).qp;
+        let rkey = ibfabric::MrId::from_raw(h.rkey);
+        let remote_offset = h.remote_offset as usize;
+        let wr_id = crate::buffers::encode_wrid(WrKind::RndzWrite, req.0 as u64);
+        let cost = self.proc.with(|ctx| {
+            ibfabric::post_send(
+                ctx,
+                qp,
+                SendWr { wr_id, op: SendOp::RdmaWrite { payload: data.clone().into(), rkey, remote_offset }, signaled: true },
+            )
+            .expect("rdma write");
+            ctx.world.params().sw_post_cost * 2
+        });
+        self.charge(cost);
+        self.stats.rndz_bytes.add(data.len() as u64);
+        self.conn_mut(peer).stats.msgs_sent.incr(); // the data message
+        // Fin rides behind the data on the same QP.
+        let mut fin = self.make_header(peer, MsgKind::RndzFin);
+        fin.rndz_id = h.rndz_id;
+        fin.peer_req = h.peer_req;
+        self.post_frame(peer, &fin, &[], WrKind::CtrlSend);
+    }
+
+    /// Data landed (ordering guarantee) — copy out of staging and complete.
+    fn handle_rndz_fin(&mut self, h: &MsgHeader) {
+        let req = ReqId(h.peer_req as u32);
+        let (staging, len) = match self.reqs.get(req) {
+            Request::Recv(r) => {
+                debug_assert_eq!(r.state, RecvState::RndzInFlight);
+                (r.staging.expect("staging set"), r.rndz_len)
+            }
+            _ => panic!("rndz fin for non-recv request"),
+        };
+        let data = self.proc.with(|ctx| ctx.world.mr_bytes(staging)[..len].to_vec());
+        if let Request::Recv(r) = self.reqs.get_mut(req) {
+            r.data = Some(data);
+            r.state = RecvState::Done;
+        }
+    }
+
+    /// Dynamic scheme: the peer's sends waited in its backlog; grow the
+    /// pool of buffers we post for it (paper §4.3).
+    fn grow_pool(&mut self, peer: Rank) {
+        let max = self.cfg.max_prepost;
+        let growth = self.cfg.growth;
+        let (old, new) = {
+            let c = self.conn_mut(peer);
+            let old = c.prepost_target;
+            let new = match growth {
+                GrowthPolicy::Linear(k) => old.saturating_add(k).min(max),
+                GrowthPolicy::Exponential => old.saturating_mul(2).min(max),
+            };
+            c.prepost_target = new;
+            (old, new)
+        };
+        if new > old {
+            self.conn_mut(peer).stats.growth_events.incr();
+            for _ in 0..(new - old) {
+                self.post_one_recv_buffer(peer);
+            }
+            // Newly posted buffers are fresh credits for the peer.
+            self.conn_mut(peer).consumed_since_update += new - old;
+        }
+    }
+
+    /// Sends backlogged operations on every connection (see
+    /// [`MpiRank::drain_backlog_for`]).
+    fn drain_backlogs(&mut self) -> bool {
+        let mut any = false;
+        for peer in 0..self.size {
+            if peer != self.rank && self.conns[peer].is_some() {
+                any |= self.drain_backlog_for(peer);
+            }
+        }
+        any
+    }
+
+    /// Emits explicit credit returns for connections whose accumulated
+    /// count crossed the threshold and that piggybacking hasn't served.
+    /// (The count is cumulative across buffer recycles, so even a
+    /// single-buffer connection reaches the threshold; the optimistic
+    /// rendezvous conversion covers the window before it does.)
+    fn emit_credit_updates(&mut self) {
+        let threshold = self.cfg.ecm_threshold.max(1);
+        for peer in 0..self.size {
+            if peer == self.rank {
+                continue;
+            }
+            let Some(c) = self.conns[peer].as_ref() else { continue };
+            let ring_owed = self.cfg.rdma_eager_channel
+                && c.ring_consumed_since_update >= threshold.min(self.cfg.rdma_ring_slots);
+            if !c.established || (c.consumed_since_update < threshold && !ring_owed) {
+                continue;
+            }
+            match self.cfg.credit_msg_mode {
+                CreditMsgMode::Optimistic => {
+                    // Bypass flow control entirely (paper §4.2): always
+                    // postable, so no deadlock.
+                    let h = self.make_header(peer, MsgKind::Credit);
+                    debug_assert!(h.credits > 0);
+                    self.post_frame(peer, &h, &[], WrKind::Ecm);
+                    self.conn_mut(peer).stats.ecm_sent.incr();
+                }
+                CreditMsgMode::Rdma => {
+                    self.send_rdma_credit_update(peer);
+                }
+                CreditMsgMode::NaiveGated => {
+                    // The deliberately broken design: an explicit credit
+                    // message may itself only go out when we hold a credit.
+                    let c = self.conn_mut(peer);
+                    if c.credits > 0 {
+                        c.credits -= 1;
+                        let h = self.make_header(peer, MsgKind::Credit);
+                        self.post_frame(peer, &h, &[], WrKind::Ecm);
+                        self.conn_mut(peer).stats.ecm_sent.incr();
+                    }
+                    // else: starve — this is how the deadlock demo dies.
+                }
+            }
+        }
+    }
+
+    /// Polls every connection's incoming RDMA eager-channel ring.
+    fn poll_rings(&mut self) -> bool {
+        use crate::buffers::{RING_MARKER, RING_MARKER_OFFSET};
+        let mut any = false;
+        let buf_size = self.cfg.buf_size;
+        let slots = self.cfg.rdma_ring_slots;
+        for peer in 0..self.size {
+            if peer == self.rank || self.conns[peer].is_none() {
+                continue;
+            }
+            loop {
+                let (mr, slot) = {
+                    let c = self.conn(peer);
+                    (c.my_ring, c.ring_read_slot)
+                };
+                let offset = slot as usize * buf_size;
+                let frame = self.proc.with(|ctx| {
+                    let bytes = &ctx.world.mr_bytes(mr)[offset..offset + buf_size];
+                    if bytes[RING_MARKER_OFFSET] != RING_MARKER {
+                        return None;
+                    }
+                    let header = MsgHeader::decode(bytes);
+                    let payload = bytes[HEADER_LEN..HEADER_LEN + header.payload_len as usize].to_vec();
+                    Some((header, payload))
+                });
+                let Some((header, payload)) = frame else { break };
+                // Clear the marker: the slot is free once the return
+                // reaches the sender.
+                self.proc.with(|ctx| {
+                    ctx.world.mr_bytes_mut(mr)[offset + RING_MARKER_OFFSET] = 0;
+                });
+                // A short polled-discovery cost (no CQE, no repost) — the
+                // source of the RDMA channel's latency advantage.
+                let cost = self
+                    .proc
+                    .with(|ctx| ctx.world.params().copy_time(HEADER_LEN + payload.len()))
+                    + ibsim::SimDuration::nanos(100);
+                self.charge(cost);
+                {
+                    let c = self.conn_mut(peer);
+                    c.ring_read_slot = (slot + 1) % slots;
+                    c.ring_consumed_since_update += 1;
+                }
+                self.stats.msgs_received.incr();
+                self.gate_and_dispatch(peer, header, payload);
+                any = true;
+            }
+        }
+        any
+    }
+
+    /// RDMA credit path: bump the cumulative counter in the peer's mailbox.
+    fn send_rdma_credit_update(&mut self, peer: Rank) {
+        let (qp, mailbox, buf_total, ring_total) = {
+            let c = self.conn_mut(peer);
+            c.mailbox_sent_total += c.consumed_since_update as u64;
+            c.consumed_since_update = 0;
+            c.ring_mailbox_sent_total += c.ring_consumed_since_update as u64;
+            c.ring_consumed_since_update = 0;
+            (c.qp, c.peer_mailbox, c.mailbox_sent_total, c.ring_mailbox_sent_total)
+        };
+        let mut payload = Vec::with_capacity(16);
+        payload.extend_from_slice(&buf_total.to_le_bytes());
+        payload.extend_from_slice(&ring_total.to_le_bytes());
+        let wr_id = crate::buffers::encode_wrid(WrKind::CreditRdma, peer as u64);
+        let cost = self.proc.with(|ctx| {
+            ibfabric::post_send(
+                ctx,
+                qp,
+                SendWr {
+                    wr_id,
+                    op: SendOp::RdmaWrite { payload: payload.into(), rkey: mailbox, remote_offset: 0 },
+                    signaled: true,
+                },
+            )
+            .expect("credit rdma");
+            ctx.world.params().sw_post_cost
+        });
+        self.charge(cost);
+        self.outstanding_ctrl += 1;
+        let c = self.conn_mut(peer);
+        c.stats.rdma_credit_updates.incr();
+        c.stats.msgs_sent.incr();
+    }
+
+    /// Reads every connection's incoming credit mailbox.
+    fn poll_credit_mailboxes(&mut self) -> bool {
+        let mut any = false;
+        for peer in 0..self.size {
+            if peer == self.rank {
+                continue;
+            }
+            let Some(c) = self.conns[peer].as_ref() else { continue };
+            let mailbox = c.my_mailbox;
+            let seen = c.mailbox_seen;
+            let ring_seen = c.ring_mailbox_seen;
+            let (current, ring_current) = self.proc.with(|ctx| {
+                let b = ctx.world.mr_bytes(mailbox);
+                (
+                    u64::from_le_bytes(b[..8].try_into().unwrap()),
+                    u64::from_le_bytes(b[8..16].try_into().unwrap()),
+                )
+            });
+            if current > seen {
+                let delta = (current - seen) as u32;
+                let c = self.conn_mut(peer);
+                c.mailbox_seen = current;
+                c.apply_credits(delta);
+                any = true;
+            }
+            if ring_current > ring_seen {
+                let delta = (ring_current - ring_seen) as u32;
+                let c = self.conn_mut(peer);
+                c.ring_mailbox_seen = ring_current;
+                c.ring_credits += delta;
+                any = true;
+            }
+        }
+        any
+    }
+}
+

@@ -1,0 +1,636 @@
+//! Point-to-point operations: eager/rendezvous issue, matching, waiting.
+
+use crate::buffers::WrKind;
+use crate::config::FlowControlScheme;
+use crate::rank::{MpiRank, Unexpected};
+use crate::regcache::BufKey;
+use crate::requests::{RecvReq, RecvState, ReqId, Request, SendReq, SendState};
+use crate::scalar::{decode_into, encode_slice, Scalar};
+use crate::types::{CommCtx, Rank, Status, Tag, WORLD_CTX};
+use crate::wire::MsgKind;
+
+impl MpiRank {
+    // ------------------------------------------------------------------
+    // Public point-to-point API (world communicator).
+    // ------------------------------------------------------------------
+
+    /// Non-blocking send of `data` to `dst` with `tag` on the world
+    /// communicator.
+    pub fn isend(&mut self, data: &[u8], dst: Rank, tag: Tag) -> ReqId {
+        self.isend_ctx(data, dst, tag, WORLD_CTX)
+    }
+
+    /// Synchronous-mode send (`MPI_Ssend`, paper §3.1): completes only
+    /// once the receiver has started receiving — implemented, as the
+    /// paper describes, by forcing the rendezvous protocol regardless of
+    /// message size.
+    pub fn ssend(&mut self, data: &[u8], dst: Rank, tag: Tag) {
+        assert!(dst < self.size, "rank {dst} out of range");
+        assert_ne!(dst, self.rank, "self-sends are not supported at the transport level");
+        let req = self.reqs.insert(Request::Send(SendReq {
+            dst,
+            tag,
+            comm: WORLD_CTX,
+            state: SendState::Done, // set by the gated issue below
+            data: data.to_vec(),
+            ptr_key: data.as_ptr() as usize,
+            was_backlogged: false,
+            buffered: false,
+            detached: false,
+        }));
+        self.ensure_established(dst);
+        // Rendezvous unconditionally: the reply proves the receiver
+        // matched, which is the synchronous-mode guarantee.
+        let c = self.conn(dst);
+        if self.cfg.scheme.is_user_level() && (c.credits == 0 || !c.backlog.is_empty()) {
+            if let Request::Send(sr) = self.reqs.get_mut(req) {
+                sr.state = SendState::Backlogged;
+                sr.was_backlogged = true;
+            }
+            self.conn_mut(dst).backlog.push_back(req);
+            self.conn_mut(dst).stats.backlogged.incr();
+            self.drain_backlog_for(dst);
+        } else {
+            if self.cfg.scheme.is_user_level() {
+                self.conn_mut(dst).credits -= 1;
+            }
+            self.start_rndz(req, false);
+        }
+        self.wait(req);
+    }
+
+    /// Buffered-mode send (`MPI_Bsend`, paper §3.1): always returns as
+    /// soon as the payload is copied out of the caller's buffer. Small
+    /// messages already behave this way; large ones are snapshotted here
+    /// (the simulator's stand-in for the attached buffer) and complete in
+    /// the background.
+    pub fn bsend(&mut self, data: &[u8], dst: Rank, tag: Tag) {
+        let req = self.isend(data, dst, tag);
+        // Copy cost for the buffered snapshot of a large payload.
+        if data.len() > self.cfg.eager_threshold {
+            let cost = self.proc.with(|ctx| ctx.world.params().copy_time(data.len()));
+            self.charge(cost);
+            if let Request::Send(s) = self.reqs.get_mut(req) {
+                s.buffered = true;
+            }
+        }
+        self.wait(req);
+    }
+
+    /// Ready-mode send (`MPI_Rsend`, paper §3.1): the caller asserts the
+    /// matching receive is already posted, which makes the eager path
+    /// unconditionally safe; semantically identical to [`MpiRank::send`]
+    /// here (the assertion is the *application's* contract).
+    pub fn rsend(&mut self, data: &[u8], dst: Rank, tag: Tag) {
+        self.send(data, dst, tag);
+    }
+
+    /// Blocking send (`MPI_Send`): returns when the buffer is reusable —
+    /// immediately for eager transfers, after the zero-copy data movement
+    /// for rendezvous (including credit-starved conversions).
+    pub fn send(&mut self, data: &[u8], dst: Rank, tag: Tag) {
+        let req = self.isend(data, dst, tag);
+        self.wait(req);
+    }
+
+    /// Non-blocking receive (`MPI_Irecv`) with optional source/tag
+    /// wildcards. The payload is taken with [`MpiRank::wait_recv`].
+    pub fn irecv(&mut self, src: Option<Rank>, tag: Option<Tag>) -> ReqId {
+        self.irecv_ctx(src, tag, WORLD_CTX, None)
+    }
+
+    /// Blocking receive returning the status and payload.
+    pub fn recv(&mut self, src: Option<Rank>, tag: Option<Tag>) -> (Status, Vec<u8>) {
+        let req = self.irecv(src, tag);
+        self.wait_recv(req)
+    }
+
+    /// Blocking receive into an existing buffer; its identity feeds the
+    /// pin-down cache so iterative applications pin once. Returns the
+    /// status; panics if the message is larger than `buf`.
+    pub fn recv_into(&mut self, buf: &mut [u8], src: Option<Rank>, tag: Option<Tag>) -> Status {
+        let key = BufKey::of(buf);
+        let req = self.irecv_ctx(src, tag, WORLD_CTX, Some(key.ptr));
+        let (status, data) = self.wait_recv(req);
+        assert!(data.len() <= buf.len(), "message ({}) larger than buffer ({})", data.len(), buf.len());
+        buf[..data.len()].copy_from_slice(&data);
+        status
+    }
+
+    /// Typed send of a scalar slice.
+    pub fn send_scalars<T: Scalar>(&mut self, data: &[T], dst: Rank, tag: Tag) {
+        let bytes = encode_slice(data);
+        self.send(&bytes, dst, tag);
+    }
+
+    /// Typed non-blocking send of a scalar slice.
+    pub fn isend_scalars<T: Scalar>(&mut self, data: &[T], dst: Rank, tag: Tag) -> ReqId {
+        let bytes = encode_slice(data);
+        self.isend(&bytes, dst, tag)
+    }
+
+    /// Typed blocking receive into an existing slice (exact length).
+    pub fn recv_scalars_into<T: Scalar>(&mut self, out: &mut [T], src: Option<Rank>, tag: Option<Tag>) -> Status {
+        let key = out.as_ptr() as usize;
+        let req = self.irecv_ctx(src, tag, WORLD_CTX, Some(key));
+        let (status, data) = self.wait_recv(req);
+        decode_into(&data, out);
+        status
+    }
+
+    /// Combined send+receive (`MPI_Sendrecv`), deadlock-free.
+    pub fn sendrecv(
+        &mut self,
+        data: &[u8],
+        dst: Rank,
+        send_tag: Tag,
+        src: Option<Rank>,
+        recv_tag: Option<Tag>,
+    ) -> (Status, Vec<u8>) {
+        let rreq = self.irecv(src, recv_tag);
+        let sreq = self.isend(data, dst, send_tag);
+        self.wait(sreq);
+        self.wait_recv(rreq)
+    }
+
+    /// Is a matching message already here? Non-blocking probe.
+    pub fn iprobe(&mut self, src: Option<Rank>, tag: Option<Tag>) -> Option<Status> {
+        self.progress();
+        self.unexpected.iter().find_map(|u| {
+            let (usrc, utag, ucomm) = u.envelope();
+            if ucomm != WORLD_CTX || !wildcard_match(src, usrc) || !wildcard_match(tag, utag) {
+                return None;
+            }
+            let len = match u {
+                Unexpected::Eager { data, .. } => data.len(),
+                Unexpected::Rndz { data_len, .. } => *data_len,
+            };
+            Some(Status { source: usrc, tag: utag, len })
+        })
+    }
+
+    /// Blocks until `req` completes (`MPI_Wait`) and releases it. For
+    /// receives this *discards* the payload — use [`MpiRank::wait_recv`]
+    /// to take it.
+    pub fn wait(&mut self, req: ReqId) {
+        loop {
+            self.progress();
+            if self.reqs.get(req).is_done() {
+                break;
+            }
+            self.block_for_progress("MPI_Wait");
+        }
+        match self.reqs.get_mut(req) {
+            Request::Send(s) if s.state == SendState::Done => {
+                self.reqs.remove(req);
+            }
+            Request::Send(s) => {
+                // Buffered operation whose transport is still in flight:
+                // the progress engine frees the slot later.
+                s.detached = true;
+            }
+            Request::Recv(_) => {
+                // Completed receive waited on without `wait_recv`: the
+                // request must still be released or finalize would see a
+                // leaked slot.
+                self.reqs.remove(req);
+            }
+        }
+    }
+
+    /// Blocks until all requests complete (`MPI_Waitall`).
+    pub fn waitall(&mut self, reqs: &[ReqId]) {
+        for &r in reqs {
+            // Re-polling completed requests is cheap; order is irrelevant.
+            match self.reqs.get(r) {
+                Request::Send(_) => self.wait(r),
+                Request::Recv(_) => {
+                    // Keep recv requests alive for wait_recv? No: waitall
+                    // discards payloads, callers use it for sends or
+                    // recv_into-style flows.
+                    let (_s, _d) = self.wait_recv(r);
+                }
+            }
+        }
+    }
+
+    /// Blocks until the receive completes and returns `(status, payload)`.
+    pub fn wait_recv(&mut self, req: ReqId) -> (Status, Vec<u8>) {
+        loop {
+            self.progress();
+            if self.reqs.get(req).is_done() {
+                break;
+            }
+            let note = if let Request::Recv(r) = self.reqs.get(req) {
+                let fabric_info = if let Some(src) = r.src {
+                    if src != self.rank {
+                        let my_qp = self.conn(src).qp;
+                        let peer_qp = self.peer_qp_of(src);
+                        self.proc.with(|ctx| {
+                            let mine = ctx.world.qp(my_qp);
+                            let theirs = ctx.world.qp(peer_qp);
+                            format!(
+                                "my_rq={} my_expected={} peer_sq={} peer_inflight={}",
+                                mine.posted_recvs(),
+                                mine.queued_sends(),
+                                theirs.queued_sends(),
+                                theirs.inflight_msgs()
+                            )
+                        })
+                    } else {
+                        String::new()
+                    }
+                } else {
+                    String::new()
+                };
+                format!(
+                    "MPI_Wait(recv) src={:?} tag={:?} state={:?} unexp={} | {} | conns: {}",
+                    r.src,
+                    r.tag,
+                    r.state,
+                    self.unexpected.len(),
+                    fabric_info,
+                    self.conn_debug_summary()
+                )
+            } else {
+                "MPI_Wait(recv)".to_string()
+            };
+            self.block_for_progress(&note);
+        }
+        match self.reqs.remove(req) {
+            Request::Recv(r) => {
+                let status = r.status.expect("done recv has status");
+                let data = r.data.expect("done recv has data");
+                // Copy-out cost for eager payloads was charged at match
+                // time; rendezvous is zero-copy.
+                (status, data)
+            }
+            Request::Send(_) => panic!("wait_recv on a send request"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Communicator-aware internals (used by Comm and collectives).
+    // ------------------------------------------------------------------
+
+    pub(crate) fn isend_ctx(&mut self, data: &[u8], dst: Rank, tag: Tag, comm: CommCtx) -> ReqId {
+        assert!(dst < self.size, "rank {dst} out of range");
+        assert_ne!(dst, self.rank, "self-sends are not supported at the transport level");
+        let req = self.reqs.insert(Request::Send(SendReq {
+            dst,
+            tag,
+            comm,
+            state: SendState::Done, // set properly by issue_send
+            data: data.to_vec(),
+            ptr_key: data.as_ptr() as usize,
+            was_backlogged: false,
+            buffered: false,
+            detached: false,
+        }));
+        self.issue_send(req);
+        req
+    }
+
+    pub(crate) fn irecv_ctx(
+        &mut self,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        comm: CommCtx,
+        ptr_key: Option<usize>,
+    ) -> ReqId {
+        let req = self.reqs.insert(Request::Recv(RecvReq {
+            src,
+            tag,
+            comm,
+            state: RecvState::Posted,
+            data: None,
+            status: None,
+            ptr_key,
+            staging: None,
+            rndz_len: 0,
+        }));
+        // Try the unexpected queue first (arrival order preserves the
+        // per-source ordering MPI requires).
+        if let Some(pos) = self.unexpected.iter().position(|u| {
+            let (usrc, utag, ucomm) = u.envelope();
+            ucomm == comm && wildcard_match(src, usrc) && wildcard_match(tag, utag)
+        }) {
+            let u = self.unexpected.remove(pos).expect("position valid");
+            match u {
+                Unexpected::Eager { src, tag, data, .. } => self.complete_eager_recv(req, src, tag, data),
+                Unexpected::Rndz { src, tag, rndz_id, data_len, .. } => {
+                    self.accept_rndz(req, src, tag, rndz_id, data_len)
+                }
+            }
+        } else {
+            self.posted_recvs.push(req);
+        }
+        req
+    }
+
+    /// Routes a send request through the active flow control scheme.
+    pub(crate) fn issue_send(&mut self, req: ReqId) {
+        self.ensure_established(match self.reqs.get(req) {
+            Request::Send(s) => s.dst,
+            _ => unreachable!(),
+        });
+        let (dst, len) = match self.reqs.get(req) {
+            Request::Send(s) => (s.dst, s.data.len()),
+            _ => unreachable!(),
+        };
+        let eager_ok = len <= self.cfg.eager_threshold;
+        match self.cfg.scheme {
+            FlowControlScheme::Hardware => {
+                // No MPI-level accounting: post immediately; the HCA's
+                // end-to-end flow control and RNR retries do the rest.
+                if eager_ok {
+                    self.send_eager(req);
+                } else {
+                    self.start_rndz(req, false);
+                }
+            }
+            FlowControlScheme::UserStatic | FlowControlScheme::UserDynamic => {
+                // RDMA eager channel: small frames go through the ring
+                // while slots last; a full ring converts the message to
+                // rendezvous exactly like credit starvation does.
+                if self.cfg.rdma_eager_channel && eager_ok {
+                    let c = self.conn(dst);
+                    if c.backlog.is_empty() && c.ring_credits > 0 {
+                        self.conn_mut(dst).ring_credits -= 1;
+                        self.send_eager_ring(req);
+                        return;
+                    }
+                }
+                let eager_ok = eager_ok && !self.cfg.rdma_eager_channel;
+                let c = self.conn(dst);
+                if c.backlog.is_empty() && c.credits > 0 {
+                    self.conn_mut(dst).credits -= 1;
+                    if eager_ok {
+                        self.send_eager(req);
+                    } else {
+                        self.start_rndz(req, false);
+                    }
+                } else {
+                    // No credits (or older sends already queued — MPI
+                    // ordering): the operation switches to the rendezvous
+                    // protocol regardless of size (paper §4.2: "when there
+                    // are no credits, only Rendezvous protocol is used")
+                    // and joins the backlog. Eager-size payloads are still
+                    // copied into pre-pinned buffers at post time, so the
+                    // *user-visible* operation completes immediately
+                    // (MPICH-lineage eager semantics); only the transport
+                    // pays the conversion.
+                    let buffered = eager_ok;
+                    if buffered {
+                        let copy_cost = self.proc.with(|ctx| {
+                            ctx.world.params().copy_time(crate::wire::HEADER_LEN + len)
+                        });
+                        self.charge(copy_cost);
+                    }
+                    if let Request::Send(s) = self.reqs.get_mut(req) {
+                        s.state = SendState::Backlogged;
+                        s.was_backlogged = true;
+                        s.buffered = buffered;
+                    }
+                    self.conn_mut(dst).backlog.push_back(req);
+                    self.conn_mut(dst).stats.backlogged.incr();
+                    self.drain_backlog_for(dst);
+                }
+            }
+        }
+    }
+
+    /// Eager path: header + payload in one pre-pinned buffer send.
+    pub(crate) fn send_eager(&mut self, req: ReqId) {
+        let (dst, tag, comm, len, flagged) = match self.reqs.get(req) {
+            Request::Send(s) => (s.dst, s.tag, s.comm, s.data.len(), s.was_backlogged),
+            _ => unreachable!(),
+        };
+        let mut h = self.make_header(dst, MsgKind::Eager);
+        h.tag = tag;
+        h.comm = comm;
+        h.payload_len = len as u32;
+        h.backlog_flag = flagged;
+        let data = match self.reqs.get(req) {
+            Request::Send(s) => s.data.clone(),
+            _ => unreachable!(),
+        };
+        let copy_cost =
+            self.proc.with(|ctx| ctx.world.params().copy_time(crate::wire::HEADER_LEN + len));
+        self.charge(copy_cost);
+        self.post_frame(dst, &h, &data, WrKind::CtrlSend);
+        let c = self.conn_mut(dst);
+        c.stats.eager_sent.incr();
+        self.stats.eager_bytes.add(len as u64);
+        if let Request::Send(s) = self.reqs.get_mut(req) {
+            s.state = SendState::Done;
+        }
+    }
+
+    /// RDMA eager channel variant of the eager path: the frame is
+    /// RDMA-written into the peer's ring instead of posted as a send.
+    fn send_eager_ring(&mut self, req: ReqId) {
+        let (dst, tag, comm, len) = match self.reqs.get(req) {
+            Request::Send(s) => (s.dst, s.tag, s.comm, s.data.len()),
+            _ => unreachable!(),
+        };
+        let mut h = self.make_header(dst, MsgKind::Eager);
+        h.tag = tag;
+        h.comm = comm;
+        h.payload_len = len as u32;
+        let data = match self.reqs.get(req) {
+            Request::Send(s) => s.data.clone(),
+            _ => unreachable!(),
+        };
+        self.post_ring_frame(dst, &h, &data);
+        self.stats.eager_bytes.add(len as u64);
+        if let Request::Send(s) = self.reqs.get_mut(req) {
+            s.state = SendState::Done;
+        }
+    }
+
+    /// Rendezvous start: pin the user buffer (cache-aware) and send the
+    /// envelope. Carries the backlog feedback flag for the dynamic scheme.
+    /// `optimistic` marks the credit-less start a starved connection is
+    /// allowed to keep in flight.
+    pub(crate) fn start_rndz(&mut self, req: ReqId, optimistic: bool) {
+        let (dst, tag, comm, len, ptr_key, flagged) = match self.reqs.get(req) {
+            Request::Send(s) => (s.dst, s.tag, s.comm, s.data.len(), s.ptr_key, s.was_backlogged),
+            _ => unreachable!(),
+        };
+        if optimistic {
+            debug_assert!(self.conn(dst).optimistic_req.is_none());
+            self.conn_mut(dst).optimistic_req = Some(req);
+        }
+        // Pin-down cache: charge registration on a miss. Two keys give a
+        // hit — the user buffer's own identity (persistent application
+        // buffers, the cache's classic win) or the per-(destination,
+        // size-class) staging slot that models the registered send pools
+        // era MPIs kept for transient buffers.
+        let class_len = len.max(1).next_power_of_two();
+        let slot_key = 0x4000_0000_0000 + (dst << 40) + class_len;
+        let cost = {
+            let regcache = &mut self.regcache;
+            self.proc.with(|ctx| {
+                let (_, by_ptr) =
+                    regcache.acquire_probe(ctx.world, BufKey { ptr: ptr_key, len }, len.max(1));
+                if by_ptr == ibsim::SimDuration::ZERO {
+                    by_ptr
+                } else {
+                    let (_, c) = regcache
+                        .acquire(ctx.world, BufKey { ptr: slot_key, len: class_len }, class_len);
+                    c
+                }
+            })
+        };
+        self.charge(cost);
+        let mut h = self.make_header(dst, MsgKind::RndzStart);
+        h.tag = tag;
+        h.comm = comm;
+        h.rndz_id = req.0 as u64;
+        h.data_len = len as u64;
+        h.backlog_flag = flagged;
+        h.no_credit = optimistic;
+        self.post_frame(dst, &h, &[], WrKind::CtrlSend);
+        self.conn_mut(dst).stats.rndz_sent.incr();
+        if let Request::Send(s) = self.reqs.get_mut(req) {
+            s.state = SendState::StartSent;
+        }
+    }
+
+    /// Sends backlogged operations for one connection: normal protocol
+    /// while credits allow, then at most one credit-less rendezvous start
+    /// whose handshake will bring credits back (paper §4.2's reading of
+    /// "when there are no credits, only Rendezvous protocol is used").
+    pub(crate) fn drain_backlog_for(&mut self, peer: Rank) -> bool {
+        let mut any = false;
+        loop {
+            let c = self.conn(peer);
+            if c.backlog.is_empty() {
+                break;
+            }
+            if c.credits > 0 {
+                let req = {
+                    let c = self.conn_mut(peer);
+                    c.credits -= 1;
+                    c.backlog.pop_front().expect("non-empty")
+                };
+                // The protocol was decided at issue time: backlogged
+                // operations are rendezvous, whatever their size.
+                self.start_rndz(req, false);
+                any = true;
+            } else if self.cfg.credit_msg_mode != crate::config::CreditMsgMode::NaiveGated
+                && !self.cfg.rdma_eager_channel
+                && c.optimistic_req.is_none()
+            {
+                // Zero credits: the paper's "when there are no credits,
+                // only Rendezvous protocol is used" — one credit-less
+                // start may fly; its handshake returns credits even when
+                // the accumulated count at the receiver is still below
+                // the explicit-credit threshold. This is the progress
+                // guarantee; the deliberately broken NaiveGated mode
+                // omits it (and gates credit messages) to demonstrate
+                // the deadlock the optimistic design avoids.
+                let req = self.conn_mut(peer).backlog.pop_front().expect("non-empty");
+                self.start_rndz(req, true);
+                any = true;
+            } else {
+                break;
+            }
+        }
+        any
+    }
+
+    /// Matches a rendezvous start with a posted receive: pin the
+    /// destination and send the reply carrying its rkey.
+    pub(crate) fn accept_rndz(&mut self, req: ReqId, src: Rank, tag: Tag, rndz_id: u64, data_len: usize) {
+        let ptr_key = match self.reqs.get(req) {
+            Request::Recv(r) => r.ptr_key,
+            _ => unreachable!(),
+        };
+        // Staging region for the zero-copy write. When the caller supplied
+        // a persistent buffer its identity keys the pin-down cache; for
+        // allocate-on-receive calls we key a per-(source, size-class)
+        // staging slot instead — applications and collectives of this era
+        // reuse their receive areas, so steady-state rendezvous must not
+        // pay registration every time.
+        let (staging, cost) = {
+            let class_len = data_len.max(1).next_power_of_two();
+            let key = match ptr_key {
+                Some(p) => BufKey { ptr: p, len: data_len },
+                None => BufKey { ptr: 0x8000_0000_0000 + (src << 40) + class_len, len: class_len },
+            };
+            let alloc = if ptr_key.is_some() { data_len.max(1) } else { class_len };
+            let regcache = &mut self.regcache;
+            self.proc.with(|ctx| regcache.acquire(ctx.world, key, alloc))
+        };
+        self.charge(cost);
+        if let Request::Recv(r) = self.reqs.get_mut(req) {
+            r.state = RecvState::RndzInFlight;
+            r.staging = Some(staging);
+            r.rndz_len = data_len;
+            r.status = Some(Status { source: src, tag, len: data_len });
+        }
+        let mut h = self.make_header(src, MsgKind::RndzReply);
+        h.rndz_id = rndz_id;
+        h.peer_req = req.0 as u64;
+        h.rkey = staging.as_raw();
+        h.remote_offset = 0;
+        h.data_len = data_len as u64;
+        self.post_frame(src, &h, &[], WrKind::CtrlSend);
+    }
+
+    /// Parks the thread until fabric activity can have changed our state.
+    ///
+    /// Ordering matters to avoid a lost wakeup: the waker is registered
+    /// *before* the accumulated software cost is flushed (flushing lets
+    /// virtual time pass, during which completions can land). Anything
+    /// that arrived during the flush is drained by one more progress
+    /// sweep; only a genuinely idle endpoint parks.
+    pub(crate) fn block_for_progress(&mut self, what: &str) {
+        let w = self.proc.waker();
+        let cq = self.cq;
+        let node = self.node;
+        self.proc.with(|ctx| {
+            ctx.world.req_notify_cq(cq, w);
+            ctx.world.watch_rdma(node, w);
+        });
+        self.flush_charge();
+        if self.progress() {
+            // State changed while time passed: let the caller re-check its
+            // predicate instead of parking.
+            return;
+        }
+        self.proc.park(what);
+    }
+
+    /// Spins progress until `pred` holds.
+    pub(crate) fn wait_until(&mut self, pred: impl Fn(&MpiRank) -> bool, what: &str) {
+        loop {
+            self.progress();
+            if pred(self) {
+                return;
+            }
+            self.block_for_progress(what);
+        }
+    }
+}
+
+pub(crate) fn wildcard_match<T: PartialEq>(want: Option<T>, got: T) -> bool {
+    match want {
+        None => true,
+        Some(w) => w == got,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wildcard_semantics() {
+        assert!(wildcard_match(None::<i32>, 5));
+        assert!(wildcard_match(Some(5), 5));
+        assert!(!wildcard_match(Some(4), 5));
+    }
+}

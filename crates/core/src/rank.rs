@@ -1,0 +1,424 @@
+//! The per-process MPI endpoint: state, construction, and shared helpers.
+
+use crate::buffers::{encode_wrid, WrKind};
+use crate::config::MpiConfig;
+use crate::conn::Conn;
+use crate::regcache::RegCache;
+use crate::requests::ReqTable;
+use crate::stats::RankStats;
+use crate::types::{CommCtx, Rank, Tag};
+use crate::wire::{MsgHeader, MsgKind};
+use ibfabric::{CqId, Fabric, NodeId, QpId, RecvWr, SendOp, SendWr};
+use ibsim::{ProcCtx, SimDuration};
+use std::collections::{HashMap, VecDeque};
+
+/// A message that arrived before a matching receive was posted.
+#[derive(Debug)]
+pub(crate) enum Unexpected {
+    Eager { src: Rank, tag: Tag, comm: CommCtx, data: Vec<u8> },
+    Rndz { src: Rank, tag: Tag, comm: CommCtx, rndz_id: u64, data_len: usize },
+}
+
+impl Unexpected {
+    pub fn envelope(&self) -> (Rank, Tag, CommCtx) {
+        match self {
+            Unexpected::Eager { src, tag, comm, .. } => (*src, *tag, *comm),
+            Unexpected::Rndz { src, tag, comm, .. } => (*src, *tag, *comm),
+        }
+    }
+}
+
+/// Everything the world bootstrap prepares for one rank before its thread
+/// starts (see [`crate::MpiWorld`]).
+pub(crate) struct RankSetup {
+    pub rank: Rank,
+    pub size: usize,
+    pub node: NodeId,
+    pub cq: CqId,
+    pub conns: Vec<Option<Conn>>,
+    pub cfg: MpiConfig,
+}
+
+/// One MPI process: the handle rank bodies receive.
+///
+/// All communication goes through this struct. Methods that block do so on
+/// the *virtual* clock; the process thread parks while fabric events flow.
+pub struct MpiRank {
+    pub(crate) proc: ProcCtx<Fabric>,
+    pub(crate) rank: Rank,
+    pub(crate) size: usize,
+    pub(crate) cfg: MpiConfig,
+    pub(crate) node: NodeId,
+    pub(crate) cq: CqId,
+    /// Per-peer connections (the self slot is `None`).
+    pub(crate) conns: Vec<Option<Conn>>,
+    pub(crate) qp_to_peer: HashMap<QpId, Rank>,
+    pub(crate) reqs: ReqTable,
+    /// Posted receives in matching order.
+    pub(crate) posted_recvs: Vec<crate::requests::ReqId>,
+    pub(crate) unexpected: VecDeque<Unexpected>,
+    pub(crate) regcache: RegCache,
+    pub(crate) stats: RankStats,
+    /// Control/eager sends posted whose completions are still outstanding.
+    pub(crate) outstanding_ctrl: u64,
+    /// Map rndz_id -> live send request (sanity: rndz_id IS the req id).
+    /// Accumulated software cost, charged as process time at the next
+    /// blocking point.
+    pub(crate) pending_charge: SimDuration,
+    /// Next communicator context id this rank will assign (kept in
+    /// lockstep across ranks by collective call ordering).
+    pub(crate) next_ctx: CommCtx,
+    /// Per-communicator collective sequence numbers (tag disambiguation).
+    pub(crate) coll_seq: HashMap<CommCtx, u32>,
+}
+
+impl MpiRank {
+    pub(crate) fn new(proc: ProcCtx<Fabric>, setup: RankSetup) -> Self {
+        let regcache = RegCache::new(setup.node, setup.cfg.regcache_capacity);
+        MpiRank {
+            proc,
+            rank: setup.rank,
+            size: setup.size,
+            node: setup.node,
+            cq: setup.cq,
+            qp_to_peer: setup
+                .conns
+                .iter()
+                .flatten()
+                .map(|c| (c.qp, c.peer))
+                .collect(),
+            conns: setup.conns,
+            cfg: setup.cfg,
+            reqs: ReqTable::default(),
+            posted_recvs: Vec::new(),
+            unexpected: VecDeque::new(),
+            regcache,
+            stats: RankStats::new(setup.size),
+            outstanding_ctrl: 0,
+            pending_charge: SimDuration::ZERO,
+            next_ctx: 1,
+            coll_seq: HashMap::new(),
+        }
+    }
+
+    /// This process's rank in the world.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Number of processes in the world.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> ibsim::SimTime {
+        self.proc.now()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MpiConfig {
+        &self.cfg
+    }
+
+    /// Lets `dt` of virtual time pass, modelling application compute.
+    pub fn compute(&mut self, dt: SimDuration) {
+        self.flush_charge();
+        self.proc.advance(dt);
+    }
+
+    pub(crate) fn charge(&mut self, dt: SimDuration) {
+        self.pending_charge += dt;
+    }
+
+    pub(crate) fn flush_charge(&mut self) {
+        if self.pending_charge > SimDuration::ZERO {
+            let dt = self.pending_charge;
+            self.pending_charge = SimDuration::ZERO;
+            self.proc.advance(dt);
+        }
+    }
+
+    pub(crate) fn conn(&self, peer: Rank) -> &Conn {
+        self.conns[peer].as_ref().expect("no connection to self")
+    }
+
+    pub(crate) fn conn_mut(&mut self, peer: Rank) -> &mut Conn {
+        self.conns[peer].as_mut().expect("no connection to self")
+    }
+
+    /// Ensures the connection to `peer` is established (no-op unless
+    /// on-demand connections are enabled).
+    pub(crate) fn ensure_established(&mut self, peer: Rank) {
+        if self.conn(peer).established {
+            return;
+        }
+        if !self.cfg.on_demand_connections {
+            // Eager mode: world bootstrap connected everything.
+            self.conn_mut(peer).established = true;
+            return;
+        }
+        // On-demand connection setup (related work [23]): first message to
+        // this peer pays the handshake cost, the fabric QPs connect, and
+        // both sides' initial buffers get posted.
+        let my_qp = self.conn(peer).qp;
+        let prepost = self.cfg.prepost;
+        let connect_cost = self.proc.with(|ctx| ctx.world.params().connect_cost);
+        self.charge(connect_cost);
+        let needs_fabric_connect = self.proc.with(|ctx| {
+            ctx.world.qp(my_qp).state() == ibfabric::QpState::Reset
+        });
+        if needs_fabric_connect {
+            // Find the peer's QP back to us via its peer pointer being
+            // unset: the world bootstrap recorded it pairwise, so derive it
+            // from our setup table.
+            let peer_qp = self.peer_qp_of(peer);
+            self.proc.with(|ctx| ibfabric::connect(ctx, my_qp, peer_qp));
+            // Post both sides' initial buffer pools. Ours through the
+            // normal path; the peer's directly into the fabric (its Conn
+            // bookkeeping catches up when it sees our first message).
+            for _ in 0..prepost {
+                self.post_one_recv_buffer(peer);
+            }
+            let slot_size = self.conn(peer).slab.slot_size;
+            let peer_slab_mr = self.peer_slab_mr_of(peer);
+            self.proc.with(|ctx| {
+                for slot in 0..prepost {
+                    ctx.world
+                        .post_recv(
+                            peer_qp,
+                            RecvWr {
+                                wr_id: encode_wrid(WrKind::RecvSlot, slot as u64),
+                                mr: peer_slab_mr,
+                                offset: slot as usize * slot_size,
+                                len: slot_size,
+                            },
+                        )
+                        .expect("peer prepost");
+                }
+            });
+            self.conn_mut(peer).credits = prepost;
+        } else {
+            // The peer connected first; our fabric-side buffers were posted
+            // on our behalf. Adopt them.
+            let c = self.conn_mut(peer);
+            c.posted = prepost;
+            c.credits = prepost;
+            c.stats.max_posted.observe(prepost as u64);
+            // Mark the pre-posted slots as taken in the slab.
+            for _ in 0..prepost {
+                let _ = c.slab.take_free();
+            }
+        }
+        self.conn_mut(peer).established = true;
+    }
+
+    /// The peer's QP for the connection back to this rank. Derived from
+    /// the deterministic world-bootstrap layout (see `world.rs`).
+    pub(crate) fn peer_qp_of(&self, peer: Rank) -> QpId {
+        crate::world::qp_id_for(self.size, peer, self.rank)
+    }
+
+    /// The peer's receive-slab MR for messages from this rank.
+    pub(crate) fn peer_slab_mr_of(&self, peer: Rank) -> ibfabric::MrId {
+        crate::world::slab_mr_for(self.size, peer, self.rank)
+    }
+
+    /// Posts one receive buffer for the connection from `peer`, updating
+    /// the posted count and Table 2 peak.
+    pub(crate) fn post_one_recv_buffer(&mut self, peer: Rank) {
+        let (qp, mr, offset, len, wr_id) = {
+            let c = self.conn_mut(peer);
+            let slot = c.slab.take_free().expect("receive slab exhausted");
+            (
+                c.qp,
+                c.slab.mr,
+                c.slab.byte_offset(slot),
+                c.slab.slot_size,
+                encode_wrid(WrKind::RecvSlot, slot as u64),
+            )
+        };
+        self.proc.with(|ctx| {
+            ctx.world.post_recv(qp, RecvWr { wr_id, mr, offset, len }).expect("post_recv")
+        });
+        let c = self.conn_mut(peer);
+        c.posted += 1;
+        c.stats.max_posted.observe(c.posted as u64);
+    }
+
+    /// Reposts a consumed slot (same slot index).
+    pub(crate) fn repost_slot(&mut self, peer: Rank, slot: u64) {
+        let (qp, mr, offset, len) = {
+            let c = self.conn(peer);
+            (c.qp, c.slab.mr, c.slab.byte_offset(slot as u32), c.slab.slot_size)
+        };
+        let cost = self.proc.with(|ctx| {
+            ctx.world
+                .post_recv(qp, RecvWr { wr_id: encode_wrid(WrKind::RecvSlot, slot), mr, offset, len })
+                .expect("repost");
+            ctx.world.params().sw_post_cost
+        });
+        self.charge(cost);
+    }
+
+    /// Builds a header toward `peer` with piggybacked credits and the next
+    /// sequence number stamped in.
+    pub(crate) fn make_header(&mut self, peer: Rank, kind: MsgKind) -> MsgHeader {
+        let user_level = self.cfg.scheme.is_user_level();
+        let ring = self.cfg.rdma_eager_channel;
+        let rank = self.rank;
+        let c = self.conn_mut(peer);
+        let mut h = MsgHeader::new(kind, rank);
+        h.credits = if user_level { c.take_piggyback_credits() } else { 0 };
+        h.ring_credits = if ring { c.take_piggyback_ring_credits() } else { 0 };
+        h.seq = c.next_seq();
+        h
+    }
+
+    /// RDMA eager channel: writes `header`+`payload` into the next slot of
+    /// the peer's ring. The caller consumed a ring credit.
+    pub(crate) fn post_ring_frame(&mut self, peer: Rank, header: &MsgHeader, payload: &[u8]) {
+        let slots = self.cfg.rdma_ring_slots;
+        let buf_size = self.cfg.buf_size;
+        let (qp, ring, offset) = {
+            let c = self.conn_mut(peer);
+            let slot = c.ring_write_slot;
+            c.ring_write_slot = (slot + 1) % slots;
+            (c.qp, c.peer_ring, slot as usize * buf_size)
+        };
+        let mut frame = header.frame(payload);
+        frame[crate::buffers::RING_MARKER_OFFSET] = crate::buffers::RING_MARKER;
+        let wr_id = encode_wrid(WrKind::RingWrite, peer as u64);
+        let cost = self.proc.with(|ctx| {
+            let p = ctx.world.params();
+            let cost = p.sw_post_cost + p.copy_time(frame.len());
+            ibfabric::post_send(
+                ctx,
+                qp,
+                SendWr { wr_id, op: SendOp::RdmaWrite { payload: frame.into(), rkey: ring, remote_offset: offset }, signaled: true },
+            )
+            .expect("ring write");
+            cost
+        });
+        self.outstanding_ctrl += 1;
+        self.charge(cost);
+        let c = self.conn_mut(peer);
+        c.stats.msgs_sent.incr();
+        c.stats.ring_sent.incr();
+    }
+
+    /// Posts a control/eager frame to `peer` (no user-level credit check —
+    /// callers gate credit-consuming kinds themselves).
+    pub(crate) fn post_frame(&mut self, peer: Rank, header: &MsgHeader, payload: &[u8], wr_kind: WrKind) {
+        let qp = self.conn(peer).qp;
+        let bytes = header.frame(payload);
+        let wr_id = encode_wrid(wr_kind, peer as u64);
+        let cost = self.proc.with(|ctx| {
+            ibfabric::post_send(ctx, qp, SendWr { wr_id, op: ibfabric::SendOp::Send { payload: bytes.into() }, signaled: true })
+                .expect("post_send");
+            ctx.world.params().sw_post_cost
+        });
+        self.outstanding_ctrl += 1;
+        self.charge(cost);
+        self.conn_mut(peer).stats.msgs_sent.incr();
+    }
+
+    /// Sum of currently posted receive buffers across all connections
+    /// (memory footprint diagnostic for the scalability study).
+    pub fn total_posted_buffers(&self) -> u64 {
+        self.conns.iter().flatten().map(|c| c.posted as u64).sum()
+    }
+
+    /// Send credits currently held toward `peer` (user-level schemes;
+    /// always zero under the hardware scheme). Diagnostic.
+    pub fn credits_toward(&self, peer: Rank) -> u32 {
+        self.conn(peer).credits
+    }
+
+    /// One-line connection state summary for deadlock diagnostics.
+    pub(crate) fn conn_debug_summary(&self) -> String {
+        self.conns
+            .iter()
+            .flatten()
+            .filter(|c| c.credits != self.cfg.prepost || !c.backlog.is_empty() || c.optimistic_req.is_some())
+            .map(|c| {
+                format!(
+                    "[peer={} cr={} bl={} opt={:?} owed={}]",
+                    c.peer,
+                    c.credits,
+                    c.backlog.len(),
+                    c.optimistic_req,
+                    c.consumed_since_update
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Snapshot of this rank's statistics.
+    pub fn stats(&self) -> &RankStats {
+        &self.stats
+    }
+
+    pub(crate) fn finish_stats(&mut self) -> RankStats {
+        // Fold per-conn stats and regcache counters into the report.
+        for (peer, conn) in self.conns.iter().enumerate() {
+            if let Some(c) = conn {
+                self.stats.conns[peer] = c.stats.clone();
+            }
+        }
+        self.stats.regcache_hits.add(self.regcache.hits.get());
+        self.stats.regcache_misses.add(self.regcache.misses.get());
+        self.stats.clone()
+    }
+
+    /// Finalize: drain all outstanding traffic, synchronize with every
+    /// other rank, and drain again. Called automatically by the world
+    /// wrapper after the rank body returns.
+    pub(crate) fn finalize(&mut self) {
+        // 1. Drain backlogs and every in-flight send transport (buffered
+        //    operations may still be on the wire).
+        self.wait_until(
+            |r| {
+                r.conns.iter().flatten().all(|c| c.backlog.is_empty())
+                    && !r.reqs.has_pending_transport()
+            },
+            "finalize: draining backlog",
+        );
+        assert_eq!(
+            self.reqs.live_count(),
+            0,
+            "rank {} finalized with outstanding requests",
+            self.rank
+        );
+        // 2. World barrier so no peer still needs our progress engine.
+        let world = crate::comm::Comm::world_internal(self.size);
+        crate::collectives::barrier(self, &world);
+        // 3. Drain everything the barrier itself generated: its sends may
+        //    have been credit-converted to rendezvous whose handshakes are
+        //    still in flight (a detached request), and abandoning one
+        //    would leave the peer waiting for data that never comes.
+        self.wait_until(
+            |r| {
+                r.outstanding_ctrl == 0
+                    && !r.reqs.has_pending_transport()
+                    && r.conns.iter().flatten().all(|c| c.backlog.is_empty())
+            },
+            "finalize: draining sends",
+        );
+        self.flush_charge();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unexpected_envelope() {
+        let u = Unexpected::Eager { src: 3, tag: 9, comm: 1, data: vec![] };
+        assert_eq!(u.envelope(), (3, 9, 1));
+        let u = Unexpected::Rndz { src: 2, tag: -1, comm: 0, rndz_id: 5, data_len: 10 };
+        assert_eq!(u.envelope(), (2, -1, 0));
+    }
+}

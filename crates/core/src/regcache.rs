@@ -1,0 +1,192 @@
+//! The pin-down cache (Tezuka et al. \[10\] in the paper): memoizes memory
+//! registrations keyed by buffer identity so repeated rendezvous transfers
+//! from/to the same application buffer pay the pinning cost once.
+//!
+//! Registration on the real hardware costs tens of microseconds (syscall,
+//! page pinning, HCA translation-table update); the cache turns the steady
+//! state of iterative applications into pure zero-copy.
+
+use ibfabric::{Access, Fabric, MrId, NodeId};
+use ibsim::stats::Counter;
+use ibsim::SimDuration;
+use std::collections::HashMap;
+
+/// Identity of an application buffer: its address and capacity. Stable for
+/// the lifetime of an allocation, exactly like the address keys the real
+/// cache uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BufKey {
+    /// Buffer start address (as integer).
+    pub ptr: usize,
+    /// Buffer capacity in bytes.
+    pub len: usize,
+}
+
+impl BufKey {
+    /// Key for a byte slice.
+    pub fn of(buf: &[u8]) -> BufKey {
+        BufKey { ptr: buf.as_ptr() as usize, len: buf.len() }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    mr: MrId,
+    len: usize,
+    last_use: u64,
+}
+
+/// An LRU pin-down cache for one node.
+#[derive(Debug)]
+pub struct RegCache {
+    node: NodeId,
+    capacity_bytes: usize,
+    used_bytes: usize,
+    entries: HashMap<BufKey, Entry>,
+    tick: u64,
+    /// Registrations avoided.
+    pub hits: Counter,
+    /// Registrations performed.
+    pub misses: Counter,
+    /// Entries evicted to stay under capacity.
+    pub evictions: Counter,
+}
+
+impl RegCache {
+    /// Creates a cache for buffers on `node` holding at most
+    /// `capacity_bytes` of pinned memory.
+    pub fn new(node: NodeId, capacity_bytes: usize) -> Self {
+        RegCache {
+            node,
+            capacity_bytes,
+            used_bytes: 0,
+            entries: HashMap::new(),
+            tick: 0,
+            hits: Counter::default(),
+            misses: Counter::default(),
+            evictions: Counter::default(),
+        }
+    }
+
+    /// Bytes of pinned memory currently cached.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Like [`RegCache::acquire`] but without registering on a miss: a
+    /// cheap existence probe. Returns a zero duration on a hit, the
+    /// would-be cost otherwise.
+    pub fn acquire_probe(&mut self, fabric: &mut Fabric, key: BufKey, len: usize) -> (Option<MrId>, SimDuration) {
+        self.tick += 1;
+        if let Some(e) = self.entries.get_mut(&key) {
+            if e.len >= len {
+                e.last_use = self.tick;
+                self.hits.incr();
+                return (Some(e.mr), SimDuration::ZERO);
+            }
+        }
+        (None, fabric.params().reg_cost(len))
+    }
+
+    /// Returns a registered region of at least `len` bytes for `key`,
+    /// registering (and charging `cost`) on a miss. The returned duration
+    /// is the process time the caller must charge.
+    pub fn acquire(&mut self, fabric: &mut Fabric, key: BufKey, len: usize) -> (MrId, SimDuration) {
+        self.tick += 1;
+        if let Some(e) = self.entries.get_mut(&key) {
+            if e.len >= len {
+                e.last_use = self.tick;
+                self.hits.incr();
+                return (e.mr, SimDuration::ZERO);
+            }
+            // Registered region too small (buffer grew): drop and re-pin.
+            let stale = self.entries.remove(&key).expect("present");
+            self.used_bytes -= stale.len;
+        }
+        self.misses.incr();
+        let cost = fabric.params().reg_cost(len);
+        let mr = fabric.register(self.node, len, Access::FULL);
+        self.used_bytes += len;
+        self.entries.insert(key, Entry { mr, len, last_use: self.tick });
+        self.evict_to_capacity();
+        (mr, cost)
+    }
+
+    fn evict_to_capacity(&mut self) {
+        while self.used_bytes > self.capacity_bytes && self.entries.len() > 1 {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| *k)
+                .expect("non-empty");
+            let e = self.entries.remove(&victim).expect("present");
+            self.used_bytes -= e.len;
+            self.evictions.incr();
+            // The MR itself stays allocated in the simulator (deregistration
+            // is free of structural effect); only the cache forgets it.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibfabric::FabricParams;
+
+    fn fabric_and_node() -> (Fabric, NodeId) {
+        let mut f = Fabric::new(FabricParams::mt23108());
+        let n = f.add_node();
+        (f, n)
+    }
+
+    #[test]
+    fn second_acquire_is_free() {
+        let (mut f, n) = fabric_and_node();
+        let mut cache = RegCache::new(n, 1 << 20);
+        let key = BufKey { ptr: 0x1000, len: 8192 };
+        let (mr1, cost1) = cache.acquire(&mut f, key, 8192);
+        assert!(cost1 > SimDuration::ZERO);
+        let (mr2, cost2) = cache.acquire(&mut f, key, 8192);
+        assert_eq!(mr1, mr2);
+        assert_eq!(cost2, SimDuration::ZERO);
+        assert_eq!(cache.hits.get(), 1);
+        assert_eq!(cache.misses.get(), 1);
+    }
+
+    #[test]
+    fn grown_buffer_repins() {
+        let (mut f, n) = fabric_and_node();
+        let mut cache = RegCache::new(n, 1 << 20);
+        let key = BufKey { ptr: 0x1000, len: 4096 };
+        let (mr1, _) = cache.acquire(&mut f, key, 4096);
+        let (mr2, cost2) = cache.acquire(&mut f, key, 16384);
+        assert_ne!(mr1, mr2);
+        assert!(cost2 > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity() {
+        let (mut f, n) = fabric_and_node();
+        let mut cache = RegCache::new(n, 10_000);
+        for i in 0..5usize {
+            let key = BufKey { ptr: 0x1000 * (i + 1), len: 4096 };
+            let _ = cache.acquire(&mut f, key, 4096);
+        }
+        assert!(cache.used_bytes() <= 10_000 + 4096, "capacity respected modulo one entry");
+        assert!(cache.evictions.get() >= 2);
+        // Oldest entry got evicted: re-acquiring it misses again.
+        let key0 = BufKey { ptr: 0x1000, len: 4096 };
+        let before = cache.misses.get();
+        let _ = cache.acquire(&mut f, key0, 4096);
+        assert_eq!(cache.misses.get(), before + 1);
+    }
+
+    #[test]
+    fn bufkey_of_slice() {
+        let v = vec![0u8; 64];
+        let k = BufKey::of(&v);
+        assert_eq!(k.len, 64);
+        assert_eq!(k.ptr, v.as_ptr() as usize);
+    }
+}

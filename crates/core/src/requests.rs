@@ -1,0 +1,182 @@
+//! Non-blocking request table.
+
+use crate::types::{CommCtx, Rank, Status, Tag};
+
+/// Handle to a non-blocking operation, returned by `isend`/`irecv` and
+/// consumed by `wait`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ReqId(pub(crate) u32);
+
+/// Send-side protocol state.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub(crate) enum SendState {
+    /// Waiting in the backlog for credits.
+    Backlogged,
+    /// Rendezvous start sent; waiting for the receiver's reply.
+    StartSent,
+    /// RDMA write posted; waiting for its local completion.
+    Writing,
+    /// Buffer reusable; operation complete.
+    Done,
+}
+
+#[derive(Debug)]
+pub(crate) struct SendReq {
+    pub dst: Rank,
+    pub tag: Tag,
+    pub comm: CommCtx,
+    pub state: SendState,
+    /// Payload (owned snapshot; the simulator's stand-in for the pinned
+    /// user buffer).
+    pub data: Vec<u8>,
+    /// Identity of the user buffer for the pin-down cache.
+    pub ptr_key: usize,
+    /// Whether this operation passed through the backlog (sets the
+    /// feedback flag on its rendezvous start).
+    pub was_backlogged: bool,
+    /// Eager-size operations are *buffered*: the payload is copied into a
+    /// pre-pinned buffer at post time, so the user-visible operation
+    /// completes immediately even if the transport later runs it through
+    /// the backlog as a rendezvous (MPICH-lineage eager semantics).
+    pub buffered: bool,
+    /// The caller already waited on a buffered request; the progress
+    /// engine frees the slot when the transport catches up.
+    pub detached: bool,
+}
+
+/// Receive-side protocol state.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub(crate) enum RecvState {
+    /// Posted, not yet matched.
+    Posted,
+    /// Matched a rendezvous start; reply sent; waiting for data + fin.
+    RndzInFlight,
+    /// Payload available.
+    Done,
+}
+
+#[derive(Debug)]
+pub(crate) struct RecvReq {
+    pub src: Option<Rank>,
+    pub tag: Option<Tag>,
+    pub comm: CommCtx,
+    pub state: RecvState,
+    /// Completed payload.
+    pub data: Option<Vec<u8>>,
+    pub status: Option<Status>,
+    /// Identity of the destination user buffer for the pin-down cache
+    /// (None for allocate-on-receive calls).
+    pub ptr_key: Option<usize>,
+    /// Staging memory region used for rendezvous (copied out at fin).
+    pub staging: Option<ibfabric::MrId>,
+    /// Expected rendezvous length (set when matched).
+    pub rndz_len: usize,
+}
+
+#[derive(Debug)]
+pub(crate) enum Request {
+    Send(SendReq),
+    Recv(RecvReq),
+}
+
+impl Request {
+    /// User-visible completion (buffer reusable).
+    pub fn is_done(&self) -> bool {
+        match self {
+            Request::Send(s) => s.state == SendState::Done || s.buffered,
+            Request::Recv(r) => r.state == RecvState::Done,
+        }
+    }
+}
+
+/// Slab of live requests.
+#[derive(Debug, Default)]
+pub(crate) struct ReqTable {
+    slots: Vec<Option<Request>>,
+    free: Vec<u32>,
+}
+
+impl ReqTable {
+    pub fn insert(&mut self, req: Request) -> ReqId {
+        match self.free.pop() {
+            Some(i) => {
+                debug_assert!(self.slots[i as usize].is_none());
+                self.slots[i as usize] = Some(req);
+                ReqId(i)
+            }
+            None => {
+                self.slots.push(Some(req));
+                ReqId((self.slots.len() - 1) as u32)
+            }
+        }
+    }
+
+    pub fn get(&self, id: ReqId) -> &Request {
+        self.slots[id.0 as usize].as_ref().expect("stale request id")
+    }
+
+    pub fn get_mut(&mut self, id: ReqId) -> &mut Request {
+        self.slots[id.0 as usize].as_mut().expect("stale request id")
+    }
+
+    pub fn remove(&mut self, id: ReqId) -> Request {
+        let req = self.slots[id.0 as usize].take().expect("double free of request");
+        self.free.push(id.0);
+        req
+    }
+
+    pub fn live_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True while any send operation's *transport* is still outstanding
+    /// (backlogged, handshaking, or writing).
+    pub fn has_pending_transport(&self) -> bool {
+        self.slots.iter().flatten().any(|r| match r {
+            Request::Send(s) => s.state != SendState::Done,
+            Request::Recv(_) => false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn send_req() -> Request {
+        Request::Send(SendReq {
+            dst: 1,
+            tag: 0,
+            comm: 0,
+            state: SendState::Done,
+            data: vec![],
+            ptr_key: 0,
+            was_backlogged: false,
+            buffered: false,
+            detached: false,
+        })
+    }
+
+    #[test]
+    fn insert_get_remove_reuses_slots() {
+        let mut t = ReqTable::default();
+        let a = t.insert(send_req());
+        let b = t.insert(send_req());
+        assert_ne!(a, b);
+        assert_eq!(t.live_count(), 2);
+        assert!(t.get(a).is_done());
+        t.remove(a);
+        assert_eq!(t.live_count(), 1);
+        let c = t.insert(send_req());
+        assert_eq!(c, a, "freed slot is reused");
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_remove_panics() {
+        let mut t = ReqTable::default();
+        let a = t.insert(send_req());
+        t.remove(a);
+        t.remove(a);
+    }
+}

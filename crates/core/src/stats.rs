@@ -1,0 +1,126 @@
+//! MPI-layer statistics: the raw material for the paper's Tables 1 and 2.
+
+use ibsim::stats::{Counter, Peak};
+
+/// Per-connection counters at one endpoint.
+#[derive(Clone, Debug, Default)]
+pub struct ConnStats {
+    /// Messages of any kind sent to the peer (data + control).
+    pub msgs_sent: Counter,
+    /// Eager data messages sent.
+    pub eager_sent: Counter,
+    /// Eager frames sent through the RDMA ring channel (design \[13\]).
+    pub ring_sent: Counter,
+    /// Rendezvous operations started.
+    pub rndz_sent: Counter,
+    /// Explicit credit messages sent (Table 1 numerator).
+    pub ecm_sent: Counter,
+    /// Credit updates written via RDMA (RDMA credit mode).
+    pub rdma_credit_updates: Counter,
+    /// Send operations that had to wait in the backlog queue.
+    pub backlogged: Counter,
+    /// Credits returned to the peer by piggybacking.
+    pub credits_piggybacked: Counter,
+    /// Maximum buffers ever posted for this connection (Table 2).
+    pub max_posted: Peak,
+    /// Pool-growth events triggered by backlog feedback (dynamic scheme).
+    pub growth_events: Counter,
+}
+
+/// Per-rank statistics (all connections plus rank-wide counters).
+#[derive(Clone, Debug, Default)]
+pub struct RankStats {
+    /// One entry per peer (the self entry stays zeroed).
+    pub conns: Vec<ConnStats>,
+    /// Messages received and processed by the progress engine.
+    pub msgs_received: Counter,
+    /// Eager payload bytes sent.
+    pub eager_bytes: Counter,
+    /// Rendezvous payload bytes sent.
+    pub rndz_bytes: Counter,
+    /// Messages that arrived with no matching posted receive.
+    pub unexpected_msgs: Counter,
+    /// Pin-down cache hits.
+    pub regcache_hits: Counter,
+    /// Pin-down cache misses (registrations performed).
+    pub regcache_misses: Counter,
+}
+
+impl RankStats {
+    pub(crate) fn new(size: usize) -> Self {
+        RankStats { conns: vec![ConnStats::default(); size], ..Default::default() }
+    }
+
+    /// Total explicit credit messages sent by this rank.
+    pub fn total_ecm(&self) -> u64 {
+        self.conns.iter().map(|c| c.ecm_sent.get()).sum()
+    }
+
+    /// Total messages sent by this rank (data + control).
+    pub fn total_msgs_sent(&self) -> u64 {
+        self.conns.iter().map(|c| c.msgs_sent.get()).sum()
+    }
+
+    /// Largest per-connection posted-buffer peak at this rank (Table 2).
+    pub fn max_posted_any_conn(&self) -> u64 {
+        self.conns.iter().map(|c| c.max_posted.get()).max().unwrap_or(0)
+    }
+}
+
+/// World-level aggregation across ranks, used by the reporting harness.
+#[derive(Clone, Debug, Default)]
+pub struct WorldStats {
+    /// Per-rank statistics.
+    pub ranks: Vec<RankStats>,
+}
+
+impl WorldStats {
+    /// Average explicit credit messages per connection per process
+    /// (Table 1, column "# ECM Msg").
+    pub fn avg_ecm_per_connection(&self) -> f64 {
+        let nranks = self.ranks.len().max(1);
+        let conns = (nranks * nranks.saturating_sub(1)).max(1);
+        let total: u64 = self.ranks.iter().map(|r| r.total_ecm()).sum();
+        total as f64 / conns as f64
+    }
+
+    /// Average total messages per connection per process
+    /// (Table 1, column "# Total Msg").
+    pub fn avg_msgs_per_connection(&self) -> f64 {
+        let nranks = self.ranks.len().max(1);
+        let conns = (nranks * nranks.saturating_sub(1)).max(1);
+        let total: u64 = self.ranks.iter().map(|r| r.total_msgs_sent()).sum();
+        total as f64 / conns as f64
+    }
+
+    /// Maximum posted buffers for any connection at any process (Table 2).
+    pub fn max_posted_buffers(&self) -> u64 {
+        self.ranks.iter().map(|r| r.max_posted_any_conn()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_extractors() {
+        let mut ws = WorldStats { ranks: vec![RankStats::new(2), RankStats::new(2)] };
+        ws.ranks[0].conns[1].ecm_sent.add(4);
+        ws.ranks[0].conns[1].msgs_sent.add(10);
+        ws.ranks[1].conns[0].msgs_sent.add(30);
+        ws.ranks[1].conns[0].max_posted.observe(63);
+        ws.ranks[0].conns[1].max_posted.observe(7);
+        // 2 ranks -> 2 directed connections.
+        assert!((ws.avg_ecm_per_connection() - 2.0).abs() < 1e-12);
+        assert!((ws.avg_msgs_per_connection() - 20.0).abs() < 1e-12);
+        assert_eq!(ws.max_posted_buffers(), 63);
+    }
+
+    #[test]
+    fn empty_world_is_safe() {
+        let ws = WorldStats::default();
+        assert_eq!(ws.avg_ecm_per_connection(), 0.0);
+        assert_eq!(ws.max_posted_buffers(), 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Basic MPI-facing types.
+
+/// A process rank within the world (dense, `0..size`).
+pub type Rank = usize;
+
+/// An MPI message tag.
+pub type Tag = i32;
+
+/// Completion information for a received message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Status {
+    /// Sending rank.
+    pub source: Rank,
+    /// Message tag.
+    pub tag: Tag,
+    /// Payload length in bytes.
+    pub len: usize,
+}
+
+/// Communicator context id carried in every header so messages from
+/// different communicators never match each other.
+pub type CommCtx = u16;
+
+/// The context id of `MPI_COMM_WORLD`.
+pub const WORLD_CTX: CommCtx = 0;

@@ -1,0 +1,243 @@
+//! The wire protocol: a fixed 64-byte header in front of every eager
+//! payload or control message.
+
+use crate::types::{CommCtx, Rank, Tag};
+
+/// Serialized header length in bytes.
+pub const HEADER_LEN: usize = 64;
+
+/// Message kinds (paper Fig. 1 plus the explicit credit message).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgKind {
+    /// Eager data: header + payload in one send.
+    Eager,
+    /// Rendezvous start: envelope + data length; payload stays at sender.
+    RndzStart,
+    /// Rendezvous reply: receiver's pinned destination (rkey + offset).
+    RndzReply,
+    /// Rendezvous finish: the RDMA WRITE before it carried the data.
+    RndzFin,
+    /// Explicit credit message (user-level schemes, asymmetric patterns).
+    Credit,
+}
+
+impl MsgKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            MsgKind::Eager => 0,
+            MsgKind::RndzStart => 1,
+            MsgKind::RndzReply => 2,
+            MsgKind::RndzFin => 3,
+            MsgKind::Credit => 4,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<MsgKind> {
+        Some(match v {
+            0 => MsgKind::Eager,
+            1 => MsgKind::RndzStart,
+            2 => MsgKind::RndzReply,
+            3 => MsgKind::RndzFin,
+            4 => MsgKind::Credit,
+            _ => return None,
+        })
+    }
+}
+
+/// Every field the MPI layer needs to carry per message. Control-only
+/// kinds leave the unused fields zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MsgHeader {
+    /// What this message is.
+    pub kind: MsgKind,
+    /// Set when the sending operation waited in the backlog queue — the
+    /// dynamic scheme's feedback bit (paper §4.3).
+    pub backlog_flag: bool,
+    /// Set on messages that did not spend a sender-side credit (optimistic
+    /// rendezvous starts); the receiver must not credit their buffer back,
+    /// or credits would inflate past the pool size.
+    pub no_credit: bool,
+    /// Sending rank.
+    pub src_rank: Rank,
+    /// Communicator context.
+    pub comm: CommCtx,
+    /// Piggybacked credit return: how many receive buffers the sender (of
+    /// this header) has freed and reposted for the destination since its
+    /// last update (paper §4.2).
+    pub credits: u16,
+    /// MPI tag.
+    pub tag: Tag,
+    /// Eager payload length following the header.
+    pub payload_len: u32,
+    /// Per-connection send sequence number (debug/ordering assertions).
+    pub seq: u32,
+    /// Sender-side request id for rendezvous handshakes.
+    pub rndz_id: u64,
+    /// Receiver-side request id echoed in replies/fins.
+    pub peer_req: u64,
+    /// RDMA destination region for `RndzReply` (the "rkey").
+    pub rkey: u32,
+    /// RDMA destination offset for `RndzReply`.
+    pub remote_offset: u64,
+    /// Full data length of the rendezvous message.
+    pub data_len: u64,
+    /// Piggybacked RDMA-eager-channel ring-slot returns (companion design
+    /// \[13\]); zero unless the channel is enabled.
+    pub ring_credits: u16,
+}
+
+impl MsgHeader {
+    /// A zeroed header of the given kind from the given rank.
+    pub fn new(kind: MsgKind, src_rank: Rank) -> Self {
+        MsgHeader {
+            kind,
+            backlog_flag: false,
+            no_credit: false,
+            src_rank,
+            comm: 0,
+            credits: 0,
+            tag: 0,
+            payload_len: 0,
+            seq: 0,
+            rndz_id: 0,
+            peer_req: 0,
+            rkey: 0,
+            remote_offset: 0,
+            data_len: 0,
+            ring_credits: 0,
+        }
+    }
+
+    /// Serializes into exactly [`HEADER_LEN`] bytes.
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut b = [0u8; HEADER_LEN];
+        b[0] = self.kind.to_u8();
+        b[1] = self.backlog_flag as u8 | (self.no_credit as u8) << 1;
+        b[2..4].copy_from_slice(&(self.src_rank as u16).to_le_bytes());
+        b[4..6].copy_from_slice(&self.comm.to_le_bytes());
+        b[6..8].copy_from_slice(&self.credits.to_le_bytes());
+        b[8..12].copy_from_slice(&self.tag.to_le_bytes());
+        b[12..16].copy_from_slice(&self.payload_len.to_le_bytes());
+        b[16..20].copy_from_slice(&self.seq.to_le_bytes());
+        b[20..28].copy_from_slice(&self.rndz_id.to_le_bytes());
+        b[28..36].copy_from_slice(&self.peer_req.to_le_bytes());
+        b[36..40].copy_from_slice(&self.rkey.to_le_bytes());
+        b[40..48].copy_from_slice(&self.remote_offset.to_le_bytes());
+        b[48..56].copy_from_slice(&self.data_len.to_le_bytes());
+        b[56..58].copy_from_slice(&self.ring_credits.to_le_bytes());
+        // 58 is the ring-frame validity marker (set by the ring writer,
+        // not part of the logical header); 59..64 reserved.
+        b
+    }
+
+    /// Parses a header from the front of `bytes`.
+    ///
+    /// # Panics
+    /// Panics on a malformed kind byte — headers only ever come from
+    /// [`MsgHeader::encode`], so corruption is a simulator bug.
+    pub fn decode(bytes: &[u8]) -> MsgHeader {
+        assert!(bytes.len() >= HEADER_LEN, "short header");
+        let u16at = |o: usize| u16::from_le_bytes(bytes[o..o + 2].try_into().unwrap());
+        let u32at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+        let u64at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+        MsgHeader {
+            kind: MsgKind::from_u8(bytes[0]).expect("corrupt message kind"),
+            backlog_flag: bytes[1] & 1 != 0,
+            no_credit: bytes[1] & 2 != 0,
+            src_rank: u16at(2) as Rank,
+            comm: u16at(4),
+            credits: u16at(6),
+            tag: i32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+            payload_len: u32at(12),
+            seq: u32at(16),
+            rndz_id: u64at(20),
+            peer_req: u64at(28),
+            rkey: u32at(36),
+            remote_offset: u64at(40),
+            data_len: u64at(48),
+            ring_credits: u16at(56),
+        }
+    }
+
+    /// Builds the full wire message: header followed by `payload`.
+    pub fn frame(&self, payload: &[u8]) -> Vec<u8> {
+        debug_assert_eq!(self.payload_len as usize, payload.len());
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&self.encode());
+        out.extend_from_slice(payload);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MsgHeader {
+        MsgHeader {
+            kind: MsgKind::RndzReply,
+            backlog_flag: true,
+            no_credit: true,
+            src_rank: 7,
+            comm: 3,
+            credits: 12,
+            tag: -42,
+            payload_len: 100,
+            seq: 9999,
+            rndz_id: 0xDEAD_BEEF_0123,
+            peer_req: 0xFEED_FACE,
+            rkey: 77,
+            remote_offset: 1 << 33,
+            data_len: (1 << 22) + 5,
+            ring_credits: 9,
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_fields() {
+        let h = sample();
+        let bytes = h.encode();
+        assert_eq!(bytes.len(), HEADER_LEN);
+        assert_eq!(MsgHeader::decode(&bytes), h);
+    }
+
+    #[test]
+    fn roundtrip_every_kind() {
+        for kind in [MsgKind::Eager, MsgKind::RndzStart, MsgKind::RndzReply, MsgKind::RndzFin, MsgKind::Credit] {
+            let h = MsgHeader::new(kind, 3);
+            assert_eq!(MsgHeader::decode(&h.encode()).kind, kind);
+        }
+    }
+
+    #[test]
+    fn negative_tags_roundtrip() {
+        let mut h = MsgHeader::new(MsgKind::Eager, 0);
+        h.tag = i32::MIN;
+        assert_eq!(MsgHeader::decode(&h.encode()).tag, i32::MIN);
+    }
+
+    #[test]
+    fn frame_concatenates() {
+        let mut h = MsgHeader::new(MsgKind::Eager, 1);
+        h.payload_len = 3;
+        let framed = h.frame(&[9, 8, 7]);
+        assert_eq!(framed.len(), HEADER_LEN + 3);
+        assert_eq!(&framed[HEADER_LEN..], &[9, 8, 7]);
+        let parsed = MsgHeader::decode(&framed);
+        assert_eq!(parsed.payload_len, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "short header")]
+    fn short_decode_panics() {
+        let _ = MsgHeader::decode(&[0u8; 10]);
+    }
+
+    #[test]
+    fn decode_ignores_reserved_bytes() {
+        let h = sample();
+        let mut bytes = h.encode();
+        bytes[58..64].copy_from_slice(&[0xFF; 6]);
+        assert_eq!(MsgHeader::decode(&bytes), h);
+    }
+}

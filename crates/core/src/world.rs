@@ -1,0 +1,286 @@
+//! World bootstrap: builds the fabric, wires every process pair, spawns
+//! rank threads, runs the simulation, and collects results.
+
+use crate::buffers::{encode_wrid, RecvSlab, WrKind};
+use crate::config::MpiConfig;
+use crate::conn::Conn;
+use crate::rank::{MpiRank, RankSetup};
+use crate::stats::{RankStats, WorldStats};
+use ibfabric::{Access, Fabric, FabricParams, MrId, QpAttrs, QpId, RecvWr};
+use ibsim::{Sim, SimConfig, SimError, SimTime};
+use std::sync::Arc;
+
+/// Why an MPI run failed.
+#[derive(Debug)]
+pub enum MpiRunError {
+    /// Invalid configuration.
+    Config(String),
+    /// The simulation failed (deadlock, process panic, or limit).
+    Sim(SimError),
+}
+
+impl std::fmt::Display for MpiRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpiRunError::Config(s) => write!(f, "bad MPI configuration: {s}"),
+            MpiRunError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MpiRunError {}
+
+impl From<SimError> for MpiRunError {
+    fn from(e: SimError) -> Self {
+        MpiRunError::Sim(e)
+    }
+}
+
+/// Results of a completed MPI run.
+#[derive(Debug)]
+pub struct MpiRunOutput<R> {
+    /// Per-rank return values of the body closure.
+    pub results: Vec<R>,
+    /// Per-rank MPI statistics (Tables 1–2 raw material).
+    pub stats: WorldStats,
+    /// Virtual time when the simulation went quiescent.
+    pub end_time: SimTime,
+    /// Events the simulation kernel processed.
+    pub events: u64,
+    /// The fabric, for transport-level statistics (RNR NAKs etc.).
+    pub fabric: Fabric,
+}
+
+/// Entry point: run an SPMD body over a simulated cluster.
+pub struct MpiWorld;
+
+/// Deterministic object layout (world bootstrap creates verbs objects in a
+/// fixed order so both endpoints of a connection can derive each other's
+/// handles without a side channel — the role the real implementation's
+/// out-of-band bootstrap plays).
+fn pair_index(n: usize, i: usize, j: usize) -> usize {
+    debug_assert!(i != j && i < n && j < n);
+    i * (n - 1) + if j < i { j } else { j - 1 }
+}
+
+/// QP of rank `i` for its connection to rank `j`.
+pub(crate) fn qp_id_for(n: usize, i: usize, j: usize) -> QpId {
+    QpId::from_index_for_tests(pair_index(n, i, j) as u32)
+}
+
+/// Receive-slab MR of rank `i` for messages from rank `j`.
+pub(crate) fn slab_mr_for(n: usize, i: usize, j: usize) -> MrId {
+    MrId::from_raw(pair_index(n, i, j) as u32)
+}
+
+/// Credit mailbox MR on rank `i` written by rank `j`.
+fn mailbox_mr_for(n: usize, i: usize, j: usize) -> MrId {
+    MrId::from_raw((n * (n - 1) + pair_index(n, i, j)) as u32)
+}
+
+/// RDMA eager-channel ring MR on rank `i` written by rank `j`.
+fn ring_mr_for(n: usize, i: usize, j: usize) -> MrId {
+    MrId::from_raw((2 * n * (n - 1) + pair_index(n, i, j)) as u32)
+}
+
+impl MpiWorld {
+    /// Runs `body` on `nprocs` simulated processes and returns their
+    /// results plus statistics. Fully deterministic for a given
+    /// `(nprocs, cfg, params, body)`.
+    pub fn run<R, F>(
+        nprocs: usize,
+        cfg: MpiConfig,
+        params: FabricParams,
+        body: F,
+    ) -> Result<MpiRunOutput<R>, MpiRunError>
+    where
+        R: Send + 'static,
+        F: Fn(&mut MpiRank) -> R + Send + Sync + 'static,
+    {
+        Self::run_with_limits(nprocs, cfg, params, SimConfig::default(), body)
+    }
+
+    /// Like [`MpiWorld::run`] but with explicit simulation limits (used by
+    /// tests that expect deadlocks or livelocks).
+    pub fn run_with_limits<R, F>(
+        nprocs: usize,
+        cfg: MpiConfig,
+        params: FabricParams,
+        sim_config: SimConfig,
+        body: F,
+    ) -> Result<MpiRunOutput<R>, MpiRunError>
+    where
+        R: Send + 'static,
+        F: Fn(&mut MpiRank) -> R + Send + Sync + 'static,
+    {
+        cfg.validate().map_err(MpiRunError::Config)?;
+        assert!(nprocs >= 1 && nprocs <= u16::MAX as usize, "unsupported world size");
+
+        let mut fabric = Fabric::new(params);
+        let nodes: Vec<_> = (0..nprocs).map(|_| fabric.add_node()).collect();
+        let cqs: Vec<_> = nodes.iter().map(|&n| fabric.create_cq(n)).collect();
+
+        // QPs in the deterministic pair order.
+        let attrs = QpAttrs { rnr_retry: None, ..Default::default() }; // MPI reliability: retry forever
+        for i in 0..nprocs {
+            for j in 0..nprocs {
+                if i != j {
+                    let qp = fabric.create_qp(nodes[i], cqs[i], cqs[i], attrs);
+                    debug_assert_eq!(qp, qp_id_for(nprocs, i, j));
+                }
+            }
+        }
+        // Receive slabs, then mailboxes (order must match the layout fns).
+        let slab_bytes = cfg.max_prepost as usize * cfg.buf_size;
+        for i in 0..nprocs {
+            for j in 0..nprocs {
+                if i != j {
+                    let mr = fabric.register(nodes[i], slab_bytes, Access::LOCAL_WRITE);
+                    debug_assert_eq!(mr, slab_mr_for(nprocs, i, j));
+                }
+            }
+        }
+        for i in 0..nprocs {
+            for j in 0..nprocs {
+                if i != j {
+                    // 16 bytes: [0..8] buffer-credit counter, [8..16]
+                    // ring-slot counter (RDMA eager channel).
+                    let mr = fabric.register(nodes[i], 16, Access::FULL);
+                    debug_assert_eq!(mr, mailbox_mr_for(nprocs, i, j));
+                }
+            }
+        }
+        let ring_bytes = cfg.rdma_ring_slots as usize * cfg.buf_size;
+        for i in 0..nprocs {
+            for j in 0..nprocs {
+                if i != j {
+                    let mr = fabric.register(nodes[i], ring_bytes, Access::FULL);
+                    debug_assert_eq!(mr, ring_mr_for(nprocs, i, j));
+                }
+            }
+        }
+
+        // Build per-rank connection state; pre-post and connect unless
+        // on-demand mode defers that to first use.
+        let mut setups: Vec<Option<RankSetup>> = Vec::with_capacity(nprocs);
+        for i in 0..nprocs {
+            let mut conns: Vec<Option<Conn>> = Vec::with_capacity(nprocs);
+            for j in 0..nprocs {
+                if i == j {
+                    conns.push(None);
+                    continue;
+                }
+                let slab = RecvSlab::new(slab_mr_for(nprocs, i, j), cfg.buf_size, cfg.max_prepost);
+                let mut conn = Conn::new(
+                    j,
+                    qp_id_for(nprocs, i, j),
+                    slab,
+                    cfg.prepost,
+                    mailbox_mr_for(nprocs, i, j),
+                    mailbox_mr_for(nprocs, j, i),
+                    ring_mr_for(nprocs, i, j),
+                    ring_mr_for(nprocs, j, i),
+                );
+                if cfg.rdma_eager_channel {
+                    conn.ring_credits = cfg.rdma_ring_slots;
+                }
+                if !cfg.on_demand_connections {
+                    // Pre-post the initial pool (before connect, so the RC
+                    // handshake advertises them as initial credits).
+                    for _ in 0..cfg.prepost {
+                        let slot = conn.slab.take_free().expect("prepost exceeds slab");
+                        fabric
+                            .post_recv(
+                                conn.qp,
+                                RecvWr {
+                                    wr_id: encode_wrid(WrKind::RecvSlot, slot as u64),
+                                    mr: conn.slab.mr,
+                                    offset: conn.slab.byte_offset(slot),
+                                    len: conn.slab.slot_size,
+                                },
+                            )
+                            .expect("prepost");
+                    }
+                    conn.posted = cfg.prepost;
+                    conn.credits = cfg.prepost;
+                    conn.established = true;
+                    conn.stats.max_posted.observe(cfg.prepost as u64);
+                }
+                conns.push(Some(conn));
+            }
+            setups.push(Some(RankSetup {
+                rank: i,
+                size: nprocs,
+                node: nodes[i],
+                cq: cqs[i],
+                conns,
+                cfg: cfg.clone(),
+            }));
+        }
+
+        let mut sim = Sim::new(fabric, sim_config);
+        if !cfg.on_demand_connections {
+            sim.with_world(|ctx| {
+                for i in 0..nprocs {
+                    for j in (i + 1)..nprocs {
+                        ibfabric::connect(ctx, qp_id_for(nprocs, i, j), qp_id_for(nprocs, j, i));
+                    }
+                }
+            });
+        }
+
+        let body = Arc::new(body);
+        let (tx, rx) = crossbeam::channel::unbounded::<(usize, R, RankStats)>();
+        for (i, setup) in setups.iter_mut().enumerate() {
+            let setup = setup.take().expect("setup present");
+            let body = Arc::clone(&body);
+            let tx = tx.clone();
+            sim.spawn(format!("rank{i}"), move |proc| {
+                let mut mpi = MpiRank::new(proc, setup);
+                let result = body(&mut mpi);
+                mpi.finalize();
+                let stats = mpi.finish_stats();
+                let _ = tx.send((mpi.rank(), result, stats));
+            });
+        }
+        drop(tx);
+
+        let report = sim.run()?;
+        let mut collected: Vec<(usize, R, RankStats)> = rx.try_iter().collect();
+        collected.sort_by_key(|(r, _, _)| *r);
+        assert_eq!(collected.len(), nprocs, "missing rank results");
+        let mut results = Vec::with_capacity(nprocs);
+        let mut stats = WorldStats::default();
+        for (_, r, s) in collected {
+            results.push(r);
+            stats.ranks.push(s);
+        }
+        Ok(MpiRunOutput {
+            results,
+            stats,
+            end_time: report.end_time,
+            events: report.events_processed,
+            fabric: sim.into_world(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_index_is_dense_and_unique() {
+        let n = 5;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    assert!(seen.insert(pair_index(n, i, j)));
+                }
+            }
+        }
+        assert_eq!(seen.len(), n * (n - 1));
+        assert_eq!(*seen.iter().max().unwrap(), n * (n - 1) - 1);
+    }
+}

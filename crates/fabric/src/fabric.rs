@@ -1,0 +1,304 @@
+//! The fabric world: nodes, verbs objects, and the verbs entry points.
+
+use crate::cq::{Cq, CqId};
+use crate::mem::{Access, Mr, MrId};
+use crate::net::Net;
+use crate::params::FabricParams;
+use crate::qp::{Qp, QpAttrs, QpId, QpState, SendWqe};
+use crate::stats::FabricStats;
+use crate::transport;
+use crate::wr::{Cqe, RecvWr, SendWr};
+use ibsim::{Ctx, SimTime, Waker};
+
+/// Handle to a host (one HCA per host on the testbed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Per-node HCA resources: host-bus DMA occupancy in each direction plus
+/// the RDMA memory watchers the MPI layer uses while blocked.
+#[derive(Debug)]
+pub(crate) struct Node {
+    pub tx_busy_until: SimTime,
+    pub rx_busy_until: SimTime,
+    pub rdma_watchers: Vec<Waker>,
+}
+
+/// Errors returned synchronously by verbs calls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerbsError {
+    /// QP is not in a state that accepts this operation.
+    InvalidQpState,
+    /// Memory region handle is unknown.
+    UnknownMr,
+    /// Offset/length fall outside the region.
+    OutOfBounds,
+    /// The region does not grant the required access.
+    AccessDenied,
+    /// The region belongs to a different node.
+    WrongNode,
+    /// A UD datagram exceeded the path MTU.
+    MessageTooLong,
+}
+
+impl std::fmt::Display for VerbsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            VerbsError::InvalidQpState => "invalid QP state",
+            VerbsError::UnknownMr => "unknown memory region",
+            VerbsError::OutOfBounds => "offset/length out of bounds",
+            VerbsError::AccessDenied => "access denied",
+            VerbsError::WrongNode => "memory region owned by another node",
+            VerbsError::MessageTooLong => "datagram exceeds the path MTU",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for VerbsError {}
+
+/// The simulated fabric: the world type of the enclosing [`ibsim::Sim`].
+#[derive(Debug)]
+pub struct Fabric {
+    pub(crate) params: FabricParams,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) qps: Vec<Qp>,
+    pub(crate) cqs: Vec<Cq>,
+    pub(crate) mrs: Vec<Mr>,
+    pub(crate) net: Net,
+    /// Aggregate statistics.
+    pub stats: FabricStats,
+}
+
+impl Fabric {
+    /// Creates an empty fabric with the given timing model.
+    pub fn new(params: FabricParams) -> Self {
+        Fabric {
+            params,
+            nodes: Vec::new(),
+            qps: Vec::new(),
+            cqs: Vec::new(),
+            mrs: Vec::new(),
+            net: Net::new(0),
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// The timing model in force.
+    pub fn params(&self) -> &FabricParams {
+        &self.params
+    }
+
+    /// Adds a host (with its HCA and switch port) to the fabric.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            tx_busy_until: SimTime::ZERO,
+            rx_busy_until: SimTime::ZERO,
+            rdma_watchers: Vec::new(),
+        });
+        self.net.add_node();
+        id
+    }
+
+    /// Number of hosts.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Creates a completion queue on `node`.
+    pub fn create_cq(&mut self, node: NodeId) -> CqId {
+        let id = CqId(self.cqs.len() as u32);
+        self.cqs.push(Cq::new(node));
+        id
+    }
+
+    /// Creates an RC queue pair on `node`, with send completions reported
+    /// to `send_cq` and receive completions to `recv_cq` (the paper's MPI
+    /// design points both at one CQ per process).
+    pub fn create_qp(&mut self, node: NodeId, send_cq: CqId, recv_cq: CqId, attrs: QpAttrs) -> QpId {
+        debug_assert_eq!(self.cqs[send_cq.index()].node, node, "send CQ on wrong node");
+        debug_assert_eq!(self.cqs[recv_cq.index()].node, node, "recv CQ on wrong node");
+        let id = QpId(self.qps.len() as u32);
+        let mut qp = Qp::new(id, node, send_cq, recv_cq, attrs);
+        if attrs.qp_type == crate::qp::QpType::UnreliableDatagram {
+            // UD QPs are connectionless: usable as soon as they exist.
+            qp.state = QpState::ReadyToSend;
+        }
+        self.qps.push(qp);
+        id
+    }
+
+    /// Registers (pins) a fresh region of `len` zeroed bytes on `node`.
+    /// The caller is responsible for charging [`FabricParams::reg_cost`]
+    /// as process time (the MPI layer's pin-down cache does).
+    pub fn register(&mut self, node: NodeId, len: usize, access: Access) -> MrId {
+        let id = MrId(self.mrs.len() as u32);
+        self.mrs.push(Mr { node, access, bytes: vec![0; len] });
+        id
+    }
+
+    /// Read access to a region's bytes.
+    pub fn mr_bytes(&self, mr: MrId) -> &[u8] {
+        &self.mrs[mr.index()].bytes
+    }
+
+    /// Write access to a region's bytes (host software touching its own
+    /// memory, e.g. the MPI layer filling an eager buffer).
+    pub fn mr_bytes_mut(&mut self, mr: MrId) -> &mut [u8] {
+        &mut self.mrs[mr.index()].bytes
+    }
+
+    /// Immutable access to a QP (diagnostics and tests).
+    pub fn qp(&self, qp: QpId) -> &Qp {
+        &self.qps[qp.index()]
+    }
+
+    /// Immutable access to a CQ (diagnostics and tests).
+    pub fn cq(&self, cq: CqId) -> &Cq {
+        &self.cqs[cq.index()]
+    }
+
+    /// Posts a receive work request: validated, then queued FIFO. The
+    /// depth of this queue is what ACKs advertise as end-to-end credits.
+    pub fn post_recv(&mut self, qp: QpId, wr: RecvWr) -> Result<(), VerbsError> {
+        let node = self.qps[qp.index()].node;
+        let mr = self.mrs.get(wr.mr.index()).ok_or(VerbsError::UnknownMr)?;
+        if mr.node != node {
+            return Err(VerbsError::WrongNode);
+        }
+        if !mr.access.allows(Access::LOCAL_WRITE) {
+            return Err(VerbsError::AccessDenied);
+        }
+        if !mr.check_range(wr.offset, wr.len) {
+            return Err(VerbsError::OutOfBounds);
+        }
+        let q = &mut self.qps[qp.index()];
+        if q.state == QpState::Error {
+            return Err(VerbsError::InvalidQpState);
+        }
+        q.rq.push_back(wr);
+        q.peak_rq_depth = q.peak_rq_depth.max(q.rq.len());
+        Ok(())
+    }
+
+    /// Drains up to `max` completions from `cq`.
+    pub fn poll_cq(&mut self, cq: CqId, max: usize) -> Vec<Cqe> {
+        let q = &mut self.cqs[cq.index()];
+        let mut out = Vec::new();
+        while out.len() < max {
+            match q.pop() {
+                Some(c) => out.push(c),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Registers `waker` for a wake when the next completion lands in `cq`.
+    pub fn req_notify_cq(&mut self, cq: CqId, waker: Waker) {
+        self.cqs[cq.index()].register_waiter(waker);
+    }
+
+    /// Registers `waker` for a wake when any RDMA WRITE lands in `node`'s
+    /// memory (models the MPI progress engine polling memory for
+    /// RDMA-delivered credit updates / RDMA-channel messages).
+    pub fn watch_rdma(&mut self, node: NodeId, waker: Waker) {
+        let ws = &mut self.nodes[node.index()].rdma_watchers;
+        if !ws.contains(&waker) {
+            ws.push(waker);
+        }
+    }
+}
+
+/// Connects two QPs as a reliable connection and exchanges initial
+/// end-to-end credits (each side learns how many receives the peer has
+/// already posted, as the real connection handshake's `initial credit`
+/// field does).
+pub fn connect(ctx: &mut Ctx<'_, Fabric>, a: QpId, b: QpId) {
+    assert_ne!(a, b, "cannot connect a QP to itself");
+    {
+        let f = &mut ctx.world;
+        let rb = f.qps[b.index()].rq.len() as u32;
+        let ra = f.qps[a.index()].rq.len() as u32;
+        let qa = &mut f.qps[a.index()];
+        assert_eq!(qa.state, QpState::Reset, "QP already connected");
+        qa.peer = Some(b);
+        qa.state = QpState::ReadyToSend;
+        qa.adv_credits = rb;
+        let qb = &mut f.qps[b.index()];
+        assert_eq!(qb.state, QpState::Reset, "QP already connected");
+        qb.peer = Some(a);
+        qb.state = QpState::ReadyToSend;
+        qb.adv_credits = ra;
+    }
+    transport::pump(ctx, a);
+    transport::pump(ctx, b);
+}
+
+/// Posts a send-side work request (two-sided send or RDMA) and kicks the
+/// QP's transmit engine.
+pub fn post_send(ctx: &mut Ctx<'_, Fabric>, qp: QpId, wr: SendWr) -> Result<(), VerbsError> {
+    {
+        let f = &mut ctx.world;
+        let q = &mut f.qps[qp.index()];
+        if q.state != QpState::ReadyToSend {
+            return Err(VerbsError::InvalidQpState);
+        }
+        let rnr_budget = q.attrs.rnr_retry;
+        q.sq.push_back(SendWqe {
+            wr_id: wr.wr_id,
+            op: wr.op,
+            signaled: wr.signaled,
+            rnr_budget,
+            attempts: 0,
+        });
+        q.peak_sq_depth = q.peak_sq_depth.max(q.sq.len());
+    }
+    transport::pump(ctx, qp);
+    Ok(())
+}
+
+/// Posts a datagram on an Unreliable Datagram QP, addressed to `dst_qp`
+/// (the address-handle + remote-QPN pair of the verbs API). The payload
+/// must fit in one MTU. Delivery is best-effort: a datagram that finds no
+/// posted receive WQE at the destination is silently dropped, and the
+/// send completes locally as soon as it leaves the wire.
+pub fn post_send_ud(
+    ctx: &mut Ctx<'_, Fabric>,
+    qp: QpId,
+    dst_qp: QpId,
+    wr: SendWr,
+) -> Result<(), VerbsError> {
+    {
+        let f = &ctx.world;
+        let q = &f.qps[qp.index()];
+        if q.state != QpState::ReadyToSend
+            || q.attrs.qp_type != crate::qp::QpType::UnreliableDatagram
+            || f.qps[dst_qp.index()].attrs.qp_type != crate::qp::QpType::UnreliableDatagram
+        {
+            return Err(VerbsError::InvalidQpState);
+        }
+        let payload_len = match &wr.op {
+            crate::wr::SendOp::Send { payload } => payload.len(),
+            _ => return Err(VerbsError::InvalidQpState), // UD is send/recv only
+        };
+        if payload_len > f.params.mtu {
+            return Err(VerbsError::MessageTooLong);
+        }
+    }
+    transport::send_ud(ctx, qp, dst_qp, wr);
+    Ok(())
+}
+
+/// Re-export of [`Fabric::post_recv`] as a free function for symmetry with
+/// [`post_send`] in calling code that holds a `Ctx`.
+pub fn post_recv(ctx: &mut Ctx<'_, Fabric>, qp: QpId, wr: RecvWr) -> Result<(), VerbsError> {
+    ctx.world.post_recv(qp, wr)
+}

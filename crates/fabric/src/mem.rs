@@ -1,0 +1,128 @@
+//! Registered memory regions with access-flag and bounds checking.
+
+use crate::fabric::NodeId;
+
+/// Handle to a registered memory region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MrId(pub(crate) u32);
+
+impl MrId {
+    /// Dense index (for diagnostics).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw rkey value as carried on the wire in connection handshakes
+    /// and rendezvous replies.
+    pub fn as_raw(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs a region handle from a wire rkey. The value must have
+    /// come from [`MrId::as_raw`]; access checks still apply at use.
+    pub fn from_raw(raw: u32) -> MrId {
+        MrId(raw)
+    }
+
+    /// Constructs an id from a raw index. Only for unit tests of code that
+    /// stores `MrId`s; the id is not valid against any fabric.
+    #[doc(hidden)]
+    pub fn from_index_for_tests(i: u32) -> MrId {
+        MrId(i)
+    }
+}
+
+/// Access flags of a memory region, mirroring the verbs access bits the
+/// paper's MPI implementation needs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Access(u8);
+
+impl Access {
+    /// Local read access only (always granted).
+    pub const LOCAL_READ: Access = Access(0);
+    /// The HCA may write received data into this region.
+    pub const LOCAL_WRITE: Access = Access(1);
+    /// Remote peers may RDMA-write into this region.
+    pub const REMOTE_WRITE: Access = Access(2);
+    /// Remote peers may RDMA-read from this region.
+    pub const REMOTE_READ: Access = Access(4);
+    /// Everything: local write + remote read/write.
+    pub const FULL: Access = Access(7);
+
+    /// Combines two flag sets.
+    pub fn union(self, other: Access) -> Access {
+        Access(self.0 | other.0)
+    }
+
+    /// True if every bit in `needed` is present.
+    pub fn allows(self, needed: Access) -> bool {
+        self.0 & needed.0 == needed.0
+    }
+}
+
+impl std::ops::BitOr for Access {
+    type Output = Access;
+    fn bitor(self, rhs: Access) -> Access {
+        self.union(rhs)
+    }
+}
+
+/// A registered ("pinned") memory region owned by one node.
+#[derive(Debug)]
+pub struct Mr {
+    pub(crate) node: NodeId,
+    pub(crate) access: Access,
+    pub(crate) bytes: Vec<u8>,
+}
+
+impl Mr {
+    /// Owning node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Region length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Access flags granted at registration.
+    pub fn access(&self) -> Access {
+        self.access
+    }
+
+    pub(crate) fn check_range(&self, offset: usize, len: usize) -> bool {
+        offset.checked_add(len).is_some_and(|end| end <= self.bytes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_flags() {
+        let a = Access::LOCAL_WRITE | Access::REMOTE_WRITE;
+        assert!(a.allows(Access::LOCAL_WRITE));
+        assert!(a.allows(Access::REMOTE_WRITE));
+        assert!(!a.allows(Access::REMOTE_READ));
+        assert!(a.allows(Access::LOCAL_READ));
+        assert!(Access::FULL.allows(a));
+    }
+
+    #[test]
+    fn range_checks() {
+        let mr = Mr { node: NodeId(0), access: Access::FULL, bytes: vec![0; 100] };
+        assert!(mr.check_range(0, 100));
+        assert!(mr.check_range(99, 1));
+        assert!(!mr.check_range(99, 2));
+        assert!(!mr.check_range(usize::MAX, 2));
+        assert_eq!(mr.len(), 100);
+        assert!(!mr.is_empty());
+    }
+}

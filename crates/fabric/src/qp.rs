@@ -1,0 +1,245 @@
+//! Queue pair state: RC sender and receiver state machines (data side).
+
+use crate::cq::CqId;
+use crate::fabric::NodeId;
+use crate::stats::QpStats;
+use crate::wr::{RecvWr, SendOp};
+use ibsim::SimTime;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Handle to a queue pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QpId(pub(crate) u32);
+
+impl QpId {
+    /// Dense index (for diagnostics).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs an id from a raw index. Only for unit tests of code that
+    /// stores `QpId`s; the id is not valid against any fabric.
+    #[doc(hidden)]
+    pub fn from_index_for_tests(i: u32) -> QpId {
+        QpId(i)
+    }
+}
+
+/// Queue pair lifecycle state (condensed from the verbs state machine).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QpState {
+    /// Created, not yet connected.
+    Reset,
+    /// Connected and able to send/receive.
+    ReadyToSend,
+    /// A fatal completion occurred; outstanding work flushes with errors.
+    Error,
+}
+
+/// Transport service type of a queue pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QpType {
+    /// Reliable Connection: connected, acknowledged, in-order,
+    /// RNR-retried — the service the paper's MPI designs build on.
+    ReliableConnection,
+    /// Unreliable Datagram: connectionless sends addressed per-work-
+    /// request; no ACKs, no retries, and arrivals that find no receive
+    /// WQE are silently dropped. Modelled for the paper's future-work
+    /// direction (§8: "flow control issues in using other InfiniBand
+    /// transport services").
+    UnreliableDatagram,
+}
+
+/// Creation-time attributes of a queue pair.
+#[derive(Clone, Copy, Debug)]
+pub struct QpAttrs {
+    /// RNR retry budget per message; `None` means retry forever (the
+    /// paper's hardware-based scheme sets "retry count to infinite" so the
+    /// MPI layer never sees a drop). Ignored for UD.
+    pub rnr_retry: Option<u32>,
+    /// Transport service.
+    pub qp_type: QpType,
+}
+
+impl Default for QpAttrs {
+    fn default() -> Self {
+        // 7 is the verbs encoding for "infinite"; we default to a finite
+        // but generous budget and let callers opt into infinity.
+        QpAttrs { rnr_retry: Some(16), qp_type: QpType::ReliableConnection }
+    }
+}
+
+impl QpAttrs {
+    /// Attributes for an Unreliable Datagram QP.
+    pub fn ud() -> Self {
+        QpAttrs { rnr_retry: None, qp_type: QpType::UnreliableDatagram }
+    }
+}
+
+/// A send work request queued on a QP, with its retry bookkeeping.
+#[derive(Debug)]
+pub(crate) struct SendWqe {
+    pub wr_id: u64,
+    pub op: SendOp,
+    pub signaled: bool,
+    pub rnr_budget: Option<u32>,
+    /// How many times this message has been (re)transmitted.
+    pub attempts: u32,
+}
+
+/// A launched, not-yet-acknowledged message.
+#[derive(Debug)]
+pub(crate) struct InflightMsg {
+    pub msn: u64,
+    pub wqe: SendWqe,
+}
+
+/// The payload a delivery event carries to the receiving HCA.
+#[derive(Debug, Clone)]
+pub(crate) enum MsgBody {
+    Send { payload: Arc<[u8]> },
+    RdmaWrite { payload: Arc<[u8]>, rkey: crate::mem::MrId, remote_offset: usize },
+    RdmaRead {
+        rkey: crate::mem::MrId,
+        remote_offset: usize,
+        local_mr: crate::mem::MrId,
+        local_offset: usize,
+        len: usize,
+    },
+}
+
+/// One side of a reliable connection.
+#[derive(Debug)]
+pub struct Qp {
+    pub(crate) id: QpId,
+    pub(crate) node: NodeId,
+    pub(crate) peer: Option<QpId>,
+    pub(crate) send_cq: CqId,
+    pub(crate) recv_cq: CqId,
+    pub(crate) state: QpState,
+    pub(crate) attrs: QpAttrs,
+
+    // ---- requester (sender) side ----
+    /// Posted but not yet launched send work.
+    pub(crate) sq: VecDeque<SendWqe>,
+    /// Launched, awaiting acknowledgement (ordered by MSN).
+    pub(crate) inflight: VecDeque<InflightMsg>,
+    /// Next message sequence number to assign.
+    pub(crate) next_msn: u64,
+    /// Credits the peer advertised, minus our optimistic decrements.
+    pub(crate) adv_credits: u32,
+    /// Send-type messages in flight (they consume peer receive WQEs).
+    pub(crate) unacked_sends: u32,
+    /// RNR backoff horizon; no launches before this instant.
+    pub(crate) backoff_until: Option<SimTime>,
+    /// Whether a pump event is already scheduled for the backoff horizon.
+    pub(crate) pump_scheduled: bool,
+
+    // ---- responder (receiver) side ----
+    /// Posted receive WQEs, consumed in FIFO order.
+    pub(crate) rq: VecDeque<RecvWr>,
+    /// Next message sequence number expected from the peer.
+    pub(crate) expected_msn: u64,
+
+    /// Peak depth of the software send queue (scalability diagnostics).
+    pub(crate) peak_sq_depth: usize,
+    /// Peak number of posted receive WQEs.
+    pub(crate) peak_rq_depth: usize,
+
+    /// Per-QP statistics.
+    pub stats: QpStats,
+}
+
+impl Qp {
+    pub(crate) fn new(id: QpId, node: NodeId, send_cq: CqId, recv_cq: CqId, attrs: QpAttrs) -> Self {
+        Qp {
+            id,
+            node,
+            peer: None,
+            send_cq,
+            recv_cq,
+            state: QpState::Reset,
+            attrs,
+            sq: VecDeque::new(),
+            inflight: VecDeque::new(),
+            next_msn: 0,
+            adv_credits: 0,
+            unacked_sends: 0,
+            backoff_until: None,
+            pump_scheduled: false,
+            rq: VecDeque::new(),
+            expected_msn: 0,
+            peak_sq_depth: 0,
+            peak_rq_depth: 0,
+            stats: QpStats::default(),
+        }
+    }
+
+    /// This QP's handle.
+    pub fn id(&self) -> QpId {
+        self.id
+    }
+
+    /// Owning node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The connected peer, if any.
+    pub fn peer(&self) -> Option<QpId> {
+        self.peer
+    }
+
+    /// Lifecycle state.
+    pub fn state(&self) -> QpState {
+        self.state
+    }
+
+    /// Number of receive WQEs currently posted (the quantity advertised to
+    /// the peer as end-to-end credits).
+    pub fn posted_recvs(&self) -> usize {
+        self.rq.len()
+    }
+
+    /// Messages launched and awaiting acknowledgement.
+    pub fn inflight_msgs(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Send work posted but not yet launched.
+    pub fn queued_sends(&self) -> usize {
+        self.sq.len()
+    }
+
+    /// Peak software send-queue depth observed.
+    pub fn peak_sq_depth(&self) -> usize {
+        self.peak_sq_depth
+    }
+
+    /// Peak posted-receive depth observed.
+    pub fn peak_rq_depth(&self) -> usize {
+        self.peak_rq_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_qp_is_reset_and_empty() {
+        let qp = Qp::new(QpId(3), NodeId(1), CqId(0), CqId(0), QpAttrs::default());
+        assert_eq!(qp.id(), QpId(3));
+        assert_eq!(qp.state(), QpState::Reset);
+        assert_eq!(qp.posted_recvs(), 0);
+        assert_eq!(qp.inflight_msgs(), 0);
+        assert_eq!(qp.queued_sends(), 0);
+        assert!(qp.peer().is_none());
+    }
+
+    #[test]
+    fn default_attrs_are_finite_retry() {
+        assert_eq!(QpAttrs::default().rnr_retry, Some(16));
+    }
+}

@@ -1,0 +1,59 @@
+//! Fabric-level and per-QP statistics.
+
+use ibsim::stats::{Counter, Peak};
+
+/// Per-QP transport statistics.
+#[derive(Clone, Debug, Default)]
+pub struct QpStats {
+    /// Two-sided send messages launched (including retransmissions).
+    pub sends_launched: Counter,
+    /// RDMA write messages launched.
+    pub rdma_writes: Counter,
+    /// RDMA read requests launched.
+    pub rdma_reads: Counter,
+    /// Payload bytes launched in the request direction (incl. retransmits).
+    pub bytes_launched: Counter,
+    /// Messages retransmitted after an RNR NAK (go-back-N re-launches).
+    pub retransmissions: Counter,
+    /// RNR NAKs this QP *generated* as a responder.
+    pub rnr_naks_sent: Counter,
+    /// RNR NAKs this QP *received* as a requester.
+    pub rnr_naks_received: Counter,
+    /// ACKs received.
+    pub acks_received: Counter,
+    /// Messages launched with zero advertised credits (probes).
+    pub zero_credit_probes: Counter,
+    /// Peak messages in flight at once.
+    pub peak_inflight: Peak,
+}
+
+/// Aggregate fabric statistics.
+#[derive(Clone, Debug, Default)]
+pub struct FabricStats {
+    /// Total messages delivered to responders.
+    pub msgs_delivered: Counter,
+    /// Total payload bytes delivered.
+    pub bytes_delivered: Counter,
+    /// Total RNR NAKs generated fabric-wide.
+    pub rnr_naks: Counter,
+    /// Total retransmitted messages fabric-wide.
+    pub retransmissions: Counter,
+    /// Total completions generated.
+    pub cqes: Counter,
+    /// Datagrams dropped at UD responders with no posted receive WQE.
+    pub ud_drops: Counter,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_zero() {
+        let s = QpStats::default();
+        assert_eq!(s.sends_launched.get(), 0);
+        assert_eq!(s.peak_inflight.get(), 0);
+        let f = FabricStats::default();
+        assert_eq!(f.msgs_delivered.get(), 0);
+    }
+}

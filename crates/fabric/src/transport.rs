@@ -1,0 +1,720 @@
+//! The Reliable Connection transport state machine.
+//!
+//! Message-granular go-back-N with packet-accurate timing:
+//!
+//! * a **pump** launches queued send WQEs subject to the in-flight window
+//!   and end-to-end credits (send-type messages only; a sender with zero
+//!   advertised credits may keep exactly one *probe* in flight);
+//! * a **delivery** event fires when the last packet of a message reaches
+//!   the destination HCA; the responder consumes a receive WQE (or answers
+//!   **RNR NAK**), charges receiver-side DMA/processing time, then places
+//!   data and acknowledges;
+//! * **ACKs** are cumulative and advertise the responder's current free
+//!   receive-WQE count (IBA end-to-end flow control);
+//! * an **RNR NAK** rolls the requester back go-back-N style: every
+//!   unacknowledged message at or after the NAKed sequence number returns
+//!   to the send queue and is retransmitted after the RNR timer, burning
+//!   one unit of the message's retry budget per NAK (a budget of `None`
+//!   retries forever, as the paper's hardware-based scheme configures).
+
+use crate::fabric::{Fabric, NodeId};
+use crate::mem::Access;
+use crate::qp::{InflightMsg, MsgBody, QpId, QpState};
+use crate::wr::{Cqe, CqeOpcode, CqeStatus, SendOp};
+use ibsim::{Ctx, SimTime};
+use std::sync::Arc;
+
+/// Pushes a completion and wakes any CQ waiters.
+pub(crate) fn push_cqe(ctx: &mut Ctx<'_, Fabric>, cq: crate::cq::CqId, cqe: Cqe) {
+    ctx.world.stats.cqes.incr();
+    let mut waiters = ctx.world.cqs[cq.index()].push(cqe);
+    ctx.wake_all(&mut waiters);
+}
+
+/// Launch-eligibility decision for the head of a QP's send queue.
+enum PumpDecision {
+    Idle,
+    WaitBackoff(SimTime),
+    Launch,
+}
+
+/// Drives a QP's transmit engine: launches as many queued messages as the
+/// in-flight window and credit state allow.
+pub(crate) fn pump(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId) {
+    loop {
+        let now = ctx.now();
+        let decision = {
+            let max_inflight = ctx.world.params.max_inflight_msgs;
+            let q = &mut ctx.world.qps[qp_id.index()];
+            if q.state != QpState::ReadyToSend {
+                PumpDecision::Idle
+            } else if let Some(b) = q.backoff_until {
+                if now < b {
+                    PumpDecision::WaitBackoff(b)
+                } else {
+                    q.backoff_until = None;
+                    continue;
+                }
+            } else if q.inflight.len() >= max_inflight {
+                PumpDecision::Idle // an ACK will re-pump
+            } else {
+                match q.sq.front() {
+                    None => PumpDecision::Idle,
+                    Some(head) => {
+                        if head.op.is_send() {
+                            if q.adv_credits > 0 {
+                                q.adv_credits -= 1;
+                                PumpDecision::Launch
+                            } else if q.unacked_sends == 0 {
+                                // Zero-credit probe: IBA permits sending
+                                // without credits; the responder answers
+                                // RNR NAK if it truly has no buffer.
+                                q.stats.zero_credit_probes.incr();
+                                PumpDecision::Launch
+                            } else {
+                                PumpDecision::Idle // wait for a credit update
+                            }
+                        } else {
+                            PumpDecision::Launch // RDMA bypasses credits
+                        }
+                    }
+                }
+            }
+        };
+        match decision {
+            PumpDecision::Idle => return,
+            PumpDecision::WaitBackoff(b) => {
+                let q = &mut ctx.world.qps[qp_id.index()];
+                if !q.pump_scheduled {
+                    q.pump_scheduled = true;
+                    ctx.schedule_at(b, move |c| {
+                        c.world.qps[qp_id.index()].pump_scheduled = false;
+                        pump(c, qp_id);
+                    });
+                }
+                return;
+            }
+            PumpDecision::Launch => launch(ctx, qp_id),
+        }
+    }
+}
+
+/// Transmits `bytes` from `src` to `dst`: charges the per-WQE processing
+/// cost, segments into MTU packets, occupies the source DMA/link and the
+/// destination egress port, and returns `(first, last)` packet arrival
+/// instants at the destination HCA.
+fn transmit(ctx: &mut Ctx<'_, Fabric>, src: NodeId, dst: NodeId, bytes: usize) -> (SimTime, SimTime) {
+    let now = ctx.now();
+    let w = &mut *ctx.world;
+    let params = &w.params;
+    let mtu = params.mtu;
+    let npkts = params.packets_for(bytes);
+
+    // Pass 1: per-packet departure times off the source host. The
+    // per-WQE processing cost *occupies* the transmit engine: it is what
+    // bounds the small-message rate of the era's HCAs (~300k msg/s).
+    let mut cursor = now.max(w.nodes[src.index()].tx_busy_until) + params.wqe_tx_proc;
+    let mut departures = Vec::with_capacity(npkts);
+    let mut remaining = bytes;
+    for _ in 0..npkts {
+        let pkt = remaining.min(mtu);
+        remaining -= pkt;
+        let spacing = params.serialize_time(pkt).max(params.dma_time(pkt));
+        cursor += spacing;
+        departures.push((cursor + params.pkt_tx_overhead, pkt));
+    }
+    w.nodes[src.index()].tx_busy_until = cursor;
+
+    // Pass 2: route each packet through the switch to the egress port.
+    let mut first = SimTime::MAX;
+    let mut last = SimTime::ZERO;
+    for (tx_done, pkt) in departures {
+        let arrival = w.net.route_packet(&w.params, dst, tx_done, pkt);
+        first = first.min(arrival);
+        last = last.max(arrival);
+    }
+    (first, last)
+}
+
+/// Takes the head WQE of the send queue, assigns it the next MSN, and puts
+/// its bytes on the wire.
+fn launch(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId) {
+    let (msn, body, bytes, dst_qp, src_node, dst_node) = {
+        let q = &mut ctx.world.qps[qp_id.index()];
+        let mut wqe = q.sq.pop_front().expect("pump checked head exists");
+        wqe.attempts += 1;
+        let retransmit = wqe.attempts > 1;
+        let msn = q.next_msn;
+        q.next_msn += 1;
+        let bytes = wqe.op.request_bytes();
+        let body = match &wqe.op {
+            SendOp::Send { payload } => {
+                q.unacked_sends += 1;
+                q.stats.sends_launched.incr();
+                MsgBody::Send { payload: Arc::clone(payload) }
+            }
+            SendOp::RdmaWrite { payload, rkey, remote_offset } => {
+                q.stats.rdma_writes.incr();
+                MsgBody::RdmaWrite {
+                    payload: Arc::clone(payload),
+                    rkey: *rkey,
+                    remote_offset: *remote_offset,
+                }
+            }
+            SendOp::RdmaRead { rkey, remote_offset, local_mr, local_offset, len } => {
+                q.stats.rdma_reads.incr();
+                MsgBody::RdmaRead {
+                    rkey: *rkey,
+                    remote_offset: *remote_offset,
+                    local_mr: *local_mr,
+                    local_offset: *local_offset,
+                    len: *len,
+                }
+            }
+        };
+        q.stats.bytes_launched.add(bytes as u64);
+        if retransmit {
+            q.stats.retransmissions.incr();
+        }
+        let dst_qp = q.peer.expect("ReadyToSend implies connected");
+        let src_node = q.node;
+        q.inflight.push_back(InflightMsg { msn, wqe });
+        q.stats.peak_inflight.observe(q.inflight.len() as u64);
+        if retransmit {
+            ctx.world.stats.retransmissions.incr();
+        }
+        let dst_node = ctx.world.qps[dst_qp.index()].node;
+        (msn, body, bytes, dst_qp, src_node, dst_node)
+    };
+    let (first, last) = transmit(ctx, src_node, dst_node, bytes);
+    ctx.schedule_at(last, move |c| deliver(c, dst_qp, msn, body, first));
+}
+
+/// Schedules `handle_ack` at the requester after the control-channel
+/// delay. The advertised credit count is sampled when the ACK *fires*,
+/// not when the delivery completed — mirroring how delayed/coalesced
+/// hardware ACKs pick up receive WQEs the consumer reposted in the
+/// interim.
+fn send_ack(ctx: &mut Ctx<'_, Fabric>, responder: QpId, requester: QpId, msn: u64) {
+    let delay = ctx.world.params.ack_latency;
+    ctx.schedule_after(delay, move |c| {
+        let credits = c.world.qps[responder.index()].rq.len() as u32;
+        handle_ack(c, requester, msn, credits, false);
+    });
+}
+
+/// The last packet of message `msn` has arrived at `dst_qp`'s HCA.
+fn deliver(ctx: &mut Ctx<'_, Fabric>, dst_qp: QpId, msn: u64, body: MsgBody, first_arrival: SimTime) {
+    let now = ctx.now();
+    let (src_qp, expected, state, dst_node) = {
+        let q = &ctx.world.qps[dst_qp.index()];
+        (q.peer, q.expected_msn, q.state, q.node)
+    };
+    if state == QpState::Error {
+        return;
+    }
+    let src_qp = match src_qp {
+        Some(p) => p,
+        None => return,
+    };
+    if msn != expected {
+        if msn < expected {
+            // Duplicate (already processed): re-acknowledge.
+            send_ack(ctx, dst_qp, src_qp, msn);
+        }
+        // msn > expected: a message after a go-back-N point; drop silently,
+        // the requester retransmits the whole tail.
+        return;
+    }
+
+    match body {
+        MsgBody::Send { payload } => {
+            let has_buffer = !ctx.world.qps[dst_qp.index()].rq.is_empty();
+            if !has_buffer {
+                // Receiver not ready.
+                if std::env::var("IBFABRIC_TRACE_RNR").is_ok() {
+                    eprintln!(
+                        "RNR t={} dst_qp={} msn={} len={} first_byte={}",
+                        now,
+                        dst_qp.index(),
+                        msn,
+                        payload.len(),
+                        payload.first().copied().unwrap_or(255)
+                    );
+                }
+                {
+                    let q = &mut ctx.world.qps[dst_qp.index()];
+                    q.stats.rnr_naks_sent.incr();
+                }
+                ctx.world.stats.rnr_naks.incr();
+                let delay = ctx.world.params.ack_latency;
+                ctx.schedule_after(delay, move |c| handle_rnr_nak(c, src_qp, msn));
+                return;
+            }
+            if std::env::var("IBFABRIC_TRACE_RNR").is_ok() {
+                eprintln!(
+                    "CONSUME t={} dst_qp={} msn={} kind={} rq_left={}",
+                    now,
+                    dst_qp.index(),
+                    msn,
+                    payload.first().copied().unwrap_or(255),
+                    ctx.world.qps[dst_qp.index()].rq.len() - 1
+                );
+            }
+            let (rwqe, recv_cq) = {
+                let q = &mut ctx.world.qps[dst_qp.index()];
+                (q.rq.pop_front().expect("checked non-empty"), q.recv_cq)
+            };
+            if rwqe.len < payload.len() {
+                // Message too long for the posted buffer: local error at
+                // the responder; the requester still sees an ACK (we keep
+                // the requester-side QP alive; the MPI layer sizes its
+                // buffers so this only happens on misuse).
+                ctx.world.qps[dst_qp.index()].expected_msn += 1;
+                push_cqe(
+                    ctx,
+                    recv_cq,
+                    Cqe {
+                        wr_id: rwqe.wr_id,
+                        qp: dst_qp,
+                        opcode: CqeOpcode::RecvComplete,
+                        status: CqeStatus::LocalLengthError,
+                        byte_len: payload.len(),
+                    },
+                );
+                send_ack(ctx, dst_qp, src_qp, msn);
+                return;
+            }
+            ctx.world.qps[dst_qp.index()].expected_msn += 1;
+            ctx.world.stats.msgs_delivered.incr();
+            ctx.world.stats.bytes_delivered.add(payload.len() as u64);
+            let rx_done = charge_rx(ctx, dst_node, first_arrival, now, payload.len());
+            ctx.schedule_at(rx_done, move |c| {
+                let len = payload.len();
+                c.world.mrs[rwqe.mr.index()].bytes[rwqe.offset..rwqe.offset + len]
+                    .copy_from_slice(&payload);
+                let recv_cq = c.world.qps[dst_qp.index()].recv_cq;
+                push_cqe(
+                    c,
+                    recv_cq,
+                    Cqe {
+                        wr_id: rwqe.wr_id,
+                        qp: dst_qp,
+                        opcode: CqeOpcode::RecvComplete,
+                        status: CqeStatus::Success,
+                        byte_len: len,
+                    },
+                );
+                send_ack(c, dst_qp, src_qp, msn);
+            });
+        }
+        MsgBody::RdmaWrite { payload, rkey, remote_offset } => {
+            let valid = ctx.world.mrs.get(rkey.index()).is_some_and(|mr| {
+                mr.node == dst_node
+                    && mr.access.allows(Access::REMOTE_WRITE)
+                    && mr.check_range(remote_offset, payload.len())
+            });
+            ctx.world.qps[dst_qp.index()].expected_msn += 1;
+            if !valid {
+                let delay = ctx.world.params.ack_latency;
+                ctx.schedule_after(delay, move |c| remote_access_error(c, src_qp, msn));
+                return;
+            }
+            ctx.world.stats.msgs_delivered.incr();
+            ctx.world.stats.bytes_delivered.add(payload.len() as u64);
+            let rx_done = charge_rx_rdma(ctx, dst_node, first_arrival, now, payload.len());
+            ctx.schedule_at(rx_done, move |c| {
+                let len = payload.len();
+                c.world.mrs[rkey.index()].bytes[remote_offset..remote_offset + len]
+                    .copy_from_slice(&payload);
+                let mut watchers =
+                    std::mem::take(&mut c.world.nodes[dst_node.index()].rdma_watchers);
+                c.wake_all(&mut watchers);
+                send_ack(c, dst_qp, src_qp, msn);
+            });
+        }
+        MsgBody::RdmaRead { rkey, remote_offset, local_mr, local_offset, len } => {
+            let valid = ctx.world.mrs.get(rkey.index()).is_some_and(|mr| {
+                mr.node == dst_node
+                    && mr.access.allows(Access::REMOTE_READ)
+                    && mr.check_range(remote_offset, len)
+            });
+            ctx.world.qps[dst_qp.index()].expected_msn += 1;
+            if !valid {
+                let delay = ctx.world.params.ack_latency;
+                ctx.schedule_after(delay, move |c| remote_access_error(c, src_qp, msn));
+                return;
+            }
+            ctx.world.stats.msgs_delivered.incr();
+            ctx.world.stats.bytes_delivered.add(len as u64);
+            let data: Arc<[u8]> =
+                ctx.world.mrs[rkey.index()].bytes[remote_offset..remote_offset + len].into();
+            let src_node = ctx.world.qps[src_qp.index()].node;
+            let (rfirst, rlast) = transmit(ctx, dst_node, src_node, len);
+            ctx.schedule_at(rlast, move |c| {
+                // Response data has arrived at the requester HCA.
+                let rx_done = charge_rx_rdma(c, src_node, rfirst, c.now(), data.len());
+                c.schedule_at(rx_done, move |c2| {
+                    c2.world.mrs[local_mr.index()].bytes[local_offset..local_offset + data.len()]
+                        .copy_from_slice(&data);
+                    // The read response acknowledges everything up to msn.
+                    let credits = c2.world.qps[src_qp.index()].adv_credits; // unchanged by reads
+                    handle_ack(c2, src_qp, msn, credits, true);
+                });
+            });
+        }
+    }
+}
+
+/// Charges receiver-side DMA and processing for an arriving message and
+/// returns the instant software may observe it.
+fn charge_rx(
+    ctx: &mut Ctx<'_, Fabric>,
+    node: NodeId,
+    first_arrival: SimTime,
+    now: SimTime,
+    bytes: usize,
+) -> SimTime {
+    charge_rx_kind(ctx, node, first_arrival, now, bytes, false)
+}
+
+/// Like [`charge_rx`] for one-sided RDMA arrivals, which skip the receive
+/// WQE and completion machinery.
+fn charge_rx_rdma(
+    ctx: &mut Ctx<'_, Fabric>,
+    node: NodeId,
+    first_arrival: SimTime,
+    now: SimTime,
+    bytes: usize,
+) -> SimTime {
+    charge_rx_kind(ctx, node, first_arrival, now, bytes, true)
+}
+
+fn charge_rx_kind(
+    ctx: &mut Ctx<'_, Fabric>,
+    node: NodeId,
+    first_arrival: SimTime,
+    now: SimTime,
+    bytes: usize,
+    rdma: bool,
+) -> SimTime {
+    let w = &mut *ctx.world;
+    let dma = w.params.dma_time(bytes);
+    let n = &mut w.nodes[node.index()];
+    // The receive DMA may start once the first packet is in and the
+    // engine is free; per-message processing then occupies the engine —
+    // the receive-side counterpart of the transmit WQE cost. Software
+    // sees the completion a short interrupt latency after the data is
+    // placed, independent of the engine finishing its bookkeeping.
+    let dma_start = n.rx_busy_until.max(first_arrival);
+    let dma_done = (dma_start + dma).max(now);
+    let proc = if rdma { w.params.rdma_rx_proc } else { w.params.rx_proc };
+    n.rx_busy_until = dma_done + proc;
+    if rdma {
+        // One-sided data is visible the instant the DMA lands: a polling
+        // consumer needs no completion entry — the latency edge of
+        // RDMA-based message passing.
+        dma_done
+    } else {
+        dma_done + w.params.cqe_latency
+    }
+}
+
+/// Cumulative acknowledgement for all messages up to `msn`.
+///
+/// `from_read_response` marks ACK semantics carried by RDMA READ response
+/// data: only then may in-flight READ entries complete (a plain ACK for a
+/// later send must not complete an earlier READ whose data is still on the
+/// wire — the pop loop stops at the READ instead).
+fn handle_ack(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId, msn: u64, credits: u32, from_read_response: bool) {
+    let mut completions: Vec<(crate::cq::CqId, Cqe)> = Vec::new();
+    {
+        let q = &mut ctx.world.qps[qp_id.index()];
+        if q.state == QpState::Error {
+            return;
+        }
+        q.stats.acks_received.incr();
+        while let Some(front) = q.inflight.front() {
+            if front.msn > msn {
+                break;
+            }
+            if matches!(front.wqe.op, SendOp::RdmaRead { .. }) && !from_read_response {
+                break;
+            }
+            let m = q.inflight.pop_front().expect("front exists");
+            let opcode = match &m.wqe.op {
+                SendOp::Send { .. } => {
+                    q.unacked_sends -= 1;
+                    CqeOpcode::SendComplete
+                }
+                SendOp::RdmaWrite { .. } => CqeOpcode::RdmaWriteComplete,
+                SendOp::RdmaRead { len, .. } => {
+                    if m.wqe.signaled {
+                        completions.push((
+                            q.send_cq,
+                            Cqe {
+                                wr_id: m.wqe.wr_id,
+                                qp: qp_id,
+                                opcode: CqeOpcode::RdmaReadComplete,
+                                status: CqeStatus::Success,
+                                byte_len: *len,
+                            },
+                        ));
+                    }
+                    continue;
+                }
+            };
+            if m.wqe.signaled {
+                completions.push((
+                    q.send_cq,
+                    Cqe {
+                        wr_id: m.wqe.wr_id,
+                        qp: qp_id,
+                        opcode,
+                        status: CqeStatus::Success,
+                        byte_len: m.wqe.op.request_bytes(),
+                    },
+                ));
+            }
+        }
+        q.adv_credits = credits.saturating_sub(q.unacked_sends);
+    }
+    for (cq, cqe) in completions {
+        push_cqe(ctx, cq, cqe);
+    }
+    pump(ctx, qp_id);
+}
+
+/// Receiver-not-ready NAK for message `msn`: go-back-N rollback, retry
+/// budget accounting, and backoff until the RNR timer expires.
+fn handle_rnr_nak(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId, msn: u64) {
+    let now = ctx.now();
+    let rnr_timer = ctx.world.params.rnr_timer;
+    let exhausted = {
+        let q = &mut ctx.world.qps[qp_id.index()];
+        if q.state == QpState::Error {
+            return;
+        }
+        q.stats.rnr_naks_received.incr();
+        q.adv_credits = 0;
+        // Roll back every in-flight message at or after the NAKed one.
+        while let Some(back) = q.inflight.back() {
+            if back.msn < msn {
+                break;
+            }
+            let m = q.inflight.pop_back().expect("back exists");
+            if m.wqe.op.is_send() {
+                q.unacked_sends -= 1;
+            }
+            q.sq.push_front(m.wqe);
+        }
+        q.next_msn = msn;
+        // Burn one retry unit on the NAKed (now head) message.
+        match q.sq.front_mut().and_then(|w| w.rnr_budget.as_mut()) {
+            Some(b) if *b == 0 => true,
+            Some(b) => {
+                *b -= 1;
+                false
+            }
+            None => false, // infinite retry
+        }
+    };
+    if exhausted {
+        let (send_cq, cqe) = {
+            let q = &mut ctx.world.qps[qp_id.index()];
+            let wqe = q.sq.pop_front().expect("head exists");
+            (
+                q.send_cq,
+                Cqe {
+                    wr_id: wqe.wr_id,
+                    qp: qp_id,
+                    opcode: CqeOpcode::SendComplete,
+                    status: CqeStatus::RnrRetryExceeded,
+                    byte_len: 0,
+                },
+            )
+        };
+        push_cqe(ctx, send_cq, cqe);
+        fail_qp(ctx, qp_id);
+        return;
+    }
+    {
+        let q = &mut ctx.world.qps[qp_id.index()];
+        q.backoff_until = Some(now + rnr_timer);
+    }
+    pump(ctx, qp_id); // schedules the retry at the backoff horizon
+}
+
+/// Unreliable Datagram path: one-shot transmit, local completion at wire
+/// exit, best-effort delivery (no ACK, no retry, drop when the responder
+/// has no receive WQE).
+pub(crate) fn send_ud(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId, dst_qp: QpId, wr: crate::wr::SendWr) {
+    let payload = match wr.op {
+        SendOp::Send { payload } => payload,
+        _ => unreachable!("validated by post_send_ud"),
+    };
+    let (src_node, dst_node, send_cq) = {
+        let q = &mut ctx.world.qps[qp_id.index()];
+        q.stats.sends_launched.incr();
+        q.stats.bytes_launched.add(payload.len() as u64);
+        (q.node, ctx.world.qps[dst_qp.index()].node, ctx.world.qps[qp_id.index()].send_cq)
+    };
+    let (first, last) = transmit(ctx, src_node, dst_node, payload.len());
+    // Local completion: the datagram left the HCA; nothing is tracked.
+    // (`first` is the earliest arrival instant, a close upper bound on
+    // the wire-exit time at message granularity.)
+    if wr.signaled {
+        let wr_id = wr.wr_id;
+        let len = payload.len();
+        ctx.schedule_at(first, move |c| {
+            push_cqe(
+                c,
+                send_cq,
+                Cqe {
+                    wr_id,
+                    qp: qp_id,
+                    opcode: CqeOpcode::SendComplete,
+                    status: CqeStatus::Success,
+                    byte_len: len,
+                },
+            );
+        });
+    }
+    ctx.schedule_at(last, move |c| deliver_ud(c, dst_qp, payload, first));
+}
+
+fn deliver_ud(ctx: &mut Ctx<'_, Fabric>, dst_qp: QpId, payload: Arc<[u8]>, first_arrival: SimTime) {
+    let now = ctx.now();
+    let (dst_node, has_buffer) = {
+        let q = &ctx.world.qps[dst_qp.index()];
+        (q.node, !q.rq.is_empty())
+    };
+    if !has_buffer {
+        // Unreliable service: no RNR NAK, no retry — the datagram is gone.
+        ctx.world.stats.ud_drops.incr();
+        return;
+    }
+    let rwqe = ctx.world.qps[dst_qp.index()].rq.pop_front().expect("checked");
+    if rwqe.len < payload.len() {
+        let recv_cq = ctx.world.qps[dst_qp.index()].recv_cq;
+        push_cqe(
+            ctx,
+            recv_cq,
+            Cqe {
+                wr_id: rwqe.wr_id,
+                qp: dst_qp,
+                opcode: CqeOpcode::RecvComplete,
+                status: CqeStatus::LocalLengthError,
+                byte_len: payload.len(),
+            },
+        );
+        return;
+    }
+    ctx.world.stats.msgs_delivered.incr();
+    ctx.world.stats.bytes_delivered.add(payload.len() as u64);
+    let rx_done = charge_rx(ctx, dst_node, first_arrival, now, payload.len());
+    ctx.schedule_at(rx_done, move |c| {
+        let len = payload.len();
+        c.world.mrs[rwqe.mr.index()].bytes[rwqe.offset..rwqe.offset + len]
+            .copy_from_slice(&payload);
+        let recv_cq = c.world.qps[dst_qp.index()].recv_cq;
+        push_cqe(
+            c,
+            recv_cq,
+            Cqe {
+                wr_id: rwqe.wr_id,
+                qp: dst_qp,
+                opcode: CqeOpcode::RecvComplete,
+                status: CqeStatus::Success,
+                byte_len: len,
+            },
+        );
+    });
+}
+
+/// Remote access failure (bad rkey / bounds / permission): complete the
+/// offending WQE with an error and move the QP to the error state.
+fn remote_access_error(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId, msn: u64) {
+    let completion = {
+        let q = &mut ctx.world.qps[qp_id.index()];
+        if q.state == QpState::Error {
+            return;
+        }
+        let pos = q.inflight.iter().position(|m| m.msn == msn);
+        pos.map(|i| {
+            let m = q.inflight.remove(i).expect("position valid");
+            if m.wqe.op.is_send() {
+                q.unacked_sends -= 1;
+            }
+            let opcode = match &m.wqe.op {
+                SendOp::Send { .. } => CqeOpcode::SendComplete,
+                SendOp::RdmaWrite { .. } => CqeOpcode::RdmaWriteComplete,
+                SendOp::RdmaRead { .. } => CqeOpcode::RdmaReadComplete,
+            };
+            (
+                q.send_cq,
+                Cqe {
+                    wr_id: m.wqe.wr_id,
+                    qp: qp_id,
+                    opcode,
+                    status: CqeStatus::RemoteAccessError,
+                    byte_len: 0,
+                },
+            )
+        })
+    };
+    if let Some((cq, cqe)) = completion {
+        push_cqe(ctx, cq, cqe);
+    }
+    fail_qp(ctx, qp_id);
+}
+
+/// Moves a QP to the error state and flushes all outstanding work.
+fn fail_qp(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId) {
+    let mut flushed: Vec<(crate::cq::CqId, Cqe)> = Vec::new();
+    {
+        let q = &mut ctx.world.qps[qp_id.index()];
+        q.state = QpState::Error;
+        q.backoff_until = None;
+        for m in q.inflight.drain(..) {
+            flushed.push((
+                q.send_cq,
+                Cqe {
+                    wr_id: m.wqe.wr_id,
+                    qp: qp_id,
+                    opcode: CqeOpcode::SendComplete,
+                    status: CqeStatus::WorkRequestFlushed,
+                    byte_len: 0,
+                },
+            ));
+        }
+        for w in q.sq.drain(..) {
+            flushed.push((
+                q.send_cq,
+                Cqe {
+                    wr_id: w.wr_id,
+                    qp: qp_id,
+                    opcode: CqeOpcode::SendComplete,
+                    status: CqeStatus::WorkRequestFlushed,
+                    byte_len: 0,
+                },
+            ));
+        }
+        for r in q.rq.drain(..) {
+            flushed.push((
+                q.recv_cq,
+                Cqe {
+                    wr_id: r.wr_id,
+                    qp: qp_id,
+                    opcode: CqeOpcode::RecvComplete,
+                    status: CqeStatus::WorkRequestFlushed,
+                    byte_len: 0,
+                },
+            ));
+        }
+        q.unacked_sends = 0;
+    }
+    for (cq, cqe) in flushed {
+        push_cqe(ctx, cq, cqe);
+    }
+}

@@ -1,0 +1,186 @@
+//! Work requests and completions.
+
+use crate::mem::MrId;
+use crate::qp::QpId;
+use std::sync::Arc;
+
+/// The operation carried by a send-side work request.
+#[derive(Clone, Debug)]
+pub enum SendOp {
+    /// Two-sided send (channel semantics): consumes a receive WQE and a
+    /// flow control credit at the remote side.
+    Send {
+        /// Message payload (snapshotted at post time, as the posting layer
+        /// must not reuse its buffer until completion anyway).
+        payload: Arc<[u8]>,
+    },
+    /// One-sided RDMA WRITE (memory semantics): no receive WQE consumed,
+    /// invisible to remote software until it looks at memory.
+    RdmaWrite {
+        /// Payload to place into remote memory.
+        payload: Arc<[u8]>,
+        /// Remote memory region (the "rkey").
+        rkey: MrId,
+        /// Byte offset within the remote region.
+        remote_offset: usize,
+    },
+    /// One-sided RDMA READ: pulls remote memory into a local region.
+    RdmaRead {
+        /// Remote region to read from (the "rkey").
+        rkey: MrId,
+        /// Byte offset within the remote region.
+        remote_offset: usize,
+        /// Local destination region.
+        local_mr: MrId,
+        /// Byte offset within the local region.
+        local_offset: usize,
+        /// Bytes to read.
+        len: usize,
+    },
+}
+
+impl SendOp {
+    /// Bytes this operation moves in the request direction.
+    pub fn request_bytes(&self) -> usize {
+        match self {
+            SendOp::Send { payload } | SendOp::RdmaWrite { payload, .. } => payload.len(),
+            // A read request is a small control packet; the data flows back
+            // on the response path.
+            SendOp::RdmaRead { .. } => 16,
+        }
+    }
+
+    /// True for two-sided sends (which consume remote receive WQEs and are
+    /// therefore subject to end-to-end credits and RNR NAK).
+    pub fn is_send(&self) -> bool {
+        matches!(self, SendOp::Send { .. })
+    }
+}
+
+/// A send-side work request.
+#[derive(Clone, Debug)]
+pub struct SendWr {
+    /// Caller-chosen identifier returned in the matching [`Cqe`].
+    pub wr_id: u64,
+    /// The operation.
+    pub op: SendOp,
+    /// Whether a completion should be generated (unsignalled sends save
+    /// CQ traffic; the MPI layer signals everything it must reclaim).
+    pub signaled: bool,
+}
+
+impl SendWr {
+    /// Convenience constructor: a signalled two-sided send of `payload`.
+    pub fn inline_send(wr_id: u64, payload: Vec<u8>) -> SendWr {
+        SendWr { wr_id, op: SendOp::Send { payload: payload.into() }, signaled: true }
+    }
+
+    /// Convenience constructor: a signalled RDMA WRITE.
+    pub fn rdma_write(wr_id: u64, payload: Vec<u8>, rkey: MrId, remote_offset: usize) -> SendWr {
+        SendWr {
+            wr_id,
+            op: SendOp::RdmaWrite { payload: payload.into(), rkey, remote_offset },
+            signaled: true,
+        }
+    }
+
+    /// Convenience constructor: a signalled RDMA READ.
+    pub fn rdma_read(
+        wr_id: u64,
+        rkey: MrId,
+        remote_offset: usize,
+        local_mr: MrId,
+        local_offset: usize,
+        len: usize,
+    ) -> SendWr {
+        SendWr {
+            wr_id,
+            op: SendOp::RdmaRead { rkey, remote_offset, local_mr, local_offset, len },
+            signaled: true,
+        }
+    }
+}
+
+/// A receive-side work request: where to place the next incoming send.
+#[derive(Clone, Copy, Debug)]
+pub struct RecvWr {
+    /// Caller-chosen identifier returned in the matching [`Cqe`].
+    pub wr_id: u64,
+    /// Destination region (must allow [`crate::Access::LOCAL_WRITE`]).
+    pub mr: MrId,
+    /// Byte offset within the region.
+    pub offset: usize,
+    /// Capacity in bytes; an arriving message longer than this completes
+    /// with a length error.
+    pub len: usize,
+}
+
+/// What kind of work a completion reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CqeOpcode {
+    /// A two-sided send was delivered and acknowledged.
+    SendComplete,
+    /// A message arrived into a posted receive WQE.
+    RecvComplete,
+    /// An RDMA WRITE was placed and acknowledged.
+    RdmaWriteComplete,
+    /// An RDMA READ response arrived in local memory.
+    RdmaReadComplete,
+}
+
+/// Completion status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CqeStatus {
+    /// Operation succeeded.
+    Success,
+    /// The RNR retry budget was exhausted (receiver never posted a buffer).
+    RnrRetryExceeded,
+    /// Arriving message was larger than the posted receive buffer.
+    LocalLengthError,
+    /// Remote access check failed (bad rkey, bounds, or permissions).
+    RemoteAccessError,
+    /// The work request was flushed because the QP entered the error state.
+    WorkRequestFlushed,
+}
+
+/// A completion queue entry.
+#[derive(Clone, Copy, Debug)]
+pub struct Cqe {
+    /// Identifier from the originating work request.
+    pub wr_id: u64,
+    /// The QP the work belonged to.
+    pub qp: QpId,
+    /// What completed.
+    pub opcode: CqeOpcode,
+    /// Outcome.
+    pub status: CqeStatus,
+    /// Bytes moved (payload length for receives).
+    pub byte_len: usize,
+}
+
+impl Cqe {
+    /// True when the status is [`CqeStatus::Success`].
+    pub fn is_success(&self) -> bool {
+        self.status == CqeStatus::Success
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_bytes_by_op() {
+        let send = SendWr::inline_send(1, vec![0; 100]);
+        assert_eq!(send.op.request_bytes(), 100);
+        assert!(send.op.is_send());
+
+        let write = SendWr::rdma_write(2, vec![0; 5000], MrId(0), 0);
+        assert_eq!(write.op.request_bytes(), 5000);
+        assert!(!write.op.is_send());
+
+        let read = SendWr::rdma_read(3, MrId(0), 0, MrId(1), 0, 1 << 20);
+        assert_eq!(read.op.request_bytes(), 16);
+        assert!(!read.op.is_send());
+    }
+}

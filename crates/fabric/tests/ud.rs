@@ -1,0 +1,147 @@
+//! Unreliable Datagram transport tests (the paper's §8 future-work
+//! direction): connectionless delivery, silent drops, no retransmission.
+
+use ibfabric::*;
+use ibsim::{Sim, SimConfig};
+
+struct UdPair {
+    sim: Sim<Fabric>,
+    cq_a: CqId,
+    cq_b: CqId,
+    qp_a: QpId,
+    qp_b: QpId,
+    mr_b: MrId,
+}
+
+fn ud_pair(preposted_b: usize) -> UdPair {
+    let mut fabric = Fabric::new(FabricParams::mt23108());
+    let a = fabric.add_node();
+    let b = fabric.add_node();
+    let cq_a = fabric.create_cq(a);
+    let cq_b = fabric.create_cq(b);
+    let qp_a = fabric.create_qp(a, cq_a, cq_a, QpAttrs::ud());
+    let qp_b = fabric.create_qp(b, cq_b, cq_b, QpAttrs::ud());
+    let mr_b = fabric.register(b, 1 << 16, Access::LOCAL_WRITE);
+    for i in 0..preposted_b {
+        fabric
+            .post_recv(qp_b, RecvWr { wr_id: 100 + i as u64, mr: mr_b, offset: i * 2048, len: 2048 })
+            .unwrap();
+    }
+    let sim = Sim::new(fabric, SimConfig::default());
+    UdPair { sim, cq_a, cq_b, qp_a, qp_b, mr_b }
+}
+
+#[test]
+fn datagram_delivers_without_connection() {
+    let mut p = ud_pair(1);
+    p.sim.with_world(|ctx| {
+        post_send_ud(ctx, p.qp_a, p.qp_b, SendWr::inline_send(7, b"dgram".to_vec())).unwrap();
+    });
+    p.sim.run().unwrap();
+    let mut f = p.sim.into_world();
+    let recv = f.poll_cq(p.cq_b, 4);
+    assert_eq!(recv.len(), 1);
+    assert!(recv[0].is_success());
+    assert_eq!(recv[0].byte_len, 5);
+    assert_eq!(&f.mr_bytes(p.mr_b)[..5], b"dgram");
+    // Local send completion without any acknowledgement machinery.
+    let send = f.poll_cq(p.cq_a, 4);
+    assert_eq!(send.len(), 1);
+    assert!(send[0].is_success());
+    assert_eq!(f.qp(p.qp_a).inflight_msgs(), 0);
+}
+
+#[test]
+fn overflow_datagrams_are_silently_dropped() {
+    // 5 datagrams into 2 buffers: 3 vanish, no RNR, no retransmit.
+    let mut p = ud_pair(2);
+    p.sim.with_world(|ctx| {
+        for i in 0..5u64 {
+            post_send_ud(ctx, p.qp_a, p.qp_b, SendWr::inline_send(i, vec![i as u8; 32])).unwrap();
+        }
+    });
+    p.sim.run().unwrap();
+    let mut f = p.sim.into_world();
+    let recv = f.poll_cq(p.cq_b, 16);
+    assert_eq!(recv.len(), 2, "only the buffered datagrams arrive");
+    assert_eq!(f.stats.ud_drops.get(), 3);
+    assert_eq!(f.stats.rnr_naks.get(), 0, "UD never NAKs");
+    assert_eq!(f.stats.retransmissions.get(), 0, "UD never retries");
+    // All 5 sends completed locally regardless.
+    assert_eq!(f.poll_cq(p.cq_a, 16).len(), 5);
+}
+
+#[test]
+fn datagrams_are_mtu_bounded() {
+    let mut p = ud_pair(1);
+    p.sim.with_world(|ctx| {
+        let err =
+            post_send_ud(ctx, p.qp_a, p.qp_b, SendWr::inline_send(1, vec![0u8; 4096])).unwrap_err();
+        assert_eq!(err, VerbsError::MessageTooLong);
+        // Exactly MTU is fine.
+        post_send_ud(ctx, p.qp_a, p.qp_b, SendWr::inline_send(2, vec![0u8; 2048])).unwrap();
+    });
+    p.sim.run().unwrap();
+    let mut f = p.sim.into_world();
+    assert_eq!(f.poll_cq(p.cq_b, 4).len(), 1);
+}
+
+#[test]
+fn rdma_rejected_on_ud() {
+    let mut p = ud_pair(1);
+    p.sim.with_world(|ctx| {
+        let err = post_send_ud(ctx, p.qp_a, p.qp_b, SendWr::rdma_write(1, vec![1, 2], p.mr_b, 0))
+            .unwrap_err();
+        assert_eq!(err, VerbsError::InvalidQpState);
+    });
+}
+
+#[test]
+fn ud_to_rc_qp_rejected() {
+    let mut fabric = Fabric::new(FabricParams::mt23108());
+    let a = fabric.add_node();
+    let b = fabric.add_node();
+    let cq_a = fabric.create_cq(a);
+    let cq_b = fabric.create_cq(b);
+    let ud = fabric.create_qp(a, cq_a, cq_a, QpAttrs::ud());
+    let rc = fabric.create_qp(b, cq_b, cq_b, QpAttrs::default());
+    let mut sim = Sim::new(fabric, SimConfig::default());
+    sim.with_world(|ctx| {
+        let err = post_send_ud(ctx, ud, rc, SendWr::inline_send(1, vec![0])).unwrap_err();
+        assert_eq!(err, VerbsError::InvalidQpState);
+    });
+}
+
+#[test]
+fn one_ud_qp_receives_from_many_senders() {
+    // The fan-in property that makes UD attractive for scalability
+    // (paper §8): one QP, N peers, no per-peer connection state.
+    let mut fabric = Fabric::new(FabricParams::mt23108());
+    let hub_node = fabric.add_node();
+    let hub_cq = fabric.create_cq(hub_node);
+    let hub = fabric.create_qp(hub_node, hub_cq, hub_cq, QpAttrs::ud());
+    let hub_mr = fabric.register(hub_node, 1 << 16, Access::LOCAL_WRITE);
+    for i in 0..16 {
+        fabric
+            .post_recv(hub, RecvWr { wr_id: i, mr: hub_mr, offset: i as usize * 2048, len: 2048 })
+            .unwrap();
+    }
+    let mut senders = Vec::new();
+    for _ in 0..4 {
+        let n = fabric.add_node();
+        let cq = fabric.create_cq(n);
+        senders.push(fabric.create_qp(n, cq, cq, QpAttrs::ud()));
+    }
+    let mut sim = Sim::new(fabric, SimConfig::default());
+    sim.with_world(|ctx| {
+        for (i, &qp) in senders.iter().enumerate() {
+            post_send_ud(ctx, qp, hub, SendWr::inline_send(i as u64, vec![i as u8 + 1; 64]))
+                .unwrap();
+        }
+    });
+    sim.run().unwrap();
+    let mut f = sim.into_world();
+    let recvs = f.poll_cq(hub_cq, 16);
+    assert_eq!(recvs.len(), 4);
+    assert!(recvs.iter().all(|c| c.is_success()));
+}

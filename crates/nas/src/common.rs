@@ -1,0 +1,173 @@
+//! Shared kernel infrastructure: classes, outputs, timing, compute cost.
+
+use ibsim::{SimDuration, SimTime};
+use mpib::collectives::{allreduce_scalars, barrier};
+use mpib::{Comm, MpiRank, ReduceOp};
+
+/// The seven kernels the paper evaluates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Integer sort (bucket sort, all-to-all-v).
+    Is,
+    /// 3D FFT (slab transpose).
+    Ft,
+    /// Conjugate gradient.
+    Cg,
+    /// Multigrid V-cycles.
+    Mg,
+    /// SSOR wavefront (the paper's flow control outlier).
+    Lu,
+    /// Block-tridiagonal ADI (square process counts).
+    Bt,
+    /// Scalar-pentadiagonal-style ADI (square process counts).
+    Sp,
+}
+
+impl Kernel {
+    /// All kernels in the paper's presentation order.
+    pub const ALL: [Kernel; 7] =
+        [Kernel::Is, Kernel::Ft, Kernel::Lu, Kernel::Cg, Kernel::Mg, Kernel::Bt, Kernel::Sp];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Is => "IS",
+            Kernel::Ft => "FT",
+            Kernel::Cg => "CG",
+            Kernel::Mg => "MG",
+            Kernel::Lu => "LU",
+            Kernel::Bt => "BT",
+            Kernel::Sp => "SP",
+        }
+    }
+
+    /// Parses a display name.
+    pub fn from_name(s: &str) -> Option<Kernel> {
+        Kernel::ALL.into_iter().find(|k| k.name().eq_ignore_ascii_case(s))
+    }
+
+    /// True for kernels requiring a square process count (paper §6.3 runs
+    /// BT and SP with 16 processes on the 8-node testbed).
+    pub fn needs_square_procs(self) -> bool {
+        matches!(self, Kernel::Bt | Kernel::Sp)
+    }
+
+    /// The process count the paper uses for this kernel.
+    pub fn paper_procs(self) -> usize {
+        if self.needs_square_procs() {
+            16
+        } else {
+            8
+        }
+    }
+}
+
+/// Problem classes: simulation-tractable stand-ins for the NPB classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NasClass {
+    /// Tiny — unit tests and sequential cross-checks.
+    Test,
+    /// The default for regenerating the paper's figures (class-W-scale).
+    W,
+    /// Larger (class-A-scale); slower but sharper contrasts.
+    A,
+}
+
+/// Output of one kernel run (identical on every rank).
+#[derive(Clone, Debug)]
+pub struct KernelOutput {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Whether the built-in distributed verification passed.
+    pub verified: bool,
+    /// Deterministic global checksum (equal across ranks and across flow
+    /// control schemes for identical workloads).
+    pub checksum: f64,
+    /// Wall (virtual) time of the timed section.
+    pub time: SimDuration,
+}
+
+/// Sustained per-process compute rate used to convert operation counts to
+/// virtual time (a dual 2.4 GHz Xeon of the era sustains a few hundred
+/// MFLOP/s on these kernels).
+pub const MFLOPS_PER_RANK: f64 = 300.0;
+
+/// Charges `flops` floating-point operations of virtual compute time.
+pub fn charge_flops(mpi: &mut MpiRank, flops: f64) {
+    debug_assert!(flops >= 0.0);
+    let us = flops / MFLOPS_PER_RANK;
+    if us > 0.0 {
+        mpi.compute(SimDuration::micros_f64(us));
+    }
+}
+
+/// Runs `body` between two barriers and returns `(result, timed span)`.
+pub fn timed<R>(mpi: &mut MpiRank, world: &Comm, body: impl FnOnce(&mut MpiRank) -> R) -> (R, SimDuration) {
+    barrier(mpi, world);
+    let t0: SimTime = mpi.now();
+    let r = body(mpi);
+    barrier(mpi, world);
+    (r, mpi.now().since(t0))
+}
+
+/// Consistency helper: allreduce a local checksum and assert every rank
+/// agrees bitwise (catches data races / mismatched collectives early).
+pub fn global_checksum(mpi: &mut MpiRank, world: &Comm, local: f64) -> f64 {
+    let sum = allreduce_scalars(mpi, world, ReduceOp::Sum, &[local])[0];
+    // Bitwise agreement check: the max and min of the rank-local view of
+    // the reduced value must match.
+    let max = allreduce_scalars(mpi, world, ReduceOp::Max, &[sum])[0];
+    let min = allreduce_scalars(mpi, world, ReduceOp::Min, &[sum])[0];
+    assert_eq!(max.to_bits(), min.to_bits(), "non-deterministic reduction");
+    sum
+}
+
+/// Splits `n` items over `parts` as evenly as possible; returns the
+/// (start, len) of `idx`.
+pub fn block_range(n: usize, parts: usize, idx: usize) -> (usize, usize) {
+    let base = n / parts;
+    let rem = n % parts;
+    let len = base + usize::from(idx < rem);
+    let start = idx * base + idx.min(rem);
+    (start, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_names_roundtrip() {
+        for k in Kernel::ALL {
+            assert_eq!(Kernel::from_name(k.name()), Some(k));
+            assert_eq!(Kernel::from_name(&k.name().to_lowercase()), Some(k));
+        }
+        assert_eq!(Kernel::from_name("nope"), None);
+    }
+
+    #[test]
+    fn paper_process_counts() {
+        assert_eq!(Kernel::Lu.paper_procs(), 8);
+        assert_eq!(Kernel::Bt.paper_procs(), 16);
+        assert_eq!(Kernel::Sp.paper_procs(), 16);
+        assert!(Kernel::Bt.needs_square_procs());
+        assert!(!Kernel::Is.needs_square_procs());
+    }
+
+    #[test]
+    fn block_range_covers_everything() {
+        for n in [1usize, 7, 16, 100] {
+            for parts in [1usize, 2, 3, 8] {
+                let mut total = 0;
+                let mut next = 0;
+                for i in 0..parts {
+                    let (s, l) = block_range(n, parts, i);
+                    assert_eq!(s, next, "contiguous");
+                    next = s + l;
+                    total += l;
+                }
+                assert_eq!(total, n);
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! IS — parallel integer (bucket) sort.
+//!
+//! Each rank holds a block of uniformly distributed keys. Per iteration:
+//! local histogram over rank-owned key ranges, an all-to-all of bucket
+//! counts, and an all-to-all-v of the keys themselves; a final full sort
+//! with boundary verification. The communication signature is a small
+//! number of large messages — which is why IS is insensitive to the
+//! pre-post depth in the paper's Figure 10 and needs only ~4 dynamic
+//! buffers in Table 2.
+
+use crate::common::{charge_flops, global_checksum, timed, Kernel, KernelOutput, NasClass};
+use ibsim::rng::det_rng;
+use mpib::collectives::{allreduce_scalars, alltoallv_bytes};
+use mpib::{decode_slice, encode_slice, Comm, MpiRank, ReduceOp};
+use rand::Rng;
+
+/// Problem shape for one class.
+#[derive(Clone, Copy, Debug)]
+pub struct IsConfig {
+    /// Keys per rank.
+    pub keys_per_rank: usize,
+    /// Key space is `[0, 2^log2_max_key)`.
+    pub log2_max_key: u32,
+    /// Ranking iterations before the final sort.
+    pub iters: usize,
+}
+
+impl IsConfig {
+    /// Shape for `class`.
+    pub fn for_class(class: NasClass) -> IsConfig {
+        match class {
+            NasClass::Test => IsConfig { keys_per_rank: 2_048, log2_max_key: 11, iters: 3 },
+            NasClass::W => IsConfig { keys_per_rank: 131_072, log2_max_key: 16, iters: 10 },
+            NasClass::A => IsConfig { keys_per_rank: 524_288, log2_max_key: 19, iters: 10 },
+        }
+    }
+}
+
+/// Runs IS over the world communicator.
+pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
+    let cfg = IsConfig::for_class(class);
+    let world = Comm::world(mpi);
+    let p = world.size();
+    let me = world.my_rank(mpi);
+    let max_key = 1u32 << cfg.log2_max_key;
+    let range = (max_key as usize).div_ceil(p) as u32;
+
+    let mut rng = det_rng(0x15_5EED, me as u64);
+    let mut keys: Vec<u32> = (0..cfg.keys_per_rank).map(|_| rng.gen_range(0..max_key)).collect();
+
+    let (verified, time) = timed(mpi, &world, |mpi| {
+        let mut owned: Vec<u32> = Vec::new();
+        for it in 0..cfg.iters {
+            // NPB IS perturbs two keys per iteration.
+            let i1 = it % keys.len();
+            let i2 = (it * 31 + 7) % keys.len();
+            keys[i1] = (keys[i1] ^ 0x5A5A) % max_key;
+            keys[i2] = (keys[i2] ^ 0x0F0F) % max_key;
+
+            // Bucket by destination rank.
+            let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); p];
+            for &k in &keys {
+                buckets[(k / range) as usize % p].push(k);
+            }
+            charge_flops(mpi, keys.len() as f64 * 4.0);
+
+            // Bucket-size exchange (alltoall of counts), as in NPB IS.
+            let counts: Vec<u64> = buckets.iter().map(|b| b.len() as u64).collect();
+            let _total_counts = allreduce_scalars(mpi, &world, ReduceOp::Sum, &counts);
+
+            // Key exchange.
+            let payloads: Vec<Vec<u8>> = buckets.iter().map(|b| encode_slice(b)).collect();
+            let got = alltoallv_bytes(mpi, &world, &payloads);
+            owned = got.iter().flat_map(|c| decode_slice::<u32>(c)).collect();
+            charge_flops(mpi, owned.len() as f64 * 2.0);
+        }
+
+        // Final: full local sort and distributed order verification.
+        owned.sort_unstable();
+        charge_flops(mpi, owned.len() as f64 * (owned.len().max(2) as f64).log2() * 2.0);
+
+        // 1. Every owned key is in my range.
+        let lo = me as u32 * range;
+        let in_range = owned.iter().all(|&k| k / range == me as u32 || p == 1);
+        let _ = lo;
+        // 2. Boundary order with neighbours.
+        let my_max = *owned.last().unwrap_or(&0);
+        let boundary_ok = if p > 1 {
+            let right = world.world_rank((me + 1) % p);
+            let left = world.world_rank((me + p - 1) % p);
+            let (_, data) =
+                mpi.sendrecv(&encode_slice(&[my_max]), right, 77, Some(left), Some(77));
+            let left_max = decode_slice::<u32>(&data)[0];
+            // Wrap-around pair (last -> first) is exempt.
+            me == 0 || owned.first().map_or(true, |&min| left_max <= min)
+        } else {
+            true
+        };
+        // 3. Global key conservation.
+        let total = allreduce_scalars(mpi, &world, ReduceOp::Sum, &[owned.len() as u64])[0];
+        let conserved = total as usize == cfg.keys_per_rank * p;
+        in_range && boundary_ok && conserved
+    });
+
+    // Checksum: position-weighted sum of a sample of owned keys, reduced.
+    let local: f64 = keys.iter().take(1024).enumerate().map(|(i, &k)| (i + 1) as f64 * k as f64).sum();
+    let checksum = global_checksum(mpi, &world, local);
+    KernelOutput { name: Kernel::Is.name(), verified, checksum, time }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_sizes_scale() {
+        let t = IsConfig::for_class(NasClass::Test);
+        let w = IsConfig::for_class(NasClass::W);
+        let a = IsConfig::for_class(NasClass::A);
+        assert!(t.keys_per_rank < w.keys_per_rank && w.keys_per_rank < a.keys_per_rank);
+    }
+}

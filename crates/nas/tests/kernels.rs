@@ -1,0 +1,145 @@
+//! End-to-end kernel runs over the simulated cluster: verification,
+//! sequential cross-checks, determinism across flow control schemes.
+
+use ibfabric::FabricParams;
+use mpib::{FlowControlScheme, MpiConfig, MpiWorld};
+use nasbench::{common::Kernel, run_kernel, KernelOutput, NasClass};
+
+fn run_once(kernel: Kernel, procs: usize, cfg: MpiConfig) -> KernelOutput {
+    let out = MpiWorld::run(procs, cfg, FabricParams::mt23108(), move |mpi| {
+        run_kernel(mpi, kernel, NasClass::Test)
+    })
+    .unwrap_or_else(|e| panic!("{kernel:?} run failed: {e}"));
+    // Every rank must agree on the checksum bitwise.
+    let ck0 = out.results[0].checksum.to_bits();
+    for r in &out.results {
+        assert_eq!(r.checksum.to_bits(), ck0, "{kernel:?} checksum differs across ranks");
+    }
+    out.results[0].clone()
+}
+
+#[test]
+fn all_kernels_verify_at_test_class() {
+    for kernel in Kernel::ALL {
+        let procs = if kernel.needs_square_procs() { 4 } else { 8 };
+        let cfg = MpiConfig::scheme(FlowControlScheme::UserDynamic, 8);
+        let out = run_once(kernel, procs, cfg);
+        assert!(out.verified, "{} failed verification", out.name);
+        assert!(out.checksum.is_finite());
+        assert!(out.time.as_nanos() > 0, "{} timed section empty", out.name);
+    }
+}
+
+#[test]
+fn checksums_identical_across_schemes() {
+    // The flow control scheme must not change computed results — only
+    // timing. This is the strongest whole-stack correctness check.
+    for kernel in Kernel::ALL {
+        let procs = if kernel.needs_square_procs() { 4 } else { 8 };
+        let mut sums = Vec::new();
+        for scheme in [
+            FlowControlScheme::Hardware,
+            FlowControlScheme::UserStatic,
+            FlowControlScheme::UserDynamic,
+        ] {
+            let out = run_once(kernel, procs, MpiConfig::scheme(scheme, 4));
+            sums.push(out.checksum.to_bits());
+        }
+        assert_eq!(sums[0], sums[1], "{kernel:?}: hardware vs static");
+        assert_eq!(sums[1], sums[2], "{kernel:?}: static vs dynamic");
+    }
+}
+
+#[test]
+fn lu_matches_sequential_reference_bitwise() {
+    let cfg = nasbench::lu::LuConfig::for_class(NasClass::Test);
+    let expect = nasbench::lu::sequential_checksum(cfg);
+    for procs in [2usize, 4, 8] {
+        let out = run_once(Kernel::Lu, procs, MpiConfig::default());
+        // The parallel wavefront performs the identical per-point float
+        // ops; only the final reduction order differs across process
+        // counts, so allow a tiny tolerance.
+        assert!(
+            (out.checksum - expect).abs() < 1e-6 * expect.abs(),
+            "LU parallel ({}) vs sequential ({expect}) at {procs} procs",
+            out.checksum
+        );
+    }
+}
+
+#[test]
+fn cg_matches_sequential_reference() {
+    let cfg = nasbench::cg::CgConfig::for_class(NasClass::Test);
+    let expect = nasbench::cg::sequential_zeta(cfg);
+    let out = run_once(Kernel::Cg, 8, MpiConfig::default());
+    // Checksum is zeta (reduced); iteration math matches up to reduction
+    // rounding.
+    assert!(
+        (out.checksum - expect).abs() < 1e-6 * expect.abs(),
+        "CG zeta parallel {} vs sequential {expect}",
+        out.checksum
+    );
+}
+
+#[test]
+fn kernels_run_at_prepost_one() {
+    // The paper's extreme configuration must still verify for every
+    // kernel under every scheme.
+    for kernel in [Kernel::Lu, Kernel::Mg, Kernel::Is] {
+        for scheme in [
+            FlowControlScheme::Hardware,
+            FlowControlScheme::UserStatic,
+            FlowControlScheme::UserDynamic,
+        ] {
+            let mut cfg = MpiConfig::scheme(scheme, 1);
+            if scheme == FlowControlScheme::UserDynamic {
+                cfg.prepost = 1;
+            }
+            let out = run_once(kernel, 8, cfg);
+            assert!(out.verified, "{kernel:?} under {scheme:?} at prepost=1");
+        }
+    }
+}
+
+#[test]
+fn lu_is_the_ecm_outlier() {
+    // Table 1's shape at Test scale: under the static scheme LU's
+    // asymmetric wavefront generates explicit credit messages while a
+    // symmetric kernel (MG) generates almost none.
+    let cfg = MpiConfig::scheme(FlowControlScheme::UserStatic, 16);
+    let lu = MpiWorld::run(8, cfg.clone(), FabricParams::mt23108(), |mpi| {
+        run_kernel(mpi, Kernel::Lu, NasClass::Test);
+        mpi.stats().total_ecm()
+    })
+    .unwrap();
+    let mg = MpiWorld::run(8, cfg, FabricParams::mt23108(), |mpi| {
+        run_kernel(mpi, Kernel::Mg, NasClass::Test);
+        mpi.stats().total_ecm()
+    })
+    .unwrap();
+    let lu_ecm: u64 = lu.stats.ranks.iter().map(|r| r.total_ecm()).sum();
+    let mg_ecm: u64 = mg.stats.ranks.iter().map(|r| r.total_ecm()).sum();
+    assert!(lu_ecm > 0, "LU must need explicit credit messages");
+    assert!(
+        lu_ecm > 10 * mg_ecm.max(1),
+        "LU ({lu_ecm}) should dwarf MG ({mg_ecm}) in ECM count"
+    );
+}
+
+#[test]
+fn lu_grows_the_largest_dynamic_pool() {
+    // Table 2's shape: starting from one buffer, the dynamic scheme grows
+    // LU's pool far beyond CG's.
+    let cfg = MpiConfig::scheme(FlowControlScheme::UserDynamic, 1);
+    let run = |kernel: Kernel| {
+        MpiWorld::run(8, cfg.clone(), FabricParams::mt23108(), move |mpi| {
+            run_kernel(mpi, kernel, NasClass::Test);
+        })
+        .unwrap()
+        .stats
+        .max_posted_buffers()
+    };
+    let lu = run(Kernel::Lu);
+    let cg = run(Kernel::Cg);
+    assert!(lu >= 2 * cg, "LU pool ({lu}) should dwarf CG's ({cg})");
+}

@@ -1,0 +1,554 @@
+//! The simulation kernel: event loop, scheduling context, process handoff.
+
+use crate::error::{DeadlockInfo, SimError};
+use crate::event::{Entry, EventFn, EventKind};
+use crate::process::{
+    spawn_proc, ProcCtx, ProcId, ProcSlot, ProcStatus, ResumeSignal, YieldMsg,
+};
+use crate::time::{SimDuration, SimTime};
+use crate::waker::Waker;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Limits and knobs for a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Abort the run after this many processed events (livelock guard).
+    pub max_events: u64,
+    /// Abort the run if virtual time passes this horizon.
+    pub max_time: SimTime,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { max_events: u64::MAX, max_time: SimTime::MAX }
+    }
+}
+
+/// Scheduler state shared by the kernel loop, event closures, and processes.
+pub(crate) struct Sched<W> {
+    pub(crate) now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Entry<W>>>,
+    pub(crate) procs: Vec<ProcSlot>,
+    events_processed: u64,
+}
+
+impl<W> Sched<W> {
+    fn push(&mut self, time: SimTime, kind: EventKind<W>) {
+        debug_assert!(time >= self.now, "event scheduled in the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Entry { time, seq, kind }));
+    }
+
+    /// Schedule a `Resume` for `proc` at `time` unless one is already
+    /// pending or the process is done.
+    pub(crate) fn wake_at(&mut self, proc_id: ProcId, time: SimTime) {
+        let slot = &mut self.procs[proc_id.0];
+        if slot.resume_pending || matches!(slot.status, ProcStatus::Done) {
+            return;
+        }
+        slot.resume_pending = true;
+        self.push(time, EventKind::Resume(proc_id));
+    }
+
+    /// Clears any pending-resume marker for `proc` (used by
+    /// `ProcCtx::advance`, which must schedule its own wake even if a waker
+    /// fired during the process's current slice).
+    pub(crate) fn clear_resume_pending(&mut self, proc_id: ProcId) {
+        self.procs[proc_id.0].resume_pending = false;
+    }
+}
+
+/// The full world + scheduler state guarded by one mutex; only one context
+/// (the kernel loop or one process) ever holds it at a time.
+pub(crate) struct State<W> {
+    pub(crate) world: W,
+    pub(crate) sched: Sched<W>,
+}
+
+pub(crate) struct Shared<W> {
+    pub(crate) state: Mutex<State<W>>,
+}
+
+/// Mutable view handed to event closures and to process `with` blocks:
+/// the world plus scheduling operations, pinned at the current instant.
+pub struct Ctx<'a, W> {
+    /// The user world (e.g. the InfiniBand fabric).
+    pub world: &'a mut W,
+    pub(crate) sched: &'a mut Sched<W>,
+}
+
+impl<W> Ctx<'_, W> {
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.sched.now
+    }
+
+    /// Schedule `f` to run against the world at absolute time `time`
+    /// (must not be in the past).
+    pub fn schedule_at(&mut self, time: SimTime, f: impl FnOnce(&mut Ctx<'_, W>) + Send + 'static) {
+        self.sched.push(time, EventKind::Call(Box::new(f)));
+    }
+
+    /// Schedule `f` to run `delay` from now.
+    pub fn schedule_after(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut Ctx<'_, W>) + Send + 'static,
+    ) {
+        let t = self.sched.now + delay;
+        self.schedule_at(t, f);
+    }
+
+    /// Wake the process behind `waker` at the current instant.
+    /// No-op if the process already finished or a wake is pending.
+    pub fn wake(&mut self, waker: Waker) {
+        let t = self.sched.now;
+        self.sched.wake_at(waker.proc_id, t);
+    }
+
+    /// Wake the process behind `waker` after `delay` (timer-style wake).
+    pub fn wake_after(&mut self, waker: Waker, delay: SimDuration) {
+        let t = self.sched.now + delay;
+        self.sched.wake_at(waker.proc_id, t);
+    }
+
+    /// Drain and wake every waker in `wakers`.
+    pub fn wake_all(&mut self, wakers: &mut Vec<Waker>) {
+        for w in wakers.drain(..) {
+            let t = self.sched.now;
+            self.sched.wake_at(w.proc_id, t);
+        }
+    }
+}
+
+/// A report from a completed run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Virtual time when the last event was processed.
+    pub end_time: SimTime,
+    /// Total events processed by the kernel loop.
+    pub events_processed: u64,
+    /// Number of processes that ran to completion.
+    pub procs_finished: usize,
+}
+
+/// A deterministic discrete-event simulation over a world `W`.
+///
+/// See the [crate docs](crate) for the execution model.
+pub struct Sim<W: Send + 'static> {
+    shared: Arc<Shared<W>>,
+    config: SimConfig,
+    handles: Vec<JoinHandle<()>>,
+    yield_rx: Receiver<YieldMsg>,
+    yield_tx: Sender<YieldMsg>,
+}
+
+impl<W: Send + 'static> Sim<W> {
+    /// Creates a simulation owning `world`.
+    pub fn new(world: W, config: SimConfig) -> Self {
+        let (yield_tx, yield_rx) = unbounded();
+        Sim {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    world,
+                    sched: Sched {
+                        now: SimTime::ZERO,
+                        seq: 0,
+                        queue: BinaryHeap::new(),
+                        procs: Vec::new(),
+                        events_processed: 0,
+                    },
+                }),
+            }),
+            config,
+            handles: Vec::new(),
+            yield_rx,
+            yield_tx,
+        }
+    }
+
+    /// Runs `f` against the world before (or between) runs, e.g. for setup.
+    pub fn with_world<R>(&self, f: impl FnOnce(&mut Ctx<'_, W>) -> R) -> R {
+        let mut st = self.shared.state.lock();
+        let State { world, sched } = &mut *st;
+        f(&mut Ctx { world, sched })
+    }
+
+    /// Spawns a simulated process. The closure runs on its own OS thread,
+    /// interleaved deterministically with other processes; it starts at
+    /// virtual time zero (or at the instant `run` reaches its first resume).
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        body: impl FnOnce(ProcCtx<W>) + Send + 'static,
+    ) -> ProcId {
+        let name = name.into();
+        let (resume_tx, resume_rx) = unbounded::<ResumeSignal>();
+        let id = {
+            let mut st = self.shared.state.lock();
+            let id = ProcId(st.sched.procs.len());
+            st.sched.procs.push(ProcSlot {
+                name: name.clone(),
+                status: ProcStatus::Parked,
+                resume_tx,
+                resume_pending: true,
+                park_note: "not yet started".to_string(),
+            });
+            let t = st.sched.now;
+            st.sched.push(t, EventKind::Resume(id));
+            id
+        };
+        let ctx = ProcCtx::new(id, name, Arc::clone(&self.shared), resume_rx, self.yield_tx.clone());
+        self.handles.push(spawn_proc(ctx, body));
+        id
+    }
+
+    /// Runs the event loop until every process finished and the queue is
+    /// empty, or a limit/deadlock/panic stops it.
+    pub fn run(&mut self) -> Result<RunReport, SimError> {
+        let result = self.event_loop();
+        // On failure, unpark every live process with an abort signal so the
+        // threads exit, then join them all.
+        if result.is_err() {
+            let st = self.shared.state.lock();
+            for slot in &st.sched.procs {
+                if !matches!(slot.status, ProcStatus::Done) {
+                    // Ignore send errors: the thread may have panicked already.
+                    let _ = slot.resume_tx.send(ResumeSignal::Abort);
+                }
+            }
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        result
+    }
+
+    fn event_loop(&mut self) -> Result<RunReport, SimError> {
+        loop {
+            // Decide what to do while holding the lock, then act on it with
+            // the lock released (a handoff must not hold the lock).
+            enum Action<W> {
+                Call(EventFn<W>),
+                Handoff(ProcId, SimTime),
+                Finished(RunReport),
+                Deadlock(DeadlockInfo),
+                EventLimit(u64, SimTime),
+                TimeLimit(SimTime),
+            }
+
+            let action: Action<W> = {
+                let mut st = self.shared.state.lock();
+                match st.sched.queue.pop() {
+                    None => {
+                        let parked: Vec<(String, String)> = st
+                            .sched
+                            .procs
+                            .iter()
+                            .filter(|p| !matches!(p.status, ProcStatus::Done))
+                            .map(|p| (p.name.clone(), p.park_note.clone()))
+                            .collect();
+                        if parked.is_empty() {
+                            Action::Finished(RunReport {
+                                end_time: st.sched.now,
+                                events_processed: st.sched.events_processed,
+                                procs_finished: st.sched.procs.len(),
+                            })
+                        } else {
+                            Action::Deadlock(DeadlockInfo { at: st.sched.now, parked })
+                        }
+                    }
+                    Some(Reverse(entry)) => {
+                        st.sched.events_processed += 1;
+                        if st.sched.events_processed > self.config.max_events {
+                            Action::EventLimit(st.sched.events_processed, st.sched.now)
+                        } else if entry.time > self.config.max_time {
+                            Action::TimeLimit(entry.time)
+                        } else {
+                            st.sched.now = entry.time;
+                            match entry.kind {
+                                EventKind::Call(f) => Action::Call(f),
+                                EventKind::Resume(p) => Action::Handoff(p, entry.time),
+                            }
+                        }
+                    }
+                }
+            };
+
+            match action {
+                Action::Call(f) => {
+                    let mut st = self.shared.state.lock();
+                    let State { world, sched } = &mut *st;
+                    f(&mut Ctx { world, sched });
+                }
+                Action::Handoff(p, t) => {
+                    let tx = {
+                        let mut st = self.shared.state.lock();
+                        let slot = &mut st.sched.procs[p.0];
+                        slot.resume_pending = false;
+                        if matches!(slot.status, ProcStatus::Done) {
+                            continue; // stale resume for a finished process
+                        }
+                        slot.status = ProcStatus::Running;
+                        slot.resume_tx.clone()
+                    };
+                    if tx.send(ResumeSignal::Go(t)).is_err() {
+                        // Thread died without yielding: surface as a panic.
+                        let name = self.proc_name(p);
+                        return Err(SimError::ProcPanicked {
+                            name,
+                            message: "process thread exited unexpectedly".into(),
+                        });
+                    }
+                    // Wait for the process to park, finish, or panic.
+                    match self.yield_rx.recv() {
+                        Ok(YieldMsg::Parked { proc_id, note }) => {
+                            let mut st = self.shared.state.lock();
+                            let slot = &mut st.sched.procs[proc_id.0];
+                            slot.status = ProcStatus::Parked;
+                            slot.park_note = note;
+                        }
+                        Ok(YieldMsg::Done { proc_id }) => {
+                            let mut st = self.shared.state.lock();
+                            st.sched.procs[proc_id.0].status = ProcStatus::Done;
+                        }
+                        Ok(YieldMsg::Panicked { proc_id, message }) => {
+                            let name = self.proc_name(proc_id);
+                            return Err(SimError::ProcPanicked { name, message });
+                        }
+                        Err(_) => {
+                            let name = self.proc_name(p);
+                            return Err(SimError::ProcPanicked {
+                                name,
+                                message: "process channel closed".into(),
+                            });
+                        }
+                    }
+                }
+                Action::Finished(report) => return Ok(report),
+                Action::Deadlock(info) => return Err(SimError::Deadlock(info)),
+                Action::EventLimit(events, at) => {
+                    return Err(SimError::EventLimitExceeded { events, at })
+                }
+                Action::TimeLimit(at) => return Err(SimError::TimeLimitExceeded { at }),
+            }
+        }
+    }
+
+    fn proc_name(&self, p: ProcId) -> String {
+        self.shared.state.lock().sched.procs[p.0].name.clone()
+    }
+
+    /// Consumes the simulation and returns the world (for post-run
+    /// inspection of statistics).
+    pub fn into_world(self) -> W {
+        // All threads were joined by `run`; if `run` was never called the
+        // spawned threads are still blocked on their first resume, so drop
+        // their channels first by aborting them.
+        {
+            let st = self.shared.state.lock();
+            for slot in &st.sched.procs {
+                if !matches!(slot.status, ProcStatus::Done) {
+                    let _ = slot.resume_tx.send(ResumeSignal::Abort);
+                }
+            }
+        }
+        for h in self.handles {
+            let _ = h.join();
+        }
+        Arc::try_unwrap(self.shared)
+            .unwrap_or_else(|_| panic!("outstanding references to simulation state"))
+            .state
+            .into_inner()
+            .world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sim_finishes_immediately() {
+        let mut sim: Sim<()> = Sim::new((), SimConfig::default());
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time, SimTime::ZERO);
+        assert_eq!(report.procs_finished, 0);
+    }
+
+    #[test]
+    fn scheduled_events_run_in_order() {
+        let mut sim: Sim<Vec<u64>> = Sim::new(Vec::new(), SimConfig::default());
+        sim.with_world(|ctx| {
+            ctx.schedule_at(SimTime::from_nanos(20), |c| c.world.push(c.now().as_nanos()));
+            ctx.schedule_at(SimTime::from_nanos(10), |c| {
+                c.world.push(c.now().as_nanos());
+                // Nested scheduling from inside an event.
+                c.schedule_after(SimDuration::nanos(5), |c2| c2.world.push(c2.now().as_nanos()));
+            });
+        });
+        sim.run().unwrap();
+        assert_eq!(sim.into_world(), vec![10, 15, 20]);
+    }
+
+    #[test]
+    fn process_advances_time() {
+        let mut sim: Sim<u64> = Sim::new(0, SimConfig::default());
+        sim.spawn("p", |mut p| {
+            p.advance(SimDuration::micros(1));
+            p.advance(SimDuration::micros(2));
+            p.with(|ctx| *ctx.world = ctx.now().as_nanos());
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time.as_nanos(), 3_000);
+        assert_eq!(sim.into_world(), 3_000);
+    }
+
+    #[test]
+    fn two_processes_interleave_deterministically() {
+        let mut sim: Sim<Vec<(usize, u64)>> = Sim::new(Vec::new(), SimConfig::default());
+        for id in 0..2usize {
+            sim.spawn(format!("p{id}"), move |mut p| {
+                for step in 0..3u64 {
+                    p.advance(SimDuration::nanos(10 + id as u64));
+                    p.with(|ctx| {
+                        let t = ctx.now().as_nanos();
+                        ctx.world.push((id, t));
+                    });
+                    let _ = step;
+                }
+            });
+        }
+        sim.run().unwrap();
+        let trace = sim.into_world();
+        // p0 ticks at 10,20,30; p1 at 11,22,33 — ordered by time.
+        assert_eq!(
+            trace,
+            vec![(0, 10), (1, 11), (0, 20), (1, 22), (0, 30), (1, 33)]
+        );
+    }
+
+    #[test]
+    fn waker_roundtrip() {
+        // World holds an optional waker plus a flag; one process parks on the
+        // flag, an event sets it and wakes.
+        struct W {
+            flag: bool,
+            waiter: Option<Waker>,
+            observed_at: u64,
+        }
+        let mut sim: Sim<W> = Sim::new(W { flag: false, waiter: None, observed_at: 0 }, SimConfig::default());
+        sim.with_world(|ctx| {
+            ctx.schedule_at(SimTime::from_nanos(500), |c| {
+                c.world.flag = true;
+                if let Some(w) = c.world.waiter.take() {
+                    c.wake(w);
+                }
+            });
+        });
+        sim.spawn("waiter", |mut p| {
+            let waker = p.waker();
+            loop {
+                let ready = p.with(|ctx| {
+                    if ctx.world.flag {
+                        true
+                    } else {
+                        ctx.world.waiter = Some(waker);
+                        false
+                    }
+                });
+                if ready {
+                    break;
+                }
+                p.park("waiting for flag");
+            }
+            p.with(|ctx| ctx.world.observed_at = ctx.now().as_nanos());
+        });
+        sim.run().unwrap();
+        assert_eq!(sim.into_world().observed_at, 500);
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_reported() {
+        let mut sim: Sim<()> = Sim::new((), SimConfig::default());
+        sim.spawn("stuck", |mut p| {
+            p.park("waiting for a message that never comes");
+        });
+        match sim.run() {
+            Err(SimError::Deadlock(info)) => {
+                assert_eq!(info.parked.len(), 1);
+                assert_eq!(info.parked[0].0, "stuck");
+                assert!(info.parked[0].1.contains("never comes"));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn process_panic_is_reported() {
+        let mut sim: Sim<()> = Sim::new((), SimConfig::default());
+        sim.spawn("bug", |_p| panic!("intentional test panic"));
+        match sim.run() {
+            Err(SimError::ProcPanicked { name, message }) => {
+                assert_eq!(name, "bug");
+                assert!(message.contains("intentional"), "{message}");
+            }
+            other => panic!("expected panic report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn event_limit_guards_livelock() {
+        let mut sim: Sim<()> = Sim::new((), SimConfig { max_events: 100, ..Default::default() });
+        // A self-perpetuating timer chain.
+        sim.with_world(|ctx| {
+            fn tick(c: &mut Ctx<'_, ()>) {
+                c.schedule_after(SimDuration::nanos(1), tick);
+            }
+            ctx.schedule_at(SimTime::ZERO, tick);
+        });
+        assert!(matches!(sim.run(), Err(SimError::EventLimitExceeded { .. })));
+    }
+
+    #[test]
+    fn time_limit_guards_runaway_clock() {
+        let mut sim: Sim<()> =
+            Sim::new((), SimConfig { max_time: SimTime::from_nanos(50), ..Default::default() });
+        sim.spawn("slow", |mut p| {
+            p.advance(SimDuration::nanos(200));
+        });
+        assert!(matches!(sim.run(), Err(SimError::TimeLimitExceeded { .. })));
+    }
+
+    #[test]
+    fn spawned_after_run_does_not_hang_into_world() {
+        // `into_world` without `run` must abort parked threads cleanly.
+        let mut sim: Sim<u32> = Sim::new(7, SimConfig::default());
+        sim.spawn("never-ran", |mut p| {
+            p.advance(SimDuration::nanos(1));
+        });
+        assert_eq!(sim.into_world(), 7);
+    }
+
+    #[test]
+    fn many_processes_complete() {
+        let mut sim: Sim<u64> = Sim::new(0, SimConfig::default());
+        for i in 0..32u64 {
+            sim.spawn(format!("p{i}"), move |mut p| {
+                p.advance(SimDuration::nanos(i + 1));
+                p.with(|ctx| *ctx.world += 1);
+            });
+        }
+        let report = sim.run().unwrap();
+        assert_eq!(report.procs_finished, 32);
+        assert_eq!(sim.into_world(), 32);
+    }
+}

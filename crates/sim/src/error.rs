@@ -1,0 +1,91 @@
+//! Engine error and diagnostic types.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// Why a simulation run failed.
+#[derive(Debug)]
+pub enum SimError {
+    /// The event queue drained while one or more processes were still
+    /// parked: no event can ever wake them again.
+    Deadlock(DeadlockInfo),
+    /// A process panicked (a bug in process code, or a failed assertion).
+    ProcPanicked {
+        /// Name given to the process at spawn time.
+        name: String,
+        /// Best-effort stringified panic payload.
+        message: String,
+    },
+    /// The configured event-count limit was exceeded (livelock guard, e.g.
+    /// an RNR-retry storm that can never make progress).
+    EventLimitExceeded {
+        /// Number of events processed when the limit fired.
+        events: u64,
+        /// Virtual time at which the limit fired.
+        at: SimTime,
+    },
+    /// The configured virtual-time horizon was exceeded.
+    TimeLimitExceeded {
+        /// Virtual time at which the limit fired.
+        at: SimTime,
+    },
+}
+
+/// Diagnostic for a deadlocked run: one entry per process that can never be
+/// woken, with the note it passed when parking (e.g. which MPI call it was
+/// blocked in).
+#[derive(Debug, Clone)]
+pub struct DeadlockInfo {
+    /// Virtual time at which the deadlock was detected.
+    pub at: SimTime,
+    /// `(process name, park note)` for every parked process.
+    pub parked: Vec<(String, String)>,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock(info) => {
+                writeln!(f, "deadlock at {}: {} process(es) parked forever:", info.at, info.parked.len())?;
+                for (name, note) in &info.parked {
+                    writeln!(f, "  - {name}: {note}")?;
+                }
+                Ok(())
+            }
+            SimError::ProcPanicked { name, message } => {
+                write!(f, "process '{name}' panicked: {message}")
+            }
+            SimError::EventLimitExceeded { events, at } => {
+                write!(f, "event limit exceeded ({events} events) at {at}")
+            }
+            SimError::TimeLimitExceeded { at } => write!(f, "time limit exceeded at {at}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_deadlock() {
+        let err = SimError::Deadlock(DeadlockInfo {
+            at: SimTime::from_nanos(5_000),
+            parked: vec![("rank0".into(), "MPI_Recv".into())],
+        });
+        let s = err.to_string();
+        assert!(s.contains("deadlock"), "{s}");
+        assert!(s.contains("rank0"), "{s}");
+        assert!(s.contains("MPI_Recv"), "{s}");
+    }
+
+    #[test]
+    fn display_limits() {
+        let s = SimError::EventLimitExceeded { events: 10, at: SimTime::ZERO }.to_string();
+        assert!(s.contains("event limit"), "{s}");
+        let s = SimError::TimeLimitExceeded { at: SimTime::ZERO }.to_string();
+        assert!(s.contains("time limit"), "{s}");
+    }
+}

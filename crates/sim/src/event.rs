@@ -1,0 +1,70 @@
+//! Event queue entries and ordering.
+
+use crate::engine::Ctx;
+use crate::process::ProcId;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+
+/// A scheduled world mutation.
+pub(crate) type EventFn<W> = Box<dyn FnOnce(&mut Ctx<'_, W>) + Send>;
+
+pub(crate) enum EventKind<W> {
+    /// Run a closure against the world.
+    Call(EventFn<W>),
+    /// Hand the baton to a parked process.
+    Resume(ProcId),
+}
+
+pub(crate) struct Entry<W> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind<W>,
+}
+
+impl<W> Entry<W> {
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
+}
+
+// Ordering is (time, seq): deterministic FIFO among same-time events.
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<W> Eq for Entry<W> {}
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Entry<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    fn entry(time: u64, seq: u64) -> Entry<()> {
+        Entry { time: SimTime::from_nanos(time), seq, kind: EventKind::Resume(ProcId(0)) }
+    }
+
+    #[test]
+    fn min_heap_pops_in_time_then_seq_order() {
+        let mut heap = BinaryHeap::new();
+        heap.push(Reverse(entry(20, 3)));
+        heap.push(Reverse(entry(10, 5)));
+        heap.push(Reverse(entry(10, 4)));
+        heap.push(Reverse(entry(5, 9)));
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| heap.pop())
+            .map(|Reverse(e)| (e.time.as_nanos(), e.seq))
+            .collect();
+        assert_eq!(order, vec![(5, 9), (10, 4), (10, 5), (20, 3)]);
+    }
+}

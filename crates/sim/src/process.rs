@@ -1,0 +1,227 @@
+//! Simulated processes: OS threads coordinated by a strict-alternation baton.
+
+use crate::engine::{Ctx, Shared, State};
+use crate::time::{SimDuration, SimTime};
+use crate::waker::Waker;
+use crossbeam::channel::{Receiver, Sender};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Identifier of a simulated process (dense index, spawn order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub(crate) usize);
+
+impl ProcId {
+    /// Dense index of this process (spawn order).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+pub(crate) enum ProcStatus {
+    Running,
+    Parked,
+    Done,
+}
+
+pub(crate) enum ResumeSignal {
+    Go(SimTime),
+    Abort,
+}
+
+pub(crate) enum YieldMsg {
+    Parked { proc_id: ProcId, note: String },
+    Done { proc_id: ProcId },
+    Panicked { proc_id: ProcId, message: String },
+}
+
+pub(crate) struct ProcSlot {
+    pub name: String,
+    pub status: ProcStatus,
+    pub resume_tx: Sender<ResumeSignal>,
+    pub resume_pending: bool,
+    pub park_note: String,
+}
+
+/// Payload used to unwind a process thread when the kernel aborts the run;
+/// recognized and swallowed by the thread wrapper.
+struct AbortToken;
+
+/// Handle a process body uses to interact with the simulation.
+///
+/// All world access goes through [`ProcCtx::with`]; time passes only through
+/// [`ProcCtx::advance`] or by blocking in [`ProcCtx::park`] until a
+/// [`Waker`] fires.
+pub struct ProcCtx<W: Send + 'static> {
+    id: ProcId,
+    name: String,
+    shared: Arc<Shared<W>>,
+    resume_rx: Receiver<ResumeSignal>,
+    yield_tx: Sender<YieldMsg>,
+    local_now: SimTime,
+}
+
+impl<W: Send + 'static> ProcCtx<W> {
+    pub(crate) fn new(
+        id: ProcId,
+        name: String,
+        shared: Arc<Shared<W>>,
+        resume_rx: Receiver<ResumeSignal>,
+        yield_tx: Sender<YieldMsg>,
+    ) -> Self {
+        ProcCtx { id, name, shared, resume_rx, yield_tx, local_now: SimTime::ZERO }
+    }
+
+    /// This process's identifier.
+    #[inline]
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// The name given at spawn time.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current virtual time (equals the global clock whenever this process
+    /// is running).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.local_now
+    }
+
+    /// A wake token other code (typically stored in the world) can use to
+    /// unpark this process.
+    #[inline]
+    pub fn waker(&self) -> Waker {
+        Waker { proc_id: self.id }
+    }
+
+    /// Runs `f` with exclusive access to the world and scheduler.
+    /// The closure runs at the current instant and consumes no virtual time.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Ctx<'_, W>) -> R) -> R {
+        let mut st = self.shared.state.lock();
+        let State { world, sched } = &mut *st;
+        debug_assert_eq!(
+            sched.now, self.local_now,
+            "process clock diverged from global clock"
+        );
+        f(&mut Ctx { world, sched })
+    }
+
+    /// Blocks until some [`Waker`] for this process fires. `note` is shown
+    /// in deadlock diagnostics. Wakes may be spurious; callers re-check
+    /// their condition in a loop.
+    pub fn park(&mut self, note: &str) {
+        self.yield_tx
+            .send(YieldMsg::Parked { proc_id: self.id, note: note.to_string() })
+            .expect("kernel gone while parking");
+        self.block_for_resume();
+    }
+
+    /// Lets `dt` of virtual time pass for this process (models compute or
+    /// software overhead). Other processes and fabric events run in the
+    /// meantime.
+    pub fn advance(&mut self, dt: SimDuration) {
+        if dt == SimDuration::ZERO {
+            return;
+        }
+        let wake_at = {
+            let mut st = self.shared.state.lock();
+            let t = st.sched.now + dt;
+            // Directly schedule our own resume; bypass the pending check by
+            // clearing it first (we are running, so no resume is pending...
+            // unless a waker fired while we ran; that resume would arrive
+            // early, which the loop below tolerates by re-parking).
+            st.sched.clear_resume_pending(self.id);
+            st.sched.wake_at(self.id, t);
+            t
+        };
+        loop {
+            self.yield_tx
+                .send(YieldMsg::Parked { proc_id: self.id, note: "advancing clock".to_string() })
+                .expect("kernel gone while advancing");
+            self.block_for_resume();
+            if self.local_now >= wake_at {
+                break;
+            }
+            // Spurious early wake (a waker fired during our slice): park
+            // again; our own resume is still queued.
+        }
+    }
+
+    fn block_for_resume(&mut self) {
+        match self.resume_rx.recv() {
+            Ok(ResumeSignal::Go(t)) => self.local_now = t,
+            Ok(ResumeSignal::Abort) | Err(_) => {
+                std::panic::panic_any(AbortToken);
+            }
+        }
+    }
+}
+
+/// Installs (once, process-wide) a panic hook that silences the
+/// [`AbortToken`] unwind used to tear down simulation threads.
+fn install_quiet_abort_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<AbortToken>() {
+                return; // silent: deliberate teardown
+            }
+            prev(info);
+        }));
+    });
+}
+
+pub(crate) fn spawn_proc<W: Send + 'static>(
+    mut ctx: ProcCtx<W>,
+    body: impl FnOnce(ProcCtx<W>) + Send + 'static,
+) -> JoinHandle<()> {
+    install_quiet_abort_hook();
+    let name = ctx.name.clone();
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            // Wait for the first resume before running user code.
+            match ctx.resume_rx.recv() {
+                Ok(ResumeSignal::Go(t)) => ctx.local_now = t,
+                Ok(ResumeSignal::Abort) | Err(_) => return,
+            }
+            let id = ctx.id;
+            let yield_tx = ctx.yield_tx.clone();
+            let result = catch_unwind(AssertUnwindSafe(move || body(ctx)));
+            match result {
+                Ok(()) => {
+                    let _ = yield_tx.send(YieldMsg::Done { proc_id: id });
+                }
+                Err(payload) => {
+                    if payload.is::<AbortToken>() {
+                        // Deliberate teardown: the kernel is no longer
+                        // listening; exit silently.
+                        return;
+                    }
+                    // `&*payload`, not `&payload`: the latter would unsize
+                    // the Box itself into `dyn Any` and defeat downcasting.
+                    let message = panic_message(&*payload);
+                    let _ = yield_tx.send(YieldMsg::Panicked { proc_id: id, message });
+                }
+            }
+        })
+        .expect("failed to spawn simulation thread")
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -1,0 +1,21 @@
+//! Wake tokens linking world state to parked processes.
+
+use crate::process::ProcId;
+
+/// A handle that world code (e.g. a completion queue) can use to wake the
+/// process that created it.
+///
+/// Wakes may be *spurious*: a process that re-parks after handing out a
+/// waker can be woken by a stale token, so blocking loops must re-check
+/// their condition after every wake. Waking a finished process is a no-op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Waker {
+    pub(crate) proc_id: ProcId,
+}
+
+impl Waker {
+    /// The process this waker targets.
+    pub fn proc_id(&self) -> ProcId {
+        self.proc_id
+    }
+}

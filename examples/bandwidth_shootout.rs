@@ -1,0 +1,64 @@
+//! The paper's central micro-benchmark drama, live: small-message
+//! bandwidth when the burst window exceeds the pre-posted buffer pool
+//! (Figures 5–6). Watch the user-level static scheme collapse into its
+//! backlog while the dynamic scheme grows its pool and keeps pace with
+//! the hardware's end-to-end flow control.
+//!
+//! Run with: `cargo run --release --example bandwidth_shootout`
+
+use ibflow::ibfabric::FabricParams;
+use ibflow::mpib::{FlowControlScheme, MpiConfig, MpiWorld};
+
+/// Windowed bandwidth (MB/s): `window` back-to-back 4-byte messages, then
+/// a 4-byte reply, repeated — the paper's §6.2.2 protocol.
+fn bandwidth(scheme: FlowControlScheme, prepost: u32, window: u32) -> f64 {
+    let iters = 20u32;
+    let warmup = 4u32;
+    let out = MpiWorld::run(
+        2,
+        MpiConfig::scheme(scheme, prepost),
+        FabricParams::mt23108(),
+        move |mpi| {
+            let peer = 1 - mpi.rank();
+            let payload = [0xA5u8; 4];
+            let mut measured = 0u64;
+            for it in 0..warmup + iters {
+                let t0 = mpi.now();
+                if mpi.rank() == 0 {
+                    let reqs: Vec<_> = (0..window).map(|_| mpi.isend(&payload, peer, 2)).collect();
+                    mpi.waitall(&reqs);
+                    let _ = mpi.recv(Some(peer), Some(3));
+                } else {
+                    let reqs: Vec<_> = (0..window).map(|_| mpi.irecv(Some(peer), Some(2))).collect();
+                    mpi.waitall(&reqs);
+                    mpi.send(&[0u8; 4], peer, 3);
+                }
+                if it >= warmup {
+                    measured += mpi.now().since(t0).as_nanos();
+                }
+            }
+            measured
+        },
+    )
+    .expect("bandwidth run");
+    let secs = out.results[0] as f64 / 1e9;
+    (iters as u64 * window as u64 * 4) as f64 / secs / 1e6
+}
+
+fn main() {
+    let prepost = 10;
+    println!("4-byte message bandwidth (MB/s), pre-post = {prepost} buffers/connection\n");
+    println!("{:>8} {:>14} {:>14} {:>14}", "window", "hardware", "user-static", "user-dynamic");
+    for window in [1u32, 4, 8, 16, 32, 64, 100] {
+        let hw = bandwidth(FlowControlScheme::Hardware, prepost, window);
+        let st = bandwidth(FlowControlScheme::UserStatic, prepost, window);
+        let dy = bandwidth(FlowControlScheme::UserDynamic, prepost, window);
+        let marker = if window > prepost { "  <- window exceeds pool" } else { "" };
+        println!("{window:>8} {hw:>14.3} {st:>14.3} {dy:>14.3}{marker}");
+    }
+    println!(
+        "\nBeyond the pre-posted window the static scheme stalls in its backlog \
+         (credits only return via explicit credit messages), while the dynamic \
+         scheme's feedback grows the receiver's pool until the burst fits."
+    );
+}

@@ -1,0 +1,161 @@
+//! Property-based tests spanning the whole stack: arbitrary workloads
+//! through the fabric + MPI layer must preserve MPI semantics under every
+//! flow control scheme and configuration.
+
+use ibflow::ibfabric::FabricParams;
+use ibflow::mpib::{CreditMsgMode, FlowControlScheme, GrowthPolicy, MpiConfig, MpiWorld};
+use proptest::prelude::*;
+
+fn scheme_strategy() -> impl Strategy<Value = FlowControlScheme> {
+    prop_oneof![
+        Just(FlowControlScheme::Hardware),
+        Just(FlowControlScheme::UserStatic),
+        Just(FlowControlScheme::UserDynamic),
+    ]
+}
+
+fn credit_mode_strategy() -> impl Strategy<Value = CreditMsgMode> {
+    prop_oneof![Just(CreditMsgMode::Optimistic), Just(CreditMsgMode::Rdma)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any mix of message sizes (eager and rendezvous), sent in order on
+    /// one tag, arrives intact and in order — whatever the scheme,
+    /// pre-post depth, or credit path.
+    #[test]
+    fn payload_integrity_and_ordering(
+        sizes in prop::collection::vec(0usize..6000, 1..25),
+        scheme in scheme_strategy(),
+        credit_mode in credit_mode_strategy(),
+        prepost in 1u32..12,
+        ecm_threshold in 1u32..8,
+    ) {
+        let cfg = MpiConfig {
+            credit_msg_mode: credit_mode,
+            ecm_threshold,
+            ..MpiConfig::scheme(scheme, prepost)
+        };
+        let sizes2 = sizes.clone();
+        let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), move |mpi| {
+            if mpi.rank() == 0 {
+                for (i, &n) in sizes2.iter().enumerate() {
+                    let payload: Vec<u8> = (0..n).map(|b| ((b + i) % 251) as u8).collect();
+                    mpi.send(&payload, 1, 5);
+                }
+                true
+            } else {
+                for (i, &n) in sizes2.iter().enumerate() {
+                    let (st, data) = mpi.recv(Some(0), Some(5));
+                    assert_eq!(st.len, n, "message {i} length");
+                    for (b, &v) in data.iter().enumerate() {
+                        assert_eq!(v, ((b + i) % 251) as u8, "message {i} byte {b}");
+                    }
+                }
+                true
+            }
+        })
+        .expect("run failed");
+        prop_assert!(out.results.iter().all(|&ok| ok));
+    }
+
+    /// Results and virtual end-times are bit-deterministic for a fixed
+    /// configuration.
+    #[test]
+    fn determinism(
+        scheme in scheme_strategy(),
+        prepost in 1u32..10,
+        count in 1u32..30,
+    ) {
+        let run = || {
+            let cfg = MpiConfig::scheme(scheme, prepost);
+            MpiWorld::run(3, cfg, FabricParams::mt23108(), move |mpi| {
+                let me = mpi.rank();
+                let next = (me + 1) % 3;
+                let prev = (me + 2) % 3;
+                let mut acc = me as u64;
+                for i in 0..count {
+                    let (_, d) = mpi.sendrecv(&acc.to_le_bytes(), next, i as i32, Some(prev), Some(i as i32));
+                    acc = acc.wrapping_mul(31).wrapping_add(u64::from_le_bytes(d.try_into().unwrap()));
+                }
+                acc
+            })
+            .expect("run failed")
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.results, b.results);
+        prop_assert_eq!(a.end_time, b.end_time);
+        prop_assert_eq!(a.events, b.events);
+    }
+
+    /// The flow control scheme never changes computed results, only
+    /// timing (the paper's comparisons rely on this).
+    #[test]
+    fn scheme_invariance(
+        sizes in prop::collection::vec(1usize..4000, 1..12),
+        prepost in 1u32..8,
+    ) {
+        let mut sums = Vec::new();
+        for scheme in [
+            FlowControlScheme::Hardware,
+            FlowControlScheme::UserStatic,
+            FlowControlScheme::UserDynamic,
+        ] {
+            let sizes2 = sizes.clone();
+            let out = MpiWorld::run(2, MpiConfig::scheme(scheme, prepost), FabricParams::mt23108(), move |mpi| {
+                if mpi.rank() == 0 {
+                    for &n in &sizes2 {
+                        let payload: Vec<u8> = (0..n).map(|b| (b % 17) as u8).collect();
+                        mpi.send(&payload, 1, 0);
+                    }
+                    0u64
+                } else {
+                    let mut h = 0u64;
+                    for _ in &sizes2 {
+                        let (_, d) = mpi.recv(Some(0), Some(0));
+                        for v in d {
+                            h = h.wrapping_mul(131).wrapping_add(v as u64);
+                        }
+                    }
+                    h
+                }
+            })
+            .expect("run failed");
+            sums.push(out.results[1]);
+        }
+        prop_assert_eq!(sums[0], sums[1]);
+        prop_assert_eq!(sums[1], sums[2]);
+    }
+
+    /// The dynamic scheme's pool never exceeds the configured cap, for
+    /// any growth policy and pressure level.
+    #[test]
+    fn dynamic_growth_respects_cap(
+        burst in 10u32..80,
+        increment in 1u32..9,
+        exponential in any::<bool>(),
+        max_prepost in 4u32..24,
+    ) {
+        let cfg = MpiConfig {
+            growth: if exponential { GrowthPolicy::Exponential } else { GrowthPolicy::Linear(increment) },
+            max_prepost,
+            ..MpiConfig::scheme(FlowControlScheme::UserDynamic, 2)
+        };
+        let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), move |mpi| {
+            if mpi.rank() == 0 {
+                let reqs: Vec<_> = (0..burst).map(|i| mpi.isend(&i.to_le_bytes(), 1, 0)).collect();
+                mpi.waitall(&reqs);
+            } else {
+                mpi.compute(ibflow::ibsim::SimDuration::millis(1));
+                for _ in 0..burst {
+                    let _ = mpi.recv(Some(0), Some(0));
+                }
+            }
+        })
+        .expect("run failed");
+        let peak = out.stats.max_posted_buffers();
+        prop_assert!(peak <= max_prepost as u64, "peak {peak} exceeds cap {max_prepost}");
+    }
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml — run before pushing.
+#
+# The workspace is hermetic (path-only dependencies), so everything runs
+# with --locked --offline; a step that needs the network is a bug.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --workspace --locked --offline
+run cargo test -q --workspace --release --locked --offline
+run cargo fmt --check
+run cargo clippy --workspace --all-targets --locked --offline -- -D warnings
+run cargo bench -p ibfabric --bench transport --locked --offline -- --test
+run cargo bench -p ibflow-bench --bench paper --locked --offline -- --test
+
+# Smoke: the two headline experiment binaries must complete cleanly.
+run cargo run --release --locked --offline -p ibflow-bench --bin fig2_latency >/dev/null
+run env IBFLOW_CLASS=test cargo run --release --locked --offline -p ibflow-bench --bin table1_ecm >/dev/null
+
+echo "All checks passed."

@@ -1,4 +1,5 @@
-//! Criterion benches: one group per table/figure of the paper.
+//! Wall-clock benches (in-repo harness): one bench per table/figure of
+//! the paper. Results land in `bench_results/paper.json`.
 //!
 //! Each bench runs a scaled-down version of the corresponding experiment
 //! end-to-end through the simulator (wall-clock time here measures the
@@ -6,7 +7,6 @@
 //! `fig*`/`table*` binaries and are deterministic). Together they keep
 //! the full reproduction pipeline exercised and performance-tracked.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ibfabric::FabricParams;
 use ibflow_bench::micro::{bandwidth_test, latency_test, MicroParams};
 use ibflow_bench::nas::run_nas;
@@ -14,116 +14,104 @@ use ibflow_bench::SCHEMES;
 use mpib::FlowControlScheme;
 use nasbench::common::Kernel;
 use nasbench::NasClass;
+use testutil::Harness;
 
 fn quick(scheme: FlowControlScheme, prepost: u32) -> MicroParams {
-    MicroParams { iters: 5, warmup: 1, ..MicroParams::new(scheme, prepost) }
+    MicroParams {
+        iters: 5,
+        warmup: 1,
+        ..MicroParams::new(scheme, prepost)
+    }
 }
 
-/// Figure 2 — latency test per scheme.
-fn fig2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig2_latency");
-    g.sample_size(10);
+fn main() {
+    let mut h = Harness::new("paper").with_samples(1, 5);
+
+    // Figure 2 — latency test per scheme.
     for scheme in SCHEMES {
-        g.bench_with_input(BenchmarkId::from_parameter(scheme.label()), &scheme, |b, &s| {
-            b.iter(|| latency_test(&quick(s, 100), 4, FabricParams::mt23108()));
+        h.bench(&format!("fig2_latency/{}", scheme.label()), move || {
+            latency_test(&quick(scheme, 100), 4, FabricParams::mt23108());
         });
     }
-    g.finish();
-}
 
-/// Figures 3–4 — small-message bandwidth with ample buffers.
-fn fig3_fig4(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3_fig4_bw_pp100");
-    g.sample_size(10);
+    // Figures 3–4 — small-message bandwidth with ample buffers.
     for blocking in [true, false] {
         let name = if blocking { "blocking" } else { "nonblocking" };
-        g.bench_with_input(BenchmarkId::from_parameter(name), &blocking, |b, &blk| {
-            b.iter(|| bandwidth_test(&quick(FlowControlScheme::UserStatic, 100), 4, 32, blk, FabricParams::mt23108()));
+        h.bench(&format!("fig3_fig4_bw_pp100/{name}"), move || {
+            bandwidth_test(
+                &quick(FlowControlScheme::UserStatic, 100),
+                4,
+                32,
+                blocking,
+                FabricParams::mt23108(),
+            );
         });
     }
-    g.finish();
-}
 
-/// Figures 5–6 — the flow control stress point (window > pre-post).
-fn fig5_fig6(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5_fig6_bw_pp10_window64");
-    g.sample_size(10);
+    // Figures 5–6 — the flow control stress point (window > pre-post).
     for scheme in SCHEMES {
-        g.bench_with_input(BenchmarkId::from_parameter(scheme.label()), &scheme, |b, &s| {
-            b.iter(|| bandwidth_test(&quick(s, 10), 4, 64, false, FabricParams::mt23108()));
-        });
+        h.bench(
+            &format!("fig5_fig6_bw_pp10_window64/{}", scheme.label()),
+            move || {
+                bandwidth_test(&quick(scheme, 10), 4, 64, false, FabricParams::mt23108());
+            },
+        );
     }
-    g.finish();
-}
 
-/// Figures 7–8 — large-message rendezvous bandwidth.
-fn fig7_fig8(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_fig8_bw_32k");
-    g.sample_size(10);
+    // Figures 7–8 — large-message rendezvous bandwidth.
     for blocking in [true, false] {
         let name = if blocking { "blocking" } else { "nonblocking" };
-        g.bench_with_input(BenchmarkId::from_parameter(name), &blocking, |b, &blk| {
-            b.iter(|| bandwidth_test(&quick(FlowControlScheme::UserStatic, 10), 32 * 1024, 8, blk, FabricParams::mt23108()));
+        h.bench(&format!("fig7_fig8_bw_32k/{name}"), move || {
+            bandwidth_test(
+                &quick(FlowControlScheme::UserStatic, 10),
+                32 * 1024,
+                8,
+                blocking,
+                FabricParams::mt23108(),
+            );
         });
     }
-    g.finish();
-}
 
-/// Figure 9 — NAS kernels under each scheme (test class).
-fn fig9(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9_nas_pp100");
-    g.sample_size(10);
+    // Figure 9 — NAS kernels under each scheme (test class).
     for kernel in [Kernel::Is, Kernel::Lu, Kernel::Cg] {
         for scheme in SCHEMES {
-            let id = format!("{}_{}", kernel.name(), scheme.label());
-            g.bench_function(BenchmarkId::from_parameter(id), |b| {
-                b.iter(|| run_nas(kernel, NasClass::Test, scheme, 100));
-            });
+            h.bench(
+                &format!("fig9_nas_pp100/{}_{}", kernel.name(), scheme.label()),
+                move || {
+                    run_nas(kernel, NasClass::Test, scheme, 100);
+                },
+            );
         }
     }
-    g.finish();
-}
 
-/// Figure 10 — the pre-post = 1 extreme.
-fn fig10(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10_nas_pp1");
-    g.sample_size(10);
+    // Figure 10 — the pre-post = 1 extreme.
     for scheme in SCHEMES {
-        let id = format!("LU_{}", scheme.label());
-        g.bench_function(BenchmarkId::from_parameter(id), |b| {
-            b.iter(|| run_nas(Kernel::Lu, NasClass::Test, scheme, 1));
+        h.bench(&format!("fig10_nas_pp1/LU_{}", scheme.label()), move || {
+            run_nas(Kernel::Lu, NasClass::Test, scheme, 1);
         });
     }
-    g.finish();
-}
 
-/// Table 1 — explicit credit message accounting (static scheme).
-fn table1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1_ecm");
-    g.sample_size(10);
-    g.bench_function("LU_user_static", |b| {
-        b.iter(|| {
-            let r = run_nas(Kernel::Lu, NasClass::Test, FlowControlScheme::UserStatic, 100);
-            assert!(r.ecm_per_conn >= 0.0);
-            r
-        });
+    // Table 1 — explicit credit message accounting (static scheme).
+    h.bench("table1_ecm/LU_user_static", || {
+        let r = run_nas(
+            Kernel::Lu,
+            NasClass::Test,
+            FlowControlScheme::UserStatic,
+            100,
+        );
+        assert!(r.ecm_per_conn >= 0.0);
     });
-    g.finish();
-}
 
-/// Table 2 — dynamic pool growth tracking.
-fn table2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2_max_buffers");
-    g.sample_size(10);
-    g.bench_function("LU_user_dynamic", |b| {
-        b.iter(|| {
-            let r = run_nas(Kernel::Lu, NasClass::Test, FlowControlScheme::UserDynamic, 1);
-            assert!(r.max_posted >= 1);
-            r
-        });
+    // Table 2 — dynamic pool growth tracking.
+    h.bench("table2_max_buffers/LU_user_dynamic", || {
+        let r = run_nas(
+            Kernel::Lu,
+            NasClass::Test,
+            FlowControlScheme::UserDynamic,
+            1,
+        );
+        assert!(r.max_posted >= 1);
     });
-    g.finish();
-}
 
-criterion_group!(figures, fig2, fig3_fig4, fig5_fig6, fig7_fig8, fig9, fig10, table1, table2);
-criterion_main!(figures);
+    h.finish();
+}

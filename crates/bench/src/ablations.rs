@@ -18,10 +18,19 @@ pub fn run_kernel_cfg(
     params: FabricParams,
 ) -> (f64, mpib::WorldStats, ibfabric::FabricStats) {
     let procs = kernel.paper_procs();
-    let out = MpiWorld::run(procs, cfg, params, move |mpi| run_kernel(mpi, kernel, class))
-        .unwrap_or_else(|e| panic!("{kernel:?} ablation failed: {e}"));
-    assert!(out.results.iter().all(|r| r.verified), "{kernel:?} must verify");
-    let time_ms = out.results.iter().map(|r| r.time.as_secs_f64() * 1e3).fold(0.0, f64::max);
+    let out = MpiWorld::run(procs, cfg, params, move |mpi| {
+        run_kernel(mpi, kernel, class)
+    })
+    .unwrap_or_else(|e| panic!("{kernel:?} ablation failed: {e}"));
+    assert!(
+        out.results.iter().all(|r| r.verified),
+        "{kernel:?} must verify"
+    );
+    let time_ms = out
+        .results
+        .iter()
+        .map(|r| r.time.as_secs_f64() * 1e3)
+        .fold(0.0, f64::max);
     (time_ms, out.stats, out.fabric.stats.clone())
 }
 
@@ -30,7 +39,10 @@ pub fn run_kernel_cfg(
 pub fn ecm_threshold(class: NasClass) -> String {
     let mut rows = Vec::new();
     for thr in [1u32, 2, 5, 10, 20, 50] {
-        let cfg = MpiConfig { ecm_threshold: thr, ..MpiConfig::scheme(FlowControlScheme::UserStatic, 100) };
+        let cfg = MpiConfig {
+            ecm_threshold: thr,
+            ..MpiConfig::scheme(FlowControlScheme::UserStatic, 100)
+        };
         let (time_ms, stats, _) = run_kernel_cfg(Kernel::Lu, class, cfg, FabricParams::mt23108());
         rows.push(vec![
             thr.to_string(),
@@ -51,7 +63,10 @@ pub fn growth_policy(class: NasClass) -> String {
         ("linear(8)", GrowthPolicy::Linear(8)),
         ("exponential", GrowthPolicy::Exponential),
     ] {
-        let cfg = MpiConfig { growth, ..MpiConfig::scheme(FlowControlScheme::UserDynamic, 1) };
+        let cfg = MpiConfig {
+            growth,
+            ..MpiConfig::scheme(FlowControlScheme::UserDynamic, 1)
+        };
         let (time_ms, stats, _) = run_kernel_cfg(Kernel::Lu, class, cfg, FabricParams::mt23108());
         rows.push(vec![
             name.to_string(),
@@ -78,7 +93,10 @@ pub fn rnr_timer(class: NasClass) -> String {
             fstats.retransmissions.get().to_string(),
         ]);
     }
-    table(&["rnr timer (us)", "LU time (ms)", "RNR NAKs", "retransmits"], &rows)
+    table(
+        &["rnr timer (us)", "LU time (ms)", "RNR NAKs", "retransmits"],
+        &rows,
+    )
 }
 
 /// Credit delivery path comparison on the ECM-heavy LU pattern:
@@ -86,8 +104,14 @@ pub fn rnr_timer(class: NasClass) -> String {
 /// "RDMA approach").
 pub fn credit_path(class: NasClass) -> String {
     let mut rows = Vec::new();
-    for (name, mode) in [("optimistic", CreditMsgMode::Optimistic), ("rdma", CreditMsgMode::Rdma)] {
-        let cfg = MpiConfig { credit_msg_mode: mode, ..MpiConfig::scheme(FlowControlScheme::UserStatic, 100) };
+    for (name, mode) in [
+        ("optimistic", CreditMsgMode::Optimistic),
+        ("rdma", CreditMsgMode::Rdma),
+    ] {
+        let cfg = MpiConfig {
+            credit_msg_mode: mode,
+            ..MpiConfig::scheme(FlowControlScheme::UserStatic, 100)
+        };
         let (time_ms, stats, _) = run_kernel_cfg(Kernel::Lu, class, cfg, FabricParams::mt23108());
         let ecm: u64 = stats.ranks.iter().map(|r| r.total_ecm()).sum();
         let rdma: u64 = stats
@@ -103,7 +127,10 @@ pub fn credit_path(class: NasClass) -> String {
             rdma.to_string(),
         ]);
     }
-    table(&["credit path", "LU time (ms)", "credit msgs", "rdma updates"], &rows)
+    table(
+        &["credit path", "LU time (ms)", "credit msgs", "rdma updates"],
+        &rows,
+    )
 }
 
 /// The RDMA-based eager channel (the paper's companion design \[13\]) vs
@@ -134,17 +161,33 @@ pub fn rdma_channel() -> String {
         let c = &out.stats.ranks[0].conns[1];
         (out.results[0], c.eager_sent.get(), c.ring_sent.get())
     };
-    let (sr_lat, sr_eager, sr_ring) = latency(MpiConfig::scheme(FlowControlScheme::UserStatic, 100));
+    let (sr_lat, sr_eager, sr_ring) =
+        latency(MpiConfig::scheme(FlowControlScheme::UserStatic, 100));
     let (ring_lat, ring_eager, ring_ring) = latency(MpiConfig {
         rdma_eager_channel: true,
         credit_msg_mode: CreditMsgMode::Rdma,
         ..MpiConfig::scheme(FlowControlScheme::UserStatic, 100)
     });
     table(
-        &["design", "4B latency (us)", "send/recv frames", "ring frames"],
         &[
-            vec!["send/recv eager (this paper)".into(), format!("{sr_lat:.2}"), sr_eager.to_string(), sr_ring.to_string()],
-            vec!["RDMA eager channel [13]".into(), format!("{ring_lat:.2}"), ring_eager.to_string(), ring_ring.to_string()],
+            "design",
+            "4B latency (us)",
+            "send/recv frames",
+            "ring frames",
+        ],
+        &[
+            vec![
+                "send/recv eager (this paper)".into(),
+                format!("{sr_lat:.2}"),
+                sr_eager.to_string(),
+                sr_ring.to_string(),
+            ],
+            vec![
+                "RDMA eager channel [13]".into(),
+                format!("{ring_lat:.2}"),
+                ring_eager.to_string(),
+                ring_ring.to_string(),
+            ],
         ],
     )
 }
@@ -154,7 +197,10 @@ pub fn rdma_channel() -> String {
 pub fn on_demand(ranks: usize) -> String {
     let mut rows = Vec::new();
     for (name, on_demand) in [("all-to-all setup", false), ("on-demand setup", true)] {
-        let cfg = MpiConfig { on_demand_connections: on_demand, ..MpiConfig::scheme(FlowControlScheme::UserStatic, 32) };
+        let cfg = MpiConfig {
+            on_demand_connections: on_demand,
+            ..MpiConfig::scheme(FlowControlScheme::UserStatic, 32)
+        };
         let out = MpiWorld::run(ranks, cfg, FabricParams::mt23108(), |mpi| {
             // Ring halo pattern: only 2 of the n-1 connections are used.
             let right = (mpi.rank() + 1) % mpi.size();
@@ -173,7 +219,15 @@ pub fn on_demand(ranks: usize) -> String {
             format!("{} KB", buffers * 2),
         ]);
     }
-    table(&["setup policy", "time (ms)", "posted buffers (total)", "pinned memory"], &rows)
+    table(
+        &[
+            "setup policy",
+            "time (ms)",
+            "posted buffers (total)",
+            "pinned memory",
+        ],
+        &rows,
+    )
 }
 
 /// Eager buffer size sweep on a mixed small-message workload.
@@ -206,7 +260,10 @@ pub fn buffer_size() -> String {
             format!("{} KB", 32 * buf / 1024),
         ]);
     }
-    table(&["buffer size (B)", "time (ms)", "pinned/conn (32 bufs)"], &rows)
+    table(
+        &["buffer size (B)", "time (ms)", "pinned/conn (32 bufs)"],
+        &rows,
+    )
 }
 
 /// Buffer-memory scalability projection: measured pinned memory per rank
@@ -216,8 +273,15 @@ pub fn scalability() -> String {
     for ranks in [4usize, 8, 16, 32] {
         // Static 100 vs dynamic adapting on a nearest-neighbour workload.
         let mut measured = Vec::new();
-        for scheme in [FlowControlScheme::UserStatic, FlowControlScheme::UserDynamic] {
-            let prepost = if scheme == FlowControlScheme::UserStatic { 100 } else { 1 };
+        for scheme in [
+            FlowControlScheme::UserStatic,
+            FlowControlScheme::UserDynamic,
+        ] {
+            let prepost = if scheme == FlowControlScheme::UserStatic {
+                100
+            } else {
+                1
+            };
             let cfg = MpiConfig::scheme(scheme, prepost);
             let out = MpiWorld::run(ranks, cfg, FabricParams::mt23108(), |mpi| {
                 let right = (mpi.rank() + 1) % mpi.size();
@@ -237,7 +301,14 @@ pub fn scalability() -> String {
             format!("{} ({} KB)", measured[1], measured[1] * 2),
         ]);
     }
-    let mut t = table(&["ranks", "static-100: bufs/rank (pinned)", "dynamic: bufs/rank (pinned)"], &rows);
+    let mut t = table(
+        &[
+            "ranks",
+            "static-100: bufs/rank (pinned)",
+            "dynamic: bufs/rank (pinned)",
+        ],
+        &rows,
+    );
     t.push_str(
         "\nProjection (static, 100 x 2 KB per connection): 1,000 nodes -> ~195 MB/rank;\n\
          10,000 nodes -> ~1.9 GB/rank of pinned receive buffers. The dynamic scheme's\n\

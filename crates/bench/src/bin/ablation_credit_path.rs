@@ -1,5 +1,8 @@
 //! Ablation: Credit delivery path: optimistic messages vs RDMA mailbox (LU).
 fn main() {
     println!("Credit delivery path: optimistic messages vs RDMA mailbox (LU)\n");
-    print!("{}", ibflow_bench::ablations::credit_path(ibflow_bench::nas_class_from_env()));
+    print!(
+        "{}",
+        ibflow_bench::ablations::credit_path(ibflow_bench::nas_class_from_env())
+    );
 }

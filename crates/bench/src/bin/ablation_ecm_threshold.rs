@@ -1,5 +1,8 @@
 //! Ablation: ECM threshold sweep (LU, user-level static).
 fn main() {
     println!("ECM threshold sweep (LU, user-level static)\n");
-    print!("{}", ibflow_bench::ablations::ecm_threshold(ibflow_bench::nas_class_from_env()));
+    print!(
+        "{}",
+        ibflow_bench::ablations::ecm_threshold(ibflow_bench::nas_class_from_env())
+    );
 }

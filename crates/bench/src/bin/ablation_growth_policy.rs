@@ -1,5 +1,8 @@
 //! Ablation: Dynamic growth policy sweep (LU, initial pre-post 1).
 fn main() {
     println!("Dynamic growth policy sweep (LU, initial pre-post 1)\n");
-    print!("{}", ibflow_bench::ablations::growth_policy(ibflow_bench::nas_class_from_env()));
+    print!(
+        "{}",
+        ibflow_bench::ablations::growth_policy(ibflow_bench::nas_class_from_env())
+    );
 }

@@ -1,5 +1,8 @@
 //! Ablation: RNR timer sweep (LU, hardware scheme, pre-post 1).
 fn main() {
     println!("RNR timer sweep (LU, hardware scheme, pre-post 1)\n");
-    print!("{}", ibflow_bench::ablations::rnr_timer(ibflow_bench::nas_class_from_env()));
+    print!(
+        "{}",
+        ibflow_bench::ablations::rnr_timer(ibflow_bench::nas_class_from_env())
+    );
 }

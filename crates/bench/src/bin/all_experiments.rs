@@ -9,14 +9,48 @@ fn main() {
     let mut out = String::new();
 
     println!("[1/9] Figure 2 (latency)...");
-    let _ = writeln!(out, "## Figure 2 — MPI latency (us), pre-post = 100\n\n```\n{}```\n", fig2_table(&fig2_latency()));
+    let _ = writeln!(
+        out,
+        "## Figure 2 — MPI latency (us), pre-post = 100\n\n```\n{}```\n",
+        fig2_table(&fig2_latency())
+    );
     for (i, (name, size, prepost, blocking)) in [
-        ("Figure 3 — bandwidth, 4 B, pre-post 100, blocking", 4usize, 100u32, true),
-        ("Figure 4 — bandwidth, 4 B, pre-post 100, non-blocking", 4, 100, false),
-        ("Figure 5 — bandwidth, 4 B, pre-post 10, blocking", 4, 10, true),
-        ("Figure 6 — bandwidth, 4 B, pre-post 10, non-blocking", 4, 10, false),
-        ("Figure 7 — bandwidth, 32 KB, pre-post 10, blocking", 32768, 10, true),
-        ("Figure 8 — bandwidth, 32 KB, pre-post 10, non-blocking", 32768, 10, false),
+        (
+            "Figure 3 — bandwidth, 4 B, pre-post 100, blocking",
+            4usize,
+            100u32,
+            true,
+        ),
+        (
+            "Figure 4 — bandwidth, 4 B, pre-post 100, non-blocking",
+            4,
+            100,
+            false,
+        ),
+        (
+            "Figure 5 — bandwidth, 4 B, pre-post 10, blocking",
+            4,
+            10,
+            true,
+        ),
+        (
+            "Figure 6 — bandwidth, 4 B, pre-post 10, non-blocking",
+            4,
+            10,
+            false,
+        ),
+        (
+            "Figure 7 — bandwidth, 32 KB, pre-post 10, blocking",
+            32768,
+            10,
+            true,
+        ),
+        (
+            "Figure 8 — bandwidth, 32 KB, pre-post 10, non-blocking",
+            32768,
+            10,
+            false,
+        ),
     ]
     .into_iter()
     .enumerate()
@@ -29,10 +63,26 @@ fn main() {
     println!("[8/9] NAS battery (class {class:?}) — Figures 9-10, Tables 1-2...");
     let runs = nas_battery(class);
     assert!(runs.iter().all(|r| r.verified), "every kernel must verify");
-    let _ = writeln!(out, "## Figure 9 — NAS runtimes, pre-post = 100 (class {class:?})\n\n```\n{}```\n", fig9_table(&runs));
-    let _ = writeln!(out, "## Figure 10 — degradation, pre-post 100 -> 1\n\n```\n{}```\n", fig10_table(&runs));
-    let _ = writeln!(out, "## Table 1 — explicit credit messages (user-level static)\n\n```\n{}```\n", table1(&runs));
-    let _ = writeln!(out, "## Table 2 — max posted buffers (user-level dynamic, start = 1)\n\n```\n{}```\n", table2(&runs));
+    let _ = writeln!(
+        out,
+        "## Figure 9 — NAS runtimes, pre-post = 100 (class {class:?})\n\n```\n{}```\n",
+        fig9_table(&runs)
+    );
+    let _ = writeln!(
+        out,
+        "## Figure 10 — degradation, pre-post 100 -> 1\n\n```\n{}```\n",
+        fig10_table(&runs)
+    );
+    let _ = writeln!(
+        out,
+        "## Table 1 — explicit credit messages (user-level static)\n\n```\n{}```\n",
+        table1(&runs)
+    );
+    let _ = writeln!(
+        out,
+        "## Table 2 — max posted buffers (user-level dynamic, start = 1)\n\n```\n{}```\n",
+        table2(&runs)
+    );
 
     println!("[9/9] writing bench_results/experiments.md");
     std::fs::create_dir_all("bench_results").expect("mkdir bench_results");

@@ -6,21 +6,45 @@ use nasbench::NasClass;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let kernels: Vec<Kernel> = if args.len() > 1 {
-        args[1..].iter().map(|a| Kernel::from_name(a).expect("kernel")).collect()
+        args[1..]
+            .iter()
+            .map(|a| Kernel::from_name(a).expect("kernel"))
+            .collect()
     } else {
         Kernel::ALL.to_vec()
     };
-    println!("{:>4} {:>13} {:>8} {:>10} {:>6} {:>9} {:>9} {:>6} {:>6} {:>6}",
-        "app", "scheme", "prepost", "time_ms", "ok", "ecm/conn", "msg/conn", "maxbuf", "rnr", "retx");
+    println!(
+        "{:>4} {:>13} {:>8} {:>10} {:>6} {:>9} {:>9} {:>6} {:>6} {:>6}",
+        "app",
+        "scheme",
+        "prepost",
+        "time_ms",
+        "ok",
+        "ecm/conn",
+        "msg/conn",
+        "maxbuf",
+        "rnr",
+        "retx"
+    );
     for k in kernels {
         for prepost in [100u32, 1] {
             for scheme in SCHEMES {
                 let t0 = std::time::Instant::now();
                 let r = run_nas(k, NasClass::W, scheme, prepost);
                 eprintln!("[wall {:?}]", t0.elapsed());
-                println!("{:>4} {:>13} {:>8} {:>10.2} {:>6} {:>9.1} {:>9.0} {:>6} {:>6} {:>6}",
-                    r.kernel.name(), format!("{:?}", r.scheme), r.prepost, r.time_ms,
-                    r.verified, r.ecm_per_conn, r.msgs_per_conn, r.max_posted, r.rnr_naks, r.retransmissions);
+                println!(
+                    "{:>4} {:>13} {:>8} {:>10.2} {:>6} {:>9.1} {:>9.0} {:>6} {:>6} {:>6}",
+                    r.kernel.name(),
+                    format!("{:?}", r.scheme),
+                    r.prepost,
+                    r.time_ms,
+                    r.verified,
+                    r.ecm_per_conn,
+                    r.msgs_per_conn,
+                    r.max_posted,
+                    r.rnr_naks,
+                    r.retransmissions
+                );
             }
         }
     }

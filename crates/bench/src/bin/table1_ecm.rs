@@ -4,7 +4,9 @@ use ibflow_bench::figures::{nas_battery, table1};
 
 fn main() {
     let class = ibflow_bench::nas_class_from_env();
-    println!("Table 1 — explicit credit messages, user-level static, pre-post = 100 (class {class:?})\n");
+    println!(
+        "Table 1 — explicit credit messages, user-level static, pre-post = 100 (class {class:?})\n"
+    );
     let runs = nas_battery(class);
     print!("{}", table1(&runs));
 }

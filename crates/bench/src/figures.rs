@@ -32,7 +32,11 @@ pub fn fig2_latency() -> Vec<Fig2Row> {
         .map(|&size| {
             let mut us = [0.0; 3];
             for (i, scheme) in SCHEMES.into_iter().enumerate() {
-                us[i] = latency_test(&MicroParams::new(scheme, 100), size, FabricParams::mt23108());
+                us[i] = latency_test(
+                    &MicroParams::new(scheme, 100),
+                    size,
+                    FabricParams::mt23108(),
+                );
             }
             Fig2Row { size, us }
         })
@@ -52,7 +56,15 @@ pub fn fig2_table(rows: &[Fig2Row]) -> String {
             ]
         })
         .collect();
-    table(&["size(B)", "hardware(us)", "user-static(us)", "user-dynamic(us)"], &data)
+    table(
+        &[
+            "size(B)",
+            "hardware(us)",
+            "user-static(us)",
+            "user-dynamic(us)",
+        ],
+        &data,
+    )
 }
 
 /// One bandwidth-figure row: MB/s per scheme at one window size.
@@ -71,8 +83,13 @@ pub fn bandwidth_figure(size: usize, prepost: u32, blocking: bool) -> Vec<BwRow>
         .map(|&window| {
             let mut mbps = [0.0; 3];
             for (i, scheme) in SCHEMES.into_iter().enumerate() {
-                let p = MicroParams { iters: 20, warmup: 4, ..MicroParams::new(scheme, prepost) };
-                mbps[i] = bandwidth_test(&p, size, window, blocking, FabricParams::mt23108()).mb_per_s;
+                let p = MicroParams {
+                    iters: 20,
+                    warmup: 4,
+                    ..MicroParams::new(scheme, prepost)
+                };
+                mbps[i] =
+                    bandwidth_test(&p, size, window, blocking, FabricParams::mt23108()).mb_per_s;
             }
             BwRow { window, mbps }
         })
@@ -92,7 +109,15 @@ pub fn bandwidth_table(rows: &[BwRow]) -> String {
             ]
         })
         .collect();
-    table(&["window", "hardware(MB/s)", "user-static(MB/s)", "user-dynamic(MB/s)"], &data)
+    table(
+        &[
+            "window",
+            "hardware(MB/s)",
+            "user-static(MB/s)",
+            "user-dynamic(MB/s)",
+        ],
+        &data,
+    )
 }
 
 /// Fig 9 / Fig 10 / Tables 1–2 all come from the same application runs;
@@ -111,7 +136,7 @@ pub fn nas_battery(class: NasClass) -> Vec<NasRun> {
 }
 
 /// Extracts one run from a battery.
-pub fn pick<'a>(runs: &'a [NasRun], kernel: Kernel, scheme: FlowControlScheme, prepost: u32) -> &'a NasRun {
+pub fn pick(runs: &[NasRun], kernel: Kernel, scheme: FlowControlScheme, prepost: u32) -> &NasRun {
     runs.iter()
         .find(|r| r.kernel == kernel && r.scheme == scheme && r.prepost == prepost)
         .expect("battery is complete")
@@ -136,7 +161,14 @@ pub fn fig9_table(runs: &[NasRun]) -> String {
         })
         .collect();
     table(
-        &["app", "procs", "hardware(ms)", "user-static(ms)", "user-dynamic(ms)", "static vs hw"],
+        &[
+            "app",
+            "procs",
+            "hardware(ms)",
+            "user-static(ms)",
+            "user-dynamic(ms)",
+            "static vs hw",
+        ],
         &data,
     )
 }
@@ -162,7 +194,11 @@ pub fn table1(runs: &[NasRun]) -> String {
         .iter()
         .map(|&k| {
             let r = pick(runs, k, FlowControlScheme::UserStatic, 100);
-            let pct = if r.msgs_per_conn > 0.0 { r.ecm_per_conn / r.msgs_per_conn * 100.0 } else { 0.0 };
+            let pct = if r.msgs_per_conn > 0.0 {
+                r.ecm_per_conn / r.msgs_per_conn * 100.0
+            } else {
+                0.0
+            };
             vec![
                 k.name().to_string(),
                 format!("{:.1}", r.ecm_per_conn),
@@ -171,7 +207,10 @@ pub fn table1(runs: &[NasRun]) -> String {
             ]
         })
         .collect();
-    table(&["app", "# ECM msg/conn", "# total msg/conn", "ECM share"], &data)
+    table(
+        &["app", "# ECM msg/conn", "# total msg/conn", "ECM share"],
+        &data,
+    )
 }
 
 /// Table 2 — maximum posted buffers, user-level dynamic starting from 1.
@@ -249,7 +288,11 @@ mod tests {
             for r in rows.iter().filter(|r| r.window <= 8) {
                 let max = r.mbps.iter().cloned().fold(0.0, f64::max);
                 let min = r.mbps.iter().cloned().fold(f64::INFINITY, f64::min);
-                assert!(max / min < 1.1, "window {} should be scheme-insensitive", r.window);
+                assert!(
+                    max / min < 1.1,
+                    "window {} should be scheme-insensitive",
+                    r.window
+                );
             }
         }
     }

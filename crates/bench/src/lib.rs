@@ -26,7 +26,11 @@ use nasbench::NasClass;
 /// Reads the NAS class for application figures from `IBFLOW_CLASS`
 /// (`test`, `w`, or `a`); defaults to the paper-scale `W`.
 pub fn nas_class_from_env() -> NasClass {
-    match std::env::var("IBFLOW_CLASS").unwrap_or_default().to_lowercase().as_str() {
+    match std::env::var("IBFLOW_CLASS")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
         "test" => NasClass::Test,
         "a" => NasClass::A,
         _ => NasClass::W,

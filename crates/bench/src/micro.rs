@@ -21,7 +21,12 @@ pub struct MicroParams {
 impl MicroParams {
     /// Defaults matching the paper's setup.
     pub fn new(scheme: FlowControlScheme, prepost: u32) -> Self {
-        MicroParams { scheme, prepost, iters: 40, warmup: 4 }
+        MicroParams {
+            scheme,
+            prepost,
+            iters: 40,
+            warmup: 4,
+        }
     }
 
     fn config(&self) -> MpiConfig {
@@ -105,7 +110,9 @@ pub fn bandwidth_test(
                         let _ = mpi.recv(Some(peer), Some(2));
                     }
                 } else {
-                    let reqs: Vec<_> = (0..window).map(|_| mpi.irecv(Some(peer), Some(2))).collect();
+                    let reqs: Vec<_> = (0..window)
+                        .map(|_| mpi.irecv(Some(peer), Some(2)))
+                        .collect();
                     mpi.waitall(&reqs);
                 }
                 mpi.send(&[0u8; 4], peer, 3);
@@ -150,10 +157,16 @@ mod tests {
             4,
             FabricParams::mt23108(),
         );
-        for scheme in [FlowControlScheme::UserStatic, FlowControlScheme::UserDynamic] {
+        for scheme in [
+            FlowControlScheme::UserStatic,
+            FlowControlScheme::UserDynamic,
+        ] {
             let l = latency_test(&MicroParams::new(scheme, 100), 4, FabricParams::mt23108());
             let delta = (l - base).abs() / base;
-            assert!(delta < 0.05, "{scheme:?} latency {l:.2} vs hardware {base:.2}: {delta:.2}");
+            assert!(
+                delta < 0.05,
+                "{scheme:?} latency {l:.2} vs hardware {base:.2}: {delta:.2}"
+            );
         }
     }
 
@@ -162,7 +175,11 @@ mod tests {
         // Fig 8 regime: 32KB non-blocking sits at ~650-700 MB/s on the
         // testbed generation (the ~870 MB/s PCI-X plateau only appears at
         // 128KB+), which the next assertion checks.
-        let p = MicroParams { iters: 10, warmup: 2, ..MicroParams::new(FlowControlScheme::UserStatic, 100) };
+        let p = MicroParams {
+            iters: 10,
+            warmup: 2,
+            ..MicroParams::new(FlowControlScheme::UserStatic, 100)
+        };
         let bw = bandwidth_test(&p, 32 * 1024, 16, false, FabricParams::mt23108());
         assert!(
             (580.0..760.0).contains(&bw.mb_per_s),
@@ -180,7 +197,11 @@ mod tests {
     #[test]
     fn nonblocking_beats_blocking_for_large_messages() {
         // Fig 7 vs Fig 8.
-        let p = MicroParams { iters: 8, warmup: 2, ..MicroParams::new(FlowControlScheme::UserStatic, 10) };
+        let p = MicroParams {
+            iters: 8,
+            warmup: 2,
+            ..MicroParams::new(FlowControlScheme::UserStatic, 10)
+        };
         let b = bandwidth_test(&p, 32 * 1024, 8, true, FabricParams::mt23108());
         let nb = bandwidth_test(&p, 32 * 1024, 8, false, FabricParams::mt23108());
         assert!(

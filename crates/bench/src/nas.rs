@@ -59,7 +59,11 @@ pub fn run_nas(kernel: Kernel, class: NasClass, scheme: FlowControlScheme, prepo
         prepost,
         verified: out.results.iter().all(|r| r.verified),
         checksum: k0.checksum,
-        time_ms: out.results.iter().map(|r| r.time.as_secs_f64() * 1e3).fold(0.0, f64::max),
+        time_ms: out
+            .results
+            .iter()
+            .map(|r| r.time.as_secs_f64() * 1e3)
+            .fold(0.0, f64::max),
         ecm_per_conn: out.stats.avg_ecm_per_connection(),
         msgs_per_conn: out.stats.avg_msgs_per_connection(),
         max_posted: out.stats.max_posted_buffers(),
@@ -74,7 +78,12 @@ mod tests {
 
     #[test]
     fn harness_runs_one_kernel() {
-        let r = run_nas(Kernel::Is, NasClass::Test, FlowControlScheme::UserDynamic, 8);
+        let r = run_nas(
+            Kernel::Is,
+            NasClass::Test,
+            FlowControlScheme::UserDynamic,
+            8,
+        );
         assert!(r.verified);
         assert!(r.time_ms > 0.0);
         assert!(r.msgs_per_conn > 0.0);

@@ -18,7 +18,10 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
         }
         line.trim_end().to_string() + "\n"
     };
-    out.push_str(&fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &widths));
+    out.push_str(&fmt_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
     let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
     out.push_str(&"-".repeat(total));
     out.push('\n');
@@ -36,7 +39,10 @@ mod tests {
     fn aligned_columns() {
         let t = table(
             &["name", "value"],
-            &[vec!["a".into(), "1".into()], vec!["longer".into(), "22".into()]],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

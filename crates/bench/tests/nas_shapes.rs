@@ -24,7 +24,10 @@ fn fig9_shape_schemes_comparable_at_pp100() {
         let dy = run(kernel, FlowControlScheme::UserDynamic, 100).time_ms;
         for (name, t) in [("static", st), ("dynamic", dy)] {
             let delta = (t / hw - 1.0).abs();
-            assert!(delta < 0.03, "{kernel:?}: {name} within 3% of hardware ({t:.2} vs {hw:.2})");
+            assert!(
+                delta < 0.03,
+                "{kernel:?}: {name} within 3% of hardware ({t:.2} vs {hw:.2})"
+            );
         }
         // LU: the user-level schemes pay the explicit-credit-message tax,
         // so hardware is (slightly) ahead.
@@ -125,7 +128,10 @@ fn table2_shape_lu_needs_the_most_buffers() {
             lu > other,
             "LU ({lu}) must need more dynamic buffers than {kernel:?} ({other})"
         );
-        assert!(other <= 8, "{kernel:?} should stay under ~8 buffers, got {other}");
+        assert!(
+            other <= 8,
+            "{kernel:?} should stay under ~8 buffers, got {other}"
+        );
     }
 }
 

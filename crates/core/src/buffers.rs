@@ -67,7 +67,12 @@ pub(crate) struct RecvSlab {
 
 impl RecvSlab {
     pub fn new(mr: MrId, slot_size: usize, slot_count: u32) -> Self {
-        RecvSlab { mr, slot_size, slot_count, free: (0..slot_count).rev().collect() }
+        RecvSlab {
+            mr,
+            slot_size,
+            slot_count,
+            free: (0..slot_count).rev().collect(),
+        }
     }
 
     pub fn byte_offset(&self, slot: u32) -> usize {

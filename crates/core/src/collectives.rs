@@ -72,7 +72,11 @@ pub fn bcast_bytes(mpi: &mut MpiRank, comm: &Comm, root: usize, data: Vec<u8>) -
         data = mpi.crecv(comm.world_rank(parent), tag, comm);
     }
     // Send phase: children are vrank + 2^k for 2^k > vrank's high bit.
-    let mut mask = if vrank == 0 { 1 } else { 1 << (usize::BITS - vrank.leading_zeros()) };
+    let mut mask = if vrank == 0 {
+        1
+    } else {
+        1 << (usize::BITS - vrank.leading_zeros())
+    };
     while vrank + mask < n {
         let child = (vrank + mask + root) % n;
         mpi.cwait_send(&data, comm.world_rank(child), tag, comm);
@@ -83,7 +87,11 @@ pub fn bcast_bytes(mpi: &mut MpiRank, comm: &Comm, root: usize, data: Vec<u8>) -
 
 /// Broadcast of typed scalars.
 pub fn bcast_scalars<T: Scalar>(mpi: &mut MpiRank, comm: &Comm, root: usize, data: &mut [T]) {
-    let bytes = if comm.my_rank(mpi) == root { encode_slice(data) } else { Vec::new() };
+    let bytes = if comm.my_rank(mpi) == root {
+        encode_slice(data)
+    } else {
+        Vec::new()
+    };
     let out = bcast_bytes(mpi, comm, root, bytes);
     if comm.my_rank(mpi) != root {
         crate::scalar::decode_into(&out, data);
@@ -259,8 +267,16 @@ pub fn alltoallv_bytes(mpi: &mut MpiRank, comm: &Comm, chunks: &[Vec<u8>]) -> Ve
     for step in 1..n {
         // For power-of-two sizes this is the XOR schedule; otherwise a
         // rotation — both pair every process exactly once per step.
-        let partner = if n.is_power_of_two() { me ^ step } else { (me + step) % n };
-        let recv_from = if n.is_power_of_two() { partner } else { (me + n - step) % n };
+        let partner = if n.is_power_of_two() {
+            me ^ step
+        } else {
+            (me + step) % n
+        };
+        let recv_from = if n.is_power_of_two() {
+            partner
+        } else {
+            (me + n - step) % n
+        };
         let sreq = mpi.isend_ctx(&chunks[partner], comm.world_rank(partner), tag, comm.ctx);
         let rreq = mpi.irecv_ctx(Some(comm.world_rank(recv_from)), Some(tag), comm.ctx, None);
         mpi.wait(sreq);
@@ -275,8 +291,9 @@ pub fn alltoall_scalars<T: Scalar>(mpi: &mut MpiRank, comm: &Comm, data: &[T]) -
     let n = comm.size();
     assert_eq!(data.len() % n, 0, "data must divide evenly");
     let per = data.len() / n;
-    let chunks: Vec<Vec<u8>> =
-        (0..n).map(|i| encode_slice(&data[i * per..(i + 1) * per])).collect();
+    let chunks: Vec<Vec<u8>> = (0..n)
+        .map(|i| encode_slice(&data[i * per..(i + 1) * per]))
+        .collect();
     let got = alltoallv_bytes(mpi, comm, &chunks);
     let mut out = Vec::with_capacity(data.len());
     for c in got {
@@ -299,8 +316,11 @@ pub fn reduce_scatter_scalars<T: Scalar>(
     let per = data.len() / n;
     let me = comm.my_rank(mpi);
     let reduced = reduce_scalars(mpi, comm, 0, op, data);
-    let chunks: Option<Vec<Vec<u8>>> = reduced
-        .map(|full| (0..n).map(|i| encode_slice(&full[i * per..(i + 1) * per])).collect());
+    let chunks: Option<Vec<Vec<u8>>> = reduced.map(|full| {
+        (0..n)
+            .map(|i| encode_slice(&full[i * per..(i + 1) * per]))
+            .collect()
+    });
     let mine = scatter_bytes(mpi, comm, 0, chunks.as_deref());
     let _ = me;
     decode_slice(&mine)
@@ -328,16 +348,21 @@ pub fn scan_scalars<T: Scalar>(mpi: &mut MpiRank, comm: &Comm, op: ReduceOp, dat
 
 /// Gather byte buffers to `root` (communicator rank order); `None` on
 /// non-roots.
-pub fn gather_bytes(mpi: &mut MpiRank, comm: &Comm, root: usize, mine: &[u8]) -> Option<Vec<Vec<u8>>> {
+pub fn gather_bytes(
+    mpi: &mut MpiRank,
+    comm: &Comm,
+    root: usize,
+    mine: &[u8],
+) -> Option<Vec<Vec<u8>>> {
     let n = comm.size();
     let me = comm.my_rank(mpi);
     let tag = mpi.coll_tag(comm);
     if me == root {
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
         out[me] = mine.to_vec();
-        for r in 0..n {
+        for (r, slot) in out.iter_mut().enumerate() {
             if r != root {
-                out[r] = mpi.crecv(comm.world_rank(r), tag, comm);
+                *slot = mpi.crecv(comm.world_rank(r), tag, comm);
             }
         }
         Some(out)
@@ -348,7 +373,12 @@ pub fn gather_bytes(mpi: &mut MpiRank, comm: &Comm, root: usize, mine: &[u8]) ->
 }
 
 /// Scatter byte buffers from `root`; each member receives its chunk.
-pub fn scatter_bytes(mpi: &mut MpiRank, comm: &Comm, root: usize, chunks: Option<&[Vec<u8>]>) -> Vec<u8> {
+pub fn scatter_bytes(
+    mpi: &mut MpiRank,
+    comm: &Comm,
+    root: usize,
+    chunks: Option<&[Vec<u8>]>,
+) -> Vec<u8> {
     let n = comm.size();
     let me = comm.my_rank(mpi);
     let tag = mpi.coll_tag(comm);
@@ -356,9 +386,9 @@ pub fn scatter_bytes(mpi: &mut MpiRank, comm: &Comm, root: usize, chunks: Option
         let chunks = chunks.expect("root must supply chunks");
         assert_eq!(chunks.len(), n);
         let mut reqs = Vec::new();
-        for r in 0..n {
+        for (r, chunk) in chunks.iter().enumerate() {
             if r != root {
-                reqs.push(mpi.isend_ctx(&chunks[r], comm.world_rank(r), tag, comm.ctx));
+                reqs.push(mpi.isend_ctx(chunk, comm.world_rank(r), tag, comm.ctx));
             }
         }
         for r in reqs {

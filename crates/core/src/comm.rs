@@ -19,7 +19,10 @@ impl Comm {
     }
 
     pub(crate) fn world_internal(size: usize) -> Comm {
-        Comm { ctx: WORLD_CTX, ranks: (0..size).collect() }
+        Comm {
+            ctx: WORLD_CTX,
+            ranks: (0..size).collect(),
+        }
     }
 
     /// Number of members.
@@ -47,7 +50,8 @@ impl Comm {
     /// # Panics
     /// Panics if the process is not a member.
     pub fn my_rank(&self, mpi: &MpiRank) -> usize {
-        self.rank_of(mpi.rank()).expect("not a member of this communicator")
+        self.rank_of(mpi.rank())
+            .expect("not a member of this communicator")
     }
 }
 
@@ -64,7 +68,10 @@ impl MpiRank {
         let mine = [color as i64, key as i64];
         let all = crate::collectives::allgather_scalars(self, parent, &mine);
         let ctx = self.next_ctx;
-        self.next_ctx = self.next_ctx.checked_add(1).expect("communicator contexts exhausted");
+        self.next_ctx = self
+            .next_ctx
+            .checked_add(1)
+            .expect("communicator contexts exhausted");
         if color < 0 {
             return None;
         }
@@ -75,7 +82,10 @@ impl MpiRank {
             .map(|(i, ck)| (ck[1], parent.world_rank(i)))
             .collect();
         members.sort();
-        Some(Comm { ctx, ranks: members.into_iter().map(|(_, r)| r).collect() })
+        Some(Comm {
+            ctx,
+            ranks: members.into_iter().map(|(_, r)| r).collect(),
+        })
     }
 }
 

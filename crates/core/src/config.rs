@@ -123,13 +123,21 @@ impl MpiConfig {
     /// Convenience constructor: the given scheme with the given prepost,
     /// everything else default.
     pub fn scheme(scheme: FlowControlScheme, prepost: u32) -> Self {
-        MpiConfig { scheme, prepost, ..Default::default() }
+        MpiConfig {
+            scheme,
+            prepost,
+            ..Default::default()
+        }
     }
 
     /// Validates internal consistency (called by [`crate::MpiWorld::run`]).
     pub fn validate(&self) -> Result<(), String> {
         if self.buf_size <= crate::wire::HEADER_LEN {
-            return Err(format!("buf_size {} must exceed header {}", self.buf_size, crate::wire::HEADER_LEN));
+            return Err(format!(
+                "buf_size {} must exceed header {}",
+                self.buf_size,
+                crate::wire::HEADER_LEN
+            ));
         }
         if self.eager_threshold + crate::wire::HEADER_LEN > self.buf_size {
             return Err(format!(
@@ -143,7 +151,10 @@ impl MpiConfig {
             return Err("prepost must be at least 1".into());
         }
         if self.prepost > self.max_prepost {
-            return Err(format!("prepost {} exceeds max_prepost {}", self.prepost, self.max_prepost));
+            return Err(format!(
+                "prepost {} exceeds max_prepost {}",
+                self.prepost, self.max_prepost
+            ));
         }
         if let GrowthPolicy::Linear(0) = self.growth {
             return Err("linear growth increment must be non-zero".into());
@@ -186,20 +197,26 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = MpiConfig::default();
-        c.prepost = 0;
+        let c = MpiConfig {
+            prepost: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = MpiConfig::default();
-        c.prepost = 10_000;
+        let c = MpiConfig {
+            prepost: 10_000,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
         let mut c = MpiConfig::default();
         c.eager_threshold = c.buf_size; // header no longer fits
         assert!(c.validate().is_err());
 
-        let mut c = MpiConfig::default();
-        c.growth = GrowthPolicy::Linear(0);
+        let c = MpiConfig {
+            growth: GrowthPolicy::Linear(0),
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -211,11 +228,20 @@ mod tests {
             ..MpiConfig::scheme(FlowControlScheme::UserStatic, 10)
         };
         assert!(good.validate().is_ok());
-        let bad_scheme = MpiConfig { scheme: FlowControlScheme::UserDynamic, ..good.clone() };
+        let bad_scheme = MpiConfig {
+            scheme: FlowControlScheme::UserDynamic,
+            ..good.clone()
+        };
         assert!(bad_scheme.validate().is_err());
-        let bad_mode = MpiConfig { credit_msg_mode: CreditMsgMode::Optimistic, ..good.clone() };
+        let bad_mode = MpiConfig {
+            credit_msg_mode: CreditMsgMode::Optimistic,
+            ..good.clone()
+        };
         assert!(bad_mode.validate().is_err());
-        let bad_slots = MpiConfig { rdma_ring_slots: 1, ..good };
+        let bad_slots = MpiConfig {
+            rdma_ring_slots: 1,
+            ..good
+        };
         assert!(bad_slots.validate().is_err());
     }
 

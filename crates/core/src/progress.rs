@@ -236,7 +236,12 @@ impl MpiRank {
 
     /// Finds the first posted receive matching `(src, tag, comm)` and
     /// removes it from the posted list.
-    fn match_posted(&mut self, src: Rank, tag: crate::types::Tag, comm: crate::types::CommCtx) -> Option<ReqId> {
+    fn match_posted(
+        &mut self,
+        src: Rank,
+        tag: crate::types::Tag,
+        comm: crate::types::CommCtx,
+    ) -> Option<ReqId> {
         let pos = self.posted_recvs.iter().position(|&rid| {
             if let Request::Recv(r) = self.reqs.get(rid) {
                 r.comm == comm
@@ -250,9 +255,19 @@ impl MpiRank {
     }
 
     /// Completes an eager receive (payload already copied out of the slab).
-    pub(crate) fn complete_eager_recv(&mut self, req: ReqId, src: Rank, tag: crate::types::Tag, data: Vec<u8>) {
+    pub(crate) fn complete_eager_recv(
+        &mut self,
+        req: ReqId,
+        src: Rank,
+        tag: crate::types::Tag,
+        data: Vec<u8>,
+    ) {
         if let Request::Recv(r) = self.reqs.get_mut(req) {
-            r.status = Some(crate::types::Status { source: src, tag, len: data.len() });
+            r.status = Some(crate::types::Status {
+                source: src,
+                tag,
+                len: data.len(),
+            });
             r.data = Some(data);
             r.state = RecvState::Done;
         } else {
@@ -286,7 +301,15 @@ impl MpiRank {
             ibfabric::post_send(
                 ctx,
                 qp,
-                SendWr { wr_id, op: SendOp::RdmaWrite { payload: data.clone().into(), rkey, remote_offset }, signaled: true },
+                SendWr {
+                    wr_id,
+                    op: SendOp::RdmaWrite {
+                        payload: data.clone().into(),
+                        rkey,
+                        remote_offset,
+                    },
+                    signaled: true,
+                },
             )
             .expect("rdma write");
             ctx.world.params().sw_post_cost * 2
@@ -294,7 +317,7 @@ impl MpiRank {
         self.charge(cost);
         self.stats.rndz_bytes.add(data.len() as u64);
         self.conn_mut(peer).stats.msgs_sent.incr(); // the data message
-        // Fin rides behind the data on the same QP.
+                                                    // Fin rides behind the data on the same QP.
         let mut fin = self.make_header(peer, MsgKind::RndzFin);
         fin.rndz_id = h.rndz_id;
         fin.peer_req = h.peer_req;
@@ -311,7 +334,9 @@ impl MpiRank {
             }
             _ => panic!("rndz fin for non-recv request"),
         };
-        let data = self.proc.with(|ctx| ctx.world.mr_bytes(staging)[..len].to_vec());
+        let data = self
+            .proc
+            .with(|ctx| ctx.world.mr_bytes(staging)[..len].to_vec());
         if let Request::Recv(r) = self.reqs.get_mut(req) {
             r.data = Some(data);
             r.state = RecvState::Done;
@@ -366,7 +391,9 @@ impl MpiRank {
             if peer == self.rank {
                 continue;
             }
-            let Some(c) = self.conns[peer].as_ref() else { continue };
+            let Some(c) = self.conns[peer].as_ref() else {
+                continue;
+            };
             let ring_owed = self.cfg.rdma_eager_channel
                 && c.ring_consumed_since_update >= threshold.min(self.cfg.rdma_ring_slots);
             if !c.established || (c.consumed_since_update < threshold && !ring_owed) {
@@ -422,10 +449,13 @@ impl MpiRank {
                         return None;
                     }
                     let header = MsgHeader::decode(bytes);
-                    let payload = bytes[HEADER_LEN..HEADER_LEN + header.payload_len as usize].to_vec();
+                    let payload =
+                        bytes[HEADER_LEN..HEADER_LEN + header.payload_len as usize].to_vec();
                     Some((header, payload))
                 });
-                let Some((header, payload)) = frame else { break };
+                let Some((header, payload)) = frame else {
+                    break;
+                };
                 // Clear the marker: the slot is free once the return
                 // reaches the sender.
                 self.proc.with(|ctx| {
@@ -459,7 +489,12 @@ impl MpiRank {
             c.consumed_since_update = 0;
             c.ring_mailbox_sent_total += c.ring_consumed_since_update as u64;
             c.ring_consumed_since_update = 0;
-            (c.qp, c.peer_mailbox, c.mailbox_sent_total, c.ring_mailbox_sent_total)
+            (
+                c.qp,
+                c.peer_mailbox,
+                c.mailbox_sent_total,
+                c.ring_mailbox_sent_total,
+            )
         };
         let mut payload = Vec::with_capacity(16);
         payload.extend_from_slice(&buf_total.to_le_bytes());
@@ -471,7 +506,11 @@ impl MpiRank {
                 qp,
                 SendWr {
                     wr_id,
-                    op: SendOp::RdmaWrite { payload: payload.into(), rkey: mailbox, remote_offset: 0 },
+                    op: SendOp::RdmaWrite {
+                        payload: payload.into(),
+                        rkey: mailbox,
+                        remote_offset: 0,
+                    },
                     signaled: true,
                 },
             )
@@ -492,7 +531,9 @@ impl MpiRank {
             if peer == self.rank {
                 continue;
             }
-            let Some(c) = self.conns[peer].as_ref() else { continue };
+            let Some(c) = self.conns[peer].as_ref() else {
+                continue;
+            };
             let mailbox = c.my_mailbox;
             let seen = c.mailbox_seen;
             let ring_seen = c.ring_mailbox_seen;
@@ -521,4 +562,3 @@ impl MpiRank {
         any
     }
 }
-

@@ -26,7 +26,10 @@ impl MpiRank {
     /// message size.
     pub fn ssend(&mut self, data: &[u8], dst: Rank, tag: Tag) {
         assert!(dst < self.size, "rank {dst} out of range");
-        assert_ne!(dst, self.rank, "self-sends are not supported at the transport level");
+        assert_ne!(
+            dst, self.rank,
+            "self-sends are not supported at the transport level"
+        );
         let req = self.reqs.insert(Request::Send(SendReq {
             dst,
             tag,
@@ -68,7 +71,9 @@ impl MpiRank {
         let req = self.isend(data, dst, tag);
         // Copy cost for the buffered snapshot of a large payload.
         if data.len() > self.cfg.eager_threshold {
-            let cost = self.proc.with(|ctx| ctx.world.params().copy_time(data.len()));
+            let cost = self
+                .proc
+                .with(|ctx| ctx.world.params().copy_time(data.len()));
             self.charge(cost);
             if let Request::Send(s) = self.reqs.get_mut(req) {
                 s.buffered = true;
@@ -112,7 +117,12 @@ impl MpiRank {
         let key = BufKey::of(buf);
         let req = self.irecv_ctx(src, tag, WORLD_CTX, Some(key.ptr));
         let (status, data) = self.wait_recv(req);
-        assert!(data.len() <= buf.len(), "message ({}) larger than buffer ({})", data.len(), buf.len());
+        assert!(
+            data.len() <= buf.len(),
+            "message ({}) larger than buffer ({})",
+            data.len(),
+            buf.len()
+        );
         buf[..data.len()].copy_from_slice(&data);
         status
     }
@@ -130,7 +140,12 @@ impl MpiRank {
     }
 
     /// Typed blocking receive into an existing slice (exact length).
-    pub fn recv_scalars_into<T: Scalar>(&mut self, out: &mut [T], src: Option<Rank>, tag: Option<Tag>) -> Status {
+    pub fn recv_scalars_into<T: Scalar>(
+        &mut self,
+        out: &mut [T],
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> Status {
         let key = out.as_ptr() as usize;
         let req = self.irecv_ctx(src, tag, WORLD_CTX, Some(key));
         let (status, data) = self.wait_recv(req);
@@ -165,7 +180,11 @@ impl MpiRank {
                 Unexpected::Eager { data, .. } => data.len(),
                 Unexpected::Rndz { data_len, .. } => *data_len,
             };
-            Some(Status { source: usrc, tag: utag, len })
+            Some(Status {
+                source: usrc,
+                tag: utag,
+                len,
+            })
         })
     }
 
@@ -275,7 +294,10 @@ impl MpiRank {
 
     pub(crate) fn isend_ctx(&mut self, data: &[u8], dst: Rank, tag: Tag, comm: CommCtx) -> ReqId {
         assert!(dst < self.size, "rank {dst} out of range");
-        assert_ne!(dst, self.rank, "self-sends are not supported at the transport level");
+        assert_ne!(
+            dst, self.rank,
+            "self-sends are not supported at the transport level"
+        );
         let req = self.reqs.insert(Request::Send(SendReq {
             dst,
             tag,
@@ -317,10 +339,16 @@ impl MpiRank {
         }) {
             let u = self.unexpected.remove(pos).expect("position valid");
             match u {
-                Unexpected::Eager { src, tag, data, .. } => self.complete_eager_recv(req, src, tag, data),
-                Unexpected::Rndz { src, tag, rndz_id, data_len, .. } => {
-                    self.accept_rndz(req, src, tag, rndz_id, data_len)
+                Unexpected::Eager { src, tag, data, .. } => {
+                    self.complete_eager_recv(req, src, tag, data)
                 }
+                Unexpected::Rndz {
+                    src,
+                    tag,
+                    rndz_id,
+                    data_len,
+                    ..
+                } => self.accept_rndz(req, src, tag, rndz_id, data_len),
             }
         } else {
             self.posted_recvs.push(req);
@@ -415,8 +443,9 @@ impl MpiRank {
             Request::Send(s) => s.data.clone(),
             _ => unreachable!(),
         };
-        let copy_cost =
-            self.proc.with(|ctx| ctx.world.params().copy_time(crate::wire::HEADER_LEN + len));
+        let copy_cost = self
+            .proc
+            .with(|ctx| ctx.world.params().copy_time(crate::wire::HEADER_LEN + len));
         self.charge(copy_cost);
         self.post_frame(dst, &h, &data, WrKind::CtrlSend);
         let c = self.conn_mut(dst);
@@ -455,7 +484,14 @@ impl MpiRank {
     /// allowed to keep in flight.
     pub(crate) fn start_rndz(&mut self, req: ReqId, optimistic: bool) {
         let (dst, tag, comm, len, ptr_key, flagged) = match self.reqs.get(req) {
-            Request::Send(s) => (s.dst, s.tag, s.comm, s.data.len(), s.ptr_key, s.was_backlogged),
+            Request::Send(s) => (
+                s.dst,
+                s.tag,
+                s.comm,
+                s.data.len(),
+                s.ptr_key,
+                s.was_backlogged,
+            ),
             _ => unreachable!(),
         };
         if optimistic {
@@ -477,8 +513,14 @@ impl MpiRank {
                 if by_ptr == ibsim::SimDuration::ZERO {
                     by_ptr
                 } else {
-                    let (_, c) = regcache
-                        .acquire(ctx.world, BufKey { ptr: slot_key, len: class_len }, class_len);
+                    let (_, c) = regcache.acquire(
+                        ctx.world,
+                        BufKey {
+                            ptr: slot_key,
+                            len: class_len,
+                        },
+                        class_len,
+                    );
                     c
                 }
             })
@@ -543,7 +585,14 @@ impl MpiRank {
 
     /// Matches a rendezvous start with a posted receive: pin the
     /// destination and send the reply carrying its rkey.
-    pub(crate) fn accept_rndz(&mut self, req: ReqId, src: Rank, tag: Tag, rndz_id: u64, data_len: usize) {
+    pub(crate) fn accept_rndz(
+        &mut self,
+        req: ReqId,
+        src: Rank,
+        tag: Tag,
+        rndz_id: u64,
+        data_len: usize,
+    ) {
         let ptr_key = match self.reqs.get(req) {
             Request::Recv(r) => r.ptr_key,
             _ => unreachable!(),
@@ -557,19 +606,34 @@ impl MpiRank {
         let (staging, cost) = {
             let class_len = data_len.max(1).next_power_of_two();
             let key = match ptr_key {
-                Some(p) => BufKey { ptr: p, len: data_len },
-                None => BufKey { ptr: 0x8000_0000_0000 + (src << 40) + class_len, len: class_len },
+                Some(p) => BufKey {
+                    ptr: p,
+                    len: data_len,
+                },
+                None => BufKey {
+                    ptr: 0x8000_0000_0000 + (src << 40) + class_len,
+                    len: class_len,
+                },
             };
-            let alloc = if ptr_key.is_some() { data_len.max(1) } else { class_len };
+            let alloc = if ptr_key.is_some() {
+                data_len.max(1)
+            } else {
+                class_len
+            };
             let regcache = &mut self.regcache;
-            self.proc.with(|ctx| regcache.acquire(ctx.world, key, alloc))
+            self.proc
+                .with(|ctx| regcache.acquire(ctx.world, key, alloc))
         };
         self.charge(cost);
         if let Request::Recv(r) = self.reqs.get_mut(req) {
             r.state = RecvState::RndzInFlight;
             r.staging = Some(staging);
             r.rndz_len = data_len;
-            r.status = Some(Status { source: src, tag, len: data_len });
+            r.status = Some(Status {
+                source: src,
+                tag,
+                len: data_len,
+            });
         }
         let mut h = self.make_header(src, MsgKind::RndzReply);
         h.rndz_id = rndz_id;

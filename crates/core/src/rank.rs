@@ -15,8 +15,19 @@ use std::collections::{HashMap, VecDeque};
 /// A message that arrived before a matching receive was posted.
 #[derive(Debug)]
 pub(crate) enum Unexpected {
-    Eager { src: Rank, tag: Tag, comm: CommCtx, data: Vec<u8> },
-    Rndz { src: Rank, tag: Tag, comm: CommCtx, rndz_id: u64, data_len: usize },
+    Eager {
+        src: Rank,
+        tag: Tag,
+        comm: CommCtx,
+        data: Vec<u8>,
+    },
+    Rndz {
+        src: Rank,
+        tag: Tag,
+        comm: CommCtx,
+        rndz_id: u64,
+        data_len: usize,
+    },
 }
 
 impl Unexpected {
@@ -165,9 +176,9 @@ impl MpiRank {
         let prepost = self.cfg.prepost;
         let connect_cost = self.proc.with(|ctx| ctx.world.params().connect_cost);
         self.charge(connect_cost);
-        let needs_fabric_connect = self.proc.with(|ctx| {
-            ctx.world.qp(my_qp).state() == ibfabric::QpState::Reset
-        });
+        let needs_fabric_connect = self
+            .proc
+            .with(|ctx| ctx.world.qp(my_qp).state() == ibfabric::QpState::Reset);
         if needs_fabric_connect {
             // Find the peer's QP back to us via its peer pointer being
             // unset: the world bootstrap recorded it pairwise, so derive it
@@ -239,7 +250,17 @@ impl MpiRank {
             )
         };
         self.proc.with(|ctx| {
-            ctx.world.post_recv(qp, RecvWr { wr_id, mr, offset, len }).expect("post_recv")
+            ctx.world
+                .post_recv(
+                    qp,
+                    RecvWr {
+                        wr_id,
+                        mr,
+                        offset,
+                        len,
+                    },
+                )
+                .expect("post_recv")
         });
         let c = self.conn_mut(peer);
         c.posted += 1;
@@ -250,11 +271,24 @@ impl MpiRank {
     pub(crate) fn repost_slot(&mut self, peer: Rank, slot: u64) {
         let (qp, mr, offset, len) = {
             let c = self.conn(peer);
-            (c.qp, c.slab.mr, c.slab.byte_offset(slot as u32), c.slab.slot_size)
+            (
+                c.qp,
+                c.slab.mr,
+                c.slab.byte_offset(slot as u32),
+                c.slab.slot_size,
+            )
         };
         let cost = self.proc.with(|ctx| {
             ctx.world
-                .post_recv(qp, RecvWr { wr_id: encode_wrid(WrKind::RecvSlot, slot), mr, offset, len })
+                .post_recv(
+                    qp,
+                    RecvWr {
+                        wr_id: encode_wrid(WrKind::RecvSlot, slot),
+                        mr,
+                        offset,
+                        len,
+                    },
+                )
                 .expect("repost");
             ctx.world.params().sw_post_cost
         });
@@ -269,8 +303,16 @@ impl MpiRank {
         let rank = self.rank;
         let c = self.conn_mut(peer);
         let mut h = MsgHeader::new(kind, rank);
-        h.credits = if user_level { c.take_piggyback_credits() } else { 0 };
-        h.ring_credits = if ring { c.take_piggyback_ring_credits() } else { 0 };
+        h.credits = if user_level {
+            c.take_piggyback_credits()
+        } else {
+            0
+        };
+        h.ring_credits = if ring {
+            c.take_piggyback_ring_credits()
+        } else {
+            0
+        };
         h.seq = c.next_seq();
         h
     }
@@ -295,7 +337,15 @@ impl MpiRank {
             ibfabric::post_send(
                 ctx,
                 qp,
-                SendWr { wr_id, op: SendOp::RdmaWrite { payload: frame.into(), rkey: ring, remote_offset: offset }, signaled: true },
+                SendWr {
+                    wr_id,
+                    op: SendOp::RdmaWrite {
+                        payload: frame.into(),
+                        rkey: ring,
+                        remote_offset: offset,
+                    },
+                    signaled: true,
+                },
             )
             .expect("ring write");
             cost
@@ -309,13 +359,29 @@ impl MpiRank {
 
     /// Posts a control/eager frame to `peer` (no user-level credit check —
     /// callers gate credit-consuming kinds themselves).
-    pub(crate) fn post_frame(&mut self, peer: Rank, header: &MsgHeader, payload: &[u8], wr_kind: WrKind) {
+    pub(crate) fn post_frame(
+        &mut self,
+        peer: Rank,
+        header: &MsgHeader,
+        payload: &[u8],
+        wr_kind: WrKind,
+    ) {
         let qp = self.conn(peer).qp;
         let bytes = header.frame(payload);
         let wr_id = encode_wrid(wr_kind, peer as u64);
         let cost = self.proc.with(|ctx| {
-            ibfabric::post_send(ctx, qp, SendWr { wr_id, op: ibfabric::SendOp::Send { payload: bytes.into() }, signaled: true })
-                .expect("post_send");
+            ibfabric::post_send(
+                ctx,
+                qp,
+                SendWr {
+                    wr_id,
+                    op: ibfabric::SendOp::Send {
+                        payload: bytes.into(),
+                    },
+                    signaled: true,
+                },
+            )
+            .expect("post_send");
             ctx.world.params().sw_post_cost
         });
         self.outstanding_ctrl += 1;
@@ -340,7 +406,9 @@ impl MpiRank {
         self.conns
             .iter()
             .flatten()
-            .filter(|c| c.credits != self.cfg.prepost || !c.backlog.is_empty() || c.optimistic_req.is_some())
+            .filter(|c| {
+                c.credits != self.cfg.prepost || !c.backlog.is_empty() || c.optimistic_req.is_some()
+            })
             .map(|c| {
                 format!(
                     "[peer={} cr={} bl={} opt={:?} owed={}]",
@@ -416,9 +484,20 @@ mod tests {
 
     #[test]
     fn unexpected_envelope() {
-        let u = Unexpected::Eager { src: 3, tag: 9, comm: 1, data: vec![] };
+        let u = Unexpected::Eager {
+            src: 3,
+            tag: 9,
+            comm: 1,
+            data: vec![],
+        };
         assert_eq!(u.envelope(), (3, 9, 1));
-        let u = Unexpected::Rndz { src: 2, tag: -1, comm: 0, rndz_id: 5, data_len: 10 };
+        let u = Unexpected::Rndz {
+            src: 2,
+            tag: -1,
+            comm: 0,
+            rndz_id: 5,
+            data_len: 10,
+        };
         assert_eq!(u.envelope(), (2, -1, 0));
     }
 }

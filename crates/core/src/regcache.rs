@@ -25,7 +25,10 @@ pub struct BufKey {
 impl BufKey {
     /// Key for a byte slice.
     pub fn of(buf: &[u8]) -> BufKey {
-        BufKey { ptr: buf.as_ptr() as usize, len: buf.len() }
+        BufKey {
+            ptr: buf.as_ptr() as usize,
+            len: buf.len(),
+        }
     }
 }
 
@@ -76,7 +79,12 @@ impl RegCache {
     /// Like [`RegCache::acquire`] but without registering on a miss: a
     /// cheap existence probe. Returns a zero duration on a hit, the
     /// would-be cost otherwise.
-    pub fn acquire_probe(&mut self, fabric: &mut Fabric, key: BufKey, len: usize) -> (Option<MrId>, SimDuration) {
+    pub fn acquire_probe(
+        &mut self,
+        fabric: &mut Fabric,
+        key: BufKey,
+        len: usize,
+    ) -> (Option<MrId>, SimDuration) {
         self.tick += 1;
         if let Some(e) = self.entries.get_mut(&key) {
             if e.len >= len {
@@ -107,7 +115,14 @@ impl RegCache {
         let cost = fabric.params().reg_cost(len);
         let mr = fabric.register(self.node, len, Access::FULL);
         self.used_bytes += len;
-        self.entries.insert(key, Entry { mr, len, last_use: self.tick });
+        self.entries.insert(
+            key,
+            Entry {
+                mr,
+                len,
+                last_use: self.tick,
+            },
+        );
         self.evict_to_capacity();
         (mr, cost)
     }
@@ -144,7 +159,10 @@ mod tests {
     fn second_acquire_is_free() {
         let (mut f, n) = fabric_and_node();
         let mut cache = RegCache::new(n, 1 << 20);
-        let key = BufKey { ptr: 0x1000, len: 8192 };
+        let key = BufKey {
+            ptr: 0x1000,
+            len: 8192,
+        };
         let (mr1, cost1) = cache.acquire(&mut f, key, 8192);
         assert!(cost1 > SimDuration::ZERO);
         let (mr2, cost2) = cache.acquire(&mut f, key, 8192);
@@ -158,7 +176,10 @@ mod tests {
     fn grown_buffer_repins() {
         let (mut f, n) = fabric_and_node();
         let mut cache = RegCache::new(n, 1 << 20);
-        let key = BufKey { ptr: 0x1000, len: 4096 };
+        let key = BufKey {
+            ptr: 0x1000,
+            len: 4096,
+        };
         let (mr1, _) = cache.acquire(&mut f, key, 4096);
         let (mr2, cost2) = cache.acquire(&mut f, key, 16384);
         assert_ne!(mr1, mr2);
@@ -170,13 +191,22 @@ mod tests {
         let (mut f, n) = fabric_and_node();
         let mut cache = RegCache::new(n, 10_000);
         for i in 0..5usize {
-            let key = BufKey { ptr: 0x1000 * (i + 1), len: 4096 };
+            let key = BufKey {
+                ptr: 0x1000 * (i + 1),
+                len: 4096,
+            };
             let _ = cache.acquire(&mut f, key, 4096);
         }
-        assert!(cache.used_bytes() <= 10_000 + 4096, "capacity respected modulo one entry");
+        assert!(
+            cache.used_bytes() <= 10_000 + 4096,
+            "capacity respected modulo one entry"
+        );
         assert!(cache.evictions.get() >= 2);
         // Oldest entry got evicted: re-acquiring it misses again.
-        let key0 = BufKey { ptr: 0x1000, len: 4096 };
+        let key0 = BufKey {
+            ptr: 0x1000,
+            len: 4096,
+        };
         let before = cache.misses.get();
         let _ = cache.acquire(&mut f, key0, 4096);
         assert_eq!(cache.misses.get(), before + 1);

@@ -112,15 +112,21 @@ impl ReqTable {
     }
 
     pub fn get(&self, id: ReqId) -> &Request {
-        self.slots[id.0 as usize].as_ref().expect("stale request id")
+        self.slots[id.0 as usize]
+            .as_ref()
+            .expect("stale request id")
     }
 
     pub fn get_mut(&mut self, id: ReqId) -> &mut Request {
-        self.slots[id.0 as usize].as_mut().expect("stale request id")
+        self.slots[id.0 as usize]
+            .as_mut()
+            .expect("stale request id")
     }
 
     pub fn remove(&mut self, id: ReqId) -> Request {
-        let req = self.slots[id.0 as usize].take().expect("double free of request");
+        let req = self.slots[id.0 as usize]
+            .take()
+            .expect("double free of request");
         self.free.push(id.0);
         req
     }

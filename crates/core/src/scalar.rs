@@ -72,7 +72,11 @@ pub fn encode_slice<T: Scalar>(xs: &[T]) -> Vec<u8> {
 /// # Panics
 /// Panics if `bytes` is not a whole number of elements.
 pub fn decode_slice<T: Scalar>(bytes: &[u8]) -> Vec<T> {
-    assert_eq!(bytes.len() % T::BYTES, 0, "byte length not a multiple of element size");
+    assert_eq!(
+        bytes.len() % T::BYTES,
+        0,
+        "byte length not a multiple of element size"
+    );
     bytes.chunks_exact(T::BYTES).map(T::read_le).collect()
 }
 
@@ -98,9 +102,15 @@ mod tests {
 
     #[test]
     fn roundtrip_various_types() {
-        assert_eq!(decode_slice::<u8>(&encode_slice(&[1u8, 2, 255])), vec![1, 2, 255]);
+        assert_eq!(
+            decode_slice::<u8>(&encode_slice(&[1u8, 2, 255])),
+            vec![1, 2, 255]
+        );
         assert_eq!(decode_slice::<i32>(&encode_slice(&[-7i32, 7])), vec![-7, 7]);
-        assert_eq!(decode_slice::<u64>(&encode_slice(&[u64::MAX])), vec![u64::MAX]);
+        assert_eq!(
+            decode_slice::<u64>(&encode_slice(&[u64::MAX])),
+            vec![u64::MAX]
+        );
     }
 
     #[test]

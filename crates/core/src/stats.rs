@@ -48,7 +48,10 @@ pub struct RankStats {
 
 impl RankStats {
     pub(crate) fn new(size: usize) -> Self {
-        RankStats { conns: vec![ConnStats::default(); size], ..Default::default() }
+        RankStats {
+            conns: vec![ConnStats::default(); size],
+            ..Default::default()
+        }
     }
 
     /// Total explicit credit messages sent by this rank.
@@ -63,7 +66,11 @@ impl RankStats {
 
     /// Largest per-connection posted-buffer peak at this rank (Table 2).
     pub fn max_posted_any_conn(&self) -> u64 {
-        self.conns.iter().map(|c| c.max_posted.get()).max().unwrap_or(0)
+        self.conns
+            .iter()
+            .map(|c| c.max_posted.get())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -95,7 +102,11 @@ impl WorldStats {
 
     /// Maximum posted buffers for any connection at any process (Table 2).
     pub fn max_posted_buffers(&self) -> u64 {
-        self.ranks.iter().map(|r| r.max_posted_any_conn()).max().unwrap_or(0)
+        self.ranks
+            .iter()
+            .map(|r| r.max_posted_any_conn())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -105,7 +116,9 @@ mod tests {
 
     #[test]
     fn table_extractors() {
-        let mut ws = WorldStats { ranks: vec![RankStats::new(2), RankStats::new(2)] };
+        let mut ws = WorldStats {
+            ranks: vec![RankStats::new(2), RankStats::new(2)],
+        };
         ws.ranks[0].conns[1].ecm_sent.add(4);
         ws.ranks[0].conns[1].msgs_sent.add(10);
         ws.ranks[1].conns[0].msgs_sent.add(30);

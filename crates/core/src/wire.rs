@@ -203,7 +203,13 @@ mod tests {
 
     #[test]
     fn roundtrip_every_kind() {
-        for kind in [MsgKind::Eager, MsgKind::RndzStart, MsgKind::RndzReply, MsgKind::RndzFin, MsgKind::Credit] {
+        for kind in [
+            MsgKind::Eager,
+            MsgKind::RndzStart,
+            MsgKind::RndzReply,
+            MsgKind::RndzFin,
+            MsgKind::Credit,
+        ] {
             let h = MsgHeader::new(kind, 3);
             assert_eq!(MsgHeader::decode(&h.encode()).kind, kind);
         }

@@ -114,14 +114,20 @@ impl MpiWorld {
         F: Fn(&mut MpiRank) -> R + Send + Sync + 'static,
     {
         cfg.validate().map_err(MpiRunError::Config)?;
-        assert!(nprocs >= 1 && nprocs <= u16::MAX as usize, "unsupported world size");
+        assert!(
+            nprocs >= 1 && nprocs <= u16::MAX as usize,
+            "unsupported world size"
+        );
 
         let mut fabric = Fabric::new(params);
         let nodes: Vec<_> = (0..nprocs).map(|_| fabric.add_node()).collect();
         let cqs: Vec<_> = nodes.iter().map(|&n| fabric.create_cq(n)).collect();
 
         // QPs in the deterministic pair order.
-        let attrs = QpAttrs { rnr_retry: None, ..Default::default() }; // MPI reliability: retry forever
+        let attrs = QpAttrs {
+            rnr_retry: None,
+            ..Default::default()
+        }; // MPI reliability: retry forever
         for i in 0..nprocs {
             for j in 0..nprocs {
                 if i != j {
@@ -132,29 +138,29 @@ impl MpiWorld {
         }
         // Receive slabs, then mailboxes (order must match the layout fns).
         let slab_bytes = cfg.max_prepost as usize * cfg.buf_size;
-        for i in 0..nprocs {
+        for (i, &node) in nodes.iter().enumerate() {
             for j in 0..nprocs {
                 if i != j {
-                    let mr = fabric.register(nodes[i], slab_bytes, Access::LOCAL_WRITE);
+                    let mr = fabric.register(node, slab_bytes, Access::LOCAL_WRITE);
                     debug_assert_eq!(mr, slab_mr_for(nprocs, i, j));
                 }
             }
         }
-        for i in 0..nprocs {
+        for (i, &node) in nodes.iter().enumerate() {
             for j in 0..nprocs {
                 if i != j {
                     // 16 bytes: [0..8] buffer-credit counter, [8..16]
                     // ring-slot counter (RDMA eager channel).
-                    let mr = fabric.register(nodes[i], 16, Access::FULL);
+                    let mr = fabric.register(node, 16, Access::FULL);
                     debug_assert_eq!(mr, mailbox_mr_for(nprocs, i, j));
                 }
             }
         }
         let ring_bytes = cfg.rdma_ring_slots as usize * cfg.buf_size;
-        for i in 0..nprocs {
+        for (i, &node) in nodes.iter().enumerate() {
             for j in 0..nprocs {
                 if i != j {
-                    let mr = fabric.register(nodes[i], ring_bytes, Access::FULL);
+                    let mr = fabric.register(node, ring_bytes, Access::FULL);
                     debug_assert_eq!(mr, ring_mr_for(nprocs, i, j));
                 }
             }
@@ -230,7 +236,7 @@ impl MpiWorld {
         }
 
         let body = Arc::new(body);
-        let (tx, rx) = crossbeam::channel::unbounded::<(usize, R, RankStats)>();
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, R, RankStats)>();
         for (i, setup) in setups.iter_mut().enumerate() {
             let setup = setup.take().expect("setup present");
             let body = Arc::clone(&body);

@@ -10,7 +10,9 @@ fn run<R: Send + 'static>(
     body: impl Fn(&mut mpib::MpiRank) -> R + Send + Sync + 'static,
 ) -> Vec<R> {
     let cfg = MpiConfig::scheme(FlowControlScheme::UserDynamic, 8);
-    MpiWorld::run(n, cfg, FabricParams::mt23108(), body).unwrap().results
+    MpiWorld::run(n, cfg, FabricParams::mt23108(), body)
+        .unwrap()
+        .results
 }
 
 #[test]
@@ -24,7 +26,10 @@ fn barrier_synchronizes() {
             mpi.now().as_nanos()
         });
         let min_exit = *results.iter().min().unwrap();
-        assert!(min_exit >= 10_000 * n as u64, "barrier exited before last arrival (n={n})");
+        assert!(
+            min_exit >= 10_000 * n as u64,
+            "barrier exited before last arrival (n={n})"
+        );
     }
 }
 
@@ -43,7 +48,10 @@ fn bcast_from_each_root() {
             });
             for r in &results {
                 let got: Vec<u32> = mpib::decode_slice(r);
-                assert_eq!(got, (0..100u32).map(|i| i * 3 + root as u32).collect::<Vec<_>>());
+                assert_eq!(
+                    got,
+                    (0..100u32).map(|i| i * 3 + root as u32).collect::<Vec<_>>()
+                );
             }
         }
     }
@@ -139,8 +147,9 @@ fn alltoallv_ragged_sizes() {
         let world = Comm::world(mpi);
         let me = world.my_rank(mpi);
         // Chunk to dst has length me + dst, filled with (me*16+dst).
-        let chunks: Vec<Vec<u8>> =
-            (0..n).map(|dst| vec![(me * 16 + dst) as u8; me + dst]).collect();
+        let chunks: Vec<Vec<u8>> = (0..n)
+            .map(|dst| vec![(me * 16 + dst) as u8; me + dst])
+            .collect();
         alltoallv_bytes(mpi, &world, &chunks)
     });
     for (me, got) in results.iter().enumerate() {
@@ -210,7 +219,13 @@ fn collectives_compose_with_pt2pt() {
         let left = (me + 3) % 4;
         let mut acc = 0u64;
         for round in 0..5u64 {
-            let (_, d) = mpi.sendrecv(&(me as u64 + round).to_le_bytes(), right, 9, Some(left), Some(9));
+            let (_, d) = mpi.sendrecv(
+                &(me as u64 + round).to_le_bytes(),
+                right,
+                9,
+                Some(left),
+                Some(9),
+            );
             acc += u64::from_le_bytes(d.try_into().unwrap());
             let s = allreduce_scalars(mpi, &world, ReduceOp::Sum, &[acc as f64]);
             acc += s[0] as u64 % 97;
@@ -225,7 +240,13 @@ fn collectives_compose_with_pt2pt() {
         let left = (me + 3) % 4;
         let mut acc = 0u64;
         for round in 0..5u64 {
-            let (_, d) = mpi.sendrecv(&(me as u64 + round).to_le_bytes(), right, 9, Some(left), Some(9));
+            let (_, d) = mpi.sendrecv(
+                &(me as u64 + round).to_le_bytes(),
+                right,
+                9,
+                Some(left),
+                Some(9),
+            );
             acc += u64::from_le_bytes(d.try_into().unwrap());
             let s = allreduce_scalars(mpi, &world, ReduceOp::Sum, &[acc as f64]);
             acc += s[0] as u64 % 97;
@@ -242,7 +263,9 @@ fn reduce_scatter_distributes_blocks() {
             let world = Comm::world(mpi);
             let me = world.my_rank(mpi) as f64;
             // Contribution: block i holds (me + i) repeated twice.
-            let data: Vec<f64> = (0..n).flat_map(|i| [me + i as f64, me + i as f64]).collect();
+            let data: Vec<f64> = (0..n)
+                .flat_map(|i| [me + i as f64, me + i as f64])
+                .collect();
             reduce_scatter_scalars(mpi, &world, ReduceOp::Sum, &data)
         });
         // Block i (owned by rank i) = sum over ranks of (rank + i).
@@ -281,7 +304,11 @@ fn collectives_over_split_comms_stay_isolated() {
         s[0]
     });
     for (me, &s) in results.iter().enumerate() {
-        let expect: f64 = if me < 4 { 0.0 + 1.0 + 2.0 + 3.0 } else { 4.0 + 5.0 + 6.0 + 7.0 };
+        let expect: f64 = if me < 4 {
+            0.0 + 1.0 + 2.0 + 3.0
+        } else {
+            4.0 + 5.0 + 6.0 + 7.0
+        };
         assert_eq!(s, expect, "rank {me}");
     }
 }

@@ -11,7 +11,9 @@ use mpib::{CreditMsgMode, FlowControlScheme, GrowthPolicy, MpiConfig, MpiRunErro
 fn burst_run(cfg: MpiConfig, count: u32) -> mpib::MpiRunOutput<u64> {
     MpiWorld::run(2, cfg, FabricParams::mt23108(), move |mpi| {
         if mpi.rank() == 0 {
-            let reqs: Vec<_> = (0..count).map(|i| mpi.isend(&i.to_le_bytes(), 1, 0)).collect();
+            let reqs: Vec<_> = (0..count)
+                .map(|i| mpi.isend(&i.to_le_bytes(), 1, 0))
+                .collect();
             mpi.waitall(&reqs);
             0
         } else {
@@ -34,7 +36,11 @@ fn static_scheme_backlogs_when_credits_exhausted() {
     let out = burst_run(cfg, 40);
     assert_eq!(out.results[1], (0..40).sum::<u32>() as u64);
     let c = &out.stats.ranks[0].conns[1];
-    assert!(c.backlogged.get() >= 30, "most of the burst should backlog, got {}", c.backlogged.get());
+    assert!(
+        c.backlogged.get() >= 30,
+        "most of the burst should backlog, got {}",
+        c.backlogged.get()
+    );
     // The static pool never grows.
     assert_eq!(out.stats.ranks[1].conns[0].max_posted.get(), 4);
     assert_eq!(out.stats.ranks[1].conns[0].growth_events.get(), 0);
@@ -57,7 +63,10 @@ fn dynamic_scheme_grows_pool_under_pressure() {
     let out = burst_run(cfg, 60);
     assert_eq!(out.results[1], (0..60).sum::<u32>() as u64);
     let recv_conn = &out.stats.ranks[1].conns[0];
-    assert!(recv_conn.growth_events.get() >= 1, "feedback must trigger growth");
+    assert!(
+        recv_conn.growth_events.get() >= 1,
+        "feedback must trigger growth"
+    );
     assert!(
         recv_conn.max_posted.get() > 4,
         "pool should grow beyond the initial 4, got {}",
@@ -82,7 +91,10 @@ fn exponential_growth_grows_faster() {
         };
         burst_run(cfg, 60).stats.ranks[1].conns[0].max_posted.get()
     };
-    assert!(exp >= lin, "exponential ({exp}) should reach at least linear ({lin})");
+    assert!(
+        exp >= lin,
+        "exponential ({exp}) should reach at least linear ({lin})"
+    );
 }
 
 #[test]
@@ -142,7 +154,10 @@ fn symmetric_pattern_needs_no_explicit_credit_messages() {
     })
     .unwrap();
     let total_ecm: u64 = out.stats.ranks.iter().map(|r| r.total_ecm()).sum();
-    assert_eq!(total_ecm, 0, "symmetric traffic should piggyback everything");
+    assert_eq!(
+        total_ecm, 0,
+        "symmetric traffic should piggyback everything"
+    );
 }
 
 #[test]
@@ -165,7 +180,11 @@ fn rdma_credit_mode_replaces_explicit_messages() {
     .unwrap();
     let r1 = &out.stats.ranks[1].conns[0];
     assert_eq!(r1.ecm_sent.get(), 0, "RDMA mode sends no credit messages");
-    assert!(r1.rdma_credit_updates.get() >= 5, "credits must flow via RDMA writes, got {}", r1.rdma_credit_updates.get());
+    assert!(
+        r1.rdma_credit_updates.get() >= 5,
+        "credits must flow via RDMA writes, got {}",
+        r1.rdma_credit_updates.get()
+    );
 }
 
 #[test]
@@ -188,10 +207,15 @@ fn naive_gated_credit_messages_deadlock() {
         2,
         cfg,
         FabricParams::mt23108(),
-        SimConfig { max_time: SimTime::from_nanos(50_000_000), ..Default::default() },
+        SimConfig {
+            max_time: SimTime::from_nanos(50_000_000),
+            ..Default::default()
+        },
         |mpi| {
             let peer = 1 - mpi.rank();
-            let reqs: Vec<_> = (0..30u32).map(|i| mpi.isend(&i.to_le_bytes(), peer, 0)).collect();
+            let reqs: Vec<_> = (0..30u32)
+                .map(|i| mpi.isend(&i.to_le_bytes(), peer, 0))
+                .collect();
             mpi.waitall(&reqs);
             for _ in 0..30 {
                 let _ = mpi.recv(Some(peer), Some(0));
@@ -223,7 +247,9 @@ fn optimistic_mode_survives_the_same_pattern() {
     let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), |mpi| {
         let peer = 1 - mpi.rank();
         let rreqs: Vec<_> = (0..30).map(|_| mpi.irecv(Some(peer), Some(0))).collect();
-        let sreqs: Vec<_> = (0..30u32).map(|i| mpi.isend(&i.to_le_bytes(), peer, 0)).collect();
+        let sreqs: Vec<_> = (0..30u32)
+            .map(|i| mpi.isend(&i.to_le_bytes(), peer, 0))
+            .collect();
         mpi.waitall(&sreqs);
         let mut sum = 0u64;
         for r in rreqs {
@@ -245,7 +271,9 @@ fn small_sends_are_buffered_but_large_sends_are_synchronous() {
     let cfg = MpiConfig::scheme(FlowControlScheme::UserStatic, 2);
     let out = MpiWorld::run(2, cfg.clone(), FabricParams::mt23108(), |mpi| {
         let peer = 1 - mpi.rank();
-        let reqs: Vec<_> = (0..30u32).map(|i| mpi.isend(&i.to_le_bytes(), peer, 0)).collect();
+        let reqs: Vec<_> = (0..30u32)
+            .map(|i| mpi.isend(&i.to_le_bytes(), peer, 0))
+            .collect();
         mpi.waitall(&reqs);
         let mut sum = 0u64;
         for _ in 0..30 {
@@ -263,7 +291,10 @@ fn small_sends_are_buffered_but_large_sends_are_synchronous() {
         2,
         cfg,
         FabricParams::mt23108(),
-        SimConfig { max_time: SimTime::from_nanos(100_000_000), ..Default::default() },
+        SimConfig {
+            max_time: SimTime::from_nanos(100_000_000),
+            ..Default::default()
+        },
         |mpi| {
             let peer = 1 - mpi.rank();
             let big = vec![0u8; 64 * 1024];
@@ -274,7 +305,10 @@ fn small_sends_are_buffered_but_large_sends_are_synchronous() {
             }
         },
     );
-    assert!(matches!(result, Err(MpiRunError::Sim(_))), "unsafe large-message program must wedge");
+    assert!(
+        matches!(result, Err(MpiRunError::Sim(_))),
+        "unsafe large-message program must wedge"
+    );
 }
 
 #[test]
@@ -299,7 +333,9 @@ fn credit_conservation_at_quiescence() {
     let out = MpiWorld::run(3, cfg, FabricParams::mt23108(), |mpi| {
         let me = mpi.rank();
         // Safe shape: receives pre-posted before the send storm.
-        let rreqs: Vec<_> = (0..(mpi.size() - 1) * 20).map(|_| mpi.irecv(None, Some(0))).collect();
+        let rreqs: Vec<_> = (0..(mpi.size() - 1) * 20)
+            .map(|_| mpi.irecv(None, Some(0)))
+            .collect();
         let mut sreqs = Vec::new();
         for peer in 0..mpi.size() {
             if peer != me {
@@ -314,7 +350,13 @@ fn credit_conservation_at_quiescence() {
         }
         // Report (credits toward each peer) at the end of the body.
         (0..mpi.size())
-            .map(|p| if p == mpi.rank() { 0 } else { mpi.credits_toward(p) })
+            .map(|p| {
+                if p == mpi.rank() {
+                    0
+                } else {
+                    mpi.credits_toward(p)
+                }
+            })
             .collect::<Vec<u32>>()
     })
     .unwrap();
@@ -335,7 +377,10 @@ fn credit_conservation_at_quiescence() {
 
 #[test]
 fn on_demand_connections_establish_lazily() {
-    let cfg = MpiConfig { on_demand_connections: true, ..MpiConfig::scheme(FlowControlScheme::UserStatic, 4) };
+    let cfg = MpiConfig {
+        on_demand_connections: true,
+        ..MpiConfig::scheme(FlowControlScheme::UserStatic, 4)
+    };
     let out = MpiWorld::run(4, cfg, FabricParams::mt23108(), |mpi| {
         // Ring traffic only: each rank talks to exactly two neighbours,
         // so the two diagonal connections stay cold.
@@ -348,13 +393,19 @@ fn on_demand_connections_establish_lazily() {
     for (me, &(from, posted)) in out.results.iter().enumerate() {
         assert_eq!(from, (me + 3) % 4);
         // Only 2 of 3 possible connections were established: 2 * 4 buffers.
-        assert_eq!(posted, 8, "rank {me} should only post buffers for live connections");
+        assert_eq!(
+            posted, 8,
+            "rank {me} should only post buffers for live connections"
+        );
     }
 }
 
 #[test]
 fn always_connected_posts_everything() {
-    let cfg = MpiConfig { on_demand_connections: false, ..MpiConfig::scheme(FlowControlScheme::UserStatic, 4) };
+    let cfg = MpiConfig {
+        on_demand_connections: false,
+        ..MpiConfig::scheme(FlowControlScheme::UserStatic, 4)
+    };
     let out = MpiWorld::run(4, cfg, FabricParams::mt23108(), |mpi| {
         let right = (mpi.rank() + 1) % mpi.size();
         let left = (mpi.rank() + mpi.size() - 1) % mpi.size();

@@ -46,14 +46,20 @@ fn rendezvous_large_message_all_schemes() {
             } else {
                 let (st, data) = mpi.recv(Some(0), Some(1));
                 assert_eq!(st.len, n);
-                data.iter().enumerate().map(|(i, &b)| ((i % 251) as u8 == b) as u64).sum()
+                data.iter()
+                    .enumerate()
+                    .map(|(i, &b)| ((i % 251) as u8 == b) as u64)
+                    .sum()
             }
         })
         .unwrap();
         assert_eq!(out.results[1], n as u64, "all bytes intact ({scheme:?})");
         // Large message must have used zero-copy rendezvous.
         let r0 = &out.stats.ranks[0];
-        assert!(r0.conns[1].rndz_sent.get() >= 1, "{scheme:?} should rendezvous");
+        assert!(
+            r0.conns[1].rndz_sent.get() >= 1,
+            "{scheme:?} should rendezvous"
+        );
         assert!(r0.rndz_bytes.get() >= n as u64);
     }
 }
@@ -77,7 +83,11 @@ fn message_ordering_same_tag() {
         }
     })
     .unwrap();
-    assert_eq!(out.results[1], (0..50).collect::<Vec<u32>>(), "MPI ordering violated");
+    assert_eq!(
+        out.results[1],
+        (0..50).collect::<Vec<u32>>(),
+        "MPI ordering violated"
+    );
 }
 
 #[test]
@@ -102,21 +112,19 @@ fn tag_matching_out_of_order() {
 #[test]
 fn wildcard_source_and_tag() {
     let cfg = MpiConfig::default();
-    let out = MpiWorld::run(3, cfg, FabricParams::mt23108(), |mpi| {
-        match mpi.rank() {
-            0 => {
-                let mut froms = Vec::new();
-                for _ in 0..2 {
-                    let (st, data) = mpi.recv(None, None);
-                    froms.push((st.source, st.tag, data));
-                }
-                froms.sort();
-                froms
+    let out = MpiWorld::run(3, cfg, FabricParams::mt23108(), |mpi| match mpi.rank() {
+        0 => {
+            let mut froms = Vec::new();
+            for _ in 0..2 {
+                let (st, data) = mpi.recv(None, None);
+                froms.push((st.source, st.tag, data));
             }
-            r => {
-                mpi.send(format!("from{r}").as_bytes(), 0, 10 + r as i32);
-                Vec::new()
-            }
+            froms.sort();
+            froms
+        }
+        r => {
+            mpi.send(format!("from{r}").as_bytes(), 0, 10 + r as i32);
+            Vec::new()
         }
     })
     .unwrap();
@@ -140,7 +148,10 @@ fn nonblocking_isend_irecv_waitall() {
             let mut sum = 0u64;
             // Post all receives up front (reverse tag order to stress
             // matching), then wait.
-            let reqs: Vec<_> = (0..20u32).rev().map(|i| mpi.irecv(Some(0), Some(i as i32))).collect();
+            let reqs: Vec<_> = (0..20u32)
+                .rev()
+                .map(|i| mpi.irecv(Some(0), Some(i as i32)))
+                .collect();
             for r in reqs {
                 let (_, d) = mpi.wait_recv(r);
                 sum += u32::from_le_bytes(d.try_into().unwrap()) as u64;
@@ -233,9 +244,17 @@ fn pin_down_cache_hits_on_reuse() {
     })
     .unwrap();
     let s = &out.stats.ranks[0];
-    assert!(s.regcache_hits.get() >= 4, "sender should hit the pin-down cache, hits={}", s.regcache_hits.get());
+    assert!(
+        s.regcache_hits.get() >= 4,
+        "sender should hit the pin-down cache, hits={}",
+        s.regcache_hits.get()
+    );
     let r = &out.stats.ranks[1];
-    assert!(r.regcache_hits.get() >= 4, "receiver recv_into should hit too, hits={}", r.regcache_hits.get());
+    assert!(
+        r.regcache_hits.get() >= 4,
+        "receiver recv_into should hit too, hits={}",
+        r.regcache_hits.get()
+    );
 }
 
 #[test]

@@ -92,7 +92,9 @@ fn ring_full_converts_to_rendezvous() {
     // converts to rendezvous (backlogged) instead of overwriting slots.
     let out = MpiWorld::run(2, channel_cfg(4), FabricParams::mt23108(), |mpi| {
         if mpi.rank() == 0 {
-            let reqs: Vec<_> = (0..20u32).map(|i| mpi.isend(&i.to_le_bytes(), 1, 0)).collect();
+            let reqs: Vec<_> = (0..20u32)
+                .map(|i| mpi.isend(&i.to_le_bytes(), 1, 0))
+                .collect();
             mpi.waitall(&reqs);
             0
         } else {
@@ -109,7 +111,10 @@ fn ring_full_converts_to_rendezvous() {
     assert_eq!(out.results[1], (0..20).sum::<u32>() as u64);
     let c = &out.stats.ranks[0].conns[1];
     assert!(c.ring_sent.get() >= 4, "the ring took the first burst");
-    assert!(c.rndz_sent.get() >= 1, "overflow must convert to rendezvous");
+    assert!(
+        c.rndz_sent.get() >= 1,
+        "overflow must convert to rendezvous"
+    );
 }
 
 #[test]

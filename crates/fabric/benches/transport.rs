@@ -1,9 +1,10 @@
-//! Criterion benches of the fabric simulator itself: events-per-second
-//! throughput for the message patterns the MPI layer generates.
+//! Benches of the fabric simulator itself (in-repo harness): wall-clock
+//! cost of the message patterns the MPI layer generates. Results land in
+//! `bench_results/transport.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ibfabric::*;
 use ibsim::{Sim, SimConfig};
+use testutil::Harness;
 
 fn setup(preposted: usize) -> (Fabric, CqId, CqId, QpId, QpId, MrId) {
     let mut fabric = Fabric::new(FabricParams::mt23108());
@@ -16,73 +17,85 @@ fn setup(preposted: usize) -> (Fabric, CqId, CqId, QpId, QpId, MrId) {
     let mr_b = fabric.register(b, 8 << 20, Access::FULL);
     for i in 0..preposted {
         fabric
-            .post_recv(qp_b, RecvWr { wr_id: i as u64, mr: mr_b, offset: (i % 256) * 4096, len: 4096 })
+            .post_recv(
+                qp_b,
+                RecvWr {
+                    wr_id: i as u64,
+                    mr: mr_b,
+                    offset: (i % 256) * 4096,
+                    len: 4096,
+                },
+            )
             .unwrap();
     }
     (fabric, cq_a, cq_b, qp_a, qp_b, mr_b)
 }
 
-/// 256 small sends end-to-end (the eager-protocol hot path).
-fn small_send_stream(c: &mut Criterion) {
-    c.bench_function("fabric_256_small_sends", |b| {
-        b.iter(|| {
-            let (fabric, _cq_a, cq_b, qp_a, qp_b, _mr_b) = setup(256);
-            let mut sim = Sim::new(fabric, SimConfig::default());
-            sim.with_world(|ctx| {
-                connect(ctx, qp_a, qp_b);
-                for i in 0..256u64 {
-                    post_send(ctx, qp_a, SendWr::inline_send(i, vec![0u8; 64])).unwrap();
+fn main() {
+    let mut h = Harness::new("transport");
+
+    // 256 small sends end-to-end (the eager-protocol hot path).
+    h.bench("fabric_256_small_sends", || {
+        let (fabric, _cq_a, cq_b, qp_a, qp_b, _mr_b) = setup(256);
+        let mut sim = Sim::new(fabric, SimConfig::default());
+        sim.with_world(|ctx| {
+            connect(ctx, qp_a, qp_b);
+            for i in 0..256u64 {
+                post_send(ctx, qp_a, SendWr::inline_send(i, vec![0u8; 64])).unwrap();
+            }
+        });
+        sim.run().unwrap();
+        let mut f = sim.into_world();
+        assert_eq!(f.poll_cq(cq_b, 512).len(), 256);
+    });
+
+    // One 4 MiB RDMA write (the rendezvous data path, ~2 k packets).
+    h.bench("fabric_4mib_rdma_write", || {
+        let (fabric, cq_a, _cq_b, qp_a, qp_b, mr_b) = setup(0);
+        let mut sim = Sim::new(fabric, SimConfig::default());
+        sim.with_world(|ctx| {
+            connect(ctx, qp_a, qp_b);
+            post_send(
+                ctx,
+                qp_a,
+                SendWr::rdma_write(1, vec![7u8; 4 << 20], mr_b, 0),
+            )
+            .unwrap();
+        });
+        sim.run().unwrap();
+        let mut f = sim.into_world();
+        assert_eq!(f.poll_cq(cq_a, 4).len(), 1);
+    });
+
+    // RNR retry storm (no receives posted until late).
+    h.bench("fabric_rnr_retry_storm", || {
+        let (fabric, _cq_a, cq_b, qp_a, qp_b, mr_b) = setup(0);
+        let mut sim = Sim::new(fabric, SimConfig::default());
+        sim.with_world(|ctx| {
+            connect(ctx, qp_a, qp_b);
+            for i in 0..8u64 {
+                post_send(ctx, qp_a, SendWr::inline_send(i, vec![0u8; 32])).unwrap();
+            }
+            ctx.schedule_at(ibsim::SimTime::from_nanos(2_000_000), move |c| {
+                for i in 0..8usize {
+                    c.world
+                        .post_recv(
+                            qp_b,
+                            RecvWr {
+                                wr_id: i as u64,
+                                mr: mr_b,
+                                offset: i * 4096,
+                                len: 4096,
+                            },
+                        )
+                        .unwrap();
                 }
             });
-            sim.run().unwrap();
-            let mut f = sim.into_world();
-            assert_eq!(f.poll_cq(cq_b, 512).len(), 256);
         });
+        sim.run().unwrap();
+        let mut f = sim.into_world();
+        assert_eq!(f.poll_cq(cq_b, 16).len(), 8);
     });
-}
 
-/// One 4 MiB RDMA write (the rendezvous data path, ~2 k packets).
-fn large_rdma_write(c: &mut Criterion) {
-    c.bench_function("fabric_4mib_rdma_write", |b| {
-        b.iter(|| {
-            let (fabric, cq_a, _cq_b, qp_a, qp_b, mr_b) = setup(0);
-            let mut sim = Sim::new(fabric, SimConfig::default());
-            sim.with_world(|ctx| {
-                connect(ctx, qp_a, qp_b);
-                post_send(ctx, qp_a, SendWr::rdma_write(1, vec![7u8; 4 << 20], mr_b, 0)).unwrap();
-            });
-            sim.run().unwrap();
-            let mut f = sim.into_world();
-            assert_eq!(f.poll_cq(cq_a, 4).len(), 1);
-        });
-    });
+    h.finish();
 }
-
-/// RNR retry storm (no receives posted until late).
-fn rnr_retry_storm(c: &mut Criterion) {
-    c.bench_function("fabric_rnr_retry_storm", |b| {
-        b.iter(|| {
-            let (fabric, _cq_a, cq_b, qp_a, qp_b, mr_b) = setup(0);
-            let mut sim = Sim::new(fabric, SimConfig::default());
-            sim.with_world(|ctx| {
-                connect(ctx, qp_a, qp_b);
-                for i in 0..8u64 {
-                    post_send(ctx, qp_a, SendWr::inline_send(i, vec![0u8; 32])).unwrap();
-                }
-                ctx.schedule_at(ibsim::SimTime::from_nanos(2_000_000), move |c| {
-                    for i in 0..8usize {
-                        c.world
-                            .post_recv(qp_b, RecvWr { wr_id: i as u64, mr: mr_b, offset: i * 4096, len: 4096 })
-                            .unwrap();
-                    }
-                });
-            });
-            sim.run().unwrap();
-            let mut f = sim.into_world();
-            assert_eq!(f.poll_cq(cq_b, 16).len(), 8);
-        });
-    });
-}
-
-criterion_group!(fabric, small_send_stream, large_rdma_write, rnr_retry_storm);
-criterion_main!(fabric);

@@ -29,7 +29,12 @@ pub struct Cq {
 
 impl Cq {
     pub(crate) fn new(node: NodeId) -> Self {
-        Cq { node, entries: VecDeque::new(), waiters: Vec::new(), peak_depth: 0 }
+        Cq {
+            node,
+            entries: VecDeque::new(),
+            waiters: Vec::new(),
+            peak_depth: 0,
+        }
     }
 
     /// Owning node.

@@ -122,9 +122,23 @@ impl Fabric {
     /// Creates an RC queue pair on `node`, with send completions reported
     /// to `send_cq` and receive completions to `recv_cq` (the paper's MPI
     /// design points both at one CQ per process).
-    pub fn create_qp(&mut self, node: NodeId, send_cq: CqId, recv_cq: CqId, attrs: QpAttrs) -> QpId {
-        debug_assert_eq!(self.cqs[send_cq.index()].node, node, "send CQ on wrong node");
-        debug_assert_eq!(self.cqs[recv_cq.index()].node, node, "recv CQ on wrong node");
+    pub fn create_qp(
+        &mut self,
+        node: NodeId,
+        send_cq: CqId,
+        recv_cq: CqId,
+        attrs: QpAttrs,
+    ) -> QpId {
+        debug_assert_eq!(
+            self.cqs[send_cq.index()].node,
+            node,
+            "send CQ on wrong node"
+        );
+        debug_assert_eq!(
+            self.cqs[recv_cq.index()].node,
+            node,
+            "recv CQ on wrong node"
+        );
         let id = QpId(self.qps.len() as u32);
         let mut qp = Qp::new(id, node, send_cq, recv_cq, attrs);
         if attrs.qp_type == crate::qp::QpType::UnreliableDatagram {
@@ -140,7 +154,11 @@ impl Fabric {
     /// as process time (the MPI layer's pin-down cache does).
     pub fn register(&mut self, node: NodeId, len: usize, access: Access) -> MrId {
         let id = MrId(self.mrs.len() as u32);
-        self.mrs.push(Mr { node, access, bytes: vec![0; len] });
+        self.mrs.push(Mr {
+            node,
+            access,
+            bytes: vec![0; len],
+        });
         id
     }
 

@@ -97,7 +97,9 @@ impl Mr {
     }
 
     pub(crate) fn check_range(&self, offset: usize, len: usize) -> bool {
-        offset.checked_add(len).is_some_and(|end| end <= self.bytes.len())
+        offset
+            .checked_add(len)
+            .is_some_and(|end| end <= self.bytes.len())
     }
 }
 
@@ -117,7 +119,11 @@ mod tests {
 
     #[test]
     fn range_checks() {
-        let mr = Mr { node: NodeId(0), access: Access::FULL, bytes: vec![0; 100] };
+        let mr = Mr {
+            node: NodeId(0),
+            access: Access::FULL,
+            bytes: vec![0; 100],
+        };
         assert!(mr.check_range(0, 100));
         assert!(mr.check_range(99, 1));
         assert!(!mr.check_range(99, 2));

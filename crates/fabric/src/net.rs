@@ -20,7 +20,9 @@ pub struct Net {
 
 impl Net {
     pub(crate) fn new(nodes: usize) -> Self {
-        Net { egress_busy_until: vec![SimTime::ZERO; nodes] }
+        Net {
+            egress_busy_until: vec![SimTime::ZERO; nodes],
+        }
     }
 
     pub(crate) fn add_node(&mut self) {

@@ -66,14 +66,20 @@ impl Default for QpAttrs {
     fn default() -> Self {
         // 7 is the verbs encoding for "infinite"; we default to a finite
         // but generous budget and let callers opt into infinity.
-        QpAttrs { rnr_retry: Some(16), qp_type: QpType::ReliableConnection }
+        QpAttrs {
+            rnr_retry: Some(16),
+            qp_type: QpType::ReliableConnection,
+        }
     }
 }
 
 impl QpAttrs {
     /// Attributes for an Unreliable Datagram QP.
     pub fn ud() -> Self {
-        QpAttrs { rnr_retry: None, qp_type: QpType::UnreliableDatagram }
+        QpAttrs {
+            rnr_retry: None,
+            qp_type: QpType::UnreliableDatagram,
+        }
     }
 }
 
@@ -98,8 +104,14 @@ pub(crate) struct InflightMsg {
 /// The payload a delivery event carries to the receiving HCA.
 #[derive(Debug, Clone)]
 pub(crate) enum MsgBody {
-    Send { payload: Arc<[u8]> },
-    RdmaWrite { payload: Arc<[u8]>, rkey: crate::mem::MrId, remote_offset: usize },
+    Send {
+        payload: Arc<[u8]>,
+    },
+    RdmaWrite {
+        payload: Arc<[u8]>,
+        rkey: crate::mem::MrId,
+        remote_offset: usize,
+    },
     RdmaRead {
         rkey: crate::mem::MrId,
         remote_offset: usize,
@@ -152,7 +164,13 @@ pub struct Qp {
 }
 
 impl Qp {
-    pub(crate) fn new(id: QpId, node: NodeId, send_cq: CqId, recv_cq: CqId, attrs: QpAttrs) -> Self {
+    pub(crate) fn new(
+        id: QpId,
+        node: NodeId,
+        send_cq: CqId,
+        recv_cq: CqId,
+        attrs: QpAttrs,
+    ) -> Self {
         Qp {
             id,
             node,

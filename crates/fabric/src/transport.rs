@@ -103,7 +103,12 @@ pub(crate) fn pump(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId) {
 /// cost, segments into MTU packets, occupies the source DMA/link and the
 /// destination egress port, and returns `(first, last)` packet arrival
 /// instants at the destination HCA.
-fn transmit(ctx: &mut Ctx<'_, Fabric>, src: NodeId, dst: NodeId, bytes: usize) -> (SimTime, SimTime) {
+fn transmit(
+    ctx: &mut Ctx<'_, Fabric>,
+    src: NodeId,
+    dst: NodeId,
+    bytes: usize,
+) -> (SimTime, SimTime) {
     let now = ctx.now();
     let w = &mut *ctx.world;
     let params = &w.params;
@@ -151,9 +156,15 @@ fn launch(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId) {
             SendOp::Send { payload } => {
                 q.unacked_sends += 1;
                 q.stats.sends_launched.incr();
-                MsgBody::Send { payload: Arc::clone(payload) }
+                MsgBody::Send {
+                    payload: Arc::clone(payload),
+                }
             }
-            SendOp::RdmaWrite { payload, rkey, remote_offset } => {
+            SendOp::RdmaWrite {
+                payload,
+                rkey,
+                remote_offset,
+            } => {
                 q.stats.rdma_writes.incr();
                 MsgBody::RdmaWrite {
                     payload: Arc::clone(payload),
@@ -161,7 +172,13 @@ fn launch(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId) {
                     remote_offset: *remote_offset,
                 }
             }
-            SendOp::RdmaRead { rkey, remote_offset, local_mr, local_offset, len } => {
+            SendOp::RdmaRead {
+                rkey,
+                remote_offset,
+                local_mr,
+                local_offset,
+                len,
+            } => {
                 q.stats.rdma_reads.incr();
                 MsgBody::RdmaRead {
                     rkey: *rkey,
@@ -204,7 +221,13 @@ fn send_ack(ctx: &mut Ctx<'_, Fabric>, responder: QpId, requester: QpId, msn: u6
 }
 
 /// The last packet of message `msn` has arrived at `dst_qp`'s HCA.
-fn deliver(ctx: &mut Ctx<'_, Fabric>, dst_qp: QpId, msn: u64, body: MsgBody, first_arrival: SimTime) {
+fn deliver(
+    ctx: &mut Ctx<'_, Fabric>,
+    dst_qp: QpId,
+    msn: u64,
+    body: MsgBody,
+    first_arrival: SimTime,
+) {
     let now = ctx.now();
     let (src_qp, expected, state, dst_node) = {
         let q = &ctx.world.qps[dst_qp.index()];
@@ -308,7 +331,11 @@ fn deliver(ctx: &mut Ctx<'_, Fabric>, dst_qp: QpId, msn: u64, body: MsgBody, fir
                 send_ack(c, dst_qp, src_qp, msn);
             });
         }
-        MsgBody::RdmaWrite { payload, rkey, remote_offset } => {
+        MsgBody::RdmaWrite {
+            payload,
+            rkey,
+            remote_offset,
+        } => {
             let valid = ctx.world.mrs.get(rkey.index()).is_some_and(|mr| {
                 mr.node == dst_node
                     && mr.access.allows(Access::REMOTE_WRITE)
@@ -333,7 +360,13 @@ fn deliver(ctx: &mut Ctx<'_, Fabric>, dst_qp: QpId, msn: u64, body: MsgBody, fir
                 send_ack(c, dst_qp, src_qp, msn);
             });
         }
-        MsgBody::RdmaRead { rkey, remote_offset, local_mr, local_offset, len } => {
+        MsgBody::RdmaRead {
+            rkey,
+            remote_offset,
+            local_mr,
+            local_offset,
+            len,
+        } => {
             let valid = ctx.world.mrs.get(rkey.index()).is_some_and(|mr| {
                 mr.node == dst_node
                     && mr.access.allows(Access::REMOTE_READ)
@@ -408,7 +441,11 @@ fn charge_rx_kind(
     // placed, independent of the engine finishing its bookkeeping.
     let dma_start = n.rx_busy_until.max(first_arrival);
     let dma_done = (dma_start + dma).max(now);
-    let proc = if rdma { w.params.rdma_rx_proc } else { w.params.rx_proc };
+    let proc = if rdma {
+        w.params.rdma_rx_proc
+    } else {
+        w.params.rx_proc
+    };
     n.rx_busy_until = dma_done + proc;
     if rdma {
         // One-sided data is visible the instant the DMA lands: a polling
@@ -426,7 +463,13 @@ fn charge_rx_kind(
 /// data: only then may in-flight READ entries complete (a plain ACK for a
 /// later send must not complete an earlier READ whose data is still on the
 /// wire — the pop loop stops at the READ instead).
-fn handle_ack(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId, msn: u64, credits: u32, from_read_response: bool) {
+fn handle_ack(
+    ctx: &mut Ctx<'_, Fabric>,
+    qp_id: QpId,
+    msn: u64,
+    credits: u32,
+    from_read_response: bool,
+) {
     let mut completions: Vec<(crate::cq::CqId, Cqe)> = Vec::new();
     {
         let q = &mut ctx.world.qps[qp_id.index()];
@@ -557,7 +600,11 @@ pub(crate) fn send_ud(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId, dst_qp: QpId, wr: 
         let q = &mut ctx.world.qps[qp_id.index()];
         q.stats.sends_launched.incr();
         q.stats.bytes_launched.add(payload.len() as u64);
-        (q.node, ctx.world.qps[dst_qp.index()].node, ctx.world.qps[qp_id.index()].send_cq)
+        (
+            q.node,
+            ctx.world.qps[dst_qp.index()].node,
+            ctx.world.qps[qp_id.index()].send_cq,
+        )
     };
     let (first, last) = transmit(ctx, src_node, dst_node, payload.len());
     // Local completion: the datagram left the HCA; nothing is tracked.
@@ -594,7 +641,10 @@ fn deliver_ud(ctx: &mut Ctx<'_, Fabric>, dst_qp: QpId, payload: Arc<[u8]>, first
         ctx.world.stats.ud_drops.incr();
         return;
     }
-    let rwqe = ctx.world.qps[dst_qp.index()].rq.pop_front().expect("checked");
+    let rwqe = ctx.world.qps[dst_qp.index()]
+        .rq
+        .pop_front()
+        .expect("checked");
     if rwqe.len < payload.len() {
         let recv_cq = ctx.world.qps[dst_qp.index()].recv_cq;
         push_cqe(

@@ -72,14 +72,24 @@ pub struct SendWr {
 impl SendWr {
     /// Convenience constructor: a signalled two-sided send of `payload`.
     pub fn inline_send(wr_id: u64, payload: Vec<u8>) -> SendWr {
-        SendWr { wr_id, op: SendOp::Send { payload: payload.into() }, signaled: true }
+        SendWr {
+            wr_id,
+            op: SendOp::Send {
+                payload: payload.into(),
+            },
+            signaled: true,
+        }
     }
 
     /// Convenience constructor: a signalled RDMA WRITE.
     pub fn rdma_write(wr_id: u64, payload: Vec<u8>, rkey: MrId, remote_offset: usize) -> SendWr {
         SendWr {
             wr_id,
-            op: SendOp::RdmaWrite { payload: payload.into(), rkey, remote_offset },
+            op: SendOp::RdmaWrite {
+                payload: payload.into(),
+                rkey,
+                remote_offset,
+            },
             signaled: true,
         }
     }
@@ -95,7 +105,13 @@ impl SendWr {
     ) -> SendWr {
         SendWr {
             wr_id,
-            op: SendOp::RdmaRead { rkey, remote_offset, local_mr, local_offset, len },
+            op: SendOp::RdmaRead {
+                rkey,
+                remote_offset,
+                local_mr,
+                local_offset,
+                len,
+            },
             signaled: true,
         }
     }

@@ -1,124 +1,237 @@
 //! Property-based transport tests: arbitrary traffic must be delivered
 //! exactly once, in order, bytes intact — whatever mix of sizes, buffer
 //! shortages, and RNR retries the schedule produces.
+//!
+//! Runs under the in-repo harness (`testutil::prop`): every failure prints
+//! a base seed (`IBFLOW_PROP_SEED=...`) and a greedily minimized input.
 
 use ibfabric::*;
 use ibsim::{Sim, SimConfig, SimTime};
-use proptest::prelude::*;
+use testutil::prop::{check, shrink, Case, Gen};
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+const CASES: u32 = 32;
 
-    /// Sends of arbitrary sizes against a receiver that posts buffers on
-    /// an arbitrary (but sufficient) schedule: every message arrives
-    /// exactly once, in order, intact; every send completes.
-    #[test]
-    fn rc_delivers_exactly_once_in_order(
-        sizes in prop::collection::vec(1usize..10_000, 1..15),
-        prepost in 0usize..6,
-        post_gap_us in 1u64..200,
-    ) {
-        let mut fabric = Fabric::new(FabricParams::mt23108());
-        let a = fabric.add_node();
-        let b = fabric.add_node();
-        let cq_a = fabric.create_cq(a);
-        let cq_b = fabric.create_cq(b);
-        let qp_a = fabric.create_qp(a, cq_a, cq_a, QpAttrs { rnr_retry: None, ..Default::default() });
-        let qp_b = fabric.create_qp(b, cq_b, cq_b, QpAttrs { rnr_retry: None, ..Default::default() });
-        let mr_b = fabric.register(b, 16 << 20, Access::FULL);
+/// Sends of arbitrary sizes against a receiver that posts buffers on
+/// an arbitrary (but sufficient) schedule.
+#[derive(Clone, Debug)]
+struct DeliveryCase {
+    sizes: Vec<usize>,
+    prepost: usize,
+    post_gap_us: u64,
+}
 
-        let n = sizes.len();
-        // Pre-post some buffers; schedule the rest over time.
-        for i in 0..prepost.min(n) {
-            fabric
-                .post_recv(qp_b, RecvWr { wr_id: i as u64, mr: mr_b, offset: i << 20, len: 1 << 20 })
-                .unwrap();
+impl Case for DeliveryCase {
+    fn generate(g: &mut Gen) -> Self {
+        DeliveryCase {
+            sizes: g.vec(1..15, |g| g.usize_in(1..10_000)),
+            prepost: g.usize_in(0..6),
+            post_gap_us: g.u64_in(1..200),
         }
-        let mut sim = Sim::new(fabric, SimConfig::default());
-        sim.with_world(|ctx| {
-            connect(ctx, qp_a, qp_b);
-            for (i, &size) in sizes.iter().enumerate() {
-                let payload: Vec<u8> = (0..size).map(|b| ((b * 7 + i) % 251) as u8).collect();
-                post_send(ctx, qp_a, SendWr::inline_send(i as u64, payload)).unwrap();
-            }
-            for i in prepost.min(n)..n {
-                let t = SimTime::from_nanos((i as u64 + 1) * post_gap_us * 1_000);
-                ctx.schedule_at(t, move |c| {
-                    c.world
-                        .post_recv(qp_b, RecvWr { wr_id: i as u64, mr: mr_b, offset: i << 20, len: 1 << 20 })
-                        .unwrap();
-                });
-            }
-        });
-        sim.run().unwrap();
-        let mut f = sim.into_world();
-
-        let recvs = f.poll_cq(cq_b, 64);
-        prop_assert_eq!(recvs.len(), n, "exactly one completion per message");
-        for (i, c) in recvs.iter().enumerate() {
-            prop_assert!(c.is_success());
-            prop_assert_eq!(c.wr_id, i as u64, "in-order consumption");
-            prop_assert_eq!(c.byte_len, sizes[i]);
-        }
-        // Payload of every message intact at its buffer.
-        for (i, &size) in sizes.iter().enumerate() {
-            let got = &f.mr_bytes(mr_b)[i << 20..(i << 20) + size];
-            for (b, &v) in got.iter().enumerate() {
-                prop_assert_eq!(v, ((b * 7 + i) % 251) as u8, "message {} byte {}", i, b);
-            }
-        }
-        let sends = f.poll_cq(cq_a, 64);
-        prop_assert_eq!(sends.iter().filter(|c| c.is_success()).count(), n);
-        // Exactly-once: delivered counter matches despite any retries.
-        prop_assert_eq!(f.stats.msgs_delivered.get(), n as u64);
     }
 
-    /// Interleaved sends and RDMA writes on one QP preserve the QP's FIFO
-    /// order (the property the MPI rendezvous fin relies on).
-    #[test]
-    fn sends_and_writes_share_fifo_order(
-        ops in prop::collection::vec(any::<bool>(), 2..12),
-    ) {
-        let mut fabric = Fabric::new(FabricParams::mt23108());
-        let a = fabric.add_node();
-        let b = fabric.add_node();
-        let cq_a = fabric.create_cq(a);
-        let cq_b = fabric.create_cq(b);
-        let qp_a = fabric.create_qp(a, cq_a, cq_a, QpAttrs::default());
-        let qp_b = fabric.create_qp(b, cq_b, cq_b, QpAttrs::default());
-        let mr_b = fabric.register(b, 1 << 20, Access::FULL);
-        for i in 0..ops.len() {
-            fabric
-                .post_recv(qp_b, RecvWr { wr_id: i as u64, mr: mr_b, offset: 512 * 1024 + i * 4096, len: 4096 })
-                .unwrap();
+    fn shrink(&self) -> Vec<Self> {
+        let mut out: Vec<Self> = Vec::new();
+        for sizes in shrink::vec_candidates(&self.sizes, 1, |&n| shrink::usize_toward(n, 1)) {
+            out.push(DeliveryCase {
+                sizes,
+                ..self.clone()
+            });
         }
-        let ops2 = ops.clone();
-        let mut sim = Sim::new(fabric, SimConfig::default());
-        sim.with_world(move |ctx| {
-            connect(ctx, qp_a, qp_b);
-            for (i, &is_send) in ops2.iter().enumerate() {
-                let wr = if is_send {
-                    SendWr::inline_send(i as u64, vec![i as u8; 100])
-                } else {
-                    SendWr::rdma_write(i as u64, vec![i as u8; 100], mr_b, i * 256)
-                };
-                post_send(ctx, qp_a, wr).unwrap();
-            }
-        });
-        sim.run().unwrap();
-        let mut f = sim.into_world();
-        // Send completions come back in posting order regardless of kind.
-        let comps = f.poll_cq(cq_a, 32);
-        prop_assert_eq!(comps.len(), ops.len());
-        for (i, c) in comps.iter().enumerate() {
-            prop_assert_eq!(c.wr_id, i as u64, "completion order broke at {}", i);
-            prop_assert!(c.is_success());
+        for prepost in shrink::usize_toward(self.prepost, 0) {
+            out.push(DeliveryCase {
+                prepost,
+                ..self.clone()
+            });
         }
-        // Each RDMA write landed at its offset.
-        for (i, &is_send) in ops.iter().enumerate() {
-            if !is_send {
-                prop_assert_eq!(f.mr_bytes(mr_b)[i * 256], i as u8);
+        for post_gap_us in shrink::u64_toward(self.post_gap_us, 1) {
+            out.push(DeliveryCase {
+                post_gap_us,
+                ..self.clone()
+            });
+        }
+        out
+    }
+}
+
+/// Every message arrives exactly once, in order, intact; every send
+/// completes.
+#[test]
+fn rc_delivers_exactly_once_in_order() {
+    check(
+        "rc_delivers_exactly_once_in_order",
+        CASES,
+        |c: &DeliveryCase| {
+            let mut fabric = Fabric::new(FabricParams::mt23108());
+            let a = fabric.add_node();
+            let b = fabric.add_node();
+            let cq_a = fabric.create_cq(a);
+            let cq_b = fabric.create_cq(b);
+            let qp_a = fabric.create_qp(
+                a,
+                cq_a,
+                cq_a,
+                QpAttrs {
+                    rnr_retry: None,
+                    ..Default::default()
+                },
+            );
+            let qp_b = fabric.create_qp(
+                b,
+                cq_b,
+                cq_b,
+                QpAttrs {
+                    rnr_retry: None,
+                    ..Default::default()
+                },
+            );
+            let mr_b = fabric.register(b, 16 << 20, Access::FULL);
+
+            let sizes = c.sizes.clone();
+            let n = sizes.len();
+            let post_gap_us = c.post_gap_us;
+            // Pre-post some buffers; schedule the rest over time.
+            for i in 0..c.prepost.min(n) {
+                fabric
+                    .post_recv(
+                        qp_b,
+                        RecvWr {
+                            wr_id: i as u64,
+                            mr: mr_b,
+                            offset: i << 20,
+                            len: 1 << 20,
+                        },
+                    )
+                    .unwrap();
             }
+            let mut sim = Sim::new(fabric, SimConfig::default());
+            let prepost = c.prepost;
+            sim.with_world(|ctx| {
+                connect(ctx, qp_a, qp_b);
+                for (i, &size) in sizes.iter().enumerate() {
+                    let payload: Vec<u8> = (0..size).map(|b| ((b * 7 + i) % 251) as u8).collect();
+                    post_send(ctx, qp_a, SendWr::inline_send(i as u64, payload)).unwrap();
+                }
+                for i in prepost.min(n)..n {
+                    let t = SimTime::from_nanos((i as u64 + 1) * post_gap_us * 1_000);
+                    ctx.schedule_at(t, move |c| {
+                        c.world
+                            .post_recv(
+                                qp_b,
+                                RecvWr {
+                                    wr_id: i as u64,
+                                    mr: mr_b,
+                                    offset: i << 20,
+                                    len: 1 << 20,
+                                },
+                            )
+                            .unwrap();
+                    });
+                }
+            });
+            sim.run().unwrap();
+            let mut f = sim.into_world();
+
+            let recvs = f.poll_cq(cq_b, 64);
+            assert_eq!(recvs.len(), n, "exactly one completion per message");
+            for (i, comp) in recvs.iter().enumerate() {
+                assert!(comp.is_success());
+                assert_eq!(comp.wr_id, i as u64, "in-order consumption");
+                assert_eq!(comp.byte_len, c.sizes[i]);
+            }
+            // Payload of every message intact at its buffer.
+            for (i, &size) in c.sizes.iter().enumerate() {
+                let got = &f.mr_bytes(mr_b)[i << 20..(i << 20) + size];
+                for (b, &v) in got.iter().enumerate() {
+                    assert_eq!(v, ((b * 7 + i) % 251) as u8, "message {i} byte {b}");
+                }
+            }
+            let sends = f.poll_cq(cq_a, 64);
+            assert_eq!(sends.iter().filter(|comp| comp.is_success()).count(), n);
+            // Exactly-once: delivered counter matches despite any retries.
+            assert_eq!(f.stats.msgs_delivered.get(), n as u64);
+        },
+    );
+}
+
+/// Interleaved sends and RDMA writes on one QP.
+#[derive(Clone, Debug)]
+struct FifoCase {
+    ops: Vec<bool>,
+}
+
+impl Case for FifoCase {
+    fn generate(g: &mut Gen) -> Self {
+        FifoCase {
+            ops: g.vec(2..12, |g| g.bool()),
         }
     }
+
+    fn shrink(&self) -> Vec<Self> {
+        shrink::vec_candidates(&self.ops, 2, |&b| shrink::bool_toward_false(b))
+            .into_iter()
+            .map(|ops| FifoCase { ops })
+            .collect()
+    }
+}
+
+/// Interleaved sends and RDMA writes on one QP preserve the QP's FIFO
+/// order (the property the MPI rendezvous fin relies on).
+#[test]
+fn sends_and_writes_share_fifo_order() {
+    check(
+        "sends_and_writes_share_fifo_order",
+        CASES,
+        |c: &FifoCase| {
+            let ops = c.ops.clone();
+            let mut fabric = Fabric::new(FabricParams::mt23108());
+            let a = fabric.add_node();
+            let b = fabric.add_node();
+            let cq_a = fabric.create_cq(a);
+            let cq_b = fabric.create_cq(b);
+            let qp_a = fabric.create_qp(a, cq_a, cq_a, QpAttrs::default());
+            let qp_b = fabric.create_qp(b, cq_b, cq_b, QpAttrs::default());
+            let mr_b = fabric.register(b, 1 << 20, Access::FULL);
+            for i in 0..ops.len() {
+                fabric
+                    .post_recv(
+                        qp_b,
+                        RecvWr {
+                            wr_id: i as u64,
+                            mr: mr_b,
+                            offset: 512 * 1024 + i * 4096,
+                            len: 4096,
+                        },
+                    )
+                    .unwrap();
+            }
+            let ops2 = ops.clone();
+            let mut sim = Sim::new(fabric, SimConfig::default());
+            sim.with_world(move |ctx| {
+                connect(ctx, qp_a, qp_b);
+                for (i, &is_send) in ops2.iter().enumerate() {
+                    let wr = if is_send {
+                        SendWr::inline_send(i as u64, vec![i as u8; 100])
+                    } else {
+                        SendWr::rdma_write(i as u64, vec![i as u8; 100], mr_b, i * 256)
+                    };
+                    post_send(ctx, qp_a, wr).unwrap();
+                }
+            });
+            sim.run().unwrap();
+            let mut f = sim.into_world();
+            // Send completions come back in posting order regardless of kind.
+            let comps = f.poll_cq(cq_a, 32);
+            assert_eq!(comps.len(), ops.len());
+            for (i, comp) in comps.iter().enumerate() {
+                assert_eq!(comp.wr_id, i as u64, "completion order broke at {i}");
+                assert!(comp.is_success());
+            }
+            // Each RDMA write landed at its offset.
+            for (i, &is_send) in ops.iter().enumerate() {
+                if !is_send {
+                    assert_eq!(f.mr_bytes(mr_b)[i * 256], i as u8);
+                }
+            }
+        },
+    );
 }

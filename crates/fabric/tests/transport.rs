@@ -28,12 +28,28 @@ fn pair_with(params: FabricParams, attrs: QpAttrs, preposted_b: usize) -> Pair {
     let mr_b = fabric.register(b, 1 << 20, Access::FULL);
     for i in 0..preposted_b {
         fabric
-            .post_recv(qp_b, RecvWr { wr_id: 1000 + i as u64, mr: mr_b, offset: i * 4096, len: 4096 })
+            .post_recv(
+                qp_b,
+                RecvWr {
+                    wr_id: 1000 + i as u64,
+                    mr: mr_b,
+                    offset: i * 4096,
+                    len: 4096,
+                },
+            )
             .unwrap();
     }
-    let mut sim = Sim::new(fabric, SimConfig::default());
+    let sim = Sim::new(fabric, SimConfig::default());
     sim.with_world(|ctx| connect(ctx, qp_a, qp_b));
-    Pair { sim, cq_a, cq_b, qp_a, qp_b, mr_a, mr_b }
+    Pair {
+        sim,
+        cq_a,
+        cq_b,
+        qp_a,
+        qp_b,
+        mr_a,
+        mr_b,
+    }
 }
 
 fn pair(preposted_b: usize) -> Pair {
@@ -69,7 +85,12 @@ fn messages_deliver_in_order() {
     let mut p = pair(32);
     p.sim.with_world(|ctx| {
         for i in 0..20u64 {
-            post_send(ctx, p.qp_a, SendWr::inline_send(i, vec![i as u8; 64 + i as usize])).unwrap();
+            post_send(
+                ctx,
+                p.qp_a,
+                SendWr::inline_send(i, vec![i as u8; 64 + i as usize]),
+            )
+            .unwrap();
         }
     });
     p.sim.run().unwrap();
@@ -100,7 +121,15 @@ fn multi_packet_message_roundtrip() {
         // Post a big-enough receive.
         p.sim.with_world(|ctx| {
             ctx.world
-                .post_recv(p.qp_b, RecvWr { wr_id: 9, mr: p.mr_b, offset: 0, len: n })
+                .post_recv(
+                    p.qp_b,
+                    RecvWr {
+                        wr_id: 9,
+                        mr: p.mr_b,
+                        offset: 0,
+                        len: n,
+                    },
+                )
                 .unwrap();
         });
         let payload = fillsrc.clone();
@@ -126,7 +155,15 @@ fn rnr_nak_then_retry_succeeds_when_buffer_posted() {
         // Post the receive 10us later (before the 60us RNR timer fires).
         ctx.schedule_at(SimTime::from_nanos(10_000), move |c| {
             c.world
-                .post_recv(p.qp_b, RecvWr { wr_id: 7, mr: p.mr_b, offset: 0, len: 64 })
+                .post_recv(
+                    p.qp_b,
+                    RecvWr {
+                        wr_id: 7,
+                        mr: p.mr_b,
+                        offset: 0,
+                        len: 64,
+                    },
+                )
                 .unwrap();
         });
     });
@@ -145,7 +182,10 @@ fn rnr_nak_then_retry_succeeds_when_buffer_posted() {
 
 #[test]
 fn rnr_retry_exhaustion_fails_the_qp() {
-    let attrs = QpAttrs { rnr_retry: Some(2), ..Default::default() };
+    let attrs = QpAttrs {
+        rnr_retry: Some(2),
+        ..Default::default()
+    };
     let mut p = pair_with(FabricParams::mt23108(), attrs, 0);
     p.sim.with_world(|ctx| {
         post_send(ctx, p.qp_a, SendWr::inline_send(1, vec![1u8; 8])).unwrap();
@@ -156,10 +196,14 @@ fn rnr_retry_exhaustion_fails_the_qp() {
     let mut f = p.sim.into_world();
     assert_eq!(f.qp(p.qp_a).state(), QpState::Error);
     let cqes = f.poll_cq(p.cq_a, 16);
-    assert!(cqes.iter().any(|c| c.status == CqeStatus::RnrRetryExceeded && c.wr_id == 1));
-    assert!(cqes.iter().any(|c| c.status == CqeStatus::WorkRequestFlushed && c.wr_id == 2));
+    assert!(cqes
+        .iter()
+        .any(|c| c.status == CqeStatus::RnrRetryExceeded && c.wr_id == 1));
+    assert!(cqes
+        .iter()
+        .any(|c| c.status == CqeStatus::WorkRequestFlushed && c.wr_id == 2));
     // Posting on an errored QP is rejected.
-    let mut sim = Sim::new(f, SimConfig::default());
+    let sim = Sim::new(f, SimConfig::default());
     sim.with_world(|ctx| {
         let err = post_send(ctx, p.qp_a, SendWr::inline_send(3, vec![0u8; 8])).unwrap_err();
         assert_eq!(err, VerbsError::InvalidQpState);
@@ -168,14 +212,25 @@ fn rnr_retry_exhaustion_fails_the_qp() {
 
 #[test]
 fn infinite_rnr_retry_never_gives_up() {
-    let attrs = QpAttrs { rnr_retry: None, ..Default::default() };
+    let attrs = QpAttrs {
+        rnr_retry: None,
+        ..Default::default()
+    };
     let mut p = pair_with(FabricParams::mt23108(), attrs, 0);
     p.sim.with_world(|ctx| {
         post_send(ctx, p.qp_a, SendWr::inline_send(1, vec![1u8; 8])).unwrap();
         // Post the receive after ~20 RNR periods.
         ctx.schedule_at(SimTime::from_nanos(1_300_000), move |c| {
             c.world
-                .post_recv(p.qp_b, RecvWr { wr_id: 7, mr: p.mr_b, offset: 0, len: 64 })
+                .post_recv(
+                    p.qp_b,
+                    RecvWr {
+                        wr_id: 7,
+                        mr: p.mr_b,
+                        offset: 0,
+                        len: 64,
+                    },
+                )
                 .unwrap();
         });
     });
@@ -209,7 +264,12 @@ fn end_to_end_credits_limit_probing() {
                 c.world
                     .post_recv(
                         p.qp_b,
-                        RecvWr { wr_id: 2000 + i as u64, mr: p.mr_b, offset: (4 + i) * 4096, len: 4096 },
+                        RecvWr {
+                            wr_id: 2000 + i as u64,
+                            mr: p.mr_b,
+                            offset: (4 + i) * 4096,
+                            len: 4096,
+                        },
                     )
                     .unwrap();
             }
@@ -252,12 +312,16 @@ fn credits_resume_without_rnr_when_acks_flow() {
                     assert!(c.is_success());
                     // Repost the consumed buffer immediately.
                     ctx.world
-                        .post_recv(qp_b, RecvWr { wr_id: c.wr_id, mr: mr_b, offset: 0, len: 4096 })
+                        .post_recv(
+                            qp_b,
+                            RecvWr {
+                                wr_id: c.wr_id,
+                                mr: mr_b,
+                                offset: 0,
+                                len: 4096,
+                            },
+                        )
                         .unwrap();
-                }
-                if n == 0 {
-                    let waker = ctx_waker(ctx, cq_b);
-                    let _ = waker;
                 }
                 n
             });
@@ -283,12 +347,13 @@ fn credits_resume_without_rnr_when_acks_flow() {
     });
     p.sim.run().unwrap();
     let f = p.sim.into_world();
-    assert_eq!(f.qp(p.qp_b).stats.rnr_naks_sent.get(), 0, "no RNR under replenished credits");
+    assert_eq!(
+        f.qp(p.qp_b).stats.rnr_naks_sent.get(),
+        0,
+        "no RNR under replenished credits"
+    );
     assert_eq!(f.stats.msgs_delivered.get(), 24);
 }
-
-// Helper used above to appease the closure borrowck dance.
-fn ctx_waker(_ctx: &mut ibsim::Ctx<'_, Fabric>, _cq: CqId) {}
 
 #[test]
 fn rdma_write_places_data_without_recv_wqe() {
@@ -318,7 +383,12 @@ fn rdma_read_pulls_remote_data() {
         for (i, b) in src[500..1500].iter_mut().enumerate() {
             *b = (i % 199) as u8;
         }
-        post_send(ctx, p.qp_a, SendWr::rdma_read(21, p.mr_b, 500, p.mr_a, 0, 1000)).unwrap();
+        post_send(
+            ctx,
+            p.qp_a,
+            SendWr::rdma_read(21, p.mr_b, 500, p.mr_a, 0, 1000),
+        )
+        .unwrap();
     });
     p.sim.run().unwrap();
     let mut f = p.sim.into_world();
@@ -363,7 +433,12 @@ fn rdma_write_out_of_bounds_is_rejected() {
     let mut p = pair(0);
     p.sim.with_world(|ctx| {
         let len = ctx.world.mr_bytes(p.mr_b).len();
-        post_send(ctx, p.qp_a, SendWr::rdma_write(1, vec![0u8; 64], p.mr_b, len - 10)).unwrap();
+        post_send(
+            ctx,
+            p.qp_a,
+            SendWr::rdma_write(1, vec![0u8; 64], p.mr_b, len - 10),
+        )
+        .unwrap();
     });
     p.sim.run().unwrap();
     let mut f = p.sim.into_world();
@@ -376,7 +451,15 @@ fn message_longer_than_recv_buffer_reports_length_error() {
     let mut p = pair(0);
     p.sim.with_world(|ctx| {
         ctx.world
-            .post_recv(p.qp_b, RecvWr { wr_id: 5, mr: p.mr_b, offset: 0, len: 16 })
+            .post_recv(
+                p.qp_b,
+                RecvWr {
+                    wr_id: 5,
+                    mr: p.mr_b,
+                    offset: 0,
+                    len: 16,
+                },
+            )
             .unwrap();
         post_send(ctx, p.qp_a, SendWr::inline_send(1, vec![0u8; 64])).unwrap();
     });
@@ -400,21 +483,55 @@ fn post_recv_validation() {
 
     // Wrong node.
     assert_eq!(
-        fabric.post_recv(qp_a, RecvWr { wr_id: 1, mr: mr_b, offset: 0, len: 16 }),
+        fabric.post_recv(
+            qp_a,
+            RecvWr {
+                wr_id: 1,
+                mr: mr_b,
+                offset: 0,
+                len: 16
+            }
+        ),
         Err(VerbsError::WrongNode)
     );
     // No local write permission.
     assert_eq!(
-        fabric.post_recv(qp_a, RecvWr { wr_id: 1, mr: mr_ro, offset: 0, len: 16 }),
+        fabric.post_recv(
+            qp_a,
+            RecvWr {
+                wr_id: 1,
+                mr: mr_ro,
+                offset: 0,
+                len: 16
+            }
+        ),
         Err(VerbsError::AccessDenied)
     );
     // Out of bounds.
     assert_eq!(
-        fabric.post_recv(qp_a, RecvWr { wr_id: 1, mr: mr_a, offset: 4090, len: 16 }),
+        fabric.post_recv(
+            qp_a,
+            RecvWr {
+                wr_id: 1,
+                mr: mr_a,
+                offset: 4090,
+                len: 16
+            }
+        ),
         Err(VerbsError::OutOfBounds)
     );
     // Valid.
-    assert!(fabric.post_recv(qp_a, RecvWr { wr_id: 1, mr: mr_a, offset: 0, len: 4096 }).is_ok());
+    assert!(fabric
+        .post_recv(
+            qp_a,
+            RecvWr {
+                wr_id: 1,
+                mr: mr_a,
+                offset: 0,
+                len: 4096
+            }
+        )
+        .is_ok());
     assert_eq!(fabric.qp(qp_a).posted_recvs(), 1);
 }
 
@@ -424,7 +541,7 @@ fn post_send_requires_connection() {
     let a = fabric.add_node();
     let cq_a = fabric.create_cq(a);
     let qp_a = fabric.create_qp(a, cq_a, cq_a, QpAttrs::default());
-    let mut sim = Sim::new(fabric, SimConfig::default());
+    let sim = Sim::new(fabric, SimConfig::default());
     sim.with_world(|ctx| {
         let err = post_send(ctx, qp_a, SendWr::inline_send(1, vec![1])).unwrap_err();
         assert_eq!(err, VerbsError::InvalidQpState);
@@ -509,14 +626,25 @@ fn retransmission_counts_bytes_twice() {
         post_send(ctx, p.qp_a, SendWr::inline_send(1, vec![0u8; 1000])).unwrap();
         ctx.schedule_at(SimTime::from_nanos(30_000), move |c| {
             c.world
-                .post_recv(p.qp_b, RecvWr { wr_id: 7, mr: p.mr_b, offset: 0, len: 4096 })
+                .post_recv(
+                    p.qp_b,
+                    RecvWr {
+                        wr_id: 7,
+                        mr: p.mr_b,
+                        offset: 0,
+                        len: 4096,
+                    },
+                )
                 .unwrap();
         });
     });
     p.sim.run().unwrap();
     let f = p.sim.into_world();
     let launched = f.qp(p.qp_a).stats.bytes_launched.get();
-    assert!(launched >= 2000, "retransmit should re-count bytes: {launched}");
+    assert!(
+        launched >= 2000,
+        "retransmit should re-count bytes: {launched}"
+    );
     assert_eq!(f.stats.bytes_delivered.get(), 1000);
 }
 
@@ -525,17 +653,35 @@ fn rnr_timer_sets_retry_spacing() {
     // With a 60us timer and receive posted at 250us, expect ~4-5 NAKs.
     let mut params = FabricParams::mt23108();
     params.rnr_timer = SimDuration::micros(60);
-    let mut p = pair_with(params, QpAttrs { rnr_retry: None, ..Default::default() }, 0);
+    let mut p = pair_with(
+        params,
+        QpAttrs {
+            rnr_retry: None,
+            ..Default::default()
+        },
+        0,
+    );
     p.sim.with_world(|ctx| {
         post_send(ctx, p.qp_a, SendWr::inline_send(1, vec![0u8; 8])).unwrap();
         ctx.schedule_at(SimTime::from_nanos(250_000), move |c| {
             c.world
-                .post_recv(p.qp_b, RecvWr { wr_id: 7, mr: p.mr_b, offset: 0, len: 64 })
+                .post_recv(
+                    p.qp_b,
+                    RecvWr {
+                        wr_id: 7,
+                        mr: p.mr_b,
+                        offset: 0,
+                        len: 64,
+                    },
+                )
                 .unwrap();
         });
     });
     p.sim.run().unwrap();
     let f = p.sim.into_world();
     let naks = f.qp(p.qp_a).stats.rnr_naks_received.get();
-    assert!((3..=6).contains(&naks), "expected ~4-5 NAKs at 60us spacing, got {naks}");
+    assert!(
+        (3..=6).contains(&naks),
+        "expected ~4-5 NAKs at 60us spacing, got {naks}"
+    );
 }

@@ -24,18 +24,39 @@ fn ud_pair(preposted_b: usize) -> UdPair {
     let mr_b = fabric.register(b, 1 << 16, Access::LOCAL_WRITE);
     for i in 0..preposted_b {
         fabric
-            .post_recv(qp_b, RecvWr { wr_id: 100 + i as u64, mr: mr_b, offset: i * 2048, len: 2048 })
+            .post_recv(
+                qp_b,
+                RecvWr {
+                    wr_id: 100 + i as u64,
+                    mr: mr_b,
+                    offset: i * 2048,
+                    len: 2048,
+                },
+            )
             .unwrap();
     }
     let sim = Sim::new(fabric, SimConfig::default());
-    UdPair { sim, cq_a, cq_b, qp_a, qp_b, mr_b }
+    UdPair {
+        sim,
+        cq_a,
+        cq_b,
+        qp_a,
+        qp_b,
+        mr_b,
+    }
 }
 
 #[test]
 fn datagram_delivers_without_connection() {
     let mut p = ud_pair(1);
     p.sim.with_world(|ctx| {
-        post_send_ud(ctx, p.qp_a, p.qp_b, SendWr::inline_send(7, b"dgram".to_vec())).unwrap();
+        post_send_ud(
+            ctx,
+            p.qp_a,
+            p.qp_b,
+            SendWr::inline_send(7, b"dgram".to_vec()),
+        )
+        .unwrap();
     });
     p.sim.run().unwrap();
     let mut f = p.sim.into_world();
@@ -57,7 +78,13 @@ fn overflow_datagrams_are_silently_dropped() {
     let mut p = ud_pair(2);
     p.sim.with_world(|ctx| {
         for i in 0..5u64 {
-            post_send_ud(ctx, p.qp_a, p.qp_b, SendWr::inline_send(i, vec![i as u8; 32])).unwrap();
+            post_send_ud(
+                ctx,
+                p.qp_a,
+                p.qp_b,
+                SendWr::inline_send(i, vec![i as u8; 32]),
+            )
+            .unwrap();
         }
     });
     p.sim.run().unwrap();
@@ -88,10 +115,15 @@ fn datagrams_are_mtu_bounded() {
 
 #[test]
 fn rdma_rejected_on_ud() {
-    let mut p = ud_pair(1);
+    let p = ud_pair(1);
     p.sim.with_world(|ctx| {
-        let err = post_send_ud(ctx, p.qp_a, p.qp_b, SendWr::rdma_write(1, vec![1, 2], p.mr_b, 0))
-            .unwrap_err();
+        let err = post_send_ud(
+            ctx,
+            p.qp_a,
+            p.qp_b,
+            SendWr::rdma_write(1, vec![1, 2], p.mr_b, 0),
+        )
+        .unwrap_err();
         assert_eq!(err, VerbsError::InvalidQpState);
     });
 }
@@ -105,7 +137,7 @@ fn ud_to_rc_qp_rejected() {
     let cq_b = fabric.create_cq(b);
     let ud = fabric.create_qp(a, cq_a, cq_a, QpAttrs::ud());
     let rc = fabric.create_qp(b, cq_b, cq_b, QpAttrs::default());
-    let mut sim = Sim::new(fabric, SimConfig::default());
+    let sim = Sim::new(fabric, SimConfig::default());
     sim.with_world(|ctx| {
         let err = post_send_ud(ctx, ud, rc, SendWr::inline_send(1, vec![0])).unwrap_err();
         assert_eq!(err, VerbsError::InvalidQpState);
@@ -123,7 +155,15 @@ fn one_ud_qp_receives_from_many_senders() {
     let hub_mr = fabric.register(hub_node, 1 << 16, Access::LOCAL_WRITE);
     for i in 0..16 {
         fabric
-            .post_recv(hub, RecvWr { wr_id: i, mr: hub_mr, offset: i as usize * 2048, len: 2048 })
+            .post_recv(
+                hub,
+                RecvWr {
+                    wr_id: i,
+                    mr: hub_mr,
+                    offset: i as usize * 2048,
+                    len: 2048,
+                },
+            )
             .unwrap();
     }
     let mut senders = Vec::new();
@@ -135,8 +175,13 @@ fn one_ud_qp_receives_from_many_senders() {
     let mut sim = Sim::new(fabric, SimConfig::default());
     sim.with_world(|ctx| {
         for (i, &qp) in senders.iter().enumerate() {
-            post_send_ud(ctx, qp, hub, SendWr::inline_send(i as u64, vec![i as u8 + 1; 64]))
-                .unwrap();
+            post_send_ud(
+                ctx,
+                qp,
+                hub,
+                SendWr::inline_send(i as u64, vec![i as u8 + 1; 64]),
+            )
+            .unwrap();
         }
     });
     sim.run().unwrap();

@@ -93,7 +93,10 @@ pub fn run(mpi: &mut MpiRank, class: NasClass, variant: Variant) -> KernelOutput
     let me = world.my_rank(mpi);
     let (cx, cy) = (me % px, me / px);
     let n = cfg.n;
-    assert!(n % px == 0 && n % py == 0, "grid {n} must divide {px}x{py}");
+    assert!(
+        n.is_multiple_of(px) && n.is_multiple_of(py),
+        "grid {n} must divide {px}x{py}"
+    );
     let comp = variant.components();
     let (nx_l, ny_l) = (n / px, n / py);
 
@@ -130,7 +133,10 @@ pub fn run(mpi: &mut MpiRank, class: NasClass, variant: Variant) -> KernelOutput
             for val in f.v.iter_mut() {
                 *val = 0.98 * *val + 0.01;
             }
-            charge_flops(mpi, f.v.len() as f64 * (if variant == Variant::Bt { 25.0 } else { 6.0 }));
+            charge_flops(
+                mpi,
+                f.v.len() as f64 * (if variant == Variant::Bt { 25.0 } else { 6.0 }),
+            );
             // Implicit sweeps.
             let rx = solve_x(mpi, &world, &mut f, it == 0);
             let ry = solve_y(mpi, &world, &mut f, it == 0);
@@ -152,7 +158,12 @@ pub fn run(mpi: &mut MpiRank, class: NasClass, variant: Variant) -> KernelOutput
         Variant::Bt => Kernel::Bt.name(),
         Variant::Sp => Kernel::Sp.name(),
     };
-    KernelOutput { name, verified, checksum, time }
+    KernelOutput {
+        name,
+        verified,
+        checksum,
+        time,
+    }
 }
 
 /// Distributed Thomas algorithm along x for every (j, k) line and every
@@ -220,15 +231,15 @@ fn solve_z(mpi: &mut MpiRank, f: &mut Field, verify: bool) -> f64 {
                     x[k] = d_prime[k] - c_prime[k] * x[k + 1];
                 }
                 if verify {
-                    for k in 0..nz {
+                    for (k, &xk) in x.iter().enumerate() {
                         let left = if k > 0 { -x[k - 1] } else { 0.0 };
                         let right = if k + 1 < nz { -x[k + 1] } else { 0.0 };
-                        worst = worst.max((left + DIAG * x[k] + right - rhs[k]).abs());
+                        worst = worst.max((left + DIAG * xk + right - rhs[k]).abs());
                     }
                 }
-                for k in 0..nz {
+                for (k, &xk) in x.iter().enumerate() {
                     let ix = f.idx(c, i, j, k);
-                    f.v[ix] = x[k];
+                    f.v[ix] = xk;
                 }
             }
         }
@@ -272,7 +283,11 @@ fn solve_dir(
     for c in 0..comp {
         for l in 0..per_comp {
             let line = c * per_comp + l;
-            let (pc, pd) = if prev.is_some() { (in_c[line], in_d[line]) } else { (0.0, 0.0) };
+            let (pc, pd) = if prev.is_some() {
+                (in_c[line], in_d[line])
+            } else {
+                (0.0, 0.0)
+            };
             let rhs0 = get(f, c, 0, l);
             let m0 = DIAG + pc;
             cp[line * nl] = -1.0 / m0;
@@ -284,7 +299,10 @@ fn solve_dir(
             }
         }
     }
-    charge_flops(mpi, (lines * nl) as f64 * 6.0 * if comp == 5 { 5.0 } else { 1.0 });
+    charge_flops(
+        mpi,
+        (lines * nl) as f64 * 6.0 * if comp == 5 { 5.0 } else { 1.0 },
+    );
     if let Some(nx) = next {
         let mut buf = Vec::with_capacity(lines * 2);
         for line in 0..lines {
@@ -321,9 +339,12 @@ fn solve_dir(
             x_first[line] = xk;
         }
     }
-    charge_flops(mpi, (lines * nl) as f64 * 2.0 * if comp == 5 { 5.0 } else { 1.0 });
-    if prev.is_some() {
-        mpi.send_scalars(&x_first, prev.unwrap(), tag + 1);
+    charge_flops(
+        mpi,
+        (lines * nl) as f64 * 2.0 * if comp == 5 { 5.0 } else { 1.0 },
+    );
+    if let Some(prev) = prev {
+        mpi.send_scalars(&x_first, prev, tag + 1);
     }
 
     // ---- optional residual verification (one halo exchange) ----
@@ -390,7 +411,7 @@ mod tests {
     fn thomas_z_solves_exactly() {
         // Single-process field: solve_z then apply the operator.
         let n = 8;
-        let mut f = Field {
+        let f = Field {
             comp: 1,
             nx_l: 2,
             ny_l: 2,

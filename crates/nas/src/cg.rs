@@ -9,11 +9,12 @@
 //! and transpose exchanges; the 1D layout keeps the same
 //! collective-dominated signature at these scales.)
 
-use crate::common::{block_range, charge_flops, global_checksum, timed, Kernel, KernelOutput, NasClass};
+use crate::common::{
+    block_range, charge_flops, global_checksum, timed, Kernel, KernelOutput, NasClass,
+};
 use ibsim::rng::det_rng;
 use mpib::collectives::{allgather_bytes, allreduce_scalars};
 use mpib::{decode_slice, encode_slice, Comm, MpiRank, ReduceOp};
-use rand::Rng;
 
 /// Problem shape for one class.
 #[derive(Clone, Copy, Debug)]
@@ -32,9 +33,24 @@ impl CgConfig {
     /// Shape for `class`.
     pub fn for_class(class: NasClass) -> CgConfig {
         match class {
-            NasClass::Test => CgConfig { n: 256, pairs: 1_024, outer: 2, inner: 6 },
-            NasClass::W => CgConfig { n: 8_192, pairs: 49_152, outer: 3, inner: 12 },
-            NasClass::A => CgConfig { n: 8_192, pairs: 65_536, outer: 6, inner: 20 },
+            NasClass::Test => CgConfig {
+                n: 256,
+                pairs: 1_024,
+                outer: 2,
+                inner: 6,
+            },
+            NasClass::W => CgConfig {
+                n: 8_192,
+                pairs: 49_152,
+                outer: 3,
+                inner: 12,
+            },
+            NasClass::A => CgConfig {
+                n: 8_192,
+                pairs: 65_536,
+                outer: 6,
+                inner: 20,
+            },
         }
     }
 }
@@ -153,7 +169,12 @@ pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
     // Verified: CG reduced the residual hugely and zeta is sane & global.
     let checksum = global_checksum(mpi, &world, zeta / p as f64);
     let verified = final_rnorm.is_finite() && final_rnorm < 1e-3 && zeta.is_finite();
-    KernelOutput { name: Kernel::Cg.name(), verified, checksum, time }
+    KernelOutput {
+        name: Kernel::Cg.name(),
+        verified,
+        checksum,
+        time,
+    }
 }
 
 /// Sequential reference of the same algorithm (tests compare zeta).
@@ -201,7 +222,12 @@ mod tests {
 
     #[test]
     fn sequential_zeta_is_stable() {
-        let cfg = CgConfig { n: 128, pairs: 400, outer: 2, inner: 5 };
+        let cfg = CgConfig {
+            n: 128,
+            pairs: 400,
+            outer: 2,
+            inner: 5,
+        };
         let a = sequential_zeta(cfg);
         let b = sequential_zeta(cfg);
         assert_eq!(a.to_bits(), b.to_bits());
@@ -213,7 +239,12 @@ mod tests {
 
     #[test]
     fn matrix_is_symmetric() {
-        let cfg = CgConfig { n: 64, pairs: 200, outer: 1, inner: 1 };
+        let cfg = CgConfig {
+            n: 64,
+            pairs: 200,
+            outer: 1,
+            inner: 1,
+        };
         let full = build_rows(&cfg, 0, cfg.n);
         let mut m = vec![0.0f64; cfg.n * cfg.n];
         for &(r, c, v) in &full.entries {
@@ -221,7 +252,11 @@ mod tests {
         }
         for i in 0..cfg.n {
             for j in 0..cfg.n {
-                assert_eq!(m[i * cfg.n + j], m[j * cfg.n + i], "asymmetric at ({i},{j})");
+                assert_eq!(
+                    m[i * cfg.n + j],
+                    m[j * cfg.n + i],
+                    "asymmetric at ({i},{j})"
+                );
             }
         }
     }

@@ -25,8 +25,15 @@ pub enum Kernel {
 
 impl Kernel {
     /// All kernels in the paper's presentation order.
-    pub const ALL: [Kernel; 7] =
-        [Kernel::Is, Kernel::Ft, Kernel::Lu, Kernel::Cg, Kernel::Mg, Kernel::Bt, Kernel::Sp];
+    pub const ALL: [Kernel; 7] = [
+        Kernel::Is,
+        Kernel::Ft,
+        Kernel::Lu,
+        Kernel::Cg,
+        Kernel::Mg,
+        Kernel::Bt,
+        Kernel::Sp,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -43,7 +50,9 @@ impl Kernel {
 
     /// Parses a display name.
     pub fn from_name(s: &str) -> Option<Kernel> {
-        Kernel::ALL.into_iter().find(|k| k.name().eq_ignore_ascii_case(s))
+        Kernel::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(s))
     }
 
     /// True for kernels requiring a square process count (paper §6.3 runs
@@ -102,7 +111,11 @@ pub fn charge_flops(mpi: &mut MpiRank, flops: f64) {
 }
 
 /// Runs `body` between two barriers and returns `(result, timed span)`.
-pub fn timed<R>(mpi: &mut MpiRank, world: &Comm, body: impl FnOnce(&mut MpiRank) -> R) -> (R, SimDuration) {
+pub fn timed<R>(
+    mpi: &mut MpiRank,
+    world: &Comm,
+    body: impl FnOnce(&mut MpiRank) -> R,
+) -> (R, SimDuration) {
     barrier(mpi, world);
     let t0: SimTime = mpi.now();
     let r = body(mpi);

@@ -12,7 +12,6 @@ use crate::common::{charge_flops, global_checksum, timed, Kernel, KernelOutput, 
 use ibsim::rng::det_rng;
 use mpib::collectives::alltoallv_bytes;
 use mpib::{decode_slice, encode_slice, Comm, MpiRank};
-use rand::Rng;
 
 pub mod fft {
     //! Minimal iterative radix-2 complex FFT.
@@ -142,9 +141,24 @@ impl FtConfig {
     /// Shape for `class`.
     pub fn for_class(class: NasClass) -> FtConfig {
         match class {
-            NasClass::Test => FtConfig { nx: 16, ny: 8, nz: 16, iters: 2 },
-            NasClass::W => FtConfig { nx: 64, ny: 32, nz: 64, iters: 4 },
-            NasClass::A => FtConfig { nx: 128, ny: 64, nz: 128, iters: 6 },
+            NasClass::Test => FtConfig {
+                nx: 16,
+                ny: 8,
+                nz: 16,
+                iters: 2,
+            },
+            NasClass::W => FtConfig {
+                nx: 64,
+                ny: 32,
+                nz: 64,
+                iters: 4,
+            },
+            NasClass::A => FtConfig {
+                nx: 128,
+                ny: 64,
+                nz: 128,
+                iters: 6,
+            },
         }
     }
 }
@@ -190,7 +204,10 @@ fn transpose_z_to_x(
     let got = alltoallv_bytes(mpi, world, &chunks);
     // Reassemble: from src rank r we got (my x range, all y, r's z range).
     let nz = nz_l * p;
-    let mut out = Slab { re: vec![0.0; nx_l * ny * nz], im: vec![0.0; nx_l * ny * nz] };
+    let mut out = Slab {
+        re: vec![0.0; nx_l * ny * nz],
+        im: vec![0.0; nx_l * ny * nz],
+    };
     for (src, chunk) in got.iter().enumerate() {
         let vals: Vec<f64> = decode_slice(chunk);
         let z0 = src * nz_l;
@@ -240,7 +257,10 @@ fn transpose_x_to_z(
     }
     charge_flops(mpi, (nx_l * ny * nz) as f64 * 2.0);
     let got = alltoallv_bytes(mpi, world, &chunks);
-    let mut out = Slab { re: vec![0.0; nx * ny * nz_l], im: vec![0.0; nx * ny * nz_l] };
+    let mut out = Slab {
+        re: vec![0.0; nx * ny * nz_l],
+        im: vec![0.0; nx * ny * nz_l],
+    };
     for (src, chunk) in got.iter().enumerate() {
         let vals: Vec<f64> = decode_slice(chunk);
         let x0 = src * nx_l;
@@ -286,10 +306,7 @@ fn fft_xy(mpi: &mut MpiRank, s: &mut Slab, nx: usize, ny: usize, nz_l: usize, in
         }
     }
     let pts = (nx * ny * nz_l) as f64;
-    charge_flops(
-        mpi,
-        5.0 * pts * ((nx as f64).log2() + (ny as f64).log2()),
-    );
+    charge_flops(mpi, 5.0 * pts * ((nx as f64).log2() + (ny as f64).log2()));
 }
 
 /// FFT over every z-line of an x-slab field (contiguous in that layout).
@@ -308,15 +325,22 @@ pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
     let p = world.size();
     let me = world.my_rank(mpi);
     let (nx, ny, nz) = (cfg.nx, cfg.ny, cfg.nz);
-    assert!(nz % p == 0 && nx % p == 0, "grid must divide over {p} ranks");
+    assert!(
+        nz % p == 0 && nx % p == 0,
+        "grid must divide over {p} ranks"
+    );
     let nz_l = nz / p;
     let nx_l = nx / p;
 
     // Deterministic initial field on my z-slab.
     let mut rng = det_rng(0xF7_5EED, me as u64);
     let mut u = Slab {
-        re: (0..nx * ny * nz_l).map(|_| rng.gen_range(-1.0..1.0)).collect(),
-        im: (0..nx * ny * nz_l).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        re: (0..nx * ny * nz_l)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect(),
+        im: (0..nx * ny * nz_l)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect(),
     };
     let orig_re = u.re.clone();
     let orig_im = u.im.clone();
@@ -376,7 +400,12 @@ pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
     });
 
     let checksum = global_checksum(mpi, &world, local_ck);
-    KernelOutput { name: Kernel::Ft.name(), verified, checksum, time }
+    KernelOutput {
+        name: Kernel::Ft.name(),
+        verified,
+        checksum,
+        time,
+    }
 }
 
 /// Signed frequency index for dimension of extent `n`.

@@ -12,7 +12,6 @@ use crate::common::{charge_flops, global_checksum, timed, Kernel, KernelOutput, 
 use ibsim::rng::det_rng;
 use mpib::collectives::{allreduce_scalars, alltoallv_bytes};
 use mpib::{decode_slice, encode_slice, Comm, MpiRank, ReduceOp};
-use rand::Rng;
 
 /// Problem shape for one class.
 #[derive(Clone, Copy, Debug)]
@@ -29,9 +28,21 @@ impl IsConfig {
     /// Shape for `class`.
     pub fn for_class(class: NasClass) -> IsConfig {
         match class {
-            NasClass::Test => IsConfig { keys_per_rank: 2_048, log2_max_key: 11, iters: 3 },
-            NasClass::W => IsConfig { keys_per_rank: 131_072, log2_max_key: 16, iters: 10 },
-            NasClass::A => IsConfig { keys_per_rank: 524_288, log2_max_key: 19, iters: 10 },
+            NasClass::Test => IsConfig {
+                keys_per_rank: 2_048,
+                log2_max_key: 11,
+                iters: 3,
+            },
+            NasClass::W => IsConfig {
+                keys_per_rank: 131_072,
+                log2_max_key: 16,
+                iters: 10,
+            },
+            NasClass::A => IsConfig {
+                keys_per_rank: 524_288,
+                log2_max_key: 19,
+                iters: 10,
+            },
         }
     }
 }
@@ -46,7 +57,9 @@ pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
     let range = (max_key as usize).div_ceil(p) as u32;
 
     let mut rng = det_rng(0x15_5EED, me as u64);
-    let mut keys: Vec<u32> = (0..cfg.keys_per_rank).map(|_| rng.gen_range(0..max_key)).collect();
+    let mut keys: Vec<u32> = (0..cfg.keys_per_rank)
+        .map(|_| rng.gen_range(0..max_key))
+        .collect();
 
     let (verified, time) = timed(mpi, &world, |mpi| {
         let mut owned: Vec<u32> = Vec::new();
@@ -77,7 +90,10 @@ pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
 
         // Final: full local sort and distributed order verification.
         owned.sort_unstable();
-        charge_flops(mpi, owned.len() as f64 * (owned.len().max(2) as f64).log2() * 2.0);
+        charge_flops(
+            mpi,
+            owned.len() as f64 * (owned.len().max(2) as f64).log2() * 2.0,
+        );
 
         // 1. Every owned key is in my range.
         let lo = me as u32 * range;
@@ -88,11 +104,10 @@ pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
         let boundary_ok = if p > 1 {
             let right = world.world_rank((me + 1) % p);
             let left = world.world_rank((me + p - 1) % p);
-            let (_, data) =
-                mpi.sendrecv(&encode_slice(&[my_max]), right, 77, Some(left), Some(77));
+            let (_, data) = mpi.sendrecv(&encode_slice(&[my_max]), right, 77, Some(left), Some(77));
             let left_max = decode_slice::<u32>(&data)[0];
             // Wrap-around pair (last -> first) is exempt.
-            me == 0 || owned.first().map_or(true, |&min| left_max <= min)
+            me == 0 || owned.first().is_none_or(|&min| left_max <= min)
         } else {
             true
         };
@@ -103,9 +118,19 @@ pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
     });
 
     // Checksum: position-weighted sum of a sample of owned keys, reduced.
-    let local: f64 = keys.iter().take(1024).enumerate().map(|(i, &k)| (i + 1) as f64 * k as f64).sum();
+    let local: f64 = keys
+        .iter()
+        .take(1024)
+        .enumerate()
+        .map(|(i, &k)| (i + 1) as f64 * k as f64)
+        .sum();
     let checksum = global_checksum(mpi, &world, local);
-    KernelOutput { name: Kernel::Is.name(), verified, checksum, time }
+    KernelOutput {
+        name: Kernel::Is.name(),
+        verified,
+        checksum,
+        time,
+    }
 }
 
 #[cfg(test)]

@@ -48,7 +48,10 @@ const COUPLE: f64 = 0.11;
 /// `LU_FLOPS_PER_CELL` environment variable overrides it for calibration
 /// sweeps.
 fn flops_per_cell() -> f64 {
-    std::env::var("LU_FLOPS_PER_CELL").ok().and_then(|v| v.parse().ok()).unwrap_or(30.0)
+    std::env::var("LU_FLOPS_PER_CELL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30.0)
 }
 
 /// Picks the 2D process grid (px, py) with px >= py, both dividing the
@@ -56,7 +59,7 @@ fn flops_per_cell() -> f64 {
 pub fn proc_grid(p: usize) -> (usize, usize) {
     let mut best = (p, 1);
     for py in 1..=p {
-        if p % py == 0 {
+        if p.is_multiple_of(py) {
             let px = p / py;
             if px >= py {
                 best = (px, py);
@@ -106,7 +109,10 @@ pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
     let me = world.my_rank(mpi);
     let (cx, cy) = (me % px, me / px);
     let n = cfg.n;
-    assert!(n % px == 0 && n % py == 0, "grid {n} must divide process grid {px}x{py}");
+    assert!(
+        n.is_multiple_of(px) && n.is_multiple_of(py),
+        "grid {n} must divide process grid {px}x{py}"
+    );
     let (nx_l, ny_l) = (n / px, n / py);
 
     let mut loc = Local {

@@ -46,7 +46,12 @@ struct Level {
 
 impl Level {
     fn new(n: usize, nz_l: usize) -> Level {
-        Level { n, nz_l, u: vec![0.0; (nz_l + 2) * n * n], rhs: vec![0.0; nz_l * n * n] }
+        Level {
+            n,
+            nz_l,
+            u: vec![0.0; (nz_l + 2) * n * n],
+            rhs: vec![0.0; nz_l * n * n],
+        }
     }
 
     #[inline]
@@ -167,7 +172,7 @@ pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
     let p = world.size();
     let me = world.my_rank(mpi);
     let n = cfg.n;
-    assert!(n % p == 0, "nz must divide over ranks");
+    assert!(n.is_multiple_of(p), "nz must divide over ranks");
     let nz_l = n / p;
 
     // RHS: NPB-style +1/-1 point charges at deterministic positions.
@@ -216,7 +221,12 @@ pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
     // prolongation the asymptotic factor is ~0.3-0.5 per cycle; anything
     // under 0.55 per cycle proves the distributed hierarchy works.
     let verified = rn.is_finite() && rn < r0 * 0.55f64.powi(cfg.cycles as i32);
-    KernelOutput { name: Kernel::Mg.name(), verified, checksum, time }
+    KernelOutput {
+        name: Kernel::Mg.name(),
+        verified,
+        checksum,
+        time,
+    }
 }
 
 /// One V-cycle on `lvl`, recursing while the local extent allows
@@ -237,9 +247,16 @@ fn vcycle(mpi: &mut MpiRank, world: &Comm, lvl: &mut Level, tag: &mut i32) {
             for y in 0..cn {
                 for x in 0..cn {
                     let mut s = 0.0;
-                    for (dx, dy, dz) in
-                        [(0, 0, 0), (1, 0, 0), (0, 1, 0), (0, 0, 1), (1, 1, 0), (1, 0, 1), (0, 1, 1), (1, 1, 1)]
-                    {
+                    for (dx, dy, dz) in [
+                        (0, 0, 0),
+                        (1, 0, 0),
+                        (0, 1, 0),
+                        (0, 0, 1),
+                        (1, 1, 0),
+                        (1, 0, 1),
+                        (0, 1, 1),
+                        (1, 1, 1),
+                    ] {
                         s += r[((2 * zl + dz) * n + 2 * y + dy) * n + 2 * x + dx];
                     }
                     coarse.rhs[(zl * cn + y) * cn + x] = s * 0.5; // 4 * (1/8)

@@ -13,7 +13,11 @@ fn run_once(kernel: Kernel, procs: usize, cfg: MpiConfig) -> KernelOutput {
     // Every rank must agree on the checksum bitwise.
     let ck0 = out.results[0].checksum.to_bits();
     for r in &out.results {
-        assert_eq!(r.checksum.to_bits(), ck0, "{kernel:?} checksum differs across ranks");
+        assert_eq!(
+            r.checksum.to_bits(),
+            ck0,
+            "{kernel:?} checksum differs across ranks"
+        );
     }
     out.results[0].clone()
 }

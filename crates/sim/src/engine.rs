@@ -2,16 +2,13 @@
 
 use crate::error::{DeadlockInfo, SimError};
 use crate::event::{Entry, EventFn, EventKind};
-use crate::process::{
-    spawn_proc, ProcCtx, ProcId, ProcSlot, ProcStatus, ResumeSignal, YieldMsg,
-};
+use crate::process::{spawn_proc, ProcCtx, ProcId, ProcSlot, ProcStatus, ResumeSignal, YieldMsg};
 use crate::time::{SimDuration, SimTime};
 use crate::waker::Waker;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 /// Limits and knobs for a simulation run.
@@ -25,7 +22,10 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { max_events: u64::MAX, max_time: SimTime::MAX }
+        SimConfig {
+            max_events: u64::MAX,
+            max_time: SimTime::MAX,
+        }
     }
 }
 
@@ -74,6 +74,17 @@ pub(crate) struct State<W> {
 
 pub(crate) struct Shared<W> {
     pub(crate) state: Mutex<State<W>>,
+}
+
+impl<W> Shared<W> {
+    /// Locks the state, recovering from poisoning: a process panicking
+    /// inside a `with` block poisons the mutex, but the kernel still needs
+    /// the state to report the panic and tear the run down.
+    pub(crate) fn lock(&self) -> MutexGuard<'_, State<W>> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
 }
 
 /// Mutable view handed to event closures and to process `with` blocks:
@@ -154,7 +165,7 @@ pub struct Sim<W: Send + 'static> {
 impl<W: Send + 'static> Sim<W> {
     /// Creates a simulation owning `world`.
     pub fn new(world: W, config: SimConfig) -> Self {
-        let (yield_tx, yield_rx) = unbounded();
+        let (yield_tx, yield_rx) = channel();
         Sim {
             shared: Arc::new(Shared {
                 state: Mutex::new(State {
@@ -177,7 +188,7 @@ impl<W: Send + 'static> Sim<W> {
 
     /// Runs `f` against the world before (or between) runs, e.g. for setup.
     pub fn with_world<R>(&self, f: impl FnOnce(&mut Ctx<'_, W>) -> R) -> R {
-        let mut st = self.shared.state.lock();
+        let mut st = self.shared.lock();
         let State { world, sched } = &mut *st;
         f(&mut Ctx { world, sched })
     }
@@ -191,9 +202,9 @@ impl<W: Send + 'static> Sim<W> {
         body: impl FnOnce(ProcCtx<W>) + Send + 'static,
     ) -> ProcId {
         let name = name.into();
-        let (resume_tx, resume_rx) = unbounded::<ResumeSignal>();
+        let (resume_tx, resume_rx) = channel::<ResumeSignal>();
         let id = {
-            let mut st = self.shared.state.lock();
+            let mut st = self.shared.lock();
             let id = ProcId(st.sched.procs.len());
             st.sched.procs.push(ProcSlot {
                 name: name.clone(),
@@ -206,7 +217,13 @@ impl<W: Send + 'static> Sim<W> {
             st.sched.push(t, EventKind::Resume(id));
             id
         };
-        let ctx = ProcCtx::new(id, name, Arc::clone(&self.shared), resume_rx, self.yield_tx.clone());
+        let ctx = ProcCtx::new(
+            id,
+            name,
+            Arc::clone(&self.shared),
+            resume_rx,
+            self.yield_tx.clone(),
+        );
         self.handles.push(spawn_proc(ctx, body));
         id
     }
@@ -218,7 +235,7 @@ impl<W: Send + 'static> Sim<W> {
         // On failure, unpark every live process with an abort signal so the
         // threads exit, then join them all.
         if result.is_err() {
-            let st = self.shared.state.lock();
+            let st = self.shared.lock();
             for slot in &st.sched.procs {
                 if !matches!(slot.status, ProcStatus::Done) {
                     // Ignore send errors: the thread may have panicked already.
@@ -246,7 +263,7 @@ impl<W: Send + 'static> Sim<W> {
             }
 
             let action: Action<W> = {
-                let mut st = self.shared.state.lock();
+                let mut st = self.shared.lock();
                 match st.sched.queue.pop() {
                     None => {
                         let parked: Vec<(String, String)> = st
@@ -263,7 +280,10 @@ impl<W: Send + 'static> Sim<W> {
                                 procs_finished: st.sched.procs.len(),
                             })
                         } else {
-                            Action::Deadlock(DeadlockInfo { at: st.sched.now, parked })
+                            Action::Deadlock(DeadlockInfo {
+                                at: st.sched.now,
+                                parked,
+                            })
                         }
                     }
                     Some(Reverse(entry)) => {
@@ -285,13 +305,13 @@ impl<W: Send + 'static> Sim<W> {
 
             match action {
                 Action::Call(f) => {
-                    let mut st = self.shared.state.lock();
+                    let mut st = self.shared.lock();
                     let State { world, sched } = &mut *st;
                     f(&mut Ctx { world, sched });
                 }
                 Action::Handoff(p, t) => {
                     let tx = {
-                        let mut st = self.shared.state.lock();
+                        let mut st = self.shared.lock();
                         let slot = &mut st.sched.procs[p.0];
                         slot.resume_pending = false;
                         if matches!(slot.status, ProcStatus::Done) {
@@ -311,13 +331,13 @@ impl<W: Send + 'static> Sim<W> {
                     // Wait for the process to park, finish, or panic.
                     match self.yield_rx.recv() {
                         Ok(YieldMsg::Parked { proc_id, note }) => {
-                            let mut st = self.shared.state.lock();
+                            let mut st = self.shared.lock();
                             let slot = &mut st.sched.procs[proc_id.0];
                             slot.status = ProcStatus::Parked;
                             slot.park_note = note;
                         }
                         Ok(YieldMsg::Done { proc_id }) => {
-                            let mut st = self.shared.state.lock();
+                            let mut st = self.shared.lock();
                             st.sched.procs[proc_id.0].status = ProcStatus::Done;
                         }
                         Ok(YieldMsg::Panicked { proc_id, message }) => {
@@ -344,7 +364,7 @@ impl<W: Send + 'static> Sim<W> {
     }
 
     fn proc_name(&self, p: ProcId) -> String {
-        self.shared.state.lock().sched.procs[p.0].name.clone()
+        self.shared.lock().sched.procs[p.0].name.clone()
     }
 
     /// Consumes the simulation and returns the world (for post-run
@@ -354,7 +374,7 @@ impl<W: Send + 'static> Sim<W> {
         // spawned threads are still blocked on their first resume, so drop
         // their channels first by aborting them.
         {
-            let st = self.shared.state.lock();
+            let st = self.shared.lock();
             for slot in &st.sched.procs {
                 if !matches!(slot.status, ProcStatus::Done) {
                     let _ = slot.resume_tx.send(ResumeSignal::Abort);
@@ -368,6 +388,7 @@ impl<W: Send + 'static> Sim<W> {
             .unwrap_or_else(|_| panic!("outstanding references to simulation state"))
             .state
             .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .world
     }
 }
@@ -388,11 +409,15 @@ mod tests {
     fn scheduled_events_run_in_order() {
         let mut sim: Sim<Vec<u64>> = Sim::new(Vec::new(), SimConfig::default());
         sim.with_world(|ctx| {
-            ctx.schedule_at(SimTime::from_nanos(20), |c| c.world.push(c.now().as_nanos()));
+            ctx.schedule_at(SimTime::from_nanos(20), |c| {
+                c.world.push(c.now().as_nanos())
+            });
             ctx.schedule_at(SimTime::from_nanos(10), |c| {
                 c.world.push(c.now().as_nanos());
                 // Nested scheduling from inside an event.
-                c.schedule_after(SimDuration::nanos(5), |c2| c2.world.push(c2.now().as_nanos()));
+                c.schedule_after(SimDuration::nanos(5), |c2| {
+                    c2.world.push(c2.now().as_nanos())
+                });
             });
         });
         sim.run().unwrap();
@@ -445,7 +470,14 @@ mod tests {
             waiter: Option<Waker>,
             observed_at: u64,
         }
-        let mut sim: Sim<W> = Sim::new(W { flag: false, waiter: None, observed_at: 0 }, SimConfig::default());
+        let mut sim: Sim<W> = Sim::new(
+            W {
+                flag: false,
+                waiter: None,
+                observed_at: 0,
+            },
+            SimConfig::default(),
+        );
         sim.with_world(|ctx| {
             ctx.schedule_at(SimTime::from_nanos(500), |c| {
                 c.world.flag = true;
@@ -507,7 +539,13 @@ mod tests {
 
     #[test]
     fn event_limit_guards_livelock() {
-        let mut sim: Sim<()> = Sim::new((), SimConfig { max_events: 100, ..Default::default() });
+        let mut sim: Sim<()> = Sim::new(
+            (),
+            SimConfig {
+                max_events: 100,
+                ..Default::default()
+            },
+        );
         // A self-perpetuating timer chain.
         sim.with_world(|ctx| {
             fn tick(c: &mut Ctx<'_, ()>) {
@@ -515,13 +553,21 @@ mod tests {
             }
             ctx.schedule_at(SimTime::ZERO, tick);
         });
-        assert!(matches!(sim.run(), Err(SimError::EventLimitExceeded { .. })));
+        assert!(matches!(
+            sim.run(),
+            Err(SimError::EventLimitExceeded { .. })
+        ));
     }
 
     #[test]
     fn time_limit_guards_runaway_clock() {
-        let mut sim: Sim<()> =
-            Sim::new((), SimConfig { max_time: SimTime::from_nanos(50), ..Default::default() });
+        let mut sim: Sim<()> = Sim::new(
+            (),
+            SimConfig {
+                max_time: SimTime::from_nanos(50),
+                ..Default::default()
+            },
+        );
         sim.spawn("slow", |mut p| {
             p.advance(SimDuration::nanos(200));
         });

@@ -46,7 +46,12 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Deadlock(info) => {
-                writeln!(f, "deadlock at {}: {} process(es) parked forever:", info.at, info.parked.len())?;
+                writeln!(
+                    f,
+                    "deadlock at {}: {} process(es) parked forever:",
+                    info.at,
+                    info.parked.len()
+                )?;
                 for (name, note) in &info.parked {
                     writeln!(f, "  - {name}: {note}")?;
                 }
@@ -83,7 +88,11 @@ mod tests {
 
     #[test]
     fn display_limits() {
-        let s = SimError::EventLimitExceeded { events: 10, at: SimTime::ZERO }.to_string();
+        let s = SimError::EventLimitExceeded {
+            events: 10,
+            at: SimTime::ZERO,
+        }
+        .to_string();
         assert!(s.contains("event limit"), "{s}");
         let s = SimError::TimeLimitExceeded { at: SimTime::ZERO }.to_string();
         assert!(s.contains("time limit"), "{s}");

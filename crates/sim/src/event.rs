@@ -52,7 +52,11 @@ mod tests {
     use std::collections::BinaryHeap;
 
     fn entry(time: u64, seq: u64) -> Entry<()> {
-        Entry { time: SimTime::from_nanos(time), seq, kind: EventKind::Resume(ProcId(0)) }
+        Entry {
+            time: SimTime::from_nanos(time),
+            seq,
+            kind: EventKind::Resume(ProcId(0)),
+        }
     }
 
     #[test]

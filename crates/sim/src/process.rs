@@ -3,8 +3,8 @@
 use crate::engine::{Ctx, Shared, State};
 use crate::time::{SimDuration, SimTime};
 use crate::waker::Waker;
-use crossbeam::channel::{Receiver, Sender};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -71,7 +71,14 @@ impl<W: Send + 'static> ProcCtx<W> {
         resume_rx: Receiver<ResumeSignal>,
         yield_tx: Sender<YieldMsg>,
     ) -> Self {
-        ProcCtx { id, name, shared, resume_rx, yield_tx, local_now: SimTime::ZERO }
+        ProcCtx {
+            id,
+            name,
+            shared,
+            resume_rx,
+            yield_tx,
+            local_now: SimTime::ZERO,
+        }
     }
 
     /// This process's identifier.
@@ -103,7 +110,7 @@ impl<W: Send + 'static> ProcCtx<W> {
     /// Runs `f` with exclusive access to the world and scheduler.
     /// The closure runs at the current instant and consumes no virtual time.
     pub fn with<R>(&self, f: impl FnOnce(&mut Ctx<'_, W>) -> R) -> R {
-        let mut st = self.shared.state.lock();
+        let mut st = self.shared.lock();
         let State { world, sched } = &mut *st;
         debug_assert_eq!(
             sched.now, self.local_now,
@@ -117,7 +124,10 @@ impl<W: Send + 'static> ProcCtx<W> {
     /// their condition in a loop.
     pub fn park(&mut self, note: &str) {
         self.yield_tx
-            .send(YieldMsg::Parked { proc_id: self.id, note: note.to_string() })
+            .send(YieldMsg::Parked {
+                proc_id: self.id,
+                note: note.to_string(),
+            })
             .expect("kernel gone while parking");
         self.block_for_resume();
     }
@@ -130,7 +140,7 @@ impl<W: Send + 'static> ProcCtx<W> {
             return;
         }
         let wake_at = {
-            let mut st = self.shared.state.lock();
+            let mut st = self.shared.lock();
             let t = st.sched.now + dt;
             // Directly schedule our own resume; bypass the pending check by
             // clearing it first (we are running, so no resume is pending...
@@ -142,7 +152,10 @@ impl<W: Send + 'static> ProcCtx<W> {
         };
         loop {
             self.yield_tx
-                .send(YieldMsg::Parked { proc_id: self.id, note: "advancing clock".to_string() })
+                .send(YieldMsg::Parked {
+                    proc_id: self.id,
+                    note: "advancing clock".to_string(),
+                })
                 .expect("kernel gone while advancing");
             self.block_for_resume();
             if self.local_now >= wake_at {
@@ -209,7 +222,10 @@ pub(crate) fn spawn_proc<W: Send + 'static>(
                     // `&*payload`, not `&payload`: the latter would unsize
                     // the Box itself into `dyn Any` and defeat downcasting.
                     let message = panic_message(&*payload);
-                    let _ = yield_tx.send(YieldMsg::Panicked { proc_id: id, message });
+                    let _ = yield_tx.send(YieldMsg::Panicked {
+                        proc_id: id,
+                        message,
+                    });
                 }
             }
         })

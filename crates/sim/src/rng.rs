@@ -1,25 +1,42 @@
-//! Deterministic random number generation helpers.
+//! Deterministic random number generation, implemented in-repo.
 //!
 //! Every stochastic element of a simulation (workload contents, key
 //! distributions) derives from an explicit `(seed, stream)` pair so that
 //! runs are bit-reproducible across schemes — the paper's comparisons are
 //! between flow control schemes under *identical* workloads.
+//!
+//! The generator is **xoshiro256\*\*** (Blackman & Vigna), seeded through
+//! SplitMix64 over the `(seed, stream)` pair. Both algorithms are public
+//! domain and small enough to carry in-tree, which keeps the build hermetic:
+//! no registry crate is needed to reproduce the paper's workloads, and the
+//! exact byte stream behind every published number is pinned by this file
+//! rather than by an external crate version.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+/// A deterministic xoshiro256\*\* generator.
+///
+/// Construct via [`det_rng`]; all simulation randomness must flow through a
+/// `(seed, stream)` pair so results stay reproducible.
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    s: [u64; 4],
+}
 
 /// Builds a deterministic RNG for `(seed, stream)`.
 ///
 /// Different streams from the same seed are statistically independent; the
-/// mixing is SplitMix64 over the pair, feeding a [`StdRng`].
-pub fn det_rng(seed: u64, stream: u64) -> StdRng {
+/// mixing is SplitMix64 over the pair, feeding the xoshiro256\*\* state.
+pub fn det_rng(seed: u64, stream: u64) -> DetRng {
     let mut state = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    let mut key = [0u8; 32];
-    for chunk in key.chunks_mut(8) {
-        state = splitmix64(&mut state);
-        chunk.copy_from_slice(&state.to_le_bytes());
+    let mut s = [0u64; 4];
+    for word in &mut s {
+        *word = splitmix64(&mut state);
     }
-    StdRng::from_seed(key)
+    // xoshiro256** is ill-defined on the all-zero state; SplitMix64 cannot
+    // produce four zero outputs in a row, but guard anyway.
+    if s == [0; 4] {
+        s[0] = 0x9E37_79B9_7F4A_7C15;
+    }
+    DetRng { s }
 }
 
 fn splitmix64(state: &mut u64) -> u64 {
@@ -30,17 +47,106 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+impl DetRng {
+    /// Next 64 uniformly distributed bits.
+    pub fn gen_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.gen_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform value in the half-open range `lo..hi` (`hi` exclusive).
+    /// Panics if the range is empty.
+    pub fn gen_range<T: SampleRange>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample(self, range.start, range.end)
+    }
+
+    /// Uniform `u64` in `[0, n)` via Lemire's multiply-shift with rejection
+    /// (unbiased). Panics if `n == 0`.
+    pub fn gen_u64_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "gen_u64_below(0)");
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let m = (self.gen_u64() as u128) * (n as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// Types that [`DetRng::gen_range`] can sample uniformly from a half-open
+/// range.
+pub trait SampleRange: Sized {
+    /// Uniform sample from `lo..hi`; panics on an empty range.
+    fn sample(rng: &mut DetRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(rng: &mut DetRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range in gen_range");
+                lo + rng.gen_u64_below((hi - lo) as u64) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(rng: &mut DetRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range in gen_range");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + rng.gen_u64_below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_int!(i8, i16, i32, i64, isize);
+
+impl SampleRange for f64 {
+    fn sample(rng: &mut DetRng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty range in gen_range");
+        let v = lo + rng.gen_f64() * (hi - lo);
+        // Rounding can land exactly on `hi`; fold back inside the range.
+        if v >= hi {
+            lo.max(hi - (hi - lo) * f64::EPSILON)
+        } else {
+            v
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn same_pair_same_stream() {
         let mut a = det_rng(42, 7);
         let mut b = det_rng(42, 7);
-        let xs: Vec<u64> = (0..16).map(|_| a.gen()).collect();
-        let ys: Vec<u64> = (0..16).map(|_| b.gen()).collect();
+        let xs: Vec<u64> = (0..64).map(|_| a.gen_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.gen_u64()).collect();
         assert_eq!(xs, ys);
     }
 
@@ -48,8 +154,8 @@ mod tests {
     fn different_streams_diverge() {
         let mut a = det_rng(42, 0);
         let mut b = det_rng(42, 1);
-        let xs: Vec<u64> = (0..16).map(|_| a.gen()).collect();
-        let ys: Vec<u64> = (0..16).map(|_| b.gen()).collect();
+        let xs: Vec<u64> = (0..16).map(|_| a.gen_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.gen_u64()).collect();
         assert_ne!(xs, ys);
     }
 
@@ -57,6 +163,117 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = det_rng(1, 0);
         let mut b = det_rng(2, 0);
-        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+        assert_ne!(a.gen_u64(), b.gen_u64());
+    }
+
+    #[test]
+    fn stream_is_pinned() {
+        // The exact output is part of the repo's reproducibility contract:
+        // published figures derive from these bytes. If this test breaks,
+        // every golden snapshot breaks with it — change both deliberately.
+        let mut r = det_rng(0, 0);
+        let first: Vec<u64> = (0..4).map(|_| r.gen_u64()).collect();
+        let again: Vec<u64> = {
+            let mut r2 = det_rng(0, 0);
+            (0..4).map(|_| r2.gen_u64()).collect()
+        };
+        assert_eq!(first, again);
+        // Spot-check against an independent evaluation of
+        // splitmix64-seeded xoshiro256**.
+        let mut state = 0u64;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut state);
+        }
+        let expected = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        assert_eq!(first[0], expected);
+    }
+
+    #[test]
+    fn gen_range_respects_integer_bounds() {
+        let mut r = det_rng(7, 7);
+        for _ in 0..2000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(0u32..1);
+            assert_eq!(w, 0);
+            let s = r.gen_range(-5i64..6);
+            assert!((-5..6).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_every_value_of_a_small_range() {
+        let mut r = det_rng(11, 0);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..8)] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "some value never sampled: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn gen_range_respects_float_bounds() {
+        let mut r = det_rng(13, 99);
+        for _ in 0..2000 {
+            let v = r.gen_range(-0.45..0.45);
+            assert!((-0.45..0.45).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval_and_roughly_uniform() {
+        let mut r = det_rng(5, 5);
+        let n = 20_000;
+        let mut sum = 0.0;
+        let mut buckets = [0u32; 10];
+        for _ in 0..n {
+            let v = r.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+            buckets[(v * 10.0) as usize] += 1;
+        }
+        let mean = sum / n as f64;
+        assert!((0.48..0.52).contains(&mean), "mean {mean} off-center");
+        for (i, &b) in buckets.iter().enumerate() {
+            let frac = b as f64 / n as f64;
+            assert!((0.08..0.12).contains(&frac), "bucket {i} holds {frac}");
+        }
+    }
+
+    #[test]
+    fn gen_u64_bits_are_balanced() {
+        // Each of the 64 bit positions should be set ~half the time.
+        let mut r = det_rng(1234, 1);
+        let n = 8192;
+        let mut counts = [0u32; 64];
+        for _ in 0..n {
+            let v = r.gen_u64();
+            for (bit, c) in counts.iter_mut().enumerate() {
+                *c += ((v >> bit) & 1) as u32;
+            }
+        }
+        for (bit, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / n as f64;
+            assert!((0.45..0.55).contains(&frac), "bit {bit} frac {frac}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = det_rng(77, 0);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "{hits} hits for p=0.25");
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        det_rng(0, 0).gen_range(5u32..5);
     }
 }

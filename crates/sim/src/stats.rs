@@ -65,7 +65,13 @@ pub struct Histogram {
 
 impl Default for Histogram {
     fn default() -> Self {
-        Histogram { buckets: [0; 64], count: 0, sum: 0, min: None, max: 0 }
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            min: None,
+            max: 0,
+        }
     }
 }
 
@@ -77,7 +83,11 @@ impl Histogram {
 
     /// Records one observation.
     pub fn record(&mut self, v: u64) {
-        let idx = if v == 0 { 0 } else { 64 - v.leading_zeros() as usize };
+        let idx = if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        };
         self.buckets[idx.min(63)] += 1;
         self.count += 1;
         self.sum += v;

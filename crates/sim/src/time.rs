@@ -260,10 +260,7 @@ mod tests {
         // 1 byte at 3 GB/s = 1/3 ns, rounded up to 1.
         assert_eq!(SimDuration::for_bytes(1, 3_000_000_000).as_nanos(), 1);
         // 2048 bytes at 1 GB/s = 2048 ns.
-        assert_eq!(
-            SimDuration::for_bytes(2048, 1_000_000_000).as_nanos(),
-            2048
-        );
+        assert_eq!(SimDuration::for_bytes(2048, 1_000_000_000).as_nanos(), 2048);
         // Zero bytes costs zero regardless of rate.
         assert_eq!(SimDuration::for_bytes(0, 7).as_nanos(), 0);
     }

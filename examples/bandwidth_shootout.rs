@@ -29,7 +29,9 @@ fn bandwidth(scheme: FlowControlScheme, prepost: u32, window: u32) -> f64 {
                     mpi.waitall(&reqs);
                     let _ = mpi.recv(Some(peer), Some(3));
                 } else {
-                    let reqs: Vec<_> = (0..window).map(|_| mpi.irecv(Some(peer), Some(2))).collect();
+                    let reqs: Vec<_> = (0..window)
+                        .map(|_| mpi.irecv(Some(peer), Some(2)))
+                        .collect();
                     mpi.waitall(&reqs);
                     mpi.send(&[0u8; 4], peer, 3);
                 }
@@ -48,12 +50,19 @@ fn bandwidth(scheme: FlowControlScheme, prepost: u32, window: u32) -> f64 {
 fn main() {
     let prepost = 10;
     println!("4-byte message bandwidth (MB/s), pre-post = {prepost} buffers/connection\n");
-    println!("{:>8} {:>14} {:>14} {:>14}", "window", "hardware", "user-static", "user-dynamic");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "window", "hardware", "user-static", "user-dynamic"
+    );
     for window in [1u32, 4, 8, 16, 32, 64, 100] {
         let hw = bandwidth(FlowControlScheme::Hardware, prepost, window);
         let st = bandwidth(FlowControlScheme::UserStatic, prepost, window);
         let dy = bandwidth(FlowControlScheme::UserDynamic, prepost, window);
-        let marker = if window > prepost { "  <- window exceeds pool" } else { "" };
+        let marker = if window > prepost {
+            "  <- window exceeds pool"
+        } else {
+            ""
+        };
         println!("{window:>8} {hw:>14.3} {st:>14.3} {dy:>14.3}{marker}");
     }
     println!(

@@ -20,7 +20,9 @@ fn pattern(mpi: &mut ibflow::mpib::MpiRank) -> u64 {
     // Pre-posting the receives keeps this a *safe* MPI program: any
     // correct flow control design must complete it.
     let rreqs: Vec<_> = (0..30).map(|_| mpi.irecv(Some(peer), Some(0))).collect();
-    let sreqs: Vec<_> = (0..30u32).map(|i| mpi.isend(&i.to_le_bytes(), peer, 0)).collect();
+    let sreqs: Vec<_> = (0..30u32)
+        .map(|i| mpi.isend(&i.to_le_bytes(), peer, 0))
+        .collect();
     mpi.waitall(&sreqs);
     let mut sum = 0u64;
     for r in rreqs {
@@ -37,7 +39,10 @@ fn run(mode: CreditMsgMode) -> Result<u64, MpiRunError> {
     };
     // A generous virtual-time budget: a wedged run ends in a clean
     // deadlock report instead of spinning.
-    let limits = SimConfig { max_time: SimTime::from_nanos(50_000_000), ..Default::default() };
+    let limits = SimConfig {
+        max_time: SimTime::from_nanos(50_000_000),
+        ..Default::default()
+    };
     MpiWorld::run_with_limits(2, cfg, FabricParams::mt23108(), limits, pattern)
         .map(|out| out.results[0])
 }
@@ -45,9 +50,18 @@ fn run(mode: CreditMsgMode) -> Result<u64, MpiRunError> {
 fn main() {
     println!("Bidirectional 30-message burst, 2 pre-posted buffers per connection.\n");
     for (name, mode) in [
-        ("optimistic credit messages (the paper's scheme)", CreditMsgMode::Optimistic),
-        ("RDMA-written credit mailboxes (the paper's alternative)", CreditMsgMode::Rdma),
-        ("naive credit-gated credit messages (broken on purpose)", CreditMsgMode::NaiveGated),
+        (
+            "optimistic credit messages (the paper's scheme)",
+            CreditMsgMode::Optimistic,
+        ),
+        (
+            "RDMA-written credit mailboxes (the paper's alternative)",
+            CreditMsgMode::Rdma,
+        ),
+        (
+            "naive credit-gated credit messages (broken on purpose)",
+            CreditMsgMode::NaiveGated,
+        ),
     ] {
         println!("== {name}");
         match run(mode) {

@@ -17,7 +17,10 @@ fn main() {
         .get(1)
         .map(|s| Kernel::from_name(s).expect("unknown kernel (IS FT LU CG MG BT SP)"))
         .unwrap_or(Kernel::Lu);
-    let prepost: u32 = args.get(2).map(|s| s.parse().expect("prepost")).unwrap_or(1);
+    let prepost: u32 = args
+        .get(2)
+        .map(|s| s.parse().expect("prepost"))
+        .unwrap_or(1);
     let procs = kernel.paper_procs();
 
     println!(
@@ -43,7 +46,10 @@ fn main() {
         println!(
             "{:>13} {:>10.2} {:>9} {:>10.1} {:>8} {:>8} {:>6}",
             scheme.label(),
-            out.results.iter().map(|r| r.time.as_secs_f64() * 1e3).fold(0.0, f64::max),
+            out.results
+                .iter()
+                .map(|r| r.time.as_secs_f64() * 1e3)
+                .fold(0.0, f64::max),
             k.verified,
             out.stats.avg_ecm_per_connection(),
             out.stats.max_posted_buffers(),

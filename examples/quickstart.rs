@@ -28,8 +28,7 @@ fn main() {
         // A neighbour exchange, just to show point-to-point traffic.
         let right = (me + 1) % mpi.size();
         let left = (me + mpi.size() - 1) % mpi.size();
-        let (status, from_left) =
-            mpi.sendrecv(&local.to_le_bytes(), right, 7, Some(left), Some(7));
+        let (status, from_left) = mpi.sendrecv(&local.to_le_bytes(), right, 7, Some(left), Some(7));
         let left_val = f64::from_le_bytes(from_left.try_into().unwrap());
         println!(
             "rank {me}: local dot = {local:>12.0}, neighbour {} contributed {left_val:>12.0}",
@@ -43,7 +42,10 @@ fn main() {
 
     let n_total = 4 * n_per_rank;
     let expect = (n_total * (n_total + 1) / 2) as f64;
-    println!("\nglobal dot product: {} (expected {expect})", out.results[0]);
+    println!(
+        "\nglobal dot product: {} (expected {expect})",
+        out.results[0]
+    );
     println!("virtual time: {}", out.end_time);
     println!("simulator events: {}", out.events);
     assert_eq!(out.results[0], expect);

@@ -48,7 +48,9 @@ fn fabric_stats_surface_through_umbrella() {
     let cfg = MpiConfig::scheme(FlowControlScheme::Hardware, 1);
     let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), |mpi| {
         if mpi.rank() == 0 {
-            let reqs: Vec<_> = (0..30u32).map(|i| mpi.isend(&i.to_le_bytes(), 1, 0)).collect();
+            let reqs: Vec<_> = (0..30u32)
+                .map(|i| mpi.isend(&i.to_le_bytes(), 1, 0))
+                .collect();
             mpi.waitall(&reqs);
         } else {
             mpi.compute(SimDuration::millis(1));
@@ -60,7 +62,10 @@ fn fabric_stats_surface_through_umbrella() {
     .unwrap();
     assert!(out.fabric.stats.rnr_naks.get() > 0);
     assert!(out.fabric.stats.msgs_delivered.get() >= 30);
-    assert_eq!(out.fabric.stats.retransmissions.get(), out.fabric.stats.rnr_naks.get());
+    assert_eq!(
+        out.fabric.stats.retransmissions.get(),
+        out.fabric.stats.rnr_naks.get()
+    );
 }
 
 #[test]

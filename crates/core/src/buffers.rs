@@ -48,6 +48,7 @@ pub(crate) fn decode_wrid(wr_id: u64) -> (WrKind, u64) {
         4 => WrKind::Ecm,
         5 => WrKind::CreditRdma,
         6 => WrKind::RingWrite,
+        // simlint: allow(no-panic-in-lib): wr_ids only come from encode_wrid; a corrupt kind tag is a simulator bug
         other => panic!("corrupt wr_id kind {other}"),
     };
     (kind, wr_id & ((1u64 << 56) - 1))

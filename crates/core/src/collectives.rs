@@ -230,8 +230,8 @@ pub fn allgather_bytes(mpi: &mut MpiRank, comm: &Comm, mine: &[u8]) -> Vec<Vec<u
             let (_s, data) = mpi.wait_recv(rreq);
             let mut off = 0;
             while off < data.len() {
-                let idx = u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize;
-                let len = u32::from_le_bytes(data[off + 4..off + 8].try_into().unwrap()) as usize;
+                let idx = crate::wire::u32_at(&data, off) as usize;
+                let len = crate::wire::u32_at(&data, off + 4) as usize;
                 chunks[idx] = data[off + 8..off + 8 + len].to_vec();
                 off += 8 + len;
             }
@@ -383,6 +383,7 @@ pub fn scatter_bytes(
     let me = comm.my_rank(mpi);
     let tag = mpi.coll_tag(comm);
     if me == root {
+        // simlint: allow(no-panic-in-lib): documented API contract — the root rank must pass Some(chunks)
         let chunks = chunks.expect("root must supply chunks");
         assert_eq!(chunks.len(), n);
         let mut reqs = Vec::new();

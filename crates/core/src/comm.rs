@@ -51,6 +51,7 @@ impl Comm {
     /// Panics if the process is not a member.
     pub fn my_rank(&self, mpi: &MpiRank) -> usize {
         self.rank_of(mpi.rank())
+            // simlint: allow(no-panic-in-lib): documented panic — calling a collective on a communicator you are not part of is caller error
             .expect("not a member of this communicator")
     }
 }
@@ -71,6 +72,7 @@ impl MpiRank {
         self.next_ctx = self
             .next_ctx
             .checked_add(1)
+            // simlint: allow(no-panic-in-lib): 65535 communicator creations exhaust the u16 context space; overflow-wrapping would alias live communicators
             .expect("communicator contexts exhausted");
         if color < 0 {
             return None;

@@ -42,6 +42,18 @@ pub(crate) struct Conn {
     /// explicit message resets this).
     pub consumed_since_update: u32,
 
+    // ---- conservation ledger (checked by `debug_check_conservation`) ----
+    /// Cumulative credits ever granted to this endpoint: the initial pool
+    /// plus every piggybacked / explicit / mailbox return.
+    pub granted_total: u64,
+    /// Cumulative credits this endpoint has spent sending.
+    pub spent_total: u64,
+    /// Cumulative peer-owed credits accrued by this endpoint: buffers
+    /// consumed by credit-carrying messages plus dynamic pool growth.
+    pub consumed_total: u64,
+    /// Cumulative credits this endpoint has returned to the peer.
+    pub returned_total: u64,
+
     // ---- RDMA credit mailboxes (CreditMsgMode::Rdma) ----
     /// Region the *peer* writes cumulative credit counts into; this
     /// endpoint polls it during progress.
@@ -104,6 +116,10 @@ impl Conn {
             prepost_target: prepost,
             posted: 0,
             consumed_since_update: 0,
+            granted_total: 0,
+            spent_total: 0,
+            consumed_total: 0,
+            returned_total: 0,
             my_mailbox,
             mailbox_seen: 0,
             peer_mailbox,
@@ -130,22 +146,72 @@ impl Conn {
     /// hardware flow control absorbs the transient.
     pub fn apply_credits(&mut self, n: u32) {
         self.credits += n;
+        self.granted_total += u64::from(n);
+    }
+
+    /// Spends one send credit, keeping the ledger in lockstep.
+    pub fn spend_credit(&mut self) {
+        debug_assert!(self.credits > 0, "spending a credit on an empty pool");
+        self.credits -= 1;
+        self.spent_total += 1;
+    }
+
+    /// Records `n` peer-owed credits: buffers this endpoint consumed and
+    /// reposted, or fresh grants from dynamic pool growth. They sit in
+    /// `consumed_since_update` until a return path drains them.
+    pub fn note_consumed(&mut self, n: u32) {
+        self.consumed_since_update += n;
+        self.consumed_total += u64::from(n);
     }
 
     /// Takes the pending credit return for piggybacking onto an outgoing
     /// header (clamped to the wire field width).
     pub fn take_piggyback_credits(&mut self) -> u16 {
-        let n = self.consumed_since_update.min(u16::MAX as u32) as u16;
-        self.consumed_since_update -= n as u32;
-        self.stats.credits_piggybacked.add(n as u64);
+        let n = u16::try_from(self.consumed_since_update).unwrap_or(u16::MAX);
+        self.consumed_since_update -= u32::from(n);
+        self.returned_total += u64::from(n);
+        self.stats.credits_piggybacked.add(u64::from(n));
         n
     }
 
     /// Takes the pending ring-slot return for piggybacking.
     pub fn take_piggyback_ring_credits(&mut self) -> u16 {
-        let n = self.ring_consumed_since_update.min(u16::MAX as u32) as u16;
-        self.ring_consumed_since_update -= n as u32;
+        let n = u16::try_from(self.ring_consumed_since_update).unwrap_or(u16::MAX);
+        self.ring_consumed_since_update -= u32::from(n);
         n
+    }
+
+    /// Debug-build credit-conservation check. Two local invariants hold at
+    /// every progress-engine quiescent point, regardless of what is in
+    /// flight on the wire:
+    ///
+    /// * sender side — every credit granted is either spent or still held:
+    ///   `granted_total == spent_total + credits`;
+    /// * receiver side — every credit owed is either returned or still
+    ///   pending: `consumed_total == returned_total + consumed_since_update`.
+    ///
+    /// (A global `credits <= pool` bound deliberately does NOT hold: each
+    /// optimistic rendezvous loan permanently floats one credit, see
+    /// [`Conn::apply_credits`].)
+    pub fn debug_check_conservation(&self) {
+        debug_assert_eq!(
+            self.granted_total,
+            self.spent_total + u64::from(self.credits),
+            "credit leak toward peer {}: granted {} != spent {} + held {}",
+            self.peer,
+            self.granted_total,
+            self.spent_total,
+            self.credits,
+        );
+        debug_assert_eq!(
+            self.consumed_total,
+            self.returned_total + u64::from(self.consumed_since_update),
+            "credit-return leak toward peer {}: consumed {} != returned {} + pending {}",
+            self.peer,
+            self.consumed_total,
+            self.returned_total,
+            self.consumed_since_update,
+        );
     }
 
     /// Stamps and returns the next send sequence number.
@@ -177,11 +243,37 @@ mod tests {
     #[test]
     fn piggyback_drains_consumed() {
         let mut c = conn();
-        c.consumed_since_update = 7;
+        c.note_consumed(7);
         assert_eq!(c.take_piggyback_credits(), 7);
         assert_eq!(c.consumed_since_update, 0);
         assert_eq!(c.take_piggyback_credits(), 0);
         assert_eq!(c.stats.credits_piggybacked.get(), 7);
+        c.debug_check_conservation();
+    }
+
+    #[test]
+    fn ledger_tracks_grants_and_spends() {
+        let mut c = conn();
+        c.apply_credits(4);
+        c.spend_credit();
+        c.spend_credit();
+        assert_eq!(c.credits, 2);
+        assert_eq!(c.granted_total, 4);
+        assert_eq!(c.spent_total, 2);
+        c.note_consumed(3);
+        let _ = c.take_piggyback_credits();
+        assert_eq!(c.consumed_total, 3);
+        assert_eq!(c.returned_total, 3);
+        c.debug_check_conservation();
+    }
+
+    #[test]
+    #[should_panic(expected = "credit leak")]
+    #[cfg(debug_assertions)]
+    fn ledger_catches_untracked_credits() {
+        let mut c = conn();
+        c.credits = 5; // bypasses the ledger on purpose
+        c.debug_check_conservation();
     }
 
     #[test]

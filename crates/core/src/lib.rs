@@ -81,7 +81,7 @@ mod requests;
 mod scalar;
 mod stats;
 mod types;
-mod wire;
+pub mod wire;
 mod world;
 
 pub use comm::Comm;
@@ -91,5 +91,5 @@ pub use requests::ReqId;
 pub use scalar::{decode_into, decode_slice, encode_slice, ReduceOp, Scalar};
 pub use stats::{ConnStats, RankStats, WorldStats};
 pub use types::{Rank, Status, Tag};
-pub use wire::HEADER_LEN;
+pub use wire::{MsgHeader, MsgKind, WireError, HEADER_LEN};
 pub use world::{MpiRunError, MpiRunOutput, MpiWorld};

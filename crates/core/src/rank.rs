@@ -10,7 +10,7 @@ use crate::types::{CommCtx, Rank, Tag};
 use crate::wire::{MsgHeader, MsgKind};
 use ibfabric::{CqId, Fabric, NodeId, QpId, RecvWr, SendOp, SendWr};
 use ibsim::{ProcCtx, SimDuration};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// A message that arrived before a matching receive was posted.
 #[derive(Debug)]
@@ -63,7 +63,7 @@ pub struct MpiRank {
     pub(crate) cq: CqId,
     /// Per-peer connections (the self slot is `None`).
     pub(crate) conns: Vec<Option<Conn>>,
-    pub(crate) qp_to_peer: HashMap<QpId, Rank>,
+    pub(crate) qp_to_peer: BTreeMap<QpId, Rank>,
     pub(crate) reqs: ReqTable,
     /// Posted receives in matching order.
     pub(crate) posted_recvs: Vec<crate::requests::ReqId>,
@@ -80,7 +80,7 @@ pub struct MpiRank {
     /// lockstep across ranks by collective call ordering).
     pub(crate) next_ctx: CommCtx,
     /// Per-communicator collective sequence numbers (tag disambiguation).
-    pub(crate) coll_seq: HashMap<CommCtx, u32>,
+    pub(crate) coll_seq: BTreeMap<CommCtx, u32>,
 }
 
 impl MpiRank {
@@ -108,7 +108,7 @@ impl MpiRank {
             outstanding_ctrl: 0,
             pending_charge: SimDuration::ZERO,
             next_ctx: 1,
-            coll_seq: HashMap::new(),
+            coll_seq: BTreeMap::new(),
         }
     }
 
@@ -151,10 +151,12 @@ impl MpiRank {
     }
 
     pub(crate) fn conn(&self, peer: Rank) -> &Conn {
+        // simlint: allow(no-panic-in-lib): only the self slot is None and no code path messages itself; an out-of-range peer is caller error
         self.conns[peer].as_ref().expect("no connection to self")
     }
 
     pub(crate) fn conn_mut(&mut self, peer: Rank) -> &mut Conn {
+        // simlint: allow(no-panic-in-lib): same self-slot invariant as `conn`
         self.conns[peer].as_mut().expect("no connection to self")
     }
 
@@ -205,16 +207,17 @@ impl MpiRank {
                                 len: slot_size,
                             },
                         )
+                        // simlint: allow(no-panic-in-lib): the peer's receive queue is empty at connect time and sized for the full prepost
                         .expect("peer prepost");
                 }
             });
-            self.conn_mut(peer).credits = prepost;
+            self.conn_mut(peer).apply_credits(prepost);
         } else {
             // The peer connected first; our fabric-side buffers were posted
             // on our behalf. Adopt them.
             let c = self.conn_mut(peer);
             c.posted = prepost;
-            c.credits = prepost;
+            c.apply_credits(prepost);
             c.stats.max_posted.observe(prepost as u64);
             // Mark the pre-posted slots as taken in the slab.
             for _ in 0..prepost {
@@ -240,6 +243,7 @@ impl MpiRank {
     pub(crate) fn post_one_recv_buffer(&mut self, peer: Rank) {
         let (qp, mr, offset, len, wr_id) = {
             let c = self.conn_mut(peer);
+            // simlint: allow(no-panic-in-lib): the slab is sized to prepost_target and slots recycle through repost_slot, so exhaustion is a bookkeeping bug
             let slot = c.slab.take_free().expect("receive slab exhausted");
             (
                 c.qp,
@@ -260,6 +264,7 @@ impl MpiRank {
                         len,
                     },
                 )
+                // simlint: allow(no-panic-in-lib): the receive queue is sized for the pool; a full queue is a bookkeeping bug
                 .expect("post_recv")
         });
         let c = self.conn_mut(peer);
@@ -289,6 +294,7 @@ impl MpiRank {
                         len,
                     },
                 )
+                // simlint: allow(no-panic-in-lib): reposting the slot just drained cannot exceed the receive queue
                 .expect("repost");
             ctx.world.params().sw_post_cost
         });
@@ -328,7 +334,8 @@ impl MpiRank {
             c.ring_write_slot = (slot + 1) % slots;
             (c.qp, c.peer_ring, slot as usize * buf_size)
         };
-        let mut frame = header.frame(payload);
+        // simlint: allow(no-panic-in-lib): src_rank < nprocs <= u16::MAX is asserted at world bootstrap, so framing cannot overflow a field
+        let mut frame = header.frame(payload).expect("header fields fit");
         frame[crate::buffers::RING_MARKER_OFFSET] = crate::buffers::RING_MARKER;
         let wr_id = encode_wrid(WrKind::RingWrite, peer as u64);
         let cost = self.proc.with(|ctx| {
@@ -347,6 +354,7 @@ impl MpiRank {
                     signaled: true,
                 },
             )
+            // simlint: allow(no-panic-in-lib): ring writes are gated by ring credits, so the send queue cannot be full
             .expect("ring write");
             cost
         });
@@ -367,7 +375,8 @@ impl MpiRank {
         wr_kind: WrKind,
     ) {
         let qp = self.conn(peer).qp;
-        let bytes = header.frame(payload);
+        // simlint: allow(no-panic-in-lib): src_rank < nprocs <= u16::MAX is asserted at world bootstrap, so framing cannot overflow a field
+        let bytes = header.frame(payload).expect("header fields fit");
         let wr_id = encode_wrid(wr_kind, peer as u64);
         let cost = self.proc.with(|ctx| {
             ibfabric::post_send(
@@ -381,6 +390,7 @@ impl MpiRank {
                     signaled: true,
                 },
             )
+            // simlint: allow(no-panic-in-lib): control/eager sends are bounded by credits and the finalize drain, so the send queue cannot be full
             .expect("post_send");
             ctx.world.params().sw_post_cost
         });

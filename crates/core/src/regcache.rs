@@ -9,12 +9,13 @@
 use ibfabric::{Access, Fabric, MrId, NodeId};
 use ibsim::stats::Counter;
 use ibsim::SimDuration;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identity of an application buffer: its address and capacity. Stable for
 /// the lifetime of an allocation, exactly like the address keys the real
-/// cache uses.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+/// cache uses. Ordered so the cache can live in a `BTreeMap` (deterministic
+/// iteration regardless of hasher seeding).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BufKey {
     /// Buffer start address (as integer).
     pub ptr: usize,
@@ -45,7 +46,7 @@ pub struct RegCache {
     node: NodeId,
     capacity_bytes: usize,
     used_bytes: usize,
-    entries: HashMap<BufKey, Entry>,
+    entries: BTreeMap<BufKey, Entry>,
     tick: u64,
     /// Registrations avoided.
     pub hits: Counter,
@@ -63,7 +64,7 @@ impl RegCache {
             node,
             capacity_bytes,
             used_bytes: 0,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             tick: 0,
             hits: Counter::default(),
             misses: Counter::default(),
@@ -108,8 +109,9 @@ impl RegCache {
                 return (e.mr, SimDuration::ZERO);
             }
             // Registered region too small (buffer grew): drop and re-pin.
-            let stale = self.entries.remove(&key).expect("present");
-            self.used_bytes -= stale.len;
+            let stale_len = e.len;
+            self.entries.remove(&key);
+            self.used_bytes -= stale_len;
         }
         self.misses.incr();
         let cost = fabric.params().reg_cost(len);
@@ -129,15 +131,18 @@ impl RegCache {
 
     fn evict_to_capacity(&mut self) {
         while self.used_bytes > self.capacity_bytes && self.entries.len() > 1 {
-            let victim = self
+            let Some(victim) = self
                 .entries
                 .iter()
                 .min_by_key(|(_, e)| e.last_use)
                 .map(|(k, _)| *k)
-                .expect("non-empty");
-            let e = self.entries.remove(&victim).expect("present");
-            self.used_bytes -= e.len;
-            self.evictions.incr();
+            else {
+                break;
+            };
+            if let Some(e) = self.entries.remove(&victim) {
+                self.used_bytes -= e.len;
+                self.evictions.incr();
+            }
             // The MR itself stays allocated in the simulator (deregistration
             // is free of structural effect); only the cache forgets it.
         }

@@ -114,21 +114,62 @@ impl ReqTable {
     pub fn get(&self, id: ReqId) -> &Request {
         self.slots[id.0 as usize]
             .as_ref()
+            // simlint: allow(no-panic-in-lib): request ids are handed out by insert and invalidated only by remove; a stale id is a protocol-layer bug, not a recoverable condition
             .expect("stale request id")
     }
 
     pub fn get_mut(&mut self, id: ReqId) -> &mut Request {
         self.slots[id.0 as usize]
             .as_mut()
+            // simlint: allow(no-panic-in-lib): same slot-liveness invariant as `get`
             .expect("stale request id")
     }
 
     pub fn remove(&mut self, id: ReqId) -> Request {
         let req = self.slots[id.0 as usize]
             .take()
+            // simlint: allow(no-panic-in-lib): a double free means the protocol layer completed one request twice; continuing would corrupt the slab
             .expect("double free of request");
         self.free.push(id.0);
         req
+    }
+
+    /// The send half of `id`. The wire protocol stamps request ids into
+    /// headers by role (rndz_id = sender side, peer_req = receiver side),
+    /// so a role mismatch is a protocol bug.
+    pub fn send_ref(&self, id: ReqId) -> &SendReq {
+        match self.get(id) {
+            Request::Send(s) => s,
+            // simlint: allow(no-panic-in-lib): header role fields guarantee the variant; see method doc
+            Request::Recv(_) => panic!("request {id:?} is a recv, expected a send"),
+        }
+    }
+
+    /// Mutable send half of `id` (same invariant as [`ReqTable::send_ref`]).
+    pub fn send_mut(&mut self, id: ReqId) -> &mut SendReq {
+        match self.get_mut(id) {
+            Request::Send(s) => s,
+            // simlint: allow(no-panic-in-lib): header role fields guarantee the variant; see send_ref
+            Request::Recv(_) => panic!("request {id:?} is a recv, expected a send"),
+        }
+    }
+
+    /// The recv half of `id` (same invariant as [`ReqTable::send_ref`]).
+    pub fn recv_ref(&self, id: ReqId) -> &RecvReq {
+        match self.get(id) {
+            Request::Recv(r) => r,
+            // simlint: allow(no-panic-in-lib): header role fields guarantee the variant; see send_ref
+            Request::Send(_) => panic!("request {id:?} is a send, expected a recv"),
+        }
+    }
+
+    /// Mutable recv half of `id` (same invariant as [`ReqTable::send_ref`]).
+    pub fn recv_mut(&mut self, id: ReqId) -> &mut RecvReq {
+        match self.get_mut(id) {
+            Request::Recv(r) => r,
+            // simlint: allow(no-panic-in-lib): header role fields guarantee the variant; see send_ref
+            Request::Send(_) => panic!("request {id:?} is a send, expected a recv"),
+        }
     }
 
     pub fn live_count(&self) -> usize {

@@ -37,7 +37,9 @@ macro_rules! impl_scalar {
             }
             #[inline]
             fn read_le(b: &[u8]) -> Self {
-                <$t>::from_le_bytes(b[..Self::BYTES].try_into().unwrap())
+                let mut buf = [0u8; std::mem::size_of::<$t>()];
+                buf.copy_from_slice(&b[..Self::BYTES]);
+                <$t>::from_le_bytes(buf)
             }
             #[inline]
             fn zero() -> Self {

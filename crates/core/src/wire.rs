@@ -1,10 +1,52 @@
 //! The wire protocol: a fixed 64-byte header in front of every eager
 //! payload or control message.
+//!
+//! The codec is *checked*: fields that do not fit their wire width
+//! surface [`WireError::FieldOverflow`] instead of truncating, and
+//! malformed bytes surface [`WireError::BadKind`] / [`WireError::ShortHeader`]
+//! instead of panicking.
 
 use crate::types::{CommCtx, Rank, Tag};
 
 /// Serialized header length in bytes.
 pub const HEADER_LEN: usize = 64;
+
+/// Errors surfaced by the checked header codec.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// A header field's value does not fit its wire width.
+    FieldOverflow {
+        /// Name of the offending header field.
+        field: &'static str,
+        /// The value that did not fit.
+        value: u64,
+        /// Largest value the wire format can carry for this field.
+        max: u64,
+    },
+    /// The kind byte does not name any [`MsgKind`].
+    BadKind(u8),
+    /// Fewer than [`HEADER_LEN`] bytes were supplied to `decode`.
+    ShortHeader {
+        /// How many bytes were actually supplied.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::FieldOverflow { field, value, max } => {
+                write!(f, "header field `{field}` = {value} exceeds wire max {max}")
+            }
+            WireError::BadKind(b) => write!(f, "unknown message kind byte {b:#04x}"),
+            WireError::ShortHeader { len } => {
+                write!(f, "short header: {len} bytes, need {HEADER_LEN}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
 
 /// Message kinds (paper Fig. 1 plus the explicit credit message).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,6 +84,30 @@ impl MsgKind {
             _ => return None,
         })
     }
+}
+
+/// Reads a little-endian `u16` at `o` without slice-conversion unwraps.
+fn u16_at(b: &[u8], o: usize) -> u16 {
+    u16::from_le_bytes([b[o], b[o + 1]])
+}
+
+/// Reads a little-endian `u32` at `o`.
+pub(crate) fn u32_at(b: &[u8], o: usize) -> u32 {
+    u32::from_le_bytes([b[o], b[o + 1], b[o + 2], b[o + 3]])
+}
+
+/// Reads a little-endian `u64` at `o`.
+pub(crate) fn u64_at(b: &[u8], o: usize) -> u64 {
+    u64::from_le_bytes([
+        b[o],
+        b[o + 1],
+        b[o + 2],
+        b[o + 3],
+        b[o + 4],
+        b[o + 5],
+        b[o + 6],
+        b[o + 7],
+    ])
 }
 
 /// Every field the MPI layer needs to carry per message. Control-only
@@ -108,12 +174,18 @@ impl MsgHeader {
         }
     }
 
-    /// Serializes into exactly [`HEADER_LEN`] bytes.
-    pub fn encode(&self) -> [u8; HEADER_LEN] {
+    /// Serializes into exactly [`HEADER_LEN`] bytes, or reports the first
+    /// field whose value does not fit its wire width.
+    pub fn try_encode(&self) -> Result<[u8; HEADER_LEN], WireError> {
+        let src = u16::try_from(self.src_rank).map_err(|_| WireError::FieldOverflow {
+            field: "src_rank",
+            value: self.src_rank as u64,
+            max: u64::from(u16::MAX),
+        })?;
         let mut b = [0u8; HEADER_LEN];
         b[0] = self.kind.to_u8();
-        b[1] = self.backlog_flag as u8 | (self.no_credit as u8) << 1;
-        b[2..4].copy_from_slice(&(self.src_rank as u16).to_le_bytes());
+        b[1] = u8::from(self.backlog_flag) | u8::from(self.no_credit) << 1;
+        b[2..4].copy_from_slice(&src.to_le_bytes());
         b[4..6].copy_from_slice(&self.comm.to_le_bytes());
         b[6..8].copy_from_slice(&self.credits.to_le_bytes());
         b[8..12].copy_from_slice(&self.tag.to_le_bytes());
@@ -127,45 +199,40 @@ impl MsgHeader {
         b[56..58].copy_from_slice(&self.ring_credits.to_le_bytes());
         // 58 is the ring-frame validity marker (set by the ring writer,
         // not part of the logical header); 59..64 reserved.
-        b
+        Ok(b)
     }
 
     /// Parses a header from the front of `bytes`.
-    ///
-    /// # Panics
-    /// Panics on a malformed kind byte — headers only ever come from
-    /// [`MsgHeader::encode`], so corruption is a simulator bug.
-    pub fn decode(bytes: &[u8]) -> MsgHeader {
-        assert!(bytes.len() >= HEADER_LEN, "short header");
-        let u16at = |o: usize| u16::from_le_bytes(bytes[o..o + 2].try_into().unwrap());
-        let u32at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
-        let u64at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
-        MsgHeader {
-            kind: MsgKind::from_u8(bytes[0]).expect("corrupt message kind"),
+    pub fn decode(bytes: &[u8]) -> Result<MsgHeader, WireError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(WireError::ShortHeader { len: bytes.len() });
+        }
+        Ok(MsgHeader {
+            kind: MsgKind::from_u8(bytes[0]).ok_or(WireError::BadKind(bytes[0]))?,
             backlog_flag: bytes[1] & 1 != 0,
             no_credit: bytes[1] & 2 != 0,
-            src_rank: u16at(2) as Rank,
-            comm: u16at(4),
-            credits: u16at(6),
-            tag: i32::from_le_bytes(bytes[8..12].try_into().unwrap()),
-            payload_len: u32at(12),
-            seq: u32at(16),
-            rndz_id: u64at(20),
-            peer_req: u64at(28),
-            rkey: u32at(36),
-            remote_offset: u64at(40),
-            data_len: u64at(48),
-            ring_credits: u16at(56),
-        }
+            src_rank: Rank::from(u16_at(bytes, 2)),
+            comm: u16_at(bytes, 4),
+            credits: u16_at(bytes, 6),
+            tag: i32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]),
+            payload_len: u32_at(bytes, 12),
+            seq: u32_at(bytes, 16),
+            rndz_id: u64_at(bytes, 20),
+            peer_req: u64_at(bytes, 28),
+            rkey: u32_at(bytes, 36),
+            remote_offset: u64_at(bytes, 40),
+            data_len: u64_at(bytes, 48),
+            ring_credits: u16_at(bytes, 56),
+        })
     }
 
     /// Builds the full wire message: header followed by `payload`.
-    pub fn frame(&self, payload: &[u8]) -> Vec<u8> {
-        debug_assert_eq!(self.payload_len as usize, payload.len());
+    pub fn frame(&self, payload: &[u8]) -> Result<Vec<u8>, WireError> {
+        debug_assert_eq!(u64::from(self.payload_len), payload.len() as u64);
         let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-        out.extend_from_slice(&self.encode());
+        out.extend_from_slice(&self.try_encode()?);
         out.extend_from_slice(payload);
-        out
+        Ok(out)
     }
 }
 
@@ -196,9 +263,9 @@ mod tests {
     #[test]
     fn roundtrip_all_fields() {
         let h = sample();
-        let bytes = h.encode();
+        let bytes = h.try_encode().unwrap();
         assert_eq!(bytes.len(), HEADER_LEN);
-        assert_eq!(MsgHeader::decode(&bytes), h);
+        assert_eq!(MsgHeader::decode(&bytes).unwrap(), h);
     }
 
     #[test]
@@ -211,7 +278,10 @@ mod tests {
             MsgKind::Credit,
         ] {
             let h = MsgHeader::new(kind, 3);
-            assert_eq!(MsgHeader::decode(&h.encode()).kind, kind);
+            assert_eq!(
+                MsgHeader::decode(&h.try_encode().unwrap()).unwrap().kind,
+                kind
+            );
         }
     }
 
@@ -219,31 +289,76 @@ mod tests {
     fn negative_tags_roundtrip() {
         let mut h = MsgHeader::new(MsgKind::Eager, 0);
         h.tag = i32::MIN;
-        assert_eq!(MsgHeader::decode(&h.encode()).tag, i32::MIN);
+        assert_eq!(
+            MsgHeader::decode(&h.try_encode().unwrap()).unwrap().tag,
+            i32::MIN
+        );
     }
 
     #[test]
     fn frame_concatenates() {
         let mut h = MsgHeader::new(MsgKind::Eager, 1);
         h.payload_len = 3;
-        let framed = h.frame(&[9, 8, 7]);
+        let framed = h.frame(&[9, 8, 7]).unwrap();
         assert_eq!(framed.len(), HEADER_LEN + 3);
         assert_eq!(&framed[HEADER_LEN..], &[9, 8, 7]);
-        let parsed = MsgHeader::decode(&framed);
+        let parsed = MsgHeader::decode(&framed).unwrap();
         assert_eq!(parsed.payload_len, 3);
     }
 
     #[test]
-    #[should_panic(expected = "short header")]
-    fn short_decode_panics() {
-        let _ = MsgHeader::decode(&[0u8; 10]);
+    fn short_decode_is_an_error() {
+        assert_eq!(
+            MsgHeader::decode(&[0u8; 10]),
+            Err(WireError::ShortHeader { len: 10 })
+        );
+    }
+
+    #[test]
+    fn bad_kind_is_an_error() {
+        let mut bytes = sample().try_encode().unwrap();
+        bytes[0] = 0xEE;
+        assert_eq!(MsgHeader::decode(&bytes), Err(WireError::BadKind(0xEE)));
+    }
+
+    #[test]
+    fn oversized_rank_is_an_error() {
+        let mut h = MsgHeader::new(MsgKind::Eager, 0);
+        h.src_rank = usize::from(u16::MAX) + 1;
+        assert_eq!(
+            h.try_encode(),
+            Err(WireError::FieldOverflow {
+                field: "src_rank",
+                value: u64::from(u16::MAX) + 1,
+                max: u64::from(u16::MAX),
+            })
+        );
+    }
+
+    #[test]
+    fn max_rank_roundtrips() {
+        let h = MsgHeader::new(MsgKind::Eager, usize::from(u16::MAX));
+        let back = MsgHeader::decode(&h.try_encode().unwrap()).unwrap();
+        assert_eq!(back.src_rank, usize::from(u16::MAX));
     }
 
     #[test]
     fn decode_ignores_reserved_bytes() {
         let h = sample();
-        let mut bytes = h.encode();
+        let mut bytes = h.try_encode().unwrap();
         bytes[58..64].copy_from_slice(&[0xFF; 6]);
-        assert_eq!(MsgHeader::decode(&bytes), h);
+        assert_eq!(MsgHeader::decode(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn wire_error_display() {
+        let e = WireError::FieldOverflow {
+            field: "src_rank",
+            value: 70000,
+            max: 65535,
+        };
+        assert!(e.to_string().contains("src_rank"));
+        assert!(WireError::BadKind(9).to_string().contains("0x09"));
+        assert!(WireError::ShortHeader { len: 3 }.to_string().contains("3"));
     }
 }

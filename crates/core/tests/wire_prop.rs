@@ -1,0 +1,188 @@
+//! Property tests for the checked wire codec: random headers (with the
+//! boundary values the checked conversions exist for) must survive an
+//! encode/decode round trip bit-for-bit, and out-of-range ranks must be
+//! rejected with a typed overflow instead of truncating.
+
+use mpib::{MsgHeader, MsgKind, WireError, HEADER_LEN};
+use testutil::prop::{check, shrink, Case, Gen};
+
+const KINDS: [MsgKind; 5] = [
+    MsgKind::Eager,
+    MsgKind::RndzStart,
+    MsgKind::RndzReply,
+    MsgKind::RndzFin,
+    MsgKind::Credit,
+];
+
+/// Draws a u32 that is sometimes a boundary value (0, 1, MAX-1, MAX).
+fn u32_boundary_biased(g: &mut Gen) -> u32 {
+    match g.index(4) {
+        0 => [0, 1, u32::MAX - 1, u32::MAX][g.index(4)],
+        _ => g.u32_in(0..u32::MAX),
+    }
+}
+
+/// Draws a u64 that is sometimes a boundary value.
+fn u64_boundary_biased(g: &mut Gen) -> u64 {
+    match g.index(4) {
+        0 => [0, 1, u64::MAX - 1, u64::MAX][g.index(4)],
+        _ => g.u64_in(0..u64::MAX),
+    }
+}
+
+/// Draws a u16 that is sometimes a boundary value.
+fn u16_boundary_biased(g: &mut Gen) -> u16 {
+    match g.index(4) {
+        0 => [0, 1, u16::MAX - 1, u16::MAX][g.index(4)],
+        _ => g.u32_in(0..u32::from(u16::MAX)) as u16,
+    }
+}
+
+#[derive(Clone, Debug)]
+struct HeaderCase(MsgHeader);
+
+impl Case for HeaderCase {
+    fn generate(g: &mut Gen) -> Self {
+        let mut h = MsgHeader::new(KINDS[g.index(KINDS.len())], 0);
+        h.backlog_flag = g.bool();
+        h.no_credit = g.bool();
+        // Encodable ranks are exactly 0..=u16::MAX; bias toward the edges.
+        h.src_rank = usize::from(u16_boundary_biased(g));
+        h.comm = u16_boundary_biased(g);
+        h.credits = u16_boundary_biased(g);
+        // Tags cover the whole i32 range, including negatives.
+        h.tag = u32_boundary_biased(g) as i32;
+        h.payload_len = u32_boundary_biased(g);
+        h.seq = u32_boundary_biased(g);
+        h.rndz_id = u64_boundary_biased(g);
+        h.peer_req = u64_boundary_biased(g);
+        h.rkey = u32_boundary_biased(g);
+        h.remote_offset = u64_boundary_biased(g);
+        h.data_len = u64_boundary_biased(g);
+        h.ring_credits = u16_boundary_biased(g);
+        HeaderCase(h)
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        let h = self.0;
+        let mut out = Vec::new();
+        let mut push = |m: MsgHeader| out.push(HeaderCase(m));
+        for v in shrink::usize_toward(h.src_rank, 0) {
+            push(MsgHeader { src_rank: v, ..h });
+        }
+        for v in shrink::u32_toward(h.payload_len, 0) {
+            push(MsgHeader {
+                payload_len: v,
+                ..h
+            });
+        }
+        for v in shrink::u64_toward(h.data_len, 0) {
+            push(MsgHeader { data_len: v, ..h });
+        }
+        for v in shrink::bool_toward_false(h.backlog_flag) {
+            push(MsgHeader {
+                backlog_flag: v,
+                ..h
+            });
+        }
+        for v in shrink::bool_toward_false(h.no_credit) {
+            push(MsgHeader { no_credit: v, ..h });
+        }
+        out
+    }
+}
+
+#[test]
+fn header_roundtrips_bit_for_bit() {
+    check::<HeaderCase>("wire::header_roundtrip", 400, |c| {
+        let bytes = c.0.try_encode().expect("in-range header must encode");
+        assert_eq!(bytes.len(), HEADER_LEN);
+        let back = MsgHeader::decode(&bytes).expect("encoded header must decode");
+        assert_eq!(back, c.0, "decode(encode(h)) != h");
+    });
+}
+
+#[test]
+fn framed_roundtrip_preserves_header_and_payload() {
+    check::<HeaderCase>("wire::framed_roundtrip", 200, |c| {
+        let mut h = c.0;
+        // frame() requires payload_len to match the actual payload; keep
+        // the buffer small while still exercising non-trivial lengths.
+        let len = h.payload_len % 257;
+        h.payload_len = len;
+        let payload: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        let frame = h.frame(&payload).expect("in-range header must frame");
+        assert_eq!(frame.len(), HEADER_LEN + payload.len());
+        let back = MsgHeader::decode(&frame).expect("framed header must decode");
+        assert_eq!(back, h);
+        assert_eq!(&frame[HEADER_LEN..], &payload[..]);
+    });
+}
+
+#[derive(Clone, Debug)]
+struct OversizedRankCase {
+    rank: usize,
+}
+
+impl Case for OversizedRankCase {
+    fn generate(g: &mut Gen) -> Self {
+        let floor = usize::from(u16::MAX) + 1;
+        let rank = match g.index(3) {
+            0 => floor,
+            _ => floor + g.usize_in(0..1 << 32),
+        };
+        OversizedRankCase { rank }
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        shrink::usize_toward(self.rank, usize::from(u16::MAX) + 1)
+            .into_iter()
+            .map(|rank| OversizedRankCase { rank })
+            .collect()
+    }
+}
+
+#[test]
+fn oversized_ranks_are_typed_overflows_not_truncations() {
+    check::<OversizedRankCase>("wire::rank_overflow", 200, |c| {
+        let mut h = MsgHeader::new(MsgKind::Eager, c.rank);
+        h.payload_len = 8;
+        assert_eq!(
+            h.try_encode(),
+            Err(WireError::FieldOverflow {
+                field: "src_rank",
+                value: c.rank as u64,
+                max: u64::from(u16::MAX),
+            })
+        );
+        // frame() routes through the same checked encoder.
+        assert!(matches!(
+            h.frame(&[0u8; 8]),
+            Err(WireError::FieldOverflow {
+                field: "src_rank",
+                ..
+            })
+        ));
+    });
+}
+
+#[test]
+fn boundary_headers_roundtrip_exactly() {
+    // The specific extremes the checked codec exists for.
+    let mut h = MsgHeader::new(MsgKind::RndzReply, usize::from(u16::MAX));
+    h.backlog_flag = true;
+    h.no_credit = true;
+    h.comm = u16::MAX;
+    h.credits = u16::MAX;
+    h.tag = i32::MIN;
+    h.payload_len = u32::MAX;
+    h.seq = u32::MAX;
+    h.rndz_id = u64::MAX;
+    h.peer_req = u64::MAX;
+    h.rkey = u32::MAX;
+    h.remote_offset = u64::MAX;
+    h.data_len = u64::MAX;
+    h.ring_credits = u16::MAX;
+    let bytes = h.try_encode().expect("u16::MAX rank is in range");
+    assert_eq!(MsgHeader::decode(&bytes), Ok(h));
+}

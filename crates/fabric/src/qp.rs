@@ -15,6 +15,7 @@ pub struct QpId(pub(crate) u32);
 impl QpId {
     /// Dense index (for diagnostics).
     pub fn index(self) -> usize {
+        // simlint: allow(no-truncating-cast): u32 -> usize widens on every supported target; ids are dense indices well under u32::MAX
         self.0 as usize
     }
 

@@ -146,6 +146,7 @@ fn transmit(
 fn launch(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId) {
     let (msn, body, bytes, dst_qp, src_node, dst_node) = {
         let q = &mut ctx.world.qps[qp_id.index()];
+        // simlint: allow(no-panic-in-lib): pump() only calls launch when the send-queue head exists
         let mut wqe = q.sq.pop_front().expect("pump checked head exists");
         wqe.attempts += 1;
         let retransmit = wqe.attempts > 1;
@@ -193,6 +194,7 @@ fn launch(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId) {
         if retransmit {
             q.stats.retransmissions.incr();
         }
+        // simlint: allow(no-panic-in-lib): the QP state machine only enters ReadyToSend through connect(), which sets the peer
         let dst_qp = q.peer.expect("ReadyToSend implies connected");
         let src_node = q.node;
         q.inflight.push_back(InflightMsg { msn, wqe });
@@ -286,6 +288,7 @@ fn deliver(
             }
             let (rwqe, recv_cq) = {
                 let q = &mut ctx.world.qps[dst_qp.index()];
+                // simlint: allow(no-panic-in-lib): the RNR branch above already handled the empty receive queue
                 (q.rq.pop_front().expect("checked non-empty"), q.recv_cq)
             };
             if rwqe.len < payload.len() {
@@ -484,6 +487,7 @@ fn handle_ack(
             if matches!(front.wqe.op, SendOp::RdmaRead { .. }) && !from_read_response {
                 break;
             }
+            // simlint: allow(no-panic-in-lib): the loop head breaks when inflight is empty before reaching here
             let m = q.inflight.pop_front().expect("front exists");
             let opcode = match &m.wqe.op {
                 SendOp::Send { .. } => {
@@ -545,6 +549,7 @@ fn handle_rnr_nak(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId, msn: u64) {
             if back.msn < msn {
                 break;
             }
+            // simlint: allow(no-panic-in-lib): the loop head breaks when inflight is empty before reaching here
             let m = q.inflight.pop_back().expect("back exists");
             if m.wqe.op.is_send() {
                 q.unacked_sends -= 1;
@@ -565,6 +570,7 @@ fn handle_rnr_nak(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId, msn: u64) {
     if exhausted {
         let (send_cq, cqe) = {
             let q = &mut ctx.world.qps[qp_id.index()];
+            // simlint: allow(no-panic-in-lib): `exhausted` is only set after inspecting this same queue head
             let wqe = q.sq.pop_front().expect("head exists");
             (
                 q.send_cq,
@@ -594,6 +600,7 @@ fn handle_rnr_nak(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId, msn: u64) {
 pub(crate) fn send_ud(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId, dst_qp: QpId, wr: crate::wr::SendWr) {
     let payload = match wr.op {
         SendOp::Send { payload } => payload,
+        // simlint: allow(no-panic-in-lib): post_send_ud rejects every non-Send op before queueing
         _ => unreachable!("validated by post_send_ud"),
     };
     let (src_node, dst_node, send_cq) = {
@@ -644,6 +651,7 @@ fn deliver_ud(ctx: &mut Ctx<'_, Fabric>, dst_qp: QpId, payload: Arc<[u8]>, first
     let rwqe = ctx.world.qps[dst_qp.index()]
         .rq
         .pop_front()
+        // simlint: allow(no-panic-in-lib): the caller returns early on an empty receive queue (UD drop semantics)
         .expect("checked");
     if rwqe.len < payload.len() {
         let recv_cq = ctx.world.qps[dst_qp.index()].recv_cq;
@@ -692,6 +700,7 @@ fn remote_access_error(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId, msn: u64) {
         }
         let pos = q.inflight.iter().position(|m| m.msn == msn);
         pos.map(|i| {
+            // simlint: allow(no-panic-in-lib): `i` came from `position` on the same queue with no mutation in between
             let m = q.inflight.remove(i).expect("position valid");
             if m.wqe.op.is_send() {
                 q.unacked_sends -= 1;

@@ -385,6 +385,7 @@ impl<W: Send + 'static> Sim<W> {
             let _ = h.join();
         }
         Arc::try_unwrap(self.shared)
+            // simlint: allow(no-panic-in-lib): every process thread was joined above, so the Arc must be unique; a leak here is unrecoverable
             .unwrap_or_else(|_| panic!("outstanding references to simulation state"))
             .state
             .into_inner()

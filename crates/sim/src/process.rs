@@ -128,6 +128,7 @@ impl<W: Send + 'static> ProcCtx<W> {
                 proc_id: self.id,
                 note: note.to_string(),
             })
+            // simlint: allow(no-panic-in-lib): the kernel outlives every process thread by construction (joined at shutdown)
             .expect("kernel gone while parking");
         self.block_for_resume();
     }
@@ -156,6 +157,7 @@ impl<W: Send + 'static> ProcCtx<W> {
                     proc_id: self.id,
                     note: "advancing clock".to_string(),
                 })
+                // simlint: allow(no-panic-in-lib): same kernel-lifetime invariant as parking
                 .expect("kernel gone while advancing");
             self.block_for_resume();
             if self.local_now >= wake_at {
@@ -229,6 +231,7 @@ pub(crate) fn spawn_proc<W: Send + 'static>(
                 }
             }
         })
+        // simlint: allow(no-panic-in-lib): thread spawn fails only on resource exhaustion, which the simulator cannot meaningfully recover from
         .expect("failed to spawn simulation thread")
 }
 

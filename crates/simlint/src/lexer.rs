@@ -1,0 +1,442 @@
+//! A lightweight Rust lexer: just enough structure for the lint rules.
+//!
+//! The lexer distinguishes identifiers from punctuation, strips string
+//! and character literals (so `"HashMap"` in a message is not a finding),
+//! strips comments while harvesting `simlint: allow(...)` escapes from
+//! them, and marks the token ranges covered by `#[cfg(test)]` items so
+//! rules can exempt test-only code. It is deliberately *not* a parser:
+//! the rules only need token-sequence matching with line numbers.
+
+/// What a token is. Literals are dropped entirely; numbers are skipped
+/// because no rule matches on them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `as`, `unwrap`, ...).
+    Ident,
+    /// A single punctuation character (`.`, `!`, `(`, `{`, ...).
+    Punct,
+}
+
+/// One lexed token with its source line (1-based).
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// A `// simlint: allow(<rule>)` or `// simlint: allow(<rule>): <why>`
+/// escape found in a comment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule name inside the parentheses.
+    pub rule: String,
+    /// Line the comment sits on (1-based).
+    pub line: u32,
+    /// Whether a non-empty justification follows the closing parenthesis
+    /// (`: <why>`). Unjustified escapes are reported by the audit pass.
+    pub justified: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub allows: Vec<Allow>,
+    /// `in_test[i]` is true when `tokens[i]` sits inside a `#[cfg(test)]`
+    /// item (typically the inline `mod tests`).
+    pub in_test: Vec<bool>,
+}
+
+/// Lexes `src`, returning tokens, allow-escapes, and test-region marks.
+pub fn lex(src: &str) -> Lexed {
+    let mut tokens = Vec::new();
+    let mut allows = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '/' if i + 1 < chars.len() && chars[i + 1] == '/' => {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                parse_allows(&text, line, &mut allows);
+            }
+            '/' if i + 1 < chars.len() && chars[i + 1] == '*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    if chars[i] == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < chars.len() && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i.min(chars.len())].iter().collect();
+                parse_allows(&text, start_line, &mut allows);
+            }
+            '"' => {
+                i = skip_string(&chars, i, &mut line);
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&chars, i) => {
+                i = skip_raw_or_byte_string(&chars, i, &mut line);
+            }
+            '\'' => {
+                i = skip_char_or_lifetime(&chars, i, &mut line);
+            }
+            _ if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                // Numbers (including 0x1F, 1_000u64, 1.5e-3) carry no rule
+                // signal; consume the contiguous literal and drop it.
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+                {
+                    // Stop at `..` (range) so `0..n` keeps its punctuation.
+                    if chars[i] == '.' && i + 1 < chars.len() && chars[i + 1] == '.' {
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            _ if c.is_whitespace() => {
+                i += 1;
+            }
+            _ => {
+                tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    let in_test = mark_cfg_test_regions(&tokens);
+    Lexed {
+        tokens,
+        allows,
+        in_test,
+    }
+}
+
+fn starts_raw_or_byte_string(chars: &[char], i: usize) -> bool {
+    // r"...", r#"..."#, b"...", br"...", br#"..."#
+    let rest = &chars[i..];
+    matches!(
+        rest,
+        ['r', '"', ..]
+            | ['r', '#', ..]
+            | ['b', '"', ..]
+            | ['b', 'r', '"', ..]
+            | ['b', 'r', '#', ..]
+    )
+}
+
+fn skip_raw_or_byte_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    let mut raw = false;
+    if chars[i] == 'b' {
+        i += 1;
+    }
+    if i < chars.len() && chars[i] == 'r' {
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while raw && i < chars.len() && chars[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= chars.len() || chars[i] != '"' {
+        // Not actually a string start (e.g. the ident `b` or `r#ident`);
+        // the caller consumed nothing meaningful — re-lex as ident.
+        return i;
+    }
+    i += 1; // opening quote
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            *line += 1;
+        }
+        if !raw && c == '\\' {
+            i += 2;
+            continue;
+        }
+        if c == '"' {
+            if raw {
+                let mut k = 0;
+                while k < hashes && i + 1 + k < chars.len() && chars[i + 1 + k] == '#' {
+                    k += 1;
+                }
+                if k == hashes {
+                    return i + 1 + hashes;
+                }
+            } else {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn skip_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            c => {
+                if c == '\n' {
+                    *line += 1;
+                }
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+fn skip_char_or_lifetime(chars: &[char], i: usize, line: &mut u32) -> usize {
+    // 'a (lifetime) vs 'a' (char) vs '\n' (escaped char).
+    let rest = &chars[i + 1..];
+    match rest {
+        ['\\', ..] => {
+            // Escaped char literal: consume through the closing quote.
+            let mut j = i + 2; // past the backslash
+            j += 1; // the escaped character itself
+            while j < chars.len() && chars[j] != '\'' {
+                j += 1; // multi-char escapes: \u{...}, \x7F
+            }
+            j + 1
+        }
+        [c, '\'', ..] if *c != '\'' => {
+            if *c == '\n' {
+                *line += 1;
+            }
+            i + 3 // plain char literal 'x'
+        }
+        [c, ..] if c.is_alphabetic() || *c == '_' => {
+            // Lifetime: consume the identifier, no closing quote.
+            let mut j = i + 1;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            j
+        }
+        _ => i + 1,
+    }
+}
+
+/// Harvests `simlint: allow(<rule>)` escapes from one comment's text.
+fn parse_allows(comment: &str, first_line: u32, out: &mut Vec<Allow>) {
+    for (off, text) in comment.lines().enumerate() {
+        let mut rest = text;
+        while let Some(pos) = rest.find("simlint: allow(") {
+            let after = &rest[pos + "simlint: allow(".len()..];
+            let Some(close) = after.find(')') else { break };
+            let rule = after[..close].trim().to_string();
+            let tail = after[close + 1..].trim_start();
+            let justified = tail
+                .strip_prefix(':')
+                .is_some_and(|why| !why.trim().is_empty());
+            // Only rule-name-shaped text counts as an escape; prose like
+            // `simlint: allow(<rule>)` in documentation is ignored.
+            let is_rule_name = !rule.is_empty()
+                && rule
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '_');
+            if is_rule_name {
+                out.push(Allow {
+                    rule,
+                    line: first_line + off as u32,
+                    justified,
+                });
+            }
+            rest = &after[close + 1..];
+        }
+    }
+}
+
+/// Marks every token inside a `#[cfg(test)]` item (attribute through the
+/// matching close brace of the item's body).
+fn mark_cfg_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            // Find the end of the attribute (the `]`), then the item body.
+            let mut j = i;
+            while j < tokens.len() && tokens[j].text != "]" {
+                j += 1;
+            }
+            // Scan forward to the item's opening `{`; a `;` first means an
+            // item without a body (e.g. `#[cfg(test)] mod tests;`).
+            let mut k = j + 1;
+            while k < tokens.len() && tokens[k].text != "{" && tokens[k].text != ";" {
+                k += 1;
+            }
+            let mut end = k;
+            if k < tokens.len() && tokens[k].text == "{" {
+                let mut depth = 0i32;
+                while end < tokens.len() {
+                    match tokens[end].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    end += 1;
+                }
+            }
+            for flag in in_test.iter_mut().take((end + 1).min(tokens.len())).skip(i) {
+                *flag = true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    in_test
+}
+
+/// Does a test-gating attribute start at token `i`? Matches `#[test]`
+/// and any `#[cfg(...)]` whose argument list mentions `test` without a
+/// `not` (covers `all(test, ...)` but not `not(test)`).
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    if tokens[i].text != "#" || i + 1 >= tokens.len() || tokens[i + 1].text != "[" {
+        return false;
+    }
+    let head = match tokens.get(i + 2) {
+        Some(t) => t.text.as_str(),
+        None => return false,
+    };
+    if head == "test" && tokens.get(i + 3).is_some_and(|t| t.text == "]") {
+        return true;
+    }
+    if head != "cfg" {
+        return false;
+    }
+    let (mut has_test, mut has_not) = (false, false);
+    let mut j = i + 3;
+    while j < tokens.len() && tokens[j].text != "]" {
+        match tokens[j].text.as_str() {
+            "test" => has_test = true,
+            "not" => has_not = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    has_test && !has_not
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let src = r##"
+            let x = "HashMap in a string"; // HashMap in a comment
+            /* HashMap in a block */ let y = r#"raw HashMap"#;
+            let z = b"bytes";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let ids = idents("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(ids.contains(&"str".to_string())); // lifetimes are dropped
+                                                   // The 'x' char literal must not eat the closing brace.
+        let toks = lex("fn f() { 'x' }").tokens;
+        assert_eq!(toks.last().map(|t| t.text.as_str()), Some("}"));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let toks = lex(r"let q = '\''; let d = HashMap::new();").tokens;
+        let ids: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(ids.contains(&"HashMap"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let lx = lex("a\nb\n\nc");
+        let lines: Vec<u32> = lx.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn allow_escapes_parse() {
+        let lx = lex(
+            "// simlint: allow(no-panic-in-lib): slot validity is checked above\n\
+             x.unwrap();\n\
+             // simlint: allow(no-wall-clock)\n",
+        );
+        assert_eq!(lx.allows.len(), 2);
+        assert_eq!(lx.allows[0].rule, "no-panic-in-lib");
+        assert!(lx.allows[0].justified);
+        assert_eq!(lx.allows[0].line, 1);
+        assert_eq!(lx.allows[1].rule, "no-wall-clock");
+        assert!(!lx.allows[1].justified);
+        assert_eq!(lx.allows[1].line, 3);
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn lib() { a(); }\n#[cfg(test)]\nmod tests {\n fn t() { b(); } }\nfn tail() {}";
+        let lx = lex(src);
+        let b_idx = lx.tokens.iter().position(|t| t.text == "b").unwrap();
+        let a_idx = lx.tokens.iter().position(|t| t.text == "a").unwrap();
+        let tail_idx = lx.tokens.iter().position(|t| t.text == "tail").unwrap();
+        assert!(lx.in_test[b_idx]);
+        assert!(!lx.in_test[a_idx]);
+        assert!(!lx.in_test[tail_idx]);
+    }
+}

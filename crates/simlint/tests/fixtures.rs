@@ -1,0 +1,101 @@
+//! Fixture self-tests: each known-bad snippet under `tests/fixtures/`
+//! must produce *exactly* the expected rule hits, line by line. The
+//! fixtures are excluded from the workspace scan (they exist to be bad).
+
+use simlint::rules::{self, lint_source};
+
+fn fixture(name: &str) -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    std::fs::read_to_string(format!("{path}/{name}")).expect("fixture readable")
+}
+
+/// Lints a fixture under a virtual workspace path and returns its
+/// `(rule, line)` pairs in reporting order.
+fn hits(name: &str, virtual_path: &str) -> Vec<(String, u32)> {
+    lint_source(virtual_path, &fixture(name))
+        .findings
+        .into_iter()
+        .map(|f| (f.rule.to_string(), f.line))
+        .collect()
+}
+
+fn expect(rule: &str, lines: &[u32]) -> Vec<(String, u32)> {
+    lines.iter().map(|&l| (rule.to_string(), l)).collect()
+}
+
+#[test]
+fn wall_clock_fixture() {
+    assert_eq!(
+        hits("bad_wall_clock.rs", "crates/core/src/progress.rs"),
+        expect(rules::NO_WALL_CLOCK, &[6, 8])
+    );
+}
+
+#[test]
+fn unordered_fixture() {
+    assert_eq!(
+        hits("bad_unordered.rs", "crates/core/src/rank.rs"),
+        expect(rules::NO_UNORDERED_ITERATION, &[5, 5, 8, 9])
+    );
+}
+
+#[test]
+fn casts_fixture() {
+    assert_eq!(
+        hits("bad_casts.rs", "crates/core/src/wire.rs"),
+        expect(rules::NO_TRUNCATING_CAST, &[6, 7, 12])
+    );
+    // The same source outside the protected files is clean.
+    assert!(hits("bad_casts.rs", "crates/core/src/collectives.rs").is_empty());
+}
+
+#[test]
+fn panics_fixture() {
+    assert_eq!(
+        hits("bad_panics.rs", "crates/fabric/src/transport.rs"),
+        expect(rules::NO_PANIC_IN_LIB, &[6, 7, 10, 16])
+    );
+    // The same source in a test target is clean.
+    assert!(hits("bad_panics.rs", "crates/fabric/tests/transport.rs").is_empty());
+}
+
+#[test]
+fn rng_fixture() {
+    assert_eq!(
+        hits("bad_rng.rs", "crates/nas/src/is.rs"),
+        expect(rules::NO_AMBIENT_RNG, &[6, 9])
+    );
+}
+
+#[test]
+fn escapes_fixture() {
+    let report = lint_source("crates/core/src/rank.rs", &fixture("escapes.rs"));
+    let got: Vec<(String, u32)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule.to_string(), f.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            (rules::UNAUDITED_SUPPRESSION.to_string(), 11),
+            (rules::UNUSED_SUPPRESSION.to_string(), 15),
+        ]
+    );
+    assert_eq!(report.audited_suppressions.len(), 1);
+    assert_eq!(report.audited_suppressions[0].1, 6);
+}
+
+#[test]
+fn workspace_scan_skips_fixtures() {
+    // Linting the simlint crate's own tree must not trip over the
+    // deliberately bad fixture corpus.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = simlint::lint_tree(root).expect("scan");
+    assert!(
+        report.findings.is_empty(),
+        "unexpected findings:\n{}",
+        simlint::render_human(&report)
+    );
+    assert!(report.files_scanned >= 5, "src + this test file scanned");
+}

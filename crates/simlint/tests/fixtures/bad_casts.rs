@@ -1,0 +1,17 @@
+// Fixture: truncating casts in wire-protocol code (virtual path
+// crates/core/src/wire.rs). Expected: no-truncating-cast at lines 6, 7,
+// and 12; the widening `as u64` at line 13 is not a finding.
+
+pub fn encode(rank: usize, credits: u32, len: u64) -> (u16, u8, usize, u64) {
+    let r = rank as u16;
+    let c = credits as u8;
+    (r, c, trunc(len), widen(credits))
+}
+
+fn trunc(len: u64) -> usize {
+    len as usize
+}
+
+fn widen(credits: u32) -> u64 {
+    credits as u64
+}

@@ -1,0 +1,26 @@
+// Fixture: panics in library code (virtual path
+// crates/fabric/src/transport.rs). Expected: no-panic-in-lib at lines
+// 6, 7, 10, and 16; the cfg(test) module at the bottom is exempt.
+
+pub fn deliver(slot: Option<u32>, q: &mut Vec<u32>) -> u32 {
+    let s = slot.unwrap();
+    let head = q.pop().expect("queue non-empty");
+    let _ = head;
+    match s {
+        0 => panic!("zero slot"),
+        n => n,
+    }
+}
+
+pub fn unhandled() -> ! {
+    unreachable!("state machine hole")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_in_tests_are_fine() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

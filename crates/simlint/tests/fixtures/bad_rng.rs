@@ -1,0 +1,12 @@
+// Fixture: ambient randomness (virtual path crates/nas/src/is.rs).
+// Expected: no-ambient-rng at lines 6 and 9.
+
+pub fn keys(n: usize) -> Vec<u64> {
+    // Ambient RNG: different every run.
+    let mut rng = thread_rng();
+    let _ = &mut rng;
+    // Hand-rolled generator state bypasses (seed, stream) mixing.
+    let det = DetRng { s: [1, 2, 3, 4] };
+    let _ = det;
+    vec![0; n]
+}

@@ -1,0 +1,15 @@
+// Fixture: unordered containers holding per-rank simulation state
+// (virtual path crates/core/src/rank.rs). Expected: no-unordered-iteration
+// at lines 5, 8, and 9; no finding for the string or comment mentions.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct RankState {
+    pub qp_to_peer: HashMap<u32, usize>,
+    pub seen: HashSet<u32>,
+}
+
+pub fn describe() -> &'static str {
+    // A HashMap mentioned in a comment is not a finding.
+    "a HashMap mentioned in a string is not a finding"
+}

@@ -1,0 +1,13 @@
+// Fixture: wall-clock reads in simulation code (virtual path
+// crates/core/src/progress.rs). Expected: no-wall-clock at lines 6 and 8.
+
+pub fn measure() -> u64 {
+    // Nondeterministic: wall time differs per host and per run.
+    let t0 = std::time::Instant::now();
+    do_work();
+    let stamp = std::time::SystemTime::now();
+    let _ = stamp;
+    t0.elapsed().as_nanos() as u64
+}
+
+fn do_work() {}

@@ -1,0 +1,16 @@
+// Fixture: the escape hatch and its audit (virtual path
+// crates/core/src/rank.rs). Expected: the line-7 unwrap is suppressed
+// (audited); line 11 carries an unaudited escape; line 15 a stale one.
+
+pub fn checked(slot: Option<u32>) -> u32 {
+    // simlint: allow(no-panic-in-lib): slot presence is checked by the caller
+    slot.unwrap()
+}
+
+pub fn unjustified(slot: Option<u32>) -> u32 {
+    // simlint: allow(no-panic-in-lib)
+    slot.unwrap()
+}
+
+// simlint: allow(no-wall-clock): stale escape with nothing to suppress
+pub fn stale() {}

@@ -11,6 +11,15 @@ run() {
     "$@"
 }
 
+# Like run, but reports the step's wall time (used for the per-target
+# smoke runs so throughput regressions are visible in the CI log).
+timed() {
+    echo "==> $*"
+    local t0=$SECONDS
+    "$@"
+    echo "    took $((SECONDS - t0))s (wall)"
+}
+
 run cargo build --release --workspace --locked --offline
 run cargo test -q --workspace --release --locked --offline
 run cargo fmt --check
@@ -18,9 +27,14 @@ run cargo run --release -p simlint --locked --offline -- --stats
 run cargo clippy --workspace --all-targets --locked --offline -- -D warnings
 run cargo bench -p ibfabric --bench transport --locked --offline -- --test
 run cargo bench -p ibflow-bench --bench paper --locked --offline -- --test
+run cargo bench -p ibflow-bench --bench engine --locked --offline -- --test
 
-# Smoke: the two headline experiment binaries must complete cleanly.
-run cargo run --release --locked --offline -p ibflow-bench --bin fig2_latency >/dev/null
-run env IBFLOW_CLASS=test cargo run --release --locked --offline -p ibflow-bench --bin table1_ecm >/dev/null
+# Goldens must be byte-identical with the worker pool engaged.
+run env IBFLOW_JOBS=4 cargo test -q --release --locked --offline -p ibflow-bench --test golden
+
+# Smoke: the two headline experiment binaries must complete cleanly with
+# the pool engaged, and print how long each takes.
+timed env IBFLOW_JOBS=4 cargo run --release --locked --offline -p ibflow-bench --bin fig2_latency >/dev/null
+timed env IBFLOW_CLASS=test IBFLOW_JOBS=4 cargo run --release --locked --offline -p ibflow-bench --bin table1_ecm >/dev/null
 
 echo "All checks passed."

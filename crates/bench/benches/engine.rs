@@ -1,0 +1,146 @@
+//! Engine throughput bench: raw event-loop rates plus the battery wall.
+//!
+//! Three measurements, recorded in `bench_results/BENCH_engine.json`:
+//!
+//! * **call events/sec** — a self-perpetuating closure-event chain; the
+//!   kernel drains it under a single lock acquisition, so this is the
+//!   ceiling on pure event dispatch.
+//! * **handoff events/sec** — one process advancing the clock in a tight
+//!   loop; every event is a kernel→process→kernel baton round trip, so
+//!   this measures the handoff path (channel send/recv + two lock
+//!   acquisitions).
+//! * **battery wall** — the `all_experiments` workload (every figure and
+//!   table at the default class) at `IBFLOW_JOBS=1` and at the host's
+//!   parallelism, timing the serial hot path and the pool speedup.
+//!
+//! `--test` (as passed by `cargo test --benches`) runs tiny versions of
+//! each measurement, asserts generous sanity floors, and writes nothing;
+//! CI uses this as a cheap throughput-regression tripwire.
+
+use ibflow_bench::figures::{bandwidth_figure, fig2_latency, nas_battery};
+use ibsim::{Ctx, Sim, SimConfig, SimDuration, SimTime};
+use std::time::Instant;
+
+/// World for the call-chain workload: (fired so far, chain length).
+struct Chain {
+    fired: u64,
+    limit: u64,
+}
+
+/// Events/sec over a chain of `n` closure events, each scheduling the next.
+fn call_chain_rate(n: u64) -> f64 {
+    let mut sim: Sim<Chain> = Sim::new(Chain { fired: 0, limit: n }, SimConfig::default());
+    sim.with_world(|ctx| {
+        fn tick(c: &mut Ctx<'_, Chain>) {
+            c.world.fired += 1;
+            if c.world.fired < c.world.limit {
+                c.schedule_after(SimDuration::nanos(1), tick);
+            }
+        }
+        ctx.schedule_at(SimTime::ZERO, tick);
+    });
+    let t0 = Instant::now();
+    let rep = sim.run().expect("call chain run");
+    rep.events_processed as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Events/sec when every event is a process handoff (`advance` in a loop).
+fn handoff_rate(n: u64) -> f64 {
+    let mut sim: Sim<()> = Sim::new((), SimConfig::default());
+    sim.spawn("p", move |mut p| {
+        for _ in 0..n {
+            p.advance(SimDuration::nanos(1));
+        }
+    });
+    let t0 = Instant::now();
+    let rep = sim.run().expect("handoff run");
+    rep.events_processed as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Median of three samples of `f`.
+fn median3(mut f: impl FnMut() -> f64) -> f64 {
+    let mut s = [f(), f(), f()];
+    s.sort_by(|a, b| a.total_cmp(b));
+    s[1]
+}
+
+/// The `all_experiments` workload (results discarded); returns wall ns.
+fn battery_wall_ns(class: nasbench::NasClass) -> u64 {
+    let t0 = Instant::now();
+    let _ = fig2_latency();
+    for (size, prepost, blocking) in [
+        (4usize, 100u32, true),
+        (4, 100, false),
+        (4, 10, true),
+        (4, 10, false),
+        (32768, 10, true),
+        (32768, 10, false),
+    ] {
+        let _ = bandwidth_figure(size, prepost, blocking);
+    }
+    let runs = nas_battery(class);
+    assert!(runs.iter().all(|r| r.verified), "every kernel must verify");
+    t0.elapsed().as_nanos() as u64
+}
+
+fn main() {
+    let test_mode = std::env::args().skip(1).any(|a| a == "--test");
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    if test_mode {
+        // Tiny versions + generous floors: a real regression on the hot
+        // paths (an order of magnitude) trips these even on a slow,
+        // noisy CI host.
+        let call = call_chain_rate(50_000);
+        let handoff = handoff_rate(5_000);
+        println!("test engine/call_chain ({call:.0} events/sec) ... ok");
+        println!("test engine/handoffs ({handoff:.0} events/sec) ... ok");
+        assert!(
+            call > 1_000_000.0,
+            "call-event dispatch regressed: {call:.0} events/sec"
+        );
+        assert!(
+            handoff > 10_000.0,
+            "handoff path regressed: {handoff:.0} events/sec"
+        );
+        return;
+    }
+
+    let call = median3(|| call_chain_rate(2_000_000));
+    println!("call events/sec:    {call:>14.0}");
+    let handoff = median3(|| handoff_rate(200_000));
+    println!("handoff events/sec: {handoff:>14.0}");
+
+    let class = ibflow_bench::nas_class_from_env();
+    let jobs_n = ibpool::worker_count().max(4);
+    std::env::set_var(ibpool::JOBS_ENV, "1");
+    let wall_jobs1 = battery_wall_ns(class);
+    println!(
+        "battery wall (class {class:?}, jobs=1): {:.3}s",
+        wall_jobs1 as f64 / 1e9
+    );
+    std::env::set_var(ibpool::JOBS_ENV, jobs_n.to_string());
+    let wall_jobsn = battery_wall_ns(class);
+    println!(
+        "battery wall (class {class:?}, jobs={jobs_n}): {:.3}s",
+        wall_jobsn as f64 / 1e9
+    );
+    std::env::remove_var(ibpool::JOBS_ENV);
+
+    let dir = match std::env::var("IBFLOW_BENCH_DIR") {
+        Ok(d) => std::path::PathBuf::from(d),
+        Err(_) => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results"),
+    };
+    std::fs::create_dir_all(&dir).expect("create bench_results dir");
+    let path = dir.join("BENCH_engine.json");
+    let json = format!(
+        "{{\n  \"group\": \"engine\",\n  \"host_parallelism\": {host_parallelism},\n  \
+         \"call_events_per_sec\": {call:.0},\n  \"handoff_events_per_sec\": {handoff:.0},\n  \
+         \"battery_class\": \"{class:?}\",\n  \"battery_wall_jobs1_ns\": {wall_jobs1},\n  \
+         \"battery_jobs_n\": {jobs_n},\n  \"battery_wall_jobsn_ns\": {wall_jobsn}\n}}\n"
+    );
+    std::fs::write(&path, json).expect("write engine bench report");
+    println!("-> {}", path.display());
+}

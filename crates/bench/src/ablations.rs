@@ -2,6 +2,10 @@
 //! threshold, the dynamic growth policy, the RNR timer, the credit
 //! delivery path, on-demand connections, the eager buffer size, and the
 //! buffer-memory scalability projection that motivates the whole study.
+//!
+//! Like the figure sweeps, every ablation fans its independent runs out
+//! over [`ibpool`] and reassembles rows in submission order, so output
+//! bytes are identical at any `IBFLOW_JOBS` setting.
 
 use crate::report::table;
 use ibfabric::FabricParams;
@@ -37,62 +41,79 @@ pub fn run_kernel_cfg(
 /// ECM threshold sweep on LU (paper §6.3.1: raising the threshold
 /// suppresses credit messages and can improve LU).
 pub fn ecm_threshold(class: NasClass) -> String {
-    let mut rows = Vec::new();
-    for thr in [1u32, 2, 5, 10, 20, 50] {
-        let cfg = MpiConfig {
-            ecm_threshold: thr,
-            ..MpiConfig::scheme(FlowControlScheme::UserStatic, 100)
-        };
-        let (time_ms, stats, _) = run_kernel_cfg(Kernel::Lu, class, cfg, FabricParams::mt23108());
-        rows.push(vec![
-            thr.to_string(),
-            format!("{time_ms:.2}"),
-            format!("{:.1}", stats.avg_ecm_per_connection()),
-        ]);
-    }
+    let jobs: Vec<ibpool::Job<'_, Vec<String>>> = [1u32, 2, 5, 10, 20, 50]
+        .into_iter()
+        .map(|thr| {
+            ibpool::job(format!("ablation/ecm_threshold/{thr}"), move || {
+                let cfg = MpiConfig {
+                    ecm_threshold: thr,
+                    ..MpiConfig::scheme(FlowControlScheme::UserStatic, 100)
+                };
+                let (time_ms, stats, _) =
+                    run_kernel_cfg(Kernel::Lu, class, cfg, FabricParams::mt23108());
+                vec![
+                    thr.to_string(),
+                    format!("{time_ms:.2}"),
+                    format!("{:.1}", stats.avg_ecm_per_connection()),
+                ]
+            })
+        })
+        .collect();
+    let rows = ibpool::run_batch(jobs);
     table(&["ecm threshold", "LU time (ms)", "ECM/conn"], &rows)
 }
 
 /// Growth policy sweep on LU with one initial buffer (Table 2 regime).
 pub fn growth_policy(class: NasClass) -> String {
-    let mut rows = Vec::new();
-    for (name, growth) in [
+    let jobs: Vec<ibpool::Job<'_, Vec<String>>> = [
         ("linear(1)", GrowthPolicy::Linear(1)),
         ("linear(2)", GrowthPolicy::Linear(2)),
         ("linear(4)", GrowthPolicy::Linear(4)),
         ("linear(8)", GrowthPolicy::Linear(8)),
         ("exponential", GrowthPolicy::Exponential),
-    ] {
-        let cfg = MpiConfig {
-            growth,
-            ..MpiConfig::scheme(FlowControlScheme::UserDynamic, 1)
-        };
-        let (time_ms, stats, _) = run_kernel_cfg(Kernel::Lu, class, cfg, FabricParams::mt23108());
-        rows.push(vec![
-            name.to_string(),
-            format!("{time_ms:.2}"),
-            stats.max_posted_buffers().to_string(),
-        ]);
-    }
+    ]
+    .into_iter()
+    .map(|(name, growth)| {
+        ibpool::job(format!("ablation/growth_policy/{name}"), move || {
+            let cfg = MpiConfig {
+                growth,
+                ..MpiConfig::scheme(FlowControlScheme::UserDynamic, 1)
+            };
+            let (time_ms, stats, _) =
+                run_kernel_cfg(Kernel::Lu, class, cfg, FabricParams::mt23108());
+            vec![
+                name.to_string(),
+                format!("{time_ms:.2}"),
+                stats.max_posted_buffers().to_string(),
+            ]
+        })
+    })
+    .collect();
+    let rows = ibpool::run_batch(jobs);
     table(&["growth policy", "LU time (ms)", "max posted"], &rows)
 }
 
 /// RNR timer sweep for the hardware scheme at pre-post 1 (the timeout
 /// cost Figure 10 attributes the hardware scheme's LU/MG drops to).
 pub fn rnr_timer(class: NasClass) -> String {
-    let mut rows = Vec::new();
-    for us in [20u64, 60, 120, 320, 640] {
-        let mut params = FabricParams::mt23108();
-        params.rnr_timer = SimDuration::micros(us);
-        let cfg = MpiConfig::scheme(FlowControlScheme::Hardware, 1);
-        let (time_ms, _, fstats) = run_kernel_cfg(Kernel::Lu, class, cfg, params);
-        rows.push(vec![
-            format!("{us}"),
-            format!("{time_ms:.2}"),
-            fstats.rnr_naks.get().to_string(),
-            fstats.retransmissions.get().to_string(),
-        ]);
-    }
+    let jobs: Vec<ibpool::Job<'_, Vec<String>>> = [20u64, 60, 120, 320, 640]
+        .into_iter()
+        .map(|us| {
+            ibpool::job(format!("ablation/rnr_timer/{us}us"), move || {
+                let mut params = FabricParams::mt23108();
+                params.rnr_timer = SimDuration::micros(us);
+                let cfg = MpiConfig::scheme(FlowControlScheme::Hardware, 1);
+                let (time_ms, _, fstats) = run_kernel_cfg(Kernel::Lu, class, cfg, params);
+                vec![
+                    format!("{us}"),
+                    format!("{time_ms:.2}"),
+                    fstats.rnr_naks.get().to_string(),
+                    fstats.retransmissions.get().to_string(),
+                ]
+            })
+        })
+        .collect();
+    let rows = ibpool::run_batch(jobs);
     table(
         &["rnr timer (us)", "LU time (ms)", "RNR NAKs", "retransmits"],
         &rows,
@@ -103,30 +124,36 @@ pub fn rnr_timer(class: NasClass) -> String {
 /// optimistic send-based messages vs RDMA mailbox writes (paper §7's
 /// "RDMA approach").
 pub fn credit_path(class: NasClass) -> String {
-    let mut rows = Vec::new();
-    for (name, mode) in [
+    let jobs: Vec<ibpool::Job<'_, Vec<String>>> = [
         ("optimistic", CreditMsgMode::Optimistic),
         ("rdma", CreditMsgMode::Rdma),
-    ] {
-        let cfg = MpiConfig {
-            credit_msg_mode: mode,
-            ..MpiConfig::scheme(FlowControlScheme::UserStatic, 100)
-        };
-        let (time_ms, stats, _) = run_kernel_cfg(Kernel::Lu, class, cfg, FabricParams::mt23108());
-        let ecm: u64 = stats.ranks.iter().map(|r| r.total_ecm()).sum();
-        let rdma: u64 = stats
-            .ranks
-            .iter()
-            .flat_map(|r| r.conns.iter())
-            .map(|c| c.rdma_credit_updates.get())
-            .sum();
-        rows.push(vec![
-            name.to_string(),
-            format!("{time_ms:.2}"),
-            ecm.to_string(),
-            rdma.to_string(),
-        ]);
-    }
+    ]
+    .into_iter()
+    .map(|(name, mode)| {
+        ibpool::job(format!("ablation/credit_path/{name}"), move || {
+            let cfg = MpiConfig {
+                credit_msg_mode: mode,
+                ..MpiConfig::scheme(FlowControlScheme::UserStatic, 100)
+            };
+            let (time_ms, stats, _) =
+                run_kernel_cfg(Kernel::Lu, class, cfg, FabricParams::mt23108());
+            let ecm: u64 = stats.ranks.iter().map(|r| r.total_ecm()).sum();
+            let rdma: u64 = stats
+                .ranks
+                .iter()
+                .flat_map(|r| r.conns.iter())
+                .map(|c| c.rdma_credit_updates.get())
+                .sum();
+            vec![
+                name.to_string(),
+                format!("{time_ms:.2}"),
+                ecm.to_string(),
+                rdma.to_string(),
+            ]
+        })
+    })
+    .collect();
+    let rows = ibpool::run_batch(jobs);
     table(
         &["credit path", "LU time (ms)", "credit msgs", "rdma updates"],
         &rows,
@@ -137,7 +164,7 @@ pub fn credit_path(class: NasClass) -> String {
 /// the send/receive-based design this paper studies: small-message
 /// latency and the path each message takes.
 pub fn rdma_channel() -> String {
-    let latency = |cfg: MpiConfig| -> (f64, u64, u64) {
+    fn latency(cfg: MpiConfig) -> (f64, u64, u64) {
         let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), |mpi| {
             let peer = 1 - mpi.rank();
             let iters = 50u32;
@@ -160,14 +187,19 @@ pub fn rdma_channel() -> String {
         .expect("latency run");
         let c = &out.stats.ranks[0].conns[1];
         (out.results[0], c.eager_sent.get(), c.ring_sent.get())
-    };
-    let (sr_lat, sr_eager, sr_ring) =
-        latency(MpiConfig::scheme(FlowControlScheme::UserStatic, 100));
-    let (ring_lat, ring_eager, ring_ring) = latency(MpiConfig {
+    }
+    let sr_cfg = MpiConfig::scheme(FlowControlScheme::UserStatic, 100);
+    let ring_cfg = MpiConfig {
         rdma_eager_channel: true,
         credit_msg_mode: CreditMsgMode::Rdma,
         ..MpiConfig::scheme(FlowControlScheme::UserStatic, 100)
-    });
+    };
+    let out = ibpool::run_batch(vec![
+        ibpool::job("ablation/rdma_channel/send_recv", move || latency(sr_cfg)),
+        ibpool::job("ablation/rdma_channel/ring", move || latency(ring_cfg)),
+    ]);
+    let (sr_lat, sr_eager, sr_ring) = out[0];
+    let (ring_lat, ring_eager, ring_ring) = out[1];
     table(
         &[
             "design",
@@ -195,30 +227,36 @@ pub fn rdma_channel() -> String {
 /// On-demand connection management (related work \[23\]) on a sparse
 /// (ring) communication pattern.
 pub fn on_demand(ranks: usize) -> String {
-    let mut rows = Vec::new();
-    for (name, on_demand) in [("all-to-all setup", false), ("on-demand setup", true)] {
-        let cfg = MpiConfig {
-            on_demand_connections: on_demand,
-            ..MpiConfig::scheme(FlowControlScheme::UserStatic, 32)
-        };
-        let out = MpiWorld::run(ranks, cfg, FabricParams::mt23108(), |mpi| {
-            // Ring halo pattern: only 2 of the n-1 connections are used.
-            let right = (mpi.rank() + 1) % mpi.size();
-            let left = (mpi.rank() + mpi.size() - 1) % mpi.size();
-            for _ in 0..20 {
-                let _ = mpi.sendrecv(&[0u8; 512], right, 0, Some(left), Some(0));
-            }
-            mpi.total_posted_buffers()
-        })
-        .expect("on-demand run");
-        let buffers: u64 = out.results.iter().sum();
-        rows.push(vec![
-            name.to_string(),
-            format!("{:.3}", out.end_time.as_secs_f64() * 1e3),
-            buffers.to_string(),
-            format!("{} KB", buffers * 2),
-        ]);
-    }
+    let jobs: Vec<ibpool::Job<'_, Vec<String>>> =
+        [("all-to-all setup", false), ("on-demand setup", true)]
+            .into_iter()
+            .map(|(name, on_demand)| {
+                ibpool::job(format!("ablation/on_demand/{name}"), move || {
+                    let cfg = MpiConfig {
+                        on_demand_connections: on_demand,
+                        ..MpiConfig::scheme(FlowControlScheme::UserStatic, 32)
+                    };
+                    let out = MpiWorld::run(ranks, cfg, FabricParams::mt23108(), |mpi| {
+                        // Ring halo pattern: only 2 of the n-1 connections are used.
+                        let right = (mpi.rank() + 1) % mpi.size();
+                        let left = (mpi.rank() + mpi.size() - 1) % mpi.size();
+                        for _ in 0..20 {
+                            let _ = mpi.sendrecv(&[0u8; 512], right, 0, Some(left), Some(0));
+                        }
+                        mpi.total_posted_buffers()
+                    })
+                    .expect("on-demand run");
+                    let buffers: u64 = out.results.iter().sum();
+                    vec![
+                        name.to_string(),
+                        format!("{:.3}", out.end_time.as_secs_f64() * 1e3),
+                        buffers.to_string(),
+                        format!("{} KB", buffers * 2),
+                    ]
+                })
+            })
+            .collect();
+    let rows = ibpool::run_batch(jobs);
     table(
         &[
             "setup policy",
@@ -232,34 +270,39 @@ pub fn on_demand(ranks: usize) -> String {
 
 /// Eager buffer size sweep on a mixed small-message workload.
 pub fn buffer_size() -> String {
-    let mut rows = Vec::new();
-    for buf in [1024usize, 2048, 4096, 8192] {
-        let cfg = MpiConfig {
-            buf_size: buf,
-            eager_threshold: buf - mpib::HEADER_LEN,
-            ..MpiConfig::scheme(FlowControlScheme::UserStatic, 32)
-        };
-        let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), |mpi| {
-            let peer = 1 - mpi.rank();
-            // Mixed sizes straddling the various thresholds.
-            for size in [64usize, 512, 1500, 3000, 6000] {
-                let data = vec![1u8; size];
-                for _ in 0..20 {
-                    if mpi.rank() == 0 {
-                        mpi.send(&data, peer, 0);
-                    } else {
-                        let _ = mpi.recv(Some(peer), Some(0));
+    let jobs: Vec<ibpool::Job<'_, Vec<String>>> = [1024usize, 2048, 4096, 8192]
+        .into_iter()
+        .map(|buf| {
+            ibpool::job(format!("ablation/buffer_size/{buf}"), move || {
+                let cfg = MpiConfig {
+                    buf_size: buf,
+                    eager_threshold: buf - mpib::HEADER_LEN,
+                    ..MpiConfig::scheme(FlowControlScheme::UserStatic, 32)
+                };
+                let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), |mpi| {
+                    let peer = 1 - mpi.rank();
+                    // Mixed sizes straddling the various thresholds.
+                    for size in [64usize, 512, 1500, 3000, 6000] {
+                        let data = vec![1u8; size];
+                        for _ in 0..20 {
+                            if mpi.rank() == 0 {
+                                mpi.send(&data, peer, 0);
+                            } else {
+                                let _ = mpi.recv(Some(peer), Some(0));
+                            }
+                        }
                     }
-                }
-            }
+                })
+                .expect("buffer size run");
+                vec![
+                    buf.to_string(),
+                    format!("{:.3}", out.end_time.as_secs_f64() * 1e3),
+                    format!("{} KB", 32 * buf / 1024),
+                ]
+            })
         })
-        .expect("buffer size run");
-        rows.push(vec![
-            buf.to_string(),
-            format!("{:.3}", out.end_time.as_secs_f64() * 1e3),
-            format!("{} KB", 32 * buf / 1024),
-        ]);
-    }
+        .collect();
+    let rows = ibpool::run_batch(jobs);
     table(
         &["buffer size (B)", "time (ms)", "pinned/conn (32 bufs)"],
         &rows,
@@ -269,38 +312,54 @@ pub fn buffer_size() -> String {
 /// Buffer-memory scalability projection: measured pinned memory per rank
 /// for growing worlds, plus the paper's 1 000/10 000-node extrapolation.
 pub fn scalability() -> String {
-    let mut rows = Vec::new();
-    for ranks in [4usize, 8, 16, 32] {
-        // Static 100 vs dynamic adapting on a nearest-neighbour workload.
-        let mut measured = Vec::new();
-        for scheme in [
-            FlowControlScheme::UserStatic,
-            FlowControlScheme::UserDynamic,
-        ] {
-            let prepost = if scheme == FlowControlScheme::UserStatic {
-                100
-            } else {
-                1
-            };
-            let cfg = MpiConfig::scheme(scheme, prepost);
-            let out = MpiWorld::run(ranks, cfg, FabricParams::mt23108(), |mpi| {
-                let right = (mpi.rank() + 1) % mpi.size();
-                let left = (mpi.rank() + mpi.size() - 1) % mpi.size();
-                for _ in 0..30 {
-                    let _ = mpi.sendrecv(&[7u8; 256], right, 0, Some(left), Some(0));
-                }
-                mpi.total_posted_buffers()
+    const RANKS: [usize; 4] = [4, 8, 16, 32];
+    const SCHEMES: [FlowControlScheme; 2] = [
+        FlowControlScheme::UserStatic,
+        FlowControlScheme::UserDynamic,
+    ];
+    // Static 100 vs dynamic adapting on a nearest-neighbour workload;
+    // one job per (ranks, scheme) cell, regrouped into rows afterwards.
+    let jobs: Vec<ibpool::Job<'_, u64>> = RANKS
+        .into_iter()
+        .flat_map(|ranks| {
+            SCHEMES.into_iter().map(move |scheme| {
+                ibpool::job(
+                    format!("ablation/scalability/ranks={ranks}/{scheme:?}"),
+                    move || {
+                        let prepost = if scheme == FlowControlScheme::UserStatic {
+                            100
+                        } else {
+                            1
+                        };
+                        let cfg = MpiConfig::scheme(scheme, prepost);
+                        let out = MpiWorld::run(ranks, cfg, FabricParams::mt23108(), |mpi| {
+                            let right = (mpi.rank() + 1) % mpi.size();
+                            let left = (mpi.rank() + mpi.size() - 1) % mpi.size();
+                            for _ in 0..30 {
+                                let _ = mpi.sendrecv(&[7u8; 256], right, 0, Some(left), Some(0));
+                            }
+                            mpi.total_posted_buffers()
+                        })
+                        .expect("scalability run");
+                        out.results.iter().copied().max().unwrap_or(0)
+                    },
+                )
             })
-            .expect("scalability run");
-            let max_per_rank = out.results.iter().copied().max().unwrap_or(0);
-            measured.push(max_per_rank);
-        }
-        rows.push(vec![
-            ranks.to_string(),
-            format!("{} ({} KB)", measured[0], measured[0] * 2),
-            format!("{} ({} KB)", measured[1], measured[1] * 2),
-        ]);
-    }
+        })
+        .collect();
+    let measured = ibpool::run_batch(jobs);
+    let rows: Vec<Vec<String>> = RANKS
+        .into_iter()
+        .enumerate()
+        .map(|(r, ranks)| {
+            let (st, dy) = (measured[2 * r], measured[2 * r + 1]);
+            vec![
+                ranks.to_string(),
+                format!("{st} ({} KB)", st * 2),
+                format!("{dy} ({} KB)", dy * 2),
+            ]
+        })
+        .collect();
     let mut t = table(
         &[
             "ranks",

@@ -1,20 +1,51 @@
 //! Runs the entire reproduction battery — every figure and table — and
 //! writes the results under `bench_results/`.
+//!
+//! The eight targets (Fig 2, Figs 3–8, and the NAS battery backing
+//! Figs 9/10 and Tables 1/2) run as [`ibpool`] jobs, so the battery is
+//! parallel across targets as well as within each target's sweep.
+//! Sections are assembled in submission order, so `experiments.md` is
+//! byte-identical at any `IBFLOW_JOBS` setting; only the wall-clock
+//! numbers printed (and recorded in `target_times.json`) vary.
 use ibflow_bench::figures::*;
 use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One finished target: its rendered markdown sections plus wall time.
+struct TargetOut {
+    sections: Vec<String>,
+    wall_ns: u64,
+}
+
+fn section(title: &str, body: &str) -> String {
+    format!("## {title}\n\n```\n{body}```\n\n")
+}
+
+fn timed(f: impl FnOnce() -> Vec<String>) -> TargetOut {
+    let t0 = Instant::now();
+    let sections = f();
+    TargetOut {
+        sections,
+        wall_ns: t0.elapsed().as_nanos() as u64,
+    }
+}
 
 fn main() {
-    let t0 = std::time::Instant::now();
+    let t0 = Instant::now();
     let class = ibflow_bench::nas_class_from_env();
-    let mut out = String::new();
+    let workers = ibpool::worker_count();
+    println!("running 8 targets (NAS class {class:?}) across {workers} worker(s)...");
 
-    println!("[1/9] Figure 2 (latency)...");
-    let _ = writeln!(
-        out,
-        "## Figure 2 — MPI latency (us), pre-post = 100\n\n```\n{}```\n",
-        fig2_table(&fig2_latency())
-    );
-    for (i, (name, size, prepost, blocking)) in [
+    let mut names = vec!["fig2_latency".to_string()];
+    let mut jobs: Vec<ibpool::Job<'_, TargetOut>> = vec![ibpool::job("target/fig2", move || {
+        timed(|| {
+            vec![section(
+                "Figure 2 — MPI latency (us), pre-post = 100",
+                &fig2_table(&fig2_latency()),
+            )]
+        })
+    })];
+    for (name, size, prepost, blocking) in [
         (
             "Figure 3 — bandwidth, 4 B, pre-post 100, blocking",
             4usize,
@@ -51,41 +82,78 @@ fn main() {
             10,
             false,
         ),
-    ]
-    .into_iter()
-    .enumerate()
-    {
-        println!("[{}/9] {name}...", i + 2);
-        let rows = bandwidth_figure(size, prepost, blocking);
-        let _ = writeln!(out, "## {name}\n\n```\n{}```\n", bandwidth_table(&rows));
+    ] {
+        names.push(name.split(' ').take(2).collect::<Vec<_>>().join("_"));
+        jobs.push(ibpool::job(format!("target/{name}"), move || {
+            timed(|| {
+                vec![section(
+                    name,
+                    &bandwidth_table(&bandwidth_figure(size, prepost, blocking)),
+                )]
+            })
+        }));
+    }
+    names.push("nas_battery".to_string());
+    jobs.push(ibpool::job("target/nas_battery", move || {
+        timed(|| {
+            let runs = nas_battery(class);
+            assert!(runs.iter().all(|r| r.verified), "every kernel must verify");
+            vec![
+                section(
+                    &format!("Figure 9 — NAS runtimes, pre-post = 100 (class {class:?})"),
+                    &fig9_table(&runs),
+                ),
+                section(
+                    "Figure 10 — degradation, pre-post 100 -> 1",
+                    &fig10_table(&runs),
+                ),
+                section(
+                    "Table 1 — explicit credit messages (user-level static)",
+                    &table1(&runs),
+                ),
+                section(
+                    "Table 2 — max posted buffers (user-level dynamic, start = 1)",
+                    &table2(&runs),
+                ),
+            ]
+        })
+    }));
+
+    let outs = ibpool::run_batch(jobs);
+    let total_ns = t0.elapsed().as_nanos() as u64;
+
+    let mut out = String::new();
+    for t in &outs {
+        for s in &t.sections {
+            out.push_str(s);
+        }
+    }
+    for (name, t) in names.iter().zip(&outs) {
+        println!("  {name:<24} {:>10.3}s", t.wall_ns as f64 / 1e9);
     }
 
-    println!("[8/9] NAS battery (class {class:?}) — Figures 9-10, Tables 1-2...");
-    let runs = nas_battery(class);
-    assert!(runs.iter().all(|r| r.verified), "every kernel must verify");
-    let _ = writeln!(
-        out,
-        "## Figure 9 — NAS runtimes, pre-post = 100 (class {class:?})\n\n```\n{}```\n",
-        fig9_table(&runs)
-    );
-    let _ = writeln!(
-        out,
-        "## Figure 10 — degradation, pre-post 100 -> 1\n\n```\n{}```\n",
-        fig10_table(&runs)
-    );
-    let _ = writeln!(
-        out,
-        "## Table 1 — explicit credit messages (user-level static)\n\n```\n{}```\n",
-        table1(&runs)
-    );
-    let _ = writeln!(
-        out,
-        "## Table 2 — max posted buffers (user-level dynamic, start = 1)\n\n```\n{}```\n",
-        table2(&runs)
-    );
-
-    println!("[9/9] writing bench_results/experiments.md");
     std::fs::create_dir_all("bench_results").expect("mkdir bench_results");
     std::fs::write("bench_results/experiments.md", &out).expect("write results");
-    println!("done in {:?} (wall)", t0.elapsed());
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"group\": \"all_experiments\",");
+    let _ = writeln!(json, "  \"class\": \"{class:?}\",");
+    let _ = writeln!(json, "  \"jobs\": {workers},");
+    let _ = writeln!(json, "  \"total_wall_ns\": {total_ns},");
+    let _ = writeln!(json, "  \"targets\": [");
+    for (i, (name, t)) in names.iter().zip(&outs).enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{name}\", \"wall_ns\": {}}}{}",
+            t.wall_ns,
+            if i + 1 < outs.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("bench_results/target_times.json", json).expect("write target times");
+
+    println!(
+        "wrote bench_results/experiments.md + target_times.json; done in {:?} (wall)",
+        t0.elapsed()
+    );
 }

@@ -1,6 +1,12 @@
 //! One function per table/figure of the paper: each returns the rows the
 //! corresponding binary prints, so integration tests can assert the
 //! paper's *shape* claims against the exact data the harness reports.
+//!
+//! Every sweep fans its independent simulations out over the
+//! [`ibpool`] worker pool (`IBFLOW_JOBS` controls the width). Each
+//! simulation is a closed deterministic world, and the pool returns
+//! results in submission order, so the rows — and therefore every table,
+//! figure, and golden snapshot — are byte-identical at any job count.
 
 use crate::micro::{bandwidth_test, latency_test, MicroParams};
 use crate::nas::{run_nas, NasRun};
@@ -25,20 +31,30 @@ pub struct Fig2Row {
     pub us: [f64; 3],
 }
 
-/// Runs the Fig 2 sweep (pre-post 100, blocking ping-pong).
+/// Runs the Fig 2 sweep (pre-post 100, blocking ping-pong); one pool job
+/// per (size, scheme) cell.
 pub fn fig2_latency() -> Vec<Fig2Row> {
+    let jobs: Vec<ibpool::Job<'_, f64>> = FIG2_SIZES
+        .iter()
+        .flat_map(|&size| {
+            SCHEMES.into_iter().map(move |scheme| {
+                ibpool::job(format!("fig2/size={size}/{}", scheme.label()), move || {
+                    latency_test(
+                        &MicroParams::new(scheme, 100),
+                        size,
+                        FabricParams::mt23108(),
+                    )
+                })
+            })
+        })
+        .collect();
+    let us = ibpool::run_batch(jobs);
     FIG2_SIZES
         .iter()
-        .map(|&size| {
-            let mut us = [0.0; 3];
-            for (i, scheme) in SCHEMES.into_iter().enumerate() {
-                us[i] = latency_test(
-                    &MicroParams::new(scheme, 100),
-                    size,
-                    FabricParams::mt23108(),
-                );
-            }
-            Fig2Row { size, us }
+        .enumerate()
+        .map(|(r, &size)| Fig2Row {
+            size,
+            us: [us[3 * r], us[3 * r + 1], us[3 * r + 2]],
         })
         .collect()
 }
@@ -76,22 +92,33 @@ pub struct BwRow {
 }
 
 /// Runs one of the bandwidth figures (Figs 3–8 are parameterizations of
-/// this sweep).
+/// this sweep); one pool job per (window, scheme) cell.
 pub fn bandwidth_figure(size: usize, prepost: u32, blocking: bool) -> Vec<BwRow> {
+    let jobs: Vec<ibpool::Job<'_, f64>> = BW_WINDOWS
+        .iter()
+        .flat_map(|&window| {
+            SCHEMES.into_iter().map(move |scheme| {
+                ibpool::job(
+                    format!("bw/size={size}/pp={prepost}/w={window}/{}", scheme.label()),
+                    move || {
+                        let p = MicroParams {
+                            iters: 20,
+                            warmup: 4,
+                            ..MicroParams::new(scheme, prepost)
+                        };
+                        bandwidth_test(&p, size, window, blocking, FabricParams::mt23108()).mb_per_s
+                    },
+                )
+            })
+        })
+        .collect();
+    let mbps = ibpool::run_batch(jobs);
     BW_WINDOWS
         .iter()
-        .map(|&window| {
-            let mut mbps = [0.0; 3];
-            for (i, scheme) in SCHEMES.into_iter().enumerate() {
-                let p = MicroParams {
-                    iters: 20,
-                    warmup: 4,
-                    ..MicroParams::new(scheme, prepost)
-                };
-                mbps[i] =
-                    bandwidth_test(&p, size, window, blocking, FabricParams::mt23108()).mb_per_s;
-            }
-            BwRow { window, mbps }
+        .enumerate()
+        .map(|(r, &window)| BwRow {
+            window,
+            mbps: [mbps[3 * r], mbps[3 * r + 1], mbps[3 * r + 2]],
         })
         .collect()
 }
@@ -124,15 +151,18 @@ pub fn bandwidth_table(rows: &[BwRow]) -> String {
 /// this sweep runs every kernel under every scheme at both pre-post
 /// depths.
 pub fn nas_battery(class: NasClass) -> Vec<NasRun> {
-    let mut out = Vec::new();
+    let mut jobs: Vec<ibpool::Job<'_, NasRun>> = Vec::new();
     for kernel in Kernel::ALL {
         for prepost in [100u32, 1] {
             for scheme in SCHEMES {
-                out.push(run_nas(kernel, class, scheme, prepost));
+                jobs.push(ibpool::job(
+                    format!("nas/{}/{}/pp={prepost}", kernel.name(), scheme.label()),
+                    move || run_nas(kernel, class, scheme, prepost),
+                ));
             }
         }
     }
-    out
+    ibpool::run_batch(jobs)
 }
 
 /// Extracts one run from a battery.

@@ -23,18 +23,31 @@ pub use micro::{bandwidth_test, latency_test, BandwidthResult, MicroParams};
 use mpib::FlowControlScheme;
 use nasbench::NasClass;
 
-/// Reads the NAS class for application figures from `IBFLOW_CLASS`
-/// (`test`, `w`, or `a`); defaults to the paper-scale `W`.
-pub fn nas_class_from_env() -> NasClass {
-    match std::env::var("IBFLOW_CLASS")
-        .unwrap_or_default()
-        .to_lowercase()
-        .as_str()
-    {
-        "test" => NasClass::Test,
-        "a" => NasClass::A,
-        _ => NasClass::W,
+/// Parses a NAS class name (`test`, `w`, or `a`, case-insensitive).
+pub fn nas_class_from_str(s: &str) -> Option<NasClass> {
+    match s.to_lowercase().as_str() {
+        "test" => Some(NasClass::Test),
+        "w" => Some(NasClass::W),
+        "a" => Some(NasClass::A),
+        _ => None,
     }
+}
+
+/// Reads the NAS class for application figures from `IBFLOW_CLASS`
+/// (`test`, `w`, or `a`); defaults to the paper-scale `W` when unset or
+/// empty.
+///
+/// # Panics
+///
+/// Panics on an unrecognized value — a typo like `IBFLOW_CLASS=W4`
+/// silently falling back to `W` would mislabel a whole battery run.
+pub fn nas_class_from_env() -> NasClass {
+    let raw = std::env::var("IBFLOW_CLASS").unwrap_or_default();
+    if raw.is_empty() {
+        return NasClass::W;
+    }
+    nas_class_from_str(&raw)
+        .unwrap_or_else(|| panic!("unrecognized IBFLOW_CLASS={raw:?}: expected one of test, w, a"))
 }
 
 /// The three schemes in the paper's presentation order.
@@ -43,3 +56,18 @@ pub const SCHEMES: [FlowControlScheme; 3] = [
     FlowControlScheme::UserStatic,
     FlowControlScheme::UserDynamic,
 ];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_parsing_is_strict() {
+        assert_eq!(nas_class_from_str("test"), Some(NasClass::Test));
+        assert_eq!(nas_class_from_str("W"), Some(NasClass::W));
+        assert_eq!(nas_class_from_str("a"), Some(NasClass::A));
+        assert_eq!(nas_class_from_str("w4"), None);
+        assert_eq!(nas_class_from_str("B"), None);
+        assert_eq!(nas_class_from_str(""), None);
+    }
+}

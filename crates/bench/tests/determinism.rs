@@ -1,0 +1,34 @@
+//! Determinism under parallelism: every figure/table must come out
+//! byte-identical no matter how many pool workers run the sweep. Each
+//! simulation is a closed deterministic world and [`ibpool`] returns
+//! results in submission order, so the only way this test fails is a
+//! pool-ordering bug or state leaking between jobs.
+
+use ibflow_bench::figures::{fig2_latency, fig2_table, nas_battery, table1};
+use nasbench::NasClass;
+
+/// One test fn (not several) so the `IBFLOW_JOBS` writes can't race
+/// within this test binary.
+#[test]
+fn tables_are_byte_identical_at_any_job_count() {
+    let render = || {
+        let fig2 = fig2_table(&fig2_latency());
+        let t1 = table1(&nas_battery(NasClass::Test));
+        (fig2, t1)
+    };
+
+    std::env::set_var(ibpool::JOBS_ENV, "1");
+    let serial = render();
+    std::env::set_var(ibpool::JOBS_ENV, "4");
+    let parallel = render();
+    std::env::remove_var(ibpool::JOBS_ENV);
+
+    assert_eq!(
+        serial.0, parallel.0,
+        "Fig 2 table differs between IBFLOW_JOBS=1 and =4"
+    );
+    assert_eq!(
+        serial.1, parallel.1,
+        "Table 1 differs between IBFLOW_JOBS=1 and =4"
+    );
+}

@@ -27,7 +27,7 @@ impl MpiRank {
     }
 
     fn crecv(&mut self, src_world: usize, tag: Tag, comm: &Comm) -> Vec<u8> {
-        let req = self.irecv_ctx(Some(src_world), Some(tag), comm.ctx, None);
+        let req = self.irecv_ctx(Some(src_world), Some(tag), comm.ctx);
         let (_status, data) = self.wait_recv(req);
         data
     }
@@ -46,7 +46,7 @@ pub fn barrier(mpi: &mut MpiRank, comm: &Comm) {
         let to = comm.world_rank((me + dist) % n);
         let from = comm.world_rank((me + n - dist) % n);
         let sreq = mpi.isend_ctx(&[], to, tag, comm.ctx);
-        let rreq = mpi.irecv_ctx(Some(from), Some(tag), comm.ctx, None);
+        let rreq = mpi.irecv_ctx(Some(from), Some(tag), comm.ctx);
         mpi.wait(sreq);
         let _ = mpi.wait_recv(rreq);
         dist <<= 1;
@@ -165,7 +165,7 @@ pub fn allreduce_scalars<T: Scalar>(
         while mask < pof2 {
             let partner = me ^ mask;
             let sreq = mpi.isend_ctx(&encode_slice(&acc), comm.world_rank(partner), tag, comm.ctx);
-            let rreq = mpi.irecv_ctx(Some(comm.world_rank(partner)), Some(tag), comm.ctx, None);
+            let rreq = mpi.irecv_ctx(Some(comm.world_rank(partner)), Some(tag), comm.ctx);
             mpi.wait(sreq);
             let (_s, bytes) = mpi.wait_recv(rreq);
             for (a, b) in acc.iter_mut().zip(decode_slice::<T>(&bytes)) {
@@ -225,7 +225,7 @@ pub fn allgather_bytes(mpi: &mut MpiRank, comm: &Comm, mine: &[u8]) -> Vec<Vec<u
                 payload.extend_from_slice(&chunks[idx]);
             }
             let sreq = mpi.isend_ctx(&payload, comm.world_rank(partner), tag, comm.ctx);
-            let rreq = mpi.irecv_ctx(Some(comm.world_rank(partner)), Some(tag), comm.ctx, None);
+            let rreq = mpi.irecv_ctx(Some(comm.world_rank(partner)), Some(tag), comm.ctx);
             mpi.wait(sreq);
             let (_s, data) = mpi.wait_recv(rreq);
             let mut off = 0;
@@ -245,7 +245,7 @@ pub fn allgather_bytes(mpi: &mut MpiRank, comm: &Comm, mine: &[u8]) -> Vec<Vec<u
     for step in 0..n - 1 {
         let send_idx = (me + n - step) % n;
         let sreq = mpi.isend_ctx(&chunks[send_idx], right, tag, comm.ctx);
-        let rreq = mpi.irecv_ctx(Some(left), Some(tag), comm.ctx, None);
+        let rreq = mpi.irecv_ctx(Some(left), Some(tag), comm.ctx);
         mpi.wait(sreq);
         let (_s, data) = mpi.wait_recv(rreq);
         let recv_idx = (me + n - step - 1) % n;
@@ -278,7 +278,7 @@ pub fn alltoallv_bytes(mpi: &mut MpiRank, comm: &Comm, chunks: &[Vec<u8>]) -> Ve
             (me + n - step) % n
         };
         let sreq = mpi.isend_ctx(&chunks[partner], comm.world_rank(partner), tag, comm.ctx);
-        let rreq = mpi.irecv_ctx(Some(comm.world_rank(recv_from)), Some(tag), comm.ctx, None);
+        let rreq = mpi.irecv_ctx(Some(comm.world_rank(recv_from)), Some(tag), comm.ctx);
         mpi.wait(sreq);
         let (_s, data) = mpi.wait_recv(rreq);
         out[recv_from] = data;

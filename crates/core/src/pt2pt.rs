@@ -36,7 +36,6 @@ impl MpiRank {
             comm: WORLD_CTX,
             state: SendState::Done, // set by the gated issue below
             data: data.to_vec(),
-            ptr_key: data.as_ptr() as usize,
             was_backlogged: false,
             buffered: false,
             detached: false,
@@ -101,7 +100,7 @@ impl MpiRank {
     /// Non-blocking receive (`MPI_Irecv`) with optional source/tag
     /// wildcards. The payload is taken with [`MpiRank::wait_recv`].
     pub fn irecv(&mut self, src: Option<Rank>, tag: Option<Tag>) -> ReqId {
-        self.irecv_ctx(src, tag, WORLD_CTX, None)
+        self.irecv_ctx(src, tag, WORLD_CTX)
     }
 
     /// Blocking receive returning the status and payload.
@@ -110,12 +109,12 @@ impl MpiRank {
         self.wait_recv(req)
     }
 
-    /// Blocking receive into an existing buffer; its identity feeds the
-    /// pin-down cache so iterative applications pin once. Returns the
-    /// status; panics if the message is larger than `buf`.
+    /// Blocking receive into an existing buffer; rendezvous staging is
+    /// memoized per (source, size class) in the pin-down cache, so
+    /// iterative applications pin once. Returns the status; panics if the
+    /// message is larger than `buf`.
     pub fn recv_into(&mut self, buf: &mut [u8], src: Option<Rank>, tag: Option<Tag>) -> Status {
-        let key = BufKey::of(buf);
-        let req = self.irecv_ctx(src, tag, WORLD_CTX, Some(key.ptr));
+        let req = self.irecv_ctx(src, tag, WORLD_CTX);
         let (status, data) = self.wait_recv(req);
         assert!(
             data.len() <= buf.len(),
@@ -146,8 +145,7 @@ impl MpiRank {
         src: Option<Rank>,
         tag: Option<Tag>,
     ) -> Status {
-        let key = out.as_ptr() as usize;
-        let req = self.irecv_ctx(src, tag, WORLD_CTX, Some(key));
+        let req = self.irecv_ctx(src, tag, WORLD_CTX);
         let (status, data) = self.wait_recv(req);
         decode_into(&data, out);
         status
@@ -240,41 +238,12 @@ impl MpiRank {
             if self.reqs.get(req).is_done() {
                 break;
             }
-            let note = if let Request::Recv(r) = self.reqs.get(req) {
-                let fabric_info = if let Some(src) = r.src {
-                    if src != self.rank {
-                        let my_qp = self.conn(src).qp;
-                        let peer_qp = self.peer_qp_of(src);
-                        self.proc.with(|ctx| {
-                            let mine = ctx.world.qp(my_qp);
-                            let theirs = ctx.world.qp(peer_qp);
-                            format!(
-                                "my_rq={} my_expected={} peer_sq={} peer_inflight={}",
-                                mine.posted_recvs(),
-                                mine.queued_sends(),
-                                theirs.queued_sends(),
-                                theirs.inflight_msgs()
-                            )
-                        })
-                    } else {
-                        String::new()
-                    }
-                } else {
-                    String::new()
-                };
-                format!(
-                    "MPI_Wait(recv) src={:?} tag={:?} state={:?} unexp={} | {} | conns: {}",
-                    r.src,
-                    r.tag,
-                    r.state,
-                    self.unexpected.len(),
-                    fabric_info,
-                    self.conn_debug_summary()
-                )
-            } else {
-                "MPI_Wait(recv)".to_string()
-            };
-            self.block_for_progress(&note);
+            // Park notes are static: this is the hottest park site in the
+            // whole stack, so no diagnostic string is built per iteration.
+            // On deadlock, `MpiWorld::run` reconstructs the fabric-level
+            // state (posted recvs, queued sends, in-flight messages per
+            // connection) from the torn-down world instead.
+            self.block_for_progress("MPI_Wait(recv)");
         }
         match self.reqs.remove(req) {
             Request::Recv(r) => {
@@ -307,7 +276,6 @@ impl MpiRank {
             comm,
             state: SendState::Done, // set properly by issue_send
             data: data.to_vec(),
-            ptr_key: data.as_ptr() as usize,
             was_backlogged: false,
             buffered: false,
             detached: false,
@@ -321,7 +289,6 @@ impl MpiRank {
         src: Option<Rank>,
         tag: Option<Tag>,
         comm: CommCtx,
-        ptr_key: Option<usize>,
     ) -> ReqId {
         let req = self.reqs.insert(Request::Recv(RecvReq {
             src,
@@ -330,7 +297,6 @@ impl MpiRank {
             state: RecvState::Posted,
             data: None,
             status: None,
-            ptr_key,
             staging: None,
             rndz_len: 0,
         }));
@@ -474,46 +440,34 @@ impl MpiRank {
     /// `optimistic` marks the credit-less start a starved connection is
     /// allowed to keep in flight.
     pub(crate) fn start_rndz(&mut self, req: ReqId, optimistic: bool) {
-        let (dst, tag, comm, len, ptr_key, flagged) = {
+        let (dst, tag, comm, len, flagged) = {
             let s = self.reqs.send_ref(req);
-            (
-                s.dst,
-                s.tag,
-                s.comm,
-                s.data.len(),
-                s.ptr_key,
-                s.was_backlogged,
-            )
+            (s.dst, s.tag, s.comm, s.data.len(), s.was_backlogged)
         };
         if optimistic {
             debug_assert!(self.conn(dst).optimistic_req.is_none());
             self.conn_mut(dst).optimistic_req = Some(req);
         }
-        // Pin-down cache: charge registration on a miss. Two keys give a
-        // hit — the user buffer's own identity (persistent application
-        // buffers, the cache's classic win) or the per-(destination,
-        // size-class) staging slot that models the registered send pools
-        // era MPIs kept for transient buffers.
+        // Pin-down cache: charge registration on a miss, keyed by the
+        // per-(destination, size-class) send slot — the registered send
+        // pools era MPIs kept. Iterative applications hit after the first
+        // transfer of each shape; the key is derived purely from
+        // simulation-visible identity, never a host address, so hit/miss
+        // patterns (and virtual time) are reproducible run-to-run.
         let class_len = len.max(1).next_power_of_two();
         let slot_key = 0x4000_0000_0000 + (dst << 40) + class_len;
         let cost = {
             let regcache = &mut self.regcache;
             self.proc.with(|ctx| {
-                let (_, by_ptr) =
-                    regcache.acquire_probe(ctx.world, BufKey { ptr: ptr_key, len }, len.max(1));
-                if by_ptr == ibsim::SimDuration::ZERO {
-                    by_ptr
-                } else {
-                    let (_, c) = regcache.acquire(
-                        ctx.world,
-                        BufKey {
-                            ptr: slot_key,
-                            len: class_len,
-                        },
-                        class_len,
-                    );
-                    c
-                }
+                let (_, c) = regcache.acquire(
+                    ctx.world,
+                    BufKey {
+                        slot: slot_key,
+                        len: class_len,
+                    },
+                    class_len,
+                );
+                c
             })
         };
         self.charge(cost);
@@ -584,33 +538,21 @@ impl MpiRank {
         rndz_id: u64,
         data_len: usize,
     ) {
-        let ptr_key = self.reqs.recv_ref(req).ptr_key;
-        // Staging region for the zero-copy write. When the caller supplied
-        // a persistent buffer its identity keys the pin-down cache; for
-        // allocate-on-receive calls we key a per-(source, size-class)
-        // staging slot instead — applications and collectives of this era
-        // reuse their receive areas, so steady-state rendezvous must not
-        // pay registration every time.
+        // Staging region for the zero-copy write, keyed by a
+        // per-(source, size-class) staging slot — applications and
+        // collectives of this era reuse their receive areas, so
+        // steady-state rendezvous must not pay registration every time.
+        // Like the send side, the key is simulation-visible identity only
+        // (never a host address), keeping virtual time reproducible.
         let (staging, cost) = {
             let class_len = data_len.max(1).next_power_of_two();
-            let key = match ptr_key {
-                Some(p) => BufKey {
-                    ptr: p,
-                    len: data_len,
-                },
-                None => BufKey {
-                    ptr: 0x8000_0000_0000 + (src << 40) + class_len,
-                    len: class_len,
-                },
-            };
-            let alloc = if ptr_key.is_some() {
-                data_len.max(1)
-            } else {
-                class_len
+            let key = BufKey {
+                slot: 0x8000_0000_0000 + (src << 40) + class_len,
+                len: class_len,
             };
             let regcache = &mut self.regcache;
             self.proc
-                .with(|ctx| regcache.acquire(ctx.world, key, alloc))
+                .with(|ctx| regcache.acquire(ctx.world, key, class_len))
         };
         self.charge(cost);
         if let Request::Recv(r) = self.reqs.get_mut(req) {
@@ -639,7 +581,7 @@ impl MpiRank {
     /// virtual time pass, during which completions can land). Anything
     /// that arrived during the flush is drained by one more progress
     /// sweep; only a genuinely idle endpoint parks.
-    pub(crate) fn block_for_progress(&mut self, what: &str) {
+    pub(crate) fn block_for_progress(&mut self, what: &'static str) {
         let w = self.proc.waker();
         let cq = self.cq;
         let node = self.node;
@@ -657,7 +599,7 @@ impl MpiRank {
     }
 
     /// Spins progress until `pred` holds.
-    pub(crate) fn wait_until(&mut self, pred: impl Fn(&MpiRank) -> bool, what: &str) {
+    pub(crate) fn wait_until(&mut self, pred: impl Fn(&MpiRank) -> bool, what: &'static str) {
         loop {
             self.progress();
             if pred(self) {

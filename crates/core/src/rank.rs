@@ -411,28 +411,6 @@ impl MpiRank {
         self.conn(peer).credits
     }
 
-    /// One-line connection state summary for deadlock diagnostics.
-    pub(crate) fn conn_debug_summary(&self) -> String {
-        self.conns
-            .iter()
-            .flatten()
-            .filter(|c| {
-                c.credits != self.cfg.prepost || !c.backlog.is_empty() || c.optimistic_req.is_some()
-            })
-            .map(|c| {
-                format!(
-                    "[peer={} cr={} bl={} opt={:?} owed={}]",
-                    c.peer,
-                    c.credits,
-                    c.backlog.len(),
-                    c.optimistic_req,
-                    c.consumed_since_update
-                )
-            })
-            .collect::<Vec<_>>()
-            .join(" ")
-    }
-
     /// Snapshot of this rank's statistics.
     pub fn stats(&self) -> &RankStats {
         &self.stats

@@ -11,26 +11,21 @@ use ibsim::stats::Counter;
 use ibsim::SimDuration;
 use std::collections::BTreeMap;
 
-/// Identity of an application buffer: its address and capacity. Stable for
-/// the lifetime of an allocation, exactly like the address keys the real
-/// cache uses. Ordered so the cache can live in a `BTreeMap` (deterministic
-/// iteration regardless of hasher seeding).
+/// Logical identity of a registered region. The real cache keys on virtual
+/// addresses; the simulation must not — host allocator addresses vary
+/// run-to-run (ASLR, allocation interleaving), and keying on them makes
+/// hit/miss patterns, and therefore virtual time, host-dependent. Callers
+/// instead derive `slot` from simulation-visible identity (peer rank +
+/// size class), which models the same steady state — an iterative
+/// application's repeated transfers pin once — deterministically. Ordered
+/// so the cache can live in a `BTreeMap` (deterministic iteration, and a
+/// deterministic LRU tie-break in eviction).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BufKey {
-    /// Buffer start address (as integer).
-    pub ptr: usize,
-    /// Buffer capacity in bytes.
+    /// Logical slot identity (never a host address).
+    pub slot: usize,
+    /// Region capacity in bytes.
     pub len: usize,
-}
-
-impl BufKey {
-    /// Key for a byte slice.
-    pub fn of(buf: &[u8]) -> BufKey {
-        BufKey {
-            ptr: buf.as_ptr() as usize,
-            len: buf.len(),
-        }
-    }
 }
 
 #[derive(Debug)]
@@ -75,26 +70,6 @@ impl RegCache {
     /// Bytes of pinned memory currently cached.
     pub fn used_bytes(&self) -> usize {
         self.used_bytes
-    }
-
-    /// Like [`RegCache::acquire`] but without registering on a miss: a
-    /// cheap existence probe. Returns a zero duration on a hit, the
-    /// would-be cost otherwise.
-    pub fn acquire_probe(
-        &mut self,
-        fabric: &mut Fabric,
-        key: BufKey,
-        len: usize,
-    ) -> (Option<MrId>, SimDuration) {
-        self.tick += 1;
-        if let Some(e) = self.entries.get_mut(&key) {
-            if e.len >= len {
-                e.last_use = self.tick;
-                self.hits.incr();
-                return (Some(e.mr), SimDuration::ZERO);
-            }
-        }
-        (None, fabric.params().reg_cost(len))
     }
 
     /// Returns a registered region of at least `len` bytes for `key`,
@@ -165,7 +140,7 @@ mod tests {
         let (mut f, n) = fabric_and_node();
         let mut cache = RegCache::new(n, 1 << 20);
         let key = BufKey {
-            ptr: 0x1000,
+            slot: 0x1000,
             len: 8192,
         };
         let (mr1, cost1) = cache.acquire(&mut f, key, 8192);
@@ -182,7 +157,7 @@ mod tests {
         let (mut f, n) = fabric_and_node();
         let mut cache = RegCache::new(n, 1 << 20);
         let key = BufKey {
-            ptr: 0x1000,
+            slot: 0x1000,
             len: 4096,
         };
         let (mr1, _) = cache.acquire(&mut f, key, 4096);
@@ -197,7 +172,7 @@ mod tests {
         let mut cache = RegCache::new(n, 10_000);
         for i in 0..5usize {
             let key = BufKey {
-                ptr: 0x1000 * (i + 1),
+                slot: 0x1000 * (i + 1),
                 len: 4096,
             };
             let _ = cache.acquire(&mut f, key, 4096);
@@ -209,19 +184,11 @@ mod tests {
         assert!(cache.evictions.get() >= 2);
         // Oldest entry got evicted: re-acquiring it misses again.
         let key0 = BufKey {
-            ptr: 0x1000,
+            slot: 0x1000,
             len: 4096,
         };
         let before = cache.misses.get();
         let _ = cache.acquire(&mut f, key0, 4096);
         assert_eq!(cache.misses.get(), before + 1);
-    }
-
-    #[test]
-    fn bufkey_of_slice() {
-        let v = vec![0u8; 64];
-        let k = BufKey::of(&v);
-        assert_eq!(k.len, 64);
-        assert_eq!(k.ptr, v.as_ptr() as usize);
     }
 }

@@ -29,8 +29,6 @@ pub(crate) struct SendReq {
     /// Payload (owned snapshot; the simulator's stand-in for the pinned
     /// user buffer).
     pub data: Vec<u8>,
-    /// Identity of the user buffer for the pin-down cache.
-    pub ptr_key: usize,
     /// Whether this operation passed through the backlog (sets the
     /// feedback flag on its rendezvous start).
     pub was_backlogged: bool,
@@ -64,9 +62,6 @@ pub(crate) struct RecvReq {
     /// Completed payload.
     pub data: Option<Vec<u8>>,
     pub status: Option<Status>,
-    /// Identity of the destination user buffer for the pin-down cache
-    /// (None for allocate-on-receive calls).
-    pub ptr_key: Option<usize>,
     /// Staging memory region used for rendezvous (copied out at fin).
     pub staging: Option<ibfabric::MrId>,
     /// Expected rendezvous length (set when matched).
@@ -197,7 +192,6 @@ mod tests {
             comm: 0,
             state: SendState::Done,
             data: vec![],
-            ptr_key: 0,
             was_backlogged: false,
             buffered: false,
             detached: false,

@@ -83,6 +83,32 @@ fn ring_mr_for(n: usize, i: usize, j: usize) -> MrId {
     MrId::from_raw((2 * n * (n - 1) + pair_index(n, i, j)) as u32)
 }
 
+/// Appends rank `i`'s fabric-level connection state (posted receives,
+/// queued sends, peer in-flight messages) to a deadlock park note. Quiet
+/// connections are skipped so wide worlds stay readable.
+fn append_fabric_diag(note: &mut String, fabric: &Fabric, nprocs: usize, i: usize) {
+    use std::fmt::Write as _;
+    for j in 0..nprocs {
+        if i == j {
+            continue;
+        }
+        let mine = fabric.qp(qp_id_for(nprocs, i, j));
+        let theirs = fabric.qp(qp_id_for(nprocs, j, i));
+        let (rq, sq, peer_sq, peer_inflight) = (
+            mine.posted_recvs(),
+            mine.queued_sends(),
+            theirs.queued_sends(),
+            theirs.inflight_msgs(),
+        );
+        if sq > 0 || peer_sq > 0 || peer_inflight > 0 {
+            let _ = write!(
+                note,
+                " | peer{j}: rq={rq} sq={sq} peer_sq={peer_sq} peer_inflight={peer_inflight}"
+            );
+        }
+    }
+}
+
 impl MpiWorld {
     /// Runs `body` on `nprocs` simulated processes and returns their
     /// results plus statistics. Fully deterministic for a given
@@ -254,7 +280,26 @@ impl MpiWorld {
         }
         drop(tx);
 
-        let report = sim.run()?;
+        let report = match sim.run() {
+            Ok(report) => report,
+            Err(SimError::Deadlock(mut info)) => {
+                // Park notes are allocation-free `&'static str`s (hot-path
+                // rule), so the detailed per-connection state that used to
+                // ride in each note is rebuilt here, on the failure path
+                // only, from the torn-down fabric.
+                let fabric = sim.into_world();
+                for (name, note) in info.parked.iter_mut() {
+                    if let Some(i) = name
+                        .strip_prefix("rank")
+                        .and_then(|s| s.parse::<usize>().ok())
+                    {
+                        append_fabric_diag(note, &fabric, nprocs, i);
+                    }
+                }
+                return Err(SimError::Deadlock(info).into());
+            }
+            Err(e) => return Err(e.into()),
+        };
         let mut collected: Vec<(usize, R, RankStats)> = rx.try_iter().collect();
         collected.sort_by_key(|(r, _, _)| *r);
         assert_eq!(collected.len(), nprocs, "missing rank results");

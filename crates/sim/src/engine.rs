@@ -1,7 +1,7 @@
 //! The simulation kernel: event loop, scheduling context, process handoff.
 
 use crate::error::{DeadlockInfo, SimError};
-use crate::event::{Entry, EventFn, EventKind};
+use crate::event::{Entry, EventKind};
 use crate::process::{spawn_proc, ProcCtx, ProcId, ProcSlot, ProcStatus, ResumeSignal, YieldMsg};
 use crate::time::{SimDuration, SimTime};
 use crate::waker::Waker;
@@ -46,6 +46,43 @@ impl<W> Sched<W> {
         self.queue.push(Reverse(Entry { time, seq, kind }));
     }
 
+    /// Pops and runs ready `Call` events inline (one lock acquisition for a
+    /// whole run of closure events, including every same-timestamp batch),
+    /// stopping at the first event that needs the kernel loop: a process
+    /// handoff, an empty queue, or a configured limit.
+    fn drain_calls(&mut self, world: &mut W, config: &SimConfig) -> KernelStep {
+        loop {
+            match self.queue.pop() {
+                None => return KernelStep::QueueEmpty,
+                Some(Reverse(entry)) => {
+                    // Limits are checked *before* counting the event, so an
+                    // `EventLimitExceeded` reports exactly the configured
+                    // limit rather than limit + 1.
+                    if self.events_processed >= config.max_events {
+                        return KernelStep::EventLimit(self.events_processed, self.now);
+                    }
+                    if entry.time > config.max_time {
+                        return KernelStep::TimeLimit(entry.time);
+                    }
+                    self.events_processed += 1;
+                    self.now = entry.time;
+                    match entry.kind {
+                        EventKind::Call(f) => f(&mut Ctx { world, sched: self }),
+                        EventKind::Resume(p) => {
+                            let slot = &mut self.procs[p.0];
+                            slot.resume_pending = false;
+                            if matches!(slot.status, ProcStatus::Done) {
+                                continue; // stale resume for a finished process
+                            }
+                            slot.status = ProcStatus::Running;
+                            return KernelStep::Handoff(p, entry.time);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Schedule a `Resume` for `proc` at `time` unless one is already
     /// pending or the process is done.
     pub(crate) fn wake_at(&mut self, proc_id: ProcId, time: SimTime) {
@@ -63,6 +100,15 @@ impl<W> Sched<W> {
     pub(crate) fn clear_resume_pending(&mut self, proc_id: ProcId) {
         self.procs[proc_id.0].resume_pending = false;
     }
+}
+
+/// What [`Sched::drain_calls`] stopped on; everything except `Handoff`
+/// resolves the run without touching process threads.
+enum KernelStep {
+    Handoff(ProcId, SimTime),
+    QueueEmpty,
+    EventLimit(u64, SimTime),
+    TimeLimit(SimTime),
 }
 
 /// The full world + scheduler state guarded by one mutex; only one context
@@ -158,6 +204,10 @@ pub struct Sim<W: Send + 'static> {
     shared: Arc<Shared<W>>,
     config: SimConfig,
     handles: Vec<JoinHandle<()>>,
+    /// Resume channel per process, indexed by `ProcId`. Owned by the kernel
+    /// (not the shared state) so a handoff sends without holding the state
+    /// lock and without cloning a `Sender` per handoff.
+    resume_txs: Vec<Sender<ResumeSignal>>,
     yield_rx: Receiver<YieldMsg>,
     yield_tx: Sender<YieldMsg>,
 }
@@ -181,6 +231,7 @@ impl<W: Send + 'static> Sim<W> {
             }),
             config,
             handles: Vec::new(),
+            resume_txs: Vec::new(),
             yield_rx,
             yield_tx,
         }
@@ -203,15 +254,16 @@ impl<W: Send + 'static> Sim<W> {
     ) -> ProcId {
         let name = name.into();
         let (resume_tx, resume_rx) = channel::<ResumeSignal>();
+        self.resume_txs.push(resume_tx);
         let id = {
             let mut st = self.shared.lock();
             let id = ProcId(st.sched.procs.len());
+            debug_assert_eq!(id.0 + 1, self.resume_txs.len());
             st.sched.procs.push(ProcSlot {
                 name: name.clone(),
                 status: ProcStatus::Parked,
-                resume_tx,
                 resume_pending: true,
-                park_note: "not yet started".to_string(),
+                park_note: "not yet started",
             });
             let t = st.sched.now;
             st.sched.push(t, EventKind::Resume(id));
@@ -236,10 +288,10 @@ impl<W: Send + 'static> Sim<W> {
         // threads exit, then join them all.
         if result.is_err() {
             let st = self.shared.lock();
-            for slot in &st.sched.procs {
+            for (slot, tx) in st.sched.procs.iter().zip(&self.resume_txs) {
                 if !matches!(slot.status, ProcStatus::Done) {
                     // Ignore send errors: the thread may have panicked already.
-                    let _ = slot.resume_tx.send(ResumeSignal::Abort);
+                    let _ = tx.send(ResumeSignal::Abort);
                 }
             }
         }
@@ -251,76 +303,20 @@ impl<W: Send + 'static> Sim<W> {
 
     fn event_loop(&mut self) -> Result<RunReport, SimError> {
         loop {
-            // Decide what to do while holding the lock, then act on it with
-            // the lock released (a handoff must not hold the lock).
-            enum Action<W> {
-                Call(EventFn<W>),
-                Handoff(ProcId, SimTime),
-                Finished(RunReport),
-                Deadlock(DeadlockInfo),
-                EventLimit(u64, SimTime),
-                TimeLimit(SimTime),
-            }
-
-            let action: Action<W> = {
+            // Drain every ready closure event under ONE lock acquisition
+            // (the kernel is the only actor while no process holds the
+            // baton, so holding the lock across a run of `Call`s is free),
+            // then release it before touching a process: a handoff blocks
+            // on the process thread, which needs the lock to run.
+            let step: KernelStep = {
                 let mut st = self.shared.lock();
-                match st.sched.queue.pop() {
-                    None => {
-                        let parked: Vec<(String, String)> = st
-                            .sched
-                            .procs
-                            .iter()
-                            .filter(|p| !matches!(p.status, ProcStatus::Done))
-                            .map(|p| (p.name.clone(), p.park_note.clone()))
-                            .collect();
-                        if parked.is_empty() {
-                            Action::Finished(RunReport {
-                                end_time: st.sched.now,
-                                events_processed: st.sched.events_processed,
-                                procs_finished: st.sched.procs.len(),
-                            })
-                        } else {
-                            Action::Deadlock(DeadlockInfo {
-                                at: st.sched.now,
-                                parked,
-                            })
-                        }
-                    }
-                    Some(Reverse(entry)) => {
-                        st.sched.events_processed += 1;
-                        if st.sched.events_processed > self.config.max_events {
-                            Action::EventLimit(st.sched.events_processed, st.sched.now)
-                        } else if entry.time > self.config.max_time {
-                            Action::TimeLimit(entry.time)
-                        } else {
-                            st.sched.now = entry.time;
-                            match entry.kind {
-                                EventKind::Call(f) => Action::Call(f),
-                                EventKind::Resume(p) => Action::Handoff(p, entry.time),
-                            }
-                        }
-                    }
-                }
+                let State { world, sched } = &mut *st;
+                sched.drain_calls(world, &self.config)
             };
 
-            match action {
-                Action::Call(f) => {
-                    let mut st = self.shared.lock();
-                    let State { world, sched } = &mut *st;
-                    f(&mut Ctx { world, sched });
-                }
-                Action::Handoff(p, t) => {
-                    let tx = {
-                        let mut st = self.shared.lock();
-                        let slot = &mut st.sched.procs[p.0];
-                        slot.resume_pending = false;
-                        if matches!(slot.status, ProcStatus::Done) {
-                            continue; // stale resume for a finished process
-                        }
-                        slot.status = ProcStatus::Running;
-                        slot.resume_tx.clone()
-                    };
-                    if tx.send(ResumeSignal::Go(t)).is_err() {
+            match step {
+                KernelStep::Handoff(p, t) => {
+                    if self.resume_txs[p.0].send(ResumeSignal::Go(t)).is_err() {
                         // Thread died without yielding: surface as a panic.
                         let name = self.proc_name(p);
                         return Err(SimError::ProcPanicked {
@@ -353,12 +349,31 @@ impl<W: Send + 'static> Sim<W> {
                         }
                     }
                 }
-                Action::Finished(report) => return Ok(report),
-                Action::Deadlock(info) => return Err(SimError::Deadlock(info)),
-                Action::EventLimit(events, at) => {
+                KernelStep::QueueEmpty => {
+                    let st = self.shared.lock();
+                    let parked: Vec<(String, String)> = st
+                        .sched
+                        .procs
+                        .iter()
+                        .filter(|p| !matches!(p.status, ProcStatus::Done))
+                        .map(|p| (p.name.clone(), p.park_note.to_string()))
+                        .collect();
+                    if parked.is_empty() {
+                        return Ok(RunReport {
+                            end_time: st.sched.now,
+                            events_processed: st.sched.events_processed,
+                            procs_finished: st.sched.procs.len(),
+                        });
+                    }
+                    return Err(SimError::Deadlock(DeadlockInfo {
+                        at: st.sched.now,
+                        parked,
+                    }));
+                }
+                KernelStep::EventLimit(events, at) => {
                     return Err(SimError::EventLimitExceeded { events, at })
                 }
-                Action::TimeLimit(at) => return Err(SimError::TimeLimitExceeded { at }),
+                KernelStep::TimeLimit(at) => return Err(SimError::TimeLimitExceeded { at }),
             }
         }
     }
@@ -375,9 +390,9 @@ impl<W: Send + 'static> Sim<W> {
         // their channels first by aborting them.
         {
             let st = self.shared.lock();
-            for slot in &st.sched.procs {
+            for (slot, tx) in st.sched.procs.iter().zip(&self.resume_txs) {
                 if !matches!(slot.status, ProcStatus::Done) {
-                    let _ = slot.resume_tx.send(ResumeSignal::Abort);
+                    let _ = tx.send(ResumeSignal::Abort);
                 }
             }
         }
@@ -554,10 +569,11 @@ mod tests {
             }
             ctx.schedule_at(SimTime::ZERO, tick);
         });
-        assert!(matches!(
-            sim.run(),
-            Err(SimError::EventLimitExceeded { .. })
-        ));
+        match sim.run() {
+            // The limit reports the configured ceiling, not ceiling + 1.
+            Err(SimError::EventLimitExceeded { events, .. }) => assert_eq!(events, 100),
+            other => panic!("expected event limit, got {other:?}"),
+        }
     }
 
     #[test]

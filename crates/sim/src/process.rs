@@ -32,7 +32,7 @@ pub(crate) enum ResumeSignal {
 }
 
 pub(crate) enum YieldMsg {
-    Parked { proc_id: ProcId, note: String },
+    Parked { proc_id: ProcId, note: &'static str },
     Done { proc_id: ProcId },
     Panicked { proc_id: ProcId, message: String },
 }
@@ -40,9 +40,10 @@ pub(crate) enum YieldMsg {
 pub(crate) struct ProcSlot {
     pub name: String,
     pub status: ProcStatus,
-    pub resume_tx: Sender<ResumeSignal>,
     pub resume_pending: bool,
-    pub park_note: String,
+    /// Last park note; `&'static str` so the park hot path allocates
+    /// nothing (deadlock diagnostics copy it into `String`s on failure).
+    pub park_note: &'static str,
 }
 
 /// Payload used to unwind a process thread when the kernel aborts the run;
@@ -120,13 +121,14 @@ impl<W: Send + 'static> ProcCtx<W> {
     }
 
     /// Blocks until some [`Waker`] for this process fires. `note` is shown
-    /// in deadlock diagnostics. Wakes may be spurious; callers re-check
-    /// their condition in a loop.
-    pub fn park(&mut self, note: &str) {
+    /// in deadlock diagnostics; it is a `&'static str` so parking performs
+    /// no allocation (this is the hottest handoff path in the simulator).
+    /// Wakes may be spurious; callers re-check their condition in a loop.
+    pub fn park(&mut self, note: &'static str) {
         self.yield_tx
             .send(YieldMsg::Parked {
                 proc_id: self.id,
-                note: note.to_string(),
+                note,
             })
             // simlint: allow(no-panic-in-lib): the kernel outlives every process thread by construction (joined at shutdown)
             .expect("kernel gone while parking");
@@ -155,7 +157,7 @@ impl<W: Send + 'static> ProcCtx<W> {
             self.yield_tx
                 .send(YieldMsg::Parked {
                     proc_id: self.id,
-                    note: "advancing clock".to_string(),
+                    note: "advancing clock",
                 })
                 // simlint: allow(no-panic-in-lib): same kernel-lifetime invariant as parking
                 .expect("kernel gone while advancing");

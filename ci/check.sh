@@ -11,13 +11,17 @@ run() {
     "$@"
 }
 
-# Like run, but reports the step's wall time (used for the per-target
-# smoke runs so throughput regressions are visible in the CI log).
+# Like run, but reports the step's wall time in milliseconds (used for
+# the per-target smoke runs so throughput regressions are visible in the
+# CI log; `$SECONDS` has 1-second resolution, useless for sub-second
+# smoke targets).
 timed() {
     echo "==> $*"
-    local t0=$SECONDS
+    local t0 t1
+    t0=$(date +%s%N)
     "$@"
-    echo "    took $((SECONDS - t0))s (wall)"
+    t1=$(date +%s%N)
+    echo "    took $(((t1 - t0) / 1000000))ms (wall)"
 }
 
 run cargo build --release --workspace --locked --offline

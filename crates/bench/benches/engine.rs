@@ -1,21 +1,29 @@
 //! Engine throughput bench: raw event-loop rates plus the battery wall.
 //!
-//! Three measurements, recorded in `bench_results/BENCH_engine.json`:
+//! Four measurements, recorded in `bench_results/BENCH_engine.json`:
 //!
-//! * **call events/sec** — a self-perpetuating closure-event chain; the
-//!   kernel drains it under a single lock acquisition, so this is the
-//!   ceiling on pure event dispatch.
+//! * **call events/sec** — a self-perpetuating closure-event chain drained
+//!   under a single lock acquisition; the ceiling on pure event dispatch.
 //! * **handoff events/sec** — one process advancing the clock in a tight
-//!   loop; every event is a kernel→process→kernel baton round trip, so
-//!   this measures the handoff path (channel send/recv + two lock
-//!   acquisitions).
+//!   loop. Under the direct-handoff engine every one of these resumes
+//!   targets the advancing process itself, so this measures the
+//!   *self-resume fast path*: one lock acquisition plus a heap push/pop,
+//!   zero channel operations, zero context switches.
+//! * **handoff_xproc events/sec** — two processes advancing on interleaved
+//!   odd/even schedules so every resume crosses threads; measures the true
+//!   process-to-process baton (one direct channel send + one context
+//!   switch per event, kernel thread asleep throughout).
 //! * **battery wall** — the `all_experiments` workload (every figure and
-//!   table at the default class) at `IBFLOW_JOBS=1` and at the host's
-//!   parallelism, timing the serial hot path and the pool speedup.
+//!   table at the default class) at `IBFLOW_JOBS=1` and at jobs=N, timing
+//!   the serial hot path and the pool speedup. Each simulated rank is an
+//!   OS thread, so jobs × ranks can exceed the host's hardware threads;
+//!   the bench warns explicitly when the jobs=N wall regresses.
 //!
 //! `--test` (as passed by `cargo test --benches`) runs tiny versions of
-//! each measurement, asserts generous sanity floors, and writes nothing;
-//! CI uses this as a cheap throughput-regression tripwire.
+//! each measurement, asserts sanity floors, and writes nothing; CI uses
+//! this as a throughput-regression tripwire. The handoff floor sits well
+//! above the pre-direct-handoff rate (~280k/s), so losing the fast path
+//! fails CI.
 
 use ibflow_bench::figures::{bandwidth_figure, fig2_latency, nas_battery};
 use ibsim::{Ctx, Sim, SimConfig, SimDuration, SimTime};
@@ -44,7 +52,8 @@ fn call_chain_rate(n: u64) -> f64 {
     rep.events_processed as f64 / t0.elapsed().as_secs_f64()
 }
 
-/// Events/sec when every event is a process handoff (`advance` in a loop).
+/// Events/sec for a single process advancing in a loop: every resume
+/// targets the advancing process itself (the self-resume fast path).
 fn handoff_rate(n: u64) -> f64 {
     let mut sim: Sim<()> = Sim::new((), SimConfig::default());
     sim.spawn("p", move |mut p| {
@@ -54,6 +63,25 @@ fn handoff_rate(n: u64) -> f64 {
     });
     let t0 = Instant::now();
     let rep = sim.run().expect("handoff run");
+    rep.events_processed as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Events/sec for a two-process ping-pong: the processes advance on
+/// interleaved odd/even nanosecond schedules, so consecutive resumes
+/// always alternate between them and every baton handoff is a true
+/// cross-process transfer — the self-resume fast path never triggers.
+fn handoff_xproc_rate(n: u64) -> f64 {
+    let mut sim: Sim<()> = Sim::new((), SimConfig::default());
+    for phase in [1u64, 2u64] {
+        sim.spawn(format!("pp{phase}"), move |mut p| {
+            p.advance(SimDuration::nanos(phase));
+            for _ in 0..n {
+                p.advance(SimDuration::nanos(2));
+            }
+        });
+    }
+    let t0 = Instant::now();
+    let rep = sim.run().expect("ping-pong run");
     rep.events_processed as f64 / t0.elapsed().as_secs_f64()
 }
 
@@ -90,28 +118,37 @@ fn main() {
         .unwrap_or(1);
 
     if test_mode {
-        // Tiny versions + generous floors: a real regression on the hot
-        // paths (an order of magnitude) trips these even on a slow,
-        // noisy CI host.
+        // Tiny versions + floors with an order-of-magnitude margin over a
+        // slow, noisy CI host. The self-resume floor is deliberately set
+        // far above the old kernel-mediated handoff rate (~280k events/s):
+        // if the direct-handoff fast path is ever lost, this trips.
         let call = call_chain_rate(50_000);
-        let handoff = handoff_rate(5_000);
+        let handoff = median3(|| handoff_rate(20_000));
+        let xproc = handoff_xproc_rate(5_000);
         println!("test engine/call_chain ({call:.0} events/sec) ... ok");
-        println!("test engine/handoffs ({handoff:.0} events/sec) ... ok");
+        println!("test engine/handoffs_self ({handoff:.0} events/sec) ... ok");
+        println!("test engine/handoffs_xproc ({xproc:.0} events/sec) ... ok");
         assert!(
             call > 1_000_000.0,
             "call-event dispatch regressed: {call:.0} events/sec"
         );
         assert!(
-            handoff > 10_000.0,
-            "handoff path regressed: {handoff:.0} events/sec"
+            handoff > 1_000_000.0,
+            "self-resume handoff fast path regressed: {handoff:.0} events/sec"
+        );
+        assert!(
+            xproc > 20_000.0,
+            "cross-process handoff path regressed: {xproc:.0} events/sec"
         );
         return;
     }
 
     let call = median3(|| call_chain_rate(2_000_000));
-    println!("call events/sec:    {call:>14.0}");
-    let handoff = median3(|| handoff_rate(200_000));
-    println!("handoff events/sec: {handoff:>14.0}");
+    println!("call events/sec:          {call:>14.0}");
+    let handoff = median3(|| handoff_rate(2_000_000));
+    println!("handoff events/sec:       {handoff:>14.0}");
+    let xproc = median3(|| handoff_xproc_rate(200_000));
+    println!("handoff_xproc events/sec: {xproc:>14.0}");
 
     let class = ibflow_bench::nas_class_from_env();
     let jobs_n = ibpool::worker_count().max(4);
@@ -129,6 +166,21 @@ fn main() {
     );
     std::env::remove_var(ibpool::JOBS_ENV);
 
+    // Each simulated rank is an OS thread, so jobs × ranks can exceed the
+    // host's hardware threads; when that oversubscription makes jobs=N
+    // slower than serial, say so instead of leaving an anomalous-looking
+    // pair of walls in the report.
+    let oversubscribed = wall_jobsn > wall_jobs1;
+    if oversubscribed {
+        println!(
+            "warning: battery at jobs={jobs_n} ({:.3}s) is SLOWER than jobs=1 ({:.3}s); \
+             each simulated rank is an OS thread, so jobs x ranks likely oversubscribes \
+             the {host_parallelism} available hardware thread(s) on this host",
+            wall_jobsn as f64 / 1e9,
+            wall_jobs1 as f64 / 1e9,
+        );
+    }
+
     let dir = match std::env::var("IBFLOW_BENCH_DIR") {
         Ok(d) => std::path::PathBuf::from(d),
         Err(_) => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results"),
@@ -138,8 +190,10 @@ fn main() {
     let json = format!(
         "{{\n  \"group\": \"engine\",\n  \"host_parallelism\": {host_parallelism},\n  \
          \"call_events_per_sec\": {call:.0},\n  \"handoff_events_per_sec\": {handoff:.0},\n  \
+         \"handoff_xproc_events_per_sec\": {xproc:.0},\n  \
          \"battery_class\": \"{class:?}\",\n  \"battery_wall_jobs1_ns\": {wall_jobs1},\n  \
-         \"battery_jobs_n\": {jobs_n},\n  \"battery_wall_jobsn_ns\": {wall_jobsn}\n}}\n"
+         \"battery_jobs_n\": {jobs_n},\n  \"battery_wall_jobsn_ns\": {wall_jobsn},\n  \
+         \"jobsn_oversubscribed\": {oversubscribed}\n}}\n"
     );
     std::fs::write(&path, json).expect("write engine bench report");
     println!("-> {}", path.display());

@@ -1,8 +1,19 @@
-//! The simulation kernel: event loop, scheduling context, process handoff.
+//! The simulation kernel: event queue, scheduling context, baton routing.
+//!
+//! Execution follows a *direct-handoff* model: whichever thread currently
+//! holds the baton (a process parking/advancing/finishing, or the kernel
+//! loop bootstrapping the run) takes the state lock, drains ready `Call`
+//! events, and routes the next `Resume` itself — back to itself (the
+//! self-resume fast path: no channel operations, no context switch), to a
+//! peer process (one direct channel send), or to the kernel thread, which
+//! is woken only for terminal conditions (queue empty, limits, panics) and
+//! retains sole responsibility for deadlock reporting, abort fan-out, and
+//! joins. Virtual-time order is fully determined by the `(time, seq)` event
+//! queue, so result bytes cannot depend on which thread drains events.
 
 use crate::error::{DeadlockInfo, SimError};
 use crate::event::{Entry, EventKind};
-use crate::process::{spawn_proc, ProcCtx, ProcId, ProcSlot, ProcStatus, ResumeSignal, YieldMsg};
+use crate::process::{spawn_proc, KernelMsg, ProcCtx, ProcId, ProcSlot, ProcStatus, ResumeSignal};
 use crate::time::{SimDuration, SimTime};
 use crate::waker::Waker;
 use std::cmp::Reverse;
@@ -35,6 +46,11 @@ pub(crate) struct Sched<W> {
     seq: u64,
     queue: BinaryHeap<Reverse<Entry<W>>>,
     pub(crate) procs: Vec<ProcSlot>,
+    /// Resume channel per process, indexed by `ProcId`. Lives inside the
+    /// state (rather than being owned by the kernel) so the thread that
+    /// drains the queue — usually a yielding process — can hand the baton
+    /// directly to the next process without involving the kernel thread.
+    pub(crate) resume_txs: Vec<Sender<ResumeSignal>>,
     events_processed: u64,
 }
 
@@ -48,8 +64,10 @@ impl<W> Sched<W> {
 
     /// Pops and runs ready `Call` events inline (one lock acquisition for a
     /// whole run of closure events, including every same-timestamp batch),
-    /// stopping at the first event that needs the kernel loop: a process
-    /// handoff, an empty queue, or a configured limit.
+    /// stopping at the first event that ends this thread's turn: a process
+    /// handoff, an empty queue, or a configured limit. Any baton-holding
+    /// thread may drain — virtual-time order is fixed by the queue, so the
+    /// results cannot depend on who runs the closures.
     fn drain_calls(&mut self, world: &mut W, config: &SimConfig) -> KernelStep {
         loop {
             match self.queue.pop() {
@@ -100,15 +118,63 @@ impl<W> Sched<W> {
     pub(crate) fn clear_resume_pending(&mut self, proc_id: ProcId) {
         self.procs[proc_id.0].resume_pending = false;
     }
+
+    /// Drains ready events and routes the baton, all under the state lock
+    /// the caller already holds. `me` identifies the calling process
+    /// (`None` for the kernel loop) so a resume targeting the caller is
+    /// classified as [`Routed::SelfResume`] instead of being sent. A peer
+    /// resume is sent *while the lock is held*, which is safe — channel
+    /// sends never block and the peer cannot act before receiving the
+    /// baton — and keeps routing a single critical section.
+    pub(crate) fn route_baton(
+        &mut self,
+        world: &mut W,
+        config: &SimConfig,
+        me: Option<ProcId>,
+    ) -> Routed {
+        match self.drain_calls(world, config) {
+            KernelStep::Handoff(p, t) => {
+                if me == Some(p) {
+                    Routed::SelfResume(t)
+                } else if self.resume_txs[p.0].send(ResumeSignal::Go(t)).is_ok() {
+                    Routed::BatonSent(p)
+                } else {
+                    Routed::PeerDied(p)
+                }
+            }
+            KernelStep::QueueEmpty => Routed::Terminal(KernelMsg::QueueEmpty),
+            KernelStep::EventLimit(events, at) => {
+                Routed::Terminal(KernelMsg::EventLimit { events, at })
+            }
+            KernelStep::TimeLimit(at) => Routed::Terminal(KernelMsg::TimeLimit { at }),
+        }
+    }
 }
 
 /// What [`Sched::drain_calls`] stopped on; everything except `Handoff`
-/// resolves the run without touching process threads.
+/// is a terminal condition that only the kernel thread may resolve.
 enum KernelStep {
     Handoff(ProcId, SimTime),
     QueueEmpty,
     EventLimit(u64, SimTime),
     TimeLimit(SimTime),
+}
+
+/// Outcome of [`Sched::route_baton`]: what the thread that drained the
+/// queue must do next.
+pub(crate) enum Routed {
+    /// The next resume targets the caller itself: update the local clock
+    /// and keep running. Zero channel operations, zero context switches.
+    SelfResume(SimTime),
+    /// The baton was delivered to this (other) process's resume channel;
+    /// the caller must stop running (park or exit).
+    BatonSent(ProcId),
+    /// The target process's resume channel is closed — its thread died
+    /// without yielding. The caller must report it to the kernel.
+    PeerDied(ProcId),
+    /// A terminal condition; the caller must forward it to the kernel
+    /// thread, which resolves the run.
+    Terminal(KernelMsg),
 }
 
 /// The full world + scheduler state guarded by one mutex; only one context
@@ -120,6 +186,9 @@ pub(crate) struct State<W> {
 
 pub(crate) struct Shared<W> {
     pub(crate) state: Mutex<State<W>>,
+    /// Run limits; read-only after construction, so it lives outside the
+    /// mutex and is readable by every baton-holding thread during a drain.
+    pub(crate) config: SimConfig,
 }
 
 impl<W> Shared<W> {
@@ -202,14 +271,14 @@ pub struct RunReport {
 /// See the [crate docs](crate) for the execution model.
 pub struct Sim<W: Send + 'static> {
     shared: Arc<Shared<W>>,
-    config: SimConfig,
     handles: Vec<JoinHandle<()>>,
-    /// Resume channel per process, indexed by `ProcId`. Owned by the kernel
-    /// (not the shared state) so a handoff sends without holding the state
-    /// lock and without cloning a `Sender` per handoff.
-    resume_txs: Vec<Sender<ResumeSignal>>,
-    yield_rx: Receiver<YieldMsg>,
-    yield_tx: Sender<YieldMsg>,
+    /// Terminal-condition channel: processes report queue-empty, limits,
+    /// and panics here. The per-handoff park/resume bookkeeping that used
+    /// to flow through this channel is now done by the yielding process
+    /// itself under the state lock, so the kernel thread sleeps on this
+    /// receiver for the whole steady state of a run.
+    yield_rx: Receiver<KernelMsg>,
+    yield_tx: Sender<KernelMsg>,
 }
 
 impl<W: Send + 'static> Sim<W> {
@@ -225,13 +294,13 @@ impl<W: Send + 'static> Sim<W> {
                         seq: 0,
                         queue: BinaryHeap::new(),
                         procs: Vec::new(),
+                        resume_txs: Vec::new(),
                         events_processed: 0,
                     },
                 }),
+                config,
             }),
-            config,
             handles: Vec::new(),
-            resume_txs: Vec::new(),
             yield_rx,
             yield_tx,
         }
@@ -254,17 +323,17 @@ impl<W: Send + 'static> Sim<W> {
     ) -> ProcId {
         let name = name.into();
         let (resume_tx, resume_rx) = channel::<ResumeSignal>();
-        self.resume_txs.push(resume_tx);
         let id = {
             let mut st = self.shared.lock();
             let id = ProcId(st.sched.procs.len());
-            debug_assert_eq!(id.0 + 1, self.resume_txs.len());
             st.sched.procs.push(ProcSlot {
                 name: name.clone(),
                 status: ProcStatus::Parked,
                 resume_pending: true,
                 park_note: "not yet started",
             });
+            st.sched.resume_txs.push(resume_tx);
+            debug_assert_eq!(st.sched.procs.len(), st.sched.resume_txs.len());
             let t = st.sched.now;
             st.sched.push(t, EventKind::Resume(id));
             id
@@ -288,7 +357,7 @@ impl<W: Send + 'static> Sim<W> {
         // threads exit, then join them all.
         if result.is_err() {
             let st = self.shared.lock();
-            for (slot, tx) in st.sched.procs.iter().zip(&self.resume_txs) {
+            for (slot, tx) in st.sched.procs.iter().zip(&st.sched.resume_txs) {
                 if !matches!(slot.status, ProcStatus::Done) {
                     // Ignore send errors: the thread may have panicked already.
                     let _ = tx.send(ResumeSignal::Abort);
@@ -301,85 +370,89 @@ impl<W: Send + 'static> Sim<W> {
         result
     }
 
+    /// The kernel's share of a run: bootstrap the baton into the process
+    /// graph, then sleep until a terminal condition comes back. All
+    /// steady-state scheduling — event draining and process-to-process
+    /// handoffs — happens on the process threads themselves.
     fn event_loop(&mut self) -> Result<RunReport, SimError> {
-        loop {
-            // Drain every ready closure event under ONE lock acquisition
-            // (the kernel is the only actor while no process holds the
-            // baton, so holding the lock across a run of `Call`s is free),
-            // then release it before touching a process: a handoff blocks
-            // on the process thread, which needs the lock to run.
-            let step: KernelStep = {
-                let mut st = self.shared.lock();
-                let State { world, sched } = &mut *st;
-                sched.drain_calls(world, &self.config)
-            };
-
-            match step {
-                KernelStep::Handoff(p, t) => {
-                    if self.resume_txs[p.0].send(ResumeSignal::Go(t)).is_err() {
-                        // Thread died without yielding: surface as a panic.
-                        let name = self.proc_name(p);
-                        return Err(SimError::ProcPanicked {
-                            name,
-                            message: "process thread exited unexpectedly".into(),
-                        });
-                    }
-                    // Wait for the process to park, finish, or panic.
-                    match self.yield_rx.recv() {
-                        Ok(YieldMsg::Parked { proc_id, note }) => {
-                            let mut st = self.shared.lock();
-                            let slot = &mut st.sched.procs[proc_id.0];
-                            slot.status = ProcStatus::Parked;
-                            slot.park_note = note;
-                        }
-                        Ok(YieldMsg::Done { proc_id }) => {
-                            let mut st = self.shared.lock();
-                            st.sched.procs[proc_id.0].status = ProcStatus::Done;
-                        }
-                        Ok(YieldMsg::Panicked { proc_id, message }) => {
-                            let name = self.proc_name(proc_id);
-                            return Err(SimError::ProcPanicked { name, message });
-                        }
-                        Err(_) => {
-                            let name = self.proc_name(p);
-                            return Err(SimError::ProcPanicked {
-                                name,
-                                message: "process channel closed".into(),
-                            });
-                        }
-                    }
+        let routed = {
+            let mut st = self.shared.lock();
+            let State { world, sched } = &mut *st;
+            sched.route_baton(world, &self.shared.config, None)
+        };
+        let msg = match routed {
+            Routed::BatonSent(first) => match self.yield_rx.recv() {
+                Ok(m) => m,
+                // Unreachable in practice: `self.yield_tx` keeps the channel
+                // open for the lifetime of the `Sim`.
+                Err(_) => KernelMsg::Panicked {
+                    proc_id: first,
+                    message: "process channel closed".into(),
+                },
+            },
+            Routed::PeerDied(p) => KernelMsg::Panicked {
+                proc_id: p,
+                message: "process thread exited unexpectedly".into(),
+            },
+            Routed::Terminal(m) => m,
+            Routed::SelfResume(_) => {
+                // Unreachable: `me` is `None` for the kernel, so the router
+                // can never classify a handoff as a self-resume here. Fail
+                // the run loudly rather than panicking or hanging.
+                debug_assert!(false, "baton routed to the kernel loop itself");
+                KernelMsg::Panicked {
+                    proc_id: ProcId(usize::MAX),
+                    message: "baton routed to the kernel loop".into(),
                 }
-                KernelStep::QueueEmpty => {
-                    let st = self.shared.lock();
-                    let parked: Vec<(String, String)> = st
-                        .sched
-                        .procs
-                        .iter()
-                        .filter(|p| !matches!(p.status, ProcStatus::Done))
-                        .map(|p| (p.name.clone(), p.park_note.to_string()))
-                        .collect();
-                    if parked.is_empty() {
-                        return Ok(RunReport {
-                            end_time: st.sched.now,
-                            events_processed: st.sched.events_processed,
-                            procs_finished: st.sched.procs.len(),
-                        });
-                    }
-                    return Err(SimError::Deadlock(DeadlockInfo {
-                        at: st.sched.now,
-                        parked,
-                    }));
-                }
-                KernelStep::EventLimit(events, at) => {
-                    return Err(SimError::EventLimitExceeded { events, at })
-                }
-                KernelStep::TimeLimit(at) => return Err(SimError::TimeLimitExceeded { at }),
             }
+        };
+        self.resolve_terminal(msg)
+    }
+
+    /// Turns the single terminal message of a run into its result. Only
+    /// the kernel thread resolves terminal conditions; the sender is
+    /// parked (or exited), so the state is quiescent under the lock here.
+    fn resolve_terminal(&self, msg: KernelMsg) -> Result<RunReport, SimError> {
+        match msg {
+            KernelMsg::QueueEmpty => {
+                let st = self.shared.lock();
+                let parked: Vec<(String, String)> = st
+                    .sched
+                    .procs
+                    .iter()
+                    .filter(|p| !matches!(p.status, ProcStatus::Done))
+                    .map(|p| (p.name.clone(), p.park_note.to_string()))
+                    .collect();
+                if parked.is_empty() {
+                    return Ok(RunReport {
+                        end_time: st.sched.now,
+                        events_processed: st.sched.events_processed,
+                        procs_finished: st.sched.procs.len(),
+                    });
+                }
+                Err(SimError::Deadlock(DeadlockInfo {
+                    at: st.sched.now,
+                    parked,
+                }))
+            }
+            KernelMsg::EventLimit { events, at } => {
+                Err(SimError::EventLimitExceeded { events, at })
+            }
+            KernelMsg::TimeLimit { at } => Err(SimError::TimeLimitExceeded { at }),
+            KernelMsg::Panicked { proc_id, message } => Err(SimError::ProcPanicked {
+                name: self.proc_name(proc_id),
+                message,
+            }),
         }
     }
 
     fn proc_name(&self, p: ProcId) -> String {
-        self.shared.lock().sched.procs[p.0].name.clone()
+        self.shared
+            .lock()
+            .sched
+            .procs
+            .get(p.0)
+            .map_or_else(|| "<kernel>".to_string(), |slot| slot.name.clone())
     }
 
     /// Consumes the simulation and returns the world (for post-run
@@ -390,7 +463,7 @@ impl<W: Send + 'static> Sim<W> {
         // their channels first by aborting them.
         {
             let st = self.shared.lock();
-            for (slot, tx) in st.sched.procs.iter().zip(&self.resume_txs) {
+            for (slot, tx) in st.sched.procs.iter().zip(&st.sched.resume_txs) {
                 if !matches!(slot.status, ProcStatus::Done) {
                     let _ = tx.send(ResumeSignal::Abort);
                 }
@@ -599,6 +672,93 @@ mod tests {
             p.advance(SimDuration::nanos(1));
         });
         assert_eq!(sim.into_world(), 7);
+    }
+
+    #[test]
+    fn into_world_without_run_aborts_many_procs_cleanly() {
+        // Same as above, but with enough processes that a missed abort
+        // would leave a thread holding an `Arc` and fail the unwrap.
+        let mut sim: Sim<u32> = Sim::new(3, SimConfig::default());
+        for i in 0..8 {
+            sim.spawn(format!("idle{i}"), |mut p| {
+                p.advance(SimDuration::nanos(1));
+                p.park("never woken");
+            });
+        }
+        assert_eq!(sim.into_world(), 3);
+    }
+
+    #[test]
+    fn panic_while_holding_baton_mid_handoff_is_reported() {
+        // "parked" yields first and hands the baton *directly* to "bomb",
+        // which panics while holding it. The panic must surface as
+        // `ProcPanicked` (the kernel thread is asleep at that moment, so a
+        // lost message would hang the run instead).
+        let mut sim: Sim<()> = Sim::new((), SimConfig::default());
+        sim.spawn("parked", |mut p| p.park("waiting forever"));
+        sim.spawn("bomb", |mut p| {
+            p.advance(SimDuration::nanos(1));
+            panic!("boom in direct handoff");
+        });
+        match sim.run() {
+            Err(SimError::ProcPanicked { name, message }) => {
+                assert_eq!(name, "bomb");
+                assert!(message.contains("boom"), "{message}");
+            }
+            other => panic!("expected panic report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadlock_reports_every_parked_process_with_note() {
+        // When the *last runnable* process parks and the queue drains, the
+        // deadlock report must cover all parked processes with the notes
+        // they recorded themselves (no kernel-side bookkeeping remains).
+        let mut sim: Sim<()> = Sim::new((), SimConfig::default());
+        sim.spawn("alice", |mut p| p.park("waiting for bob"));
+        sim.spawn("bob", |mut p| {
+            p.advance(SimDuration::nanos(5));
+            p.park("waiting for alice");
+        });
+        sim.spawn("carol", |mut p| {
+            p.advance(SimDuration::nanos(9));
+            p.park("waiting for the fabric");
+        });
+        match sim.run() {
+            Err(SimError::Deadlock(info)) => {
+                assert_eq!(info.at, SimTime::from_nanos(9));
+                assert_eq!(
+                    info.parked,
+                    vec![
+                        ("alice".to_string(), "waiting for bob".to_string()),
+                        ("bob".to_string(), "waiting for alice".to_string()),
+                        ("carol".to_string(), "waiting for the fabric".to_string()),
+                    ]
+                );
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finishing_process_hands_baton_to_peer() {
+        // "short" finishes while "long" still has work: the exiting thread
+        // must route the baton straight to "long" (the kernel only hears
+        // the final queue-empty).
+        let mut sim: Sim<Vec<&'static str>> = Sim::new(Vec::new(), SimConfig::default());
+        sim.spawn("short", |mut p| {
+            p.advance(SimDuration::nanos(1));
+            p.with(|ctx| ctx.world.push("short"));
+        });
+        sim.spawn("long", |mut p| {
+            p.advance(SimDuration::nanos(2));
+            p.advance(SimDuration::nanos(10));
+            p.with(|ctx| ctx.world.push("long"));
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time.as_nanos(), 12);
+        assert_eq!(report.procs_finished, 2);
+        assert_eq!(sim.into_world(), vec!["short", "long"]);
     }
 
     #[test]

@@ -9,9 +9,13 @@ use std::cmp::Ordering;
 pub(crate) type EventFn<W> = Box<dyn FnOnce(&mut Ctx<'_, W>) + Send>;
 
 pub(crate) enum EventKind<W> {
-    /// Run a closure against the world.
+    /// Run a closure against the world. Executed inline by whichever
+    /// thread is draining the queue — a yielding process or the kernel
+    /// loop; `(time, seq)` ordering makes the results identical either way.
     Call(EventFn<W>),
-    /// Hand the baton to a parked process.
+    /// Hand the baton to a parked process. Routed by the draining thread
+    /// itself: back to that thread (self-resume) or via a direct send to
+    /// the target process's resume channel.
     Resume(ProcId),
 }
 

@@ -18,6 +18,14 @@
 //!   strict-alternation baton: at any instant either the kernel loop or
 //!   exactly one process runs. Processes interact with the world through
 //!   [`ProcCtx`], block on [`Waker`] tokens, and advance time explicitly.
+//! * **Direct handoff**: the baton travels process-to-process. A yielding
+//!   process drains ready events and routes the next resume itself — back
+//!   to itself without any channel operation (the solo-runnable fast
+//!   path), or straight to the next process's resume channel. The kernel
+//!   thread only bootstraps the run and resolves terminal conditions
+//!   (queue empty, deadlock, limits, panics). Who drains an event never
+//!   affects results: virtual-time order is fixed by the `(time, seq)`
+//!   queue alone.
 //! * **Termination**: [`Sim::run`] returns when every process finished, when
 //!   the event queue drains, or when a configured event/time limit fires.
 //!   If processes are still parked with an empty queue the run reports a

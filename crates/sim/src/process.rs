@@ -1,6 +1,12 @@
-//! Simulated processes: OS threads coordinated by a strict-alternation baton.
+//! Simulated processes: OS threads coordinated by a strict-alternation
+//! baton that is handed directly from process to process.
+//!
+//! A yielding process steps the scheduler itself ([`ProcCtx::yield_and_step`]):
+//! it marks itself parked, drains ready events, and routes the next resume
+//! under one state-lock acquisition. The kernel thread is involved only at
+//! the ends of a run (bootstrap and terminal conditions).
 
-use crate::engine::{Ctx, Shared, State};
+use crate::engine::{Ctx, Routed, Shared, State};
 use crate::time::{SimDuration, SimTime};
 use crate::waker::Waker;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -31,9 +37,19 @@ pub(crate) enum ResumeSignal {
     Abort,
 }
 
-pub(crate) enum YieldMsg {
-    Parked { proc_id: ProcId, note: &'static str },
-    Done { proc_id: ProcId },
+/// Terminal conditions reported to the kernel thread. This is everything
+/// left of the old per-handoff yield protocol: park/done bookkeeping is
+/// now written directly into the shared state by the yielding process, so
+/// the kernel hears only about events that end the run.
+pub(crate) enum KernelMsg {
+    /// The event queue drained while the sender held the baton; the kernel
+    /// decides clean completion vs deadlock from the park table.
+    QueueEmpty,
+    /// The configured event ceiling was reached.
+    EventLimit { events: u64, at: SimTime },
+    /// Virtual time passed the configured horizon.
+    TimeLimit { at: SimTime },
+    /// A process panicked (or its thread died) while holding the baton.
     Panicked { proc_id: ProcId, message: String },
 }
 
@@ -60,7 +76,7 @@ pub struct ProcCtx<W: Send + 'static> {
     name: String,
     shared: Arc<Shared<W>>,
     resume_rx: Receiver<ResumeSignal>,
-    yield_tx: Sender<YieldMsg>,
+    yield_tx: Sender<KernelMsg>,
     local_now: SimTime,
 }
 
@@ -70,7 +86,7 @@ impl<W: Send + 'static> ProcCtx<W> {
         name: String,
         shared: Arc<Shared<W>>,
         resume_rx: Receiver<ResumeSignal>,
-        yield_tx: Sender<YieldMsg>,
+        yield_tx: Sender<KernelMsg>,
     ) -> Self {
         ProcCtx {
             id,
@@ -125,49 +141,84 @@ impl<W: Send + 'static> ProcCtx<W> {
     /// no allocation (this is the hottest handoff path in the simulator).
     /// Wakes may be spurious; callers re-check their condition in a loop.
     pub fn park(&mut self, note: &'static str) {
-        self.yield_tx
-            .send(YieldMsg::Parked {
-                proc_id: self.id,
-                note,
-            })
-            // simlint: allow(no-panic-in-lib): the kernel outlives every process thread by construction (joined at shutdown)
-            .expect("kernel gone while parking");
-        self.block_for_resume();
+        self.yield_and_step(note, None);
     }
 
     /// Lets `dt` of virtual time pass for this process (models compute or
     /// software overhead). Other processes and fabric events run in the
-    /// meantime.
+    /// meantime. When this process is the only runnable one, the resume
+    /// comes straight back via the self-resume fast path and the call is
+    /// just a lock acquisition plus a heap push/pop — no context switch.
     pub fn advance(&mut self, dt: SimDuration) {
         if dt == SimDuration::ZERO {
             return;
         }
-        let wake_at = {
-            let mut st = self.shared.lock();
-            let t = st.sched.now + dt;
-            // Directly schedule our own resume; bypass the pending check by
-            // clearing it first (we are running, so no resume is pending...
-            // unless a waker fired while we ran; that resume would arrive
-            // early, which the loop below tolerates by re-parking).
-            st.sched.clear_resume_pending(self.id);
-            st.sched.wake_at(self.id, t);
-            t
-        };
-        loop {
-            self.yield_tx
-                .send(YieldMsg::Parked {
-                    proc_id: self.id,
-                    note: "advancing clock",
-                })
-                // simlint: allow(no-panic-in-lib): same kernel-lifetime invariant as parking
-                .expect("kernel gone while advancing");
-            self.block_for_resume();
-            if self.local_now >= wake_at {
-                break;
-            }
-            // Spurious early wake (a waker fired during our slice): park
-            // again; our own resume is still queued.
+        // We are running, so `local_now` equals the global clock (the same
+        // invariant `with` debug-asserts); the wake time needs no lock.
+        let wake_at = self.local_now + dt;
+        self.yield_and_step("advancing clock", Some(wake_at));
+        while self.local_now < wake_at {
+            // Spurious early wake (a waker fired during our last slice and
+            // its stale resume sorted first): re-park; our own scheduled
+            // resume is still queued.
+            self.yield_and_step("advancing clock", None);
         }
+    }
+
+    /// Parks this process and steps the scheduler inline — the heart of
+    /// the direct-handoff execution model. Under one state-lock
+    /// acquisition this (optionally) schedules the process's own wake at
+    /// `self_wake_at`, records the park status and note, drains ready
+    /// `Call` events, and routes the next `Resume`: to itself (fast path —
+    /// return immediately and keep running, zero channel operations), to a
+    /// peer process (one direct channel send, then block), or — on a
+    /// terminal condition — to the kernel thread via the yield channel.
+    /// Returns with `local_now` current once this process holds the baton
+    /// again.
+    fn yield_and_step(&mut self, note: &'static str, self_wake_at: Option<SimTime>) {
+        let routed = {
+            let mut st = self.shared.lock();
+            if let Some(t) = self_wake_at {
+                // No resume of ours can be pending while we run — except a
+                // waker that fired during this slice; clearing the marker
+                // lets `wake_at` schedule unconditionally, and the stale
+                // early resume (if any) is absorbed by `advance`'s re-park
+                // loop.
+                st.sched.clear_resume_pending(self.id);
+                st.sched.wake_at(self.id, t);
+            }
+            {
+                let slot = &mut st.sched.procs[self.id.0];
+                slot.status = ProcStatus::Parked;
+                slot.park_note = note;
+            }
+            let State { world, sched } = &mut *st;
+            sched.route_baton(world, &self.shared.config, Some(self.id))
+        };
+        match routed {
+            Routed::SelfResume(t) => self.local_now = t,
+            Routed::BatonSent(_) => self.block_for_resume(),
+            Routed::PeerDied(p) => {
+                self.notify_kernel(KernelMsg::Panicked {
+                    proc_id: p,
+                    message: "process thread exited unexpectedly".into(),
+                });
+                self.block_for_resume();
+            }
+            Routed::Terminal(msg) => {
+                self.notify_kernel(msg);
+                // The kernel resolves the run; the only signal that can
+                // arrive here is the teardown abort.
+                self.block_for_resume();
+            }
+        }
+    }
+
+    fn notify_kernel(&self, msg: KernelMsg) {
+        self.yield_tx
+            .send(msg)
+            // simlint: allow(no-panic-in-lib): the kernel outlives every process thread by construction (joined at shutdown)
+            .expect("kernel gone while yielding");
     }
 
     fn block_for_resume(&mut self) {
@@ -212,10 +263,43 @@ pub(crate) fn spawn_proc<W: Send + 'static>(
             }
             let id = ctx.id;
             let yield_tx = ctx.yield_tx.clone();
+            let shared = Arc::clone(&ctx.shared);
             let result = catch_unwind(AssertUnwindSafe(move || body(ctx)));
             match result {
                 Ok(()) => {
-                    let _ = yield_tx.send(YieldMsg::Done { proc_id: id });
+                    // The finishing process still holds the baton: mark
+                    // itself done and route the baton onward directly, so
+                    // the kernel thread stays asleep unless this was the
+                    // last act of the run.
+                    let routed = {
+                        let mut st = shared.lock();
+                        st.sched.procs[id.0].status = ProcStatus::Done;
+                        let State { world, sched } = &mut *st;
+                        sched.route_baton(world, &shared.config, Some(id))
+                    };
+                    match routed {
+                        Routed::BatonSent(_) => {}
+                        Routed::PeerDied(p) => {
+                            let _ = yield_tx.send(KernelMsg::Panicked {
+                                proc_id: p,
+                                message: "process thread exited unexpectedly".into(),
+                            });
+                        }
+                        Routed::Terminal(msg) => {
+                            let _ = yield_tx.send(msg);
+                        }
+                        Routed::SelfResume(_) => {
+                            // Unreachable: `drain_calls` skips resumes for
+                            // `Done` processes, so the baton cannot come
+                            // back here. Fail the run loudly rather than
+                            // hanging if the invariant ever breaks.
+                            debug_assert!(false, "baton routed to a finished process");
+                            let _ = yield_tx.send(KernelMsg::Panicked {
+                                proc_id: id,
+                                message: "baton routed to a finished process".into(),
+                            });
+                        }
+                    }
                 }
                 Err(payload) => {
                     if payload.is::<AbortToken>() {
@@ -226,7 +310,7 @@ pub(crate) fn spawn_proc<W: Send + 'static>(
                     // `&*payload`, not `&payload`: the latter would unsize
                     // the Box itself into `dyn Any` and defeat downcasting.
                     let message = panic_message(&*payload);
-                    let _ = yield_tx.send(YieldMsg::Panicked {
+                    let _ = yield_tx.send(KernelMsg::Panicked {
                         proc_id: id,
                         message,
                     });

@@ -5,6 +5,11 @@ use crate::process::ProcId;
 /// A handle that world code (e.g. a completion queue) can use to wake the
 /// process that created it.
 ///
+/// Waking is asynchronous: it pushes a `Resume` event, and the baton is
+/// delivered when whichever thread drains the queue reaches that event —
+/// directly to the woken process's resume channel, or inline if the
+/// drainer is waking itself.
+///
 /// Wakes may be *spurious*: a process that re-parks after handing out a
 /// waker can be woken by a stale token, so blocking loops must re-check
 /// their condition after every wake. Waking a finished process is a no-op.

@@ -36,9 +36,14 @@ run cargo bench -p ibflow-bench --bench engine --locked --offline -- --test
 # Goldens must be byte-identical with the worker pool engaged.
 run env IBFLOW_JOBS=4 cargo test -q --release --locked --offline -p ibflow-bench --test golden
 
+# Chaos battery at the fixed default seed: same-seed determinism across
+# pool widths plus the golden counter snapshot.
+run cargo test -q --release --locked --offline -p ibflow-bench --test chaos
+
 # Smoke: the two headline experiment binaries must complete cleanly with
 # the pool engaged, and print how long each takes.
 timed env IBFLOW_JOBS=4 cargo run --release --locked --offline -p ibflow-bench --bin fig2_latency >/dev/null
 timed env IBFLOW_CLASS=test IBFLOW_JOBS=4 cargo run --release --locked --offline -p ibflow-bench --bin table1_ecm >/dev/null
+timed env IBFLOW_JOBS=4 cargo run --release --locked --offline -p ibflow-bench --bin chaos >/dev/null
 
 echo "All checks passed."

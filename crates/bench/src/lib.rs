@@ -13,6 +13,7 @@
 //! simulation, so every figure regenerates bit-identically.
 
 pub mod ablations;
+pub mod chaos;
 pub mod figures;
 pub mod micro;
 pub mod nas;

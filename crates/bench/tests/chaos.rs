@@ -1,0 +1,78 @@
+//! Chaos battery regression tests: same-seed runs must render
+//! byte-identical reports at any pool width (the fault plan draws only
+//! from the sim-owned RNG, never from host state), and the default-seed
+//! battery is pinned by a golden counter snapshot.
+//!
+//! The snapshot lives at `bench_results/golden/chaos.json`. After an
+//! *intentional* behaviour change, regenerate it with
+//!
+//! ```sh
+//! IBFLOW_UPDATE_GOLDEN=1 cargo test -p ibflow-bench --test chaos
+//! ```
+//!
+//! and commit the diff alongside the change that explains it.
+
+use ibflow_bench::chaos::{chaos_battery, chaos_json, DEFAULT_SEED};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../bench_results/golden/chaos.json")
+}
+
+/// One test fn (not several) so the `IBFLOW_JOBS` writes can't race
+/// within this test binary.
+#[test]
+fn chaos_battery_is_deterministic_and_matches_golden() {
+    std::env::set_var(ibpool::JOBS_ENV, "1");
+    let runs = chaos_battery(DEFAULT_SEED);
+    let serial = chaos_json(&runs);
+    std::env::set_var(ibpool::JOBS_ENV, "4");
+    let parallel = chaos_json(&chaos_battery(DEFAULT_SEED));
+    let parallel_again = chaos_json(&chaos_battery(DEFAULT_SEED));
+    std::env::remove_var(ibpool::JOBS_ENV);
+
+    assert_eq!(
+        serial, parallel,
+        "chaos battery differs between IBFLOW_JOBS=1 and =4"
+    );
+    assert_eq!(
+        parallel, parallel_again,
+        "chaos battery differs between two identical IBFLOW_JOBS=4 runs"
+    );
+
+    // The battery must actually exercise the recovery machinery: a quiet
+    // report would mean the fault plans silently stopped firing.
+    let sum = |f: fn(&ibflow_bench::chaos::ChaosRun) -> u64| runs.iter().map(f).sum::<u64>();
+    assert!(sum(|r| r.dropped) > 0, "no packet ever dropped");
+    assert!(sum(|r| r.flap_drops) > 0, "flap window never fired");
+    assert!(
+        sum(|r| r.ack_timeouts) > 0,
+        "no go-back-N recovery happened"
+    );
+    assert!(sum(|r| r.retransmissions) > 0, "nothing was retransmitted");
+    assert!(sum(|r| r.rnr_naks) > 0, "bursts never overran the pool");
+    assert!(sum(|r| r.dup_suppressed) > 0, "no duplicate was suppressed");
+    assert!(runs.iter().all(|r| r.ledger_ok), "a credit ledger leaked");
+
+    let path = golden_path();
+    if std::env::var("IBFLOW_UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &serial).unwrap();
+        eprintln!("chaos golden snapshot updated: {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate it with \
+             IBFLOW_UPDATE_GOLDEN=1 cargo test -p ibflow-bench --test chaos",
+            path.display()
+        )
+    });
+    assert!(
+        serial == want,
+        "chaos battery drifted from the golden snapshot.\n\
+         If this change is intentional, regenerate with\n\
+         IBFLOW_UPDATE_GOLDEN=1 cargo test -p ibflow-bench --test chaos\n\
+         --- got ---\n{serial}\n--- want ---\n{want}"
+    );
+}

@@ -98,6 +98,21 @@ pub struct MpiConfig {
     pub rdma_ring_slots: u32,
     /// Capacity of the pin-down (registration) cache in bytes.
     pub regcache_capacity: usize,
+    /// RNR retry budget programmed into every QP (`None` = retry forever,
+    /// the MPI reliability default: a slow receiver is waited out, never
+    /// failed).
+    pub rnr_retry: Option<u32>,
+    /// Transport retry budget (`retry_cnt`) programmed into every QP:
+    /// how many ACK timeouts a message may suffer before the QP fails
+    /// with [`ibfabric::CqeStatus::TransportRetryExceeded`]. `None`
+    /// retries forever, which is the default — with fault injection
+    /// active, lost messages are retransmitted until they get through.
+    pub retry_cnt: Option<u32>,
+    /// Deterministic fault-injection plan installed into the fabric
+    /// before the run starts (`None` = pristine fabric). An inert plan
+    /// (all rates zero, no flap windows) is guaranteed not to perturb
+    /// timing, so goldens stay byte-identical.
+    pub fault_plan: Option<ibfabric::FaultPlan>,
 }
 
 impl Default for MpiConfig {
@@ -115,6 +130,9 @@ impl Default for MpiConfig {
             rdma_eager_channel: false,
             rdma_ring_slots: 32,
             regcache_capacity: 64 << 20,
+            rnr_retry: None,
+            retry_cnt: None,
+            fault_plan: None,
         }
     }
 }

@@ -16,6 +16,10 @@ pub(crate) struct Conn {
     /// False until the connection handshake ran (on-demand mode starts
     /// false; eager mode connects everything during init).
     pub established: bool,
+    /// True once a failed completion tore this connection down: the QP is
+    /// in the error state, every bound request has been failed, and no
+    /// further work may be posted (see `progress.rs::teardown_conn`).
+    pub failed: bool,
 
     // ---- sending toward the peer (user-level schemes) ----
     /// Buffers at the peer this endpoint may still consume.
@@ -108,6 +112,7 @@ impl Conn {
             peer,
             qp,
             established: false,
+            failed: false,
             credits: 0,
             backlog: VecDeque::new(),
             optimistic_req: None,

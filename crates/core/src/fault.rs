@@ -1,0 +1,54 @@
+//! Typed MPI-layer surface for fabric failures.
+//!
+//! When a completion arrives with a non-success status (transport retry
+//! exhausted, RNR retry exhausted, remote access violation, or the flush
+//! cascade any of those triggers), the progress engine records a
+//! [`FabricFault`], tears the connection down, and fails every request
+//! bound to the dead peer instead of panicking. The run itself still
+//! returns `Ok`: the faults ride home in [`crate::RankStats::faults`] and
+//! per-request outcomes surface through
+//! [`crate::MpiRank::wait_recv_result`].
+
+use crate::types::Rank;
+use ibfabric::{CqeOpcode, CqeStatus};
+
+/// One fabric-level failure observed by a rank: the connection to `peer`
+/// entered the error state while `opcode` work was outstanding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FabricFault {
+    /// Peer rank of the torn-down connection.
+    pub peer: Rank,
+    /// The kind of work whose completion first reported the failure.
+    pub opcode: CqeOpcode,
+    /// The verbs completion status (never [`CqeStatus::Success`]).
+    pub status: CqeStatus,
+}
+
+impl std::fmt::Display for FabricFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "connection to rank {} failed: {:?} completed with {}",
+            self.peer, self.opcode, self.status
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_peer_and_status() {
+        let fault = FabricFault {
+            peer: 3,
+            opcode: CqeOpcode::SendComplete,
+            status: CqeStatus::TransportRetryExceeded,
+        };
+        assert_eq!(
+            fault.to_string(),
+            "connection to rank 3 failed: SendComplete completed with \
+             transport retry exceeded (wc status 12)"
+        );
+    }
+}

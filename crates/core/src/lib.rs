@@ -73,6 +73,7 @@ pub mod collectives;
 mod comm;
 mod config;
 mod conn;
+mod fault;
 mod progress;
 mod pt2pt;
 mod rank;
@@ -86,6 +87,7 @@ mod world;
 
 pub use comm::Comm;
 pub use config::{CreditMsgMode, FlowControlScheme, GrowthPolicy, MpiConfig};
+pub use fault::FabricFault;
 pub use rank::MpiRank;
 pub use requests::ReqId;
 pub use scalar::{decode_into, decode_slice, encode_slice, ReduceOp, Scalar};

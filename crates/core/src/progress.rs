@@ -55,13 +55,9 @@ impl MpiRank {
 
     fn dispatch_cqe(&mut self, cqe: ibfabric::Cqe) {
         let (kind, value) = decode_wrid(cqe.wr_id);
-        match cqe.status {
-            CqeStatus::Success => {}
-            // simlint: allow(no-panic-in-lib): a failed completion is a fabric-model bug with no recovery; the world harness converts the panic into MpiRunError::ProcPanicked
-            other => panic!(
-                "rank {}: work request {:?}/{:?} failed with {:?}",
-                self.rank, kind, cqe.opcode, other
-            ),
+        if cqe.status != CqeStatus::Success {
+            self.handle_failed_cqe(cqe, kind, value);
+            return;
         }
         match (cqe.opcode, kind) {
             (CqeOpcode::RecvComplete, WrKind::RecvSlot) => {
@@ -91,6 +87,100 @@ impl MpiRank {
             // simlint: allow(no-panic-in-lib): the (opcode, wr-kind) table above is exhaustive for every work request this layer posts; anything else is a simulator bug
             (op, k) => panic!("rank {}: unexpected completion {op:?} for {k:?}", self.rank),
         }
+    }
+
+    /// A completion reported a non-success status: keep the bookkeeping
+    /// the success path would have done (so counters stay balanced), then
+    /// record a typed [`crate::FabricFault`] and tear the connection down.
+    /// The QP is already in the error state, so every other work request
+    /// on it follows as a `WorkRequestFlushed` completion; only the first
+    /// failure per connection records a fault and runs the teardown.
+    fn handle_failed_cqe(&mut self, cqe: ibfabric::Cqe, kind: WrKind, value: u64) {
+        let peer = match kind {
+            WrKind::CtrlSend | WrKind::Ecm | WrKind::CreditRdma | WrKind::RingWrite => {
+                self.outstanding_ctrl -= 1;
+                value as usize
+            }
+            WrKind::RndzWrite => {
+                let req = ReqId(value as u32);
+                let (dst, detached) = {
+                    let s = self.reqs.send_mut(req);
+                    s.state = SendState::Done;
+                    s.failed = true;
+                    (s.dst, s.detached)
+                };
+                if detached {
+                    self.reqs.remove(req);
+                }
+                dst
+            }
+            WrKind::RecvSlot => {
+                // simlint: allow(no-panic-in-lib): every QP is registered in qp_to_peer at bootstrap before any completion can reference it
+                let peer = *self.qp_to_peer.get(&cqe.qp).expect("unknown QP");
+                // The flushed WQE consumed a posted buffer.
+                let c = self.conn_mut(peer);
+                c.posted = c.posted.saturating_sub(1);
+                peer
+            }
+        };
+        if !self.conn(peer).failed {
+            self.stats.faults.push(crate::fault::FabricFault {
+                peer,
+                opcode: cqe.opcode,
+                status: cqe.status,
+            });
+            self.teardown_conn(peer);
+        }
+    }
+
+    /// Fails every operation bound to `peer` after its QP entered the
+    /// error state: the backlog, live sends and receives, and the posted
+    /// match list. Failed receives complete with a zero-length status and
+    /// an empty payload so waiting callers unblock without panicking
+    /// ([`crate::MpiRank::wait_recv_result`] surfaces the typed error).
+    fn teardown_conn(&mut self, peer: Rank) {
+        self.conn_mut(peer).failed = true;
+        self.conn_mut(peer).optimistic_req = None;
+        let backlog: Vec<ReqId> = self.conn_mut(peer).backlog.drain(..).collect();
+        for req in backlog {
+            let detached = {
+                let s = self.reqs.send_mut(req);
+                s.state = SendState::Done;
+                s.failed = true;
+                s.detached
+            };
+            if detached {
+                self.reqs.remove(req);
+            }
+        }
+        for id in self.reqs.live_ids() {
+            let remove = match self.reqs.get_mut(id) {
+                Request::Send(s) if s.dst == peer && s.state != SendState::Done => {
+                    s.state = SendState::Done;
+                    s.failed = true;
+                    s.detached
+                }
+                Request::Recv(r) if r.src == Some(peer) && r.state != RecvState::Done => {
+                    r.state = RecvState::Done;
+                    r.failed = true;
+                    r.status = Some(crate::types::Status {
+                        source: peer,
+                        tag: r.tag.unwrap_or(0),
+                        len: 0,
+                    });
+                    r.data = Some(Vec::new());
+                    false
+                }
+                _ => false,
+            };
+            if remove {
+                self.reqs.remove(id);
+            }
+        }
+        // Failed receives no longer participate in matching.
+        let reqs = &self.reqs;
+        self.posted_recvs
+            .retain(|&rid| !matches!(reqs.get(rid), Request::Recv(r) if r.failed));
     }
 
     /// A message landed in slot `slot` of the connection from `peer`.
@@ -287,6 +377,12 @@ impl MpiRank {
     /// then send fin (same QP, so ordering guarantees data-before-fin).
     fn handle_rndz_reply(&mut self, peer: Rank, h: &MsgHeader) {
         let req = ReqId(h.rndz_id as u32);
+        // A reply can land behind a failure completion in the same poll
+        // batch; the teardown already failed this send, and the QP would
+        // reject the data write anyway.
+        if self.conn(peer).failed {
+            return;
+        }
         // A reply proves the receiver consumed and reposted our start's
         // buffer: a starved connection may launch its next optimistic
         // start (the end-of-progress backlog drain picks it up).
@@ -336,6 +432,11 @@ impl MpiRank {
         let req = ReqId(h.peer_req as u32);
         let (staging, len) = {
             let r = self.reqs.recv_ref(req);
+            if r.failed {
+                // Teardown completed this receive while the fin was in the
+                // poll batch; the empty-payload outcome stands.
+                return;
+            }
             debug_assert_eq!(r.state, RecvState::RndzInFlight);
             // simlint: allow(no-panic-in-lib): accept_rndz pins the staging region before the reply that triggers this fin can exist
             (r.staging.expect("staging set"), r.rndz_len)
@@ -351,6 +452,9 @@ impl MpiRank {
     /// Dynamic scheme: the peer's sends waited in its backlog; grow the
     /// pool of buffers we post for it (paper §4.3).
     fn grow_pool(&mut self, peer: Rank) {
+        if self.conn(peer).failed {
+            return;
+        }
         let max = self.cfg.max_prepost;
         let growth = self.cfg.growth;
         let (old, new) = {
@@ -401,7 +505,7 @@ impl MpiRank {
             };
             let ring_owed = self.cfg.rdma_eager_channel
                 && c.ring_consumed_since_update >= threshold.min(self.cfg.rdma_ring_slots);
-            if !c.established || (c.consumed_since_update < threshold && !ring_owed) {
+            if c.failed || !c.established || (c.consumed_since_update < threshold && !ring_owed) {
                 continue;
             }
             match self.cfg.credit_msg_mode {

@@ -39,8 +39,16 @@ impl MpiRank {
             was_backlogged: false,
             buffered: false,
             detached: false,
+            failed: false,
         }));
         self.ensure_established(dst);
+        if self.conn(dst).failed {
+            let s = self.reqs.send_mut(req);
+            s.state = SendState::Done;
+            s.failed = true;
+            self.wait(req);
+            return;
+        }
         // Rendezvous unconditionally: the reply proves the receiver
         // matched, which is the synchronous-mode guarantee.
         let c = self.conn(dst);
@@ -260,6 +268,51 @@ impl MpiRank {
         }
     }
 
+    /// Like [`MpiRank::wait_recv`], but a receive completed by connection
+    /// teardown surfaces as a typed [`crate::FabricFault`] instead of an
+    /// empty payload. This is the fault-aware receive path: applications
+    /// that opt into finite retry budgets use it to distinguish "peer sent
+    /// nothing" from "the fabric gave up".
+    pub fn wait_recv_result(
+        &mut self,
+        req: ReqId,
+    ) -> Result<(Status, Vec<u8>), crate::fault::FabricFault> {
+        loop {
+            self.progress();
+            if self.reqs.get(req).is_done() {
+                break;
+            }
+            self.block_for_progress("MPI_Wait(recv)");
+        }
+        match self.reqs.remove(req) {
+            Request::Recv(r) => {
+                // simlint: allow(no-panic-in-lib): the wait loop above only exits once the request is Done, which sets both fields
+                let status = r.status.expect("done recv has status");
+                // simlint: allow(no-panic-in-lib): same Done-state invariant as status
+                let data = r.data.expect("done recv has data");
+                if r.failed {
+                    let peer = status.source;
+                    let fault = self
+                        .stats
+                        .faults
+                        .iter()
+                        .find(|f| f.peer == peer)
+                        .copied()
+                        .unwrap_or(crate::fault::FabricFault {
+                            peer,
+                            opcode: ibfabric::CqeOpcode::RecvComplete,
+                            status: ibfabric::CqeStatus::WorkRequestFlushed,
+                        });
+                    Err(fault)
+                } else {
+                    Ok((status, data))
+                }
+            }
+            // simlint: allow(no-panic-in-lib): passing a send request to wait_recv_result is caller error with no meaningful recovery
+            Request::Send(_) => panic!("wait_recv_result on a send request"),
+        }
+    }
+
     // ------------------------------------------------------------------
     // Communicator-aware internals (used by Comm and collectives).
     // ------------------------------------------------------------------
@@ -279,6 +332,7 @@ impl MpiRank {
             was_backlogged: false,
             buffered: false,
             detached: false,
+            failed: false,
         }));
         self.issue_send(req);
         req
@@ -299,6 +353,7 @@ impl MpiRank {
             status: None,
             staging: None,
             rndz_len: 0,
+            failed: false,
         }));
         // Try the unexpected queue first (arrival order preserves the
         // per-source ordering MPI requires).
@@ -320,6 +375,20 @@ impl MpiRank {
                     ..
                 } => self.accept_rndz(req, src, tag, rndz_id, data_len),
             }
+        } else if src.is_some_and(|p| self.conn_failed(p)) {
+            // Bound to a dead connection and nothing already arrived:
+            // nothing ever will. Complete as failed so the caller's wait
+            // unblocks (wildcard receives stay posted — another peer may
+            // still match them).
+            let r = self.reqs.recv_mut(req);
+            r.state = RecvState::Done;
+            r.failed = true;
+            r.status = Some(Status {
+                source: src.unwrap_or(0),
+                tag: tag.unwrap_or(0),
+                len: 0,
+            });
+            r.data = Some(Vec::new());
         } else {
             self.posted_recvs.push(req);
         }
@@ -333,6 +402,12 @@ impl MpiRank {
             (s.dst, s.data.len())
         };
         self.ensure_established(dst);
+        if self.conn(dst).failed {
+            let s = self.reqs.send_mut(req);
+            s.state = SendState::Done;
+            s.failed = true;
+            return;
+        }
         let eager_ok = len <= self.cfg.eager_threshold;
         match self.cfg.scheme {
             FlowControlScheme::Hardware => {
@@ -538,6 +613,20 @@ impl MpiRank {
         rndz_id: u64,
         data_len: usize,
     ) {
+        if self.conn(src).failed {
+            // The start arrived, but the connection died before the
+            // reply could go out: the handshake can never finish.
+            let r = self.reqs.recv_mut(req);
+            r.state = RecvState::Done;
+            r.failed = true;
+            r.status = Some(Status {
+                source: src,
+                tag,
+                len: 0,
+            });
+            r.data = Some(Vec::new());
+            return;
+        }
         // Staging region for the zero-copy write, keyed by a
         // per-(source, size-class) staging slot — applications and
         // collectives of this era reuse their receive areas, so

@@ -160,6 +160,15 @@ impl MpiRank {
         self.conns[peer].as_mut().expect("no connection to self")
     }
 
+    /// True when the connection to `peer` exists and has been torn down
+    /// (safe to call with the self rank, unlike [`MpiRank::conn`]).
+    pub(crate) fn conn_failed(&self, peer: Rank) -> bool {
+        self.conns
+            .get(peer)
+            .and_then(|c| c.as_ref())
+            .is_some_and(|c| c.failed)
+    }
+
     /// Ensures the connection to `peer` is established (no-op unless
     /// on-demand connections are enabled).
     pub(crate) fn ensure_established(&mut self, peer: Rank) {
@@ -274,6 +283,11 @@ impl MpiRank {
 
     /// Reposts a consumed slot (same slot index).
     pub(crate) fn repost_slot(&mut self, peer: Rank, slot: u64) {
+        if self.conn(peer).failed {
+            // The QP is in the error state; a post would be rejected and
+            // the buffer can never be consumed again anyway.
+            return;
+        }
         let (qp, mr, offset, len) = {
             let c = self.conn(peer);
             (
@@ -326,6 +340,9 @@ impl MpiRank {
     /// RDMA eager channel: writes `header`+`payload` into the next slot of
     /// the peer's ring. The caller consumed a ring credit.
     pub(crate) fn post_ring_frame(&mut self, peer: Rank, header: &MsgHeader, payload: &[u8]) {
+        if self.conn(peer).failed {
+            return;
+        }
         let slots = self.cfg.rdma_ring_slots;
         let buf_size = self.cfg.buf_size;
         let (qp, ring, offset) = {
@@ -374,6 +391,12 @@ impl MpiRank {
         payload: &[u8],
         wr_kind: WrKind,
     ) {
+        if self.conn(peer).failed {
+            // Dropped, not queued: the peer is unreachable and the error
+            // QP would reject the post. Callers learn the outcome through
+            // the request's `failed` flag, set by teardown.
+            return;
+        }
         let qp = self.conn(peer).qp;
         // simlint: allow(no-panic-in-lib): src_rank < nprocs <= u16::MAX is asserted at world bootstrap, so framing cannot overflow a field
         let bytes = header.frame(payload).expect("header fields fit");
@@ -416,11 +439,27 @@ impl MpiRank {
         &self.stats
     }
 
+    /// Fabric failures this rank has observed so far (empty on clean
+    /// runs); one entry per torn-down connection, in observation order.
+    pub fn faults(&self) -> &[crate::fault::FabricFault] {
+        &self.stats.faults
+    }
+
     pub(crate) fn finish_stats(&mut self) -> RankStats {
-        // Fold per-conn stats and regcache counters into the report.
+        // Fold per-conn stats, the final credit-ledger snapshot, and
+        // regcache counters into the report. The ledger copy is what lets
+        // release builds assert conservation (the per-sweep check is
+        // debug-only).
         for (peer, conn) in self.conns.iter().enumerate() {
             if let Some(c) = conn {
-                self.stats.conns[peer] = c.stats.clone();
+                let mut cs = c.stats.clone();
+                cs.credits_granted.add(c.granted_total);
+                cs.credits_spent.add(c.spent_total);
+                cs.credits_held.add(u64::from(c.credits));
+                cs.credits_consumed.add(c.consumed_total);
+                cs.credits_returned.add(c.returned_total);
+                cs.credits_pending.add(u64::from(c.consumed_since_update));
+                self.stats.conns[peer] = cs;
             }
         }
         self.stats.regcache_hits.add(self.regcache.hits.get());
@@ -432,6 +471,10 @@ impl MpiRank {
     /// other rank, and drain again. Called automatically by the world
     /// wrapper after the rank body returns.
     pub(crate) fn finalize(&mut self) {
+        if !self.stats.faults.is_empty() {
+            self.finalize_after_fault();
+            return;
+        }
         // 1. Drain backlogs and every in-flight send transport (buffered
         //    operations may still be on the wire).
         self.wait_until(
@@ -461,6 +504,28 @@ impl MpiRank {
                     && r.conns.iter().flatten().all(|c| c.backlog.is_empty())
             },
             "finalize: draining sends",
+        );
+        self.flush_charge();
+    }
+
+    /// Finalize after a fabric fault: a torn-down connection cannot carry
+    /// the world barrier, so this drains what the surviving connections
+    /// still owe and returns. Healthy peers of a faulted rank observe
+    /// their own side of the failure (QP errors propagate across the
+    /// connection), so in a two-rank world both sides take this path; in
+    /// wider worlds a healthy third rank blocked on a faulted one
+    /// surfaces as a deadlock report, not a hang or a panic.
+    fn finalize_after_fault(&mut self) {
+        self.wait_until(
+            |r| {
+                r.outstanding_ctrl == 0
+                    && !r.reqs.has_pending_transport()
+                    && r.conns
+                        .iter()
+                        .flatten()
+                        .all(|c| c.failed || c.backlog.is_empty())
+            },
+            "finalize: draining after fault",
         );
         self.flush_charge();
     }

@@ -40,6 +40,9 @@ pub(crate) struct SendReq {
     /// The caller already waited on a buffered request; the progress
     /// engine frees the slot when the transport catches up.
     pub detached: bool,
+    /// The connection failed before the transport finished: the operation
+    /// reached `Done` through teardown, not delivery.
+    pub failed: bool,
 }
 
 /// Receive-side protocol state.
@@ -66,6 +69,9 @@ pub(crate) struct RecvReq {
     pub staging: Option<ibfabric::MrId>,
     /// Expected rendezvous length (set when matched).
     pub rndz_len: usize,
+    /// The connection failed before data arrived: `Done` with an empty
+    /// payload and a zero-length status, set by teardown.
+    pub failed: bool,
 }
 
 #[derive(Debug)]
@@ -171,6 +177,16 @@ impl ReqTable {
         self.slots.iter().filter(|s| s.is_some()).count()
     }
 
+    /// Ids of every live request (teardown sweeps these to fail requests
+    /// bound to a dead connection).
+    pub fn live_ids(&self) -> Vec<ReqId> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| ReqId(i as u32)))
+            .collect()
+    }
+
     /// True while any send operation's *transport* is still outstanding
     /// (backlogged, handshaking, or writing).
     pub fn has_pending_transport(&self) -> bool {
@@ -195,6 +211,7 @@ mod tests {
             was_backlogged: false,
             buffered: false,
             detached: false,
+            failed: false,
         })
     }
 

@@ -1,5 +1,8 @@
-//! MPI-layer statistics: the raw material for the paper's Tables 1 and 2.
+//! MPI-layer statistics: the raw material for the paper's Tables 1 and 2,
+//! plus the credit-conservation ledger and fault records the chaos battery
+//! asserts on in release builds.
 
+use crate::fault::FabricFault;
 use ibsim::stats::{Counter, Peak};
 
 /// Per-connection counters at one endpoint.
@@ -25,6 +28,34 @@ pub struct ConnStats {
     pub max_posted: Peak,
     /// Pool-growth events triggered by backlog feedback (dynamic scheme).
     pub growth_events: Counter,
+
+    // ---- conservation ledger snapshot (copied from `Conn` at finish,
+    //      so release builds can assert what debug builds check every
+    //      progress sweep) ----
+    /// Cumulative credits granted by the peer (initial pool + returns).
+    pub credits_granted: Counter,
+    /// Cumulative credits spent sending.
+    pub credits_spent: Counter,
+    /// Credits still held when the rank finished.
+    pub credits_held: Counter,
+    /// Cumulative peer-owed credits accrued (buffers consumed + growth).
+    pub credits_consumed: Counter,
+    /// Cumulative credits returned to the peer.
+    pub credits_returned: Counter,
+    /// Credits still owed (accrued but unreturned) when the rank finished.
+    pub credits_pending: Counter,
+}
+
+impl ConnStats {
+    /// Both local conservation invariants, checked against the final
+    /// ledger snapshot: every credit granted was spent or is still held,
+    /// and every credit owed was returned or is still pending. Holds for
+    /// a zeroed (self-slot or hardware-scheme) entry trivially.
+    pub fn ledger_conserved(&self) -> bool {
+        self.credits_granted.get() == self.credits_spent.get() + self.credits_held.get()
+            && self.credits_consumed.get()
+                == self.credits_returned.get() + self.credits_pending.get()
+    }
 }
 
 /// Per-rank statistics (all connections plus rank-wide counters).
@@ -44,6 +75,9 @@ pub struct RankStats {
     pub regcache_hits: Counter,
     /// Pin-down cache misses (registrations performed).
     pub regcache_misses: Counter,
+    /// Fabric failures this rank observed, in the order the progress
+    /// engine tore the affected connections down (empty on clean runs).
+    pub faults: Vec<FabricFault>,
 }
 
 impl RankStats {
@@ -107,6 +141,20 @@ impl WorldStats {
             .map(|r| r.max_posted_any_conn())
             .max()
             .unwrap_or(0)
+    }
+
+    /// True when every connection's final credit ledger is conserved —
+    /// the release-build form of the per-sweep debug assertion, used by
+    /// the chaos battery to prove fault recovery never leaked a credit.
+    pub fn all_ledgers_conserved(&self) -> bool {
+        self.ranks
+            .iter()
+            .all(|r| r.conns.iter().all(|c| c.ledger_conserved()))
+    }
+
+    /// Total fabric faults observed across all ranks.
+    pub fn total_faults(&self) -> usize {
+        self.ranks.iter().map(|r| r.faults.len()).sum()
     }
 }
 

@@ -146,14 +146,20 @@ impl MpiWorld {
         );
 
         let mut fabric = Fabric::new(params);
+        if let Some(plan) = cfg.fault_plan.clone() {
+            fabric.set_fault_plan(plan);
+        }
         let nodes: Vec<_> = (0..nprocs).map(|_| fabric.add_node()).collect();
         let cqs: Vec<_> = nodes.iter().map(|&n| fabric.create_cq(n)).collect();
 
-        // QPs in the deterministic pair order.
+        // QPs in the deterministic pair order. The default budgets retry
+        // forever (MPI reliability: a lossy fabric is waited out); finite
+        // budgets surface exhaustion as typed faults (see `fault.rs`).
         let attrs = QpAttrs {
-            rnr_retry: None,
+            rnr_retry: cfg.rnr_retry,
+            retry_cnt: cfg.retry_cnt,
             ..Default::default()
-        }; // MPI reliability: retry forever
+        };
         for i in 0..nprocs {
             for j in 0..nprocs {
                 if i != j {

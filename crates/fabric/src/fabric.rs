@@ -1,6 +1,7 @@
 //! The fabric world: nodes, verbs objects, and the verbs entry points.
 
 use crate::cq::{Cq, CqId};
+use crate::fault::{Fate, FaultPlan};
 use crate::mem::{Access, Mr, MrId};
 use crate::net::Net;
 use crate::params::FabricParams;
@@ -18,6 +19,16 @@ impl NodeId {
     /// Dense index.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Builds the id for a dense index. Nodes are numbered in creation
+    /// order starting from zero, so harnesses that know their topology
+    /// (e.g. the MPI world, which creates one node per rank in rank
+    /// order) can name a node without holding the `add_node` handle —
+    /// which is what a [`crate::FaultPlan`] built before the fabric
+    /// needs to scope a link flap.
+    pub fn from_index(i: usize) -> NodeId {
+        NodeId(i as u32)
     }
 }
 
@@ -72,6 +83,7 @@ pub struct Fabric {
     pub(crate) cqs: Vec<Cq>,
     pub(crate) mrs: Vec<Mr>,
     pub(crate) net: Net,
+    pub(crate) fault: Option<FaultPlan>,
     /// Aggregate statistics.
     pub stats: FabricStats,
 }
@@ -86,6 +98,7 @@ impl Fabric {
             cqs: Vec::new(),
             mrs: Vec::new(),
             net: Net::new(0),
+            fault: None,
             stats: FabricStats::default(),
         }
     }
@@ -93,6 +106,50 @@ impl Fabric {
     /// The timing model in force.
     pub fn params(&self) -> &FabricParams {
         &self.params
+    }
+
+    /// Installs a fault-injection plan. Must be called before the
+    /// simulation starts; an inert plan ([`FaultPlan::enabled`] false) is
+    /// guaranteed invisible to results.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// True when an installed plan can actually perturb the fabric — the
+    /// gate for every fault draw and for arming ACK-timeout timers (a
+    /// timer armed under a perfect fabric would only leave stray no-op
+    /// events that stretch the run's quiescence time).
+    pub(crate) fn fault_active(&self) -> bool {
+        self.fault.as_ref().is_some_and(|p| p.enabled())
+    }
+
+    /// The fault plane's verdict on one message launch (always
+    /// [`Fate::Deliver`] without an active plan).
+    pub(crate) fn fault_fate(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        npkts: usize,
+    ) -> Fate {
+        match &mut self.fault {
+            Some(plan) if plan.enabled() => plan.fate(now, src, dst, npkts, &mut self.stats),
+            _ => Fate::Deliver,
+        }
+    }
+
+    /// Extra injected delay for the next ACK/NAK (zero without an active
+    /// plan).
+    pub(crate) fn fault_ack_delay(&mut self) -> ibsim::SimDuration {
+        match &mut self.fault {
+            Some(plan) if plan.enabled() => plan.ack_extra_delay(&mut self.stats),
+            _ => ibsim::SimDuration::ZERO,
+        }
     }
 
     /// Adds a host (with its HCA and switch port) to the fabric.
@@ -270,11 +327,13 @@ pub fn post_send(ctx: &mut Ctx<'_, Fabric>, qp: QpId, wr: SendWr) -> Result<(), 
             return Err(VerbsError::InvalidQpState);
         }
         let rnr_budget = q.attrs.rnr_retry;
+        let retry_budget = q.attrs.retry_cnt;
         q.sq.push_back(SendWqe {
             wr_id: wr.wr_id,
             op: wr.op,
             signaled: wr.signaled,
             rnr_budget,
+            retry_budget,
             attempts: 0,
         });
         q.peak_sq_depth = q.peak_sq_depth.max(q.sq.len());

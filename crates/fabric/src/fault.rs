@@ -1,0 +1,362 @@
+//! Deterministic, seeded fault injection for the fabric.
+//!
+//! A [`FaultPlan`] makes the otherwise-perfect fabric adversarial while
+//! keeping every run exactly reproducible: all randomness flows through
+//! one sim-owned [`DetRng`] stream derived from the plan's seed, and flap
+//! windows are expressed in virtual time, so the same plan against the
+//! same workload produces byte-identical results at any worker count.
+//!
+//! Three fault classes are modelled:
+//!
+//! * **Packet drop / corruption** — each wire packet of a message draws a
+//!   Bernoulli trial; a dropped or corrupted packet loses the *message*
+//!   (RC delivers at message granularity, and a bad ICRC discards the
+//!   whole message at the responder). The requester recovers through the
+//!   ACK-timeout / `retry_cnt` path in the transport.
+//! * **Link flaps** — scheduled windows during which every message
+//!   touching a node (or one direction of one link) is lost. Flaps are
+//!   deterministic by construction (no RNG draw), which is what the
+//!   fabric's fault tests use to force specific recovery paths.
+//! * **ACK delay** — a Bernoulli trial per ACK/NAK adds a fixed extra
+//!   control-channel delay, which is how tests provoke spurious timeouts
+//!   and duplicate (retransmitted-but-already-delivered) messages.
+//!
+//! An inert plan — no probabilities, no flaps — is completely invisible:
+//! the transport consults the plan only when [`FaultPlan::enabled`] is
+//! true, arms no timers, and draws no randomness, so goldens stay
+//! byte-identical with a zero-fault plan installed.
+
+use crate::fabric::NodeId;
+use crate::stats::FabricStats;
+use ibsim::rng::{det_rng, DetRng};
+use ibsim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// RNG stream id for fault draws (disjoint from workload streams, which
+/// key off rank numbers).
+const FAULT_STREAM: u64 = 0xFA_0175;
+
+/// Per-direction fault probabilities for one source→destination link.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LinkFaultRates {
+    /// Probability that any single wire packet is dropped.
+    pub drop_prob: f64,
+    /// Probability that any single wire packet arrives corrupted (the
+    /// message fails its end-to-end CRC and is discarded).
+    pub corrupt_prob: f64,
+}
+
+impl LinkFaultRates {
+    fn is_zero(&self) -> bool {
+        self.drop_prob <= 0.0 && self.corrupt_prob <= 0.0
+    }
+}
+
+/// What part of the fabric a flap window silences.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlapScope {
+    /// Every message into or out of this node is lost.
+    Node(NodeId),
+    /// Messages travelling `src` → `dst` are lost (one direction only).
+    Link {
+        /// Transmitting node.
+        src: NodeId,
+        /// Receiving node.
+        dst: NodeId,
+    },
+}
+
+/// A scheduled outage: messages matching `scope` launched in
+/// `[from, until)` are dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkFlap {
+    /// Which traffic the outage affects.
+    pub scope: FlapScope,
+    /// Start of the outage (inclusive).
+    pub from: SimTime,
+    /// End of the outage (exclusive).
+    pub until: SimTime,
+}
+
+impl LinkFlap {
+    fn hits(&self, now: SimTime, src: NodeId, dst: NodeId) -> bool {
+        if now < self.from || now >= self.until {
+            return false;
+        }
+        match self.scope {
+            FlapScope::Node(n) => n == src || n == dst,
+            FlapScope::Link { src: s, dst: d } => s == src && d == dst,
+        }
+    }
+}
+
+/// Outcome of the fault plane's verdict on one message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Fate {
+    /// The message reaches the destination HCA intact.
+    Deliver,
+    /// The message is lost (dropped, corrupted, or flapped away).
+    Drop,
+}
+
+/// A deterministic, seeded fault-injection plan for a whole fabric.
+///
+/// Built once, installed with [`crate::Fabric::set_fault_plan`] before the
+/// simulation starts, and consulted by the transport on every message
+/// launch and ACK. See the module docs for the fault classes.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    base: LinkFaultRates,
+    links: BTreeMap<(u32, u32), LinkFaultRates>,
+    flaps: Vec<LinkFlap>,
+    ack_delay_prob: f64,
+    ack_delay: SimDuration,
+    rng: DetRng,
+}
+
+impl FaultPlan {
+    /// An inert plan (no faults) with the given seed for later draws.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            base: LinkFaultRates::default(),
+            links: BTreeMap::new(),
+            flaps: Vec::new(),
+            ack_delay_prob: 0.0,
+            ack_delay: SimDuration::ZERO,
+            rng: det_rng(seed, FAULT_STREAM),
+        }
+    }
+
+    /// Sets the fabric-wide per-packet drop probability.
+    pub fn with_drop(mut self, prob: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        self.base.drop_prob = prob;
+        self
+    }
+
+    /// Sets the fabric-wide per-packet corruption probability.
+    pub fn with_corrupt(mut self, prob: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        self.base.corrupt_prob = prob;
+        self
+    }
+
+    /// Overrides the fault rates of one directed link (`src` → `dst`).
+    pub fn with_link(mut self, src: NodeId, dst: NodeId, rates: LinkFaultRates) -> Self {
+        self.links.insert((src.0, dst.0), rates);
+        self
+    }
+
+    /// Adds a scheduled outage window.
+    pub fn with_flap(mut self, flap: LinkFlap) -> Self {
+        self.flaps.push(flap);
+        self
+    }
+
+    /// Delays each ACK/NAK by `extra` with probability `prob`.
+    pub fn with_ack_delay(mut self, prob: f64, extra: SimDuration) -> Self {
+        debug_assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        self.ack_delay_prob = prob;
+        self.ack_delay = extra;
+        self
+    }
+
+    /// The plan's seed (for reporting).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True when the plan can actually affect the fabric. An inert plan
+    /// (`enabled() == false`) is guaranteed invisible: the transport
+    /// neither draws randomness nor arms recovery timers for it.
+    pub fn enabled(&self) -> bool {
+        !self.base.is_zero()
+            || self.links.values().any(|r| !r.is_zero())
+            || !self.flaps.is_empty()
+            || self.ack_delay_prob > 0.0
+    }
+
+    /// Decides the fate of one `npkts`-packet message launched at `now`
+    /// from `src` to `dst`, recording the verdict in `stats`.
+    pub(crate) fn fate(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        npkts: usize,
+        stats: &mut FabricStats,
+    ) -> Fate {
+        // Flap windows are checked first and consume no RNG draws, so a
+        // deterministic flap test perturbs nothing else in the plan.
+        if self.flaps.iter().any(|f| f.hits(now, src, dst)) {
+            stats.flap_drops.incr();
+            stats.msgs_dropped.incr();
+            return Fate::Drop;
+        }
+        let rates = self
+            .links
+            .get(&(src.0, dst.0))
+            .copied()
+            .unwrap_or(self.base);
+        if rates.drop_prob > 0.0 {
+            for _ in 0..npkts {
+                if self.rng.gen_bool(rates.drop_prob) {
+                    stats.msgs_dropped.incr();
+                    return Fate::Drop;
+                }
+            }
+        }
+        if rates.corrupt_prob > 0.0 {
+            for _ in 0..npkts {
+                if self.rng.gen_bool(rates.corrupt_prob) {
+                    stats.msgs_corrupted.incr();
+                    return Fate::Drop;
+                }
+            }
+        }
+        Fate::Deliver
+    }
+
+    /// Extra control-channel delay for the next ACK/NAK (zero unless the
+    /// plan injects ACK delay and the Bernoulli trial fires).
+    pub(crate) fn ack_extra_delay(&mut self, stats: &mut FabricStats) -> SimDuration {
+        if self.ack_delay_prob > 0.0 && self.rng.gen_bool(self.ack_delay_prob) {
+            stats.acks_delayed.incr();
+            return self.ack_delay;
+        }
+        SimDuration::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn inert_plan_is_disabled() {
+        let p = FaultPlan::new(42);
+        assert!(!p.enabled());
+        assert_eq!(p.seed(), 42);
+        let enabled = [
+            FaultPlan::new(1).with_drop(0.1),
+            FaultPlan::new(1).with_corrupt(0.01),
+            FaultPlan::new(1).with_ack_delay(0.5, SimDuration::micros(10)),
+            FaultPlan::new(1).with_flap(LinkFlap {
+                scope: FlapScope::Node(node(0)),
+                from: SimTime::ZERO,
+                until: SimTime::from_nanos(100),
+            }),
+            FaultPlan::new(1).with_link(
+                node(0),
+                node(1),
+                LinkFaultRates {
+                    drop_prob: 1.0,
+                    corrupt_prob: 0.0,
+                },
+            ),
+        ];
+        for p in enabled {
+            assert!(p.enabled(), "{p:?} should be enabled");
+        }
+        // A link override with zero rates does not enable the plan.
+        assert!(!FaultPlan::new(1)
+            .with_link(node(0), node(1), LinkFaultRates::default())
+            .enabled());
+    }
+
+    #[test]
+    fn flap_windows_match_scope_and_time() {
+        let f = LinkFlap {
+            scope: FlapScope::Node(node(1)),
+            from: SimTime::from_nanos(100),
+            until: SimTime::from_nanos(200),
+        };
+        assert!(f.hits(SimTime::from_nanos(100), node(1), node(0)));
+        assert!(f.hits(SimTime::from_nanos(199), node(0), node(1)));
+        assert!(
+            !f.hits(SimTime::from_nanos(200), node(1), node(0)),
+            "until is exclusive"
+        );
+        assert!(!f.hits(SimTime::from_nanos(99), node(1), node(0)));
+        assert!(
+            !f.hits(SimTime::from_nanos(150), node(2), node(3)),
+            "scope mismatch"
+        );
+
+        let l = LinkFlap {
+            scope: FlapScope::Link {
+                src: node(0),
+                dst: node(1),
+            },
+            from: SimTime::ZERO,
+            until: SimTime::MAX,
+        };
+        assert!(l.hits(SimTime::ZERO, node(0), node(1)));
+        assert!(!l.hits(SimTime::ZERO, node(1), node(0)), "directed link");
+    }
+
+    #[test]
+    fn fate_sequence_is_deterministic() {
+        let run = |seed: u64| {
+            let mut p = FaultPlan::new(seed).with_drop(0.3).with_corrupt(0.1);
+            let mut stats = FabricStats::default();
+            let fates: Vec<Fate> = (0..64)
+                .map(|i| {
+                    p.fate(
+                        SimTime::from_nanos(i),
+                        node(0),
+                        node(1),
+                        1 + (i as usize % 4),
+                        &mut stats,
+                    )
+                })
+                .collect();
+            (fates, stats.msgs_dropped.get(), stats.msgs_corrupted.get())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).0, run(8).0, "different seeds should diverge");
+        let (fates, dropped, corrupted) = run(7);
+        assert_eq!(
+            dropped + corrupted,
+            fates.iter().filter(|f| **f == Fate::Drop).count() as u64
+        );
+        assert!(dropped > 0, "30% drop over 64 messages should fire");
+    }
+
+    #[test]
+    fn link_override_beats_base_rates() {
+        let mut p =
+            FaultPlan::new(3)
+                .with_drop(1.0)
+                .with_link(node(0), node(1), LinkFaultRates::default());
+        let mut stats = FabricStats::default();
+        // Overridden link: never drops despite the base rate of 1.0.
+        for _ in 0..16 {
+            assert_eq!(
+                p.fate(SimTime::ZERO, node(0), node(1), 1, &mut stats),
+                Fate::Deliver
+            );
+        }
+        // Other direction uses the base rate.
+        assert_eq!(
+            p.fate(SimTime::ZERO, node(1), node(0), 1, &mut stats),
+            Fate::Drop
+        );
+    }
+
+    #[test]
+    fn ack_delay_draws_only_when_configured() {
+        let mut stats = FabricStats::default();
+        let mut inert = FaultPlan::new(1);
+        assert_eq!(inert.ack_extra_delay(&mut stats), SimDuration::ZERO);
+        let mut always = FaultPlan::new(1).with_ack_delay(1.0, SimDuration::micros(50));
+        assert_eq!(always.ack_extra_delay(&mut stats), SimDuration::micros(50));
+        assert_eq!(stats.acks_delayed.get(), 1);
+    }
+}

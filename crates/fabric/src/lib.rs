@@ -68,6 +68,7 @@
 
 mod cq;
 mod fabric;
+mod fault;
 mod mem;
 mod net;
 mod params;
@@ -78,6 +79,7 @@ mod wr;
 
 pub use cq::{Cq, CqId};
 pub use fabric::{connect, post_recv, post_send, post_send_ud, Fabric, NodeId, VerbsError};
+pub use fault::{FaultPlan, FlapScope, LinkFaultRates, LinkFlap};
 pub use mem::{Access, Mr, MrId};
 pub use params::FabricParams;
 pub use qp::{QpAttrs, QpId, QpState, QpType};

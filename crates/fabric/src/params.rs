@@ -53,6 +53,12 @@ pub struct FabricParams {
     /// Receiver-not-ready retry timer: how long a sender backs off after an
     /// RNR NAK before retransmitting.
     pub rnr_timer: SimDuration,
+    /// Local ACK timeout: how long the requester waits after the last
+    /// packet of the oldest unacknowledged message arrives before assuming
+    /// loss and retransmitting go-back-N (doubling per consecutive
+    /// timeout). Only consulted while a [`crate::FaultPlan`] is active —
+    /// the perfect fabric never loses a delivery, so no timer is armed.
+    pub ack_timeout: SimDuration,
     /// Maximum send-type/RDMA messages a QP keeps in flight (unacked).
     pub max_inflight_msgs: usize,
     /// Host memcpy bandwidth (bytes/second) for software copies (eager
@@ -89,6 +95,7 @@ impl FabricParams {
             switch_delay: SimDuration::micros_f64(0.16),
             ack_latency: SimDuration::micros_f64(1.50),
             rnr_timer: SimDuration::micros_f64(120.0),
+            ack_timeout: SimDuration::micros(150),
             max_inflight_msgs: 64,
             host_copy_bw: 2_400_000_000,
             sw_post_cost: SimDuration::micros_f64(0.55),
@@ -116,6 +123,7 @@ impl FabricParams {
             switch_delay: SimDuration::nanos(1),
             ack_latency: SimDuration::nanos(20),
             rnr_timer: SimDuration::micros(5),
+            ack_timeout: SimDuration::micros(10),
             max_inflight_msgs: 64,
             host_copy_bw: 100_000_000_000,
             sw_post_cost: SimDuration::nanos(1),

@@ -59,16 +59,24 @@ pub struct QpAttrs {
     /// paper's hardware-based scheme sets "retry count to infinite" so the
     /// MPI layer never sees a drop). Ignored for UD.
     pub rnr_retry: Option<u32>,
+    /// Transport (ACK-timeout) retry budget per message — the IB-spec
+    /// `retry_cnt`, distinct from `rnr_retry`: it bounds retransmissions
+    /// after *lost* messages rather than receiver-not-ready NAKs. `None`
+    /// means retry forever. The timeout path only engages under an active
+    /// [`crate::FaultPlan`]; a perfect fabric never times out.
+    pub retry_cnt: Option<u32>,
     /// Transport service.
     pub qp_type: QpType,
 }
 
 impl Default for QpAttrs {
     fn default() -> Self {
-        // 7 is the verbs encoding for "infinite"; we default to a finite
-        // but generous budget and let callers opt into infinity.
+        // 7 is the verbs encoding for "infinite"; we default to finite
+        // but generous budgets and let callers opt into infinity
+        // (retry_cnt 7 is the largest finite value the verbs field holds).
         QpAttrs {
             rnr_retry: Some(16),
+            retry_cnt: Some(7),
             qp_type: QpType::ReliableConnection,
         }
     }
@@ -79,6 +87,7 @@ impl QpAttrs {
     pub fn ud() -> Self {
         QpAttrs {
             rnr_retry: None,
+            retry_cnt: None,
             qp_type: QpType::UnreliableDatagram,
         }
     }
@@ -91,6 +100,8 @@ pub(crate) struct SendWqe {
     pub op: SendOp,
     pub signaled: bool,
     pub rnr_budget: Option<u32>,
+    /// Remaining transport (ACK-timeout) retries; `None` retries forever.
+    pub retry_budget: Option<u32>,
     /// How many times this message has been (re)transmitted.
     pub attempts: u32,
 }
@@ -148,6 +159,14 @@ pub struct Qp {
     pub(crate) backoff_until: Option<SimTime>,
     /// Whether a pump event is already scheduled for the backoff horizon.
     pub(crate) pump_scheduled: bool,
+    /// Whether an ACK-timeout timer event is in flight (only ever armed
+    /// while a fault plan is active; see `transport::arm_retry_timer`).
+    pub(crate) retry_armed: bool,
+    /// Instant at which the oldest unacknowledged message times out.
+    pub(crate) retry_deadline: SimTime,
+    /// Consecutive ACK timeouts without forward progress (drives the
+    /// exponential retransmission backoff).
+    pub(crate) timeout_streak: u32,
 
     // ---- responder (receiver) side ----
     /// Posted receive WQEs, consumed in FIFO order.
@@ -187,6 +206,9 @@ impl Qp {
             unacked_sends: 0,
             backoff_until: None,
             pump_scheduled: false,
+            retry_armed: false,
+            retry_deadline: SimTime::ZERO,
+            timeout_streak: 0,
             rq: VecDeque::new(),
             expected_msn: 0,
             peak_sq_depth: 0,
@@ -260,5 +282,7 @@ mod tests {
     #[test]
     fn default_attrs_are_finite_retry() {
         assert_eq!(QpAttrs::default().rnr_retry, Some(16));
+        assert_eq!(QpAttrs::default().retry_cnt, Some(7));
+        assert_eq!(QpAttrs::ud().retry_cnt, None);
     }
 }

@@ -23,6 +23,9 @@ pub struct QpStats {
     pub acks_received: Counter,
     /// Messages launched with zero advertised credits (probes).
     pub zero_credit_probes: Counter,
+    /// ACK timeouts suffered as a requester (each triggers a go-back-N
+    /// retransmission and burns one unit of the message's `retry_cnt`).
+    pub ack_timeouts: Counter,
     /// Peak messages in flight at once.
     pub peak_inflight: Peak,
 }
@@ -42,6 +45,24 @@ pub struct FabricStats {
     pub cqes: Counter,
     /// Datagrams dropped at UD responders with no posted receive WQE.
     pub ud_drops: Counter,
+    /// Messages lost to injected packet drops (fault plan).
+    pub msgs_dropped: Counter,
+    /// Messages lost to injected packet corruption (fault plan).
+    pub msgs_corrupted: Counter,
+    /// Messages lost inside scheduled link-flap windows (also counted in
+    /// `msgs_dropped`).
+    pub flap_drops: Counter,
+    /// ACK/NAK control packets given extra injected delay (fault plan).
+    pub acks_delayed: Counter,
+    /// ACK timeouts fabric-wide (go-back-N recovery events).
+    pub ack_timeouts: Counter,
+    /// Duplicate deliveries suppressed at responders (a retransmitted
+    /// message whose original already arrived is re-ACKed without
+    /// consuming a receive WQE, keeping credit ledgers conserved).
+    pub dup_suppressed: Counter,
+    /// RDMA READ responses replayed for duplicate read requests (a lost
+    /// response must be re-sent; a plain re-ACK cannot complete a READ).
+    pub read_replays: Counter,
 }
 
 #[cfg(test)]

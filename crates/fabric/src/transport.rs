@@ -15,13 +15,26 @@
 //!   unacknowledged message at or after the NAKed sequence number returns
 //!   to the send queue and is retransmitted after the RNR timer, burning
 //!   one unit of the message's retry budget per NAK (a budget of `None`
-//!   retries forever, as the paper's hardware-based scheme configures).
+//!   retries forever, as the paper's hardware-based scheme configures);
+//! * under an active [`crate::FaultPlan`], lost messages are recovered by
+//!   an **ACK timeout**: the requester arms a timer for its oldest
+//!   unacknowledged message, rolls back go-back-N when it expires
+//!   (doubling the timeout per consecutive expiry), burns one unit of the
+//!   IB-spec `retry_cnt` budget per timeout, and fails the QP with
+//!   [`CqeStatus::TransportRetryExceeded`] on exhaustion. Retransmissions
+//!   that race a delayed ACK arrive as duplicates and are suppressed at
+//!   the responder (re-ACK only — no receive WQE is re-consumed, so
+//!   end-to-end credit accounting stays conserved; duplicate RDMA READ
+//!   requests replay the response instead, since a plain ACK cannot
+//!   complete a READ).
 
 use crate::fabric::{Fabric, NodeId};
+use crate::fault::Fate;
 use crate::mem::Access;
+use crate::params::FabricParams;
 use crate::qp::{InflightMsg, MsgBody, QpId, QpState};
 use crate::wr::{Cqe, CqeOpcode, CqeStatus, SendOp};
-use ibsim::{Ctx, SimTime};
+use ibsim::{Ctx, SimDuration, SimTime};
 use std::sync::Arc;
 
 /// Pushes a completion and wakes any CQ waiters.
@@ -206,7 +219,131 @@ fn launch(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId) {
         (msn, body, bytes, dst_qp, src_node, dst_node)
     };
     let (first, last) = transmit(ctx, src_node, dst_node, bytes);
-    ctx.schedule_at(last, move |c| deliver(c, dst_qp, msn, body, first));
+    let npkts = ctx.world.params.packets_for(bytes);
+    match ctx.world.fault_fate(ctx.now(), src_node, dst_node, npkts) {
+        Fate::Deliver => {
+            ctx.schedule_at(last, move |c| deliver(c, dst_qp, msn, body, first));
+        }
+        // The wire time is spent but the message never arrives; the ACK
+        // timeout below recovers it.
+        Fate::Drop => {}
+    }
+    if ctx.world.fault_active() {
+        // The recovery window tracks the *oldest* unacknowledged message:
+        // (re)base it when this launch is the only one in flight.
+        let timeout = {
+            let q = &ctx.world.qps[qp_id.index()];
+            (q.inflight.len() == 1).then(|| retry_timeout(&ctx.world.params, q.timeout_streak))
+        };
+        if let Some(t) = timeout {
+            ctx.world.qps[qp_id.index()].retry_deadline = last + t;
+        }
+        arm_retry_timer(ctx, qp_id);
+    }
+}
+
+/// ACK-timeout span after `streak` consecutive unproductive timeouts:
+/// exponential backoff, capped at 64× the base timeout.
+fn retry_timeout(params: &FabricParams, streak: u32) -> SimDuration {
+    SimDuration::nanos(params.ack_timeout.as_nanos() << streak.min(6))
+}
+
+/// Schedules the ACK-timeout timer for `qp_id`'s oldest in-flight message
+/// if faults are active and no timer is already in flight.
+fn arm_retry_timer(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId) {
+    if !ctx.world.fault_active() {
+        return;
+    }
+    let deadline = {
+        let q = &mut ctx.world.qps[qp_id.index()];
+        if q.retry_armed || q.state != QpState::ReadyToSend || q.inflight.is_empty() {
+            return;
+        }
+        q.retry_armed = true;
+        q.retry_deadline
+    };
+    let at = deadline.max(ctx.now());
+    ctx.schedule_at(at, move |c| retry_timer_fired(c, qp_id));
+}
+
+/// The ACK-timeout timer fired: either the deadline truly passed (handle
+/// the timeout) or ACK progress pushed it out (chase the new horizon).
+fn retry_timer_fired(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId) {
+    let now = ctx.now();
+    let expired = {
+        let q = &mut ctx.world.qps[qp_id.index()];
+        q.retry_armed = false;
+        if q.state != QpState::ReadyToSend || q.inflight.is_empty() {
+            return;
+        }
+        now >= q.retry_deadline
+    };
+    if expired {
+        handle_ack_timeout(ctx, qp_id);
+    } else {
+        arm_retry_timer(ctx, qp_id);
+    }
+}
+
+/// The oldest unacknowledged message timed out: go-back-N rollback,
+/// transport (`retry_cnt`) budget accounting, and immediate retransmission
+/// — the backoff lives in the relaunch deadline, which doubles with each
+/// consecutive timeout.
+fn handle_ack_timeout(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId) {
+    ctx.world.stats.ack_timeouts.incr();
+    let exhausted = {
+        let q = &mut ctx.world.qps[qp_id.index()];
+        q.stats.ack_timeouts.incr();
+        q.timeout_streak += 1;
+        // Go-back-N: every unacknowledged message returns to the send
+        // queue (oldest at the head) and the MSN clock rewinds to it.
+        let oldest = match q.inflight.front() {
+            Some(m) => m.msn,
+            None => return,
+        };
+        while let Some(m) = q.inflight.pop_back() {
+            if m.wqe.op.is_send() {
+                q.unacked_sends -= 1;
+            }
+            q.sq.push_front(m.wqe);
+        }
+        q.next_msn = oldest;
+        // Burn one transport retry unit on the timed-out head message.
+        match q.sq.front_mut().and_then(|w| w.retry_budget.as_mut()) {
+            Some(b) if *b == 0 => true,
+            Some(b) => {
+                *b -= 1;
+                false
+            }
+            None => false, // infinite retry
+        }
+    };
+    if exhausted {
+        let (send_cq, cqe) = {
+            let q = &mut ctx.world.qps[qp_id.index()];
+            // simlint: allow(no-panic-in-lib): `exhausted` is only set after inspecting this same queue head
+            let wqe = q.sq.pop_front().expect("head exists");
+            let opcode = match &wqe.op {
+                SendOp::Send { .. } => CqeOpcode::SendComplete,
+                SendOp::RdmaWrite { .. } => CqeOpcode::RdmaWriteComplete,
+                SendOp::RdmaRead { .. } => CqeOpcode::RdmaReadComplete,
+            };
+            (
+                q.send_cq,
+                Cqe {
+                    wr_id: wqe.wr_id,
+                    qp: qp_id,
+                    opcode,
+                    status: CqeStatus::TransportRetryExceeded,
+                    byte_len: 0,
+                },
+            )
+        };
+        push_cqe(ctx, send_cq, cqe);
+        fail_qp(ctx, qp_id);
+        return;
+    }
+    pump(ctx, qp_id);
 }
 
 /// Schedules `handle_ack` at the requester after the control-channel
@@ -215,7 +352,7 @@ fn launch(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId) {
 /// hardware ACKs pick up receive WQEs the consumer reposted in the
 /// interim.
 fn send_ack(ctx: &mut Ctx<'_, Fabric>, responder: QpId, requester: QpId, msn: u64) {
-    let delay = ctx.world.params.ack_latency;
+    let delay = ctx.world.params.ack_latency + ctx.world.fault_ack_delay();
     ctx.schedule_after(delay, move |c| {
         let credits = c.world.qps[responder.index()].rq.len() as u32;
         handle_ack(c, requester, msn, credits, false);
@@ -244,8 +381,18 @@ fn deliver(
     };
     if msn != expected {
         if msn < expected {
-            // Duplicate (already processed): re-acknowledge.
-            send_ack(ctx, dst_qp, src_qp, msn);
+            // Duplicate of an already-processed message (a go-back-N
+            // retransmission raced the original's ACK). Never re-consume
+            // a receive WQE or re-place data — credit accounting depends
+            // on exactly-once consumption. Re-acknowledge instead; for
+            // RDMA READ requests the *response* is replayed, because a
+            // plain ACK cannot complete a READ whose data was lost.
+            ctx.world.stats.dup_suppressed.incr();
+            if matches!(body, MsgBody::RdmaRead { .. }) {
+                replay_read_response(ctx, src_qp, msn, body, dst_node);
+            } else {
+                send_ack(ctx, dst_qp, src_qp, msn);
+            }
         }
         // msn > expected: a message after a go-back-N point; drop silently,
         // the requester retransmits the whole tail.
@@ -272,7 +419,7 @@ fn deliver(
                     q.stats.rnr_naks_sent.incr();
                 }
                 ctx.world.stats.rnr_naks.incr();
-                let delay = ctx.world.params.ack_latency;
+                let delay = ctx.world.params.ack_latency + ctx.world.fault_ack_delay();
                 ctx.schedule_after(delay, move |c| handle_rnr_nak(c, src_qp, msn));
                 return;
             }
@@ -383,23 +530,87 @@ fn deliver(
             }
             ctx.world.stats.msgs_delivered.incr();
             ctx.world.stats.bytes_delivered.add(len as u64);
-            let data: Arc<[u8]> =
-                ctx.world.mrs[rkey.index()].bytes[remote_offset..remote_offset + len].into();
-            let src_node = ctx.world.qps[src_qp.index()].node;
-            let (rfirst, rlast) = transmit(ctx, dst_node, src_node, len);
-            ctx.schedule_at(rlast, move |c| {
-                // Response data has arrived at the requester HCA.
-                let rx_done = charge_rx_rdma(c, src_node, rfirst, c.now(), data.len());
-                c.schedule_at(rx_done, move |c2| {
-                    c2.world.mrs[local_mr.index()].bytes[local_offset..local_offset + data.len()]
-                        .copy_from_slice(&data);
-                    // The read response acknowledges everything up to msn.
-                    let credits = c2.world.qps[src_qp.index()].adv_credits; // unchanged by reads
-                    handle_ack(c2, src_qp, msn, credits, true);
-                });
-            });
+            let body = MsgBody::RdmaRead {
+                rkey,
+                remote_offset,
+                local_mr,
+                local_offset,
+                len,
+            };
+            send_read_response(ctx, src_qp, msn, &body, dst_node);
         }
     }
+}
+
+/// Puts the response data of a validated RDMA READ on the wire back to the
+/// requester; its arrival carries ACK semantics for everything up to `msn`.
+fn send_read_response(
+    ctx: &mut Ctx<'_, Fabric>,
+    src_qp: QpId,
+    msn: u64,
+    body: &MsgBody,
+    dst_node: NodeId,
+) {
+    let MsgBody::RdmaRead {
+        rkey,
+        remote_offset,
+        local_mr,
+        local_offset,
+        len,
+    } = *body
+    else {
+        return;
+    };
+    let data: Arc<[u8]> =
+        ctx.world.mrs[rkey.index()].bytes[remote_offset..remote_offset + len].into();
+    let src_node = ctx.world.qps[src_qp.index()].node;
+    let (rfirst, rlast) = transmit(ctx, dst_node, src_node, len);
+    // The response crosses the same lossy wire as any request.
+    let npkts = ctx.world.params.packets_for(len);
+    if ctx.world.fault_fate(ctx.now(), dst_node, src_node, npkts) == Fate::Drop {
+        return; // the requester's ACK timeout re-requests the read
+    }
+    ctx.schedule_at(rlast, move |c| {
+        // Response data has arrived at the requester HCA.
+        let rx_done = charge_rx_rdma(c, src_node, rfirst, c.now(), data.len());
+        c.schedule_at(rx_done, move |c2| {
+            c2.world.mrs[local_mr.index()].bytes[local_offset..local_offset + data.len()]
+                .copy_from_slice(&data);
+            // The read response acknowledges everything up to msn.
+            let credits = c2.world.qps[src_qp.index()].adv_credits; // unchanged by reads
+            handle_ack(c2, src_qp, msn, credits, true);
+        });
+    });
+}
+
+/// A duplicate RDMA READ request arrived (its original response was lost):
+/// re-validate and re-send the response data.
+fn replay_read_response(
+    ctx: &mut Ctx<'_, Fabric>,
+    src_qp: QpId,
+    msn: u64,
+    body: MsgBody,
+    dst_node: NodeId,
+) {
+    let MsgBody::RdmaRead {
+        rkey,
+        remote_offset,
+        len,
+        ..
+    } = &body
+    else {
+        return;
+    };
+    let valid = ctx.world.mrs.get(rkey.index()).is_some_and(|mr| {
+        mr.node == dst_node
+            && mr.access.allows(Access::REMOTE_READ)
+            && mr.check_range(*remote_offset, *len)
+    });
+    if !valid {
+        return; // the original delivery already reported the access error
+    }
+    ctx.world.stats.read_replays.incr();
+    send_read_response(ctx, src_qp, msn, &body, dst_node);
 }
 
 /// Charges receiver-side DMA and processing for an arriving message and
@@ -473,6 +684,8 @@ fn handle_ack(
     credits: u32,
     from_read_response: bool,
 ) {
+    let now = ctx.now();
+    let ack_timeout = ctx.world.params.ack_timeout;
     let mut completions: Vec<(crate::cq::CqId, Cqe)> = Vec::new();
     {
         let q = &mut ctx.world.qps[qp_id.index()];
@@ -480,6 +693,7 @@ fn handle_ack(
             return;
         }
         q.stats.acks_received.incr();
+        let inflight_before = q.inflight.len();
         while let Some(front) = q.inflight.front() {
             if front.msn > msn {
                 break;
@@ -525,6 +739,15 @@ fn handle_ack(
             }
         }
         q.adv_credits = credits.saturating_sub(q.unacked_sends);
+        if q.inflight.len() < inflight_before {
+            // Forward progress: the loss-recovery window restarts for the
+            // new oldest unacknowledged message (the in-flight timer event
+            // notices the pushed-out deadline and re-arms).
+            q.timeout_streak = 0;
+            if !q.inflight.is_empty() {
+                q.retry_deadline = now + ack_timeout;
+            }
+        }
     }
     for (cq, cqe) in completions {
         push_cqe(ctx, cq, cqe);
@@ -634,25 +857,23 @@ pub(crate) fn send_ud(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId, dst_qp: QpId, wr: 
             );
         });
     }
+    // The local completion above stands either way — the datagram left the
+    // HCA; whether the wire then eats it is invisible to the sender.
+    let npkts = ctx.world.params.packets_for(payload.len());
+    if ctx.world.fault_fate(ctx.now(), src_node, dst_node, npkts) == Fate::Drop {
+        return;
+    }
     ctx.schedule_at(last, move |c| deliver_ud(c, dst_qp, payload, first));
 }
 
 fn deliver_ud(ctx: &mut Ctx<'_, Fabric>, dst_qp: QpId, payload: Arc<[u8]>, first_arrival: SimTime) {
     let now = ctx.now();
-    let (dst_node, has_buffer) = {
-        let q = &ctx.world.qps[dst_qp.index()];
-        (q.node, !q.rq.is_empty())
-    };
-    if !has_buffer {
+    let dst_node = ctx.world.qps[dst_qp.index()].node;
+    let Some(rwqe) = ctx.world.qps[dst_qp.index()].rq.pop_front() else {
         // Unreliable service: no RNR NAK, no retry — the datagram is gone.
         ctx.world.stats.ud_drops.incr();
         return;
-    }
-    let rwqe = ctx.world.qps[dst_qp.index()]
-        .rq
-        .pop_front()
-        // simlint: allow(no-panic-in-lib): the caller returns early on an empty receive queue (UD drop semantics)
-        .expect("checked");
+    };
     if rwqe.len < payload.len() {
         let recv_cq = ctx.world.qps[dst_qp.index()].recv_cq;
         push_cqe(
@@ -728,11 +949,17 @@ fn remote_access_error(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId, msn: u64) {
     fail_qp(ctx, qp_id);
 }
 
-/// Moves a QP to the error state and flushes all outstanding work.
+/// Moves a QP to the error state, flushes all outstanding work, and tears
+/// down the peer end of the connection (after the control-channel delay)
+/// so the remote side observes flushed receives instead of waiting forever
+/// on a dead QP.
 fn fail_qp(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId) {
     let mut flushed: Vec<(crate::cq::CqId, Cqe)> = Vec::new();
-    {
+    let peer = {
         let q = &mut ctx.world.qps[qp_id.index()];
+        if q.state == QpState::Error {
+            return; // already failed (a peer teardown raced a local error)
+        }
         q.state = QpState::Error;
         q.backoff_until = None;
         for m in q.inflight.drain(..) {
@@ -772,8 +999,15 @@ fn fail_qp(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId) {
             ));
         }
         q.unacked_sends = 0;
-    }
+        q.peer
+    };
     for (cq, cqe) in flushed {
         push_cqe(ctx, cq, cqe);
+    }
+    if let Some(p) = peer {
+        if ctx.world.qps[p.index()].state != QpState::Error {
+            let delay = ctx.world.params.ack_latency;
+            ctx.schedule_after(delay, move |c| fail_qp(c, p));
+        }
     }
 }

@@ -151,12 +151,48 @@ pub enum CqeStatus {
     Success,
     /// The RNR retry budget was exhausted (receiver never posted a buffer).
     RnrRetryExceeded,
+    /// The transport retry budget (`retry_cnt`) was exhausted: the message
+    /// was retransmitted after repeated ACK timeouts until the budget ran
+    /// out (lost packets / dead link).
+    TransportRetryExceeded,
     /// Arriving message was larger than the posted receive buffer.
     LocalLengthError,
     /// Remote access check failed (bad rkey, bounds, or permissions).
     RemoteAccessError,
     /// The work request was flushed because the QP entered the error state.
     WorkRequestFlushed,
+}
+
+impl CqeStatus {
+    /// Numeric error code, following the `ibv_wc_status` encoding so logs
+    /// read like real verbs diagnostics (`IBV_WC_SUCCESS` = 0,
+    /// `IBV_WC_LOC_LEN_ERR` = 1, `IBV_WC_WR_FLUSH_ERR` = 5,
+    /// `IBV_WC_REM_ACCESS_ERR` = 10, `IBV_WC_RETRY_EXC_ERR` = 12,
+    /// `IBV_WC_RNR_RETRY_EXC_ERR` = 13).
+    pub fn code(self) -> u32 {
+        match self {
+            CqeStatus::Success => 0,
+            CqeStatus::LocalLengthError => 1,
+            CqeStatus::WorkRequestFlushed => 5,
+            CqeStatus::RemoteAccessError => 10,
+            CqeStatus::TransportRetryExceeded => 12,
+            CqeStatus::RnrRetryExceeded => 13,
+        }
+    }
+}
+
+impl std::fmt::Display for CqeStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CqeStatus::Success => "success",
+            CqeStatus::RnrRetryExceeded => "RNR retry exceeded",
+            CqeStatus::TransportRetryExceeded => "transport retry exceeded",
+            CqeStatus::LocalLengthError => "local length error",
+            CqeStatus::RemoteAccessError => "remote access error",
+            CqeStatus::WorkRequestFlushed => "work request flushed",
+        };
+        write!(f, "{s} (wc status {})", self.code())
+    }
 }
 
 /// A completion queue entry.
@@ -198,5 +234,28 @@ mod tests {
         let read = SendWr::rdma_read(3, MrId(0), 0, MrId(1), 0, 1 << 20);
         assert_eq!(read.op.request_bytes(), 16);
         assert!(!read.op.is_send());
+    }
+
+    #[test]
+    fn status_codes_follow_ibv_wc_encoding() {
+        assert_eq!(CqeStatus::Success.code(), 0);
+        assert_eq!(CqeStatus::LocalLengthError.code(), 1);
+        assert_eq!(CqeStatus::WorkRequestFlushed.code(), 5);
+        assert_eq!(CqeStatus::RemoteAccessError.code(), 10);
+        assert_eq!(CqeStatus::TransportRetryExceeded.code(), 12);
+        assert_eq!(CqeStatus::RnrRetryExceeded.code(), 13);
+    }
+
+    #[test]
+    fn status_display_names_the_error_and_code() {
+        assert_eq!(CqeStatus::Success.to_string(), "success (wc status 0)");
+        assert_eq!(
+            CqeStatus::RemoteAccessError.to_string(),
+            "remote access error (wc status 10)"
+        );
+        assert_eq!(
+            CqeStatus::TransportRetryExceeded.to_string(),
+            "transport retry exceeded (wc status 12)"
+        );
     }
 }

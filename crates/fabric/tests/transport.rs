@@ -429,6 +429,66 @@ fn rdma_write_access_violation_errors_the_qp() {
 }
 
 #[test]
+fn remote_access_error_flushes_queued_work_end_to_end() {
+    let mut fabric = Fabric::new(FabricParams::mt23108());
+    let a = fabric.add_node();
+    let b = fabric.add_node();
+    let cq_a = fabric.create_cq(a);
+    let cq_b = fabric.create_cq(b);
+    let qp_a = fabric.create_qp(a, cq_a, cq_a, QpAttrs::default());
+    let qp_b = fabric.create_qp(b, cq_b, cq_b, QpAttrs::default());
+    // No REMOTE_WRITE permission: the write's access check must fail.
+    let mr_b = fabric.register(b, 4096, Access::LOCAL_WRITE);
+    fabric
+        .post_recv(
+            qp_b,
+            RecvWr {
+                wr_id: 500,
+                mr: mr_b,
+                offset: 0,
+                len: 4096,
+            },
+        )
+        .unwrap();
+    let mut sim = Sim::new(fabric, SimConfig::default());
+    sim.with_world(|ctx| {
+        connect(ctx, qp_a, qp_b);
+        // A bad write with an ordinary send queued behind it.
+        post_send(ctx, qp_a, SendWr::rdma_write(1, vec![1, 2, 3], mr_b, 0)).unwrap();
+        post_send(ctx, qp_a, SendWr::inline_send(2, vec![7u8; 64])).unwrap();
+    });
+    sim.run().unwrap();
+    let mut f = sim.into_world();
+
+    let cqes = f.poll_cq(cq_a, 8);
+    assert_eq!(cqes.len(), 2);
+    assert_eq!(cqes[0].wr_id, 1);
+    assert_eq!(cqes[0].status, CqeStatus::RemoteAccessError);
+    assert_eq!(cqes[1].wr_id, 2);
+    assert_eq!(cqes[1].status, CqeStatus::WorkRequestFlushed);
+    // Display/code follow the ibv_wc encoding so logs read like verbs.
+    assert_eq!(cqes[0].status.code(), 10);
+    assert_eq!(
+        cqes[0].status.to_string(),
+        "remote access error (wc status 10)"
+    );
+    assert_eq!(cqes[1].status.code(), 5);
+    assert_eq!(
+        cqes[1].status.to_string(),
+        "work request flushed (wc status 5)"
+    );
+
+    // Both endpoints end in the error state; the responder's posted
+    // receive flushes so its software observes the teardown too.
+    assert_eq!(f.qp(qp_a).state(), QpState::Error);
+    assert_eq!(f.qp(qp_b).state(), QpState::Error);
+    let recvs = f.poll_cq(cq_b, 8);
+    assert_eq!(recvs.len(), 1);
+    assert_eq!(recvs[0].wr_id, 500);
+    assert_eq!(recvs[0].status, CqeStatus::WorkRequestFlushed);
+}
+
+#[test]
 fn rdma_write_out_of_bounds_is_rejected() {
     let mut p = pair(0);
     p.sim.with_world(|ctx| {

@@ -3,6 +3,10 @@
 #
 # The workspace is hermetic (path-only dependencies), so everything runs
 # with --locked --offline; a step that needs the network is a bug.
+#
+# The `ci_parity` test (tests/ci_parity.rs) asserts every cargo
+# invocation here also appears in ci.yml and vice versa — edit both
+# files together.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,8 +37,11 @@ run cargo bench -p ibfabric --bench transport --locked --offline -- --test
 run cargo bench -p ibflow-bench --bench paper --locked --offline -- --test
 run cargo bench -p ibflow-bench --bench engine --locked --offline -- --test
 
-# Goldens must be byte-identical with the worker pool engaged.
-run env IBFLOW_JOBS=4 cargo test -q --release --locked --offline -p ibflow-bench --test golden
+# Goldens must be byte-identical at every pool width: serial, moderate,
+# and deliberately oversubscribed (mirrors the CI golden matrix).
+for jobs in 1 4 16; do
+    run env IBFLOW_JOBS=$jobs cargo test -q --release --locked --offline -p ibflow-bench --test golden
+done
 
 # Chaos battery at the fixed default seed: same-seed determinism across
 # pool widths plus the golden counter snapshot.

@@ -1,29 +1,36 @@
 //! Engine throughput bench: raw event-loop rates plus the battery wall.
 //!
-//! Four measurements, recorded in `bench_results/BENCH_engine.json`:
+//! Five measurements, recorded in `bench_results/BENCH_engine.json`:
 //!
 //! * **call events/sec** — a self-perpetuating closure-event chain drained
-//!   under a single lock acquisition; the ceiling on pure event dispatch.
+//!   under a single borrow of the scheduler; the ceiling on pure event
+//!   dispatch.
 //! * **handoff events/sec** — one process advancing the clock in a tight
-//!   loop. Under the direct-handoff engine every one of these resumes
-//!   targets the advancing process itself, so this measures the
-//!   *self-resume fast path*: one lock acquisition plus a heap push/pop,
-//!   zero channel operations, zero context switches.
+//!   loop. Every resume targets the advancing coroutine itself: one heap
+//!   push/pop plus one poll.
 //! * **handoff_xproc events/sec** — two processes advancing on interleaved
-//!   odd/even schedules so every resume crosses threads; measures the true
-//!   process-to-process baton (one direct channel send + one context
-//!   switch per event, kernel thread asleep throughout).
+//!   odd/even schedules so consecutive resumes always alternate between
+//!   them. Under the coroutine runtime a cross-process handoff is the
+//!   *same* operation as a self-resume (pop the next event, poll that
+//!   coroutine — no threads, no channels, no context switches), so this
+//!   rate is expected to sit within a small factor of the self-resume
+//!   rate rather than the ~70x gap the thread-per-rank runtime had.
+//! * **ranks_per_thread** — 64 processes advancing on interleaved
+//!   schedules, all multiplexed on the one calling thread; measures that
+//!   event throughput holds up when many coroutines share the queue.
 //! * **battery wall** — the `all_experiments` workload (every figure and
 //!   table at the default class) at `IBFLOW_JOBS=1` and at jobs=N, timing
-//!   the serial hot path and the pool speedup. Each simulated rank is an
-//!   OS thread, so jobs × ranks can exceed the host's hardware threads;
-//!   the bench warns explicitly when the jobs=N wall regresses.
+//!   the serial hot path and the pool speedup. Simulated ranks are
+//!   coroutines, not OS threads, so only the *job* count can
+//!   oversubscribe the host; the bench warns when jobs exceed the
+//!   hardware threads and the jobs=N wall regresses.
 //!
 //! `--test` (as passed by `cargo test --benches`) runs tiny versions of
 //! each measurement, asserts sanity floors, and writes nothing; CI uses
-//! this as a throughput-regression tripwire. The handoff floor sits well
-//! above the pre-direct-handoff rate (~280k/s), so losing the fast path
-//! fails CI.
+//! this as a throughput-regression tripwire. The cross-process floor
+//! (1M events/s) sits ~3x above the thread-per-rank runtime's best rate
+//! (~350k/s), so reintroducing any thread hop on the handoff path fails
+//! CI.
 
 use ibflow_bench::figures::{bandwidth_figure, fig2_latency, nas_battery};
 use ibsim::{Ctx, Sim, SimConfig, SimDuration, SimTime};
@@ -53,12 +60,12 @@ fn call_chain_rate(n: u64) -> f64 {
 }
 
 /// Events/sec for a single process advancing in a loop: every resume
-/// targets the advancing process itself (the self-resume fast path).
+/// targets the advancing coroutine itself (the self-resume path).
 fn handoff_rate(n: u64) -> f64 {
     let mut sim: Sim<()> = Sim::new((), SimConfig::default());
-    sim.spawn("p", move |mut p| {
+    sim.spawn("p", move |mut p| async move {
         for _ in 0..n {
-            p.advance(SimDuration::nanos(1));
+            p.advance(SimDuration::nanos(1)).await;
         }
     });
     let t0 = Instant::now();
@@ -66,22 +73,22 @@ fn handoff_rate(n: u64) -> f64 {
     rep.events_processed as f64 / t0.elapsed().as_secs_f64()
 }
 
-/// Events/sec for a two-process ping-pong: the processes advance on
-/// interleaved odd/even nanosecond schedules, so consecutive resumes
-/// always alternate between them and every baton handoff is a true
-/// cross-process transfer — the self-resume fast path never triggers.
-fn handoff_xproc_rate(n: u64) -> f64 {
+/// Events/sec for `procs` processes advancing on interleaved schedules so
+/// consecutive resumes always move to a *different* process. With
+/// `procs == 2` this is the classic ping-pong (pure cross-process baton);
+/// with more it doubles as the many-ranks-on-one-thread measurement.
+fn interleaved_rate(procs: u64, n: u64) -> f64 {
     let mut sim: Sim<()> = Sim::new((), SimConfig::default());
-    for phase in [1u64, 2u64] {
-        sim.spawn(format!("pp{phase}"), move |mut p| {
-            p.advance(SimDuration::nanos(phase));
+    for phase in 0..procs {
+        sim.spawn(format!("pp{phase}"), move |mut p| async move {
+            p.advance(SimDuration::nanos(phase + 1)).await;
             for _ in 0..n {
-                p.advance(SimDuration::nanos(2));
+                p.advance(SimDuration::nanos(procs)).await;
             }
         });
     }
     let t0 = Instant::now();
-    let rep = sim.run().expect("ping-pong run");
+    let rep = sim.run().expect("interleaved run");
     rep.events_processed as f64 / t0.elapsed().as_secs_f64()
 }
 
@@ -111,6 +118,9 @@ fn battery_wall_ns(class: nasbench::NasClass) -> u64 {
     t0.elapsed().as_nanos() as u64
 }
 
+/// Process count for the many-coroutines measurement.
+const RANKS_PER_THREAD: u64 = 64;
+
 fn main() {
     let test_mode = std::env::args().skip(1).any(|a| a == "--test");
     let host_parallelism = std::thread::available_parallelism()
@@ -119,26 +129,34 @@ fn main() {
 
     if test_mode {
         // Tiny versions + floors with an order-of-magnitude margin over a
-        // slow, noisy CI host. The self-resume floor is deliberately set
-        // far above the old kernel-mediated handoff rate (~280k events/s):
-        // if the direct-handoff fast path is ever lost, this trips.
+        // slow, noisy CI host. The cross-process floor is deliberately set
+        // ~3x above the thread-per-rank runtime's rate (~350k events/s):
+        // if a thread hop ever sneaks back onto the handoff path, this
+        // trips.
         let call = call_chain_rate(50_000);
         let handoff = median3(|| handoff_rate(20_000));
-        let xproc = handoff_xproc_rate(5_000);
+        let xproc = median3(|| interleaved_rate(2, 10_000));
+        let many = interleaved_rate(RANKS_PER_THREAD, 500);
         println!("test engine/call_chain ({call:.0} events/sec) ... ok");
         println!("test engine/handoffs_self ({handoff:.0} events/sec) ... ok");
         println!("test engine/handoffs_xproc ({xproc:.0} events/sec) ... ok");
+        println!("test engine/ranks_per_thread ({many:.0} events/sec) ... ok");
         assert!(
             call > 1_000_000.0,
             "call-event dispatch regressed: {call:.0} events/sec"
         );
         assert!(
             handoff > 1_000_000.0,
-            "self-resume handoff fast path regressed: {handoff:.0} events/sec"
+            "self-resume handoff path regressed: {handoff:.0} events/sec"
         );
         assert!(
-            xproc > 20_000.0,
-            "cross-process handoff path regressed: {xproc:.0} events/sec"
+            xproc > 1_000_000.0,
+            "cross-process handoff regressed below the coroutine-runtime floor: \
+             {xproc:.0} events/sec (< 1,000,000)"
+        );
+        assert!(
+            many > 1_000_000.0,
+            "{RANKS_PER_THREAD}-coroutine interleave regressed: {many:.0} events/sec"
         );
         return;
     }
@@ -147,8 +165,10 @@ fn main() {
     println!("call events/sec:          {call:>14.0}");
     let handoff = median3(|| handoff_rate(2_000_000));
     println!("handoff events/sec:       {handoff:>14.0}");
-    let xproc = median3(|| handoff_xproc_rate(200_000));
+    let xproc = median3(|| interleaved_rate(2, 1_000_000));
     println!("handoff_xproc events/sec: {xproc:>14.0}");
+    let many = median3(|| interleaved_rate(RANKS_PER_THREAD, 30_000));
+    println!("ranks_per_thread ({RANKS_PER_THREAD}) events/sec: {many:>14.0}");
 
     let class = ibflow_bench::nas_class_from_env();
     let jobs_n = ibpool::worker_count().max(4);
@@ -166,16 +186,16 @@ fn main() {
     );
     std::env::remove_var(ibpool::JOBS_ENV);
 
-    // Each simulated rank is an OS thread, so jobs × ranks can exceed the
-    // host's hardware threads; when that oversubscription makes jobs=N
-    // slower than serial, say so instead of leaving an anomalous-looking
-    // pair of walls in the report.
-    let oversubscribed = wall_jobsn > wall_jobs1;
-    if oversubscribed {
+    // Simulated ranks are coroutines multiplexed on their job's thread, so
+    // only the *job* count can oversubscribe the host. When it does and
+    // the jobs=N wall regresses, say so instead of leaving an
+    // anomalous-looking pair of walls in the report.
+    let oversubscribed = jobs_n > host_parallelism;
+    if oversubscribed && wall_jobsn > wall_jobs1 {
         println!(
             "warning: battery at jobs={jobs_n} ({:.3}s) is SLOWER than jobs=1 ({:.3}s); \
-             each simulated rank is an OS thread, so jobs x ranks likely oversubscribes \
-             the {host_parallelism} available hardware thread(s) on this host",
+             jobs={jobs_n} exceeds the {host_parallelism} available hardware thread(s) \
+             on this host (ranks are coroutines and cost no threads)",
             wall_jobsn as f64 / 1e9,
             wall_jobs1 as f64 / 1e9,
         );
@@ -191,6 +211,8 @@ fn main() {
         "{{\n  \"group\": \"engine\",\n  \"host_parallelism\": {host_parallelism},\n  \
          \"call_events_per_sec\": {call:.0},\n  \"handoff_events_per_sec\": {handoff:.0},\n  \
          \"handoff_xproc_events_per_sec\": {xproc:.0},\n  \
+         \"ranks_per_thread\": {RANKS_PER_THREAD},\n  \
+         \"ranks_per_thread_events_per_sec\": {many:.0},\n  \
          \"battery_class\": \"{class:?}\",\n  \"battery_wall_jobs1_ns\": {wall_jobs1},\n  \
          \"battery_jobs_n\": {jobs_n},\n  \"battery_wall_jobsn_ns\": {wall_jobsn},\n  \
          \"jobsn_oversubscribed\": {oversubscribed}\n}}\n"

@@ -22,8 +22,8 @@ pub fn run_kernel_cfg(
     params: FabricParams,
 ) -> (f64, mpib::WorldStats, ibfabric::FabricStats) {
     let procs = kernel.paper_procs();
-    let out = MpiWorld::run(procs, cfg, params, move |mpi| {
-        run_kernel(mpi, kernel, class)
+    let out = MpiWorld::run(procs, cfg, params, async move |mpi| {
+        run_kernel(mpi, kernel, class).await
     })
     .unwrap_or_else(|e| panic!("{kernel:?} ablation failed: {e}"));
     assert!(
@@ -165,18 +165,18 @@ pub fn credit_path(class: NasClass) -> String {
 /// latency and the path each message takes.
 pub fn rdma_channel() -> String {
     fn latency(cfg: MpiConfig) -> (f64, u64, u64) {
-        let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), |mpi| {
+        let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), async |mpi| {
             let peer = 1 - mpi.rank();
             let iters = 50u32;
             let mut total = 0u64;
             for it in 0..4 + iters {
                 let t0 = mpi.now();
                 if mpi.rank() == 0 {
-                    mpi.send(&[0u8; 4], peer, 1);
-                    let _ = mpi.recv(Some(peer), Some(1));
+                    mpi.send(&[0u8; 4], peer, 1).await;
+                    let _ = mpi.recv(Some(peer), Some(1)).await;
                 } else {
-                    let _ = mpi.recv(Some(peer), Some(1));
-                    mpi.send(&[0u8; 4], peer, 1);
+                    let _ = mpi.recv(Some(peer), Some(1)).await;
+                    mpi.send(&[0u8; 4], peer, 1).await;
                 }
                 if it >= 4 {
                     total += mpi.now().since(t0).as_nanos();
@@ -236,12 +236,14 @@ pub fn on_demand(ranks: usize) -> String {
                         on_demand_connections: on_demand,
                         ..MpiConfig::scheme(FlowControlScheme::UserStatic, 32)
                     };
-                    let out = MpiWorld::run(ranks, cfg, FabricParams::mt23108(), |mpi| {
+                    let out = MpiWorld::run(ranks, cfg, FabricParams::mt23108(), async |mpi| {
                         // Ring halo pattern: only 2 of the n-1 connections are used.
                         let right = (mpi.rank() + 1) % mpi.size();
                         let left = (mpi.rank() + mpi.size() - 1) % mpi.size();
                         for _ in 0..20 {
-                            let _ = mpi.sendrecv(&[0u8; 512], right, 0, Some(left), Some(0));
+                            let _ = mpi
+                                .sendrecv(&[0u8; 512], right, 0, Some(left), Some(0))
+                                .await;
                         }
                         mpi.total_posted_buffers()
                     })
@@ -279,16 +281,16 @@ pub fn buffer_size() -> String {
                     eager_threshold: buf - mpib::HEADER_LEN,
                     ..MpiConfig::scheme(FlowControlScheme::UserStatic, 32)
                 };
-                let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), |mpi| {
+                let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), async |mpi| {
                     let peer = 1 - mpi.rank();
                     // Mixed sizes straddling the various thresholds.
                     for size in [64usize, 512, 1500, 3000, 6000] {
                         let data = vec![1u8; size];
                         for _ in 0..20 {
                             if mpi.rank() == 0 {
-                                mpi.send(&data, peer, 0);
+                                mpi.send(&data, peer, 0).await;
                             } else {
-                                let _ = mpi.recv(Some(peer), Some(0));
+                                let _ = mpi.recv(Some(peer), Some(0)).await;
                             }
                         }
                     }
@@ -332,11 +334,13 @@ pub fn scalability() -> String {
                             1
                         };
                         let cfg = MpiConfig::scheme(scheme, prepost);
-                        let out = MpiWorld::run(ranks, cfg, FabricParams::mt23108(), |mpi| {
+                        let out = MpiWorld::run(ranks, cfg, FabricParams::mt23108(), async |mpi| {
                             let right = (mpi.rank() + 1) % mpi.size();
                             let left = (mpi.rank() + mpi.size() - 1) % mpi.size();
                             for _ in 0..30 {
-                                let _ = mpi.sendrecv(&[7u8; 256], right, 0, Some(left), Some(0));
+                                let _ = mpi
+                                    .sendrecv(&[7u8; 256], right, 0, Some(left), Some(0))
+                                    .await;
                             }
                             mpi.total_posted_buffers()
                         })

@@ -161,7 +161,7 @@ pub fn run_one(level: &ChaosLevel, scheme: FlowControlScheme, seed: u64) -> Chao
         fault_plan: Some(level.plan(seed)),
         ..MpiConfig::scheme(scheme, 2)
     };
-    let out = MpiWorld::run(NPROCS, cfg, FabricParams::mt23108(), |mpi| {
+    let out = MpiWorld::run(NPROCS, cfg, FabricParams::mt23108(), async |mpi| {
         let me = mpi.rank();
         let dst = (me + 1) % NPROCS;
         let src = (me + NPROCS - 1) % NPROCS;
@@ -170,8 +170,9 @@ pub fn run_one(level: &ChaosLevel, scheme: FlowControlScheme, seed: u64) -> Chao
             let len = SIZES[i % SIZES.len()];
             let fill = ((i * 37 + me * 11 + 5) % 251) as u8;
             let expect_fill = ((i * 37 + src * 11 + 5) % 251) as u8;
-            let (status, data) =
-                mpi.sendrecv(&vec![fill; len], dst, i as i32, Some(src), Some(i as i32));
+            let (status, data) = mpi
+                .sendrecv(&vec![fill; len], dst, i as i32, Some(src), Some(i as i32))
+                .await;
             assert_eq!(status.len, len, "rank {me} iter {i}: wrong length");
             assert!(
                 data.iter().all(|&b| b == expect_fill),
@@ -185,10 +186,10 @@ pub fn run_one(level: &ChaosLevel, scheme: FlowControlScheme, seed: u64) -> Chao
             // schemes exercise backlog/credit starvation under loss.
             if i % 4 == 3 {
                 for b in 0..BURST {
-                    mpi.send(&[fill ^ 0xFF; 96], dst, 1000 + b as i32);
+                    mpi.send(&[fill ^ 0xFF; 96], dst, 1000 + b as i32).await;
                 }
                 for b in 0..BURST {
-                    let (_, burst_data) = mpi.recv(Some(src), Some(1000 + b as i32));
+                    let (_, burst_data) = mpi.recv(Some(src), Some(1000 + b as i32)).await;
                     assert!(
                         burst_data.iter().all(|&x| x == expect_fill ^ 0xFF),
                         "rank {me} iter {i}: burst payload mangled"

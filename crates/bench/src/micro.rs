@@ -39,7 +39,7 @@ impl MicroParams {
 pub fn latency_test(p: &MicroParams, size: usize, fabric: FabricParams) -> f64 {
     let iters = p.iters;
     let warmup = p.warmup;
-    let out = MpiWorld::run(2, p.config(), fabric, move |mpi| {
+    let out = MpiWorld::run(2, p.config(), fabric, async move |mpi| {
         let peer = 1 - mpi.rank();
         let payload = vec![0x5Au8; size];
         let mut buf = vec![0u8; size];
@@ -47,11 +47,11 @@ pub fn latency_test(p: &MicroParams, size: usize, fabric: FabricParams) -> f64 {
         for it in 0..(warmup + iters) {
             let t0 = mpi.now();
             if mpi.rank() == 0 {
-                mpi.send(&payload, peer, 1);
-                mpi.recv_into(&mut buf, Some(peer), Some(1));
+                mpi.send(&payload, peer, 1).await;
+                mpi.recv_into(&mut buf, Some(peer), Some(1)).await;
             } else {
-                mpi.recv_into(&mut buf, Some(peer), Some(1));
-                mpi.send(&payload, peer, 1);
+                mpi.recv_into(&mut buf, Some(peer), Some(1)).await;
+                mpi.send(&payload, peer, 1).await;
             }
             if it >= warmup {
                 measured_ns += mpi.now().since(t0).as_nanos();
@@ -88,7 +88,7 @@ pub fn bandwidth_test(
 ) -> BandwidthResult {
     let iters = p.iters;
     let warmup = p.warmup;
-    let out = MpiWorld::run(2, p.config(), fabric, move |mpi| {
+    let out = MpiWorld::run(2, p.config(), fabric, async move |mpi| {
         let peer = 1 - mpi.rank();
         let payload = vec![0xA5u8; size];
         let mut measured_ns = 0u64;
@@ -97,25 +97,25 @@ pub fn bandwidth_test(
             if mpi.rank() == 0 {
                 if blocking {
                     for _ in 0..window {
-                        mpi.send(&payload, peer, 2);
+                        mpi.send(&payload, peer, 2).await;
                     }
                 } else {
                     let reqs: Vec<_> = (0..window).map(|_| mpi.isend(&payload, peer, 2)).collect();
-                    mpi.waitall(&reqs);
+                    mpi.waitall(&reqs).await;
                 }
-                let (_, _reply) = mpi.recv(Some(peer), Some(3));
+                let (_, _reply) = mpi.recv(Some(peer), Some(3)).await;
             } else {
                 if blocking {
                     for _ in 0..window {
-                        let _ = mpi.recv(Some(peer), Some(2));
+                        let _ = mpi.recv(Some(peer), Some(2)).await;
                     }
                 } else {
                     let reqs: Vec<_> = (0..window)
                         .map(|_| mpi.irecv(Some(peer), Some(2)))
                         .collect();
-                    mpi.waitall(&reqs);
+                    mpi.waitall(&reqs).await;
                 }
-                mpi.send(&[0u8; 4], peer, 3);
+                mpi.send(&[0u8; 4], peer, 3).await;
             }
             if it >= warmup {
                 measured_ns += mpi.now().since(t0).as_nanos();

@@ -41,8 +41,8 @@ pub struct NasRun {
 pub fn run_nas(kernel: Kernel, class: NasClass, scheme: FlowControlScheme, prepost: u32) -> NasRun {
     let procs = kernel.paper_procs();
     let cfg = MpiConfig::scheme(scheme, prepost);
-    let out = MpiWorld::run(procs, cfg, FabricParams::mt23108(), move |mpi| {
-        run_kernel(mpi, kernel, class)
+    let out = MpiWorld::run(procs, cfg, FabricParams::mt23108(), async move |mpi| {
+        run_kernel(mpi, kernel, class).await
     })
     .unwrap_or_else(|e| panic!("{kernel:?}/{scheme:?}/prepost={prepost} failed: {e}"));
     let k0 = &out.results[0];

@@ -11,6 +11,11 @@
 //! ```
 //!
 //! and commit the diff alongside the change that explains it.
+//!
+//! The committed snapshot was generated under the thread-per-rank
+//! runtime and has been left untouched across the coroutine-runtime
+//! rewrite: this test passing *is* the proof that the two runtimes
+//! produce byte-identical results.
 
 use ibflow_bench::figures::fig2_latency;
 use ibflow_bench::nas::run_nas;

@@ -21,20 +21,20 @@ impl MpiRank {
         tag
     }
 
-    fn cwait_send(&mut self, data: &[u8], dst_world: usize, tag: Tag, comm: &Comm) {
+    async fn cwait_send(&mut self, data: &[u8], dst_world: usize, tag: Tag, comm: &Comm) {
         let req = self.isend_ctx(data, dst_world, tag, comm.ctx);
-        self.wait(req);
+        self.wait(req).await;
     }
 
-    fn crecv(&mut self, src_world: usize, tag: Tag, comm: &Comm) -> Vec<u8> {
+    async fn crecv(&mut self, src_world: usize, tag: Tag, comm: &Comm) -> Vec<u8> {
         let req = self.irecv_ctx(Some(src_world), Some(tag), comm.ctx);
-        let (_status, data) = self.wait_recv(req);
+        let (_status, data) = self.wait_recv(req).await;
         data
     }
 }
 
 /// Dissemination barrier: `ceil(log2 n)` rounds of shifted exchanges.
-pub fn barrier(mpi: &mut MpiRank, comm: &Comm) {
+pub async fn barrier(mpi: &mut MpiRank, comm: &Comm) {
     let n = comm.size();
     if n <= 1 {
         return;
@@ -47,15 +47,15 @@ pub fn barrier(mpi: &mut MpiRank, comm: &Comm) {
         let from = comm.world_rank((me + n - dist) % n);
         let sreq = mpi.isend_ctx(&[], to, tag, comm.ctx);
         let rreq = mpi.irecv_ctx(Some(from), Some(tag), comm.ctx);
-        mpi.wait(sreq);
-        let _ = mpi.wait_recv(rreq);
+        mpi.wait(sreq).await;
+        let _ = mpi.wait_recv(rreq).await;
         dist <<= 1;
     }
 }
 
 /// Binomial-tree broadcast of a byte buffer from `root` (communicator
 /// rank). Non-roots receive into the returned vector.
-pub fn bcast_bytes(mpi: &mut MpiRank, comm: &Comm, root: usize, data: Vec<u8>) -> Vec<u8> {
+pub async fn bcast_bytes(mpi: &mut MpiRank, comm: &Comm, root: usize, data: Vec<u8>) -> Vec<u8> {
     let n = comm.size();
     if n <= 1 {
         return data;
@@ -69,7 +69,7 @@ pub fn bcast_bytes(mpi: &mut MpiRank, comm: &Comm, root: usize, data: Vec<u8>) -
     if vrank != 0 {
         let mask = 1 << (usize::BITS - 1 - vrank.leading_zeros());
         let parent = (vrank - mask + root) % n;
-        data = mpi.crecv(comm.world_rank(parent), tag, comm);
+        data = mpi.crecv(comm.world_rank(parent), tag, comm).await;
     }
     // Send phase: children are vrank + 2^k for 2^k > vrank's high bit.
     let mut mask = if vrank == 0 {
@@ -79,27 +79,28 @@ pub fn bcast_bytes(mpi: &mut MpiRank, comm: &Comm, root: usize, data: Vec<u8>) -
     };
     while vrank + mask < n {
         let child = (vrank + mask + root) % n;
-        mpi.cwait_send(&data, comm.world_rank(child), tag, comm);
+        mpi.cwait_send(&data, comm.world_rank(child), tag, comm)
+            .await;
         mask <<= 1;
     }
     data
 }
 
 /// Broadcast of typed scalars.
-pub fn bcast_scalars<T: Scalar>(mpi: &mut MpiRank, comm: &Comm, root: usize, data: &mut [T]) {
+pub async fn bcast_scalars<T: Scalar>(mpi: &mut MpiRank, comm: &Comm, root: usize, data: &mut [T]) {
     let bytes = if comm.my_rank(mpi) == root {
         encode_slice(data)
     } else {
         Vec::new()
     };
-    let out = bcast_bytes(mpi, comm, root, bytes);
+    let out = bcast_bytes(mpi, comm, root, bytes).await;
     if comm.my_rank(mpi) != root {
         crate::scalar::decode_into(&out, data);
     }
 }
 
 /// Binomial-tree reduction to `root`; returns the reduced vector there.
-pub fn reduce_scalars<T: Scalar>(
+pub async fn reduce_scalars<T: Scalar>(
     mpi: &mut MpiRank,
     comm: &Comm,
     root: usize,
@@ -116,11 +117,12 @@ pub fn reduce_scalars<T: Scalar>(
         while mask < n {
             if vrank & mask != 0 {
                 let parent = (vrank - mask + root) % n;
-                mpi.cwait_send(&encode_slice(&acc), comm.world_rank(parent), tag, comm);
+                mpi.cwait_send(&encode_slice(&acc), comm.world_rank(parent), tag, comm)
+                    .await;
                 break;
             } else if vrank + mask < n {
                 let child = (vrank + mask + root) % n;
-                let bytes = mpi.crecv(comm.world_rank(child), tag, comm);
+                let bytes = mpi.crecv(comm.world_rank(child), tag, comm).await;
                 let other: Vec<T> = decode_slice(&bytes);
                 assert_eq!(other.len(), acc.len(), "reduce length mismatch");
                 for (a, b) in acc.iter_mut().zip(other) {
@@ -135,7 +137,7 @@ pub fn reduce_scalars<T: Scalar>(
 
 /// Allreduce: recursive doubling on the power-of-two core, with extra
 /// ranks folding in before and receiving the result after.
-pub fn allreduce_scalars<T: Scalar>(
+pub async fn allreduce_scalars<T: Scalar>(
     mpi: &mut MpiRank,
     comm: &Comm,
     op: ReduceOp,
@@ -152,9 +154,10 @@ pub fn allreduce_scalars<T: Scalar>(
     let rem = n - pof2;
     // Phase 1: ranks >= pof2 send their data to (me - pof2).
     if me >= pof2 {
-        mpi.cwait_send(&encode_slice(&acc), comm.world_rank(me - pof2), tag, comm);
+        mpi.cwait_send(&encode_slice(&acc), comm.world_rank(me - pof2), tag, comm)
+            .await;
     } else if me < rem {
-        let bytes = mpi.crecv(comm.world_rank(me + pof2), tag, comm);
+        let bytes = mpi.crecv(comm.world_rank(me + pof2), tag, comm).await;
         for (a, b) in acc.iter_mut().zip(decode_slice::<T>(&bytes)) {
             *a = T::reduce(op, *a, b);
         }
@@ -166,8 +169,8 @@ pub fn allreduce_scalars<T: Scalar>(
             let partner = me ^ mask;
             let sreq = mpi.isend_ctx(&encode_slice(&acc), comm.world_rank(partner), tag, comm.ctx);
             let rreq = mpi.irecv_ctx(Some(comm.world_rank(partner)), Some(tag), comm.ctx);
-            mpi.wait(sreq);
-            let (_s, bytes) = mpi.wait_recv(rreq);
+            mpi.wait(sreq).await;
+            let (_s, bytes) = mpi.wait_recv(rreq).await;
             for (a, b) in acc.iter_mut().zip(decode_slice::<T>(&bytes)) {
                 *a = T::reduce(op, *a, b);
             }
@@ -176,9 +179,10 @@ pub fn allreduce_scalars<T: Scalar>(
     }
     // Phase 3: send results back to the folded-in ranks.
     if me < rem {
-        mpi.cwait_send(&encode_slice(&acc), comm.world_rank(me + pof2), tag, comm);
+        mpi.cwait_send(&encode_slice(&acc), comm.world_rank(me + pof2), tag, comm)
+            .await;
     } else if me >= pof2 {
-        let bytes = mpi.crecv(comm.world_rank(me - pof2), tag, comm);
+        let bytes = mpi.crecv(comm.world_rank(me - pof2), tag, comm).await;
         acc = decode_slice(&bytes);
     }
     acc
@@ -186,8 +190,8 @@ pub fn allreduce_scalars<T: Scalar>(
 
 /// Ring allgather of equally-typed contributions; result is the
 /// concatenation in communicator-rank order.
-pub fn allgather_scalars<T: Scalar>(mpi: &mut MpiRank, comm: &Comm, mine: &[T]) -> Vec<T> {
-    let chunks = allgather_bytes(mpi, comm, &encode_slice(mine));
+pub async fn allgather_scalars<T: Scalar>(mpi: &mut MpiRank, comm: &Comm, mine: &[T]) -> Vec<T> {
+    let chunks = allgather_bytes(mpi, comm, &encode_slice(mine)).await;
     let mut out = Vec::with_capacity(mine.len() * comm.size());
     for c in chunks {
         out.extend(decode_slice::<T>(&c));
@@ -200,7 +204,7 @@ pub fn allgather_scalars<T: Scalar>(mpi: &mut MpiRank, comm: &Comm, mine: &[T]) 
 /// Power-of-two groups use recursive doubling — symmetric pairwise
 /// exchanges, as the MPICH lineage did, which also keeps per-connection
 /// credit flow bidirectional. Other sizes fall back to a ring.
-pub fn allgather_bytes(mpi: &mut MpiRank, comm: &Comm, mine: &[u8]) -> Vec<Vec<u8>> {
+pub async fn allgather_bytes(mpi: &mut MpiRank, comm: &Comm, mine: &[u8]) -> Vec<Vec<u8>> {
     let n = comm.size();
     let me = comm.my_rank(mpi);
     let tag = mpi.coll_tag(comm);
@@ -226,8 +230,8 @@ pub fn allgather_bytes(mpi: &mut MpiRank, comm: &Comm, mine: &[u8]) -> Vec<Vec<u
             }
             let sreq = mpi.isend_ctx(&payload, comm.world_rank(partner), tag, comm.ctx);
             let rreq = mpi.irecv_ctx(Some(comm.world_rank(partner)), Some(tag), comm.ctx);
-            mpi.wait(sreq);
-            let (_s, data) = mpi.wait_recv(rreq);
+            mpi.wait(sreq).await;
+            let (_s, data) = mpi.wait_recv(rreq).await;
             let mut off = 0;
             while off < data.len() {
                 let idx = crate::wire::u32_at(&data, off) as usize;
@@ -246,8 +250,8 @@ pub fn allgather_bytes(mpi: &mut MpiRank, comm: &Comm, mine: &[u8]) -> Vec<Vec<u
         let send_idx = (me + n - step) % n;
         let sreq = mpi.isend_ctx(&chunks[send_idx], right, tag, comm.ctx);
         let rreq = mpi.irecv_ctx(Some(left), Some(tag), comm.ctx);
-        mpi.wait(sreq);
-        let (_s, data) = mpi.wait_recv(rreq);
+        mpi.wait(sreq).await;
+        let (_s, data) = mpi.wait_recv(rreq).await;
         let recv_idx = (me + n - step - 1) % n;
         chunks[recv_idx] = data;
     }
@@ -257,7 +261,7 @@ pub fn allgather_bytes(mpi: &mut MpiRank, comm: &Comm, mine: &[u8]) -> Vec<Vec<u
 /// Pairwise-exchange all-to-all: `chunks[i]` goes to communicator rank
 /// `i`; returns what everyone sent to this process (indexed by source).
 /// Handles unequal sizes, so this is also `alltoallv`.
-pub fn alltoallv_bytes(mpi: &mut MpiRank, comm: &Comm, chunks: &[Vec<u8>]) -> Vec<Vec<u8>> {
+pub async fn alltoallv_bytes(mpi: &mut MpiRank, comm: &Comm, chunks: &[Vec<u8>]) -> Vec<Vec<u8>> {
     let n = comm.size();
     assert_eq!(chunks.len(), n, "need one chunk per member");
     let me = comm.my_rank(mpi);
@@ -279,22 +283,22 @@ pub fn alltoallv_bytes(mpi: &mut MpiRank, comm: &Comm, chunks: &[Vec<u8>]) -> Ve
         };
         let sreq = mpi.isend_ctx(&chunks[partner], comm.world_rank(partner), tag, comm.ctx);
         let rreq = mpi.irecv_ctx(Some(comm.world_rank(recv_from)), Some(tag), comm.ctx);
-        mpi.wait(sreq);
-        let (_s, data) = mpi.wait_recv(rreq);
+        mpi.wait(sreq).await;
+        let (_s, data) = mpi.wait_recv(rreq).await;
         out[recv_from] = data;
     }
     out
 }
 
 /// All-to-all of typed scalars, equal count per destination.
-pub fn alltoall_scalars<T: Scalar>(mpi: &mut MpiRank, comm: &Comm, data: &[T]) -> Vec<T> {
+pub async fn alltoall_scalars<T: Scalar>(mpi: &mut MpiRank, comm: &Comm, data: &[T]) -> Vec<T> {
     let n = comm.size();
     assert_eq!(data.len() % n, 0, "data must divide evenly");
     let per = data.len() / n;
     let chunks: Vec<Vec<u8>> = (0..n)
         .map(|i| encode_slice(&data[i * per..(i + 1) * per]))
         .collect();
-    let got = alltoallv_bytes(mpi, comm, &chunks);
+    let got = alltoallv_bytes(mpi, comm, &chunks).await;
     let mut out = Vec::with_capacity(data.len());
     for c in got {
         out.extend(decode_slice::<T>(&c));
@@ -305,7 +309,7 @@ pub fn alltoall_scalars<T: Scalar>(mpi: &mut MpiRank, comm: &Comm, data: &[T]) -
 /// Reduce-scatter: elementwise reduction of equal-length contributions,
 /// with block `i` of the result delivered to communicator rank `i`
 /// (reduce + scatter, as the MPICH lineage implemented it at this scale).
-pub fn reduce_scatter_scalars<T: Scalar>(
+pub async fn reduce_scatter_scalars<T: Scalar>(
     mpi: &mut MpiRank,
     comm: &Comm,
     op: ReduceOp,
@@ -315,40 +319,46 @@ pub fn reduce_scatter_scalars<T: Scalar>(
     assert_eq!(data.len() % n, 0, "data must divide evenly over members");
     let per = data.len() / n;
     let me = comm.my_rank(mpi);
-    let reduced = reduce_scalars(mpi, comm, 0, op, data);
+    let reduced = reduce_scalars(mpi, comm, 0, op, data).await;
     let chunks: Option<Vec<Vec<u8>>> = reduced.map(|full| {
         (0..n)
             .map(|i| encode_slice(&full[i * per..(i + 1) * per]))
             .collect()
     });
-    let mine = scatter_bytes(mpi, comm, 0, chunks.as_deref());
+    let mine = scatter_bytes(mpi, comm, 0, chunks.as_deref()).await;
     let _ = me;
     decode_slice(&mine)
 }
 
 /// Inclusive prefix reduction (`MPI_Scan`): rank `k` receives the
 /// reduction of contributions from ranks `0..=k`.
-pub fn scan_scalars<T: Scalar>(mpi: &mut MpiRank, comm: &Comm, op: ReduceOp, data: &[T]) -> Vec<T> {
+pub async fn scan_scalars<T: Scalar>(
+    mpi: &mut MpiRank,
+    comm: &Comm,
+    op: ReduceOp,
+    data: &[T],
+) -> Vec<T> {
     let n = comm.size();
     let me = comm.my_rank(mpi);
     let tag = mpi.coll_tag(comm);
     let mut acc: Vec<T> = data.to_vec();
     // Linear pipeline: receive the prefix from the left, fold, forward.
     if me > 0 {
-        let bytes = mpi.crecv(comm.world_rank(me - 1), tag, comm);
+        let bytes = mpi.crecv(comm.world_rank(me - 1), tag, comm).await;
         for (a, b) in acc.iter_mut().zip(decode_slice::<T>(&bytes)) {
             *a = T::reduce(op, b, *a);
         }
     }
     if me + 1 < n {
-        mpi.cwait_send(&encode_slice(&acc), comm.world_rank(me + 1), tag, comm);
+        mpi.cwait_send(&encode_slice(&acc), comm.world_rank(me + 1), tag, comm)
+            .await;
     }
     acc
 }
 
 /// Gather byte buffers to `root` (communicator rank order); `None` on
 /// non-roots.
-pub fn gather_bytes(
+pub async fn gather_bytes(
     mpi: &mut MpiRank,
     comm: &Comm,
     root: usize,
@@ -362,18 +372,18 @@ pub fn gather_bytes(
         out[me] = mine.to_vec();
         for (r, slot) in out.iter_mut().enumerate() {
             if r != root {
-                *slot = mpi.crecv(comm.world_rank(r), tag, comm);
+                *slot = mpi.crecv(comm.world_rank(r), tag, comm).await;
             }
         }
         Some(out)
     } else {
-        mpi.cwait_send(mine, comm.world_rank(root), tag, comm);
+        mpi.cwait_send(mine, comm.world_rank(root), tag, comm).await;
         None
     }
 }
 
 /// Scatter byte buffers from `root`; each member receives its chunk.
-pub fn scatter_bytes(
+pub async fn scatter_bytes(
     mpi: &mut MpiRank,
     comm: &Comm,
     root: usize,
@@ -393,10 +403,10 @@ pub fn scatter_bytes(
             }
         }
         for r in reqs {
-            mpi.wait(r);
+            mpi.wait(r).await;
         }
         chunks[me].clone()
     } else {
-        mpi.crecv(comm.world_rank(root), tag, comm)
+        mpi.crecv(comm.world_rank(root), tag, comm).await
     }
 }

@@ -64,10 +64,10 @@ impl MpiRank {
     /// Must be called by every member of `parent` in the same call order
     /// (contexts are assigned from a per-process counter kept consistent
     /// by that discipline, as in real MPI implementations).
-    pub fn comm_split(&mut self, parent: &Comm, color: i32, key: i32) -> Option<Comm> {
+    pub async fn comm_split(&mut self, parent: &Comm, color: i32, key: i32) -> Option<Comm> {
         // Exchange (color, key) among parent members.
         let mine = [color as i64, key as i64];
-        let all = crate::collectives::allgather_scalars(self, parent, &mine);
+        let all = crate::collectives::allgather_scalars(self, parent, &mine).await;
         let ctx = self.next_ctx;
         self.next_ctx = self
             .next_ctx

@@ -53,12 +53,12 @@
 //! use ibfabric::FabricParams;
 //!
 //! let cfg = MpiConfig { scheme: FlowControlScheme::UserDynamic, prepost: 4, ..Default::default() };
-//! let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), |mpi| {
+//! let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), async |mpi| {
 //!     if mpi.rank() == 0 {
-//!         mpi.send(b"hello", 1, 99);
+//!         mpi.send(b"hello", 1, 99).await;
 //!         String::new()
 //!     } else {
-//!         let (_, data) = mpi.recv(Some(0), Some(99));
+//!         let (_, data) = mpi.recv(Some(0), Some(99)).await;
 //!         String::from_utf8(data).unwrap()
 //!     }
 //! }).unwrap();

@@ -24,7 +24,7 @@ impl MpiRank {
     /// once the receiver has started receiving — implemented, as the
     /// paper describes, by forcing the rendezvous protocol regardless of
     /// message size.
-    pub fn ssend(&mut self, data: &[u8], dst: Rank, tag: Tag) {
+    pub async fn ssend(&mut self, data: &[u8], dst: Rank, tag: Tag) {
         assert!(dst < self.size, "rank {dst} out of range");
         assert_ne!(
             dst, self.rank,
@@ -46,7 +46,7 @@ impl MpiRank {
             let s = self.reqs.send_mut(req);
             s.state = SendState::Done;
             s.failed = true;
-            self.wait(req);
+            self.wait(req).await;
             return;
         }
         // Rendezvous unconditionally: the reply proves the receiver
@@ -66,7 +66,7 @@ impl MpiRank {
             }
             self.start_rndz(req, false);
         }
-        self.wait(req);
+        self.wait(req).await;
     }
 
     /// Buffered-mode send (`MPI_Bsend`, paper §3.1): always returns as
@@ -74,7 +74,7 @@ impl MpiRank {
     /// messages already behave this way; large ones are snapshotted here
     /// (the simulator's stand-in for the attached buffer) and complete in
     /// the background.
-    pub fn bsend(&mut self, data: &[u8], dst: Rank, tag: Tag) {
+    pub async fn bsend(&mut self, data: &[u8], dst: Rank, tag: Tag) {
         let req = self.isend(data, dst, tag);
         // Copy cost for the buffered snapshot of a large payload.
         if data.len() > self.cfg.eager_threshold {
@@ -86,23 +86,23 @@ impl MpiRank {
                 s.buffered = true;
             }
         }
-        self.wait(req);
+        self.wait(req).await;
     }
 
     /// Ready-mode send (`MPI_Rsend`, paper §3.1): the caller asserts the
     /// matching receive is already posted, which makes the eager path
     /// unconditionally safe; semantically identical to [`MpiRank::send`]
     /// here (the assertion is the *application's* contract).
-    pub fn rsend(&mut self, data: &[u8], dst: Rank, tag: Tag) {
-        self.send(data, dst, tag);
+    pub async fn rsend(&mut self, data: &[u8], dst: Rank, tag: Tag) {
+        self.send(data, dst, tag).await;
     }
 
     /// Blocking send (`MPI_Send`): returns when the buffer is reusable —
     /// immediately for eager transfers, after the zero-copy data movement
     /// for rendezvous (including credit-starved conversions).
-    pub fn send(&mut self, data: &[u8], dst: Rank, tag: Tag) {
+    pub async fn send(&mut self, data: &[u8], dst: Rank, tag: Tag) {
         let req = self.isend(data, dst, tag);
-        self.wait(req);
+        self.wait(req).await;
     }
 
     /// Non-blocking receive (`MPI_Irecv`) with optional source/tag
@@ -112,18 +112,23 @@ impl MpiRank {
     }
 
     /// Blocking receive returning the status and payload.
-    pub fn recv(&mut self, src: Option<Rank>, tag: Option<Tag>) -> (Status, Vec<u8>) {
+    pub async fn recv(&mut self, src: Option<Rank>, tag: Option<Tag>) -> (Status, Vec<u8>) {
         let req = self.irecv(src, tag);
-        self.wait_recv(req)
+        self.wait_recv(req).await
     }
 
     /// Blocking receive into an existing buffer; rendezvous staging is
     /// memoized per (source, size class) in the pin-down cache, so
     /// iterative applications pin once. Returns the status; panics if the
     /// message is larger than `buf`.
-    pub fn recv_into(&mut self, buf: &mut [u8], src: Option<Rank>, tag: Option<Tag>) -> Status {
+    pub async fn recv_into(
+        &mut self,
+        buf: &mut [u8],
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> Status {
         let req = self.irecv_ctx(src, tag, WORLD_CTX);
-        let (status, data) = self.wait_recv(req);
+        let (status, data) = self.wait_recv(req).await;
         assert!(
             data.len() <= buf.len(),
             "message ({}) larger than buffer ({})",
@@ -135,9 +140,9 @@ impl MpiRank {
     }
 
     /// Typed send of a scalar slice.
-    pub fn send_scalars<T: Scalar>(&mut self, data: &[T], dst: Rank, tag: Tag) {
+    pub async fn send_scalars<T: Scalar>(&mut self, data: &[T], dst: Rank, tag: Tag) {
         let bytes = encode_slice(data);
-        self.send(&bytes, dst, tag);
+        self.send(&bytes, dst, tag).await;
     }
 
     /// Typed non-blocking send of a scalar slice.
@@ -147,20 +152,20 @@ impl MpiRank {
     }
 
     /// Typed blocking receive into an existing slice (exact length).
-    pub fn recv_scalars_into<T: Scalar>(
+    pub async fn recv_scalars_into<T: Scalar>(
         &mut self,
         out: &mut [T],
         src: Option<Rank>,
         tag: Option<Tag>,
     ) -> Status {
         let req = self.irecv_ctx(src, tag, WORLD_CTX);
-        let (status, data) = self.wait_recv(req);
+        let (status, data) = self.wait_recv(req).await;
         decode_into(&data, out);
         status
     }
 
     /// Combined send+receive (`MPI_Sendrecv`), deadlock-free.
-    pub fn sendrecv(
+    pub async fn sendrecv(
         &mut self,
         data: &[u8],
         dst: Rank,
@@ -170,8 +175,8 @@ impl MpiRank {
     ) -> (Status, Vec<u8>) {
         let rreq = self.irecv(src, recv_tag);
         let sreq = self.isend(data, dst, send_tag);
-        self.wait(sreq);
-        self.wait_recv(rreq)
+        self.wait(sreq).await;
+        self.wait_recv(rreq).await
     }
 
     /// Is a matching message already here? Non-blocking probe.
@@ -197,13 +202,13 @@ impl MpiRank {
     /// Blocks until `req` completes (`MPI_Wait`) and releases it. For
     /// receives this *discards* the payload — use [`MpiRank::wait_recv`]
     /// to take it.
-    pub fn wait(&mut self, req: ReqId) {
+    pub async fn wait(&mut self, req: ReqId) {
         loop {
             self.progress();
             if self.reqs.get(req).is_done() {
                 break;
             }
-            self.block_for_progress("MPI_Wait");
+            self.block_for_progress("MPI_Wait").await;
         }
         match self.reqs.get_mut(req) {
             Request::Send(s) if s.state == SendState::Done => {
@@ -224,23 +229,23 @@ impl MpiRank {
     }
 
     /// Blocks until all requests complete (`MPI_Waitall`).
-    pub fn waitall(&mut self, reqs: &[ReqId]) {
+    pub async fn waitall(&mut self, reqs: &[ReqId]) {
         for &r in reqs {
             // Re-polling completed requests is cheap; order is irrelevant.
             match self.reqs.get(r) {
-                Request::Send(_) => self.wait(r),
+                Request::Send(_) => self.wait(r).await,
                 Request::Recv(_) => {
                     // Keep recv requests alive for wait_recv? No: waitall
                     // discards payloads, callers use it for sends or
                     // recv_into-style flows.
-                    let (_s, _d) = self.wait_recv(r);
+                    let (_s, _d) = self.wait_recv(r).await;
                 }
             }
         }
     }
 
     /// Blocks until the receive completes and returns `(status, payload)`.
-    pub fn wait_recv(&mut self, req: ReqId) -> (Status, Vec<u8>) {
+    pub async fn wait_recv(&mut self, req: ReqId) -> (Status, Vec<u8>) {
         loop {
             self.progress();
             if self.reqs.get(req).is_done() {
@@ -251,7 +256,7 @@ impl MpiRank {
             // On deadlock, `MpiWorld::run` reconstructs the fabric-level
             // state (posted recvs, queued sends, in-flight messages per
             // connection) from the torn-down world instead.
-            self.block_for_progress("MPI_Wait(recv)");
+            self.block_for_progress("MPI_Wait(recv)").await;
         }
         match self.reqs.remove(req) {
             Request::Recv(r) => {
@@ -273,7 +278,7 @@ impl MpiRank {
     /// empty payload. This is the fault-aware receive path: applications
     /// that opt into finite retry budgets use it to distinguish "peer sent
     /// nothing" from "the fabric gave up".
-    pub fn wait_recv_result(
+    pub async fn wait_recv_result(
         &mut self,
         req: ReqId,
     ) -> Result<(Status, Vec<u8>), crate::fault::FabricFault> {
@@ -282,7 +287,7 @@ impl MpiRank {
             if self.reqs.get(req).is_done() {
                 break;
             }
-            self.block_for_progress("MPI_Wait(recv)");
+            self.block_for_progress("MPI_Wait(recv)").await;
         }
         match self.reqs.remove(req) {
             Request::Recv(r) => {
@@ -663,14 +668,14 @@ impl MpiRank {
         self.post_frame(src, &h, &[], WrKind::CtrlSend);
     }
 
-    /// Parks the thread until fabric activity can have changed our state.
+    /// Suspends the rank until fabric activity can have changed our state.
     ///
     /// Ordering matters to avoid a lost wakeup: the waker is registered
     /// *before* the accumulated software cost is flushed (flushing lets
     /// virtual time pass, during which completions can land). Anything
     /// that arrived during the flush is drained by one more progress
     /// sweep; only a genuinely idle endpoint parks.
-    pub(crate) fn block_for_progress(&mut self, what: &'static str) {
+    pub(crate) async fn block_for_progress(&mut self, what: &'static str) {
         let w = self.proc.waker();
         let cq = self.cq;
         let node = self.node;
@@ -678,23 +683,23 @@ impl MpiRank {
             ctx.world.req_notify_cq(cq, w);
             ctx.world.watch_rdma(node, w);
         });
-        self.flush_charge();
+        self.flush_charge().await;
         if self.progress() {
             // State changed while time passed: let the caller re-check its
             // predicate instead of parking.
             return;
         }
-        self.proc.park(what);
+        self.proc.park(what).await;
     }
 
     /// Spins progress until `pred` holds.
-    pub(crate) fn wait_until(&mut self, pred: impl Fn(&MpiRank) -> bool, what: &'static str) {
+    pub(crate) async fn wait_until(&mut self, pred: impl Fn(&MpiRank) -> bool, what: &'static str) {
         loop {
             self.progress();
             if pred(self) {
                 return;
             }
-            self.block_for_progress(what);
+            self.block_for_progress(what).await;
         }
     }
 }

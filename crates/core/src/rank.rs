@@ -52,8 +52,9 @@ pub(crate) struct RankSetup {
 
 /// One MPI process: the handle rank bodies receive.
 ///
-/// All communication goes through this struct. Methods that block do so on
-/// the *virtual* clock; the process thread parks while fabric events flow.
+/// All communication goes through this struct. Methods that block are
+/// `async` and block on the *virtual* clock; the rank's coroutine suspends
+/// while fabric events flow.
 pub struct MpiRank {
     pub(crate) proc: ProcCtx<Fabric>,
     pub(crate) rank: Rank,
@@ -133,20 +134,20 @@ impl MpiRank {
     }
 
     /// Lets `dt` of virtual time pass, modelling application compute.
-    pub fn compute(&mut self, dt: SimDuration) {
-        self.flush_charge();
-        self.proc.advance(dt);
+    pub async fn compute(&mut self, dt: SimDuration) {
+        self.flush_charge().await;
+        self.proc.advance(dt).await;
     }
 
     pub(crate) fn charge(&mut self, dt: SimDuration) {
         self.pending_charge += dt;
     }
 
-    pub(crate) fn flush_charge(&mut self) {
+    pub(crate) async fn flush_charge(&mut self) {
         if self.pending_charge > SimDuration::ZERO {
             let dt = self.pending_charge;
             self.pending_charge = SimDuration::ZERO;
-            self.proc.advance(dt);
+            self.proc.advance(dt).await;
         }
     }
 
@@ -470,9 +471,9 @@ impl MpiRank {
     /// Finalize: drain all outstanding traffic, synchronize with every
     /// other rank, and drain again. Called automatically by the world
     /// wrapper after the rank body returns.
-    pub(crate) fn finalize(&mut self) {
+    pub(crate) async fn finalize(&mut self) {
         if !self.stats.faults.is_empty() {
-            self.finalize_after_fault();
+            self.finalize_after_fault().await;
             return;
         }
         // 1. Drain backlogs and every in-flight send transport (buffered
@@ -483,7 +484,8 @@ impl MpiRank {
                     && !r.reqs.has_pending_transport()
             },
             "finalize: draining backlog",
-        );
+        )
+        .await;
         assert_eq!(
             self.reqs.live_count(),
             0,
@@ -492,7 +494,7 @@ impl MpiRank {
         );
         // 2. World barrier so no peer still needs our progress engine.
         let world = crate::comm::Comm::world_internal(self.size);
-        crate::collectives::barrier(self, &world);
+        crate::collectives::barrier(self, &world).await;
         // 3. Drain everything the barrier itself generated: its sends may
         //    have been credit-converted to rendezvous whose handshakes are
         //    still in flight (a detached request), and abandoning one
@@ -504,8 +506,9 @@ impl MpiRank {
                     && r.conns.iter().flatten().all(|c| c.backlog.is_empty())
             },
             "finalize: draining sends",
-        );
-        self.flush_charge();
+        )
+        .await;
+        self.flush_charge().await;
     }
 
     /// Finalize after a fabric fault: a torn-down connection cannot carry
@@ -515,7 +518,7 @@ impl MpiRank {
     /// connection), so in a two-rank world both sides take this path; in
     /// wider worlds a healthy third rank blocked on a faulted one
     /// surfaces as a deadlock report, not a hang or a panic.
-    fn finalize_after_fault(&mut self) {
+    async fn finalize_after_fault(&mut self) {
         self.wait_until(
             |r| {
                 r.outstanding_ctrl == 0
@@ -526,8 +529,9 @@ impl MpiRank {
                         .all(|c| c.failed || c.backlog.is_empty())
             },
             "finalize: draining after fault",
-        );
-        self.flush_charge();
+        )
+        .await;
+        self.flush_charge().await;
     }
 }
 

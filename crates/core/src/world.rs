@@ -1,5 +1,5 @@
 //! World bootstrap: builds the fabric, wires every process pair, spawns
-//! rank threads, runs the simulation, and collects results.
+//! rank coroutines, runs the simulation, and collects results.
 
 use crate::buffers::{encode_wrid, RecvSlab, WrKind};
 use crate::config::MpiConfig;
@@ -8,7 +8,7 @@ use crate::rank::{MpiRank, RankSetup};
 use crate::stats::{RankStats, WorldStats};
 use ibfabric::{Access, Fabric, FabricParams, MrId, QpAttrs, QpId, RecvWr};
 use ibsim::{Sim, SimConfig, SimError, SimTime};
-use std::sync::Arc;
+use std::rc::Rc;
 
 /// Why an MPI run failed.
 #[derive(Debug)]
@@ -112,7 +112,9 @@ fn append_fabric_diag(note: &mut String, fabric: &Fabric, nprocs: usize, i: usiz
 impl MpiWorld {
     /// Runs `body` on `nprocs` simulated processes and returns their
     /// results plus statistics. Fully deterministic for a given
-    /// `(nprocs, cfg, params, body)`.
+    /// `(nprocs, cfg, params, body)`. `body` is an async closure
+    /// (`async |mpi| { ... }`); every rank runs it as a coroutine on the
+    /// calling thread.
     pub fn run<R, F>(
         nprocs: usize,
         cfg: MpiConfig,
@@ -120,8 +122,8 @@ impl MpiWorld {
         body: F,
     ) -> Result<MpiRunOutput<R>, MpiRunError>
     where
-        R: Send + 'static,
-        F: Fn(&mut MpiRank) -> R + Send + Sync + 'static,
+        R: 'static,
+        F: AsyncFn(&mut MpiRank) -> R + 'static,
     {
         Self::run_with_limits(nprocs, cfg, params, SimConfig::default(), body)
     }
@@ -136,8 +138,8 @@ impl MpiWorld {
         body: F,
     ) -> Result<MpiRunOutput<R>, MpiRunError>
     where
-        R: Send + 'static,
-        F: Fn(&mut MpiRank) -> R + Send + Sync + 'static,
+        R: 'static,
+        F: AsyncFn(&mut MpiRank) -> R + 'static,
     {
         cfg.validate().map_err(MpiRunError::Config)?;
         assert!(
@@ -269,17 +271,17 @@ impl MpiWorld {
             });
         }
 
-        let body = Arc::new(body);
+        let body = Rc::new(body);
         let (tx, rx) = std::sync::mpsc::channel::<(usize, R, RankStats)>();
         for (i, setup) in setups.iter_mut().enumerate() {
             // simlint: allow(no-panic-in-lib): each setup slot is filled by the loop above and taken exactly once here
             let setup = setup.take().expect("setup present");
-            let body = Arc::clone(&body);
+            let body = Rc::clone(&body);
             let tx = tx.clone();
-            sim.spawn(format!("rank{i}"), move |proc| {
+            sim.spawn(format!("rank{i}"), move |proc| async move {
                 let mut mpi = MpiRank::new(proc, setup);
-                let result = body(&mut mpi);
-                mpi.finalize();
+                let result = (*body)(&mut mpi).await;
+                mpi.finalize().await;
                 let stats = mpi.finish_stats();
                 let _ = tx.send((mpi.rank(), result, stats));
             });

@@ -5,10 +5,7 @@ use ibfabric::FabricParams;
 use mpib::collectives::*;
 use mpib::{Comm, FlowControlScheme, MpiConfig, MpiWorld, ReduceOp};
 
-fn run<R: Send + 'static>(
-    n: usize,
-    body: impl Fn(&mut mpib::MpiRank) -> R + Send + Sync + 'static,
-) -> Vec<R> {
+fn run<R: 'static>(n: usize, body: impl AsyncFn(&mut mpib::MpiRank) -> R + 'static) -> Vec<R> {
     let cfg = MpiConfig::scheme(FlowControlScheme::UserDynamic, 8);
     MpiWorld::run(n, cfg, FabricParams::mt23108(), body)
         .unwrap()
@@ -18,11 +15,12 @@ fn run<R: Send + 'static>(
 #[test]
 fn barrier_synchronizes() {
     for n in [2, 3, 4, 7, 8] {
-        let results = run(n, |mpi| {
+        let results = run(n, async |mpi| {
             let world = Comm::world(mpi);
             // Stagger arrival; everyone must leave after the latest.
-            mpi.compute(ibsim::SimDuration::micros(10 * (mpi.rank() as u64 + 1)));
-            barrier(mpi, &world);
+            mpi.compute(ibsim::SimDuration::micros(10 * (mpi.rank() as u64 + 1)))
+                .await;
+            barrier(mpi, &world).await;
             mpi.now().as_nanos()
         });
         let min_exit = *results.iter().min().unwrap();
@@ -37,14 +35,14 @@ fn barrier_synchronizes() {
 fn bcast_from_each_root() {
     for n in [2, 5, 8] {
         for root in [0, n - 1, n / 2] {
-            let results = run(n, move |mpi| {
+            let results = run(n, async move |mpi| {
                 let world = Comm::world(mpi);
                 let data: Vec<u32> = if world.my_rank(mpi) == root {
                     (0..100u32).map(|i| i * 3 + root as u32).collect()
                 } else {
                     Vec::new()
                 };
-                bcast_bytes(mpi, &world, root, mpib::encode_slice(&data))
+                bcast_bytes(mpi, &world, root, mpib::encode_slice(&data)).await
             });
             for r in &results {
                 let got: Vec<u32> = mpib::decode_slice(r);
@@ -60,11 +58,11 @@ fn bcast_from_each_root() {
 #[test]
 fn reduce_sum_matches_reference() {
     for n in [2, 3, 6, 8] {
-        let results = run(n, move |mpi| {
+        let results = run(n, async move |mpi| {
             let world = Comm::world(mpi);
             let me = world.my_rank(mpi) as f64;
             let data: Vec<f64> = (0..64).map(|i| me * 100.0 + i as f64).collect();
-            reduce_scalars(mpi, &world, 0, ReduceOp::Sum, &data)
+            reduce_scalars(mpi, &world, 0, ReduceOp::Sum, &data).await
         });
         let expect: Vec<f64> = (0..64)
             .map(|i| (0..n).map(|r| r as f64 * 100.0 + i as f64).sum())
@@ -80,11 +78,11 @@ fn reduce_sum_matches_reference() {
 fn allreduce_all_ops_all_sizes() {
     for n in [2, 3, 4, 5, 8] {
         for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min, ReduceOp::Prod] {
-            let results = run(n, move |mpi| {
+            let results = run(n, async move |mpi| {
                 let world = Comm::world(mpi);
                 let me = world.my_rank(mpi);
                 let data: Vec<f64> = (0..16).map(|i| ((me + i) % 7 + 1) as f64).collect();
-                allreduce_scalars(mpi, &world, op, &data)
+                allreduce_scalars(mpi, &world, op, &data).await
             });
             // Sequential reference.
             let inputs: Vec<Vec<f64>> = (0..n)
@@ -111,10 +109,10 @@ fn allreduce_all_ops_all_sizes() {
 #[test]
 fn allgather_concatenates_in_rank_order() {
     for n in [2, 3, 8] {
-        let results = run(n, |mpi| {
+        let results = run(n, async |mpi| {
             let world = Comm::world(mpi);
             let me = world.my_rank(mpi) as u64;
-            allgather_scalars(mpi, &world, &[me * 10, me * 10 + 1])
+            allgather_scalars(mpi, &world, &[me * 10, me * 10 + 1]).await
         });
         let expect: Vec<u64> = (0..n as u64).flat_map(|r| [r * 10, r * 10 + 1]).collect();
         for r in &results {
@@ -126,12 +124,12 @@ fn allgather_concatenates_in_rank_order() {
 #[test]
 fn alltoall_transposes() {
     for n in [2, 4, 5, 8] {
-        let results = run(n, |mpi| {
+        let results = run(n, async |mpi| {
             let world = Comm::world(mpi);
             let me = world.my_rank(mpi) as u32;
             // Element sent from me to dst is me*100 + dst.
             let data: Vec<u32> = (0..world.size() as u32).map(|dst| me * 100 + dst).collect();
-            alltoall_scalars(mpi, &world, &data)
+            alltoall_scalars(mpi, &world, &data).await
         });
         for (me, r) in results.iter().enumerate() {
             let expect: Vec<u32> = (0..n as u32).map(|src| src * 100 + me as u32).collect();
@@ -143,14 +141,14 @@ fn alltoall_transposes() {
 #[test]
 fn alltoallv_ragged_sizes() {
     let n = 4;
-    let results = run(n, move |mpi| {
+    let results = run(n, async move |mpi| {
         let world = Comm::world(mpi);
         let me = world.my_rank(mpi);
         // Chunk to dst has length me + dst, filled with (me*16+dst).
         let chunks: Vec<Vec<u8>> = (0..n)
             .map(|dst| vec![(me * 16 + dst) as u8; me + dst])
             .collect();
-        alltoallv_bytes(mpi, &world, &chunks)
+        alltoallv_bytes(mpi, &world, &chunks).await
     });
     for (me, got) in results.iter().enumerate() {
         for (src, chunk) in got.iter().enumerate() {
@@ -163,10 +161,10 @@ fn alltoallv_ragged_sizes() {
 #[test]
 fn gather_and_scatter_roundtrip() {
     let n = 6;
-    let results = run(n, move |mpi| {
+    let results = run(n, async move |mpi| {
         let world = Comm::world(mpi);
         let me = world.my_rank(mpi);
-        let gathered = gather_bytes(mpi, &world, 2, &[me as u8; 3]);
+        let gathered = gather_bytes(mpi, &world, 2, &[me as u8; 3]).await;
         if me == 2 {
             let g = gathered.unwrap();
             for (src, chunk) in g.iter().enumerate() {
@@ -176,7 +174,7 @@ fn gather_and_scatter_roundtrip() {
         // Scatter back doubled values.
         let chunks: Option<Vec<Vec<u8>>> =
             (me == 2).then(|| (0..n).map(|r| vec![r as u8 * 2; 2]).collect());
-        scatter_bytes(mpi, &world, 2, chunks.as_deref())
+        scatter_bytes(mpi, &world, 2, chunks.as_deref()).await
     });
     for (me, r) in results.iter().enumerate() {
         assert_eq!(r, &vec![me as u8 * 2; 2]);
@@ -186,18 +184,24 @@ fn gather_and_scatter_roundtrip() {
 #[test]
 fn comm_split_rows_and_cols() {
     // 2x3 process grid: split by row and by column, allreduce in each.
-    let results = run(6, |mpi| {
+    let results = run(6, async |mpi| {
         let world = Comm::world(mpi);
         let me = world.my_rank(mpi);
         let (row, col) = (me / 3, me % 3);
-        let row_comm = mpi.comm_split(&world, row as i32, col as i32).unwrap();
-        let col_comm = mpi.comm_split(&world, col as i32, row as i32).unwrap();
+        let row_comm = mpi
+            .comm_split(&world, row as i32, col as i32)
+            .await
+            .unwrap();
+        let col_comm = mpi
+            .comm_split(&world, col as i32, row as i32)
+            .await
+            .unwrap();
         assert_eq!(row_comm.size(), 3);
         assert_eq!(col_comm.size(), 2);
         assert_eq!(row_comm.my_rank(mpi), col);
         assert_eq!(col_comm.my_rank(mpi), row);
-        let row_sum = allreduce_scalars(mpi, &row_comm, ReduceOp::Sum, &[me as f64])[0];
-        let col_sum = allreduce_scalars(mpi, &col_comm, ReduceOp::Sum, &[me as f64])[0];
+        let row_sum = allreduce_scalars(mpi, &row_comm, ReduceOp::Sum, &[me as f64]).await[0];
+        let col_sum = allreduce_scalars(mpi, &col_comm, ReduceOp::Sum, &[me as f64]).await[0];
         (row_sum, col_sum)
     });
     for (me, &(row_sum, col_sum)) in results.iter().enumerate() {
@@ -212,43 +216,47 @@ fn comm_split_rows_and_cols() {
 #[test]
 fn collectives_compose_with_pt2pt() {
     // Interleave collectives and point-to-point on the same connections.
-    let results = run(4, |mpi| {
+    let results = run(4, async |mpi| {
         let world = Comm::world(mpi);
         let me = mpi.rank();
         let right = (me + 1) % 4;
         let left = (me + 3) % 4;
         let mut acc = 0u64;
         for round in 0..5u64 {
-            let (_, d) = mpi.sendrecv(
-                &(me as u64 + round).to_le_bytes(),
-                right,
-                9,
-                Some(left),
-                Some(9),
-            );
+            let (_, d) = mpi
+                .sendrecv(
+                    &(me as u64 + round).to_le_bytes(),
+                    right,
+                    9,
+                    Some(left),
+                    Some(9),
+                )
+                .await;
             acc += u64::from_le_bytes(d.try_into().unwrap());
-            let s = allreduce_scalars(mpi, &world, ReduceOp::Sum, &[acc as f64]);
+            let s = allreduce_scalars(mpi, &world, ReduceOp::Sum, &[acc as f64]).await;
             acc += s[0] as u64 % 97;
         }
         acc
     });
     // Determinism is the point: all ranks computed a consistent value mix.
-    let again = run(4, |mpi| {
+    let again = run(4, async |mpi| {
         let world = Comm::world(mpi);
         let me = mpi.rank();
         let right = (me + 1) % 4;
         let left = (me + 3) % 4;
         let mut acc = 0u64;
         for round in 0..5u64 {
-            let (_, d) = mpi.sendrecv(
-                &(me as u64 + round).to_le_bytes(),
-                right,
-                9,
-                Some(left),
-                Some(9),
-            );
+            let (_, d) = mpi
+                .sendrecv(
+                    &(me as u64 + round).to_le_bytes(),
+                    right,
+                    9,
+                    Some(left),
+                    Some(9),
+                )
+                .await;
             acc += u64::from_le_bytes(d.try_into().unwrap());
-            let s = allreduce_scalars(mpi, &world, ReduceOp::Sum, &[acc as f64]);
+            let s = allreduce_scalars(mpi, &world, ReduceOp::Sum, &[acc as f64]).await;
             acc += s[0] as u64 % 97;
         }
         acc
@@ -259,14 +267,14 @@ fn collectives_compose_with_pt2pt() {
 #[test]
 fn reduce_scatter_distributes_blocks() {
     for n in [2, 4, 8] {
-        let results = run(n, move |mpi| {
+        let results = run(n, async move |mpi| {
             let world = Comm::world(mpi);
             let me = world.my_rank(mpi) as f64;
             // Contribution: block i holds (me + i) repeated twice.
             let data: Vec<f64> = (0..n)
                 .flat_map(|i| [me + i as f64, me + i as f64])
                 .collect();
-            reduce_scatter_scalars(mpi, &world, ReduceOp::Sum, &data)
+            reduce_scatter_scalars(mpi, &world, ReduceOp::Sum, &data).await
         });
         // Block i (owned by rank i) = sum over ranks of (rank + i).
         let rank_sum: f64 = (0..n).map(|r| r as f64).sum();
@@ -280,10 +288,10 @@ fn reduce_scatter_distributes_blocks() {
 #[test]
 fn scan_computes_inclusive_prefixes() {
     for n in [2, 5, 8] {
-        let results = run(n, |mpi| {
+        let results = run(n, async |mpi| {
             let world = Comm::world(mpi);
             let me = world.my_rank(mpi) as f64;
-            scan_scalars(mpi, &world, ReduceOp::Sum, &[me + 1.0, 2.0 * (me + 1.0)])
+            scan_scalars(mpi, &world, ReduceOp::Sum, &[me + 1.0, 2.0 * (me + 1.0)]).await
         });
         for (me, r) in results.iter().enumerate() {
             let prefix: f64 = (0..=me).map(|k| (k + 1) as f64).sum();
@@ -296,11 +304,14 @@ fn scan_computes_inclusive_prefixes() {
 fn collectives_over_split_comms_stay_isolated() {
     // Concurrent allreduces in disjoint sub-communicators must not
     // cross-match even though they share tags within their contexts.
-    let results = run(8, |mpi| {
+    let results = run(8, async |mpi| {
         let world = Comm::world(mpi);
         let me = world.my_rank(mpi);
-        let half = mpi.comm_split(&world, (me / 4) as i32, me as i32).unwrap();
-        let s = allreduce_scalars(mpi, &half, ReduceOp::Sum, &[me as f64]);
+        let half = mpi
+            .comm_split(&world, (me / 4) as i32, me as i32)
+            .await
+            .unwrap();
+        let s = allreduce_scalars(mpi, &half, ReduceOp::Sum, &[me as f64]).await;
         s[0]
     });
     for (me, &s) in results.iter().enumerate() {

@@ -15,12 +15,12 @@ use mpib::{Comm, FlowControlScheme, GrowthPolicy, MpiConfig, MpiRunOutput, Reduc
 /// (the latter through the registration cache), dynamic pool growth, and
 /// collectives (the per-communicator sequence map).
 fn workload(cfg: MpiConfig) -> MpiRunOutput<u64> {
-    mpib::MpiWorld::run(4, cfg, FabricParams::mt23108(), |mpi| {
+    mpib::MpiWorld::run(4, cfg, FabricParams::mt23108(), async |mpi| {
         let n = mpi.size();
         let me = mpi.rank();
         // Stagger ranks so arrival order depends on simulated time, not
         // host scheduling.
-        mpi.compute(SimDuration::micros(3 * me as u64));
+        mpi.compute(SimDuration::micros(3 * me as u64)).await;
 
         // Eager burst around a ring (exercises credits + backlog).
         let next = (me + 1) % n;
@@ -30,21 +30,21 @@ fn workload(cfg: MpiConfig) -> MpiRunOutput<u64> {
             .collect();
         let mut acc = 0u64;
         for _ in 0..24 {
-            let (_, d) = mpi.recv(Some(prev), Some(1));
+            let (_, d) = mpi.recv(Some(prev), Some(1)).await;
             acc += u64::from(u32::from_le_bytes(d.try_into().unwrap()));
         }
-        mpi.waitall(&reqs);
+        mpi.waitall(&reqs).await;
 
         // One large message per ring hop: rendezvous + regcache traffic.
         let big = vec![me as u8; 64 * 1024];
         let r = mpi.isend(&big, next, 2);
-        let (_, d) = mpi.recv(Some(prev), Some(2));
+        let (_, d) = mpi.recv(Some(prev), Some(2)).await;
         acc += d.iter().map(|&b| u64::from(b)).sum::<u64>();
-        mpi.wait(r);
+        mpi.wait(r).await;
 
         // A collective to drive the per-communicator sequence numbers.
         let comm = Comm::world(mpi);
-        allreduce_scalars(mpi, &comm, ReduceOp::Sum, &[acc])[0]
+        allreduce_scalars(mpi, &comm, ReduceOp::Sum, &[acc]).await[0]
     })
     .unwrap()
 }

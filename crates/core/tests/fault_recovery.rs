@@ -23,13 +23,13 @@ fn retry_exhaustion_surfaces_typed_faults_without_panicking() {
         fault_plan: Some(FaultPlan::new(42).with_drop(1.0)),
         ..MpiConfig::scheme(FlowControlScheme::UserStatic, 4)
     };
-    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), |mpi| {
+    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), async |mpi| {
         if mpi.rank() == 0 {
-            mpi.send(b"doomed", 1, 7);
+            mpi.send(b"doomed", 1, 7).await;
             String::from("sent")
         } else {
             let req = mpi.irecv(Some(0), Some(7));
-            match mpi.wait_recv_result(req) {
+            match mpi.wait_recv_result(req).await {
                 Ok(_) => String::from("delivered"),
                 Err(fault) => fault.to_string(),
             }
@@ -76,25 +76,25 @@ fn operations_after_teardown_fail_fast() {
         fault_plan: Some(FaultPlan::new(9).with_drop(1.0)),
         ..MpiConfig::scheme(FlowControlScheme::UserStatic, 2)
     };
-    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), |mpi| {
+    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), async |mpi| {
         if mpi.rank() == 0 {
-            mpi.send(b"first", 1, 1);
+            mpi.send(b"first", 1, 1).await;
             // Wait until the fault lands (iprobe drives the progress
             // engine), then keep sending into the void.
             while mpi.faults().is_empty() {
                 mpi.iprobe(Some(1), None);
-                mpi.compute(ibsim::SimDuration::micros(50));
+                mpi.compute(ibsim::SimDuration::micros(50)).await;
             }
-            mpi.send(b"second", 1, 2);
-            mpi.send(&vec![7u8; 100_000], 1, 3); // rendezvous-sized
+            mpi.send(b"second", 1, 2).await;
+            mpi.send(&vec![7u8; 100_000], 1, 3).await; // rendezvous-sized
             mpi.faults().len()
         } else {
             let req = mpi.irecv(Some(0), Some(1));
-            let err = mpi.wait_recv_result(req).expect_err("conn must fail");
+            let err = mpi.wait_recv_result(req).await.expect_err("conn must fail");
             assert_eq!(err.peer, 0);
             // A receive posted after the teardown fails fast too.
             let req = mpi.irecv(Some(0), Some(2));
-            assert!(mpi.wait_recv_result(req).is_err());
+            assert!(mpi.wait_recv_result(req).await.is_err());
             mpi.faults().len()
         }
     })
@@ -112,14 +112,15 @@ fn inert_plan_is_transparent_at_mpi_level() {
             fault_plan: plan,
             ..MpiConfig::scheme(FlowControlScheme::UserDynamic, 2)
         };
-        let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), |mpi| {
+        let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), async |mpi| {
             if mpi.rank() == 0 {
                 for i in 0..12u8 {
-                    mpi.send(&vec![i; 64 + 173 * i as usize], 1, i32::from(i));
+                    mpi.send(&vec![i; 64 + 173 * i as usize], 1, i32::from(i))
+                        .await;
                 }
             } else {
                 for i in 0..12u8 {
-                    let (_, data) = mpi.recv(Some(0), Some(i32::from(i)));
+                    let (_, data) = mpi.recv(Some(0), Some(i32::from(i))).await;
                     assert_eq!(data.len(), 64 + 173 * i as usize);
                 }
             }
@@ -141,14 +142,15 @@ fn lossy_fabric_with_infinite_retry_delivers_everything() {
             fault_plan: Some(FaultPlan::new(0xBEEF).with_drop(0.05).with_corrupt(0.02)),
             ..MpiConfig::scheme(scheme, 3)
         };
-        let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), |mpi| {
+        let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), async |mpi| {
             if mpi.rank() == 0 {
                 for i in 0..16u8 {
-                    mpi.send(&vec![i ^ 0x5A; 100 + 400 * i as usize], 1, i32::from(i));
+                    mpi.send(&vec![i ^ 0x5A; 100 + 400 * i as usize], 1, i32::from(i))
+                        .await;
                 }
             } else {
                 for i in 0..16u8 {
-                    let (status, data) = mpi.recv(Some(0), Some(i32::from(i)));
+                    let (status, data) = mpi.recv(Some(0), Some(i32::from(i))).await;
                     assert_eq!(status.len, 100 + 400 * i as usize);
                     assert!(data.iter().all(|&b| b == i ^ 0x5A), "payload corrupted");
                 }
@@ -232,7 +234,7 @@ fn credit_ledger_conserved_under_rnr_storms_and_loss() {
         };
         let nmsgs = c.nmsgs;
         let max_size = c.max_size;
-        let out = MpiWorld::run(2, cfg, FabricParams::ideal(), move |mpi| {
+        let out = MpiWorld::run(2, cfg, FabricParams::ideal(), async move |mpi| {
             if mpi.rank() == 0 {
                 // Flood without ever receiving: piggyback returns have no
                 // traffic to ride, so explicit credit machinery and the
@@ -240,11 +242,11 @@ fn credit_ledger_conserved_under_rnr_storms_and_loss() {
                 for i in 0..nmsgs {
                     let len = 1 + (i * 997) % max_size;
                     let fill = (i * 31 % 251) as u8;
-                    mpi.send(&vec![fill; len], 1, i as i32);
+                    mpi.send(&vec![fill; len], 1, i as i32).await;
                 }
             } else {
                 for i in 0..nmsgs {
-                    let (status, data) = mpi.recv(Some(0), Some(i as i32));
+                    let (status, data) = mpi.recv(Some(0), Some(i as i32)).await;
                     let len = 1 + (i * 997) % max_size;
                     let fill = (i * 31 % 251) as u8;
                     assert_eq!(status.len, len);

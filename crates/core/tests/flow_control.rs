@@ -9,19 +9,19 @@ use mpib::{CreditMsgMode, FlowControlScheme, GrowthPolicy, MpiConfig, MpiRunErro
 /// A one-way burst larger than the prepost pool: sender blasts `count`
 /// small messages, receiver consumes them only afterwards.
 fn burst_run(cfg: MpiConfig, count: u32) -> mpib::MpiRunOutput<u64> {
-    MpiWorld::run(2, cfg, FabricParams::mt23108(), move |mpi| {
+    MpiWorld::run(2, cfg, FabricParams::mt23108(), async move |mpi| {
         if mpi.rank() == 0 {
             let reqs: Vec<_> = (0..count)
                 .map(|i| mpi.isend(&i.to_le_bytes(), 1, 0))
                 .collect();
-            mpi.waitall(&reqs);
+            mpi.waitall(&reqs).await;
             0
         } else {
             // Let the burst pile up before consuming anything.
-            mpi.compute(ibsim::SimDuration::millis(1));
+            mpi.compute(ibsim::SimDuration::millis(1)).await;
             let mut sum = 0u64;
             for _ in 0..count {
-                let (_, d) = mpi.recv(Some(0), Some(0));
+                let (_, d) = mpi.recv(Some(0), Some(0)).await;
                 sum += u32::from_le_bytes(d.try_into().unwrap()) as u64;
             }
             sum
@@ -119,14 +119,14 @@ fn asymmetric_pattern_triggers_explicit_credit_messages() {
     // One-way traffic with the receiver never sending data back: credits
     // can only return via explicit credit messages.
     let cfg = MpiConfig::scheme(FlowControlScheme::UserStatic, 8);
-    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), |mpi| {
+    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), async |mpi| {
         if mpi.rank() == 0 {
             for i in 0..100u32 {
-                mpi.send(&i.to_le_bytes(), 1, 0);
+                mpi.send(&i.to_le_bytes(), 1, 0).await;
             }
         } else {
             for _ in 0..100 {
-                let _ = mpi.recv(Some(0), Some(0));
+                let _ = mpi.recv(Some(0), Some(0)).await;
             }
         }
     })
@@ -140,15 +140,15 @@ fn asymmetric_pattern_triggers_explicit_credit_messages() {
 fn symmetric_pattern_needs_no_explicit_credit_messages() {
     // Ping-pong: every message can piggyback credits.
     let cfg = MpiConfig::scheme(FlowControlScheme::UserStatic, 8);
-    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), |mpi| {
+    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), async |mpi| {
         let peer = 1 - mpi.rank();
         for i in 0..100u32 {
             if mpi.rank() == 0 {
-                mpi.send(&i.to_le_bytes(), peer, 0);
-                let _ = mpi.recv(Some(peer), Some(0));
+                mpi.send(&i.to_le_bytes(), peer, 0).await;
+                let _ = mpi.recv(Some(peer), Some(0)).await;
             } else {
-                let _ = mpi.recv(Some(peer), Some(0));
-                mpi.send(&i.to_le_bytes(), peer, 0);
+                let _ = mpi.recv(Some(peer), Some(0)).await;
+                mpi.send(&i.to_le_bytes(), peer, 0).await;
             }
         }
     })
@@ -166,14 +166,14 @@ fn rdma_credit_mode_replaces_explicit_messages() {
         credit_msg_mode: CreditMsgMode::Rdma,
         ..MpiConfig::scheme(FlowControlScheme::UserStatic, 8)
     };
-    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), |mpi| {
+    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), async |mpi| {
         if mpi.rank() == 0 {
             for i in 0..100u32 {
-                mpi.send(&i.to_le_bytes(), 1, 0);
+                mpi.send(&i.to_le_bytes(), 1, 0).await;
             }
         } else {
             for _ in 0..100 {
-                let _ = mpi.recv(Some(0), Some(0));
+                let _ = mpi.recv(Some(0), Some(0)).await;
             }
         }
     })
@@ -211,14 +211,14 @@ fn naive_gated_credit_messages_deadlock() {
             max_time: SimTime::from_nanos(50_000_000),
             ..Default::default()
         },
-        |mpi| {
+        async |mpi| {
             let peer = 1 - mpi.rank();
             let reqs: Vec<_> = (0..30u32)
                 .map(|i| mpi.isend(&i.to_le_bytes(), peer, 0))
                 .collect();
-            mpi.waitall(&reqs);
+            mpi.waitall(&reqs).await;
             for _ in 0..30 {
-                let _ = mpi.recv(Some(peer), Some(0));
+                let _ = mpi.recv(Some(peer), Some(0)).await;
             }
         },
     );
@@ -244,16 +244,16 @@ fn optimistic_mode_survives_the_same_pattern() {
         ecm_threshold: 2,
         ..MpiConfig::scheme(FlowControlScheme::UserStatic, 2)
     };
-    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), |mpi| {
+    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), async |mpi| {
         let peer = 1 - mpi.rank();
         let rreqs: Vec<_> = (0..30).map(|_| mpi.irecv(Some(peer), Some(0))).collect();
         let sreqs: Vec<_> = (0..30u32)
             .map(|i| mpi.isend(&i.to_le_bytes(), peer, 0))
             .collect();
-        mpi.waitall(&sreqs);
+        mpi.waitall(&sreqs).await;
         let mut sum = 0u64;
         for r in rreqs {
-            let (_, d) = mpi.wait_recv(r);
+            let (_, d) = mpi.wait_recv(r).await;
             sum += u32::from_le_bytes(d.try_into().unwrap()) as u64;
         }
         sum
@@ -269,15 +269,15 @@ fn small_sends_are_buffered_but_large_sends_are_synchronous() {
     // payload was copied into a pre-pinned buffer), so an exchange of
     // small bursts is safe...
     let cfg = MpiConfig::scheme(FlowControlScheme::UserStatic, 2);
-    let out = MpiWorld::run(2, cfg.clone(), FabricParams::mt23108(), |mpi| {
+    let out = MpiWorld::run(2, cfg.clone(), FabricParams::mt23108(), async |mpi| {
         let peer = 1 - mpi.rank();
         let reqs: Vec<_> = (0..30u32)
             .map(|i| mpi.isend(&i.to_le_bytes(), peer, 0))
             .collect();
-        mpi.waitall(&reqs);
+        mpi.waitall(&reqs).await;
         let mut sum = 0u64;
         for _ in 0..30 {
-            let (_, d) = mpi.recv(Some(peer), Some(0));
+            let (_, d) = mpi.recv(Some(peer), Some(0)).await;
             sum += u32::from_le_bytes(d.try_into().unwrap()) as u64;
         }
         sum
@@ -295,13 +295,13 @@ fn small_sends_are_buffered_but_large_sends_are_synchronous() {
             max_time: SimTime::from_nanos(100_000_000),
             ..Default::default()
         },
-        |mpi| {
+        async |mpi| {
             let peer = 1 - mpi.rank();
             let big = vec![0u8; 64 * 1024];
             let reqs: Vec<_> = (0..4).map(|_| mpi.isend(&big, peer, 0)).collect();
-            mpi.waitall(&reqs);
+            mpi.waitall(&reqs).await;
             for _ in 0..4 {
-                let _ = mpi.recv(Some(peer), Some(0));
+                let _ = mpi.recv(Some(peer), Some(0)).await;
             }
         },
     );
@@ -330,7 +330,7 @@ fn credit_conservation_at_quiescence() {
     // After a run drains, for every user-level connection:
     //   sender credits + receiver's unreturned count == receiver's pool.
     let cfg = MpiConfig::scheme(FlowControlScheme::UserStatic, 6);
-    let out = MpiWorld::run(3, cfg, FabricParams::mt23108(), |mpi| {
+    let out = MpiWorld::run(3, cfg, FabricParams::mt23108(), async |mpi| {
         let me = mpi.rank();
         // Safe shape: receives pre-posted before the send storm.
         let rreqs: Vec<_> = (0..(mpi.size() - 1) * 20)
@@ -344,9 +344,9 @@ fn credit_conservation_at_quiescence() {
                 }
             }
         }
-        mpi.waitall(&sreqs);
+        mpi.waitall(&sreqs).await;
         for r in rreqs {
-            let _ = mpi.wait_recv(r);
+            let _ = mpi.wait_recv(r).await;
         }
         // Report (credits toward each peer) at the end of the body.
         (0..mpi.size())
@@ -381,12 +381,14 @@ fn on_demand_connections_establish_lazily() {
         on_demand_connections: true,
         ..MpiConfig::scheme(FlowControlScheme::UserStatic, 4)
     };
-    let out = MpiWorld::run(4, cfg, FabricParams::mt23108(), |mpi| {
+    let out = MpiWorld::run(4, cfg, FabricParams::mt23108(), async |mpi| {
         // Ring traffic only: each rank talks to exactly two neighbours,
         // so the two diagonal connections stay cold.
         let right = (mpi.rank() + 1) % mpi.size();
         let left = (mpi.rank() + mpi.size() - 1) % mpi.size();
-        let (_, d) = mpi.sendrecv(&[mpi.rank() as u8], right, 0, Some(left), Some(0));
+        let (_, d) = mpi
+            .sendrecv(&[mpi.rank() as u8], right, 0, Some(left), Some(0))
+            .await;
         (d[0] as usize, mpi.total_posted_buffers())
     })
     .unwrap();
@@ -406,10 +408,10 @@ fn always_connected_posts_everything() {
         on_demand_connections: false,
         ..MpiConfig::scheme(FlowControlScheme::UserStatic, 4)
     };
-    let out = MpiWorld::run(4, cfg, FabricParams::mt23108(), |mpi| {
+    let out = MpiWorld::run(4, cfg, FabricParams::mt23108(), async |mpi| {
         let right = (mpi.rank() + 1) % mpi.size();
         let left = (mpi.rank() + mpi.size() - 1) % mpi.size();
-        let _ = mpi.sendrecv(&[0u8], right, 0, Some(left), Some(0));
+        let _ = mpi.sendrecv(&[0u8], right, 0, Some(left), Some(0)).await;
         mpi.total_posted_buffers()
     })
     .unwrap();

@@ -13,17 +13,17 @@ const SCHEMES: [FlowControlScheme; 3] = [
 fn eager_roundtrip_all_schemes() {
     for scheme in SCHEMES {
         let cfg = MpiConfig::scheme(scheme, 10);
-        let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), move |mpi| {
+        let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), async move |mpi| {
             if mpi.rank() == 0 {
-                mpi.send(b"ping", 1, 7);
-                let (st, data) = mpi.recv(Some(1), Some(8));
+                mpi.send(b"ping", 1, 7).await;
+                let (st, data) = mpi.recv(Some(1), Some(8)).await;
                 assert_eq!(st.source, 1);
                 data
             } else {
-                let (st, data) = mpi.recv(Some(0), Some(7));
+                let (st, data) = mpi.recv(Some(0), Some(7)).await;
                 assert_eq!(st.tag, 7);
                 assert_eq!(data, b"ping");
-                mpi.send(b"pong", 0, 8);
+                mpi.send(b"pong", 0, 8).await;
                 data
             }
         })
@@ -38,13 +38,13 @@ fn rendezvous_large_message_all_schemes() {
     for scheme in SCHEMES {
         let cfg = MpiConfig::scheme(scheme, 10);
         let n = 300_000usize;
-        let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), move |mpi| {
+        let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), async move |mpi| {
             if mpi.rank() == 0 {
                 let data: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
-                mpi.send(&data, 1, 1);
+                mpi.send(&data, 1, 1).await;
                 0u64
             } else {
-                let (st, data) = mpi.recv(Some(0), Some(1));
+                let (st, data) = mpi.recv(Some(0), Some(1)).await;
                 assert_eq!(st.len, n);
                 data.iter()
                     .enumerate()
@@ -67,19 +67,19 @@ fn rendezvous_large_message_all_schemes() {
 #[test]
 fn message_ordering_same_tag() {
     let cfg = MpiConfig::scheme(FlowControlScheme::UserStatic, 4);
-    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), |mpi| {
+    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), async |mpi| {
         if mpi.rank() == 0 {
             for i in 0..50u32 {
-                mpi.send(&i.to_le_bytes(), 1, 3);
+                mpi.send(&i.to_le_bytes(), 1, 3).await;
             }
             Vec::new()
         } else {
-            (0..50u32)
-                .map(|_| {
-                    let (_, d) = mpi.recv(Some(0), Some(3));
-                    u32::from_le_bytes(d.try_into().unwrap())
-                })
-                .collect::<Vec<u32>>()
+            let mut got = Vec::with_capacity(50);
+            for _ in 0..50u32 {
+                let (_, d) = mpi.recv(Some(0), Some(3)).await;
+                got.push(u32::from_le_bytes(d.try_into().unwrap()));
+            }
+            got
         }
     })
     .unwrap();
@@ -93,15 +93,15 @@ fn message_ordering_same_tag() {
 #[test]
 fn tag_matching_out_of_order() {
     let cfg = MpiConfig::default();
-    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), |mpi| {
+    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), async |mpi| {
         if mpi.rank() == 0 {
-            mpi.send(b"first", 1, 1);
-            mpi.send(b"second", 1, 2);
+            mpi.send(b"first", 1, 1).await;
+            mpi.send(b"second", 1, 2).await;
             Vec::new()
         } else {
             // Receive tag 2 before tag 1: needs the unexpected queue.
-            let (_, second) = mpi.recv(Some(0), Some(2));
-            let (_, first) = mpi.recv(Some(0), Some(1));
+            let (_, second) = mpi.recv(Some(0), Some(2)).await;
+            let (_, first) = mpi.recv(Some(0), Some(1)).await;
             vec![first, second]
         }
     })
@@ -112,19 +112,22 @@ fn tag_matching_out_of_order() {
 #[test]
 fn wildcard_source_and_tag() {
     let cfg = MpiConfig::default();
-    let out = MpiWorld::run(3, cfg, FabricParams::mt23108(), |mpi| match mpi.rank() {
-        0 => {
-            let mut froms = Vec::new();
-            for _ in 0..2 {
-                let (st, data) = mpi.recv(None, None);
-                froms.push((st.source, st.tag, data));
+    let out = MpiWorld::run(3, cfg, FabricParams::mt23108(), async |mpi| {
+        match mpi.rank() {
+            0 => {
+                let mut froms = Vec::new();
+                for _ in 0..2 {
+                    let (st, data) = mpi.recv(None, None).await;
+                    froms.push((st.source, st.tag, data));
+                }
+                froms.sort();
+                froms
             }
-            froms.sort();
-            froms
-        }
-        r => {
-            mpi.send(format!("from{r}").as_bytes(), 0, 10 + r as i32);
-            Vec::new()
+            r => {
+                mpi.send(format!("from{r}").as_bytes(), 0, 10 + r as i32)
+                    .await;
+                Vec::new()
+            }
         }
     })
     .unwrap();
@@ -137,12 +140,12 @@ fn wildcard_source_and_tag() {
 #[test]
 fn nonblocking_isend_irecv_waitall() {
     let cfg = MpiConfig::scheme(FlowControlScheme::UserDynamic, 4);
-    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), |mpi| {
+    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), async |mpi| {
         if mpi.rank() == 0 {
             let reqs: Vec<_> = (0..20u32)
                 .map(|i| mpi.isend(&i.to_le_bytes(), 1, i as i32))
                 .collect();
-            mpi.waitall(&reqs);
+            mpi.waitall(&reqs).await;
             0
         } else {
             let mut sum = 0u64;
@@ -153,7 +156,7 @@ fn nonblocking_isend_irecv_waitall() {
                 .map(|i| mpi.irecv(Some(0), Some(i as i32)))
                 .collect();
             for r in reqs {
-                let (_, d) = mpi.wait_recv(r);
+                let (_, d) = mpi.wait_recv(r).await;
                 sum += u32::from_le_bytes(d.try_into().unwrap()) as u64;
             }
             sum
@@ -167,11 +170,13 @@ fn nonblocking_isend_irecv_waitall() {
 fn sendrecv_exchange_ring() {
     let cfg = MpiConfig::default();
     let n = 5;
-    let out = MpiWorld::run(n, cfg, FabricParams::mt23108(), move |mpi| {
+    let out = MpiWorld::run(n, cfg, FabricParams::mt23108(), async move |mpi| {
         let me = mpi.rank();
         let right = (me + 1) % mpi.size();
         let left = (me + mpi.size() - 1) % mpi.size();
-        let (st, data) = mpi.sendrecv(&(me as u64).to_le_bytes(), right, 0, Some(left), Some(0));
+        let (st, data) = mpi
+            .sendrecv(&(me as u64).to_le_bytes(), right, 0, Some(left), Some(0))
+            .await;
         assert_eq!(st.source, left);
         u64::from_le_bytes(data.try_into().unwrap())
     })
@@ -184,14 +189,14 @@ fn sendrecv_exchange_ring() {
 #[test]
 fn recv_into_and_typed_helpers() {
     let cfg = MpiConfig::default();
-    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), |mpi| {
+    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), async |mpi| {
         if mpi.rank() == 0 {
             let xs: Vec<f64> = (0..1000).map(|i| i as f64 * 0.5).collect();
-            mpi.send_scalars(&xs, 1, 0);
+            mpi.send_scalars(&xs, 1, 0).await;
             0.0
         } else {
             let mut buf = vec![0.0f64; 1000];
-            mpi.recv_scalars_into(&mut buf, Some(0), Some(0));
+            mpi.recv_scalars_into(&mut buf, Some(0), Some(0)).await;
             buf.iter().sum::<f64>()
         }
     })
@@ -203,9 +208,9 @@ fn recv_into_and_typed_helpers() {
 #[test]
 fn iprobe_sees_unexpected() {
     let cfg = MpiConfig::default();
-    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), |mpi| {
+    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), async |mpi| {
         if mpi.rank() == 0 {
-            mpi.send(b"probe-me", 1, 42);
+            mpi.send(b"probe-me", 1, 42).await;
             true
         } else {
             // Spin until the probe sees it.
@@ -214,9 +219,9 @@ fn iprobe_sees_unexpected() {
                     assert_eq!(st.len, 8);
                     break;
                 }
-                mpi.compute(ibsim::SimDuration::micros(1));
+                mpi.compute(ibsim::SimDuration::micros(1)).await;
             }
-            let (_, d) = mpi.recv(Some(0), Some(42));
+            let (_, d) = mpi.recv(Some(0), Some(42)).await;
             d == b"probe-me"
         }
     })
@@ -228,16 +233,16 @@ fn iprobe_sees_unexpected() {
 fn pin_down_cache_hits_on_reuse() {
     // Repeated large sends from the same buffer: first pins, rest hit.
     let cfg = MpiConfig::default();
-    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), |mpi| {
+    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), async |mpi| {
         if mpi.rank() == 0 {
             let data = vec![7u8; 100_000];
             for _ in 0..5 {
-                mpi.send(&data, 1, 0);
+                mpi.send(&data, 1, 0).await;
             }
         } else {
             let mut buf = vec![0u8; 100_000];
             for _ in 0..5 {
-                mpi.recv_into(&mut buf, Some(0), Some(0));
+                mpi.recv_into(&mut buf, Some(0), Some(0)).await;
             }
             assert_eq!(buf[99_999], 7);
         }
@@ -261,15 +266,15 @@ fn pin_down_cache_hits_on_reuse() {
 fn deterministic_end_times() {
     let run = || {
         let cfg = MpiConfig::scheme(FlowControlScheme::UserDynamic, 2);
-        MpiWorld::run(4, cfg, FabricParams::mt23108(), |mpi| {
+        MpiWorld::run(4, cfg, FabricParams::mt23108(), async |mpi| {
             let me = mpi.rank();
             for peer in 0..mpi.size() {
                 if peer != me {
-                    mpi.send(&[me as u8; 100], peer, 0);
+                    mpi.send(&[me as u8; 100], peer, 0).await;
                 }
             }
             for _ in 0..mpi.size() - 1 {
-                let _ = mpi.recv(None, Some(0));
+                let _ = mpi.recv(None, Some(0)).await;
             }
             mpi.now().as_nanos()
         })
@@ -284,26 +289,36 @@ fn deterministic_end_times() {
 
 #[test]
 fn single_rank_world() {
-    let out = MpiWorld::run(1, MpiConfig::default(), FabricParams::mt23108(), |mpi| {
-        assert_eq!(mpi.size(), 1);
-        mpi.rank()
-    })
+    let out = MpiWorld::run(
+        1,
+        MpiConfig::default(),
+        FabricParams::mt23108(),
+        async |mpi| {
+            assert_eq!(mpi.size(), 1);
+            mpi.rank()
+        },
+    )
     .unwrap();
     assert_eq!(out.results, vec![0]);
 }
 
 #[test]
 fn empty_message() {
-    let out = MpiWorld::run(2, MpiConfig::default(), FabricParams::mt23108(), |mpi| {
-        if mpi.rank() == 0 {
-            mpi.send(&[], 1, 0);
-            0
-        } else {
-            let (st, data) = mpi.recv(Some(0), Some(0));
-            assert_eq!(st.len, 0);
-            data.len()
-        }
-    })
+    let out = MpiWorld::run(
+        2,
+        MpiConfig::default(),
+        FabricParams::mt23108(),
+        async |mpi| {
+            if mpi.rank() == 0 {
+                mpi.send(&[], 1, 0).await;
+                0
+            } else {
+                let (st, data) = mpi.recv(Some(0), Some(0)).await;
+                assert_eq!(st.len, 0);
+                data.len()
+            }
+        },
+    )
     .unwrap();
     assert_eq!(out.results[1], 0);
 }
@@ -312,14 +327,14 @@ fn empty_message() {
 fn exact_eager_threshold_boundary() {
     let cfg = MpiConfig::default();
     let thr = cfg.eager_threshold;
-    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), move |mpi| {
+    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), async move |mpi| {
         if mpi.rank() == 0 {
-            mpi.send(&vec![1u8; thr], 1, 0); // exactly eager
-            mpi.send(&vec![2u8; thr + 1], 1, 1); // first rendezvous size
+            mpi.send(&vec![1u8; thr], 1, 0).await; // exactly eager
+            mpi.send(&vec![2u8; thr + 1], 1, 1).await; // first rendezvous size
             (0, 0)
         } else {
-            let (a, da) = mpi.recv(Some(0), Some(0));
-            let (b, db) = mpi.recv(Some(0), Some(1));
+            let (a, da) = mpi.recv(Some(0), Some(0)).await;
+            let (b, db) = mpi.recv(Some(0), Some(1)).await;
             assert!(da.iter().all(|&x| x == 1));
             assert!(db.iter().all(|&x| x == 2));
             (a.len, b.len)
@@ -340,13 +355,13 @@ fn ssend_is_synchronous() {
     // after that, even for a tiny message (which plain send would have
     // buffered instantly).
     let cfg = MpiConfig::default();
-    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), |mpi| {
+    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), async |mpi| {
         if mpi.rank() == 0 {
-            mpi.ssend(b"sync", 1, 0);
+            mpi.ssend(b"sync", 1, 0).await;
             mpi.now().as_nanos()
         } else {
-            mpi.compute(ibsim::SimDuration::micros(200));
-            let (_, d) = mpi.recv(Some(0), Some(0));
+            mpi.compute(ibsim::SimDuration::micros(200)).await;
+            let (_, d) = mpi.recv(Some(0), Some(0)).await;
             assert_eq!(d, b"sync");
             0
         }
@@ -362,13 +377,13 @@ fn ssend_is_synchronous() {
 #[test]
 fn plain_send_of_small_messages_is_buffered_by_contrast() {
     let cfg = MpiConfig::default();
-    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), |mpi| {
+    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), async |mpi| {
         if mpi.rank() == 0 {
-            mpi.send(b"async", 1, 0);
+            mpi.send(b"async", 1, 0).await;
             mpi.now().as_nanos()
         } else {
-            mpi.compute(ibsim::SimDuration::micros(200));
-            let (_, d) = mpi.recv(Some(0), Some(0));
+            mpi.compute(ibsim::SimDuration::micros(200)).await;
+            let (_, d) = mpi.recv(Some(0), Some(0)).await;
             assert_eq!(d, b"async");
             0
         }
@@ -385,14 +400,14 @@ fn plain_send_of_small_messages_is_buffered_by_contrast() {
 fn bsend_returns_before_large_transfer_completes() {
     let cfg = MpiConfig::default();
     let n = 256 * 1024;
-    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), move |mpi| {
+    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), async move |mpi| {
         if mpi.rank() == 0 {
             let data = vec![3u8; n];
-            mpi.bsend(&data, 1, 0);
+            mpi.bsend(&data, 1, 0).await;
             mpi.now().as_nanos()
         } else {
-            mpi.compute(ibsim::SimDuration::micros(500));
-            let (st, d) = mpi.recv(Some(0), Some(0));
+            mpi.compute(ibsim::SimDuration::micros(500)).await;
+            let (st, d) = mpi.recv(Some(0), Some(0)).await;
             assert_eq!(st.len, n);
             assert!(d.iter().all(|&b| b == 3));
             0
@@ -411,12 +426,12 @@ fn bsend_returns_before_large_transfer_completes() {
 #[test]
 fn rsend_delivers_like_send() {
     let cfg = MpiConfig::default();
-    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), |mpi| {
+    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), async |mpi| {
         if mpi.rank() == 0 {
-            let (_, d) = mpi.recv(Some(1), Some(9));
+            let (_, d) = mpi.recv(Some(1), Some(9)).await;
             d
         } else {
-            mpi.rsend(b"ready", 0, 9);
+            mpi.rsend(b"ready", 0, 9).await;
             Vec::new()
         }
     })

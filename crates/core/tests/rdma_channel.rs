@@ -16,15 +16,15 @@ fn channel_cfg(ring_slots: u32) -> MpiConfig {
 
 #[test]
 fn roundtrip_over_the_ring() {
-    let out = MpiWorld::run(2, channel_cfg(8), FabricParams::mt23108(), |mpi| {
+    let out = MpiWorld::run(2, channel_cfg(8), FabricParams::mt23108(), async |mpi| {
         if mpi.rank() == 0 {
-            mpi.send(b"ring ping", 1, 1);
-            let (_, d) = mpi.recv(Some(1), Some(2));
+            mpi.send(b"ring ping", 1, 1).await;
+            let (_, d) = mpi.recv(Some(1), Some(2)).await;
             d
         } else {
-            let (_, d) = mpi.recv(Some(0), Some(1));
+            let (_, d) = mpi.recv(Some(0), Some(1)).await;
             assert_eq!(d, b"ring ping");
-            mpi.send(b"ring pong", 0, 2);
+            mpi.send(b"ring pong", 0, 2).await;
             d
         }
     })
@@ -40,21 +40,26 @@ fn ordering_and_integrity_through_ring_wraparound() {
     // Far more messages than ring slots: slots recycle many times and the
     // credit mailbox keeps the sender fed.
     let count = 200u32;
-    let out = MpiWorld::run(2, channel_cfg(4), FabricParams::mt23108(), move |mpi| {
-        if mpi.rank() == 0 {
-            for i in 0..count {
-                mpi.send(&i.to_le_bytes(), 1, 0);
+    let out = MpiWorld::run(
+        2,
+        channel_cfg(4),
+        FabricParams::mt23108(),
+        async move |mpi| {
+            if mpi.rank() == 0 {
+                for i in 0..count {
+                    mpi.send(&i.to_le_bytes(), 1, 0).await;
+                }
+                Vec::new()
+            } else {
+                let mut got = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let (_, d) = mpi.recv(Some(0), Some(0)).await;
+                    got.push(u32::from_le_bytes(d.try_into().unwrap()));
+                }
+                got
             }
-            Vec::new()
-        } else {
-            (0..count)
-                .map(|_| {
-                    let (_, d) = mpi.recv(Some(0), Some(0));
-                    u32::from_le_bytes(d.try_into().unwrap())
-                })
-                .collect::<Vec<u32>>()
-        }
-    })
+        },
+    )
     .unwrap();
     assert_eq!(out.results[1], (0..count).collect::<Vec<u32>>());
 }
@@ -64,17 +69,17 @@ fn mixed_ring_and_rendezvous_traffic_stays_ordered() {
     // Alternate small (ring) and large (rendezvous via control channel)
     // messages on the same tag: the per-connection sequence gate must
     // deliver them in send order.
-    let out = MpiWorld::run(2, channel_cfg(8), FabricParams::mt23108(), |mpi| {
+    let out = MpiWorld::run(2, channel_cfg(8), FabricParams::mt23108(), async |mpi| {
         if mpi.rank() == 0 {
             for i in 0..20usize {
                 let size = if i % 2 == 0 { 16 } else { 5000 };
                 let payload = vec![i as u8; size];
-                mpi.send(&payload, 1, 3);
+                mpi.send(&payload, 1, 3).await;
             }
             true
         } else {
             for i in 0..20usize {
-                let (st, d) = mpi.recv(Some(0), Some(3));
+                let (st, d) = mpi.recv(Some(0), Some(3)).await;
                 let expect = if i % 2 == 0 { 16 } else { 5000 };
                 assert_eq!(st.len, expect, "message {i} out of order");
                 assert!(d.iter().all(|&b| b == i as u8), "message {i} corrupted");
@@ -90,18 +95,18 @@ fn mixed_ring_and_rendezvous_traffic_stays_ordered() {
 fn ring_full_converts_to_rendezvous() {
     // A burst bigger than the ring with a sleeping receiver: the overflow
     // converts to rendezvous (backlogged) instead of overwriting slots.
-    let out = MpiWorld::run(2, channel_cfg(4), FabricParams::mt23108(), |mpi| {
+    let out = MpiWorld::run(2, channel_cfg(4), FabricParams::mt23108(), async |mpi| {
         if mpi.rank() == 0 {
             let reqs: Vec<_> = (0..20u32)
                 .map(|i| mpi.isend(&i.to_le_bytes(), 1, 0))
                 .collect();
-            mpi.waitall(&reqs);
+            mpi.waitall(&reqs).await;
             0
         } else {
-            mpi.compute(ibsim::SimDuration::millis(1));
+            mpi.compute(ibsim::SimDuration::millis(1)).await;
             let mut sum = 0u64;
             for _ in 0..20 {
-                let (_, d) = mpi.recv(Some(0), Some(0));
+                let (_, d) = mpi.recv(Some(0), Some(0)).await;
                 sum += u32::from_le_bytes(d.try_into().unwrap()) as u64;
             }
             sum
@@ -121,18 +126,18 @@ fn ring_full_converts_to_rendezvous() {
 fn latency_beats_send_recv_design() {
     // The headline claim of the companion design [13]: ~6.8us vs ~7.5us.
     let lat = |cfg: MpiConfig| -> f64 {
-        let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), |mpi| {
+        let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), async |mpi| {
             let peer = 1 - mpi.rank();
             let mut total = 0u64;
             let iters = 40;
             for it in 0..4 + iters {
                 let t0 = mpi.now();
                 if mpi.rank() == 0 {
-                    mpi.send(&[0u8; 4], peer, 1);
-                    let _ = mpi.recv(Some(peer), Some(1));
+                    mpi.send(&[0u8; 4], peer, 1).await;
+                    let _ = mpi.recv(Some(peer), Some(1)).await;
                 } else {
-                    let _ = mpi.recv(Some(peer), Some(1));
-                    mpi.send(&[0u8; 4], peer, 1);
+                    let _ = mpi.recv(Some(peer), Some(1)).await;
+                    mpi.send(&[0u8; 4], peer, 1).await;
                 }
                 if it >= 4 {
                     total += mpi.now().since(t0).as_nanos();
@@ -163,7 +168,7 @@ fn config_validation_guards_prerequisites() {
         ..MpiConfig::scheme(FlowControlScheme::UserStatic, 10)
     };
     assert!(matches!(
-        MpiWorld::run(2, bad, FabricParams::mt23108(), |_| ()),
+        MpiWorld::run(2, bad, FabricParams::mt23108(), async |_| ()),
         Err(mpib::MpiRunError::Config(_))
     ));
 }
@@ -172,11 +177,11 @@ fn config_validation_guards_prerequisites() {
 fn collectives_work_over_the_channel() {
     use mpib::collectives::{allreduce_scalars, alltoall_scalars};
     use mpib::{Comm, ReduceOp};
-    let out = MpiWorld::run(4, channel_cfg(16), FabricParams::mt23108(), |mpi| {
+    let out = MpiWorld::run(4, channel_cfg(16), FabricParams::mt23108(), async |mpi| {
         let world = Comm::world(mpi);
         let me = world.my_rank(mpi) as u32;
-        let sums = allreduce_scalars(mpi, &world, ReduceOp::Sum, &[me as f64]);
-        let t = alltoall_scalars(mpi, &world, &[me * 4, me * 4 + 1, me * 4 + 2, me * 4 + 3]);
+        let sums = allreduce_scalars(mpi, &world, ReduceOp::Sum, &[me as f64]).await;
+        let t = alltoall_scalars(mpi, &world, &[me * 4, me * 4 + 1, me * 4 + 2, me * 4 + 3]).await;
         (sums[0], t)
     })
     .unwrap();

@@ -301,7 +301,7 @@ fn credits_resume_without_rnr_when_acks_flow() {
     let cq_b = p.cq_b;
     let mr_b = p.mr_b;
     let mut remaining = 24u64; // 8 initial + 16 more posted reactively
-    p.sim.spawn("receiver", move |mut proc| {
+    p.sim.spawn("receiver", move |mut proc| async move {
         let mut seen = 0u64;
         let mut next_send = 8u64;
         while seen < remaining {
@@ -328,7 +328,7 @@ fn credits_resume_without_rnr_when_acks_flow() {
             if got == 0 {
                 let w = proc.waker();
                 proc.with(|ctx| ctx.world.req_notify_cq(cq_b, w));
-                proc.park("waiting for recv cqe");
+                proc.park("waiting for recv cqe").await;
             }
             seen += got;
         }

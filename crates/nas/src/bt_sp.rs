@@ -85,7 +85,7 @@ impl Field {
 
 /// Runs BT or SP over the world communicator (requires a square-friendly
 /// process grid; the paper uses 16 processes).
-pub fn run(mpi: &mut MpiRank, class: NasClass, variant: Variant) -> KernelOutput {
+pub async fn run(mpi: &mut MpiRank, class: NasClass, variant: Variant) -> KernelOutput {
     let cfg = AdiConfig::for_class(class);
     let world = Comm::world(mpi);
     let p = world.size();
@@ -126,7 +126,7 @@ pub fn run(mpi: &mut MpiRank, class: NasClass, variant: Variant) -> KernelOutput
     }
     f.v = v;
 
-    let (worst_residual, time) = timed(mpi, &world, |mpi| {
+    let (worst_residual, time) = timed(mpi, &world, async |mpi| {
         let mut worst = 0.0f64;
         for it in 0..cfg.iters {
             // A cheap explicit RHS stage (local; NPB's compute_rhs).
@@ -136,23 +136,25 @@ pub fn run(mpi: &mut MpiRank, class: NasClass, variant: Variant) -> KernelOutput
             charge_flops(
                 mpi,
                 f.v.len() as f64 * (if variant == Variant::Bt { 25.0 } else { 6.0 }),
-            );
+            )
+            .await;
             // Implicit sweeps.
-            let rx = solve_x(mpi, &world, &mut f, it == 0);
-            let ry = solve_y(mpi, &world, &mut f, it == 0);
-            let rz = solve_z(mpi, &mut f, it == 0);
+            let rx = solve_x(mpi, &world, &mut f, it == 0).await;
+            let ry = solve_y(mpi, &world, &mut f, it == 0).await;
+            let rz = solve_z(mpi, &mut f, it == 0).await;
             if it == 0 {
                 worst = rx.max(ry).max(rz);
             }
         }
         worst
-    });
+    })
+    .await;
 
     let local: f64 = f.v.iter().sum();
-    let checksum = global_checksum(mpi, &world, local);
+    let checksum = global_checksum(mpi, &world, local).await;
     // First-iteration residuals of all three distributed solves must be
     // at machine-precision scale.
-    let max_res = allreduce_scalars(mpi, &world, ReduceOp::Max, &[worst_residual])[0];
+    let max_res = allreduce_scalars(mpi, &world, ReduceOp::Max, &[worst_residual]).await[0];
     let verified = max_res < 1e-9 && checksum.is_finite();
     let name = match variant {
         Variant::Bt => Kernel::Bt.name(),
@@ -172,7 +174,7 @@ pub fn run(mpi: &mut MpiRank, class: NasClass, variant: Variant) -> KernelOutput
 /// Forward pass: each process eliminates its sub-diagonal locally; the
 /// interface (last-row) coefficients pipeline east. Backward pass: the
 /// first solved value pipelines west.
-fn solve_x(mpi: &mut MpiRank, world: &Comm, f: &mut Field, verify: bool) -> f64 {
+async fn solve_x(mpi: &mut MpiRank, world: &Comm, f: &mut Field, verify: bool) -> f64 {
     let lines = f.ny_l * f.nz * f.comp;
     let west = (f.cx > 0).then(|| world.world_rank(f.cy * f.px + f.cx - 1));
     let east = (f.cx + 1 < f.px).then(|| world.world_rank(f.cy * f.px + f.cx + 1));
@@ -186,11 +188,11 @@ fn solve_x(mpi: &mut MpiRank, world: &Comm, f: &mut Field, verify: bool) -> f64 
         f.v[ix] = val;
     };
     let nl = f.nx_l;
-    solve_dir(mpi, f, lines, nl, west, east, 11, get, put, verify)
+    solve_dir(mpi, f, lines, nl, west, east, 11, get, put, verify).await
 }
 
 /// Distributed Thomas along y.
-fn solve_y(mpi: &mut MpiRank, world: &Comm, f: &mut Field, verify: bool) -> f64 {
+async fn solve_y(mpi: &mut MpiRank, world: &Comm, f: &mut Field, verify: bool) -> f64 {
     let lines = f.nx_l * f.nz * f.comp;
     let north = (f.cy > 0).then(|| world.world_rank((f.cy - 1) * f.px + f.cx));
     let south = (f.cy + 1 < f.py).then(|| world.world_rank((f.cy + 1) * f.px + f.cx));
@@ -204,11 +206,11 @@ fn solve_y(mpi: &mut MpiRank, world: &Comm, f: &mut Field, verify: bool) -> f64 
         f.v[ix] = val;
     };
     let nl = f.ny_l;
-    solve_dir(mpi, f, lines, nl, north, south, 21, get, put, verify)
+    solve_dir(mpi, f, lines, nl, north, south, 21, get, put, verify).await
 }
 
 /// Local Thomas along z (undecomposed).
-fn solve_z(mpi: &mut MpiRank, f: &mut Field, verify: bool) -> f64 {
+async fn solve_z(mpi: &mut MpiRank, f: &mut Field, verify: bool) -> f64 {
     let nz = f.nz;
     let mut worst = 0.0f64;
     let mut c_prime = vec![0.0f64; nz];
@@ -244,7 +246,7 @@ fn solve_z(mpi: &mut MpiRank, f: &mut Field, verify: bool) -> f64 {
             }
         }
     }
-    charge_flops(mpi, (f.comp * f.nx_l * f.ny_l * nz) as f64 * 8.0);
+    charge_flops(mpi, (f.comp * f.nx_l * f.ny_l * nz) as f64 * 8.0).await;
     worst
 }
 
@@ -252,7 +254,7 @@ fn solve_z(mpi: &mut MpiRank, f: &mut Field, verify: bool) -> f64 {
 /// systems, each with `nl` local unknowns, neighbours `prev` (upstream)
 /// and `next` (downstream).
 #[allow(clippy::too_many_arguments)]
-fn solve_dir(
+async fn solve_dir(
     mpi: &mut MpiRank,
     f: &mut Field,
     lines: usize,
@@ -276,7 +278,7 @@ fn solve_dir(
     let mut in_d = vec![0.0f64; lines];
     if let Some(pr) = prev {
         let mut buf = vec![0.0f64; lines * 2];
-        mpi.recv_scalars_into(&mut buf, Some(pr), Some(tag));
+        mpi.recv_scalars_into(&mut buf, Some(pr), Some(tag)).await;
         in_c.copy_from_slice(&buf[..lines]);
         in_d.copy_from_slice(&buf[lines..]);
     }
@@ -302,7 +304,8 @@ fn solve_dir(
     charge_flops(
         mpi,
         (lines * nl) as f64 * 6.0 * if comp == 5 { 5.0 } else { 1.0 },
-    );
+    )
+    .await;
     if let Some(nx) = next {
         let mut buf = Vec::with_capacity(lines * 2);
         for line in 0..lines {
@@ -311,13 +314,14 @@ fn solve_dir(
         for line in 0..lines {
             buf.push(dp[line * nl + nl - 1]);
         }
-        mpi.send_scalars(&buf, nx, tag);
+        mpi.send_scalars(&buf, nx, tag).await;
     }
 
     // ---- back substitution ----
     let mut x_next = vec![0.0f64; lines];
     let have_next = if let Some(nx) = next {
-        mpi.recv_scalars_into(&mut x_next, Some(nx), Some(tag + 1));
+        mpi.recv_scalars_into(&mut x_next, Some(nx), Some(tag + 1))
+            .await;
         true
     } else {
         false
@@ -342,9 +346,10 @@ fn solve_dir(
     charge_flops(
         mpi,
         (lines * nl) as f64 * 2.0 * if comp == 5 { 5.0 } else { 1.0 },
-    );
+    )
+    .await;
     if let Some(prev) = prev {
-        mpi.send_scalars(&x_first, prev, tag + 1);
+        mpi.send_scalars(&x_first, prev, tag + 1).await;
     }
 
     // ---- optional residual verification (one halo exchange) ----
@@ -356,7 +361,8 @@ fn solve_dir(
         if let Some(pr) = prev {
             // Upstream sends its last row; downstream sends nothing new.
             let mut buf = vec![0.0f64; lines];
-            mpi.recv_scalars_into(&mut buf, Some(pr), Some(tag + 2));
+            mpi.recv_scalars_into(&mut buf, Some(pr), Some(tag + 2))
+                .await;
             x_prev.copy_from_slice(&buf);
         }
         if let Some(nx) = next {
@@ -366,7 +372,7 @@ fn solve_dir(
                     last[c * per_comp + l] = get(f, c, nl - 1, l);
                 }
             }
-            mpi.send_scalars(&last, nx, tag + 2);
+            mpi.send_scalars(&last, nx, tag + 2).await;
         }
         let mut worst = 0.0f64;
         // Reconstruct rhs? The rhs was overwritten; instead verify the

@@ -88,24 +88,24 @@ fn build_rows(cfg: &CgConfig, row0: usize, rows: usize) -> RowBlock {
 }
 
 /// y = A x (x is the full gathered vector; y covers this block's rows).
-fn spmv(mpi: &mut MpiRank, a: &RowBlock, x: &[f64], y: &mut [f64]) {
+async fn spmv(mpi: &mut MpiRank, a: &RowBlock, x: &[f64], y: &mut [f64]) {
     y.fill(0.0);
     for &(r, c, v) in &a.entries {
         y[r as usize] += v * x[c as usize];
     }
-    charge_flops(mpi, a.entries.len() as f64 * 2.0);
+    charge_flops(mpi, a.entries.len() as f64 * 2.0).await;
 }
 
 /// Distributed dot product over block-distributed vectors.
-fn ddot(mpi: &mut MpiRank, world: &Comm, a: &[f64], b: &[f64]) -> f64 {
+async fn ddot(mpi: &mut MpiRank, world: &Comm, a: &[f64], b: &[f64]) -> f64 {
     let local: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
-    charge_flops(mpi, a.len() as f64 * 2.0);
-    allreduce_scalars(mpi, world, ReduceOp::Sum, &[local])[0]
+    charge_flops(mpi, a.len() as f64 * 2.0).await;
+    allreduce_scalars(mpi, world, ReduceOp::Sum, &[local]).await[0]
 }
 
 /// Gathers the block-distributed vector into a full copy.
-fn gather_full(mpi: &mut MpiRank, world: &Comm, mine: &[f64], n: usize) -> Vec<f64> {
-    let chunks = allgather_bytes(mpi, world, &encode_slice(mine));
+async fn gather_full(mpi: &mut MpiRank, world: &Comm, mine: &[f64], n: usize) -> Vec<f64> {
+    let chunks = allgather_bytes(mpi, world, &encode_slice(mine)).await;
     let mut full = Vec::with_capacity(n);
     for c in &chunks {
         full.extend(decode_slice::<f64>(c));
@@ -117,7 +117,7 @@ fn gather_full(mpi: &mut MpiRank, world: &Comm, mine: &[f64], n: usize) -> Vec<f
 /// Runs CG over the world communicator. The outer loop mirrors the NPB
 /// power-method structure: solve `A z = x` approximately with `inner` CG
 /// steps, then normalize.
-pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
+pub async fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
     let cfg = CgConfig::for_class(class);
     let world = Comm::world(mpi);
     let p = world.size();
@@ -129,45 +129,46 @@ pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
     let mut zeta = 0.0f64;
     let mut final_rnorm = f64::INFINITY;
 
-    let (_, time) = timed(mpi, &world, |mpi| {
+    let (_, time) = timed(mpi, &world, async |mpi| {
         for _ in 0..cfg.outer {
             // CG solve A z = x.
             let mut z = vec![0.0f64; rows];
             let mut r = x.clone();
             let mut pvec = r.clone();
-            let mut rho = ddot(mpi, &world, &r, &r);
+            let mut rho = ddot(mpi, &world, &r, &r).await;
             for _ in 0..cfg.inner {
-                let pfull = gather_full(mpi, &world, &pvec, cfg.n);
+                let pfull = gather_full(mpi, &world, &pvec, cfg.n).await;
                 let mut q = vec![0.0f64; rows];
-                spmv(mpi, &a, &pfull, &mut q);
-                let alpha = rho / ddot(mpi, &world, &pvec, &q);
+                spmv(mpi, &a, &pfull, &mut q).await;
+                let alpha = rho / ddot(mpi, &world, &pvec, &q).await;
                 for i in 0..rows {
                     z[i] += alpha * pvec[i];
                     r[i] -= alpha * q[i];
                 }
-                charge_flops(mpi, rows as f64 * 4.0);
-                let rho_new = ddot(mpi, &world, &r, &r);
+                charge_flops(mpi, rows as f64 * 4.0).await;
+                let rho_new = ddot(mpi, &world, &r, &r).await;
                 let beta = rho_new / rho;
                 rho = rho_new;
                 for i in 0..rows {
                     pvec[i] = r[i] + beta * pvec[i];
                 }
-                charge_flops(mpi, rows as f64 * 2.0);
+                charge_flops(mpi, rows as f64 * 2.0).await;
             }
             final_rnorm = rho.sqrt();
             // zeta = shift + 1 / (x . z); then x = z / ||z||.
-            let xz = ddot(mpi, &world, &x, &z);
+            let xz = ddot(mpi, &world, &x, &z).await;
             zeta = 20.0 + 1.0 / xz;
-            let znorm = ddot(mpi, &world, &z, &z).sqrt();
+            let znorm = ddot(mpi, &world, &z, &z).await.sqrt();
             for i in 0..rows {
                 x[i] = z[i] / znorm;
             }
-            charge_flops(mpi, rows as f64 * 2.0);
+            charge_flops(mpi, rows as f64 * 2.0).await;
         }
-    });
+    })
+    .await;
 
     // Verified: CG reduced the residual hugely and zeta is sane & global.
-    let checksum = global_checksum(mpi, &world, zeta / p as f64);
+    let checksum = global_checksum(mpi, &world, zeta / p as f64).await;
     let verified = final_rnorm.is_finite() && final_rnorm < 1e-3 && zeta.is_finite();
     KernelOutput {
         name: Kernel::Cg.name(),

@@ -102,35 +102,35 @@ pub struct KernelOutput {
 pub const MFLOPS_PER_RANK: f64 = 300.0;
 
 /// Charges `flops` floating-point operations of virtual compute time.
-pub fn charge_flops(mpi: &mut MpiRank, flops: f64) {
+pub async fn charge_flops(mpi: &mut MpiRank, flops: f64) {
     debug_assert!(flops >= 0.0);
     let us = flops / MFLOPS_PER_RANK;
     if us > 0.0 {
-        mpi.compute(SimDuration::micros_f64(us));
+        mpi.compute(SimDuration::micros_f64(us)).await;
     }
 }
 
 /// Runs `body` between two barriers and returns `(result, timed span)`.
-pub fn timed<R>(
+pub async fn timed<R>(
     mpi: &mut MpiRank,
     world: &Comm,
-    body: impl FnOnce(&mut MpiRank) -> R,
+    body: impl AsyncFnOnce(&mut MpiRank) -> R,
 ) -> (R, SimDuration) {
-    barrier(mpi, world);
+    barrier(mpi, world).await;
     let t0: SimTime = mpi.now();
-    let r = body(mpi);
-    barrier(mpi, world);
+    let r = body(mpi).await;
+    barrier(mpi, world).await;
     (r, mpi.now().since(t0))
 }
 
 /// Consistency helper: allreduce a local checksum and assert every rank
 /// agrees bitwise (catches data races / mismatched collectives early).
-pub fn global_checksum(mpi: &mut MpiRank, world: &Comm, local: f64) -> f64 {
-    let sum = allreduce_scalars(mpi, world, ReduceOp::Sum, &[local])[0];
+pub async fn global_checksum(mpi: &mut MpiRank, world: &Comm, local: f64) -> f64 {
+    let sum = allreduce_scalars(mpi, world, ReduceOp::Sum, &[local]).await[0];
     // Bitwise agreement check: the max and min of the rank-local view of
     // the reduced value must match.
-    let max = allreduce_scalars(mpi, world, ReduceOp::Max, &[sum])[0];
-    let min = allreduce_scalars(mpi, world, ReduceOp::Min, &[sum])[0];
+    let max = allreduce_scalars(mpi, world, ReduceOp::Max, &[sum]).await[0];
+    let min = allreduce_scalars(mpi, world, ReduceOp::Min, &[sum]).await[0];
     assert_eq!(max.to_bits(), min.to_bits(), "non-deterministic reduction");
     sum
 }

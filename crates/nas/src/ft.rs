@@ -172,7 +172,7 @@ struct Slab {
 
 /// Transpose helper: exchange so that slabs along z become slabs along x.
 /// Layout after: ((x_local * ny + y) * nz + z) for x_local in my x-range.
-fn transpose_z_to_x(
+async fn transpose_z_to_x(
     mpi: &mut MpiRank,
     world: &Comm,
     s: &Slab,
@@ -200,8 +200,8 @@ fn transpose_z_to_x(
         }
         chunks.push(encode_slice(&flat));
     }
-    charge_flops(mpi, (nx * ny * nz_l) as f64 * 2.0);
-    let got = alltoallv_bytes(mpi, world, &chunks);
+    charge_flops(mpi, (nx * ny * nz_l) as f64 * 2.0).await;
+    let got = alltoallv_bytes(mpi, world, &chunks).await;
     // Reassemble: from src rank r we got (my x range, all y, r's z range).
     let nz = nz_l * p;
     let mut out = Slab {
@@ -223,13 +223,13 @@ fn transpose_z_to_x(
             }
         }
     }
-    charge_flops(mpi, (nx_l * ny * nz) as f64 * 2.0);
+    charge_flops(mpi, (nx_l * ny * nz) as f64 * 2.0).await;
     let _ = me;
     out
 }
 
 /// Inverse of [`transpose_z_to_x`].
-fn transpose_x_to_z(
+async fn transpose_x_to_z(
     mpi: &mut MpiRank,
     world: &Comm,
     s: &Slab,
@@ -255,8 +255,8 @@ fn transpose_x_to_z(
         }
         chunks.push(encode_slice(&flat));
     }
-    charge_flops(mpi, (nx_l * ny * nz) as f64 * 2.0);
-    let got = alltoallv_bytes(mpi, world, &chunks);
+    charge_flops(mpi, (nx_l * ny * nz) as f64 * 2.0).await;
+    let got = alltoallv_bytes(mpi, world, &chunks).await;
     let mut out = Slab {
         re: vec![0.0; nx * ny * nz_l],
         im: vec![0.0; nx * ny * nz_l],
@@ -276,12 +276,12 @@ fn transpose_x_to_z(
             }
         }
     }
-    charge_flops(mpi, (nx * ny * nz_l) as f64 * 2.0);
+    charge_flops(mpi, (nx * ny * nz_l) as f64 * 2.0).await;
     out
 }
 
 /// FFT over every x-line and y-line of a z-slab field.
-fn fft_xy(mpi: &mut MpiRank, s: &mut Slab, nx: usize, ny: usize, nz_l: usize, inverse: bool) {
+async fn fft_xy(mpi: &mut MpiRank, s: &mut Slab, nx: usize, ny: usize, nz_l: usize, inverse: bool) {
     // x lines are contiguous.
     for zy in 0..nz_l * ny {
         let a = zy * nx;
@@ -306,20 +306,20 @@ fn fft_xy(mpi: &mut MpiRank, s: &mut Slab, nx: usize, ny: usize, nz_l: usize, in
         }
     }
     let pts = (nx * ny * nz_l) as f64;
-    charge_flops(mpi, 5.0 * pts * ((nx as f64).log2() + (ny as f64).log2()));
+    charge_flops(mpi, 5.0 * pts * ((nx as f64).log2() + (ny as f64).log2())).await;
 }
 
 /// FFT over every z-line of an x-slab field (contiguous in that layout).
-fn fft_z(mpi: &mut MpiRank, s: &mut Slab, nx_l: usize, ny: usize, nz: usize, inverse: bool) {
+async fn fft_z(mpi: &mut MpiRank, s: &mut Slab, nx_l: usize, ny: usize, nz: usize, inverse: bool) {
     for xy in 0..nx_l * ny {
         let a = xy * nz;
         fft::fft_inplace(&mut s.re[a..a + nz], &mut s.im[a..a + nz], inverse);
     }
-    charge_flops(mpi, 5.0 * (nx_l * ny * nz) as f64 * (nz as f64).log2());
+    charge_flops(mpi, 5.0 * (nx_l * ny * nz) as f64 * (nz as f64).log2()).await;
 }
 
 /// Runs FT over the world communicator.
-pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
+pub async fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
     let cfg = FtConfig::for_class(class);
     let world = Comm::world(mpi);
     let p = world.size();
@@ -345,11 +345,11 @@ pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
     let orig_re = u.re.clone();
     let orig_im = u.im.clone();
 
-    let ((verified, local_ck), time) = timed(mpi, &world, |mpi| {
+    let ((verified, local_ck), time) = timed(mpi, &world, async |mpi| {
         // Forward 3D FFT.
-        fft_xy(mpi, &mut u, nx, ny, nz_l, false);
-        let mut spec = transpose_z_to_x(mpi, &world, &u, nx, ny, nz_l);
-        fft_z(mpi, &mut spec, nx_l, ny, nz, false);
+        fft_xy(mpi, &mut u, nx, ny, nz_l, false).await;
+        let mut spec = transpose_z_to_x(mpi, &world, &u, nx, ny, nz_l).await;
+        fft_z(mpi, &mut spec, nx_l, ny, nz, false).await;
 
         // Evolution iterations with per-iteration checksums (NPB style).
         let mut local_ck = 0.0f64;
@@ -369,7 +369,7 @@ pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
                     }
                 }
             }
-            charge_flops(mpi, (nx_l * ny * nz) as f64 * 8.0);
+            charge_flops(mpi, (nx_l * ny * nz) as f64 * 8.0).await;
             // Sampled checksum, NPB-style deterministic stride.
             let stride = (nx_l * ny * nz / 128).max(1);
             local_ck += spec.re.iter().step_by(stride).sum::<f64>()
@@ -377,9 +377,9 @@ pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
         }
 
         // Inverse transform: verifies the whole distributed pipeline.
-        fft_z(mpi, &mut spec, nx_l, ny, nz, true);
-        let mut back = transpose_x_to_z(mpi, &world, &spec, nx, ny, nz);
-        fft_xy(mpi, &mut back, nx, ny, nz_l, true);
+        fft_z(mpi, &mut spec, nx_l, ny, nz, true).await;
+        let mut back = transpose_x_to_z(mpi, &world, &spec, nx, ny, nz).await;
+        fft_xy(mpi, &mut back, nx, ny, nz_l, true).await;
 
         // Compare against an evolution applied directly in... the damping
         // makes an exact roundtrip impossible; with tiny tau the field
@@ -397,9 +397,10 @@ pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
         let kmax2 = 3.0 * (nx.max(ny).max(nz) as f64 / 2.0).powi(2);
         let bound = 1.0 - (-tau_total * kmax2).exp() + 1e-9;
         (max_err <= bound + 1e-6, local_ck)
-    });
+    })
+    .await;
 
-    let checksum = global_checksum(mpi, &world, local_ck);
+    let checksum = global_checksum(mpi, &world, local_ck).await;
     KernelOutput {
         name: Kernel::Ft.name(),
         verified,

@@ -48,7 +48,7 @@ impl IsConfig {
 }
 
 /// Runs IS over the world communicator.
-pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
+pub async fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
     let cfg = IsConfig::for_class(class);
     let world = Comm::world(mpi);
     let p = world.size();
@@ -61,7 +61,7 @@ pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
         .map(|_| rng.gen_range(0..max_key))
         .collect();
 
-    let (verified, time) = timed(mpi, &world, |mpi| {
+    let (verified, time) = timed(mpi, &world, async |mpi| {
         let mut owned: Vec<u32> = Vec::new();
         for it in 0..cfg.iters {
             // NPB IS perturbs two keys per iteration.
@@ -75,17 +75,17 @@ pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
             for &k in &keys {
                 buckets[(k / range) as usize % p].push(k);
             }
-            charge_flops(mpi, keys.len() as f64 * 4.0);
+            charge_flops(mpi, keys.len() as f64 * 4.0).await;
 
             // Bucket-size exchange (alltoall of counts), as in NPB IS.
             let counts: Vec<u64> = buckets.iter().map(|b| b.len() as u64).collect();
-            let _total_counts = allreduce_scalars(mpi, &world, ReduceOp::Sum, &counts);
+            let _total_counts = allreduce_scalars(mpi, &world, ReduceOp::Sum, &counts).await;
 
             // Key exchange.
             let payloads: Vec<Vec<u8>> = buckets.iter().map(|b| encode_slice(b)).collect();
-            let got = alltoallv_bytes(mpi, &world, &payloads);
+            let got = alltoallv_bytes(mpi, &world, &payloads).await;
             owned = got.iter().flat_map(|c| decode_slice::<u32>(c)).collect();
-            charge_flops(mpi, owned.len() as f64 * 2.0);
+            charge_flops(mpi, owned.len() as f64 * 2.0).await;
         }
 
         // Final: full local sort and distributed order verification.
@@ -93,7 +93,8 @@ pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
         charge_flops(
             mpi,
             owned.len() as f64 * (owned.len().max(2) as f64).log2() * 2.0,
-        );
+        )
+        .await;
 
         // 1. Every owned key is in my range.
         let lo = me as u32 * range;
@@ -104,7 +105,9 @@ pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
         let boundary_ok = if p > 1 {
             let right = world.world_rank((me + 1) % p);
             let left = world.world_rank((me + p - 1) % p);
-            let (_, data) = mpi.sendrecv(&encode_slice(&[my_max]), right, 77, Some(left), Some(77));
+            let (_, data) = mpi
+                .sendrecv(&encode_slice(&[my_max]), right, 77, Some(left), Some(77))
+                .await;
             let left_max = decode_slice::<u32>(&data)[0];
             // Wrap-around pair (last -> first) is exempt.
             me == 0 || owned.first().is_none_or(|&min| left_max <= min)
@@ -112,10 +115,11 @@ pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
             true
         };
         // 3. Global key conservation.
-        let total = allreduce_scalars(mpi, &world, ReduceOp::Sum, &[owned.len() as u64])[0];
+        let total = allreduce_scalars(mpi, &world, ReduceOp::Sum, &[owned.len() as u64]).await[0];
         let conserved = total as usize == cfg.keys_per_rank * p;
         in_range && boundary_ok && conserved
-    });
+    })
+    .await;
 
     // Checksum: position-weighted sum of a sample of owned keys, reduced.
     let local: f64 = keys
@@ -124,7 +128,7 @@ pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
         .enumerate()
         .map(|(i, &k)| (i + 1) as f64 * k as f64)
         .sum();
-    let checksum = global_checksum(mpi, &world, local);
+    let checksum = global_checksum(mpi, &world, local).await;
     KernelOutput {
         name: Kernel::Is.name(),
         verified,

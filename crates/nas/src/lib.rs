@@ -42,14 +42,14 @@ use mpib::MpiRank;
 
 /// Runs `kernel` at `class` on the calling rank; collective across the
 /// world. Returns per-rank output (identical checksums on every rank).
-pub fn run_kernel(mpi: &mut MpiRank, kernel: Kernel, class: NasClass) -> KernelOutput {
+pub async fn run_kernel(mpi: &mut MpiRank, kernel: Kernel, class: NasClass) -> KernelOutput {
     match kernel {
-        Kernel::Is => is::run(mpi, class),
-        Kernel::Ft => ft::run(mpi, class),
-        Kernel::Cg => cg::run(mpi, class),
-        Kernel::Mg => mg::run(mpi, class),
-        Kernel::Lu => lu::run(mpi, class),
-        Kernel::Bt => bt_sp::run(mpi, class, bt_sp::Variant::Bt),
-        Kernel::Sp => bt_sp::run(mpi, class, bt_sp::Variant::Sp),
+        Kernel::Is => is::run(mpi, class).await,
+        Kernel::Ft => ft::run(mpi, class).await,
+        Kernel::Cg => cg::run(mpi, class).await,
+        Kernel::Mg => mg::run(mpi, class).await,
+        Kernel::Lu => lu::run(mpi, class).await,
+        Kernel::Bt => bt_sp::run(mpi, class, bt_sp::Variant::Bt).await,
+        Kernel::Sp => bt_sp::run(mpi, class, bt_sp::Variant::Sp).await,
     }
 }

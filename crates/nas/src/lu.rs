@@ -100,7 +100,7 @@ fn init_value(gi: usize, gj: usize, gk: usize, n: usize) -> f64 {
 }
 
 /// Runs LU over the world communicator.
-pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
+pub async fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
     let cfg = LuConfig::for_class(class);
     let world = Comm::world(mpi);
     let p = world.size();
@@ -136,15 +136,16 @@ pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
     let north = (cy > 0).then(|| world.world_rank((cy - 1) * px + cx));
     let south = (cy + 1 < py).then(|| world.world_rank((cy + 1) * px + cx));
 
-    let (_, time) = timed(mpi, &world, |mpi| {
+    let (_, time) = timed(mpi, &world, async |mpi| {
         for _ in 0..cfg.iters {
-            lower_sweep(mpi, &mut loc, west, east, north, south);
-            upper_sweep(mpi, &mut loc, west, east, north, south);
+            lower_sweep(mpi, &mut loc, west, east, north, south).await;
+            upper_sweep(mpi, &mut loc, west, east, north, south).await;
         }
-    });
+    })
+    .await;
 
     let local_sum: f64 = loc.u.iter().sum();
-    let checksum = global_checksum(mpi, &world, local_sum);
+    let checksum = global_checksum(mpi, &world, local_sum).await;
     KernelOutput {
         name: Kernel::Lu.name(),
         verified: checksum.is_finite() && checksum != 0.0,
@@ -162,7 +163,7 @@ fn pencil_tag(sweep: u8, k: usize) -> i32 {
     ((sweep as i32) << 20) | k as i32
 }
 
-fn lower_sweep(
+async fn lower_sweep(
     mpi: &mut MpiRank,
     loc: &mut Local,
     west: Option<usize>,
@@ -176,10 +177,12 @@ fn lower_sweep(
     for k in 0..nz {
         // Receive the updated boundary pencils for this plane.
         if let Some(w) = west {
-            mpi.recv_scalars_into(&mut wbuf, Some(w), Some(pencil_tag(0, k)));
+            mpi.recv_scalars_into(&mut wbuf, Some(w), Some(pencil_tag(0, k)))
+                .await;
         }
         if let Some(nn) = north {
-            mpi.recv_scalars_into(&mut nbuf, Some(nn), Some(pencil_tag(1, k)));
+            mpi.recv_scalars_into(&mut nbuf, Some(nn), Some(pencil_tag(1, k)))
+                .await;
         }
         // Wavefront update within the plane (Gauss–Seidel order).
         for i in 0..nx_l {
@@ -203,26 +206,26 @@ fn lower_sweep(
                 loc.set(i, j, k, v);
             }
         }
-        charge_flops(mpi, (nx_l * ny_l) as f64 * flops_per_cell() * VARS as f64);
+        charge_flops(mpi, (nx_l * ny_l) as f64 * flops_per_cell() * VARS as f64).await;
         // Forward the updated boundary pencils.
         if let Some(e) = east {
             let mut buf = vec![0.0f64; ny_l * VARS];
             for j in 0..ny_l {
                 buf[j * VARS] = loc.at(nx_l - 1, j, k);
             }
-            mpi.send_scalars(&buf, e, pencil_tag(0, k));
+            mpi.send_scalars(&buf, e, pencil_tag(0, k)).await;
         }
         if let Some(s) = south {
             let mut buf = vec![0.0f64; nx_l * VARS];
             for i in 0..nx_l {
                 buf[i * VARS] = loc.at(i, ny_l - 1, k);
             }
-            mpi.send_scalars(&buf, s, pencil_tag(1, k));
+            mpi.send_scalars(&buf, s, pencil_tag(1, k)).await;
         }
     }
 }
 
-fn upper_sweep(
+async fn upper_sweep(
     mpi: &mut MpiRank,
     loc: &mut Local,
     west: Option<usize>,
@@ -236,10 +239,12 @@ fn upper_sweep(
     for kk in 0..nz {
         let k = nz - 1 - kk;
         if let Some(e) = east {
-            mpi.recv_scalars_into(&mut ebuf, Some(e), Some(pencil_tag(2, k)));
+            mpi.recv_scalars_into(&mut ebuf, Some(e), Some(pencil_tag(2, k)))
+                .await;
         }
         if let Some(s) = south {
-            mpi.recv_scalars_into(&mut sbuf, Some(s), Some(pencil_tag(3, k)));
+            mpi.recv_scalars_into(&mut sbuf, Some(s), Some(pencil_tag(3, k)))
+                .await;
         }
         for ii in 0..nx_l {
             let i = nx_l - 1 - ii;
@@ -264,20 +269,20 @@ fn upper_sweep(
                 loc.set(i, j, k, v);
             }
         }
-        charge_flops(mpi, (nx_l * ny_l) as f64 * flops_per_cell() * VARS as f64);
+        charge_flops(mpi, (nx_l * ny_l) as f64 * flops_per_cell() * VARS as f64).await;
         if let Some(w) = west {
             let mut buf = vec![0.0f64; ny_l * VARS];
             for j in 0..ny_l {
                 buf[j * VARS] = loc.at(0, j, k);
             }
-            mpi.send_scalars(&buf, w, pencil_tag(2, k));
+            mpi.send_scalars(&buf, w, pencil_tag(2, k)).await;
         }
         if let Some(nn) = north {
             let mut buf = vec![0.0f64; nx_l * VARS];
             for i in 0..nx_l {
                 buf[i * VARS] = loc.at(i, 0, k);
             }
-            mpi.send_scalars(&buf, nn, pencil_tag(3, k));
+            mpi.send_scalars(&buf, nn, pencil_tag(3, k)).await;
         }
     }
 }

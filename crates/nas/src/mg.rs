@@ -77,7 +77,7 @@ impl Level {
 
 /// Exchanges halo planes with the z neighbours (periodic ring, matching
 /// the NPB periodic boundary conditions).
-fn halo_exchange(mpi: &mut MpiRank, world: &Comm, lvl: &mut Level, tag: i32) {
+async fn halo_exchange(mpi: &mut MpiRank, world: &Comm, lvl: &mut Level, tag: i32) {
     let p = world.size();
     if p == 1 {
         // Periodic wrap within the local block.
@@ -99,17 +99,17 @@ fn halo_exchange(mpi: &mut MpiRank, world: &Comm, lvl: &mut Level, tag: i32) {
     let bottom = mpib::encode_slice(&lvl.plane(0));
     let s_up = mpi.isend(&top, up, tag);
     let s_down = mpi.isend(&bottom, down, tag + 1);
-    mpi.wait(s_up);
-    mpi.wait(s_down);
-    let (_, lower) = mpi.wait_recv(r_lower);
-    let (_, upper) = mpi.wait_recv(r_upper);
+    mpi.wait(s_up).await;
+    mpi.wait(s_down).await;
+    let (_, lower) = mpi.wait_recv(r_lower).await;
+    let (_, upper) = mpi.wait_recv(r_upper).await;
     lvl.set_plane(-1, &mpib::decode_slice::<f64>(&lower));
     lvl.set_plane(lvl.nz_l as isize, &mpib::decode_slice::<f64>(&upper));
 }
 
 /// One Jacobi smoothing sweep (7-point stencil, periodic in x/y).
-fn smooth(mpi: &mut MpiRank, world: &Comm, lvl: &mut Level, tag: i32) {
-    halo_exchange(mpi, world, lvl, tag);
+async fn smooth(mpi: &mut MpiRank, world: &Comm, lvl: &mut Level, tag: i32) {
+    halo_exchange(mpi, world, lvl, tag).await;
     let n = lvl.n;
     let mut new = vec![0.0f64; lvl.nz_l * n * n];
     for zl in 0..lvl.nz_l {
@@ -133,12 +133,12 @@ fn smooth(mpi: &mut MpiRank, world: &Comm, lvl: &mut Level, tag: i32) {
             }
         }
     }
-    charge_flops(mpi, (lvl.nz_l * n * n) as f64 * 8.0);
+    charge_flops(mpi, (lvl.nz_l * n * n) as f64 * 8.0).await;
 }
 
 /// Residual r = rhs - A u (for verification and restriction).
-fn residual(mpi: &mut MpiRank, world: &Comm, lvl: &mut Level, tag: i32) -> Vec<f64> {
-    halo_exchange(mpi, world, lvl, tag);
+async fn residual(mpi: &mut MpiRank, world: &Comm, lvl: &mut Level, tag: i32) -> Vec<f64> {
+    halo_exchange(mpi, world, lvl, tag).await;
     let n = lvl.n;
     let mut r = vec![0.0f64; lvl.nz_l * n * n];
     for zl in 0..lvl.nz_l {
@@ -155,18 +155,18 @@ fn residual(mpi: &mut MpiRank, world: &Comm, lvl: &mut Level, tag: i32) -> Vec<f
             }
         }
     }
-    charge_flops(mpi, (lvl.nz_l * n * n) as f64 * 9.0);
+    charge_flops(mpi, (lvl.nz_l * n * n) as f64 * 9.0).await;
     r
 }
 
-fn rnorm(mpi: &mut MpiRank, world: &Comm, r: &[f64]) -> f64 {
+async fn rnorm(mpi: &mut MpiRank, world: &Comm, r: &[f64]) -> f64 {
     let local: f64 = r.iter().map(|v| v * v).sum();
-    charge_flops(mpi, r.len() as f64 * 2.0);
-    allreduce_scalars(mpi, world, ReduceOp::Sum, &[local])[0].sqrt()
+    charge_flops(mpi, r.len() as f64 * 2.0).await;
+    allreduce_scalars(mpi, world, ReduceOp::Sum, &[local]).await[0].sqrt()
 }
 
 /// Runs MG over the world communicator.
-pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
+pub async fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
     let cfg = MgConfig::for_class(class);
     let world = Comm::world(mpi);
     let p = world.size();
@@ -189,33 +189,34 @@ pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
         }
     }
 
-    let (result, time) = timed(mpi, &world, |mpi| {
+    let (result, time) = timed(mpi, &world, async |mpi| {
         let r0 = {
-            let r = residual(mpi, &world, &mut top, 100);
-            rnorm(mpi, &world, &r)
+            let r = residual(mpi, &world, &mut top, 100).await;
+            rnorm(mpi, &world, &r).await
         };
         let mut tag = 200;
         for _ in 0..cfg.cycles {
-            vcycle(mpi, &world, &mut top, &mut tag);
+            vcycle(mpi, &world, &mut top, &mut tag).await;
             // NPB MG evaluates the residual norm every iteration
             // (norm2u3); the allreduce interleaves with the halo traffic.
-            let r = residual(mpi, &world, &mut top, tag);
+            let r = residual(mpi, &world, &mut top, tag).await;
             tag += 10;
-            let _ = rnorm(mpi, &world, &r);
+            let _ = rnorm(mpi, &world, &r).await;
         }
         let rn = {
-            let r = residual(mpi, &world, &mut top, 101);
-            rnorm(mpi, &world, &r)
+            let r = residual(mpi, &world, &mut top, 101).await;
+            rnorm(mpi, &world, &r).await
         };
         (r0, rn)
-    });
+    })
+    .await;
     let (r0, rn) = result;
     if std::env::var("MG_DEBUG").is_ok() && me == 0 {
         eprintln!("MG r0={r0:e} rn={rn:e} ratio={:e}", rn / r0);
     }
 
     let local: f64 = top.u.iter().sum();
-    let checksum = global_checksum(mpi, &world, local);
+    let checksum = global_checksum(mpi, &world, local).await;
     // Verified: V-cycles contracted the residual at a genuine multigrid
     // rate. With injection restriction and piecewise-constant
     // prolongation the asymptotic factor is ~0.3-0.5 per cycle; anything
@@ -232,13 +233,13 @@ pub fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
 /// One V-cycle on `lvl`, recursing while the local extent allows
 /// coarsening (the NPB code restricts participation on coarse grids; we
 /// cap the depth instead and smooth harder at the bottom).
-fn vcycle(mpi: &mut MpiRank, world: &Comm, lvl: &mut Level, tag: &mut i32) {
+async fn vcycle(mpi: &mut MpiRank, world: &Comm, lvl: &mut Level, tag: &mut i32) {
     let t = *tag;
     *tag += 10;
-    smooth(mpi, world, lvl, t);
-    smooth(mpi, world, lvl, t + 2);
+    smooth(mpi, world, lvl, t).await;
+    smooth(mpi, world, lvl, t + 2).await;
     if lvl.n >= 8 && lvl.nz_l >= 2 {
-        let r = residual(mpi, world, lvl, t + 4);
+        let r = residual(mpi, world, lvl, t + 4).await;
         // Restrict (injection averaging) to the half grid.
         let (n, nz_l) = (lvl.n, lvl.nz_l);
         let (cn, cnz) = (n / 2, nz_l / 2);
@@ -263,8 +264,8 @@ fn vcycle(mpi: &mut MpiRank, world: &Comm, lvl: &mut Level, tag: &mut i32) {
                 }
             }
         }
-        charge_flops(mpi, (cnz * cn * cn) as f64 * 9.0);
-        vcycle(mpi, world, &mut coarse, tag);
+        charge_flops(mpi, (cnz * cn * cn) as f64 * 9.0).await;
+        Box::pin(vcycle(mpi, world, &mut coarse, tag)).await;
         // Prolongate (piecewise-constant) and correct.
         for zl in 0..nz_l {
             for y in 0..n {
@@ -275,19 +276,19 @@ fn vcycle(mpi: &mut MpiRank, world: &Comm, lvl: &mut Level, tag: &mut i32) {
                 }
             }
         }
-        charge_flops(mpi, (nz_l * n * n) as f64 * 2.0);
+        charge_flops(mpi, (nz_l * n * n) as f64 * 2.0).await;
     } else if lvl.n >= 8 {
         // The z extent no longer divides over the ranks: gather the
         // residual problem onto every rank and finish the hierarchy with
         // a replicated sequential solve (the NPB code similarly restricts
         // participation on coarse grids). One allgather down, no traffic
         // below.
-        let r = residual(mpi, world, lvl, t + 4);
-        let full_r = gather_field(mpi, world, &r, lvl.n, lvl.nz_l);
-        charge_flops(mpi, (lvl.n * lvl.n * lvl.n) as f64 * 2.0);
+        let r = residual(mpi, world, lvl, t + 4).await;
+        let full_r = gather_field(mpi, world, &r, lvl.n, lvl.nz_l).await;
+        charge_flops(mpi, (lvl.n * lvl.n * lvl.n) as f64 * 2.0).await;
         let mut e = vec![0.0f64; full_r.len()];
         for _ in 0..2 {
-            seq_vcycle(mpi, lvl.n, &mut e, &full_r);
+            seq_vcycle(mpi, lvl.n, &mut e, &full_r).await;
         }
         let me = world.my_rank(mpi);
         let z0 = me * lvl.nz_l;
@@ -304,17 +305,23 @@ fn vcycle(mpi: &mut MpiRank, world: &Comm, lvl: &mut Level, tag: &mut i32) {
     } else {
         // Tiny grid: extra smoothing is enough.
         for s in 0..4 {
-            smooth(mpi, world, lvl, t + 6 + s);
+            smooth(mpi, world, lvl, t + 6 + s).await;
         }
     }
-    smooth(mpi, world, lvl, t + 102);
+    smooth(mpi, world, lvl, t + 102).await;
 }
 
 /// Allgathers a z-distributed field (`nz_l` planes of n×n per rank) into
 /// the full n³ array in global z order.
-fn gather_field(mpi: &mut MpiRank, world: &Comm, mine: &[f64], n: usize, nz_l: usize) -> Vec<f64> {
+async fn gather_field(
+    mpi: &mut MpiRank,
+    world: &Comm,
+    mine: &[f64],
+    n: usize,
+    nz_l: usize,
+) -> Vec<f64> {
     debug_assert_eq!(mine.len(), nz_l * n * n);
-    let chunks = mpib::collectives::allgather_bytes(mpi, world, &mpib::encode_slice(mine));
+    let chunks = mpib::collectives::allgather_bytes(mpi, world, &mpib::encode_slice(mine)).await;
     let mut full = Vec::with_capacity(n * n * world.size() * nz_l);
     for c in &chunks {
         full.extend(mpib::decode_slice::<f64>(c));
@@ -362,8 +369,8 @@ fn seq_residual(n: usize, nz: usize, u: &[f64], rhs: &[f64]) -> Vec<f64> {
 }
 
 /// Replicated V-cycle on the full cubic grid (periodic, edge n).
-fn seq_vcycle(mpi: &mut MpiRank, n: usize, u: &mut [f64], rhs: &[f64]) {
-    charge_flops(mpi, (n * n * n) as f64 * 30.0);
+async fn seq_vcycle(mpi: &mut MpiRank, n: usize, u: &mut [f64], rhs: &[f64]) {
+    charge_flops(mpi, (n * n * n) as f64 * 30.0).await;
     seq_smooth(n, n, u, rhs);
     seq_smooth(n, n, u, rhs);
     if n >= 8 {
@@ -386,7 +393,7 @@ fn seq_vcycle(mpi: &mut MpiRank, n: usize, u: &mut [f64], rhs: &[f64]) {
             }
         }
         let mut ce = vec![0.0f64; cn * cn * cn];
-        seq_vcycle(mpi, cn, &mut ce, &crhs);
+        Box::pin(seq_vcycle(mpi, cn, &mut ce, &crhs)).await;
         for z in 0..n {
             for y in 0..n {
                 for x in 0..n {

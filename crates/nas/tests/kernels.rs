@@ -6,8 +6,8 @@ use mpib::{FlowControlScheme, MpiConfig, MpiWorld};
 use nasbench::{common::Kernel, run_kernel, KernelOutput, NasClass};
 
 fn run_once(kernel: Kernel, procs: usize, cfg: MpiConfig) -> KernelOutput {
-    let out = MpiWorld::run(procs, cfg, FabricParams::mt23108(), move |mpi| {
-        run_kernel(mpi, kernel, NasClass::Test)
+    let out = MpiWorld::run(procs, cfg, FabricParams::mt23108(), async move |mpi| {
+        run_kernel(mpi, kernel, NasClass::Test).await
     })
     .unwrap_or_else(|e| panic!("{kernel:?} run failed: {e}"));
     // Every rank must agree on the checksum bitwise.
@@ -111,13 +111,13 @@ fn lu_is_the_ecm_outlier() {
     // asymmetric wavefront generates explicit credit messages while a
     // symmetric kernel (MG) generates almost none.
     let cfg = MpiConfig::scheme(FlowControlScheme::UserStatic, 16);
-    let lu = MpiWorld::run(8, cfg.clone(), FabricParams::mt23108(), |mpi| {
-        run_kernel(mpi, Kernel::Lu, NasClass::Test);
+    let lu = MpiWorld::run(8, cfg.clone(), FabricParams::mt23108(), async |mpi| {
+        run_kernel(mpi, Kernel::Lu, NasClass::Test).await;
         mpi.stats().total_ecm()
     })
     .unwrap();
-    let mg = MpiWorld::run(8, cfg, FabricParams::mt23108(), |mpi| {
-        run_kernel(mpi, Kernel::Mg, NasClass::Test);
+    let mg = MpiWorld::run(8, cfg, FabricParams::mt23108(), async |mpi| {
+        run_kernel(mpi, Kernel::Mg, NasClass::Test).await;
         mpi.stats().total_ecm()
     })
     .unwrap();
@@ -136,8 +136,8 @@ fn lu_grows_the_largest_dynamic_pool() {
     // LU's pool far beyond CG's.
     let cfg = MpiConfig::scheme(FlowControlScheme::UserDynamic, 1);
     let run = |kernel: Kernel| {
-        MpiWorld::run(8, cfg.clone(), FabricParams::mt23108(), move |mpi| {
-            run_kernel(mpi, kernel, NasClass::Test);
+        MpiWorld::run(8, cfg.clone(), FabricParams::mt23108(), async move |mpi| {
+            run_kernel(mpi, kernel, NasClass::Test).await;
         })
         .unwrap()
         .stats

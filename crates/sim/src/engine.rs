@@ -1,26 +1,29 @@
-//! The simulation kernel: event queue, scheduling context, baton routing.
+//! The simulation kernel: event queue, scheduling context, and the
+//! poll-loop executor that steps coroutine processes.
 //!
-//! Execution follows a *direct-handoff* model: whichever thread currently
-//! holds the baton (a process parking/advancing/finishing, or the kernel
-//! loop bootstrapping the run) takes the state lock, drains ready `Call`
-//! events, and routes the next `Resume` itself — back to itself (the
-//! self-resume fast path: no channel operations, no context switch), to a
-//! peer process (one direct channel send), or to the kernel thread, which
-//! is woken only for terminal conditions (queue empty, limits, panics) and
-//! retains sole responsibility for deadlock reporting, abort fan-out, and
-//! joins. Virtual-time order is fully determined by the `(time, seq)` event
-//! queue, so result bytes cannot depend on which thread drains events.
+//! Execution is single-threaded: [`Sim::run`] drains the `(time, seq)`
+//! event queue on the caller's thread, running `Call` closures inline and
+//! resuming processes by polling their state machines directly. A process
+//! is a stackless coroutine (an `async` body compiled to a resumable state
+//! machine by rustc), so "handing the baton" to any process — itself or a
+//! peer — is one heap pop plus one `Future::poll` call: no channels, no
+//! context switches, no OS threads. Virtual-time order is fully determined
+//! by the `(time, seq)` event queue, so result bytes cannot depend on how
+//! the poll loop interleaves the coroutines.
 
 use crate::error::{DeadlockInfo, SimError};
 use crate::event::{Entry, EventKind};
-use crate::process::{spawn_proc, KernelMsg, ProcCtx, ProcId, ProcSlot, ProcStatus, ResumeSignal};
+use crate::process::{ProcCtx, ProcId, ProcSlot, ProcStatus};
 use crate::time::{SimDuration, SimTime};
 use crate::waker::Waker;
+use std::cell::{RefCell, RefMut};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex, MutexGuard};
-use std::thread::JoinHandle;
+use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
 
 /// Limits and knobs for a simulation run.
 #[derive(Clone, Debug)]
@@ -40,17 +43,12 @@ impl Default for SimConfig {
     }
 }
 
-/// Scheduler state shared by the kernel loop, event closures, and processes.
+/// Scheduler state shared by the poll loop, event closures, and processes.
 pub(crate) struct Sched<W> {
     pub(crate) now: SimTime,
     seq: u64,
     queue: BinaryHeap<Reverse<Entry<W>>>,
     pub(crate) procs: Vec<ProcSlot>,
-    /// Resume channel per process, indexed by `ProcId`. Lives inside the
-    /// state (rather than being owned by the kernel) so the thread that
-    /// drains the queue — usually a yielding process — can hand the baton
-    /// directly to the next process without involving the kernel thread.
-    pub(crate) resume_txs: Vec<Sender<ResumeSignal>>,
     events_processed: u64,
 }
 
@@ -62,12 +60,9 @@ impl<W> Sched<W> {
         self.queue.push(Reverse(Entry { time, seq, kind }));
     }
 
-    /// Pops and runs ready `Call` events inline (one lock acquisition for a
-    /// whole run of closure events, including every same-timestamp batch),
-    /// stopping at the first event that ends this thread's turn: a process
-    /// handoff, an empty queue, or a configured limit. Any baton-holding
-    /// thread may drain — virtual-time order is fixed by the queue, so the
-    /// results cannot depend on who runs the closures.
+    /// Pops and runs ready `Call` events inline, stopping at the first
+    /// event that requires the executor: a process resume, an empty queue,
+    /// or a configured limit.
     fn drain_calls(&mut self, world: &mut W, config: &SimConfig) -> KernelStep {
         loop {
             match self.queue.pop() {
@@ -93,7 +88,7 @@ impl<W> Sched<W> {
                                 continue; // stale resume for a finished process
                             }
                             slot.status = ProcStatus::Running;
-                            return KernelStep::Handoff(p, entry.time);
+                            return KernelStep::Handoff(p);
                         }
                     }
                 }
@@ -113,92 +108,39 @@ impl<W> Sched<W> {
     }
 
     /// Clears any pending-resume marker for `proc` (used by
-    /// `ProcCtx::advance`, which must schedule its own wake even if a waker
-    /// fired during the process's current slice).
+    /// [`ProcCtx::advance`], which must schedule its own wake even if a
+    /// waker fired during the process's current slice).
     pub(crate) fn clear_resume_pending(&mut self, proc_id: ProcId) {
         self.procs[proc_id.0].resume_pending = false;
-    }
-
-    /// Drains ready events and routes the baton, all under the state lock
-    /// the caller already holds. `me` identifies the calling process
-    /// (`None` for the kernel loop) so a resume targeting the caller is
-    /// classified as [`Routed::SelfResume`] instead of being sent. A peer
-    /// resume is sent *while the lock is held*, which is safe — channel
-    /// sends never block and the peer cannot act before receiving the
-    /// baton — and keeps routing a single critical section.
-    pub(crate) fn route_baton(
-        &mut self,
-        world: &mut W,
-        config: &SimConfig,
-        me: Option<ProcId>,
-    ) -> Routed {
-        match self.drain_calls(world, config) {
-            KernelStep::Handoff(p, t) => {
-                if me == Some(p) {
-                    Routed::SelfResume(t)
-                } else if self.resume_txs[p.0].send(ResumeSignal::Go(t)).is_ok() {
-                    Routed::BatonSent(p)
-                } else {
-                    Routed::PeerDied(p)
-                }
-            }
-            KernelStep::QueueEmpty => Routed::Terminal(KernelMsg::QueueEmpty),
-            KernelStep::EventLimit(events, at) => {
-                Routed::Terminal(KernelMsg::EventLimit { events, at })
-            }
-            KernelStep::TimeLimit(at) => Routed::Terminal(KernelMsg::TimeLimit { at }),
-        }
     }
 }
 
 /// What [`Sched::drain_calls`] stopped on; everything except `Handoff`
-/// is a terminal condition that only the kernel thread may resolve.
+/// is a terminal condition the executor resolves into a run result.
 enum KernelStep {
-    Handoff(ProcId, SimTime),
+    Handoff(ProcId),
     QueueEmpty,
     EventLimit(u64, SimTime),
     TimeLimit(SimTime),
 }
 
-/// Outcome of [`Sched::route_baton`]: what the thread that drained the
-/// queue must do next.
-pub(crate) enum Routed {
-    /// The next resume targets the caller itself: update the local clock
-    /// and keep running. Zero channel operations, zero context switches.
-    SelfResume(SimTime),
-    /// The baton was delivered to this (other) process's resume channel;
-    /// the caller must stop running (park or exit).
-    BatonSent(ProcId),
-    /// The target process's resume channel is closed — its thread died
-    /// without yielding. The caller must report it to the kernel.
-    PeerDied(ProcId),
-    /// A terminal condition; the caller must forward it to the kernel
-    /// thread, which resolves the run.
-    Terminal(KernelMsg),
-}
-
-/// The full world + scheduler state guarded by one mutex; only one context
-/// (the kernel loop or one process) ever holds it at a time.
+/// The full world + scheduler state behind one `RefCell`; borrowed briefly
+/// by the poll loop to drain events and by processes inside `with` blocks,
+/// never across a coroutine suspension point.
 pub(crate) struct State<W> {
     pub(crate) world: W,
     pub(crate) sched: Sched<W>,
 }
 
 pub(crate) struct Shared<W> {
-    pub(crate) state: Mutex<State<W>>,
-    /// Run limits; read-only after construction, so it lives outside the
-    /// mutex and is readable by every baton-holding thread during a drain.
+    pub(crate) state: RefCell<State<W>>,
+    /// Run limits; read-only after construction.
     pub(crate) config: SimConfig,
 }
 
 impl<W> Shared<W> {
-    /// Locks the state, recovering from poisoning: a process panicking
-    /// inside a `with` block poisons the mutex, but the kernel still needs
-    /// the state to report the panic and tear the run down.
-    pub(crate) fn lock(&self) -> MutexGuard<'_, State<W>> {
-        self.state
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    pub(crate) fn lock(&self) -> RefMut<'_, State<W>> {
+        self.state.borrow_mut()
     }
 }
 
@@ -219,7 +161,7 @@ impl<W> Ctx<'_, W> {
 
     /// Schedule `f` to run against the world at absolute time `time`
     /// (must not be in the past).
-    pub fn schedule_at(&mut self, time: SimTime, f: impl FnOnce(&mut Ctx<'_, W>) + Send + 'static) {
+    pub fn schedule_at(&mut self, time: SimTime, f: impl FnOnce(&mut Ctx<'_, W>) + 'static) {
         self.sched.push(time, EventKind::Call(Box::new(f)));
     }
 
@@ -227,7 +169,7 @@ impl<W> Ctx<'_, W> {
     pub fn schedule_after(
         &mut self,
         delay: SimDuration,
-        f: impl FnOnce(&mut Ctx<'_, W>) + Send + 'static,
+        f: impl FnOnce(&mut Ctx<'_, W>) + 'static,
     ) {
         let t = self.sched.now + delay;
         self.schedule_at(t, f);
@@ -260,49 +202,43 @@ impl<W> Ctx<'_, W> {
 pub struct RunReport {
     /// Virtual time when the last event was processed.
     pub end_time: SimTime,
-    /// Total events processed by the kernel loop.
+    /// Total events processed by the poll loop.
     pub events_processed: u64,
     /// Number of processes that ran to completion.
     pub procs_finished: usize,
 }
 
+/// A process coroutine: the pinned state machine the executor polls.
+type Task = Pin<Box<dyn Future<Output = ()>>>;
+
 /// A deterministic discrete-event simulation over a world `W`.
 ///
 /// See the [crate docs](crate) for the execution model.
-pub struct Sim<W: Send + 'static> {
-    shared: Arc<Shared<W>>,
-    handles: Vec<JoinHandle<()>>,
-    /// Terminal-condition channel: processes report queue-empty, limits,
-    /// and panics here. The per-handoff park/resume bookkeeping that used
-    /// to flow through this channel is now done by the yielding process
-    /// itself under the state lock, so the kernel thread sleeps on this
-    /// receiver for the whole steady state of a run.
-    yield_rx: Receiver<KernelMsg>,
-    yield_tx: Sender<KernelMsg>,
+pub struct Sim<W: 'static> {
+    shared: Rc<Shared<W>>,
+    /// One slot per process, indexed by `ProcId`. `None` while the task is
+    /// checked out for polling or after it completed/panicked.
+    tasks: Vec<Option<Task>>,
 }
 
-impl<W: Send + 'static> Sim<W> {
+impl<W: 'static> Sim<W> {
     /// Creates a simulation owning `world`.
     pub fn new(world: W, config: SimConfig) -> Self {
-        let (yield_tx, yield_rx) = channel();
         Sim {
-            shared: Arc::new(Shared {
-                state: Mutex::new(State {
+            shared: Rc::new(Shared {
+                state: RefCell::new(State {
                     world,
                     sched: Sched {
                         now: SimTime::ZERO,
                         seq: 0,
                         queue: BinaryHeap::new(),
                         procs: Vec::new(),
-                        resume_txs: Vec::new(),
                         events_processed: 0,
                     },
                 }),
                 config,
             }),
-            handles: Vec::new(),
-            yield_rx,
-            yield_tx,
+            tasks: Vec::new(),
         }
     }
 
@@ -313,16 +249,17 @@ impl<W: Send + 'static> Sim<W> {
         f(&mut Ctx { world, sched })
     }
 
-    /// Spawns a simulated process. The closure runs on its own OS thread,
-    /// interleaved deterministically with other processes; it starts at
-    /// virtual time zero (or at the instant `run` reaches its first resume).
-    pub fn spawn(
-        &mut self,
-        name: impl Into<String>,
-        body: impl FnOnce(ProcCtx<W>) + Send + 'static,
-    ) -> ProcId {
+    /// Spawns a simulated process. `body` receives the process handle and
+    /// returns its coroutine — an `async move` block whose suspension
+    /// points ([`ProcCtx::park`], [`ProcCtx::advance`]) are where the
+    /// executor interleaves it with other processes. It starts at virtual
+    /// time zero (or at the instant `run` reaches its first resume).
+    pub fn spawn<F, Fut>(&mut self, name: impl Into<String>, body: F) -> ProcId
+    where
+        F: FnOnce(ProcCtx<W>) -> Fut,
+        Fut: Future<Output = ()> + 'static,
+    {
         let name = name.into();
-        let (resume_tx, resume_rx) = channel::<ResumeSignal>();
         let id = {
             let mut st = self.shared.lock();
             let id = ProcId(st.sched.procs.len());
@@ -332,117 +269,77 @@ impl<W: Send + 'static> Sim<W> {
                 resume_pending: true,
                 park_note: "not yet started",
             });
-            st.sched.resume_txs.push(resume_tx);
-            debug_assert_eq!(st.sched.procs.len(), st.sched.resume_txs.len());
             let t = st.sched.now;
             st.sched.push(t, EventKind::Resume(id));
             id
         };
-        let ctx = ProcCtx::new(
-            id,
-            name,
-            Arc::clone(&self.shared),
-            resume_rx,
-            self.yield_tx.clone(),
-        );
-        self.handles.push(spawn_proc(ctx, body));
+        let ctx = ProcCtx::new(id, name, Rc::clone(&self.shared));
+        self.tasks.push(Some(Box::pin(body(ctx))));
+        debug_assert_eq!(self.tasks.len(), self.shared.lock().sched.procs.len());
         id
     }
 
     /// Runs the event loop until every process finished and the queue is
-    /// empty, or a limit/deadlock/panic stops it.
+    /// empty, or a limit/deadlock/panic stops it. All processes are
+    /// stepped on the calling thread.
     pub fn run(&mut self) -> Result<RunReport, SimError> {
-        let result = self.event_loop();
-        // On failure, unpark every live process with an abort signal so the
-        // threads exit, then join them all.
-        if result.is_err() {
-            let st = self.shared.lock();
-            for (slot, tx) in st.sched.procs.iter().zip(&st.sched.resume_txs) {
-                if !matches!(slot.status, ProcStatus::Done) {
-                    // Ignore send errors: the thread may have panicked already.
-                    let _ = tx.send(ResumeSignal::Abort);
+        let mut cx = Context::from_waker(std::task::Waker::noop());
+        loop {
+            let step = {
+                let mut st = self.shared.lock();
+                let State { world, sched } = &mut *st;
+                sched.drain_calls(world, &self.shared.config)
+            };
+            match step {
+                KernelStep::Handoff(p) => {
+                    // The borrow is released: polling re-enters the state
+                    // through `ProcCtx::with` from inside the coroutine.
+                    let mut task = match self.tasks[p.0].take() {
+                        Some(t) => t,
+                        // A task can only be absent if a previous `run`
+                        // errored out mid-poll; treat the stale resume
+                        // like one for a finished process.
+                        None => continue,
+                    };
+                    match catch_unwind(AssertUnwindSafe(|| task.as_mut().poll(&mut cx))) {
+                        Ok(Poll::Pending) => self.tasks[p.0] = Some(task),
+                        Ok(Poll::Ready(())) => {
+                            self.shared.lock().sched.procs[p.0].status = ProcStatus::Done;
+                        }
+                        Err(payload) => {
+                            return Err(SimError::ProcPanicked {
+                                name: self.proc_name(p),
+                                message: panic_message(&*payload),
+                            });
+                        }
+                    }
                 }
-            }
-        }
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
-        result
-    }
-
-    /// The kernel's share of a run: bootstrap the baton into the process
-    /// graph, then sleep until a terminal condition comes back. All
-    /// steady-state scheduling — event draining and process-to-process
-    /// handoffs — happens on the process threads themselves.
-    fn event_loop(&mut self) -> Result<RunReport, SimError> {
-        let routed = {
-            let mut st = self.shared.lock();
-            let State { world, sched } = &mut *st;
-            sched.route_baton(world, &self.shared.config, None)
-        };
-        let msg = match routed {
-            Routed::BatonSent(first) => match self.yield_rx.recv() {
-                Ok(m) => m,
-                // Unreachable in practice: `self.yield_tx` keeps the channel
-                // open for the lifetime of the `Sim`.
-                Err(_) => KernelMsg::Panicked {
-                    proc_id: first,
-                    message: "process channel closed".into(),
-                },
-            },
-            Routed::PeerDied(p) => KernelMsg::Panicked {
-                proc_id: p,
-                message: "process thread exited unexpectedly".into(),
-            },
-            Routed::Terminal(m) => m,
-            Routed::SelfResume(_) => {
-                // Unreachable: `me` is `None` for the kernel, so the router
-                // can never classify a handoff as a self-resume here. Fail
-                // the run loudly rather than panicking or hanging.
-                debug_assert!(false, "baton routed to the kernel loop itself");
-                KernelMsg::Panicked {
-                    proc_id: ProcId(usize::MAX),
-                    message: "baton routed to the kernel loop".into(),
+                KernelStep::QueueEmpty => {
+                    let st = self.shared.lock();
+                    let parked: Vec<(String, String)> = st
+                        .sched
+                        .procs
+                        .iter()
+                        .filter(|p| !matches!(p.status, ProcStatus::Done))
+                        .map(|p| (p.name.clone(), p.park_note.to_string()))
+                        .collect();
+                    if parked.is_empty() {
+                        return Ok(RunReport {
+                            end_time: st.sched.now,
+                            events_processed: st.sched.events_processed,
+                            procs_finished: st.sched.procs.len(),
+                        });
+                    }
+                    return Err(SimError::Deadlock(DeadlockInfo {
+                        at: st.sched.now,
+                        parked,
+                    }));
                 }
-            }
-        };
-        self.resolve_terminal(msg)
-    }
-
-    /// Turns the single terminal message of a run into its result. Only
-    /// the kernel thread resolves terminal conditions; the sender is
-    /// parked (or exited), so the state is quiescent under the lock here.
-    fn resolve_terminal(&self, msg: KernelMsg) -> Result<RunReport, SimError> {
-        match msg {
-            KernelMsg::QueueEmpty => {
-                let st = self.shared.lock();
-                let parked: Vec<(String, String)> = st
-                    .sched
-                    .procs
-                    .iter()
-                    .filter(|p| !matches!(p.status, ProcStatus::Done))
-                    .map(|p| (p.name.clone(), p.park_note.to_string()))
-                    .collect();
-                if parked.is_empty() {
-                    return Ok(RunReport {
-                        end_time: st.sched.now,
-                        events_processed: st.sched.events_processed,
-                        procs_finished: st.sched.procs.len(),
-                    });
+                KernelStep::EventLimit(events, at) => {
+                    return Err(SimError::EventLimitExceeded { events, at });
                 }
-                Err(SimError::Deadlock(DeadlockInfo {
-                    at: st.sched.now,
-                    parked,
-                }))
+                KernelStep::TimeLimit(at) => return Err(SimError::TimeLimitExceeded { at }),
             }
-            KernelMsg::EventLimit { events, at } => {
-                Err(SimError::EventLimitExceeded { events, at })
-            }
-            KernelMsg::TimeLimit { at } => Err(SimError::TimeLimitExceeded { at }),
-            KernelMsg::Panicked { proc_id, message } => Err(SimError::ProcPanicked {
-                name: self.proc_name(proc_id),
-                message,
-            }),
         }
     }
 
@@ -458,27 +355,26 @@ impl<W: Send + 'static> Sim<W> {
     /// Consumes the simulation and returns the world (for post-run
     /// inspection of statistics).
     pub fn into_world(self) -> W {
-        // All threads were joined by `run`; if `run` was never called the
-        // spawned threads are still blocked on their first resume, so drop
-        // their channels first by aborting them.
-        {
-            let st = self.shared.lock();
-            for (slot, tx) in st.sched.procs.iter().zip(&st.sched.resume_txs) {
-                if !matches!(slot.status, ProcStatus::Done) {
-                    let _ = tx.send(ResumeSignal::Abort);
-                }
-            }
-        }
-        for h in self.handles {
-            let _ = h.join();
-        }
-        Arc::try_unwrap(self.shared)
-            // simlint: allow(no-panic-in-lib): every process thread was joined above, so the Arc must be unique; a leak here is unrecoverable
+        // Suspended coroutines hold `Rc` clones of the shared state;
+        // dropping them (their destructors run right here, on this thread)
+        // releases every outstanding reference.
+        drop(self.tasks);
+        Rc::try_unwrap(self.shared)
+            // simlint: allow(no-panic-in-lib): every process coroutine was just dropped, so the Rc must be unique; a leak here is unrecoverable
             .unwrap_or_else(|_| panic!("outstanding references to simulation state"))
             .state
             .into_inner()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .world
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -516,9 +412,9 @@ mod tests {
     #[test]
     fn process_advances_time() {
         let mut sim: Sim<u64> = Sim::new(0, SimConfig::default());
-        sim.spawn("p", |mut p| {
-            p.advance(SimDuration::micros(1));
-            p.advance(SimDuration::micros(2));
+        sim.spawn("p", |mut p| async move {
+            p.advance(SimDuration::micros(1)).await;
+            p.advance(SimDuration::micros(2)).await;
             p.with(|ctx| *ctx.world = ctx.now().as_nanos());
         });
         let report = sim.run().unwrap();
@@ -530,9 +426,9 @@ mod tests {
     fn two_processes_interleave_deterministically() {
         let mut sim: Sim<Vec<(usize, u64)>> = Sim::new(Vec::new(), SimConfig::default());
         for id in 0..2usize {
-            sim.spawn(format!("p{id}"), move |mut p| {
+            sim.spawn(format!("p{id}"), move |mut p| async move {
                 for step in 0..3u64 {
-                    p.advance(SimDuration::nanos(10 + id as u64));
+                    p.advance(SimDuration::nanos(10 + id as u64)).await;
                     p.with(|ctx| {
                         let t = ctx.now().as_nanos();
                         ctx.world.push((id, t));
@@ -575,7 +471,7 @@ mod tests {
                 }
             });
         });
-        sim.spawn("waiter", |mut p| {
+        sim.spawn("waiter", |mut p| async move {
             let waker = p.waker();
             loop {
                 let ready = p.with(|ctx| {
@@ -589,7 +485,7 @@ mod tests {
                 if ready {
                     break;
                 }
-                p.park("waiting for flag");
+                p.park("waiting for flag").await;
             }
             p.with(|ctx| ctx.world.observed_at = ctx.now().as_nanos());
         });
@@ -600,8 +496,8 @@ mod tests {
     #[test]
     fn deadlock_is_detected_and_reported() {
         let mut sim: Sim<()> = Sim::new((), SimConfig::default());
-        sim.spawn("stuck", |mut p| {
-            p.park("waiting for a message that never comes");
+        sim.spawn("stuck", |mut p| async move {
+            p.park("waiting for a message that never comes").await;
         });
         match sim.run() {
             Err(SimError::Deadlock(info)) => {
@@ -616,7 +512,7 @@ mod tests {
     #[test]
     fn process_panic_is_reported() {
         let mut sim: Sim<()> = Sim::new((), SimConfig::default());
-        sim.spawn("bug", |_p| panic!("intentional test panic"));
+        sim.spawn("bug", |_p| async move { panic!("intentional test panic") });
         match sim.run() {
             Err(SimError::ProcPanicked { name, message }) => {
                 assert_eq!(name, "bug");
@@ -658,31 +554,31 @@ mod tests {
                 ..Default::default()
             },
         );
-        sim.spawn("slow", |mut p| {
-            p.advance(SimDuration::nanos(200));
+        sim.spawn("slow", |mut p| async move {
+            p.advance(SimDuration::nanos(200)).await;
         });
         assert!(matches!(sim.run(), Err(SimError::TimeLimitExceeded { .. })));
     }
 
     #[test]
     fn spawned_after_run_does_not_hang_into_world() {
-        // `into_world` without `run` must abort parked threads cleanly.
+        // `into_world` without `run` must drop suspended coroutines cleanly.
         let mut sim: Sim<u32> = Sim::new(7, SimConfig::default());
-        sim.spawn("never-ran", |mut p| {
-            p.advance(SimDuration::nanos(1));
+        sim.spawn("never-ran", |mut p| async move {
+            p.advance(SimDuration::nanos(1)).await;
         });
         assert_eq!(sim.into_world(), 7);
     }
 
     #[test]
-    fn into_world_without_run_aborts_many_procs_cleanly() {
-        // Same as above, but with enough processes that a missed abort
-        // would leave a thread holding an `Arc` and fail the unwrap.
+    fn into_world_without_run_drops_many_procs_cleanly() {
+        // Same as above, but with enough processes that a leaked coroutine
+        // would keep an `Rc` alive and fail the unwrap.
         let mut sim: Sim<u32> = Sim::new(3, SimConfig::default());
         for i in 0..8 {
-            sim.spawn(format!("idle{i}"), |mut p| {
-                p.advance(SimDuration::nanos(1));
-                p.park("never woken");
+            sim.spawn(format!("idle{i}"), |mut p| async move {
+                p.advance(SimDuration::nanos(1)).await;
+                p.park("never woken").await;
             });
         }
         assert_eq!(sim.into_world(), 3);
@@ -690,14 +586,16 @@ mod tests {
 
     #[test]
     fn panic_while_holding_baton_mid_handoff_is_reported() {
-        // "parked" yields first and hands the baton *directly* to "bomb",
-        // which panics while holding it. The panic must surface as
-        // `ProcPanicked` (the kernel thread is asleep at that moment, so a
-        // lost message would hang the run instead).
+        // "parked" yields first and the executor resumes "bomb", which
+        // panics mid-step. The panic must surface as `ProcPanicked` with
+        // the panicking process's name attached.
         let mut sim: Sim<()> = Sim::new((), SimConfig::default());
-        sim.spawn("parked", |mut p| p.park("waiting forever"));
-        sim.spawn("bomb", |mut p| {
-            p.advance(SimDuration::nanos(1));
+        sim.spawn(
+            "parked",
+            |mut p| async move { p.park("waiting forever").await },
+        );
+        sim.spawn("bomb", |mut p| async move {
+            p.advance(SimDuration::nanos(1)).await;
             panic!("boom in direct handoff");
         });
         match sim.run() {
@@ -713,16 +611,19 @@ mod tests {
     fn deadlock_reports_every_parked_process_with_note() {
         // When the *last runnable* process parks and the queue drains, the
         // deadlock report must cover all parked processes with the notes
-        // they recorded themselves (no kernel-side bookkeeping remains).
+        // they recorded themselves.
         let mut sim: Sim<()> = Sim::new((), SimConfig::default());
-        sim.spawn("alice", |mut p| p.park("waiting for bob"));
-        sim.spawn("bob", |mut p| {
-            p.advance(SimDuration::nanos(5));
-            p.park("waiting for alice");
+        sim.spawn(
+            "alice",
+            |mut p| async move { p.park("waiting for bob").await },
+        );
+        sim.spawn("bob", |mut p| async move {
+            p.advance(SimDuration::nanos(5)).await;
+            p.park("waiting for alice").await;
         });
-        sim.spawn("carol", |mut p| {
-            p.advance(SimDuration::nanos(9));
-            p.park("waiting for the fabric");
+        sim.spawn("carol", |mut p| async move {
+            p.advance(SimDuration::nanos(9)).await;
+            p.park("waiting for the fabric").await;
         });
         match sim.run() {
             Err(SimError::Deadlock(info)) => {
@@ -742,17 +643,16 @@ mod tests {
 
     #[test]
     fn finishing_process_hands_baton_to_peer() {
-        // "short" finishes while "long" still has work: the exiting thread
-        // must route the baton straight to "long" (the kernel only hears
-        // the final queue-empty).
+        // "short" finishes while "long" still has work: the executor must
+        // keep stepping "long" to completion.
         let mut sim: Sim<Vec<&'static str>> = Sim::new(Vec::new(), SimConfig::default());
-        sim.spawn("short", |mut p| {
-            p.advance(SimDuration::nanos(1));
+        sim.spawn("short", |mut p| async move {
+            p.advance(SimDuration::nanos(1)).await;
             p.with(|ctx| ctx.world.push("short"));
         });
-        sim.spawn("long", |mut p| {
-            p.advance(SimDuration::nanos(2));
-            p.advance(SimDuration::nanos(10));
+        sim.spawn("long", |mut p| async move {
+            p.advance(SimDuration::nanos(2)).await;
+            p.advance(SimDuration::nanos(10)).await;
             p.with(|ctx| ctx.world.push("long"));
         });
         let report = sim.run().unwrap();
@@ -765,13 +665,37 @@ mod tests {
     fn many_processes_complete() {
         let mut sim: Sim<u64> = Sim::new(0, SimConfig::default());
         for i in 0..32u64 {
-            sim.spawn(format!("p{i}"), move |mut p| {
-                p.advance(SimDuration::nanos(i + 1));
+            sim.spawn(format!("p{i}"), move |mut p| async move {
+                p.advance(SimDuration::nanos(i + 1)).await;
                 p.with(|ctx| *ctx.world += 1);
             });
         }
         let report = sim.run().unwrap();
         assert_eq!(report.procs_finished, 32);
         assert_eq!(sim.into_world(), 32);
+    }
+
+    #[test]
+    fn hundreds_of_ranks_on_one_thread() {
+        // The point of the coroutine runtime: a wide world needs no OS
+        // threads at all. Every process records the thread it ran on; all
+        // must equal the thread driving `run`.
+        let runner = std::thread::current().id();
+        let mut sim: Sim<(u64, bool)> = Sim::new((0, true), SimConfig::default());
+        for i in 0..256u64 {
+            sim.spawn(format!("p{i}"), move |mut p| async move {
+                p.advance(SimDuration::nanos(i % 7 + 1)).await;
+                let same = std::thread::current().id() == runner;
+                p.with(|ctx| {
+                    ctx.world.0 += 1;
+                    ctx.world.1 &= same;
+                });
+            });
+        }
+        let report = sim.run().unwrap();
+        assert_eq!(report.procs_finished, 256);
+        let (count, all_on_runner) = sim.into_world();
+        assert_eq!(count, 256);
+        assert!(all_on_runner, "a coroutine ran off the executor thread");
     }
 }

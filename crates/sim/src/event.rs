@@ -5,17 +5,15 @@ use crate::process::ProcId;
 use crate::time::SimTime;
 use std::cmp::Ordering;
 
-/// A scheduled world mutation.
-pub(crate) type EventFn<W> = Box<dyn FnOnce(&mut Ctx<'_, W>) + Send>;
+/// A scheduled world mutation. Everything runs on the executor thread, so
+/// event closures need not be `Send`.
+pub(crate) type EventFn<W> = Box<dyn FnOnce(&mut Ctx<'_, W>)>;
 
 pub(crate) enum EventKind<W> {
-    /// Run a closure against the world. Executed inline by whichever
-    /// thread is draining the queue — a yielding process or the kernel
-    /// loop; `(time, seq)` ordering makes the results identical either way.
+    /// Run a closure against the world, inline in the poll loop's drain;
+    /// `(time, seq)` ordering alone fixes the results.
     Call(EventFn<W>),
-    /// Hand the baton to a parked process. Routed by the draining thread
-    /// itself: back to that thread (self-resume) or via a direct send to
-    /// the target process's resume channel.
+    /// Resume a parked process: the poll loop polls its coroutine once.
     Resume(ProcId),
 }
 

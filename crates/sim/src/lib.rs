@@ -1,11 +1,14 @@
 //! `ibsim` — a deterministic discrete-event simulation (DES) engine whose
-//! simulated processes are ordinary OS threads.
+//! simulated processes are stackless coroutines multiplexed on one thread.
 //!
 //! The engine was built as the substrate for reproducing *"Implementing
 //! Efficient and Scalable Flow Control Schemes in MPI over InfiniBand"*
-//! (Liu & Panda, IPDPS 2004): MPI ranks run as threads written in a natural
-//! blocking style, while the network fabric is modelled with closure events
-//! on a virtual clock.
+//! (Liu & Panda, IPDPS 2004): MPI ranks are written in a natural blocking
+//! style as `async` bodies — rustc compiles each into a resumable state
+//! machine — while the network fabric is modelled with closure events on a
+//! virtual clock. There is no async runtime: a hand-rolled poll loop
+//! ([`Sim::run`]) drives everything, so the workspace stays hermetic and
+//! zero-dependency, and a world of hundreds of ranks costs zero OS threads.
 //!
 //! # Model
 //!
@@ -14,18 +17,17 @@
 //! * **The world** is a user-supplied state type `W` (e.g. an InfiniBand
 //!   fabric). Events are boxed closures receiving [`Ctx<W>`], which exposes
 //!   the world, the clock, and scheduling operations.
-//! * **Processes** ([`Sim::spawn`]) are OS threads coordinated by a
-//!   strict-alternation baton: at any instant either the kernel loop or
-//!   exactly one process runs. Processes interact with the world through
-//!   [`ProcCtx`], block on [`Waker`] tokens, and advance time explicitly.
-//! * **Direct handoff**: the baton travels process-to-process. A yielding
-//!   process drains ready events and routes the next resume itself — back
-//!   to itself without any channel operation (the solo-runnable fast
-//!   path), or straight to the next process's resume channel. The kernel
-//!   thread only bootstraps the run and resolves terminal conditions
-//!   (queue empty, deadlock, limits, panics). Who drains an event never
-//!   affects results: virtual-time order is fixed by the `(time, seq)`
-//!   queue alone.
+//! * **Processes** ([`Sim::spawn`]) are coroutines: each `spawn` stores the
+//!   body's `async` state machine, and the poll loop steps exactly one at a
+//!   time. Processes interact with the world through [`ProcCtx`], suspend
+//!   on [`Waker`] tokens, and advance time explicitly. Suspension points
+//!   are only ever [`ProcCtx::park`] and [`ProcCtx::advance`] awaits.
+//! * **Uniform handoff**: the poll loop pops the next `(time, seq)` event
+//!   and either runs a closure inline or polls the target coroutine —
+//!   whether that target is the process that just yielded (self-resume) or
+//!   a peer makes no difference in cost: one heap pop plus one poll. Which
+//!   coroutine runs when never affects results: virtual-time order is
+//!   fixed by the `(time, seq)` queue alone.
 //! * **Termination**: [`Sim::run`] returns when every process finished, when
 //!   the event queue drains, or when a configured event/time limit fires.
 //!   If processes are still parked with an empty queue the run reports a
@@ -39,8 +41,8 @@
 //! use ibsim::{Sim, SimConfig, SimDuration};
 //!
 //! let mut sim: Sim<u64> = Sim::new(0, SimConfig::default());
-//! sim.spawn("worker", |mut p| {
-//!     p.advance(SimDuration::micros(5));
+//! sim.spawn("worker", |mut p| async move {
+//!     p.advance(SimDuration::micros(5)).await;
 //!     p.with(|ctx| *ctx.world += ctx.now().as_nanos());
 //! });
 //! let report = sim.run().unwrap();

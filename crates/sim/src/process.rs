@@ -1,18 +1,19 @@
-//! Simulated processes: OS threads coordinated by a strict-alternation
-//! baton that is handed directly from process to process.
+//! Simulated processes: resumable state machines stepped by the poll loop.
 //!
-//! A yielding process steps the scheduler itself ([`ProcCtx::yield_and_step`]):
-//! it marks itself parked, drains ready events, and routes the next resume
-//! under one state-lock acquisition. The kernel thread is involved only at
-//! the ends of a run (bootstrap and terminal conditions).
+//! A process body is an `async` block — rustc compiles it into a stackless
+//! coroutine whose suspension points are exactly the [`ProcCtx::park`] and
+//! [`ProcCtx::advance`] awaits. Parking is therefore just "return
+//! `Pending` after recording a note", and resuming is one `poll` call from
+//! the executor ([`crate::Sim::run`]): no threads, no channels, no context
+//! switches, for self-resume and cross-process handoff alike.
 
-use crate::engine::{Ctx, Routed, Shared, State};
+use crate::engine::{Ctx, Shared, State};
 use crate::time::{SimDuration, SimTime};
 use crate::waker::Waker;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{Receiver, Sender};
-use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
 
 /// Identifier of a simulated process (dense index, spawn order).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -32,27 +33,6 @@ pub(crate) enum ProcStatus {
     Done,
 }
 
-pub(crate) enum ResumeSignal {
-    Go(SimTime),
-    Abort,
-}
-
-/// Terminal conditions reported to the kernel thread. This is everything
-/// left of the old per-handoff yield protocol: park/done bookkeeping is
-/// now written directly into the shared state by the yielding process, so
-/// the kernel hears only about events that end the run.
-pub(crate) enum KernelMsg {
-    /// The event queue drained while the sender held the baton; the kernel
-    /// decides clean completion vs deadlock from the park table.
-    QueueEmpty,
-    /// The configured event ceiling was reached.
-    EventLimit { events: u64, at: SimTime },
-    /// Virtual time passed the configured horizon.
-    TimeLimit { at: SimTime },
-    /// A process panicked (or its thread died) while holding the baton.
-    Panicked { proc_id: ProcId, message: String },
-}
-
 pub(crate) struct ProcSlot {
     pub name: String,
     pub status: ProcStatus,
@@ -62,39 +42,28 @@ pub(crate) struct ProcSlot {
     pub park_note: &'static str,
 }
 
-/// Payload used to unwind a process thread when the kernel aborts the run;
-/// recognized and swallowed by the thread wrapper.
-struct AbortToken;
-
 /// Handle a process body uses to interact with the simulation.
 ///
 /// All world access goes through [`ProcCtx::with`]; time passes only through
-/// [`ProcCtx::advance`] or by blocking in [`ProcCtx::park`] until a
+/// [`ProcCtx::advance`] or by suspending in [`ProcCtx::park`] until a
 /// [`Waker`] fires.
-pub struct ProcCtx<W: Send + 'static> {
+pub struct ProcCtx<W: 'static> {
     id: ProcId,
     name: String,
-    shared: Arc<Shared<W>>,
-    resume_rx: Receiver<ResumeSignal>,
-    yield_tx: Sender<KernelMsg>,
+    shared: Rc<Shared<W>>,
     local_now: SimTime,
 }
 
-impl<W: Send + 'static> ProcCtx<W> {
-    pub(crate) fn new(
-        id: ProcId,
-        name: String,
-        shared: Arc<Shared<W>>,
-        resume_rx: Receiver<ResumeSignal>,
-        yield_tx: Sender<KernelMsg>,
-    ) -> Self {
+impl<W: 'static> ProcCtx<W> {
+    pub(crate) fn new(id: ProcId, name: String, shared: Rc<Shared<W>>) -> Self {
+        // A process spawned mid-run starts at the instant of its spawn;
+        // its first resume event carries the same timestamp.
+        let local_now = shared.lock().sched.now;
         ProcCtx {
             id,
             name,
             shared,
-            resume_rx,
-            yield_tx,
-            local_now: SimTime::ZERO,
+            local_now,
         }
     }
 
@@ -136,197 +105,114 @@ impl<W: Send + 'static> ProcCtx<W> {
         f(&mut Ctx { world, sched })
     }
 
-    /// Blocks until some [`Waker`] for this process fires. `note` is shown
-    /// in deadlock diagnostics; it is a `&'static str` so parking performs
-    /// no allocation (this is the hottest handoff path in the simulator).
-    /// Wakes may be spurious; callers re-check their condition in a loop.
-    pub fn park(&mut self, note: &'static str) {
-        self.yield_and_step(note, None);
+    /// Suspends until some [`Waker`] for this process fires. `note` is
+    /// shown in deadlock diagnostics; it is a `&'static str` so parking
+    /// performs no allocation (this is the hottest handoff path in the
+    /// simulator). Wakes may be spurious; callers re-check their condition
+    /// in a loop.
+    pub fn park(&mut self, note: &'static str) -> impl Future<Output = ()> + '_ {
+        Park {
+            proc: self,
+            note,
+            yielded: false,
+        }
     }
 
     /// Lets `dt` of virtual time pass for this process (models compute or
     /// software overhead). Other processes and fabric events run in the
-    /// meantime. When this process is the only runnable one, the resume
-    /// comes straight back via the self-resume fast path and the call is
-    /// just a lock acquisition plus a heap push/pop — no context switch.
-    pub fn advance(&mut self, dt: SimDuration) {
-        if dt == SimDuration::ZERO {
-            return;
-        }
-        // We are running, so `local_now` equals the global clock (the same
-        // invariant `with` debug-asserts); the wake time needs no lock.
-        let wake_at = self.local_now + dt;
-        self.yield_and_step("advancing clock", Some(wake_at));
-        while self.local_now < wake_at {
-            // Spurious early wake (a waker fired during our last slice and
-            // its stale resume sorted first): re-park; our own scheduled
-            // resume is still queued.
-            self.yield_and_step("advancing clock", None);
+    /// meantime. Whether the next resume is this process again (self-resume)
+    /// or a peer, the cost is identical: one heap push/pop and one poll.
+    pub fn advance(&mut self, dt: SimDuration) -> impl Future<Output = ()> + '_ {
+        Advance {
+            proc: self,
+            dt,
+            wake_at: None,
         }
     }
+}
 
-    /// Parks this process and steps the scheduler inline — the heart of
-    /// the direct-handoff execution model. Under one state-lock
-    /// acquisition this (optionally) schedules the process's own wake at
-    /// `self_wake_at`, records the park status and note, drains ready
-    /// `Call` events, and routes the next `Resume`: to itself (fast path —
-    /// return immediately and keep running, zero channel operations), to a
-    /// peer process (one direct channel send, then block), or — on a
-    /// terminal condition — to the kernel thread via the yield channel.
-    /// Returns with `local_now` current once this process holds the baton
-    /// again.
-    fn yield_and_step(&mut self, note: &'static str, self_wake_at: Option<SimTime>) {
-        let routed = {
-            let mut st = self.shared.lock();
-            if let Some(t) = self_wake_at {
+/// Future behind [`ProcCtx::park`]: first poll records the park note and
+/// suspends; the next poll (the executor dispatched a `Resume` event for
+/// this process) syncs the local clock and completes.
+struct Park<'a, W: 'static> {
+    proc: &'a mut ProcCtx<W>,
+    note: &'static str,
+    yielded: bool,
+}
+
+impl<W> Future for Park<'_, W> {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        if !this.yielded {
+            this.yielded = true;
+            let mut st = this.proc.shared.lock();
+            let slot = &mut st.sched.procs[this.proc.id.0];
+            slot.status = ProcStatus::Parked;
+            slot.park_note = this.note;
+            Poll::Pending
+        } else {
+            let st = this.proc.shared.lock();
+            this.proc.local_now = st.sched.now;
+            Poll::Ready(())
+        }
+    }
+}
+
+/// Future behind [`ProcCtx::advance`]: the first poll schedules this
+/// process's own wake at `now + dt` and suspends; later polls complete once
+/// the clock reached the wake time, re-parking on spurious early resumes
+/// (a waker that fired during the process's last slice).
+struct Advance<'a, W: 'static> {
+    proc: &'a mut ProcCtx<W>,
+    dt: SimDuration,
+    wake_at: Option<SimTime>,
+}
+
+impl<W> Future for Advance<'_, W> {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        match this.wake_at {
+            None => {
+                if this.dt == SimDuration::ZERO {
+                    return Poll::Ready(());
+                }
+                // We are running, so `local_now` equals the global clock
+                // (the same invariant `with` debug-asserts).
+                let wake_at = this.proc.local_now + this.dt;
+                this.wake_at = Some(wake_at);
+                let mut st = this.proc.shared.lock();
                 // No resume of ours can be pending while we run — except a
                 // waker that fired during this slice; clearing the marker
                 // lets `wake_at` schedule unconditionally, and the stale
-                // early resume (if any) is absorbed by `advance`'s re-park
-                // loop.
-                st.sched.clear_resume_pending(self.id);
-                st.sched.wake_at(self.id, t);
-            }
-            {
-                let slot = &mut st.sched.procs[self.id.0];
+                // early resume (if any) is absorbed by the re-park arm
+                // below.
+                st.sched.clear_resume_pending(this.proc.id);
+                st.sched.wake_at(this.proc.id, wake_at);
+                let slot = &mut st.sched.procs[this.proc.id.0];
                 slot.status = ProcStatus::Parked;
-                slot.park_note = note;
+                slot.park_note = "advancing clock";
+                Poll::Pending
             }
-            let State { world, sched } = &mut *st;
-            sched.route_baton(world, &self.shared.config, Some(self.id))
-        };
-        match routed {
-            Routed::SelfResume(t) => self.local_now = t,
-            Routed::BatonSent(_) => self.block_for_resume(),
-            Routed::PeerDied(p) => {
-                self.notify_kernel(KernelMsg::Panicked {
-                    proc_id: p,
-                    message: "process thread exited unexpectedly".into(),
-                });
-                self.block_for_resume();
-            }
-            Routed::Terminal(msg) => {
-                self.notify_kernel(msg);
-                // The kernel resolves the run; the only signal that can
-                // arrive here is the teardown abort.
-                self.block_for_resume();
-            }
-        }
-    }
-
-    fn notify_kernel(&self, msg: KernelMsg) {
-        self.yield_tx
-            .send(msg)
-            // simlint: allow(no-panic-in-lib): the kernel outlives every process thread by construction (joined at shutdown)
-            .expect("kernel gone while yielding");
-    }
-
-    fn block_for_resume(&mut self) {
-        match self.resume_rx.recv() {
-            Ok(ResumeSignal::Go(t)) => self.local_now = t,
-            Ok(ResumeSignal::Abort) | Err(_) => {
-                std::panic::panic_any(AbortToken);
-            }
-        }
-    }
-}
-
-/// Installs (once, process-wide) a panic hook that silences the
-/// [`AbortToken`] unwind used to tear down simulation threads.
-fn install_quiet_abort_hook() {
-    use std::sync::Once;
-    static ONCE: Once = Once::new();
-    ONCE.call_once(|| {
-        let prev = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            if info.payload().is::<AbortToken>() {
-                return; // silent: deliberate teardown
-            }
-            prev(info);
-        }));
-    });
-}
-
-pub(crate) fn spawn_proc<W: Send + 'static>(
-    mut ctx: ProcCtx<W>,
-    body: impl FnOnce(ProcCtx<W>) + Send + 'static,
-) -> JoinHandle<()> {
-    install_quiet_abort_hook();
-    let name = ctx.name.clone();
-    std::thread::Builder::new()
-        .name(name)
-        .spawn(move || {
-            // Wait for the first resume before running user code.
-            match ctx.resume_rx.recv() {
-                Ok(ResumeSignal::Go(t)) => ctx.local_now = t,
-                Ok(ResumeSignal::Abort) | Err(_) => return,
-            }
-            let id = ctx.id;
-            let yield_tx = ctx.yield_tx.clone();
-            let shared = Arc::clone(&ctx.shared);
-            let result = catch_unwind(AssertUnwindSafe(move || body(ctx)));
-            match result {
-                Ok(()) => {
-                    // The finishing process still holds the baton: mark
-                    // itself done and route the baton onward directly, so
-                    // the kernel thread stays asleep unless this was the
-                    // last act of the run.
-                    let routed = {
-                        let mut st = shared.lock();
-                        st.sched.procs[id.0].status = ProcStatus::Done;
-                        let State { world, sched } = &mut *st;
-                        sched.route_baton(world, &shared.config, Some(id))
-                    };
-                    match routed {
-                        Routed::BatonSent(_) => {}
-                        Routed::PeerDied(p) => {
-                            let _ = yield_tx.send(KernelMsg::Panicked {
-                                proc_id: p,
-                                message: "process thread exited unexpectedly".into(),
-                            });
-                        }
-                        Routed::Terminal(msg) => {
-                            let _ = yield_tx.send(msg);
-                        }
-                        Routed::SelfResume(_) => {
-                            // Unreachable: `drain_calls` skips resumes for
-                            // `Done` processes, so the baton cannot come
-                            // back here. Fail the run loudly rather than
-                            // hanging if the invariant ever breaks.
-                            debug_assert!(false, "baton routed to a finished process");
-                            let _ = yield_tx.send(KernelMsg::Panicked {
-                                proc_id: id,
-                                message: "baton routed to a finished process".into(),
-                            });
-                        }
-                    }
-                }
-                Err(payload) => {
-                    if payload.is::<AbortToken>() {
-                        // Deliberate teardown: the kernel is no longer
-                        // listening; exit silently.
-                        return;
-                    }
-                    // `&*payload`, not `&payload`: the latter would unsize
-                    // the Box itself into `dyn Any` and defeat downcasting.
-                    let message = panic_message(&*payload);
-                    let _ = yield_tx.send(KernelMsg::Panicked {
-                        proc_id: id,
-                        message,
-                    });
+            Some(wake_at) => {
+                let mut st = this.proc.shared.lock();
+                let now = st.sched.now;
+                if now < wake_at {
+                    // Spurious early wake (a stale resume sorted first):
+                    // re-park; our own scheduled resume is still queued.
+                    let slot = &mut st.sched.procs[this.proc.id.0];
+                    slot.status = ProcStatus::Parked;
+                    slot.park_note = "advancing clock";
+                    Poll::Pending
+                } else {
+                    drop(st);
+                    this.proc.local_now = now;
+                    Poll::Ready(())
                 }
             }
-        })
-        // simlint: allow(no-panic-in-lib): thread spawn fails only on resource exhaustion, which the simulator cannot meaningfully recover from
-        .expect("failed to spawn simulation thread")
-}
-
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
+        }
     }
 }

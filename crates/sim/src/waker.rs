@@ -5,10 +5,8 @@ use crate::process::ProcId;
 /// A handle that world code (e.g. a completion queue) can use to wake the
 /// process that created it.
 ///
-/// Waking is asynchronous: it pushes a `Resume` event, and the baton is
-/// delivered when whichever thread drains the queue reaches that event —
-/// directly to the woken process's resume channel, or inline if the
-/// drainer is waking itself.
+/// Waking is asynchronous: it pushes a `Resume` event, and the process's
+/// coroutine is polled when the executor's drain reaches that event.
 ///
 /// Wakes may be *spurious*: a process that re-parks after handing out a
 /// waker can be woken by a stale token, so blocking loops must re-check

@@ -18,7 +18,7 @@ fn bandwidth(scheme: FlowControlScheme, prepost: u32, window: u32) -> f64 {
         2,
         MpiConfig::scheme(scheme, prepost),
         FabricParams::mt23108(),
-        move |mpi| {
+        async move |mpi| {
             let peer = 1 - mpi.rank();
             let payload = [0xA5u8; 4];
             let mut measured = 0u64;
@@ -26,14 +26,14 @@ fn bandwidth(scheme: FlowControlScheme, prepost: u32, window: u32) -> f64 {
                 let t0 = mpi.now();
                 if mpi.rank() == 0 {
                     let reqs: Vec<_> = (0..window).map(|_| mpi.isend(&payload, peer, 2)).collect();
-                    mpi.waitall(&reqs);
-                    let _ = mpi.recv(Some(peer), Some(3));
+                    mpi.waitall(&reqs).await;
+                    let _ = mpi.recv(Some(peer), Some(3)).await;
                 } else {
                     let reqs: Vec<_> = (0..window)
                         .map(|_| mpi.irecv(Some(peer), Some(2)))
                         .collect();
-                    mpi.waitall(&reqs);
-                    mpi.send(&[0u8; 4], peer, 3);
+                    mpi.waitall(&reqs).await;
+                    mpi.send(&[0u8; 4], peer, 3).await;
                 }
                 if it >= warmup {
                     measured += mpi.now().since(t0).as_nanos();

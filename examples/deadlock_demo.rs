@@ -15,7 +15,7 @@ use ibflow::ibfabric::FabricParams;
 use ibflow::ibsim::{SimConfig, SimTime};
 use ibflow::mpib::{CreditMsgMode, FlowControlScheme, MpiConfig, MpiRunError, MpiWorld};
 
-fn pattern(mpi: &mut ibflow::mpib::MpiRank) -> u64 {
+async fn pattern(mpi: &mut ibflow::mpib::MpiRank) -> u64 {
     let peer = 1 - mpi.rank();
     // Pre-posting the receives keeps this a *safe* MPI program: any
     // correct flow control design must complete it.
@@ -23,10 +23,10 @@ fn pattern(mpi: &mut ibflow::mpib::MpiRank) -> u64 {
     let sreqs: Vec<_> = (0..30u32)
         .map(|i| mpi.isend(&i.to_le_bytes(), peer, 0))
         .collect();
-    mpi.waitall(&sreqs);
+    mpi.waitall(&sreqs).await;
     let mut sum = 0u64;
     for r in rreqs {
-        let (_, d) = mpi.wait_recv(r);
+        let (_, d) = mpi.wait_recv(r).await;
         sum += u32::from_le_bytes(d.try_into().unwrap()) as u64;
     }
     sum

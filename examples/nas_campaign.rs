@@ -38,8 +38,8 @@ fn main() {
         FlowControlScheme::UserDynamic,
     ] {
         let cfg = MpiConfig::scheme(scheme, prepost);
-        let out = MpiWorld::run(procs, cfg, FabricParams::mt23108(), move |mpi| {
-            run_kernel(mpi, kernel, NasClass::W)
+        let out = MpiWorld::run(procs, cfg, FabricParams::mt23108(), async move |mpi| {
+            run_kernel(mpi, kernel, NasClass::W).await
         })
         .expect("kernel run");
         let k = &out.results[0];

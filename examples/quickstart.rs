@@ -15,7 +15,7 @@ fn main() {
     let cfg = MpiConfig::scheme(FlowControlScheme::UserDynamic, 8);
     let n_per_rank = 1000usize;
 
-    let out = MpiWorld::run(4, cfg, FabricParams::mt23108(), move |mpi| {
+    let out = MpiWorld::run(4, cfg, FabricParams::mt23108(), async move |mpi| {
         let world = Comm::world(mpi);
         let me = mpi.rank();
 
@@ -28,7 +28,9 @@ fn main() {
         // A neighbour exchange, just to show point-to-point traffic.
         let right = (me + 1) % mpi.size();
         let left = (me + mpi.size() - 1) % mpi.size();
-        let (status, from_left) = mpi.sendrecv(&local.to_le_bytes(), right, 7, Some(left), Some(7));
+        let (status, from_left) = mpi
+            .sendrecv(&local.to_le_bytes(), right, 7, Some(left), Some(7))
+            .await;
         let left_val = f64::from_le_bytes(from_left.try_into().unwrap());
         println!(
             "rank {me}: local dot = {local:>12.0}, neighbour {} contributed {left_val:>12.0}",
@@ -36,7 +38,7 @@ fn main() {
         );
 
         // The global reduction.
-        allreduce_scalars(mpi, &world, ReduceOp::Sum, &[local])[0]
+        allreduce_scalars(mpi, &world, ReduceOp::Sum, &[local]).await[0]
     })
     .expect("simulation failed");
 

@@ -1,0 +1,115 @@
+//! CI/script parity: `ci/check.sh` is documented as a local mirror of
+//! `.github/workflows/ci.yml`. This test makes that claim checkable —
+//! every cargo invocation in one must appear in the other, so a perf
+//! tripwire or golden gate added to one file can't silently be missing
+//! from the other.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Strips `env VAR=val …` prefixes, a leading `time`, and output
+/// redirections, then normalises whitespace. Returns `None` for
+/// non-cargo commands.
+fn normalize_cargo(cmd: &str) -> Option<String> {
+    let mut toks: Vec<&str> = cmd.split_whitespace().collect();
+    while let Some(first) = toks.first() {
+        match *first {
+            "env" | "time" => {
+                toks.remove(0);
+                // `env` is followed by VAR=val assignments.
+                while toks.first().is_some_and(|t| t.contains('=')) {
+                    toks.remove(0);
+                }
+            }
+            _ => break,
+        }
+    }
+    if toks.first() != Some(&"cargo") {
+        return None;
+    }
+    // Drop shell redirections (`>/dev/null`, `2>&1`, …).
+    toks.retain(|t| !t.contains('>'));
+    Some(toks.join(" "))
+}
+
+/// Cargo invocations from `ci/check.sh`: lines run through the `run` or
+/// `timed` helpers.
+fn check_sh_invocations(src: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for line in src.lines() {
+        let line = line.trim();
+        let cmd = match line
+            .strip_prefix("run ")
+            .or_else(|| line.strip_prefix("timed "))
+        {
+            Some(c) => c,
+            None => continue,
+        };
+        if let Some(n) = normalize_cargo(cmd) {
+            out.insert(n);
+        }
+    }
+    out
+}
+
+/// Cargo invocations from `ci.yml`: `run:` step values plus the lines of
+/// `run: |` block scalars (which appear indented, starting with `cargo`
+/// after a leading `time`/`env` at most).
+fn ci_yml_invocations(src: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for line in src.lines() {
+        let line = line.trim();
+        if line.starts_with('#') {
+            continue;
+        }
+        let cmd = line.strip_prefix("run: ").unwrap_or(line);
+        if let Some(n) = normalize_cargo(cmd) {
+            out.insert(n);
+        }
+    }
+    out
+}
+
+#[test]
+fn check_script_and_workflow_agree() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let sh = std::fs::read_to_string(root.join("ci/check.sh")).expect("read ci/check.sh");
+    let yml = std::fs::read_to_string(root.join(".github/workflows/ci.yml"))
+        .expect("read .github/workflows/ci.yml");
+
+    let from_sh = check_sh_invocations(&sh);
+    let from_yml = ci_yml_invocations(&yml);
+
+    // Guard against the extractors themselves rotting: both files are
+    // expected to carry the full battery, far more than a couple of
+    // steps.
+    assert!(
+        from_sh.len() >= 8,
+        "suspiciously few cargo invocations parsed from ci/check.sh: {from_sh:#?}"
+    );
+    assert!(
+        from_yml.len() >= 8,
+        "suspiciously few cargo invocations parsed from ci.yml: {from_yml:#?}"
+    );
+
+    let only_sh: Vec<_> = from_sh.difference(&from_yml).collect();
+    let only_yml: Vec<_> = from_yml.difference(&from_sh).collect();
+    assert!(
+        only_sh.is_empty() && only_yml.is_empty(),
+        "ci/check.sh and .github/workflows/ci.yml disagree.\n\
+         only in check.sh: {only_sh:#?}\nonly in ci.yml: {only_yml:#?}"
+    );
+}
+
+#[test]
+fn normalization_strips_wrappers() {
+    assert_eq!(
+        normalize_cargo("env IBFLOW_JOBS=4 cargo test -q").as_deref(),
+        Some("cargo test -q")
+    );
+    assert_eq!(
+        normalize_cargo("time cargo run --bin chaos >/dev/null").as_deref(),
+        Some("cargo run --bin chaos")
+    );
+    assert_eq!(normalize_cargo("echo cargo"), None);
+}

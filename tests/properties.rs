@@ -102,16 +102,16 @@ fn payload_integrity_and_ordering() {
                 ..MpiConfig::scheme(c.scheme, c.prepost)
             };
             let sizes = c.sizes.clone();
-            let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), move |mpi| {
+            let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), async move |mpi| {
                 if mpi.rank() == 0 {
                     for (i, &n) in sizes.iter().enumerate() {
                         let payload: Vec<u8> = (0..n).map(|b| ((b + i) % 251) as u8).collect();
-                        mpi.send(&payload, 1, 5);
+                        mpi.send(&payload, 1, 5).await;
                     }
                     true
                 } else {
                     for (i, &n) in sizes.iter().enumerate() {
-                        let (st, data) = mpi.recv(Some(0), Some(5));
+                        let (st, data) = mpi.recv(Some(0), Some(5)).await;
                         assert_eq!(st.len, n, "message {i} length");
                         for (b, &v) in data.iter().enumerate() {
                             assert_eq!(v, ((b + i) % 251) as u8, "message {i} byte {b}");
@@ -165,19 +165,21 @@ fn determinism() {
         let count = c.count;
         let run = || {
             let cfg = MpiConfig::scheme(c.scheme, c.prepost);
-            MpiWorld::run(3, cfg, FabricParams::mt23108(), move |mpi| {
+            MpiWorld::run(3, cfg, FabricParams::mt23108(), async move |mpi| {
                 let me = mpi.rank();
                 let next = (me + 1) % 3;
                 let prev = (me + 2) % 3;
                 let mut acc = me as u64;
                 for i in 0..count {
-                    let (_, d) = mpi.sendrecv(
-                        &acc.to_le_bytes(),
-                        next,
-                        i as i32,
-                        Some(prev),
-                        Some(i as i32),
-                    );
+                    let (_, d) = mpi
+                        .sendrecv(
+                            &acc.to_le_bytes(),
+                            next,
+                            i as i32,
+                            Some(prev),
+                            Some(i as i32),
+                        )
+                        .await;
                     acc = acc
                         .wrapping_mul(31)
                         .wrapping_add(u64::from_le_bytes(d.try_into().unwrap()));
@@ -238,17 +240,17 @@ fn scheme_invariance() {
                 2,
                 MpiConfig::scheme(scheme, c.prepost),
                 FabricParams::mt23108(),
-                move |mpi| {
+                async move |mpi| {
                     if mpi.rank() == 0 {
                         for &n in &sizes {
                             let payload: Vec<u8> = (0..n).map(|b| (b % 17) as u8).collect();
-                            mpi.send(&payload, 1, 0);
+                            mpi.send(&payload, 1, 0).await;
                         }
                         0u64
                     } else {
                         let mut h = 0u64;
                         for _ in &sizes {
-                            let (_, d) = mpi.recv(Some(0), Some(0));
+                            let (_, d) = mpi.recv(Some(0), Some(0)).await;
                             for v in d {
                                 h = h.wrapping_mul(131).wrapping_add(v as u64);
                             }
@@ -322,16 +324,16 @@ fn dynamic_growth_respects_cap() {
             ..MpiConfig::scheme(FlowControlScheme::UserDynamic, 2)
         };
         let burst = c.burst;
-        let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), move |mpi| {
+        let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), async move |mpi| {
             if mpi.rank() == 0 {
                 let reqs: Vec<_> = (0..burst)
                     .map(|i| mpi.isend(&i.to_le_bytes(), 1, 0))
                     .collect();
-                mpi.waitall(&reqs);
+                mpi.waitall(&reqs).await;
             } else {
-                mpi.compute(ibflow::ibsim::SimDuration::millis(1));
+                mpi.compute(ibflow::ibsim::SimDuration::millis(1)).await;
                 for _ in 0..burst {
-                    let _ = mpi.recv(Some(0), Some(0));
+                    let _ = mpi.recv(Some(0), Some(0)).await;
                 }
             }
         })

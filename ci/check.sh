@@ -31,7 +31,7 @@ timed() {
 run cargo build --release --workspace --locked --offline
 run cargo test -q --workspace --release --locked --offline
 run cargo fmt --check
-run cargo run --release -p simlint --locked --offline -- --stats
+run cargo run --release -p simlint --locked --offline -- --stats --stats-json bench_results/simlint_stats.json
 run cargo clippy --workspace --all-targets --locked --offline -- -D warnings
 run cargo bench -p ibfabric --bench transport --locked --offline -- --test
 run cargo bench -p ibflow-bench --bench paper --locked --offline -- --test

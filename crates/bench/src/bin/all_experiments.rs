@@ -120,6 +120,20 @@ fn main() {
     }));
 
     let outs = ibpool::run_batch(jobs);
+
+    // Static-analysis wall time rides along in target_times.json so lint
+    // throughput regressions show up next to the experiment timings. Runs
+    // after the pool drains (single-threaded, and not a markdown section:
+    // experiments.md stays byte-identical across IBFLOW_JOBS settings).
+    let lint_t0 = Instant::now();
+    let lint = simlint::lint_tree(std::path::Path::new(".")).expect("lint workspace");
+    let lint_ns = lint_t0.elapsed().as_nanos() as u64;
+    assert!(
+        lint.is_clean(),
+        "workspace lint regressed:\n{}",
+        simlint::render_human(&lint)
+    );
+
     let total_ns = t0.elapsed().as_nanos() as u64;
 
     let mut out = String::new();
@@ -131,6 +145,7 @@ fn main() {
     for (name, t) in names.iter().zip(&outs) {
         println!("  {name:<24} {:>10.3}s", t.wall_ns as f64 / 1e9);
     }
+    println!("  {:<24} {:>10.3}s", "simlint", lint_ns as f64 / 1e9);
 
     std::fs::create_dir_all("bench_results").expect("mkdir bench_results");
     std::fs::write("bench_results/experiments.md", &out).expect("write results");
@@ -141,14 +156,17 @@ fn main() {
     let _ = writeln!(json, "  \"jobs\": {workers},");
     let _ = writeln!(json, "  \"total_wall_ns\": {total_ns},");
     let _ = writeln!(json, "  \"targets\": [");
-    for (i, (name, t)) in names.iter().zip(&outs).enumerate() {
+    for (name, t) in names.iter().zip(&outs) {
         let _ = writeln!(
             json,
-            "    {{\"name\": \"{name}\", \"wall_ns\": {}}}{}",
-            t.wall_ns,
-            if i + 1 < outs.len() { "," } else { "" }
+            "    {{\"name\": \"{name}\", \"wall_ns\": {}}},",
+            t.wall_ns
         );
     }
+    let _ = writeln!(
+        json,
+        "    {{\"name\": \"simlint\", \"wall_ns\": {lint_ns}}}"
+    );
     json.push_str("  ]\n}\n");
     std::fs::write("bench_results/target_times.json", json).expect("write target times");
 

@@ -72,7 +72,6 @@ impl MpiRank {
         self.next_ctx = self
             .next_ctx
             .checked_add(1)
-            // simlint: allow(no-panic-in-lib): 65535 communicator creations exhaust the u16 context space; overflow-wrapping would alias live communicators
             .expect("communicator contexts exhausted");
         if color < 0 {
             return None;

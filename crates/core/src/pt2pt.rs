@@ -578,7 +578,6 @@ impl MpiRank {
                 let req = {
                     let c = self.conn_mut(peer);
                     c.spend_credit();
-                    // simlint: allow(no-panic-in-lib): the loop head breaks on an empty backlog before reaching here
                     c.backlog.pop_front().expect("non-empty")
                 };
                 // The protocol was decided at issue time: backlogged

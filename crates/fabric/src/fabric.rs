@@ -364,7 +364,10 @@ pub fn post_send_ud(
         }
         let payload_len = match &wr.op {
             crate::wr::SendOp::Send { payload } => payload.len(),
-            _ => return Err(VerbsError::InvalidQpState), // UD is send/recv only
+            // UD is send/recv only: RDMA semantics need a connected QP.
+            crate::wr::SendOp::RdmaWrite { .. } | crate::wr::SendOp::RdmaRead { .. } => {
+                return Err(VerbsError::InvalidQpState);
+            }
         };
         if payload_len > f.params.mtu {
             return Err(VerbsError::MessageTooLong);

@@ -823,8 +823,10 @@ fn handle_rnr_nak(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId, msn: u64) {
 pub(crate) fn send_ud(ctx: &mut Ctx<'_, Fabric>, qp_id: QpId, dst_qp: QpId, wr: crate::wr::SendWr) {
     let payload = match wr.op {
         SendOp::Send { payload } => payload,
-        // simlint: allow(no-panic-in-lib): post_send_ud rejects every non-Send op before queueing
-        _ => unreachable!("validated by post_send_ud"),
+        SendOp::RdmaWrite { .. } | SendOp::RdmaRead { .. } => {
+            // simlint: allow(no-panic-in-lib): post_send_ud rejects RDMA ops on UD QPs before queueing
+            unreachable!("validated by post_send_ud")
+        }
     };
     let (src_node, dst_node, send_cq) = {
         let q = &mut ctx.world.qps[qp_id.index()];

@@ -52,7 +52,6 @@ impl SimTime {
         SimDuration(
             self.0
                 .checked_sub(earlier.0)
-                // simlint: allow(no-panic-in-lib): documented precondition; silent wrap would corrupt every downstream timestamp
                 .expect("SimTime::since: earlier instant is in the future"),
         )
     }
@@ -133,7 +132,6 @@ impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     #[inline]
     fn add(self, rhs: SimDuration) -> SimTime {
-        // simlint: allow(no-panic-in-lib): checked arithmetic made loud — wrapping virtual time would silently corrupt event ordering
         SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
     }
 }
@@ -149,7 +147,6 @@ impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
     #[inline]
     fn sub(self, rhs: SimDuration) -> SimTime {
-        // simlint: allow(no-panic-in-lib): checked arithmetic made loud — wrapping virtual time would silently corrupt event ordering
         SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
     }
 }
@@ -158,7 +155,6 @@ impl Add for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn add(self, rhs: SimDuration) -> SimDuration {
-        // simlint: allow(no-panic-in-lib): checked arithmetic made loud — wrapping a duration would silently corrupt scheduling
         SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
     }
 }
@@ -174,7 +170,6 @@ impl Sub for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        // simlint: allow(no-panic-in-lib): checked arithmetic made loud — wrapping a duration would silently corrupt scheduling
         SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
     }
 }
@@ -190,7 +185,6 @@ impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn mul(self, rhs: u64) -> SimDuration {
-        // simlint: allow(no-panic-in-lib): checked arithmetic made loud — wrapping a duration would silently corrupt scheduling
         SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
     }
 }

@@ -96,7 +96,24 @@ pub fn lex(src: &str) -> Lexed {
                 i = skip_string(&chars, i, &mut line);
             }
             'r' | 'b' if starts_raw_or_byte_string(&chars, i) => {
-                i = skip_raw_or_byte_string(&chars, i, &mut line);
+                match skip_raw_or_byte_string(&chars, i, &mut line) {
+                    Some(next) => i = next,
+                    None => {
+                        // Raw identifier (`r#match`): one ident token with
+                        // the prefix kept, so keyword-shaped names can't
+                        // desync the parser.
+                        let start = i;
+                        i += 2; // r#
+                        while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                            i += 1;
+                        }
+                        tokens.push(Token {
+                            kind: TokKind::Ident,
+                            text: chars[start..i].iter().collect(),
+                            line,
+                        });
+                    }
+                }
             }
             '\'' => {
                 i = skip_char_or_lifetime(&chars, i, &mut line);
@@ -118,8 +135,15 @@ pub fn lex(src: &str) -> Lexed {
                 while i < chars.len()
                     && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.')
                 {
-                    // Stop at `..` (range) so `0..n` keeps its punctuation.
-                    if chars[i] == '.' && i + 1 < chars.len() && chars[i + 1] == '.' {
+                    // Stop at `..` (range) so `0..n` keeps its punctuation,
+                    // and at `.ident` (method call on a literal, e.g.
+                    // `self.0.checked_add(..)`) so the chain keeps its ops.
+                    if chars[i] == '.'
+                        && i + 1 < chars.len()
+                        && (chars[i + 1] == '.'
+                            || chars[i + 1].is_alphabetic()
+                            || chars[i + 1] == '_')
+                    {
                         break;
                     }
                     i += 1;
@@ -129,12 +153,40 @@ pub fn lex(src: &str) -> Lexed {
                 i += 1;
             }
             _ => {
-                tokens.push(Token {
-                    kind: TokKind::Punct,
-                    text: c.to_string(),
-                    line,
-                });
-                i += 1;
+                // Merge the multi-character operators the parser keys on
+                // into single tokens. `||`/`&&`/`==`/`!=` matter because a
+                // stray second `|` after an operator position would read as
+                // a closure head and desync the parser. `>=`/`>>`/`<=`/`<<`
+                // are deliberately NOT merged: their characters can belong
+                // to different constructs (`Vec<T> = ..`, nested generic
+                // closers), and angle-depth tracking needs them separate.
+                let merged: &str = match (c, chars.get(i + 1), chars.get(i + 2)) {
+                    (':', Some(':'), _) => "::",
+                    ('-', Some('>'), _) => "->",
+                    ('=', Some('>'), _) => "=>",
+                    ('=', Some('='), _) => "==",
+                    ('!', Some('='), _) => "!=",
+                    ('|', Some('|'), _) => "||",
+                    ('&', Some('&'), _) => "&&",
+                    ('.', Some('.'), Some('=')) => "..=",
+                    ('.', Some('.'), _) => "..",
+                    _ => "",
+                };
+                if merged.is_empty() {
+                    tokens.push(Token {
+                        kind: TokKind::Punct,
+                        text: c.to_string(),
+                        line,
+                    });
+                    i += 1;
+                } else {
+                    tokens.push(Token {
+                        kind: TokKind::Punct,
+                        text: merged.to_string(),
+                        line,
+                    });
+                    i += merged.len();
+                }
             }
         }
     }
@@ -159,7 +211,10 @@ fn starts_raw_or_byte_string(chars: &[char], i: usize) -> bool {
     )
 }
 
-fn skip_raw_or_byte_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+/// Skips a raw/byte string starting at `i`. Returns `None` when the
+/// prefix turns out to be a raw identifier (`r#ident`) rather than a
+/// string — the caller must re-lex it as one ident token.
+fn skip_raw_or_byte_string(chars: &[char], mut i: usize, line: &mut u32) -> Option<usize> {
     let mut raw = false;
     if chars[i] == 'b' {
         i += 1;
@@ -174,9 +229,8 @@ fn skip_raw_or_byte_string(chars: &[char], mut i: usize, line: &mut u32) -> usiz
         i += 1;
     }
     if i >= chars.len() || chars[i] != '"' {
-        // Not actually a string start (e.g. the ident `b` or `r#ident`);
-        // the caller consumed nothing meaningful — re-lex as ident.
-        return i;
+        // `r#` followed by something other than `"`: a raw identifier.
+        return None;
     }
     i += 1; // opening quote
     while i < chars.len() {
@@ -185,6 +239,11 @@ fn skip_raw_or_byte_string(chars: &[char], mut i: usize, line: &mut u32) -> usiz
             *line += 1;
         }
         if !raw && c == '\\' {
+            // An escaped newline (line continuation) still ends a source
+            // line; losing it desyncs every later finding's line number.
+            if i + 1 < chars.len() && chars[i + 1] == '\n' {
+                *line += 1;
+            }
             i += 2;
             continue;
         }
@@ -195,22 +254,29 @@ fn skip_raw_or_byte_string(chars: &[char], mut i: usize, line: &mut u32) -> usiz
                     k += 1;
                 }
                 if k == hashes {
-                    return i + 1 + hashes;
+                    return Some(i + 1 + hashes);
                 }
             } else {
-                return i + 1;
+                return Some(i + 1);
             }
         }
         i += 1;
     }
-    i
+    Some(i)
 }
 
 fn skip_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
     i += 1; // opening quote
     while i < chars.len() {
         match chars[i] {
-            '\\' => i += 2,
+            '\\' => {
+                // Count the newline of a `\`-continuation (see
+                // `skip_raw_or_byte_string`).
+                if i + 1 < chars.len() && chars[i + 1] == '\n' {
+                    *line += 1;
+                }
+                i += 2;
+            }
             '"' => return i + 1,
             c => {
                 if c == '\n' {
@@ -403,6 +469,83 @@ mod tests {
             .map(|t| t.text.as_str())
             .collect();
         assert!(ids.contains(&"HashMap"));
+    }
+
+    #[test]
+    fn multi_char_puncts_merge() {
+        let texts: Vec<String> = lex("a::b -> c => d .. e ..= f || g && h == i != j")
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(
+            texts,
+            vec!["::", "->", "=>", "..", "..=", "||", "&&", "==", "!="]
+        );
+        // `>=`/`<=`/`>>`/`<<` stay split (their chars can close generics).
+        let texts: Vec<String> = lex("a >= b")
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(texts, vec![">", "="]);
+    }
+
+    #[test]
+    fn number_literal_stops_before_method_call() {
+        // `self.0.checked_add(x)` must keep the `.checked_add` op: the
+        // literal-skipper may not swallow a `.ident` method chain.
+        let texts: Vec<String> = lex("self.0.checked_add(x) 1.5e3 0..n 0x1Fu64")
+            .tokens
+            .iter()
+            .map(|t| t.text.clone())
+            .collect();
+        let expect = ["self", ".", ".", "checked_add", "(", "x", ")", "..", "n"];
+        assert_eq!(texts, expect);
+    }
+
+    #[test]
+    fn raw_identifier_is_one_token() {
+        // `r#match` must not lex as the `match` keyword (parser desync),
+        // and must not eat the rest of the line as a raw string.
+        let toks = lex("let r#match = x.unwrap();").tokens;
+        let ids: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(ids.contains(&"r#match"), "{ids:?}");
+        assert!(ids.contains(&"unwrap"), "{ids:?}");
+        assert!(!ids.contains(&"match"), "{ids:?}");
+    }
+
+    #[test]
+    fn string_line_continuation_keeps_line_numbers() {
+        // The escaped newline inside the literal is still a source line.
+        let src = "let s = \"a\\\nb\";\nlet t = marker;";
+        let lx = lex(src);
+        let m = lx.tokens.iter().find(|t| t.text == "marker").unwrap();
+        assert_eq!(m.line, 3);
+    }
+
+    #[test]
+    fn raw_string_with_hashes_and_inner_quotes() {
+        let src = "let s = r##\"has \"# inner\"##;\nlet t = marker;";
+        let lx = lex(src);
+        let m = lx.tokens.iter().find(|t| t.text == "marker").unwrap();
+        assert_eq!(m.line, 2);
+        assert!(!lx.tokens.iter().any(|t| t.text == "inner"));
+    }
+
+    #[test]
+    fn nested_block_comment_lines_and_content() {
+        let src = "/* a /* b\n */ still\ncomment */ marker";
+        let lx = lex(src);
+        assert_eq!(lx.tokens.len(), 1);
+        assert_eq!(lx.tokens[0].text, "marker");
+        assert_eq!(lx.tokens[0].line, 3);
     }
 
     #[test]

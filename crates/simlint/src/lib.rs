@@ -11,14 +11,23 @@
 //! | `no-truncating-cast` | `as u8/u16/u32/usize` in `wire.rs`, `qp.rs`, `conn.rs` |
 //! | `no-panic-in-lib` | `unwrap()`/`expect()`/`panic!` in `ibsim`/`ibfabric`/`mpib` library code |
 //! | `no-ambient-rng` | RNG construction outside the `det_rng(seed, stream)` contract |
+//! | `borrow-across-await` | a `RefCell` borrow guard live at an `.await` point |
+//! | `await-under-lock` | a lock guard live at an `.await` point |
+//! | `no-blocking-in-async` | `thread::sleep`/`spawn`, blocking `recv`, `.lock()` in async bodies |
+//! | `credit-path-pairing` | a consume-side ledger op whose path can exit without a send/grant |
+//! | `exhaustive-protocol-match` | catch-all arms in `match`es over the wire/completion enums |
 //!
-//! Escapes are per-line comments — `// simlint: allow(<rule>): <why>` —
-//! and are audited: an escape with no justification, or one that
-//! suppresses nothing, is itself a violation, so the allowlist cannot
-//! silently grow. `--stats` reports per-rule counts of findings and
-//! audited suppressions. Zero dependencies; the lexer lives in
-//! [`lexer`] and the rules in [`rules`].
+//! The first five are token rules (their idents can appear outside any
+//! function body); the last five run on the AST built by [`ast`] with the
+//! control-flow walks in [`analyses`]. Escapes are per-line comments —
+//! `// simlint: allow(<rule>): <why>` — and are audited: an escape with
+//! no justification, or one that suppresses nothing, is itself a
+//! violation, so the allowlist cannot silently grow. `--stats` reports
+//! per-rule counts of findings and audited suppressions. Zero
+//! dependencies; the lexer lives in [`lexer`] and the rules in [`rules`].
 
+pub mod analyses;
+pub mod ast;
 pub mod lexer;
 pub mod rules;
 
@@ -123,6 +132,32 @@ pub fn render_stats(report: &Report) -> String {
         let ns = report.suppressions.iter().filter(|s| s.0 == rule).count();
         out.push_str(&format!("{rule:<28}{nf:>8}  {ns:>12}\n"));
     }
+    out
+}
+
+/// Machine-readable `--stats` output: per-rule counters in `RULE_NAMES`
+/// order plus totals. Deterministic byte-for-byte for a given tree, so
+/// the committed baseline in `bench_results/simlint_stats.json` can be
+/// diffed in CI.
+pub fn render_stats_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"rules\": [");
+    for (i, rule) in rules::RULE_NAMES.iter().enumerate() {
+        let nf = report.findings.iter().filter(|f| f.rule == *rule).count();
+        let ns = report.suppressions.iter().filter(|s| s.0 == *rule).count();
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"findings\": {nf}, \"suppressions\": {ns}}}",
+            json_str(rule)
+        ));
+    }
+    out.push_str(&format!(
+        "\n  ],\n  \"files_scanned\": {},\n  \"total_findings\": {},\n  \"total_suppressions\": {}\n}}\n",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressions.len()
+    ));
     out
 }
 

@@ -1,4 +1,4 @@
-//! CLI driver: `simlint [--json] [--stats] [--root <path>]`.
+//! CLI driver: `simlint [--json] [--stats] [--stats-json <path>] [--root <path>]`.
 //!
 //! Exit status 0 when the tree is clean (zero violations, zero unaudited
 //! or stale suppressions), 1 otherwise, 2 on usage/I-O errors. Run from
@@ -11,12 +11,20 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut json = false;
     let mut stats = false;
+    let mut stats_json: Option<PathBuf> = None;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--stats" => stats = true,
+            "--stats-json" => match args.next() {
+                Some(p) => stats_json = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("simlint: --stats-json requires a path");
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -27,7 +35,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "simlint: determinism & protocol-safety lint\n\
-                     usage: simlint [--json] [--stats] [--root <path>]"
+                     usage: simlint [--json] [--stats] [--stats-json <path>] [--root <path>]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -52,6 +60,12 @@ fn main() -> ExitCode {
     }
     if stats {
         print!("{}", simlint::render_stats(&report));
+    }
+    if let Some(path) = stats_json {
+        if let Err(e) = std::fs::write(&path, simlint::render_stats_json(&report)) {
+            eprintln!("simlint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
     }
     if report.is_clean() {
         ExitCode::SUCCESS

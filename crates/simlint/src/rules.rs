@@ -11,12 +11,17 @@
 use crate::lexer::{lex, Lexed, TokKind};
 
 /// Names of every rule, in reporting order.
-pub const RULE_NAMES: [&str; 7] = [
+pub const RULE_NAMES: [&str; 12] = [
     NO_WALL_CLOCK,
     NO_UNORDERED_ITERATION,
     NO_TRUNCATING_CAST,
     NO_PANIC_IN_LIB,
     NO_AMBIENT_RNG,
+    BORROW_ACROSS_AWAIT,
+    AWAIT_UNDER_LOCK,
+    NO_BLOCKING_IN_ASYNC,
+    CREDIT_PATH_PAIRING,
+    EXHAUSTIVE_PROTOCOL_MATCH,
     UNAUDITED_SUPPRESSION,
     UNUSED_SUPPRESSION,
 ];
@@ -26,6 +31,11 @@ pub const NO_UNORDERED_ITERATION: &str = "no-unordered-iteration";
 pub const NO_TRUNCATING_CAST: &str = "no-truncating-cast";
 pub const NO_PANIC_IN_LIB: &str = "no-panic-in-lib";
 pub const NO_AMBIENT_RNG: &str = "no-ambient-rng";
+pub const BORROW_ACROSS_AWAIT: &str = "borrow-across-await";
+pub const AWAIT_UNDER_LOCK: &str = "await-under-lock";
+pub const NO_BLOCKING_IN_ASYNC: &str = "no-blocking-in-async";
+pub const CREDIT_PATH_PAIRING: &str = "credit-path-pairing";
+pub const EXHAUSTIVE_PROTOCOL_MATCH: &str = "exhaustive-protocol-match";
 pub const UNAUDITED_SUPPRESSION: &str = "unaudited-suppression";
 pub const UNUSED_SUPPRESSION: &str = "unused-suppression";
 
@@ -57,7 +67,7 @@ pub struct FileReport {
 /// and unordered containers there can reorder events between runs.
 const SIM_CRATES: [&str; 3] = ["crates/sim/", "crates/fabric/", "crates/core/"];
 
-fn in_sim_crates(path: &str) -> bool {
+pub(crate) fn in_sim_crates(path: &str) -> bool {
     SIM_CRATES.iter().any(|p| path.contains(p))
 }
 
@@ -65,7 +75,7 @@ fn is_bench_or_bin(path: &str) -> bool {
     path.contains("/bin/") || path.contains("/benches/")
 }
 
-fn is_lib_code(path: &str) -> bool {
+pub(crate) fn is_lib_code(path: &str) -> bool {
     // Library code of the simulation crates: src/ excluding binary
     // drivers. Integration tests and benches may panic freely.
     in_sim_crates(path) && path.contains("/src/") && !is_bench_or_bin(path)
@@ -92,8 +102,6 @@ fn ambient_rng_applies(path: &str) -> bool {
 const WALL_CLOCK_IDENTS: [&str; 2] = ["Instant", "SystemTime"];
 const UNORDERED_IDENTS: [&str; 2] = ["HashMap", "HashSet"];
 const NARROW_TARGETS: [&str; 4] = ["u8", "u16", "u32", "usize"];
-const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
-const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
 const AMBIENT_RNG_IDENTS: [&str; 5] = [
     "thread_rng",
     "from_entropy",
@@ -108,14 +116,27 @@ const AMBIENT_RNG_IDENTS: [&str; 5] = [
 
 /// Lints one file's source. `path` is the normalized workspace-relative
 /// path used for rule scoping (fixtures pass a virtual path).
+///
+/// Two passes share the one lex: the token pass (idents can sit in `use`
+/// statements and type positions, outside any function body) and the AST
+/// pass (rules that need to know *which paths through a function* reach
+/// which calls).
 pub fn lint_source(path: &str, src: &str) -> FileReport {
     let lexed = lex(src);
     let mut raw = Vec::new();
     collect_token_findings(path, &lexed, &mut raw);
+    let fns = crate::ast::parse(&lexed);
+    crate::analyses::collect_ast_findings(path, &fns, &mut raw);
     apply_suppressions(path, &lexed, raw)
 }
 
-fn push(out: &mut Vec<Finding>, rule: &'static str, path: &str, line: u32, message: String) {
+pub(crate) fn push(
+    out: &mut Vec<Finding>,
+    rule: &'static str,
+    path: &str,
+    line: u32,
+    message: String,
+) {
     out.push(Finding {
         rule,
         file: path.to_string(),
@@ -174,36 +195,6 @@ fn collect_token_findings(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
                         ),
                     );
                 }
-            }
-        }
-
-        if is_lib_code(path) && !lexed.in_test[i] {
-            let is_method_call = i >= 1
-                && toks[i - 1].text == "."
-                && PANIC_METHODS.contains(&text)
-                && toks.get(i + 1).is_some_and(|n| n.text == "(");
-            let is_macro = PANIC_MACROS.contains(&text)
-                && toks.get(i + 1).is_some_and(|n| n.text == "!")
-                // `core::panic` in a path position (e.g. `std::panic::catch_unwind`)
-                // is not the macro.
-                && (i == 0 || toks[i - 1].text != ":");
-            if is_method_call || is_macro {
-                let form = if is_macro {
-                    format!("{text}!")
-                } else {
-                    format!(".{text}()")
-                };
-                push(
-                    out,
-                    NO_PANIC_IN_LIB,
-                    path,
-                    t.line,
-                    format!(
-                        "`{form}` in library code crashes the rank instead of \
-                         surfacing a typed error; return an error or document \
-                         the invariant behind an audited escape"
-                    ),
-                );
             }
         }
 
@@ -373,7 +364,8 @@ mod tests {
 
     #[test]
     fn allow_escape_suppresses_and_is_audited() {
-        let src = "// simlint: allow(no-panic-in-lib): slot checked above\nx.unwrap();";
+        let src =
+            "fn f() {\n// simlint: allow(no-panic-in-lib): slot checked above\nx.unwrap();\n}";
         let rep = lint_source("crates/core/src/rank.rs", src);
         assert!(rep.findings.is_empty());
         assert_eq!(rep.audited_suppressions.len(), 1);
@@ -382,7 +374,7 @@ mod tests {
 
     #[test]
     fn same_line_escape_works() {
-        let src = "x.unwrap(); // simlint: allow(no-panic-in-lib): checked\n";
+        let src = "fn f() { x.unwrap(); } // simlint: allow(no-panic-in-lib): checked\n";
         assert!(lint_source("crates/core/src/rank.rs", src)
             .findings
             .is_empty());
@@ -390,7 +382,7 @@ mod tests {
 
     #[test]
     fn unaudited_escape_is_reported() {
-        let src = "// simlint: allow(no-panic-in-lib)\nx.unwrap();";
+        let src = "fn f() {\n// simlint: allow(no-panic-in-lib)\nx.unwrap();\n}";
         assert_eq!(
             rules_hit("crates/core/src/rank.rs", src),
             [UNAUDITED_SUPPRESSION]
@@ -408,7 +400,7 @@ mod tests {
 
     #[test]
     fn escape_for_wrong_rule_does_not_suppress() {
-        let src = "// simlint: allow(no-wall-clock): wrong rule\nx.unwrap();";
+        let src = "fn f() {\n// simlint: allow(no-wall-clock): wrong rule\nx.unwrap();\n}";
         let hits = rules_hit("crates/core/src/rank.rs", src);
         assert!(hits.contains(&NO_PANIC_IN_LIB), "{hits:?}");
         assert!(hits.contains(&UNUSED_SUPPRESSION), "{hits:?}");

@@ -68,6 +68,60 @@ fn rng_fixture() {
 }
 
 #[test]
+fn borrow_across_await_fixture() {
+    assert_eq!(
+        hits("bad_borrow_await.rs", "crates/core/src/x.rs"),
+        expect(rules::BORROW_ACROSS_AWAIT, &[5, 10])
+    );
+    assert!(hits("good_borrow_await.rs", "crates/core/src/x.rs").is_empty());
+}
+
+#[test]
+fn await_under_lock_fixture() {
+    // Linted under crates/fabric (guard liveness runs everywhere) so the
+    // `.lock()` call does not also trip no-blocking-in-async.
+    assert_eq!(
+        hits("bad_await_lock.rs", "crates/fabric/src/x.rs"),
+        expect(rules::AWAIT_UNDER_LOCK, &[5])
+    );
+    assert!(hits("good_await_lock.rs", "crates/fabric/src/x.rs").is_empty());
+}
+
+#[test]
+fn blocking_in_async_fixture() {
+    assert_eq!(
+        hits("bad_blocking.rs", "crates/core/src/x.rs"),
+        expect(rules::NO_BLOCKING_IN_ASYNC, &[4, 5, 6, 12])
+    );
+    assert!(hits("good_blocking.rs", "crates/core/src/x.rs").is_empty());
+    // Outside the deterministic crates the rule does not apply.
+    assert!(hits("bad_blocking.rs", "crates/fabric/src/x.rs").is_empty());
+}
+
+#[test]
+fn credit_pairing_fixture() {
+    // Findings anchor at the consume-side op whose path leaks.
+    assert_eq!(
+        hits("bad_credit_pairing.rs", "crates/core/src/x.rs"),
+        expect(rules::CREDIT_PATH_PAIRING, &[4, 11, 19])
+    );
+    assert!(hits("good_credit_pairing.rs", "crates/core/src/x.rs").is_empty());
+    // The ledger rule is scoped to crates/core library code.
+    assert!(hits("bad_credit_pairing.rs", "crates/fabric/src/x.rs").is_empty());
+}
+
+#[test]
+fn protocol_match_fixture() {
+    assert_eq!(
+        hits("bad_protocol_match.rs", "crates/core/src/x.rs"),
+        expect(rules::EXHAUSTIVE_PROTOCOL_MATCH, &[6, 13])
+    );
+    assert!(hits("good_protocol_match.rs", "crates/core/src/x.rs").is_empty());
+    // Outside the simulation crates any match shape is fine.
+    assert!(hits("bad_protocol_match.rs", "crates/nas/src/x.rs").is_empty());
+}
+
+#[test]
 fn escapes_fixture() {
     let report = lint_source("crates/core/src/rank.rs", &fixture("escapes.rs"));
     let got: Vec<(String, u32)> = report

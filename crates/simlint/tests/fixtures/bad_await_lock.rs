@@ -1,0 +1,7 @@
+//! Fixture: a lock guard live at an `.await` point.
+
+async fn holds_lock(m: &Mutex<u64>) -> Result<u64, Error> {
+    let g = m.lock()?;
+    tick().await;
+    Ok(*g)
+}

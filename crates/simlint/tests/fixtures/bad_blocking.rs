@@ -1,0 +1,14 @@
+//! Fixture: blocking primitives inside async bodies.
+
+async fn blocks(rx: &Receiver<u64>) -> Result<u64, Error> {
+    thread::sleep(Duration::from_millis(1));
+    let handle = thread::spawn(worker);
+    let v = rx.recv()?;
+    join_quietly(handle);
+    Ok(v)
+}
+
+async fn locks(m: &Mutex<u64>) -> u64 {
+    let v = *m.lock();
+    v
+}

@@ -1,0 +1,11 @@
+//! Fixture: RefCell borrow guards live across `.await` points.
+
+async fn named_guard(cell: &RefCell<u64>) -> u64 {
+    let g = cell.borrow_mut();
+    tick().await;
+    *g
+}
+
+async fn temp_guard(cell: &RefCell<u64>) -> u64 {
+    combine(cell.borrow().len(), tick().await)
+}

@@ -1,0 +1,21 @@
+//! Fixture: consume-side ledger ops whose path can exit without a send.
+
+fn early_return_leaks(c: &mut Conn, frame: Frame) -> Result<(), Error> {
+    c.spend_credit();
+    let slot = c.reserve(frame.len())?;
+    c.post_frame(slot);
+    Ok(())
+}
+
+fn branch_leaks(c: &mut Conn, urgent: bool) {
+    c.spend_credit();
+    if urgent {
+        return;
+    }
+    c.post_frame(c.take());
+}
+
+fn falls_off_the_end(c: &mut Conn) {
+    c.spend_credit();
+    c.note_pending();
+}

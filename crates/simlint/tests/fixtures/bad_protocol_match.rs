@@ -1,0 +1,15 @@
+//! Fixture: catch-all arms over protocol enums.
+
+fn classify(status: CqeStatus) -> Class {
+    match status {
+        CqeStatus::Success => Class::Ok,
+        _ => Class::Fatal,
+    }
+}
+
+fn wire(err: WireError) -> Action {
+    match err {
+        WireError::BadMagic => Action::Drop,
+        other => Action::Log,
+    }
+}

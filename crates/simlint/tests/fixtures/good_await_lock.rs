@@ -1,0 +1,17 @@
+//! Fixture: lock guards released before any `.await`.
+
+async fn releases_lock(m: &Mutex<u64>) -> Result<u64, Error> {
+    let v = {
+        let g = m.lock()?;
+        *g
+    };
+    tick().await;
+    Ok(v)
+}
+
+async fn drops_explicitly(m: &Mutex<u64>) -> Result<(), Error> {
+    let g = m.lock()?;
+    drop(g);
+    tick().await;
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Fixture: async-safe equivalents of the blocking calls, and sync code
+//! where blocking is fine.
+
+async fn yields(rx: &AsyncReceiver<u64>) -> u64 {
+    sleep_for(Duration::from_millis(1)).await;
+    rx.recv().await
+}
+
+fn sync_code_may_block(rx: &Receiver<u64>, m: &Mutex<u64>) -> u64 {
+    let base = *m.lock();
+    base + rx.recv().unwrap_or(0)
+}

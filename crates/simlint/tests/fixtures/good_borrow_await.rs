@@ -1,0 +1,15 @@
+//! Fixture: borrows correctly released before any `.await`.
+
+async fn dropped_before_await(cell: &RefCell<u64>) -> u64 {
+    let g = cell.borrow_mut();
+    let v = *g;
+    drop(g);
+    tick().await;
+    v
+}
+
+async fn statement_ends_before_await(cell: &RefCell<u64>) -> u64 {
+    let v = cell.borrow().len() as u64;
+    tick().await;
+    v
+}

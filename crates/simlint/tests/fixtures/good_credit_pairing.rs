@@ -1,0 +1,24 @@
+//! Fixture: every consume-side ledger op reaches a send on all paths.
+
+fn fallible_work_first(c: &mut Conn, frame: Frame) -> Result<(), Error> {
+    let slot = c.reserve(frame.len())?;
+    c.spend_credit();
+    c.post_frame(slot);
+    Ok(())
+}
+
+fn paired_in_both_branches(c: &mut Conn, urgent: bool) {
+    c.spend_credit();
+    if urgent {
+        c.post_frame(c.high_priority());
+    } else {
+        c.post_frame(c.take());
+    }
+}
+
+fn loop_sends_before_continue(c: &mut Conn, frames: Vec<Frame>) {
+    for frame in frames {
+        c.spend_credit();
+        c.post_frame(frame);
+    }
+}

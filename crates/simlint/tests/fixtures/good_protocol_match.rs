@@ -1,0 +1,18 @@
+//! Fixture: protocol matches list every variant; wildcard arms are
+//! only fine over non-protocol enums.
+
+fn classify(status: CqeStatus) -> Class {
+    match status {
+        CqeStatus::Success => Class::Ok,
+        CqeStatus::RnrRetryExceeded => Class::Backoff,
+        CqeStatus::RetryExceeded => Class::Fatal,
+        CqeStatus::Flushed => Class::Fatal,
+    }
+}
+
+fn unrelated(mode: Mode) -> Speed {
+    match mode {
+        Mode::Fast => Speed::High,
+        _ => Speed::Low,
+    }
+}

@@ -1,0 +1,46 @@
+//! Self-hosting + baseline gates: the lint must hold on the whole
+//! workspace (including its own source), and the committed stats
+//! baseline must match what a fresh scan produces, so escape-count
+//! drift is visible in review rather than accumulating silently.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/simlint -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+}
+
+#[test]
+fn workspace_is_clean_including_simlint_itself() {
+    let report = simlint::lint_tree(workspace_root()).expect("scan");
+    assert!(
+        report.findings.is_empty(),
+        "workspace lint regressed:\n{}",
+        simlint::render_human(&report)
+    );
+    // The scan really covered the tree (not an empty dir mis-root).
+    assert!(report.files_scanned > 50, "{} files", report.files_scanned);
+    // Self-hosting: simlint's own source was part of the clean scan.
+    let own = simlint::lint_tree(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("self scan");
+    assert!(
+        own.findings.is_empty(),
+        "simlint does not self-lint clean:\n{}",
+        simlint::render_human(&own)
+    );
+}
+
+#[test]
+fn committed_stats_baseline_matches_fresh_scan() {
+    let baseline_path = workspace_root().join("bench_results/simlint_stats.json");
+    let committed = std::fs::read_to_string(&baseline_path).expect("baseline committed");
+    let report = simlint::lint_tree(workspace_root()).expect("scan");
+    let fresh = simlint::render_stats_json(&report);
+    assert_eq!(
+        committed, fresh,
+        "bench_results/simlint_stats.json is stale; \
+         regenerate with `cargo run -p simlint -- --stats-json bench_results/simlint_stats.json`"
+    );
+}

@@ -35,6 +35,10 @@ run cargo run --release -p simlint --locked --offline -- --stats --stats-json be
 run cargo clippy --workspace --all-targets --locked --offline -- -D warnings
 run cargo bench -p ibfabric --bench transport --locked --offline -- --test
 run cargo bench -p ibflow-bench --bench paper --locked --offline -- --test
+# The engine bench's --test mode enforces the committed throughput
+# floors: the 1M events/s event-loop/handoff rates, and the 100k
+# frames/s ring_poll floor guarding the RDMA channel's O(active)
+# polling path.
 run cargo bench -p ibflow-bench --bench engine --locked --offline -- --test
 
 # Goldens must be byte-identical at every pool width: serial, moderate,

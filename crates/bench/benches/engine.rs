@@ -1,6 +1,6 @@
 //! Engine throughput bench: raw event-loop rates plus the battery wall.
 //!
-//! Five measurements, recorded in `bench_results/BENCH_engine.json`:
+//! Six measurements, recorded in `bench_results/BENCH_engine.json`:
 //!
 //! * **call events/sec** — a self-perpetuating closure-event chain drained
 //!   under a single borrow of the scheduler; the ceiling on pure event
@@ -18,6 +18,11 @@
 //! * **ranks_per_thread** — 64 processes advancing on interleaved
 //!   schedules, all multiplexed on the one calling thread; measures that
 //!   event throughput holds up when many coroutines share the queue.
+//! * **ring_poll events/sec** — a 2-rank rdma-channel world pumping
+//!   4-byte messages through the eager ring in windowed bursts; the rate
+//!   is ring frames landed per *host* second. This is the tripwire for
+//!   the O(active) polling path: a return to O(world) ring scans or a
+//!   per-frame staging allocation shows up here first.
 //! * **battery wall** — the `all_experiments` workload (every figure and
 //!   table at the default class) at `IBFLOW_JOBS=1` and at jobs=N, timing
 //!   the serial hot path and the pool speedup. Simulated ranks are
@@ -32,8 +37,10 @@
 //! (~350k/s), so reintroducing any thread hop on the handoff path fails
 //! CI.
 
+use ibfabric::FabricParams;
 use ibflow_bench::figures::{bandwidth_figure, fig2_latency, nas_battery};
 use ibsim::{Ctx, Sim, SimConfig, SimDuration, SimTime};
+use mpib::{FlowControlScheme, MpiConfig, MpiWorld};
 use std::time::Instant;
 
 /// World for the call-chain workload: (fired so far, chain length).
@@ -99,6 +106,38 @@ fn median3(mut f: impl FnMut() -> f64) -> f64 {
     s[1]
 }
 
+/// Ring frames per host second through the RDMA eager channel: rank 0
+/// pushes `msgs` 4-byte messages to rank 1 in windowed non-blocking
+/// bursts (window 32, one 4-byte ack per window), so the receiver's
+/// progress loop is constantly draining a hot ring. Every message lands
+/// as exactly one ring frame, so `msgs / wall` is the polling-path rate.
+fn ring_poll_rate(msgs: u32) -> f64 {
+    const WINDOW: u32 = 32;
+    let cfg = MpiConfig::scheme(FlowControlScheme::RdmaChannel, 100);
+    let rounds = msgs / WINDOW;
+    let t0 = Instant::now();
+    MpiWorld::run(2, cfg, FabricParams::mt23108(), async move |mpi| {
+        let peer = 1 - mpi.rank();
+        let payload = [0x5Au8; 4];
+        for _ in 0..rounds {
+            if mpi.rank() == 0 {
+                let reqs: Vec<_> = (0..WINDOW).map(|_| mpi.isend(&payload, peer, 7)).collect();
+                mpi.waitall(&reqs).await;
+                let _ = mpi.recv(Some(peer), Some(8)).await;
+            } else {
+                let reqs: Vec<_> = (0..WINDOW)
+                    .map(|_| mpi.irecv(Some(peer), Some(7)))
+                    .collect();
+                mpi.waitall(&reqs).await;
+                mpi.send(&[0u8; 4], peer, 8).await;
+            }
+        }
+        0u64
+    })
+    .expect("ring poll run");
+    f64::from(rounds * WINDOW) / t0.elapsed().as_secs_f64()
+}
+
 /// The `all_experiments` workload (results discarded); returns wall ns.
 fn battery_wall_ns(class: nasbench::NasClass) -> u64 {
     let t0 = Instant::now();
@@ -137,10 +176,12 @@ fn main() {
         let handoff = median3(|| handoff_rate(20_000));
         let xproc = median3(|| interleaved_rate(2, 10_000));
         let many = interleaved_rate(RANKS_PER_THREAD, 500);
+        let ring = median3(|| ring_poll_rate(6_400));
         println!("test engine/call_chain ({call:.0} events/sec) ... ok");
         println!("test engine/handoffs_self ({handoff:.0} events/sec) ... ok");
         println!("test engine/handoffs_xproc ({xproc:.0} events/sec) ... ok");
         println!("test engine/ranks_per_thread ({many:.0} events/sec) ... ok");
+        println!("test engine/ring_poll ({ring:.0} events/sec) ... ok");
         assert!(
             call > 1_000_000.0,
             "call-event dispatch regressed: {call:.0} events/sec"
@@ -158,6 +199,11 @@ fn main() {
             many > 1_000_000.0,
             "{RANKS_PER_THREAD}-coroutine interleave regressed: {many:.0} events/sec"
         );
+        assert!(
+            ring > 100_000.0,
+            "rdma-channel ring polling regressed: {ring:.0} frames/sec (< 100,000); \
+             did the progress loop go back to O(world) ring scans?"
+        );
         return;
     }
 
@@ -169,6 +215,8 @@ fn main() {
     println!("handoff_xproc events/sec: {xproc:>14.0}");
     let many = median3(|| interleaved_rate(RANKS_PER_THREAD, 30_000));
     println!("ranks_per_thread ({RANKS_PER_THREAD}) events/sec: {many:>14.0}");
+    let ring = median3(|| ring_poll_rate(64_000));
+    println!("ring_poll events/sec:     {ring:>14.0}");
 
     let class = ibflow_bench::nas_class_from_env();
     let jobs_n = ibpool::worker_count().max(4);
@@ -213,6 +261,7 @@ fn main() {
          \"handoff_xproc_events_per_sec\": {xproc:.0},\n  \
          \"ranks_per_thread\": {RANKS_PER_THREAD},\n  \
          \"ranks_per_thread_events_per_sec\": {many:.0},\n  \
+         \"ring_poll_events_per_sec\": {ring:.0},\n  \
          \"battery_class\": \"{class:?}\",\n  \"battery_wall_jobs1_ns\": {wall_jobs1},\n  \
          \"battery_jobs_n\": {jobs_n},\n  \"battery_wall_jobsn_ns\": {wall_jobsn},\n  \
          \"jobsn_oversubscribed\": {oversubscribed}\n}}\n"

@@ -1,14 +1,18 @@
-//! Chaos battery: soak runs of all three flow control schemes under
-//! escalating seeded fault plans.
+//! Chaos battery: soak runs of all four flow control schemes (the
+//! paper's three plus the RDMA eager channel) under escalating seeded
+//! fault plans.
 //!
 //! Each run is a 3-rank ring of `sendrecv` exchanges with pattern-filled,
 //! verified payloads mixing eager and rendezvous sizes, driven over a
 //! lossy fabric with infinite retry budgets. The battery asserts the
 //! robustness contract end to end: every run completes, every payload
 //! arrives intact, no faults are recorded, every rank's credit ledger is
-//! conserved, and — because the fault plan draws from the sim-owned RNG —
-//! the full counter report is byte-identical for identical seeds at any
-//! `IBFLOW_JOBS` width.
+//! conserved (buffer credits and, under the RDMA channel, ring slots),
+//! and — because the fault plan draws from the sim-owned RNG — the full
+//! counter report is byte-identical for identical seeds at any
+//! `IBFLOW_JOBS` width. Under the RDMA channel the delayed-ACK levels
+//! additionally force retransmitted RDMA WRITEs into the ring, whose
+//! duplicates the transport's MSN tracking must suppress.
 
 use crate::report::table;
 use crate::SCHEMES;

@@ -51,8 +51,18 @@ pub fn nas_class_from_env() -> NasClass {
         .unwrap_or_else(|| panic!("unrecognized IBFLOW_CLASS={raw:?}: expected one of test, w, a"))
 }
 
-/// The three schemes in the paper's presentation order.
-pub const SCHEMES: [FlowControlScheme; 3] = [
+/// The battery's schemes: the paper's three in presentation order, then
+/// the RDMA eager-channel companion design \[13\] as a fourth column.
+pub const SCHEMES: [FlowControlScheme; 4] = [
+    FlowControlScheme::Hardware,
+    FlowControlScheme::UserStatic,
+    FlowControlScheme::UserDynamic,
+    FlowControlScheme::RdmaChannel,
+];
+
+/// The paper's original three send/recv schemes (used by comparisons that
+/// exclude the RDMA channel's different transport).
+pub const SEND_RECV_SCHEMES: [FlowControlScheme; 3] = [
     FlowControlScheme::Hardware,
     FlowControlScheme::UserStatic,
     FlowControlScheme::UserDynamic,

@@ -54,6 +54,25 @@ fn chaos_battery_is_deterministic_and_matches_golden() {
     assert!(sum(|r| r.dup_suppressed) > 0, "no duplicate was suppressed");
     assert!(runs.iter().all(|r| r.ledger_ok), "a credit ledger leaked");
 
+    // The RDMA-channel rows must exercise their own recovery story:
+    // retransmitted RDMA WRITEs into the ring get duplicate-suppressed
+    // (the storm level's delayed ACKs guarantee spurious retransmits),
+    // and ring-slot conservation held on every run (ledger_ok above now
+    // covers the ring ledger too).
+    let rc: Vec<_> = runs
+        .iter()
+        .filter(|r| r.scheme == mpib::FlowControlScheme::RdmaChannel)
+        .collect();
+    assert_eq!(rc.len(), 3, "one rdma-channel run per chaos level");
+    assert!(
+        rc.iter().map(|r| r.retransmissions).sum::<u64>() > 0,
+        "rdma-channel rows never retransmitted"
+    );
+    assert!(
+        rc.iter().map(|r| r.dup_suppressed).sum::<u64>() > 0,
+        "no retransmitted RDMA WRITE was duplicate-suppressed on the channel"
+    );
+
     let path = golden_path();
     if std::env::var("IBFLOW_UPDATE_GOLDEN").is_ok() {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();

@@ -37,11 +37,12 @@ fn render() -> String {
     let rows = fig2_latency();
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"size\": {}, \"hardware\": {:.4}, \"user_static\": {:.4}, \"user_dynamic\": {:.4}}}{}\n",
+            "    {{\"size\": {}, \"hardware\": {:.4}, \"user_static\": {:.4}, \"user_dynamic\": {:.4}, \"rdma_channel\": {:.4}}}{}\n",
             r.size,
             r.us[0],
             r.us[1],
             r.us[2],
+            r.us[3],
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

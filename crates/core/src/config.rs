@@ -1,6 +1,9 @@
 //! MPI-layer configuration: the flow control scheme and its knobs.
 
-/// Which of the paper's three flow control schemes governs a run.
+/// Which flow control scheme governs a run: the paper's three designs
+/// plus the RDMA eager channel of its companion design (reference
+/// \[13\]), promoted to a first-class scheme because the ring *is* a
+/// credit window.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FlowControlScheme {
     /// No MPI-level accounting; InfiniBand end-to-end flow control and RNR
@@ -11,10 +14,17 @@ pub enum FlowControlScheme {
     /// Credit-based, starting small and growing the pre-posted pool on
     /// backlog feedback (paper §4.3).
     UserDynamic,
+    /// Static credits plus the RDMA-written eager ring (companion design
+    /// \[13\]): small frames bypass receive WQEs and the CQ entirely, and
+    /// the ring slots form a second, static credit window returned via
+    /// the RDMA credit mailbox. Dynamic growth over RDMA channels is the
+    /// future work the paper's §7 flags as "more complicated".
+    RdmaChannel,
 }
 
 impl FlowControlScheme {
-    /// True for the two user-level schemes.
+    /// True for the schemes with MPI-level credit accounting (everything
+    /// except the hardware scheme).
     pub fn is_user_level(self) -> bool {
         !matches!(self, FlowControlScheme::Hardware)
     }
@@ -25,6 +35,7 @@ impl FlowControlScheme {
             FlowControlScheme::Hardware => "hardware",
             FlowControlScheme::UserStatic => "user-static",
             FlowControlScheme::UserDynamic => "user-dynamic",
+            FlowControlScheme::RdmaChannel => "rdma-channel",
         }
     }
 }
@@ -139,12 +150,30 @@ impl Default for MpiConfig {
 
 impl MpiConfig {
     /// Convenience constructor: the given scheme with the given prepost,
-    /// everything else default.
+    /// everything else default. [`FlowControlScheme::RdmaChannel`] implies
+    /// the eager ring and the RDMA credit mailbox, so those prerequisites
+    /// are switched on here rather than left for `validate` to reject; the
+    /// ring is sized to `prepost` (floored at the 2-slot minimum) because
+    /// ring slots ARE the channel's credit window — a four-way sweep at a
+    /// given depth then compares equal small-message budgets per scheme.
     pub fn scheme(scheme: FlowControlScheme, prepost: u32) -> Self {
+        let channel = scheme == FlowControlScheme::RdmaChannel;
+        let defaults = MpiConfig::default();
         MpiConfig {
             scheme,
             prepost,
-            ..Default::default()
+            rdma_eager_channel: channel,
+            credit_msg_mode: if channel {
+                CreditMsgMode::Rdma
+            } else {
+                CreditMsgMode::Optimistic
+            },
+            rdma_ring_slots: if channel {
+                prepost.max(2)
+            } else {
+                defaults.rdma_ring_slots
+            },
+            ..defaults
         }
     }
 
@@ -177,9 +206,19 @@ impl MpiConfig {
         if let GrowthPolicy::Linear(0) = self.growth {
             return Err("linear growth increment must be non-zero".into());
         }
+        if self.scheme == FlowControlScheme::RdmaChannel && !self.rdma_eager_channel {
+            return Err("the rdma-channel scheme requires rdma_eager_channel".into());
+        }
         if self.rdma_eager_channel {
-            if self.scheme != FlowControlScheme::UserStatic {
-                return Err("the RDMA eager channel requires the user-level static scheme".into());
+            // The legacy spelling (`UserStatic` + the channel flag) stays
+            // valid so ablations can compare the flag in isolation.
+            if !matches!(
+                self.scheme,
+                FlowControlScheme::UserStatic | FlowControlScheme::RdmaChannel
+            ) {
+                return Err("the RDMA eager channel requires static credits \
+                     (UserStatic or RdmaChannel scheme)"
+                    .into());
             }
             if self.credit_msg_mode != CreditMsgMode::Rdma {
                 return Err("the RDMA eager channel requires CreditMsgMode::Rdma".into());
@@ -264,9 +303,32 @@ mod tests {
     }
 
     #[test]
+    fn rdma_channel_scheme_is_first_class() {
+        // The constructor wires the prerequisites on.
+        let c = MpiConfig::scheme(FlowControlScheme::RdmaChannel, 10);
+        assert!(c.rdma_eager_channel);
+        assert_eq!(c.credit_msg_mode, CreditMsgMode::Rdma);
+        assert!(c.scheme.is_user_level());
+        assert!(c.validate().is_ok());
+
+        // Naming the scheme without the channel flag is inconsistent.
+        let bad = MpiConfig {
+            rdma_eager_channel: false,
+            ..MpiConfig::scheme(FlowControlScheme::RdmaChannel, 10)
+        };
+        assert!(bad.validate().is_err());
+        let bad_mode = MpiConfig {
+            credit_msg_mode: CreditMsgMode::Optimistic,
+            ..MpiConfig::scheme(FlowControlScheme::RdmaChannel, 10)
+        };
+        assert!(bad_mode.validate().is_err());
+    }
+
+    #[test]
     fn labels() {
         assert_eq!(FlowControlScheme::Hardware.label(), "hardware");
         assert_eq!(FlowControlScheme::UserStatic.label(), "user-static");
         assert_eq!(FlowControlScheme::UserDynamic.label(), "user-dynamic");
+        assert_eq!(FlowControlScheme::RdmaChannel.label(), "rdma-channel");
     }
 }

@@ -77,6 +77,18 @@ pub(crate) struct Conn {
     pub ring_consumed_since_update: u32,
     /// Cumulative ring-slot returns written to the peer's mailbox.
     pub ring_mailbox_sent_total: u64,
+
+    // ---- ring conservation ledger (mirrors the buffer-credit ledger;
+    //      trivially zero for every scheme without the channel) ----
+    /// Cumulative ring slots ever granted to this endpoint (initial ring
+    /// plus every mailbox / piggyback return).
+    pub ring_granted_total: u64,
+    /// Cumulative ring slots this endpoint has spent sending.
+    pub ring_spent_total: u64,
+    /// Cumulative peer-owed ring slots accrued by this endpoint.
+    pub ring_consumed_total: u64,
+    /// Cumulative ring slots this endpoint has returned to the peer.
+    pub ring_returned_total: u64,
     /// Last cumulative ring-credit value read from `my_mailbox`.
     pub ring_mailbox_seen: u64,
     /// Next sequence number to *deliver* (cross-channel ordering gate).
@@ -132,6 +144,10 @@ impl Conn {
             ring_credits: 0,
             ring_consumed_since_update: 0,
             ring_mailbox_sent_total: 0,
+            ring_granted_total: 0,
+            ring_spent_total: 0,
+            ring_consumed_total: 0,
+            ring_returned_total: 0,
             ring_mailbox_seen: 0,
             next_deliver_seq: 0,
             reorder: std::collections::BTreeMap::new(),
@@ -183,7 +199,32 @@ impl Conn {
     pub fn take_piggyback_ring_credits(&mut self) -> u16 {
         let n = u16::try_from(self.ring_consumed_since_update).unwrap_or(u16::MAX);
         self.ring_consumed_since_update -= u32::from(n);
+        self.ring_returned_total += u64::from(n);
         n
+    }
+
+    /// Applies `n` returned ring slots.
+    pub fn apply_ring_credits(&mut self, n: u32) {
+        self.ring_credits += n;
+        self.ring_granted_total += u64::from(n);
+    }
+
+    /// Spends one ring slot, keeping the ring ledger in lockstep.
+    pub fn spend_ring_credit(&mut self) {
+        debug_assert!(
+            self.ring_credits > 0,
+            "spending a ring slot on an empty ring"
+        );
+        self.ring_credits -= 1;
+        self.ring_spent_total += 1;
+    }
+
+    /// Records `n` peer-owed ring slots (frames drained from this
+    /// endpoint's ring). They sit in `ring_consumed_since_update` until a
+    /// mailbox update or piggyback drains them.
+    pub fn note_ring_consumed(&mut self, n: u32) {
+        self.ring_consumed_since_update += n;
+        self.ring_consumed_total += u64::from(n);
     }
 
     /// Debug-build credit-conservation check. Two local invariants hold at
@@ -216,6 +257,24 @@ impl Conn {
             self.consumed_total,
             self.returned_total,
             self.consumed_since_update,
+        );
+        debug_assert_eq!(
+            self.ring_granted_total,
+            self.ring_spent_total + u64::from(self.ring_credits),
+            "ring-slot leak toward peer {}: granted {} != spent {} + held {}",
+            self.peer,
+            self.ring_granted_total,
+            self.ring_spent_total,
+            self.ring_credits,
+        );
+        debug_assert_eq!(
+            self.ring_consumed_total,
+            self.ring_returned_total + u64::from(self.ring_consumed_since_update),
+            "ring-return leak toward peer {}: consumed {} != returned {} + pending {}",
+            self.peer,
+            self.ring_consumed_total,
+            self.ring_returned_total,
+            self.ring_consumed_since_update,
         );
     }
 
@@ -278,6 +337,31 @@ mod tests {
     fn ledger_catches_untracked_credits() {
         let mut c = conn();
         c.credits = 5; // bypasses the ledger on purpose
+        c.debug_check_conservation();
+    }
+
+    #[test]
+    fn ring_ledger_tracks_grants_spends_and_returns() {
+        let mut c = conn();
+        c.apply_ring_credits(8);
+        c.spend_ring_credit();
+        c.spend_ring_credit();
+        assert_eq!(c.ring_credits, 6);
+        assert_eq!(c.ring_granted_total, 8);
+        assert_eq!(c.ring_spent_total, 2);
+        c.note_ring_consumed(3);
+        assert_eq!(c.take_piggyback_ring_credits(), 3);
+        assert_eq!(c.ring_consumed_total, 3);
+        assert_eq!(c.ring_returned_total, 3);
+        c.debug_check_conservation();
+    }
+
+    #[test]
+    #[should_panic(expected = "ring-slot leak")]
+    #[cfg(debug_assertions)]
+    fn ring_ledger_catches_untracked_slots() {
+        let mut c = conn();
+        c.ring_credits = 5; // bypasses the ledger on purpose
         c.debug_check_conservation();
     }
 

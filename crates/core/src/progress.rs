@@ -28,13 +28,30 @@ impl MpiRank {
                 self.dispatch_cqe(cqe);
             }
         }
-        // RDMA eager-channel rings (companion design [13]).
-        if self.cfg.rdma_eager_channel {
-            any |= self.poll_rings();
-        }
-        // RDMA credit mailboxes (paper §7's "RDMA approach").
-        if self.cfg.scheme.is_user_level() && self.cfg.credit_msg_mode == CreditMsgMode::Rdma {
-            any |= self.poll_credit_mailboxes();
+        // RDMA-fed state (eager-channel rings, credit mailboxes) only
+        // needs a scan when an RDMA WRITE actually landed on this node
+        // since the last pass: the fabric's per-node delivery counter
+        // makes the empty pass O(1) instead of O(world). A bounded ring
+        // drain leaves a residual that forces the next scan regardless.
+        let channel = self.cfg.rdma_eager_channel;
+        let rdma_credits =
+            self.cfg.scheme.is_user_level() && self.cfg.credit_msg_mode == CreditMsgMode::Rdma;
+        if channel || rdma_credits {
+            let node = self.node;
+            let delivered = self.proc.with(|ctx| ctx.world.rdma_delivered(node));
+            if delivered != self.rdma_seen || self.ring_residual {
+                // Snapshot before scanning so a write racing the scan is
+                // caught by the next pass rather than lost.
+                self.rdma_seen = delivered;
+                // RDMA eager-channel rings (companion design [13]).
+                if channel {
+                    any |= self.poll_rings();
+                }
+                // RDMA credit mailboxes (paper §7's "RDMA approach").
+                if rdma_credits {
+                    any |= self.poll_credit_mailboxes();
+                }
+            }
         }
         // Credits may have arrived: drain backlogs.
         any |= self.drain_backlogs();
@@ -141,6 +158,9 @@ impl MpiRank {
     fn teardown_conn(&mut self, peer: Rank) {
         self.conn_mut(peer).failed = true;
         self.conn_mut(peer).optimistic_req = None;
+        // A torn-down connection's ring and mailbox never see another
+        // delivery; stop polling them.
+        self.rdma_watch.retain(|&p| p != peer);
         let backlog: Vec<ReqId> = self.conn_mut(peer).backlog.drain(..).collect();
         for req in backlog {
             let detached = {
@@ -283,7 +303,8 @@ impl MpiRank {
             self.conn_mut(peer).apply_credits(u32::from(header.credits));
         }
         if self.cfg.rdma_eager_channel && header.ring_credits > 0 {
-            self.conn_mut(peer).ring_credits += u32::from(header.ring_credits);
+            self.conn_mut(peer)
+                .apply_ring_credits(u32::from(header.ring_credits));
         }
 
         // 2. Dynamic growth feedback.
@@ -536,56 +557,81 @@ impl MpiRank {
         }
     }
 
-    /// Polls every connection's incoming RDMA eager-channel ring.
+    /// Polls the incoming RDMA eager-channel ring of every *watched*
+    /// connection (established peers only — the O(active) watchlist).
+    /// Each ring drains at most `RING_DRAIN_BURST` frames per pass so a
+    /// hot ring cannot starve CQ progress or the other rings; leftovers
+    /// set `ring_residual`, which forces the next pass to scan again.
     fn poll_rings(&mut self) -> bool {
         use crate::buffers::{RING_MARKER, RING_MARKER_OFFSET};
+        /// Frames drained from one ring in one progress pass.
+        const RING_DRAIN_BURST: u32 = 8;
         let mut any = false;
         let buf_size = self.cfg.buf_size;
         let slots = self.cfg.rdma_ring_slots;
-        for peer in 0..self.size {
-            if peer == self.rank || self.conns[peer].is_none() {
-                continue;
-            }
+        self.ring_residual = false;
+        let mut i = 0;
+        while i < self.rdma_watch.len() {
+            let peer = self.rdma_watch[i];
+            i += 1;
+            let mut drained = 0;
             loop {
+                if drained == RING_DRAIN_BURST {
+                    self.ring_residual = true;
+                    break;
+                }
                 let (mr, slot) = {
                     let c = self.conn(peer);
                     (c.my_ring, c.ring_read_slot)
                 };
                 let offset = slot as usize * buf_size;
-                let frame = self.proc.with(|ctx| {
-                    let bytes = &ctx.world.mr_bytes(mr)[offset..offset + buf_size];
-                    if bytes[RING_MARKER_OFFSET] != RING_MARKER {
-                        return None;
+                // One world access per frame: check the marker, stage the
+                // payload into the reusable scratch buffer, clear the
+                // marker (the slot is free once the return reaches the
+                // sender), and price the copy.
+                let mut scratch = std::mem::take(&mut self.ring_scratch);
+                let polled = self.proc.with(|ctx| {
+                    let header;
+                    {
+                        let bytes = &ctx.world.mr_bytes(mr)[offset..offset + buf_size];
+                        if bytes[RING_MARKER_OFFSET] != RING_MARKER {
+                            return None;
+                        }
+                        // simlint: allow(no-panic-in-lib): ring frames are written whole by post_ring_frame before the validity marker is set, so a decode failure is a simulator bug
+                        header = MsgHeader::decode(bytes).expect("malformed ring frame");
+                        scratch.clear();
+                        scratch.extend_from_slice(
+                            &bytes[HEADER_LEN..HEADER_LEN + header.payload_len as usize],
+                        );
                     }
-                    // simlint: allow(no-panic-in-lib): ring frames are written whole by post_ring_frame before the validity marker is set, so a decode failure is a simulator bug
-                    let header = MsgHeader::decode(bytes).expect("malformed ring frame");
-                    let payload =
-                        bytes[HEADER_LEN..HEADER_LEN + header.payload_len as usize].to_vec();
-                    Some((header, payload))
+                    ctx.world.mr_bytes_mut(mr)[offset + RING_MARKER_OFFSET] = 0;
+                    let cost = ctx.world.params().copy_time(HEADER_LEN + scratch.len());
+                    Some((header, cost))
                 });
-                let Some((header, payload)) = frame else {
+                let Some((header, copy_cost)) = polled else {
+                    self.ring_scratch = scratch;
                     break;
                 };
-                // Clear the marker: the slot is free once the return
-                // reaches the sender.
-                self.proc.with(|ctx| {
-                    ctx.world.mr_bytes_mut(mr)[offset + RING_MARKER_OFFSET] = 0;
-                });
+                // Owned payload only for frames that carry one; the
+                // scratch allocation is reused across frames.
+                let payload = if scratch.is_empty() {
+                    Vec::new()
+                } else {
+                    scratch.as_slice().to_vec()
+                };
+                self.ring_scratch = scratch;
                 // A short polled-discovery cost (no CQE, no repost) — the
                 // source of the RDMA channel's latency advantage.
-                let cost = self
-                    .proc
-                    .with(|ctx| ctx.world.params().copy_time(HEADER_LEN + payload.len()))
-                    + ibsim::SimDuration::nanos(100);
-                self.charge(cost);
+                self.charge(copy_cost + ibsim::SimDuration::nanos(100));
                 {
                     let c = self.conn_mut(peer);
                     c.ring_read_slot = (slot + 1) % slots;
-                    c.ring_consumed_since_update += 1;
+                    c.note_ring_consumed(1);
                 }
                 self.stats.msgs_received.incr();
                 self.gate_and_dispatch(peer, header, payload);
                 any = true;
+                drained += 1;
             }
         }
         any
@@ -600,6 +646,7 @@ impl MpiRank {
             c.returned_total += u64::from(owed);
             c.consumed_since_update = 0;
             c.ring_mailbox_sent_total += u64::from(c.ring_consumed_since_update);
+            c.ring_returned_total += u64::from(c.ring_consumed_since_update);
             c.ring_consumed_since_update = 0;
             (
                 c.qp,
@@ -637,16 +684,14 @@ impl MpiRank {
         c.stats.msgs_sent.incr();
     }
 
-    /// Reads every connection's incoming credit mailbox.
+    /// Reads the incoming credit mailbox of every watched connection.
     fn poll_credit_mailboxes(&mut self) -> bool {
         let mut any = false;
-        for peer in 0..self.size {
-            if peer == self.rank {
-                continue;
-            }
-            let Some(c) = self.conns[peer].as_ref() else {
-                continue;
-            };
+        let mut i = 0;
+        while i < self.rdma_watch.len() {
+            let peer = self.rdma_watch[i];
+            i += 1;
+            let c = self.conn(peer);
             let mailbox = c.my_mailbox;
             let seen = c.mailbox_seen;
             let ring_seen = c.ring_mailbox_seen;
@@ -665,7 +710,7 @@ impl MpiRank {
                 let delta = (ring_current - ring_seen) as u32;
                 let c = self.conn_mut(peer);
                 c.ring_mailbox_seen = ring_current;
-                c.ring_credits += delta;
+                c.apply_ring_credits(delta);
                 any = true;
             }
         }

@@ -424,25 +424,46 @@ impl MpiRank {
                     self.start_rndz(req, false);
                 }
             }
-            FlowControlScheme::UserStatic | FlowControlScheme::UserDynamic => {
+            FlowControlScheme::UserStatic
+            | FlowControlScheme::UserDynamic
+            | FlowControlScheme::RdmaChannel => {
                 // RDMA eager channel: small frames go through the ring
                 // while slots last; a full ring converts the message to
                 // rendezvous exactly like credit starvation does.
                 if self.cfg.rdma_eager_channel && eager_ok {
                     let c = self.conn(dst);
                     if c.backlog.is_empty() && c.ring_credits > 0 {
-                        self.conn_mut(dst).ring_credits -= 1;
+                        self.conn_mut(dst).spend_ring_credit();
                         self.send_eager_ring(req);
                         return;
                     }
                 }
-                let eager_ok = eager_ok && !self.cfg.rdma_eager_channel;
+                // Under the channel, eager-size frames never travel as
+                // slab sends: a full ring converts to rendezvous. The
+                // *buffering* decision below still follows the size —
+                // only the wire protocol changes.
+                let eager_wire_ok = eager_ok && !self.cfg.rdma_eager_channel;
                 let c = self.conn(dst);
                 if c.backlog.is_empty() && c.credits > 0 {
                     self.conn_mut(dst).spend_credit();
-                    if eager_ok {
+                    if eager_wire_ok {
                         self.send_eager(req);
                     } else {
+                        if eager_ok {
+                            // Channel, ring full, buffer credit in hand:
+                            // the transport converts to rendezvous but the
+                            // user-visible send stays buffered-eager —
+                            // three ranks all bursting sends before their
+                            // receives would otherwise deadlock on each
+                            // other's handshakes.
+                            let copy_cost = self.proc.with(|ctx| {
+                                ctx.world.params().copy_time(crate::wire::HEADER_LEN + len)
+                            });
+                            self.charge(copy_cost);
+                            if let Request::Send(s) = self.reqs.get_mut(req) {
+                                s.buffered = true;
+                            }
+                        }
                         self.start_rndz(req, false);
                     }
                 } else {
@@ -585,7 +606,6 @@ impl MpiRank {
                 self.start_rndz(req, false);
                 any = true;
             } else if self.cfg.credit_msg_mode != crate::config::CreditMsgMode::NaiveGated
-                && !self.cfg.rdma_eager_channel
                 && c.optimistic_req.is_none()
             {
                 // Zero credits: the paper's "when there are no credits,

@@ -82,11 +82,31 @@ pub struct MpiRank {
     pub(crate) next_ctx: CommCtx,
     /// Per-communicator collective sequence numbers (tag disambiguation).
     pub(crate) coll_seq: BTreeMap<CommCtx, u32>,
+    /// Established peers whose RDMA-fed state (eager ring, credit
+    /// mailbox) this rank polls — the O(active) watchlist, maintained on
+    /// connection establish/teardown so a progress pass never scans the
+    /// whole world.
+    pub(crate) rdma_watch: Vec<Rank>,
+    /// Fabric RDMA-delivery count for this node at the last ring/mailbox
+    /// scan; an unchanged count makes an empty poll pass O(1).
+    pub(crate) rdma_seen: u64,
+    /// A bounded ring drain left frames behind: forces the next scan even
+    /// without new deliveries.
+    pub(crate) ring_residual: bool,
+    /// Reusable staging buffer for ring frames (no per-frame allocation).
+    pub(crate) ring_scratch: Vec<u8>,
 }
 
 impl MpiRank {
     pub(crate) fn new(proc: ProcCtx<Fabric>, setup: RankSetup) -> Self {
         let regcache = RegCache::new(setup.node, setup.cfg.regcache_capacity);
+        let rdma_watch = setup
+            .conns
+            .iter()
+            .flatten()
+            .filter(|c| c.established)
+            .map(|c| c.peer)
+            .collect();
         MpiRank {
             proc,
             rank: setup.rank,
@@ -110,6 +130,18 @@ impl MpiRank {
             pending_charge: SimDuration::ZERO,
             next_ctx: 1,
             coll_seq: BTreeMap::new(),
+            rdma_watch,
+            rdma_seen: 0,
+            ring_residual: false,
+            ring_scratch: Vec::new(),
+        }
+    }
+
+    /// Adds `peer` to the RDMA-poll watchlist (idempotent; called when a
+    /// connection becomes established after bootstrap).
+    pub(crate) fn watch_peer(&mut self, peer: Rank) {
+        if !self.rdma_watch.contains(&peer) {
+            self.rdma_watch.push(peer);
         }
     }
 
@@ -179,6 +211,7 @@ impl MpiRank {
         if !self.cfg.on_demand_connections {
             // Eager mode: world bootstrap connected everything.
             self.conn_mut(peer).established = true;
+            self.watch_peer(peer);
             return;
         }
         // On-demand connection setup (related work [23]): first message to
@@ -235,6 +268,7 @@ impl MpiRank {
             }
         }
         self.conn_mut(peer).established = true;
+        self.watch_peer(peer);
     }
 
     /// The peer's QP for the connection back to this rank. Derived from
@@ -460,6 +494,12 @@ impl MpiRank {
                 cs.credits_consumed.add(c.consumed_total);
                 cs.credits_returned.add(c.returned_total);
                 cs.credits_pending.add(u64::from(c.consumed_since_update));
+                cs.ring_granted.add(c.ring_granted_total);
+                cs.ring_spent.add(c.ring_spent_total);
+                cs.ring_held.add(u64::from(c.ring_credits));
+                cs.ring_consumed.add(c.ring_consumed_total);
+                cs.ring_returned.add(c.ring_returned_total);
+                cs.ring_pending.add(u64::from(c.ring_consumed_since_update));
                 self.stats.conns[peer] = cs;
             }
         }

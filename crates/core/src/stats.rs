@@ -44,6 +44,21 @@ pub struct ConnStats {
     pub credits_returned: Counter,
     /// Credits still owed (accrued but unreturned) when the rank finished.
     pub credits_pending: Counter,
+
+    // ---- ring-slot ledger snapshot (RDMA eager channel; all zero for
+    //      the send/recv schemes) ----
+    /// Cumulative ring slots granted by the peer (initial ring + returns).
+    pub ring_granted: Counter,
+    /// Cumulative ring slots spent on ring frames.
+    pub ring_spent: Counter,
+    /// Ring slots still held when the rank finished.
+    pub ring_held: Counter,
+    /// Cumulative peer-owed ring slots accrued (ring frames consumed).
+    pub ring_consumed: Counter,
+    /// Cumulative ring slots returned to the peer.
+    pub ring_returned: Counter,
+    /// Ring slots still owed (accrued but unreturned) at finish.
+    pub ring_pending: Counter,
 }
 
 impl ConnStats {
@@ -55,6 +70,8 @@ impl ConnStats {
         self.credits_granted.get() == self.credits_spent.get() + self.credits_held.get()
             && self.credits_consumed.get()
                 == self.credits_returned.get() + self.credits_pending.get()
+            && self.ring_granted.get() == self.ring_spent.get() + self.ring_held.get()
+            && self.ring_consumed.get() == self.ring_returned.get() + self.ring_pending.get()
     }
 }
 

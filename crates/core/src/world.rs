@@ -222,7 +222,7 @@ impl MpiWorld {
                     ring_mr_for(nprocs, j, i),
                 );
                 if cfg.rdma_eager_channel {
-                    conn.ring_credits = cfg.rdma_ring_slots;
+                    conn.apply_ring_credits(cfg.rdma_ring_slots);
                 }
                 if !cfg.on_demand_connections {
                     // Pre-post the initial pool (before connect, so the RC

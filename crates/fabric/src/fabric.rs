@@ -39,6 +39,8 @@ pub(crate) struct Node {
     pub tx_busy_until: SimTime,
     pub rx_busy_until: SimTime,
     pub rdma_watchers: Vec<Waker>,
+    /// Cumulative RDMA WRITE payloads applied to this node's memory.
+    pub rdma_delivered: u64,
 }
 
 /// Errors returned synchronously by verbs calls.
@@ -159,6 +161,7 @@ impl Fabric {
             tx_busy_until: SimTime::ZERO,
             rx_busy_until: SimTime::ZERO,
             rdma_watchers: Vec::new(),
+            rdma_delivered: 0,
         });
         self.net.add_node();
         id
@@ -289,6 +292,14 @@ impl Fabric {
         if !ws.contains(&waker) {
             ws.push(waker);
         }
+    }
+
+    /// Cumulative count of RDMA WRITE payloads applied to `node`'s memory
+    /// (ring frames, credit mailboxes, rendezvous data). Progress engines
+    /// compare this against a cached value to skip scanning RDMA-fed state
+    /// (eager rings, credit mailboxes) when nothing new can have arrived.
+    pub fn rdma_delivered(&self, node: NodeId) -> u64 {
+        self.nodes[node.index()].rdma_delivered
     }
 }
 

@@ -504,6 +504,7 @@ fn deliver(
                 let len = payload.len();
                 c.world.mrs[rkey.index()].bytes[remote_offset..remote_offset + len]
                     .copy_from_slice(&payload);
+                c.world.nodes[dst_node.index()].rdma_delivered += 1;
                 let mut watchers =
                     std::mem::take(&mut c.world.nodes[dst_node.index()].rdma_watchers);
                 c.wake_all(&mut watchers);

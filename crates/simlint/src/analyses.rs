@@ -19,7 +19,13 @@
 //!   `crates/core` function, carrying the set of consume-side ledger ops
 //!   (`spend_credit`, `take_piggyback_*`, `make_header`) still awaiting a
 //!   matching send/grant op; any exit edge — `return`, `?`, or fall-off —
-//!   with the set non-empty loses credits and is reported.
+//!   with the set non-empty loses credits and is reported. The same walk
+//!   covers the RDMA channel's ring ledger: a statement-level drain of
+//!   `ring_consumed_since_update`/`ring_mailbox_sent_total` (the lexer
+//!   drops operators, so `c.f = 0;` and `c.f += n;` both parse as a bare
+//!   field-path statement) must reach `send_rdma_credit_update` — or the
+//!   bare `post_send` that publishes the mailbox inside it — on every
+//!   exit path, else the ring-credit return is lost.
 //! * **protocol matches** (`exhaustive-protocol-match`): a `match`
 //!   involving the wire/completion enums must not have a catch-all arm,
 //!   so adding a variant (e.g. for the RDMA channel) fails to compile
@@ -59,6 +65,16 @@ const CREDIT_SEND_OPS: [&str; 6] = [
     "start_rndz",
     "send_rdma_credit_update",
 ];
+/// Ring-ledger counters whose statement-level mutation takes on the
+/// obligation to publish the return (via `send_rdma_credit_update`, or
+/// the bare `post_send` its body uses) before the function exits.
+/// `ring_returned_total` is deliberately absent: it is the grant-side
+/// mirror, always bumped alongside these.
+const RING_LEDGER_FIELDS: [&str; 2] = ["ring_consumed_since_update", "ring_mailbox_sent_total"];
+/// Functions whose bodies *are* ring-ledger bookkeeping: the counter
+/// mutations inside them are the op itself, not a leak (the piggyback
+/// variant is already skipped via [`CREDIT_CONSUME_OPS`]).
+const CREDIT_SKIP_FNS: [&str; 1] = ["note_ring_consumed"];
 /// Wire/completion enums that gain variants as schemes are added; a
 /// catch-all arm would swallow the new variant silently.
 const PROTOCOL_ENUMS: [&str; 5] = ["CqeStatus", "CqeOpcode", "SendOp", "MsgKind", "WireError"];
@@ -97,7 +113,10 @@ pub fn collect_ast_findings(path: &str, fns: &[FnDef], out: &mut Vec<Finding>) {
             }
         }
 
-        if credit_rule_applies(path) && !CREDIT_CONSUME_OPS.contains(&f.name.as_str()) {
+        if credit_rule_applies(path)
+            && !CREDIT_CONSUME_OPS.contains(&f.name.as_str())
+            && !CREDIT_SKIP_FNS.contains(&f.name.as_str())
+        {
             credit_pairing(path, f, out);
         }
         if protocol_match_applies(path) {
@@ -630,19 +649,44 @@ fn credit_pairing(path: &str, f: &FnDef, out: &mut Vec<Finding>) {
 /// Reports (and clears) every pending consume at an exit edge.
 fn credit_exit(ctx: &mut CreditCtx, st: &mut Pending, edge: &str) {
     for (line, op) in std::mem::take(st) {
-        push(
-            ctx.out,
-            CREDIT_PATH_PAIRING,
-            ctx.path,
-            line,
+        let msg = if RING_LEDGER_FIELDS.contains(&op.as_str()) {
+            format!(
+                "ring ledger counter `{op}` is drained here, but a path \
+                 reaches {edge} without `send_rdma_credit_update` (or the \
+                 `post_send` publishing the mailbox) making the return \
+                 visible to the peer; the ring credits drift on that path"
+            )
+        } else {
             format!(
                 "`{op}()` consumes credit state, but a path reaches {edge} \
                  without a matching send/grant op \
                  (post_frame/post_ring_frame/send_*/start_rndz); the credit \
                  is lost on that path"
-            ),
-        );
+            )
+        };
+        push(ctx.out, CREDIT_PATH_PAIRING, ctx.path, line, msg);
     }
+}
+
+/// Matches a statement whose first node is a bare field-path chain ending
+/// in a ring-ledger counter — the parse shape of `c.<counter> = 0;` and
+/// `c.<counter> += n;` once the lexer has dropped the operator. (Plain
+/// reads never occur as statement-level field paths in idiomatic code.)
+fn ring_ledger_mutation(expr: &Expr) -> Option<(u32, &'static str)> {
+    let Some(Node::Chain(c)) = expr.nodes.first() else {
+        return None;
+    };
+    if c.base.is_empty() || c.base_group.is_some() || c.ops.is_empty() {
+        return None;
+    }
+    if !c.ops.iter().all(|op| matches!(op, Op::Field(_))) {
+        return None;
+    }
+    let Some(Op::Field(last)) = c.ops.last() else {
+        return None;
+    };
+    let field = *RING_LEDGER_FIELDS.iter().find(|f| **f == last.as_str())?;
+    Some((c.line, field))
 }
 
 fn credit_block(
@@ -667,7 +711,12 @@ fn credit_block(
                     credit_block(ctx, b, &mut alt, loop_exits);
                 }
             }
-            Stmt::Expr { expr, .. } => credit_expr(ctx, expr, st, loop_exits),
+            Stmt::Expr { expr, .. } => {
+                if let Some((line, field)) = ring_ledger_mutation(expr) {
+                    st.insert((line, field.to_string()));
+                }
+                credit_expr(ctx, expr, st, loop_exits);
+            }
         }
     }
 }
@@ -831,6 +880,12 @@ fn credit_chain(ctx: &mut CreditCtx, c: &Chain, st: &mut Pending, loop_exits: &m
 fn credit_call(ctx: &mut CreditCtx, name: &str, line: u32, st: &mut Pending) {
     if CREDIT_SEND_OPS.contains(&name) {
         st.clear();
+    } else if name == "post_send" {
+        // The raw fabric verb: inside `send_rdma_credit_update` it is what
+        // actually publishes the mailbox, so it discharges ring-ledger
+        // obligations — but *only* those; a buffer-credit consume still
+        // needs one of the protocol-level send ops.
+        st.retain(|(_, op)| !RING_LEDGER_FIELDS.contains(&op.as_str()));
     } else if CREDIT_CONSUME_OPS.contains(&name) {
         st.insert((line, name.to_string()));
     }
@@ -1328,6 +1383,54 @@ mod tests {
                    let credits = c.take_piggyback_credits();\n\
                    MsgHeader { credits }\n}";
         assert!(rules_hit("crates/core/src/rank.rs", imp).is_empty());
+    }
+
+    #[test]
+    fn ring_drain_then_update_is_clean() {
+        let src = "fn f(&mut self, peer: Rank) {\n\
+                   c.ring_mailbox_sent_total += u64::from(c.ring_consumed_since_update);\n\
+                   c.ring_consumed_since_update = 0;\n\
+                   self.send_rdma_credit_update(peer);\n}";
+        assert!(rules_hit("crates/core/src/progress.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ring_drain_on_early_return_path_fires() {
+        let src = "fn f(&mut self, peer: Rank) {\n\
+                   c.ring_consumed_since_update = 0;\n\
+                   if self.outstanding_ctrl > limit {\n\
+                   return;\n\
+                   }\n\
+                   self.send_rdma_credit_update(peer);\n}";
+        let hits = rules_hit("crates/core/src/progress.rs", src);
+        assert_eq!(hits, [(CREDIT_PATH_PAIRING, 2)]);
+    }
+
+    #[test]
+    fn bare_post_send_discharges_ring_but_not_buffer_credits() {
+        // The mailbox publish inside `send_rdma_credit_update` is a raw
+        // `ibfabric::post_send`, which settles the ring drain...
+        let ring = "fn f(&mut self, qp: QpId) {\n\
+                    c.ring_consumed_since_update = 0;\n\
+                    ibfabric::post_send(ctx, qp, wr).expect(\"x\");\n}";
+        let hits = rules_hit("crates/core/src/progress.rs", ring);
+        assert!(
+            !hits.iter().any(|(r, _)| *r == CREDIT_PATH_PAIRING),
+            "{hits:?}"
+        );
+        // ...but a buffer-credit consume still needs a protocol-level send.
+        let buf = "fn f(&mut self, qp: QpId) {\n\
+                   self.conn_mut(dst).spend_credit();\n\
+                   ibfabric::post_send(ctx, qp, wr).expect(\"x\");\n}";
+        let hits = rules_hit("crates/core/src/progress.rs", buf);
+        assert!(hits.contains(&(CREDIT_PATH_PAIRING, 2)), "{hits:?}");
+    }
+
+    #[test]
+    fn ring_bookkeeping_fn_bodies_are_the_op_not_a_leak() {
+        let src = "fn note_ring_consumed(&mut self, n: u32) {\n\
+                   self.ring_consumed_since_update += n;\n}";
+        assert!(rules_hit("crates/core/src/conn.rs", src).is_empty());
     }
 
     #[test]

@@ -111,6 +111,20 @@ fn credit_pairing_fixture() {
 }
 
 #[test]
+fn ring_ledger_fixture() {
+    // Ring-ledger drains anchor at the counter mutation whose path leaks:
+    // the `?` before the update (5, 6), a branch that returns without
+    // publishing (13), and a fall-off (21).
+    assert_eq!(
+        hits("bad_ring_ledger.rs", "crates/core/src/x.rs"),
+        expect(rules::CREDIT_PATH_PAIRING, &[5, 6, 13, 21])
+    );
+    assert!(hits("good_ring_ledger.rs", "crates/core/src/x.rs").is_empty());
+    // Like the buffer-credit rule, scoped to crates/core library code.
+    assert!(hits("bad_ring_ledger.rs", "crates/fabric/src/x.rs").is_empty());
+}
+
+#[test]
 fn protocol_match_fixture() {
     assert_eq!(
         hits("bad_protocol_match.rs", "crates/core/src/x.rs"),

@@ -1,0 +1,23 @@
+//! Fixture: ring-ledger counter drains whose path can exit without the
+//! credit update that makes the return visible to the peer.
+
+fn early_return_loses_ring_return(c: &mut Conn) -> Result<(), Error> {
+    c.ring_mailbox_sent_total += u64::from(c.ring_consumed_since_update);
+    c.ring_consumed_since_update = 0;
+    let qp = c.established_qp()?;
+    c.send_rdma_credit_update(qp);
+    Ok(())
+}
+
+fn branch_skips_the_update(c: &mut Conn, lazy: bool) {
+    c.ring_consumed_since_update = 0;
+    if lazy {
+        return;
+    }
+    c.send_rdma_credit_update(c.qp);
+}
+
+fn falls_off_without_publishing(c: &mut Conn) {
+    c.ring_mailbox_sent_total += 1;
+    c.note_pending();
+}

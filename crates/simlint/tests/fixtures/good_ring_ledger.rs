@@ -1,0 +1,23 @@
+//! Fixture: every ring-ledger drain reaches a publishing op on all paths.
+
+fn update_after_the_drain(c: &mut Conn) {
+    c.ring_mailbox_sent_total += u64::from(c.ring_consumed_since_update);
+    c.ring_consumed_since_update = 0;
+    c.send_rdma_credit_update(c.qp);
+}
+
+fn raw_post_send_publishes_the_mailbox(c: &mut Conn, payload: Payload) {
+    c.ring_consumed_since_update = 0;
+    post_send(c.qp, payload);
+}
+
+fn fallible_work_before_the_drain(c: &mut Conn) -> Result<(), Error> {
+    let qp = c.established_qp()?;
+    c.ring_consumed_since_update = 0;
+    c.send_rdma_credit_update(qp);
+    Ok(())
+}
+
+fn note_ring_consumed(&mut self, n: u32) {
+    self.ring_consumed_since_update += n;
+}

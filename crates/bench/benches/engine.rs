@@ -1,6 +1,6 @@
 //! Engine throughput bench: raw event-loop rates plus the battery wall.
 //!
-//! Six measurements, recorded in `bench_results/BENCH_engine.json`:
+//! Seven measurements, recorded in `bench_results/BENCH_engine.json`:
 //!
 //! * **call events/sec** — a self-perpetuating closure-event chain drained
 //!   under a single borrow of the scheduler; the ceiling on pure event
@@ -23,12 +23,19 @@
 //!   is ring frames landed per *host* second. This is the tripwire for
 //!   the O(active) polling path: a return to O(world) ring scans or a
 //!   per-frame staging allocation shows up here first.
+//! * **ring_grow events/sec** — the same windowed workload against a
+//!   ring that starts at 2 slots and grows through several generations
+//!   before reaching steady state; the committed rate is the
+//!   *post-growth* drain rate, expected within 10% of `ring_poll`. The
+//!   tripwire for growth leaving a slow path behind (a residual
+//!   retired-ring scan, quadratic generation checks).
 //! * **battery wall** — the `all_experiments` workload (every figure and
 //!   table at the default class) at `IBFLOW_JOBS=1` and at jobs=N, timing
 //!   the serial hot path and the pool speedup. Simulated ranks are
 //!   coroutines, not OS threads, so only the *job* count can
-//!   oversubscribe the host; the bench warns when jobs exceed the
-//!   hardware threads and the jobs=N wall regresses.
+//!   oversubscribe the host; when jobs=N exceeds the hardware threads
+//!   the jobs=N wall is pure scheduler noise, so that run is skipped and
+//!   `battery_wall_jobsn_ns` is recorded as `null`.
 //!
 //! `--test` (as passed by `cargo test --benches`) runs tiny versions of
 //! each measurement, asserts sanity floors, and writes nothing; CI uses
@@ -106,17 +113,17 @@ fn median3(mut f: impl FnMut() -> f64) -> f64 {
     s[1]
 }
 
-/// Ring frames per host second through the RDMA eager channel: rank 0
-/// pushes `msgs` 4-byte messages to rank 1 in windowed non-blocking
-/// bursts (window 32, one 4-byte ack per window), so the receiver's
-/// progress loop is constantly draining a hot ring. Every message lands
-/// as exactly one ring frame, so `msgs / wall` is the polling-path rate.
-fn ring_poll_rate(msgs: u32) -> f64 {
+/// Ring frames per host second under `cfg`: rank 0 pushes `msgs` 4-byte
+/// messages to rank 1 in windowed non-blocking bursts (window 32, one
+/// 4-byte ack per window), so the receiver's progress loop is constantly
+/// draining a hot ring. Every message lands as exactly one ring frame,
+/// so `msgs / wall` is the polling-path rate. Also returns the peak ring
+/// generation the receiver reached (zero unless the ring grew).
+fn windowed_ring_rate(cfg: MpiConfig, msgs: u32) -> (f64, u64) {
     const WINDOW: u32 = 32;
-    let cfg = MpiConfig::scheme(FlowControlScheme::RdmaChannel, 100);
     let rounds = msgs / WINDOW;
     let t0 = Instant::now();
-    MpiWorld::run(2, cfg, FabricParams::mt23108(), async move |mpi| {
+    let out = MpiWorld::run(2, cfg, FabricParams::mt23108(), async move |mpi| {
         let peer = 1 - mpi.rank();
         let payload = [0x5Au8; 4];
         for _ in 0..rounds {
@@ -135,7 +142,32 @@ fn ring_poll_rate(msgs: u32) -> f64 {
         0u64
     })
     .expect("ring poll run");
-    f64::from(rounds * WINDOW) / t0.elapsed().as_secs_f64()
+    let rate = f64::from(rounds * WINDOW) / t0.elapsed().as_secs_f64();
+    let generation = out.stats.ranks[1].conns[0].ring_generation.get();
+    (rate, generation)
+}
+
+/// The O(active) polling tripwire: a statically large ring (100 slots,
+/// never grows).
+fn ring_poll_rate(msgs: u32) -> f64 {
+    windowed_ring_rate(MpiConfig::scheme(FlowControlScheme::RdmaChannel, 100), msgs).0
+}
+
+/// The growth-path rate: the same workload against a ring that starts at
+/// 2 slots and must grow through several generations (2 -> 4 -> ... ->
+/// 32, re-registering and draining a displaced ring each time) before
+/// reaching steady state. The growth transient is a handful of bursts
+/// out of `msgs / 32`, so this rate measures the *post-growth* drain
+/// path — it must sit close to [`ring_poll_rate`], or growth left
+/// something slow behind (a residual retired-ring scan, a per-frame
+/// generation check gone quadratic).
+fn ring_grow_rate(msgs: u32) -> (f64, u64) {
+    let cfg = MpiConfig {
+        rdma_ring_slots: 2,
+        rdma_ring_growth_threshold: 1,
+        ..MpiConfig::scheme(FlowControlScheme::RdmaChannelDyn, 100)
+    };
+    windowed_ring_rate(cfg, msgs)
 }
 
 /// The `all_experiments` workload (results discarded); returns wall ns.
@@ -177,11 +209,21 @@ fn main() {
         let xproc = median3(|| interleaved_rate(2, 10_000));
         let many = interleaved_rate(RANKS_PER_THREAD, 500);
         let ring = median3(|| ring_poll_rate(6_400));
+        let (grow, generations) = {
+            let mut s = [
+                ring_grow_rate(6_400),
+                ring_grow_rate(6_400),
+                ring_grow_rate(6_400),
+            ];
+            s.sort_by(|a, b| a.0.total_cmp(&b.0));
+            s[1]
+        };
         println!("test engine/call_chain ({call:.0} events/sec) ... ok");
         println!("test engine/handoffs_self ({handoff:.0} events/sec) ... ok");
         println!("test engine/handoffs_xproc ({xproc:.0} events/sec) ... ok");
         println!("test engine/ranks_per_thread ({many:.0} events/sec) ... ok");
         println!("test engine/ring_poll ({ring:.0} events/sec) ... ok");
+        println!("test engine/ring_grow ({grow:.0} events/sec, {generations} generations) ... ok");
         assert!(
             call > 1_000_000.0,
             "call-event dispatch regressed: {call:.0} events/sec"
@@ -204,6 +246,24 @@ fn main() {
             "rdma-channel ring polling regressed: {ring:.0} frames/sec (< 100,000); \
              did the progress loop go back to O(world) ring scans?"
         );
+        assert!(
+            generations >= 3,
+            "the ring_grow workload only reached generation {generations}; it must \
+             actually grow through several generations to measure the growth path"
+        );
+        assert!(
+            grow > 100_000.0,
+            "post-growth ring polling regressed: {grow:.0} frames/sec (< 100,000)"
+        );
+        // Generous relative tripwire for a noisy CI host: the grown
+        // ring's steady state must stay within 2x of the static ring's
+        // rate (the report mode records the precise ratio; the paper
+        // claim is within 10%).
+        assert!(
+            grow > ring * 0.5,
+            "post-growth polling ({grow:.0}/s) fell to less than half the static \
+             ring's rate ({ring:.0}/s); growth left a slow path behind"
+        );
         return;
     }
 
@@ -217,6 +277,24 @@ fn main() {
     println!("ranks_per_thread ({RANKS_PER_THREAD}) events/sec: {many:>14.0}");
     let ring = median3(|| ring_poll_rate(64_000));
     println!("ring_poll events/sec:     {ring:>14.0}");
+    let (grow, generations) = {
+        let mut s = [
+            ring_grow_rate(64_000),
+            ring_grow_rate(64_000),
+            ring_grow_rate(64_000),
+        ];
+        s.sort_by(|a, b| a.0.total_cmp(&b.0));
+        s[1]
+    };
+    println!("ring_grow events/sec:     {grow:>14.0}  (through {generations} generations)");
+    let grow_ratio = grow / ring;
+    if (grow_ratio - 1.0).abs() > 0.10 {
+        println!(
+            "note: post-growth polling sits at {:.0}% of the static ring's rate \
+             (the target is within 10%)",
+            grow_ratio * 100.0
+        );
+    }
 
     let class = ibflow_bench::nas_class_from_env();
     let jobs_n = ibpool::worker_count().max(4);
@@ -226,28 +304,37 @@ fn main() {
         "battery wall (class {class:?}, jobs=1): {:.3}s",
         wall_jobs1 as f64 / 1e9
     );
-    std::env::set_var(ibpool::JOBS_ENV, jobs_n.to_string());
-    let wall_jobsn = battery_wall_ns(class);
-    println!(
-        "battery wall (class {class:?}, jobs={jobs_n}): {:.3}s",
-        wall_jobsn as f64 / 1e9
-    );
-    std::env::remove_var(ibpool::JOBS_ENV);
 
     // Simulated ranks are coroutines multiplexed on their job's thread, so
-    // only the *job* count can oversubscribe the host. When it does and
-    // the jobs=N wall regresses, say so instead of leaving an
-    // anomalous-looking pair of walls in the report.
+    // only the *job* count can oversubscribe the host. A jobs=N wall
+    // measured on an oversubscribed host is pure scheduler noise (it
+    // reliably comes out *slower* than jobs=1), so skip the jobs=N run
+    // and its comparison entirely rather than committing a misleading
+    // number from a single-core CI host.
     let oversubscribed = jobs_n > host_parallelism;
-    if oversubscribed && wall_jobsn > wall_jobs1 {
+    let wall_jobsn = if oversubscribed {
         println!(
-            "warning: battery at jobs={jobs_n} ({:.3}s) is SLOWER than jobs=1 ({:.3}s); \
-             jobs={jobs_n} exceeds the {host_parallelism} available hardware thread(s) \
-             on this host (ranks are coroutines and cost no threads)",
-            wall_jobsn as f64 / 1e9,
-            wall_jobs1 as f64 / 1e9,
+            "battery wall (class {class:?}, jobs={jobs_n}): skipped — jobs={jobs_n} exceeds \
+             the {host_parallelism} available hardware thread(s) on this host"
         );
-    }
+        None
+    } else {
+        std::env::set_var(ibpool::JOBS_ENV, jobs_n.to_string());
+        let wall = battery_wall_ns(class);
+        println!(
+            "battery wall (class {class:?}, jobs={jobs_n}): {:.3}s",
+            wall as f64 / 1e9
+        );
+        if wall > wall_jobs1 {
+            println!(
+                "warning: battery at jobs={jobs_n} ({:.3}s) is SLOWER than jobs=1 ({:.3}s)",
+                wall as f64 / 1e9,
+                wall_jobs1 as f64 / 1e9,
+            );
+        }
+        Some(wall)
+    };
+    std::env::remove_var(ibpool::JOBS_ENV);
 
     let dir = match std::env::var("IBFLOW_BENCH_DIR") {
         Ok(d) => std::path::PathBuf::from(d),
@@ -255,6 +342,7 @@ fn main() {
     };
     std::fs::create_dir_all(&dir).expect("create bench_results dir");
     let path = dir.join("BENCH_engine.json");
+    let wall_jobsn_field = wall_jobsn.map_or_else(|| "null".to_string(), |w| w.to_string());
     let json = format!(
         "{{\n  \"group\": \"engine\",\n  \"host_parallelism\": {host_parallelism},\n  \
          \"call_events_per_sec\": {call:.0},\n  \"handoff_events_per_sec\": {handoff:.0},\n  \
@@ -262,8 +350,10 @@ fn main() {
          \"ranks_per_thread\": {RANKS_PER_THREAD},\n  \
          \"ranks_per_thread_events_per_sec\": {many:.0},\n  \
          \"ring_poll_events_per_sec\": {ring:.0},\n  \
+         \"ring_grow_events_per_sec\": {grow:.0},\n  \
+         \"ring_grow_generations\": {generations},\n  \
          \"battery_class\": \"{class:?}\",\n  \"battery_wall_jobs1_ns\": {wall_jobs1},\n  \
-         \"battery_jobs_n\": {jobs_n},\n  \"battery_wall_jobsn_ns\": {wall_jobsn},\n  \
+         \"battery_jobs_n\": {jobs_n},\n  \"battery_wall_jobsn_ns\": {wall_jobsn_field},\n  \
          \"jobsn_oversubscribed\": {oversubscribed}\n}}\n"
     );
     std::fs::write(&path, json).expect("write engine bench report");

@@ -58,22 +58,42 @@ fn main() {
             100,
             false,
         ),
-        (
-            "Figure 5 — bandwidth, 4 B, pre-post 10, blocking",
-            4,
-            10,
-            true,
-        ),
+    ] {
+        names.push(name.split(' ').take(2).collect::<Vec<_>>().join("_"));
+        jobs.push(ibpool::job(format!("target/{name}"), move || {
+            timed(|| {
+                vec![section(
+                    name,
+                    &bandwidth_table(&bandwidth_figure(size, prepost, blocking)),
+                )]
+            })
+        }));
+    }
+    // Figs 5/6 run the five-way sweep: the window overruns the pre-post
+    // depth there, so the dynamically-grown ring rides along as a fifth
+    // column next to the static ring it fixes.
+    for (name, blocking) in [
+        ("Figure 5 — bandwidth, 4 B, pre-post 10, blocking", true),
         (
             "Figure 6 — bandwidth, 4 B, pre-post 10, non-blocking",
-            4,
-            10,
             false,
         ),
+    ] {
+        names.push(name.split(' ').take(2).collect::<Vec<_>>().join("_"));
+        jobs.push(ibpool::job(format!("target/{name}"), move || {
+            timed(|| {
+                vec![section(
+                    name,
+                    &bandwidth_table_dyn(&bandwidth_figure_dyn(4, 10, blocking)),
+                )]
+            })
+        }));
+    }
+    for (name, size, prepost, blocking) in [
         (
             "Figure 7 — bandwidth, 32 KB, pre-post 10, blocking",
-            32768,
-            10,
+            32768usize,
+            10u32,
             true,
         ),
         (

@@ -1,13 +1,15 @@
-//! Chaos battery: soaks all three flow control schemes under escalating
-//! seeded fault plans and prints the recovery-counter table. Seed comes
+//! Chaos battery: soaks every flow control scheme — the four-scheme
+//! battery plus the dynamic-ring battery — under escalating seeded
+//! fault plans and prints the recovery-counter table. Seed comes
 //! from `IBFLOW_CHAOS_SEED` (default `0xC4A055ED`); identical seeds give
 //! byte-identical output at any `IBFLOW_JOBS` width.
-use ibflow_bench::chaos::{chaos_battery, chaos_table, seed_from_env};
+use ibflow_bench::chaos::{chaos_battery, chaos_battery_dyn, chaos_table, seed_from_env};
 
 fn main() {
     let seed = seed_from_env();
     println!("Chaos battery — 3-rank ring soak under escalating fault plans (seed {seed:#x})\n");
-    let runs = chaos_battery(seed);
+    let mut runs = chaos_battery(seed);
+    runs.extend(chaos_battery_dyn(seed));
     print!("{}", chaos_table(&runs));
     println!("\nall runs completed; every payload verified; all credit ledgers conserved");
 }

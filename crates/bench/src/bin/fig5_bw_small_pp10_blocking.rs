@@ -1,6 +1,6 @@
 //! Regenerates the paper's Figure 5 — bandwidth, 4 B messages, pre-post = 10, blocking.
 fn main() {
     println!("Figure 5 — bandwidth, 4 B messages, pre-post = 10, blocking\n");
-    let rows = ibflow_bench::figures::bandwidth_figure(4, 10, true);
-    print!("{}", ibflow_bench::figures::bandwidth_table(&rows));
+    let rows = ibflow_bench::figures::bandwidth_figure_dyn(4, 10, true);
+    print!("{}", ibflow_bench::figures::bandwidth_table_dyn(&rows));
 }

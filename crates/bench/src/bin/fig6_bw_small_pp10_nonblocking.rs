@@ -1,6 +1,6 @@
 //! Regenerates the paper's Figure 6 — bandwidth, 4 B messages, pre-post = 10, non-blocking.
 fn main() {
     println!("Figure 6 — bandwidth, 4 B messages, pre-post = 10, non-blocking\n");
-    let rows = ibflow_bench::figures::bandwidth_figure(4, 10, false);
-    print!("{}", ibflow_bench::figures::bandwidth_table(&rows));
+    let rows = ibflow_bench::figures::bandwidth_figure_dyn(4, 10, false);
+    print!("{}", ibflow_bench::figures::bandwidth_table_dyn(&rows));
 }

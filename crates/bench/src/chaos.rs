@@ -1,6 +1,8 @@
 //! Chaos battery: soak runs of all four flow control schemes (the
 //! paper's three plus the RDMA eager channel) under escalating seeded
-//! fault plans.
+//! fault plans, plus a separate dynamic-ring battery
+//! ([`chaos_battery_dyn`]) that soaks ring growth under the same
+//! ladder.
 //!
 //! Each run is a 3-rank ring of `sendrecv` exchanges with pattern-filled,
 //! verified payloads mixing eager and rendezvous sizes, driven over a
@@ -135,6 +137,11 @@ pub struct ChaosRun {
     pub dup_suppressed: u64,
     /// ACK/NAK packets given extra injected delay.
     pub acks_delayed: u64,
+    /// Ring growth events across all ranks (dynamic ring scheme only;
+    /// zero for every other scheme).
+    pub ring_growth: u64,
+    /// Displaced ring generations drained and retired across all ranks.
+    pub rings_retired: u64,
     /// Did every rank's credit ledger balance after the run?
     pub ledger_ok: bool,
 }
@@ -224,6 +231,14 @@ pub fn run_one(level: &ChaosLevel, scheme: FlowControlScheme, seed: u64) -> Chao
         .results
         .iter()
         .fold(FNV_OFFSET, |h, &rank_digest| fnv_u64(h, rank_digest));
+    let conn_sum = |get: fn(&mpib::ConnStats) -> u64| {
+        out.stats
+            .ranks
+            .iter()
+            .flat_map(|r| r.conns.iter())
+            .map(get)
+            .sum::<u64>()
+    };
     let f = &out.fabric.stats;
     ChaosRun {
         level: level.name,
@@ -238,6 +253,8 @@ pub fn run_one(level: &ChaosLevel, scheme: FlowControlScheme, seed: u64) -> Chao
         rnr_naks: f.rnr_naks.get(),
         dup_suppressed: f.dup_suppressed.get(),
         acks_delayed: f.acks_delayed.get(),
+        ring_growth: conn_sum(|c| c.ring_growth_events.get()),
+        rings_retired: conn_sum(|c| c.rings_retired.get()),
         ledger_ok,
     }
 }
@@ -254,6 +271,24 @@ pub fn chaos_battery(seed: u64) -> Vec<ChaosRun> {
                     format!("chaos/{}/{}", level.name, scheme.label()),
                     move || run_one(level, scheme, seed),
                 )
+            })
+        })
+        .collect();
+    ibpool::run_batch(jobs)
+}
+
+/// Runs the dynamic-ring battery — every level under
+/// [`FlowControlScheme::RdmaChannelDyn`] — fanned out over the pool.
+/// Kept separate from [`chaos_battery`] so the four-scheme battery's
+/// golden snapshot stays byte-identical: these runs exercise ring
+/// growth (and old-generation draining) racing drops, duplicated
+/// WRITEs, delayed ACKs, and the storm's link flap.
+pub fn chaos_battery_dyn(seed: u64) -> Vec<ChaosRun> {
+    let jobs: Vec<ibpool::Job<'_, ChaosRun>> = LEVELS
+        .iter()
+        .map(|level| {
+            ibpool::job(format!("chaos-dyn/{}", level.name), move || {
+                run_one(level, FlowControlScheme::RdmaChannelDyn, seed)
             })
         })
         .collect();
@@ -312,6 +347,40 @@ pub fn chaos_json(runs: &[ChaosRun]) -> String {
             r.rnr_naks,
             r.dup_suppressed,
             r.acks_delayed,
+            if r.ledger_ok { "ok" } else { "LEAK" },
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the dynamic-ring battery for its golden snapshot: the
+/// [`chaos_json`] fields plus the ring-growth counters that are this
+/// battery's reason to exist.
+pub fn chaos_dyn_json(runs: &[ChaosRun]) -> String {
+    let mut out = String::from("{\n  \"chaos_battery_dyn\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"level\": \"{}\", \"scheme\": \"{}\", \"end_us\": {:.3}, \
+             \"checksum\": \"{:016x}\", \"dropped\": {}, \"corrupted\": {}, \
+             \"flap_drops\": {}, \"ack_timeouts\": {}, \"retransmissions\": {}, \
+             \"rnr_naks\": {}, \"dup_suppressed\": {}, \"acks_delayed\": {}, \
+             \"ring_growth\": {}, \"rings_retired\": {}, \"ledger\": \"{}\"}}{}\n",
+            r.level,
+            r.scheme.label(),
+            r.end_us,
+            r.checksum,
+            r.dropped,
+            r.corrupted,
+            r.flap_drops,
+            r.ack_timeouts,
+            r.retransmissions,
+            r.rnr_naks,
+            r.dup_suppressed,
+            r.acks_delayed,
+            r.ring_growth,
+            r.rings_retired,
             if r.ledger_ok { "ok" } else { "LEAK" },
             if i + 1 < runs.len() { "," } else { "" }
         ));

@@ -11,7 +11,7 @@
 use crate::micro::{bandwidth_test, latency_test, MicroParams};
 use crate::nas::{run_nas, NasRun};
 use crate::report::table;
-use crate::SCHEMES;
+use crate::{DYN_SCHEMES, SCHEMES};
 use ibfabric::FabricParams;
 use mpib::FlowControlScheme;
 use nasbench::common::Kernel;
@@ -93,13 +93,18 @@ pub struct BwRow {
     pub mbps: [f64; 4],
 }
 
-/// Runs one of the bandwidth figures (Figs 3–8 are parameterizations of
-/// this sweep); one pool job per (window, scheme) cell.
-pub fn bandwidth_figure(size: usize, prepost: u32, blocking: bool) -> Vec<BwRow> {
+/// Runs the (window, scheme) bandwidth grid for an arbitrary scheme
+/// list; one pool job per cell, results flat in row-major order.
+fn bandwidth_cells(
+    schemes: &[FlowControlScheme],
+    size: usize,
+    prepost: u32,
+    blocking: bool,
+) -> Vec<f64> {
     let jobs: Vec<ibpool::Job<'_, f64>> = BW_WINDOWS
         .iter()
         .flat_map(|&window| {
-            SCHEMES.into_iter().map(move |scheme| {
+            schemes.iter().map(move |&scheme| {
                 ibpool::job(
                     format!("bw/size={size}/pp={prepost}/w={window}/{}", scheme.label()),
                     move || {
@@ -114,13 +119,44 @@ pub fn bandwidth_figure(size: usize, prepost: u32, blocking: bool) -> Vec<BwRow>
             })
         })
         .collect();
-    let mbps = ibpool::run_batch(jobs);
+    ibpool::run_batch(jobs)
+}
+
+/// Runs one of the bandwidth figures (Figs 3–8 are parameterizations of
+/// this sweep); one pool job per (window, scheme) cell.
+pub fn bandwidth_figure(size: usize, prepost: u32, blocking: bool) -> Vec<BwRow> {
+    let mbps = bandwidth_cells(&SCHEMES, size, prepost, blocking);
     BW_WINDOWS
         .iter()
         .enumerate()
         .map(|(r, &window)| BwRow {
             window,
             mbps: std::array::from_fn(|i| mbps[SCHEMES.len() * r + i]),
+        })
+        .collect()
+}
+
+/// One five-way bandwidth row: MB/s per scheme at one window size, in
+/// [`DYN_SCHEMES`] order (the four-scheme battery plus the
+/// dynamically-grown ring).
+pub struct BwDynRow {
+    /// Window size (messages per burst).
+    pub window: u32,
+    /// Bandwidth per scheme, in [`DYN_SCHEMES`] order, MB/s.
+    pub mbps: [f64; 5],
+}
+
+/// The five-way variant of [`bandwidth_figure`] used by Figs 5/6, where
+/// the window overruns the pre-post depth: the static ring (sized to the
+/// pre-post depth) starves there and the grown ring is the fix.
+pub fn bandwidth_figure_dyn(size: usize, prepost: u32, blocking: bool) -> Vec<BwDynRow> {
+    let mbps = bandwidth_cells(&DYN_SCHEMES, size, prepost, blocking);
+    BW_WINDOWS
+        .iter()
+        .enumerate()
+        .map(|(r, &window)| BwDynRow {
+            window,
+            mbps: std::array::from_fn(|i| mbps[DYN_SCHEMES.len() * r + i]),
         })
         .collect()
 }
@@ -151,14 +187,38 @@ pub fn bandwidth_table(rows: &[BwRow]) -> String {
     )
 }
 
+/// Formats five-way bandwidth rows.
+pub fn bandwidth_table_dyn(rows: &[BwDynRow]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.window.to_string()];
+            row.extend(r.mbps.iter().map(|v| format!("{v:.3}")));
+            row
+        })
+        .collect();
+    table(
+        &[
+            "window",
+            "hardware(MB/s)",
+            "user-static(MB/s)",
+            "user-dynamic(MB/s)",
+            "rdma-channel(MB/s)",
+            "rdma-channel-dyn(MB/s)",
+        ],
+        &data,
+    )
+}
+
 /// Fig 9 / Fig 10 / Tables 1–2 all come from the same application runs;
-/// this sweep runs every kernel under every scheme at both pre-post
-/// depths.
+/// this sweep runs every kernel under every scheme — including the
+/// dynamically-grown ring, whose pre-post-1 column is the Fig 10
+/// recovery story — at both pre-post depths.
 pub fn nas_battery(class: NasClass) -> Vec<NasRun> {
     let mut jobs: Vec<ibpool::Job<'_, NasRun>> = Vec::new();
     for kernel in Kernel::ALL {
         for prepost in [100u32, 1] {
-            for scheme in SCHEMES {
+            for scheme in DYN_SCHEMES {
                 jobs.push(ibpool::job(
                     format!("nas/{}/{}/pp={prepost}", kernel.name(), scheme.label()),
                     move || run_nas(kernel, class, scheme, prepost),
@@ -210,12 +270,15 @@ pub fn fig9_table(runs: &[NasRun]) -> String {
     )
 }
 
-/// Fig 10 — percentage degradation going from pre-post 100 to 1.
+/// Fig 10 — percentage degradation going from pre-post 100 to 1. Five
+/// columns: the rdma-channel column shows the static ring's starvation
+/// at a 1-deep ring, the rdma-channel-dyn column shows ring growth
+/// recovering most of it.
 pub fn fig10_table(runs: &[NasRun]) -> String {
     let mut data = Vec::new();
     for k in Kernel::ALL {
         let mut row = vec![k.name().to_string()];
-        for scheme in SCHEMES {
+        for scheme in DYN_SCHEMES {
             let base = pick(runs, k, scheme, 100).time_ms;
             let one = pick(runs, k, scheme, 1).time_ms;
             row.push(format!("{:+.1}%", (one / base - 1.0) * 100.0));
@@ -229,6 +292,7 @@ pub fn fig10_table(runs: &[NasRun]) -> String {
             "user-static",
             "user-dynamic",
             "rdma-channel",
+            "rdma-channel-dyn",
         ],
         &data,
     )
@@ -368,6 +432,61 @@ mod tests {
                     r.window
                 );
             }
+        }
+    }
+
+    #[test]
+    fn fig5_fig6_shape_dyn_ring_closes_the_starvation_cliff() {
+        for blocking in [true, false] {
+            let rows = bandwidth_figure_dyn(4, 10, blocking);
+            for r in rows.iter().filter(|r| r.window > 10) {
+                let [_hw, _stat, _dyn_buf, rc_static, rc_dyn] = r.mbps;
+                // The static ring's starvation cliff stays visible: with
+                // 10 slots, every frame past the ring converts to
+                // rendezvous and bandwidth collapses...
+                assert!(
+                    rc_static < rc_dyn * 0.75,
+                    "window {} (blocking={blocking}): the static ring's cliff should be \
+                     visible next to the grown ring ({rc_static:.3} vs {rc_dyn:.3})",
+                    r.window
+                );
+                // ...while the grown ring never does worse than the
+                // static ring it replaces (the headline pin).
+                assert!(
+                    rc_dyn >= rc_static,
+                    "window {} (blocking={blocking}): growth must not lose to the static \
+                     ring ({rc_dyn:.3} vs {rc_static:.3})",
+                    r.window
+                );
+            }
+            // Within the pre-posted window growth never triggers, so the
+            // two ring schemes measure the same protocol.
+            for r in rows.iter().filter(|r| r.window <= 8) {
+                assert!(
+                    (r.mbps[4] - r.mbps[3]).abs() / r.mbps[3] < 0.02,
+                    "window {} (blocking={blocking}): an idle growth path must not cost \
+                     bandwidth ({:.3} vs {:.3})",
+                    r.window,
+                    r.mbps[4],
+                    r.mbps[3]
+                );
+            }
+            // At the deepest window the pp10 grown ring lands within 5%
+            // of a ring that was statically sized for the burst
+            // (rdma-channel at pre-post 100): growth fully closes the
+            // gap, it does not merely soften it.
+            let p = MicroParams {
+                iters: 20,
+                warmup: 4,
+                ..MicroParams::new(FlowControlScheme::RdmaChannel, 100)
+            };
+            let large = bandwidth_test(&p, 4, 100, blocking, FabricParams::mt23108()).mb_per_s;
+            let dyn100 = rows.last().unwrap().mbps[4];
+            assert!(
+                dyn100 >= large * 0.95,
+                "blocking={blocking}: pp10 grown ring ({dyn100:.3}) should match a \
+                 statically large ring ({large:.3}) within 5%"
+            );
         }
     }
 

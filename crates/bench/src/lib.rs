@@ -60,6 +60,19 @@ pub const SCHEMES: [FlowControlScheme; 4] = [
     FlowControlScheme::RdmaChannel,
 ];
 
+/// The extended battery: [`SCHEMES`] plus the dynamically-grown RDMA
+/// eager channel as a fifth column. Used by the figures where the static
+/// ring's starvation cliff is the point (Figs 5/6 and the Fig 10
+/// degradation table) so the growth protocol's recovery shows up next to
+/// the scheme it fixes.
+pub const DYN_SCHEMES: [FlowControlScheme; 5] = [
+    FlowControlScheme::Hardware,
+    FlowControlScheme::UserStatic,
+    FlowControlScheme::UserDynamic,
+    FlowControlScheme::RdmaChannel,
+    FlowControlScheme::RdmaChannelDyn,
+];
+
 /// The paper's original three send/recv schemes (used by comparisons that
 /// exclude the RDMA channel's different transport).
 pub const SEND_RECV_SCHEMES: [FlowControlScheme; 3] = [

@@ -3,8 +3,9 @@
 //! from the sim-owned RNG, never from host state), and the default-seed
 //! battery is pinned by a golden counter snapshot.
 //!
-//! The snapshot lives at `bench_results/golden/chaos.json`. After an
-//! *intentional* behaviour change, regenerate it with
+//! The snapshots live at `bench_results/golden/chaos.json` (four-scheme
+//! battery) and `chaos_dyn.json` (dynamic-ring battery). After an
+//! *intentional* behaviour change, regenerate them with
 //!
 //! ```sh
 //! IBFLOW_UPDATE_GOLDEN=1 cargo test -p ibflow-bench --test chaos
@@ -12,11 +13,17 @@
 //!
 //! and commit the diff alongside the change that explains it.
 
-use ibflow_bench::chaos::{chaos_battery, chaos_json, DEFAULT_SEED};
+use ibflow_bench::chaos::{
+    chaos_battery, chaos_battery_dyn, chaos_dyn_json, chaos_json, DEFAULT_SEED,
+};
 use std::path::PathBuf;
 
 fn golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../bench_results/golden/chaos.json")
+}
+
+fn dyn_golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../bench_results/golden/chaos_dyn.json")
 }
 
 /// One test fn (not several) so the `IBFLOW_JOBS` writes can't race
@@ -26,9 +33,12 @@ fn chaos_battery_is_deterministic_and_matches_golden() {
     std::env::set_var(ibpool::JOBS_ENV, "1");
     let runs = chaos_battery(DEFAULT_SEED);
     let serial = chaos_json(&runs);
+    let dyn_runs = chaos_battery_dyn(DEFAULT_SEED);
+    let dyn_serial = chaos_dyn_json(&dyn_runs);
     std::env::set_var(ibpool::JOBS_ENV, "4");
     let parallel = chaos_json(&chaos_battery(DEFAULT_SEED));
     let parallel_again = chaos_json(&chaos_battery(DEFAULT_SEED));
+    let dyn_parallel = chaos_dyn_json(&chaos_battery_dyn(DEFAULT_SEED));
     std::env::remove_var(ibpool::JOBS_ENV);
 
     assert_eq!(
@@ -38,6 +48,10 @@ fn chaos_battery_is_deterministic_and_matches_golden() {
     assert_eq!(
         parallel, parallel_again,
         "chaos battery differs between two identical IBFLOW_JOBS=4 runs"
+    );
+    assert_eq!(
+        dyn_serial, dyn_parallel,
+        "dynamic-ring chaos battery differs between IBFLOW_JOBS=1 and =4"
     );
 
     // The battery must actually exercise the recovery machinery: a quiet
@@ -73,25 +87,50 @@ fn chaos_battery_is_deterministic_and_matches_golden() {
         "no retransmitted RDMA WRITE was duplicate-suppressed on the channel"
     );
 
-    let path = golden_path();
-    if std::env::var("IBFLOW_UPDATE_GOLDEN").is_ok() {
-        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, &serial).unwrap();
-        eprintln!("chaos golden snapshot updated: {}", path.display());
-        return;
-    }
-    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden snapshot {} ({e}); generate it with \
-             IBFLOW_UPDATE_GOLDEN=1 cargo test -p ibflow-bench --test chaos",
-            path.display()
-        )
-    });
+    // The dynamic-ring rows must actually exercise growth under fire:
+    // every level grows at least once, displaced generations drain and
+    // retire, and the ledger check above already covered the ring slots.
     assert!(
-        serial == want,
-        "chaos battery drifted from the golden snapshot.\n\
-         If this change is intentional, regenerate with\n\
-         IBFLOW_UPDATE_GOLDEN=1 cargo test -p ibflow-bench --test chaos\n\
-         --- got ---\n{serial}\n--- want ---\n{want}"
+        dyn_runs.iter().all(|r| r.ring_growth > 0),
+        "every dynamic-ring chaos level must trigger ring growth"
     );
+    assert!(
+        dyn_runs.iter().map(|r| r.rings_retired).sum::<u64>() > 0,
+        "no displaced ring generation ever retired under chaos"
+    );
+    // Every level retransmits into the growing ring (the four-scheme
+    // battery's rdma-channel rows pin duplicate *suppression*; whether a
+    // dyn-row retransmission also races its own ACK into a duplicate is
+    // seed-dependent).
+    assert!(
+        dyn_runs.iter().all(|r| r.retransmissions > 0),
+        "a dynamic-ring chaos level never retransmitted"
+    );
+    assert!(dyn_runs.iter().all(|r| r.ledger_ok));
+
+    for (path, got, label) in [
+        (golden_path(), &serial, "chaos"),
+        (dyn_golden_path(), &dyn_serial, "chaos_dyn"),
+    ] {
+        if std::env::var("IBFLOW_UPDATE_GOLDEN").is_ok() {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, got).unwrap();
+            eprintln!("{label} golden snapshot updated: {}", path.display());
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden snapshot {} ({e}); generate it with \
+                 IBFLOW_UPDATE_GOLDEN=1 cargo test -p ibflow-bench --test chaos",
+                path.display()
+            )
+        });
+        assert!(
+            *got == want,
+            "{label} battery drifted from the golden snapshot.\n\
+             If this change is intentional, regenerate with\n\
+             IBFLOW_UPDATE_GOLDEN=1 cargo test -p ibflow-bench --test chaos\n\
+             --- got ---\n{got}\n--- want ---\n{want}"
+        );
+    }
 }

@@ -17,7 +17,7 @@
 //! rewrite: this test passing *is* the proof that the two runtimes
 //! produce byte-identical results.
 
-use ibflow_bench::figures::fig2_latency;
+use ibflow_bench::figures::{bandwidth_figure_dyn, fig2_latency};
 use ibflow_bench::nas::run_nas;
 use mpib::FlowControlScheme;
 use nasbench::common::Kernel;
@@ -26,6 +26,10 @@ use std::path::PathBuf;
 
 fn golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../bench_results/golden/fig2_table1.json")
+}
+
+fn dyn_golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../bench_results/golden/fig56_dyn.json")
 }
 
 /// Renders the snapshot. All numbers are formatted with fixed precision
@@ -62,6 +66,62 @@ fn render() -> String {
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Renders the five-way Figs 5/6 snapshot: the full bandwidth grid at
+/// pre-post 10, where the dynamically-grown ring rides as a fifth
+/// column next to the static ring whose starvation cliff it closes.
+fn render_fig56_dyn() -> String {
+    let mut out = String::from("{\n");
+    for (i, (key, blocking)) in [("fig5_bw_mbps", true), ("fig6_bw_mbps", false)]
+        .into_iter()
+        .enumerate()
+    {
+        out.push_str(&format!("  \"{key}\": [\n"));
+        let rows = bandwidth_figure_dyn(4, 10, blocking);
+        for (j, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"window\": {}, \"hardware\": {:.4}, \"user_static\": {:.4}, \
+                 \"user_dynamic\": {:.4}, \"rdma_channel\": {:.4}, \"rdma_channel_dyn\": {:.4}}}{}\n",
+                r.window,
+                r.mbps[0],
+                r.mbps[1],
+                r.mbps[2],
+                r.mbps[3],
+                r.mbps[4],
+                if j + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!("  ]{}\n", if i == 0 { "," } else { "" }));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[test]
+fn five_way_bandwidth_matches_golden_snapshot() {
+    let path = dyn_golden_path();
+    let got = render_fig56_dyn();
+    if std::env::var("IBFLOW_UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        eprintln!("fig56_dyn golden snapshot updated: {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate it with \
+             IBFLOW_UPDATE_GOLDEN=1 cargo test -p ibflow-bench --test golden",
+            path.display()
+        )
+    });
+    assert!(
+        got == want,
+        "five-way bandwidth results drifted from the golden snapshot.\n\
+         If this change is intentional, regenerate with\n\
+         IBFLOW_UPDATE_GOLDEN=1 cargo test -p ibflow-bench --test golden\n\
+         and commit the new snapshot.\n--- got ---\n{got}\n--- want ---\n{want}"
+    );
 }
 
 #[test]

@@ -83,6 +83,42 @@ fn fig10_shape_lu_static_vs_dynamic() {
 }
 
 #[test]
+fn fig10_shape_dyn_ring_recovers_lu() {
+    // The static ring's worst application number is LU at pre-post 1: a
+    // 1-deep (floored to 2-slot) ring converts almost every eager send
+    // to rendezvous, the application-level face of the Figs 5/6
+    // starvation cliff (~+34% at class W). Ring growth must recover most
+    // of it while leaving the application results bit-identical.
+    let rc100 = run(Kernel::Lu, FlowControlScheme::RdmaChannel, 100);
+    let rc1 = run(Kernel::Lu, FlowControlScheme::RdmaChannel, 1);
+    let static_drop = rc1.time_ms / rc100.time_ms - 1.0;
+    assert!(
+        static_drop > 0.2,
+        "LU static-ring degradation {:.1}% should show the starvation cliff",
+        static_drop * 100.0
+    );
+
+    let dy100 = run(Kernel::Lu, FlowControlScheme::RdmaChannelDyn, 100);
+    let dy1 = run(Kernel::Lu, FlowControlScheme::RdmaChannelDyn, 1);
+    let dyn_drop = dy1.time_ms / dy100.time_ms - 1.0;
+    assert!(
+        dyn_drop < static_drop / 2.5,
+        "ring growth ({:.1}%) must recover most of the static ring's drop ({:.1}%)",
+        dyn_drop * 100.0,
+        static_drop * 100.0
+    );
+    assert!(
+        dyn_drop < 0.15,
+        "LU under the grown ring should stay within 15% of its pre-post-100 time, got {:.1}%",
+        dyn_drop * 100.0
+    );
+
+    // Growth must never change what the application computes.
+    assert_eq!(rc1.checksum.to_bits(), dy1.checksum.to_bits());
+    assert_eq!(dy100.checksum.to_bits(), dy1.checksum.to_bits());
+}
+
+#[test]
 fn fig10_shape_cg_static_drop() {
     // Paper: CG's static drop is ~6%.
     let base = run(Kernel::Cg, FlowControlScheme::UserStatic, 100).time_ms;

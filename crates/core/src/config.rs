@@ -20,6 +20,14 @@ pub enum FlowControlScheme {
     /// the RDMA credit mailbox. Dynamic growth over RDMA channels is the
     /// future work the paper's §7 flags as "more complicated".
     RdmaChannel,
+    /// The RDMA eager channel with backlog-driven ring growth — the
+    /// paper's §7 future work made concrete. Same transport as
+    /// [`FlowControlScheme::RdmaChannel`], but when the sender's
+    /// ring-full conversions cross the ECM-style threshold the receiver
+    /// registers a geometrically larger ring (capped at
+    /// `rdma_ring_max_slots`) and publishes it through the credit
+    /// mailbox as a versioned ring update.
+    RdmaChannelDyn,
 }
 
 impl FlowControlScheme {
@@ -36,6 +44,7 @@ impl FlowControlScheme {
             FlowControlScheme::UserStatic => "user-static",
             FlowControlScheme::UserDynamic => "user-dynamic",
             FlowControlScheme::RdmaChannel => "rdma-channel",
+            FlowControlScheme::RdmaChannelDyn => "rdma-channel-dyn",
         }
     }
 }
@@ -107,6 +116,21 @@ pub struct MpiConfig {
     pub rdma_eager_channel: bool,
     /// Ring slots per connection for the RDMA eager channel.
     pub rdma_ring_slots: u32,
+    /// Grow a connection's eager ring when the sender keeps converting
+    /// eager sends to rendezvous because the ring is full (the dynamic
+    /// scheme's backlog feedback applied to the channel). The receiver
+    /// registers a larger ring and publishes its rkey + size through the
+    /// credit mailbox as a versioned ring update.
+    pub rdma_ring_growth: bool,
+    /// Hard cap on ring slots per connection once growth is enabled.
+    pub rdma_ring_max_slots: u32,
+    /// Geometric growth factor per ring update (new = old × factor,
+    /// capped at `rdma_ring_max_slots`).
+    pub rdma_ring_growth_factor: u32,
+    /// Ring-full conversions a sender must report (via the header
+    /// backlog bit) before the receiver grows the ring — the channel's
+    /// analogue of the dynamic scheme's ECM-style feedback threshold.
+    pub rdma_ring_growth_threshold: u32,
     /// Capacity of the pin-down (registration) cache in bytes.
     pub regcache_capacity: usize,
     /// RNR retry budget programmed into every QP (`None` = retry forever,
@@ -140,6 +164,10 @@ impl Default for MpiConfig {
             on_demand_connections: false,
             rdma_eager_channel: false,
             rdma_ring_slots: 32,
+            rdma_ring_growth: false,
+            rdma_ring_max_slots: 256,
+            rdma_ring_growth_factor: 2,
+            rdma_ring_growth_threshold: 5,
             regcache_capacity: 64 << 20,
             rnr_retry: None,
             retry_cnt: None,
@@ -157,7 +185,10 @@ impl MpiConfig {
     /// ring slots ARE the channel's credit window — a four-way sweep at a
     /// given depth then compares equal small-message budgets per scheme.
     pub fn scheme(scheme: FlowControlScheme, prepost: u32) -> Self {
-        let channel = scheme == FlowControlScheme::RdmaChannel;
+        let channel = matches!(
+            scheme,
+            FlowControlScheme::RdmaChannel | FlowControlScheme::RdmaChannelDyn
+        );
         let defaults = MpiConfig::default();
         MpiConfig {
             scheme,
@@ -173,6 +204,7 @@ impl MpiConfig {
             } else {
                 defaults.rdma_ring_slots
             },
+            rdma_ring_growth: scheme == FlowControlScheme::RdmaChannelDyn,
             ..defaults
         }
     }
@@ -206,18 +238,24 @@ impl MpiConfig {
         if let GrowthPolicy::Linear(0) = self.growth {
             return Err("linear growth increment must be non-zero".into());
         }
-        if self.scheme == FlowControlScheme::RdmaChannel && !self.rdma_eager_channel {
-            return Err("the rdma-channel scheme requires rdma_eager_channel".into());
+        if matches!(
+            self.scheme,
+            FlowControlScheme::RdmaChannel | FlowControlScheme::RdmaChannelDyn
+        ) && !self.rdma_eager_channel
+        {
+            return Err("the rdma-channel schemes require rdma_eager_channel".into());
         }
         if self.rdma_eager_channel {
             // The legacy spelling (`UserStatic` + the channel flag) stays
             // valid so ablations can compare the flag in isolation.
             if !matches!(
                 self.scheme,
-                FlowControlScheme::UserStatic | FlowControlScheme::RdmaChannel
+                FlowControlScheme::UserStatic
+                    | FlowControlScheme::RdmaChannel
+                    | FlowControlScheme::RdmaChannelDyn
             ) {
                 return Err("the RDMA eager channel requires static credits \
-                     (UserStatic or RdmaChannel scheme)"
+                     (UserStatic, RdmaChannel, or RdmaChannelDyn scheme)"
                     .into());
             }
             if self.credit_msg_mode != CreditMsgMode::Rdma {
@@ -228,6 +266,26 @@ impl MpiConfig {
             }
             if self.on_demand_connections {
                 return Err("the RDMA eager channel requires eager connection setup".into());
+            }
+        }
+        if self.scheme == FlowControlScheme::RdmaChannelDyn && !self.rdma_ring_growth {
+            return Err("the rdma-channel-dyn scheme requires rdma_ring_growth".into());
+        }
+        if self.rdma_ring_growth {
+            if !self.rdma_eager_channel {
+                return Err("rdma_ring_growth requires rdma_eager_channel".into());
+            }
+            if self.rdma_ring_max_slots < self.rdma_ring_slots {
+                return Err(format!(
+                    "rdma_ring_max_slots {} is below the initial ring size {}",
+                    self.rdma_ring_max_slots, self.rdma_ring_slots
+                ));
+            }
+            if self.rdma_ring_growth_factor < 2 {
+                return Err("rdma_ring_growth_factor must be at least 2".into());
+            }
+            if self.rdma_ring_growth_threshold == 0 {
+                return Err("rdma_ring_growth_threshold must be at least 1".into());
             }
         }
         Ok(())
@@ -325,10 +383,63 @@ mod tests {
     }
 
     #[test]
+    fn rdma_channel_dyn_scheme_wires_growth_on() {
+        let c = MpiConfig::scheme(FlowControlScheme::RdmaChannelDyn, 10);
+        assert!(c.rdma_eager_channel);
+        assert!(c.rdma_ring_growth);
+        assert_eq!(c.credit_msg_mode, CreditMsgMode::Rdma);
+        assert_eq!(c.rdma_ring_slots, 10);
+        assert!(c.scheme.is_user_level());
+        assert!(c.validate().is_ok());
+
+        // The ring floor still applies at prepost 1.
+        let pp1 = MpiConfig::scheme(FlowControlScheme::RdmaChannelDyn, 1);
+        assert_eq!(pp1.rdma_ring_slots, 2);
+        assert!(pp1.validate().is_ok());
+
+        // Naming the scheme without the growth flag is inconsistent.
+        let bad = MpiConfig {
+            rdma_ring_growth: false,
+            ..MpiConfig::scheme(FlowControlScheme::RdmaChannelDyn, 10)
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn ring_growth_knobs_validated() {
+        let good = MpiConfig::scheme(FlowControlScheme::RdmaChannelDyn, 10);
+        let cap_below_initial = MpiConfig {
+            rdma_ring_max_slots: 4,
+            ..good.clone()
+        };
+        assert!(cap_below_initial.validate().is_err());
+        let factor_too_small = MpiConfig {
+            rdma_ring_growth_factor: 1,
+            ..good.clone()
+        };
+        assert!(factor_too_small.validate().is_err());
+        let zero_threshold = MpiConfig {
+            rdma_ring_growth_threshold: 0,
+            ..good.clone()
+        };
+        assert!(zero_threshold.validate().is_err());
+        // Growth without the channel is meaningless.
+        let no_channel = MpiConfig {
+            rdma_ring_growth: true,
+            ..MpiConfig::scheme(FlowControlScheme::UserStatic, 10)
+        };
+        assert!(no_channel.validate().is_err());
+    }
+
+    #[test]
     fn labels() {
         assert_eq!(FlowControlScheme::Hardware.label(), "hardware");
         assert_eq!(FlowControlScheme::UserStatic.label(), "user-static");
         assert_eq!(FlowControlScheme::UserDynamic.label(), "user-dynamic");
         assert_eq!(FlowControlScheme::RdmaChannel.label(), "rdma-channel");
+        assert_eq!(
+            FlowControlScheme::RdmaChannelDyn.label(),
+            "rdma-channel-dyn"
+        );
     }
 }

@@ -8,6 +8,21 @@ use crate::types::Rank;
 use ibfabric::{MrId, QpId};
 use std::collections::VecDeque;
 
+/// A ring generation the receiver has replaced but not yet retired: in-
+/// flight WRITEs against the old rkey still land here and are drained in
+/// arrival order until the sender acknowledges the switch.
+#[derive(Debug)]
+pub(crate) struct RetiredRing {
+    /// Generation number of the retired ring (always < `my_ring_gen`).
+    pub gen: u32,
+    /// The old ring's region (still registered; WRITEs must land).
+    pub mr: MrId,
+    /// Slot count of the retired ring.
+    pub slots: u32,
+    /// Next slot to read while the tail drains.
+    pub read_slot: u32,
+}
+
 /// One endpoint's state for its connection to a single peer.
 #[derive(Debug)]
 pub(crate) struct Conn {
@@ -104,6 +119,38 @@ pub(crate) struct Conn {
     /// Next slot to write at the peer.
     pub ring_write_slot: u32,
 
+    // ---- dynamic ring growth (rdma_ring_growth) ----
+    /// Generation of `my_ring`. Generation 0 is the bootstrap ring laid
+    /// out by `world.rs`; each growth registers a fresh region and bumps
+    /// this.
+    pub my_ring_gen: u32,
+    /// Slot count of `my_ring` (replaces `cfg.rdma_ring_slots` once
+    /// growth is possible).
+    pub my_ring_slots: u32,
+    /// Generation of `peer_ring` as adopted from the mailbox.
+    pub peer_ring_gen: u32,
+    /// Slot count of `peer_ring`.
+    pub peer_ring_slots: u32,
+    /// Highest generation the peer has acknowledged writing into (read
+    /// from the mailbox ack word). Old rings retire only once this
+    /// passes their generation.
+    pub peer_acked_gen: u32,
+    /// Replaced-but-not-drained ring generations, oldest first. Growth is
+    /// deferred while non-empty, so this holds at most one entry.
+    pub retired_rings: Vec<RetiredRing>,
+    /// Ring-full eager→rendezvous conversions since the last growth
+    /// signal left this endpoint (the sender-side trigger counter).
+    pub ring_full_since_update: u32,
+    /// Set when `ring_full_since_update` crossed the growth threshold;
+    /// cleared when the ring-backlog bit leaves on a header.
+    pub ring_backlog_pending: bool,
+    /// Set when this endpoint adopted a new peer ring and owes the peer
+    /// an ack write; forces the next mailbox update out.
+    pub ring_gen_ack_pending: bool,
+    /// Set when growth was triggered while a previous growth was still
+    /// draining (or its ack outstanding); retried once the ack arrives.
+    pub ring_growth_pending: bool,
+
     /// Statistics for this connection.
     pub stats: ConnStats,
 }
@@ -155,8 +202,66 @@ impl Conn {
             ring_read_slot: 0,
             peer_ring,
             ring_write_slot: 0,
+            my_ring_gen: 0,
+            my_ring_slots: 0,
+            peer_ring_gen: 0,
+            peer_ring_slots: 0,
+            peer_acked_gen: 0,
+            retired_rings: Vec::new(),
+            ring_full_since_update: 0,
+            ring_backlog_pending: false,
+            ring_gen_ack_pending: false,
+            ring_growth_pending: false,
             stats: ConnStats::default(),
         }
+    }
+
+    /// Records one ring-full eager→rendezvous conversion; once the count
+    /// crosses `threshold` the ring-backlog bit is armed for the next
+    /// outgoing header and the counter restarts.
+    pub fn note_ring_full_conversion(&mut self, threshold: u32) {
+        self.ring_full_since_update += 1;
+        if self.ring_full_since_update >= threshold.max(1) {
+            self.ring_full_since_update = 0;
+            self.ring_backlog_pending = true;
+        }
+    }
+
+    /// Swaps a freshly registered, larger region in as the live receive
+    /// ring: bumps the generation, resets the read cursor, and grants the
+    /// extra slots to the peer through the ring-consumed ledger (they ride
+    /// the same mailbox write that publishes the new ring, so the grant
+    /// and the rkey arrive atomically). Returns the displaced generation,
+    /// which the caller MUST pass to [`Conn::stage_retired_ring`] and then
+    /// publish via the mailbox — in-flight WRITEs against the old rkey
+    /// still land there and would be lost otherwise.
+    #[must_use = "the displaced ring still holds in-flight frames; stage it for draining"]
+    pub fn install_grown_ring(&mut self, mr: MrId, slots: u32) -> RetiredRing {
+        debug_assert!(slots > self.my_ring_slots, "ring growth must grow");
+        let old = RetiredRing {
+            gen: self.my_ring_gen,
+            mr: self.my_ring,
+            slots: self.my_ring_slots,
+            read_slot: self.ring_read_slot,
+        };
+        let delta = slots - self.my_ring_slots;
+        self.my_ring = mr;
+        self.my_ring_gen += 1;
+        self.my_ring_slots = slots;
+        self.ring_read_slot = 0;
+        self.note_ring_consumed(delta);
+        self.stats.ring_growth_events.incr();
+        self.stats
+            .ring_generation
+            .observe(u64::from(self.my_ring_gen));
+        old
+    }
+
+    /// Queues the displaced ring generation for tail draining; it retires
+    /// once the peer acknowledges the switch and its markers run dry.
+    pub fn stage_retired_ring(&mut self, old: RetiredRing) {
+        debug_assert!(old.gen < self.my_ring_gen);
+        self.retired_rings.push(old);
     }
 
     /// Applies `n` returned credits. Returns for optimistically-borrowed
@@ -363,6 +468,22 @@ mod tests {
         let mut c = conn();
         c.ring_credits = 5; // bypasses the ledger on purpose
         c.debug_check_conservation();
+    }
+
+    #[test]
+    fn ring_full_conversions_arm_the_backlog_bit_at_threshold() {
+        let mut c = conn();
+        for _ in 0..4 {
+            c.note_ring_full_conversion(5);
+            assert!(!c.ring_backlog_pending);
+        }
+        c.note_ring_full_conversion(5);
+        assert!(c.ring_backlog_pending);
+        assert_eq!(c.ring_full_since_update, 0);
+        // A zero threshold still behaves (floored at 1).
+        c.ring_backlog_pending = false;
+        c.note_ring_full_conversion(0);
+        assert!(c.ring_backlog_pending);
     }
 
     #[test]

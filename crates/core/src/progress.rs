@@ -311,6 +311,9 @@ impl MpiRank {
         if self.cfg.scheme == FlowControlScheme::UserDynamic && header.backlog_flag {
             self.grow_pool(peer);
         }
+        if self.cfg.rdma_ring_growth && header.ring_backlog {
+            self.grow_ring(peer);
+        }
 
         // 3. Protocol dispatch.
         match header.kind {
@@ -498,6 +501,49 @@ impl MpiRank {
         }
     }
 
+    /// Dynamic ring growth (the paper's §7 future work, applied to the
+    /// RDMA eager channel): the peer's ring-full conversions crossed the
+    /// threshold, so register a geometrically larger ring, publish its
+    /// generation/rkey/size through the credit mailbox (together with the
+    /// slot-delta grant), and keep the displaced generation polled until
+    /// its tail drains. At most one generation switch is in flight per
+    /// connection; a trigger arriving mid-switch is remembered and
+    /// retried once the acknowledgement lands and the old tail retires.
+    fn grow_ring(&mut self, peer: Rank) {
+        if self.conn(peer).failed {
+            return;
+        }
+        let max = self.cfg.rdma_ring_max_slots;
+        let factor = self.cfg.rdma_ring_growth_factor;
+        let new_slots = {
+            let c = self.conn_mut(peer);
+            if c.my_ring_slots >= max {
+                // Capped: from here on the connection behaves like a
+                // large static ring.
+                c.ring_growth_pending = false;
+                return;
+            }
+            if c.peer_acked_gen < c.my_ring_gen || !c.retired_rings.is_empty() {
+                c.ring_growth_pending = true;
+                return;
+            }
+            c.ring_growth_pending = false;
+            c.my_ring_slots.saturating_mul(factor).min(max)
+        };
+        let len = new_slots as usize * self.cfg.buf_size;
+        let node = self.node;
+        let (mr, cost) = self.proc.with(|ctx| {
+            let mr = ctx.world.register(node, len, ibfabric::Access::FULL);
+            (mr, ctx.world.params().reg_cost(len))
+        });
+        self.charge(cost);
+        let old = self.conn_mut(peer).install_grown_ring(mr, new_slots);
+        self.conn_mut(peer).stage_retired_ring(old);
+        // Publish generation, rkey, size, and the slot-delta grant in one
+        // mailbox write so the peer adopts them atomically.
+        self.send_rdma_credit_update(peer);
+    }
+
     /// Sends backlogged operations on every connection (see
     /// [`MpiRank::drain_backlog_for`]).
     fn drain_backlogs(&mut self) -> bool {
@@ -524,9 +570,20 @@ impl MpiRank {
             let Some(c) = self.conns[peer].as_ref() else {
                 continue;
             };
+            // The ring cadence tracks the connection's *current* ring
+            // size, not the configured bootstrap size: after growth a
+            // bootstrap-sized cadence would send a mailbox WRITE every
+            // couple of drained frames forever.
             let ring_owed = self.cfg.rdma_eager_channel
-                && c.ring_consumed_since_update >= threshold.min(self.cfg.rdma_ring_slots);
-            if c.failed || !c.established || (c.consumed_since_update < threshold && !ring_owed) {
+                && c.ring_consumed_since_update >= threshold.min(c.my_ring_slots);
+            // An adopted-but-unacknowledged ring generation forces an
+            // update out: the peer cannot retire the old ring until the
+            // ack word lands in its mailbox.
+            let ack_owed = self.cfg.rdma_ring_growth && c.ring_gen_ack_pending;
+            if c.failed
+                || !c.established
+                || (c.consumed_since_update < threshold && !ring_owed && !ack_owed)
+            {
                 continue;
             }
             match self.cfg.credit_msg_mode {
@@ -568,15 +625,21 @@ impl MpiRank {
         const RING_DRAIN_BURST: u32 = 8;
         let mut any = false;
         let buf_size = self.cfg.buf_size;
-        let slots = self.cfg.rdma_ring_slots;
         self.ring_residual = false;
         let mut i = 0;
         while i < self.rdma_watch.len() {
             let peer = self.rdma_watch[i];
             i += 1;
             let mut drained = 0;
+            // Replaced-but-undrained ring generations first: their frames
+            // predate the switch (the sequence gate reorders across the
+            // two regions either way, but draining the tail early is what
+            // lets the old registration retire).
+            if self.cfg.rdma_ring_growth && !self.conn(peer).retired_rings.is_empty() {
+                any |= self.drain_retired_rings(peer, &mut drained);
+            }
             loop {
-                if drained == RING_DRAIN_BURST {
+                if drained >= RING_DRAIN_BURST {
                     self.ring_residual = true;
                     break;
                 }
@@ -625,7 +688,9 @@ impl MpiRank {
                 self.charge(copy_cost + ibsim::SimDuration::nanos(100));
                 {
                     let c = self.conn_mut(peer);
-                    c.ring_read_slot = (slot + 1) % slots;
+                    // Per-connection slot count: growth re-sizes the ring
+                    // at run time.
+                    c.ring_read_slot = (slot + 1) % c.my_ring_slots;
                     c.note_ring_consumed(1);
                 }
                 self.stats.msgs_received.incr();
@@ -637,9 +702,98 @@ impl MpiRank {
         any
     }
 
+    /// Drains the tail of the replaced ring generation(s) for `peer`,
+    /// sharing the caller's per-pass burst budget, and retires each
+    /// generation once its markers run dry *and* the peer has
+    /// acknowledged the switch — the ack rides the same in-order QP as
+    /// the ring WRITEs, so once it has landed no further frame can reach
+    /// the old region. A retirement unblocks a deferred growth retry.
+    fn drain_retired_rings(&mut self, peer: Rank, drained: &mut u32) -> bool {
+        use crate::buffers::{RING_MARKER, RING_MARKER_OFFSET};
+        const RING_DRAIN_BURST: u32 = 8;
+        let buf_size = self.cfg.buf_size;
+        let mut any = false;
+        while let Some((mr, slot, slots, gen)) = self
+            .conn(peer)
+            .retired_rings
+            .first()
+            .map(|r| (r.mr, r.read_slot, r.slots, r.gen))
+        {
+            if *drained >= RING_DRAIN_BURST {
+                self.ring_residual = true;
+                break;
+            }
+            let offset = slot as usize * buf_size;
+            let mut scratch = std::mem::take(&mut self.ring_scratch);
+            let polled = self.proc.with(|ctx| {
+                let header;
+                {
+                    let bytes = &ctx.world.mr_bytes(mr)[offset..offset + buf_size];
+                    if bytes[RING_MARKER_OFFSET] != RING_MARKER {
+                        return None;
+                    }
+                    // simlint: allow(no-panic-in-lib): ring frames are written whole by post_ring_frame before the validity marker is set, so a decode failure is a simulator bug
+                    header = MsgHeader::decode(bytes).expect("malformed ring frame");
+                    scratch.clear();
+                    scratch.extend_from_slice(
+                        &bytes[HEADER_LEN..HEADER_LEN + header.payload_len as usize],
+                    );
+                }
+                ctx.world.mr_bytes_mut(mr)[offset + RING_MARKER_OFFSET] = 0;
+                let cost = ctx.world.params().copy_time(HEADER_LEN + scratch.len());
+                Some((header, cost))
+            });
+            let Some((header, copy_cost)) = polled else {
+                self.ring_scratch = scratch;
+                // Tail is dry. Retire only once the ack proves no
+                // further WRITE can land against the old rkey.
+                if self.conn(peer).peer_acked_gen > gen {
+                    let retry = {
+                        let c = self.conn_mut(peer);
+                        c.retired_rings.remove(0);
+                        c.stats.rings_retired.incr();
+                        c.ring_growth_pending
+                    };
+                    any = true;
+                    if retry {
+                        self.grow_ring(peer);
+                    }
+                    continue;
+                }
+                break;
+            };
+            let payload = if scratch.is_empty() {
+                Vec::new()
+            } else {
+                scratch.as_slice().to_vec()
+            };
+            self.ring_scratch = scratch;
+            self.charge(copy_cost + ibsim::SimDuration::nanos(100));
+            {
+                let c = self.conn_mut(peer);
+                if let Some(r) = c.retired_rings.first_mut() {
+                    r.read_slot = (slot + 1) % slots;
+                }
+                c.note_ring_consumed(1);
+            }
+            self.stats.msgs_received.incr();
+            self.gate_and_dispatch(peer, header, payload);
+            any = true;
+            *drained += 1;
+        }
+        any
+    }
+
     /// RDMA credit path: bump the cumulative counter in the peer's mailbox.
+    /// With dynamic ring growth the write widens from 16 to 32 bytes and
+    /// additionally carries the full image of the growth words — this
+    /// endpoint's offered ring (generation, rkey, slot count) and the
+    /// highest peer generation it has adopted (the ack). Cumulative
+    /// counters and whole-image words make every write idempotent, so a
+    /// retransmitted or overtaken update is harmless.
     fn send_rdma_credit_update(&mut self, peer: Rank) {
-        let (qp, mailbox, buf_total, ring_total) = {
+        let growth = self.cfg.rdma_ring_growth;
+        let (qp, mailbox, buf_total, ring_total, offer, ack_gen) = {
             let c = self.conn_mut(peer);
             let owed = c.consumed_since_update;
             c.mailbox_sent_total += u64::from(owed);
@@ -648,16 +802,27 @@ impl MpiRank {
             c.ring_mailbox_sent_total += u64::from(c.ring_consumed_since_update);
             c.ring_returned_total += u64::from(c.ring_consumed_since_update);
             c.ring_consumed_since_update = 0;
+            if growth {
+                c.ring_gen_ack_pending = false;
+            }
             (
                 c.qp,
                 c.peer_mailbox,
                 c.mailbox_sent_total,
                 c.ring_mailbox_sent_total,
+                (c.my_ring_gen, c.my_ring.as_raw(), c.my_ring_slots),
+                c.peer_ring_gen,
             )
         };
-        let mut payload = Vec::with_capacity(16);
+        let mut payload = Vec::with_capacity(if growth { 32 } else { 16 });
         payload.extend_from_slice(&buf_total.to_le_bytes());
         payload.extend_from_slice(&ring_total.to_le_bytes());
+        if growth {
+            payload.extend_from_slice(&offer.0.to_le_bytes());
+            payload.extend_from_slice(&offer.1.to_le_bytes());
+            payload.extend_from_slice(&offer.2.to_le_bytes());
+            payload.extend_from_slice(&ack_gen.to_le_bytes());
+        }
         let wr_id = crate::buffers::encode_wrid(WrKind::CreditRdma, peer as u64);
         let cost = self.proc.with(|ctx| {
             ibfabric::post_send(
@@ -713,6 +878,56 @@ impl MpiRank {
                 c.apply_ring_credits(delta);
                 any = true;
             }
+            if self.cfg.rdma_ring_growth {
+                any |= self.poll_ring_growth_words(peer, mailbox);
+            }
+        }
+        any
+    }
+
+    /// Reads the growth words of one incoming mailbox: adopts a newly
+    /// offered peer ring (higher generation than the one currently
+    /// written to) and applies the peer's acknowledgement of our own
+    /// offers. Generation 0 is the bootstrap ring, so a zeroed mailbox is
+    /// never adopted; offers are whole-image and monotone, making a
+    /// duplicated or overtaken write a no-op.
+    fn poll_ring_growth_words(&mut self, peer: Rank, mailbox: ibfabric::MrId) -> bool {
+        let (offer_gen, offer_rkey, offer_slots, ack_gen) = self.proc.with(|ctx| {
+            let b = ctx.world.mr_bytes(mailbox);
+            (
+                crate::wire::u32_at(b, 16),
+                crate::wire::u32_at(b, 20),
+                crate::wire::u32_at(b, 24),
+                crate::wire::u32_at(b, 28),
+            )
+        });
+        let mut any = false;
+        let retry = {
+            let c = self.conn_mut(peer);
+            if offer_gen > c.peer_ring_gen {
+                // Switch to the new ring: the next frame goes to slot 0
+                // of the new region. Credits held against the old ring
+                // stay spendable — the grant delta published with the
+                // offer raised the window to the new slot count.
+                c.peer_ring_gen = offer_gen;
+                c.peer_ring = ibfabric::MrId::from_raw(offer_rkey);
+                c.peer_ring_slots = offer_slots;
+                c.ring_write_slot = 0;
+                c.ring_gen_ack_pending = true;
+                any = true;
+            }
+            if ack_gen > c.peer_acked_gen {
+                c.peer_acked_gen = ack_gen;
+                any = true;
+                c.ring_growth_pending
+            } else {
+                false
+            }
+        };
+        if retry {
+            // A growth trigger arrived while the previous switch was
+            // still unacknowledged; the ack just landed, so retry it.
+            self.grow_ring(peer);
         }
         any
     }

@@ -426,7 +426,8 @@ impl MpiRank {
             }
             FlowControlScheme::UserStatic
             | FlowControlScheme::UserDynamic
-            | FlowControlScheme::RdmaChannel => {
+            | FlowControlScheme::RdmaChannel
+            | FlowControlScheme::RdmaChannelDyn => {
                 // RDMA eager channel: small frames go through the ring
                 // while slots last; a full ring converts the message to
                 // rendezvous exactly like credit starvation does.
@@ -436,6 +437,14 @@ impl MpiRank {
                         self.conn_mut(dst).spend_ring_credit();
                         self.send_eager_ring(req);
                         return;
+                    }
+                    // A starved ring is the dynamic scheme's growth
+                    // signal: count the conversion, and once the count
+                    // crosses the threshold the next outgoing header
+                    // carries the ring-backlog bit to the receiver.
+                    if self.cfg.rdma_ring_growth && c.ring_credits == 0 {
+                        let threshold = self.cfg.rdma_ring_growth_threshold;
+                        self.conn_mut(dst).note_ring_full_conversion(threshold);
                     }
                 }
                 // Under the channel, eager-size frames never travel as

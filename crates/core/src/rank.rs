@@ -355,6 +355,7 @@ impl MpiRank {
     pub(crate) fn make_header(&mut self, peer: Rank, kind: MsgKind) -> MsgHeader {
         let user_level = self.cfg.scheme.is_user_level();
         let ring = self.cfg.rdma_eager_channel;
+        let growth = self.cfg.rdma_ring_growth;
         let rank = self.rank;
         let c = self.conn_mut(peer);
         let mut h = MsgHeader::new(kind, rank);
@@ -368,6 +369,11 @@ impl MpiRank {
         } else {
             0
         };
+        // The armed ring-backlog bit rides whatever frame leaves next.
+        if growth && c.ring_backlog_pending {
+            c.ring_backlog_pending = false;
+            h.ring_backlog = true;
+        }
         h.seq = c.next_seq();
         h
     }
@@ -378,10 +384,12 @@ impl MpiRank {
         if self.conn(peer).failed {
             return;
         }
-        let slots = self.cfg.rdma_ring_slots;
         let buf_size = self.cfg.buf_size;
         let (qp, ring, offset) = {
             let c = self.conn_mut(peer);
+            // Per-connection slot count: growth re-sizes the peer's ring
+            // at run time, so the config value is only the initial size.
+            let slots = c.peer_ring_slots;
             let slot = c.ring_write_slot;
             c.ring_write_slot = (slot + 1) % slots;
             (c.qp, c.peer_ring, slot as usize * buf_size)

@@ -28,6 +28,13 @@ pub struct ConnStats {
     pub max_posted: Peak,
     /// Pool-growth events triggered by backlog feedback (dynamic scheme).
     pub growth_events: Counter,
+    /// Ring-growth events: larger rings registered and published through
+    /// the mailbox (rdma_ring_growth).
+    pub ring_growth_events: Counter,
+    /// Old ring generations fully drained and retired after a growth.
+    pub rings_retired: Counter,
+    /// Highest ring generation this endpoint's receive ring reached.
+    pub ring_generation: Peak,
 
     // ---- conservation ledger snapshot (copied from `Conn` at finish,
     //      so release builds can assert what debug builds check every

@@ -123,6 +123,10 @@ pub struct MsgHeader {
     /// rendezvous starts); the receiver must not credit their buffer back,
     /// or credits would inflate past the pool size.
     pub no_credit: bool,
+    /// Set when the sender has accumulated ring-full conversions past the
+    /// growth threshold — the RDMA channel's analogue of `backlog_flag`,
+    /// asking the receiver to grow the eager ring.
+    pub ring_backlog: bool,
     /// Sending rank.
     pub src_rank: Rank,
     /// Communicator context.
@@ -159,6 +163,7 @@ impl MsgHeader {
             kind,
             backlog_flag: false,
             no_credit: false,
+            ring_backlog: false,
             src_rank,
             comm: 0,
             credits: 0,
@@ -184,7 +189,9 @@ impl MsgHeader {
         })?;
         let mut b = [0u8; HEADER_LEN];
         b[0] = self.kind.to_u8();
-        b[1] = u8::from(self.backlog_flag) | u8::from(self.no_credit) << 1;
+        b[1] = u8::from(self.backlog_flag)
+            | u8::from(self.no_credit) << 1
+            | u8::from(self.ring_backlog) << 2;
         b[2..4].copy_from_slice(&src.to_le_bytes());
         b[4..6].copy_from_slice(&self.comm.to_le_bytes());
         b[6..8].copy_from_slice(&self.credits.to_le_bytes());
@@ -211,6 +218,7 @@ impl MsgHeader {
             kind: MsgKind::from_u8(bytes[0]).ok_or(WireError::BadKind(bytes[0]))?,
             backlog_flag: bytes[1] & 1 != 0,
             no_credit: bytes[1] & 2 != 0,
+            ring_backlog: bytes[1] & 4 != 0,
             src_rank: Rank::from(u16_at(bytes, 2)),
             comm: u16_at(bytes, 4),
             credits: u16_at(bytes, 6),
@@ -245,6 +253,7 @@ mod tests {
             kind: MsgKind::RndzReply,
             backlog_flag: true,
             no_credit: true,
+            ring_backlog: true,
             src_rank: 7,
             comm: 3,
             credits: 12,

@@ -183,9 +183,13 @@ impl MpiWorld {
         for (i, &node) in nodes.iter().enumerate() {
             for j in 0..nprocs {
                 if i != j {
-                    // 16 bytes: [0..8] buffer-credit counter, [8..16]
-                    // ring-slot counter (RDMA eager channel).
-                    let mr = fabric.register(node, 16, Access::FULL);
+                    // 32 bytes: [0..8] buffer-credit counter, [8..16]
+                    // ring-slot counter (RDMA eager channel), [16..28]
+                    // offered ring generation/rkey/slots and [28..32]
+                    // acknowledged generation (dynamic ring growth; the
+                    // growth words stay zero when growth is disabled —
+                    // only the payload the writer sends differs).
+                    let mr = fabric.register(node, 32, Access::FULL);
                     debug_assert_eq!(mr, mailbox_mr_for(nprocs, i, j));
                 }
             }
@@ -223,6 +227,9 @@ impl MpiWorld {
                 );
                 if cfg.rdma_eager_channel {
                     conn.apply_ring_credits(cfg.rdma_ring_slots);
+                    // Generation 0 = the bootstrap ring on both sides.
+                    conn.my_ring_slots = cfg.rdma_ring_slots;
+                    conn.peer_ring_slots = cfg.rdma_ring_slots;
                 }
                 if !cfg.on_demand_connections {
                     // Pre-post the initial pool (before connect, so the RC

@@ -160,6 +160,132 @@ fn latency_beats_send_recv_design() {
     );
 }
 
+/// RdmaChannelDyn with explicit growth knobs: a small bootstrap ring so
+/// bursts starve it quickly, and a low feedback threshold so the growth
+/// trigger fires within one round.
+fn dyn_cfg(initial: u32, max: u32, threshold: u32) -> MpiConfig {
+    MpiConfig {
+        rdma_ring_slots: initial,
+        rdma_ring_max_slots: max,
+        rdma_ring_growth_threshold: threshold,
+        ..MpiConfig::scheme(FlowControlScheme::RdmaChannelDyn, 4)
+    }
+}
+
+#[test]
+fn dynamic_ring_grows_under_burst_and_retires_the_old_generation() {
+    // Repeated bursts against a 2-slot ring: conversions cross the
+    // threshold, the receiver grows the ring through the mailbox, the
+    // sender adopts it, and the displaced generation drains and retires.
+    // Delivery stays exactly-once and in order across every switch.
+    let rounds = 8u32;
+    let per_round = 30u32;
+    let out = MpiWorld::run(
+        2,
+        dyn_cfg(2, 64, 3),
+        FabricParams::mt23108(),
+        async move |mpi| {
+            if mpi.rank() == 0 {
+                let mut next = 0u32;
+                for _ in 0..rounds {
+                    let reqs: Vec<_> = (0..per_round)
+                        .map(|_| {
+                            let r = mpi.isend(&next.to_le_bytes(), 1, 0);
+                            next += 1;
+                            r
+                        })
+                        .collect();
+                    mpi.waitall(&reqs).await;
+                }
+                Vec::new()
+            } else {
+                let mut got = Vec::with_capacity((rounds * per_round) as usize);
+                for _ in 0..rounds * per_round {
+                    let (_, d) = mpi.recv(Some(0), Some(0)).await;
+                    got.push(u32::from_le_bytes(d.try_into().unwrap()));
+                }
+                got
+            }
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        out.results[1],
+        (0..rounds * per_round).collect::<Vec<u32>>(),
+        "every message exactly once, in order, across generation switches"
+    );
+    // The receiver of the burst owns the ring that grows.
+    let rc = &out.stats.ranks[1].conns[0];
+    assert!(
+        rc.ring_growth_events.get() >= 1,
+        "the burst must trigger at least one ring growth"
+    );
+    assert!(
+        rc.rings_retired.get() >= 1,
+        "a displaced generation must drain and retire"
+    );
+    assert!(rc.ring_generation.get() >= 1);
+    // The quiet direction never grows.
+    assert_eq!(out.stats.ranks[0].conns[1].ring_generation.get(), 0);
+    assert!(
+        out.stats.all_ledgers_conserved(),
+        "growth must conserve the ring and buffer ledgers"
+    );
+    // The grown ring carries traffic again after the conversion storm.
+    assert!(out.stats.ranks[0].conns[1].ring_sent.get() > 2);
+}
+
+#[test]
+fn ring_growth_is_monotone_and_capped_at_max_slots() {
+    // From 2 slots at factor 2 with an 8-slot cap only generations 1
+    // (4 slots) and 2 (8 slots) can exist, no matter how hard the
+    // sender keeps starving the ring.
+    let rounds = 10u32;
+    let per_round = 40u32;
+    let out = MpiWorld::run(
+        2,
+        dyn_cfg(2, 8, 1),
+        FabricParams::mt23108(),
+        async move |mpi| {
+            if mpi.rank() == 0 {
+                let mut next = 0u32;
+                for _ in 0..rounds {
+                    let reqs: Vec<_> = (0..per_round)
+                        .map(|_| {
+                            let r = mpi.isend(&next.to_le_bytes(), 1, 0);
+                            next += 1;
+                            r
+                        })
+                        .collect();
+                    mpi.waitall(&reqs).await;
+                }
+                0u64
+            } else {
+                let mut sum = 0u64;
+                for _ in 0..rounds * per_round {
+                    let (_, d) = mpi.recv(Some(0), Some(0)).await;
+                    sum += u64::from(u32::from_le_bytes(d.try_into().unwrap()));
+                }
+                sum
+            }
+        },
+    )
+    .unwrap();
+    let n = u64::from(rounds * per_round);
+    assert_eq!(out.results[1], n * (n - 1) / 2);
+    let rc = &out.stats.ranks[1].conns[0];
+    assert!(rc.ring_growth_events.get() >= 1);
+    assert!(
+        rc.ring_generation.get() <= 2,
+        "growth past rdma_ring_max_slots must not happen (reached generation {})",
+        rc.ring_generation.get()
+    );
+    // Monotone: every growth event bumps the generation by exactly one,
+    // so the peak generation equals the event count.
+    assert_eq!(rc.ring_growth_events.get(), rc.ring_generation.get());
+    assert!(out.stats.all_ledgers_conserved());
+}
+
 #[test]
 fn config_validation_guards_prerequisites() {
     let bad = MpiConfig {

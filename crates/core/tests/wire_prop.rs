@@ -46,6 +46,7 @@ impl Case for HeaderCase {
         let mut h = MsgHeader::new(KINDS[g.index(KINDS.len())], 0);
         h.backlog_flag = g.bool();
         h.no_credit = g.bool();
+        h.ring_backlog = g.bool();
         // Encodable ranks are exactly 0..=u16::MAX; bias toward the edges.
         h.src_rank = usize::from(u16_boundary_biased(g));
         h.comm = u16_boundary_biased(g);
@@ -87,6 +88,12 @@ impl Case for HeaderCase {
         }
         for v in shrink::bool_toward_false(h.no_credit) {
             push(MsgHeader { no_credit: v, ..h });
+        }
+        for v in shrink::bool_toward_false(h.ring_backlog) {
+            push(MsgHeader {
+                ring_backlog: v,
+                ..h
+            });
         }
         out
     }
@@ -172,6 +179,7 @@ fn boundary_headers_roundtrip_exactly() {
     let mut h = MsgHeader::new(MsgKind::RndzReply, usize::from(u16::MAX));
     h.backlog_flag = true;
     h.no_credit = true;
+    h.ring_backlog = true;
     h.comm = u16::MAX;
     h.credits = u16::MAX;
     h.tag = i32::MIN;

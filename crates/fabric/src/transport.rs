@@ -486,6 +486,16 @@ fn deliver(
             rkey,
             remote_offset,
         } => {
+            // The rkey names whatever MR the *requester* targeted when it
+            // posted the WRITE. Upper layers that re-point a peer at a new
+            // region mid-stream (e.g. the MPI ring-growth protocol swaps
+            // ring MRs between generations) rely on two properties here:
+            // WRITEs on one QP land strictly in post order, so everything
+            // posted before the switch targets the old MR and lands before
+            // anything posted after it; and a retransmitted WRITE replays
+            // against the rkey captured at post time while the msn check
+            // above suppresses the duplicate — a duplicate never lands in
+            // a region registered after the original was sent.
             let valid = ctx.world.mrs.get(rkey.index()).is_some_and(|mr| {
                 mr.node == dst_node
                     && mr.access.allows(Access::REMOTE_WRITE)

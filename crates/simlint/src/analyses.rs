@@ -25,7 +25,11 @@
 //!   drops operators, so `c.f = 0;` and `c.f += n;` both parse as a bare
 //!   field-path statement) must reach `send_rdma_credit_update` — or the
 //!   bare `post_send` that publishes the mailbox inside it — on every
-//!   exit path, else the ring-credit return is lost.
+//!   exit path, else the ring-credit return is lost. A ring-generation
+//!   switch (`install_grown_ring`) takes on *two* obligations at once:
+//!   the displaced ring must be staged for draining
+//!   (`stage_retired_ring`) and the new generation must be published
+//!   (`send_rdma_credit_update`) before the function exits.
 //! * **protocol matches** (`exhaustive-protocol-match`): a `match`
 //!   involving the wire/completion enums must not have a catch-all arm,
 //!   so adding a variant (e.g. for the RDMA channel) fails to compile
@@ -75,6 +79,18 @@ const RING_LEDGER_FIELDS: [&str; 2] = ["ring_consumed_since_update", "ring_mailb
 /// mutations inside them are the op itself, not a leak (the piggyback
 /// variant is already skipped via [`CREDIT_CONSUME_OPS`]).
 const CREDIT_SKIP_FNS: [&str; 1] = ["note_ring_consumed"];
+/// The ring-generation switch: calling this takes on TWO obligations for
+/// every path out of the function — the displaced generation must be
+/// staged for tail draining (`stage_retired_ring`), and the new
+/// generation/rkey/slots must be published through the mailbox
+/// (`send_rdma_credit_update`). Losing either drops in-flight WRITEs or
+/// strands the sender on the old ring.
+const GROWTH_INSTALL_OP: &str = "install_grown_ring";
+const GROWTH_STAGE_OP: &str = "stage_retired_ring";
+/// Synthetic pending-set tags for the two growth halves; `#` cannot
+/// appear in an identifier, so they never collide with a real op name.
+const GROWTH_PUBLISH_OB: &str = "install_grown_ring#publish";
+const GROWTH_RETIRE_OB: &str = "install_grown_ring#retire";
 /// Wire/completion enums that gain variants as schemes are added; a
 /// catch-all arm would swallow the new variant silently.
 const PROTOCOL_ENUMS: [&str; 5] = ["CqeStatus", "CqeOpcode", "SendOp", "MsgKind", "WireError"];
@@ -649,7 +665,22 @@ fn credit_pairing(path: &str, f: &FnDef, out: &mut Vec<Finding>) {
 /// Reports (and clears) every pending consume at an exit edge.
 fn credit_exit(ctx: &mut CreditCtx, st: &mut Pending, edge: &str) {
     for (line, op) in std::mem::take(st) {
-        let msg = if RING_LEDGER_FIELDS.contains(&op.as_str()) {
+        let msg = if op == GROWTH_PUBLISH_OB {
+            format!(
+                "`install_grown_ring()` switches the live ring generation \
+                 here, but a path reaches {edge} without \
+                 `send_rdma_credit_update` publishing the new \
+                 generation/rkey/slots; the sender keeps writing the \
+                 displaced ring and the slot grant never arrives"
+            )
+        } else if op == GROWTH_RETIRE_OB {
+            format!(
+                "`install_grown_ring()` displaces the old ring generation \
+                 here, but a path reaches {edge} without \
+                 `stage_retired_ring` keeping it polled until its tail \
+                 drains; in-flight WRITEs against the old rkey are lost"
+            )
+        } else if RING_LEDGER_FIELDS.contains(&op.as_str()) {
             format!(
                 "ring ledger counter `{op}` is drained here, but a path \
                  reaches {edge} without `send_rdma_credit_update` (or the \
@@ -878,14 +909,24 @@ fn credit_chain(ctx: &mut CreditCtx, c: &Chain, st: &mut Pending, loop_exits: &m
 }
 
 fn credit_call(ctx: &mut CreditCtx, name: &str, line: u32, st: &mut Pending) {
-    if CREDIT_SEND_OPS.contains(&name) {
-        st.clear();
+    if name == GROWTH_STAGE_OP {
+        st.retain(|(_, op)| op != GROWTH_RETIRE_OB);
+    } else if CREDIT_SEND_OPS.contains(&name) {
+        // A send publishes credit state but is NOT the retire half of a
+        // generation switch: only `stage_retired_ring` keeps the
+        // displaced ring polled until its tail drains.
+        st.retain(|(_, op)| op == GROWTH_RETIRE_OB);
     } else if name == "post_send" {
         // The raw fabric verb: inside `send_rdma_credit_update` it is what
         // actually publishes the mailbox, so it discharges ring-ledger
         // obligations — but *only* those; a buffer-credit consume still
-        // needs one of the protocol-level send ops.
+        // needs one of the protocol-level send ops, and a generation
+        // switch needs the full `send_rdma_credit_update` (a bare WRITE
+        // carries no gen/rkey/slots words).
         st.retain(|(_, op)| !RING_LEDGER_FIELDS.contains(&op.as_str()));
+    } else if name == GROWTH_INSTALL_OP {
+        st.insert((line, GROWTH_PUBLISH_OB.to_string()));
+        st.insert((line, GROWTH_RETIRE_OB.to_string()));
     } else if CREDIT_CONSUME_OPS.contains(&name) {
         st.insert((line, name.to_string()));
     }
@@ -1424,6 +1465,61 @@ mod tests {
                    ibfabric::post_send(ctx, qp, wr).expect(\"x\");\n}";
         let hits = rules_hit("crates/core/src/progress.rs", buf);
         assert!(hits.contains(&(CREDIT_PATH_PAIRING, 2)), "{hits:?}");
+    }
+
+    #[test]
+    fn ring_growth_install_stage_publish_is_clean() {
+        // The real `grow_ring` shape: switch, stage the displaced ring,
+        // publish the new generation through the mailbox.
+        let src = "fn grow_ring(&mut self, peer: Rank) {\n\
+                   let old = self.conn_mut(peer).install_grown_ring(mr, new_slots);\n\
+                   self.conn_mut(peer).stage_retired_ring(old);\n\
+                   self.send_rdma_credit_update(peer);\n}";
+        assert!(rules_hit("crates/core/src/progress.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ring_growth_without_staging_fires() {
+        // `send_rdma_credit_update` is the publish half only: without
+        // `stage_retired_ring` the old ring's in-flight tail is dropped.
+        let src = "fn f(&mut self, peer: Rank) {\n\
+                   let old = self.conn_mut(peer).install_grown_ring(mr, n);\n\
+                   self.send_rdma_credit_update(peer);\n}";
+        let hits = rules_hit("crates/core/src/progress.rs", src);
+        assert_eq!(hits, [(CREDIT_PATH_PAIRING, 2)]);
+    }
+
+    #[test]
+    fn ring_growth_without_publishing_fires() {
+        let src = "fn f(&mut self, peer: Rank) {\n\
+                   let old = self.conn_mut(peer).install_grown_ring(mr, n);\n\
+                   self.conn_mut(peer).stage_retired_ring(old);\n}";
+        let hits = rules_hit("crates/core/src/progress.rs", src);
+        assert_eq!(hits, [(CREDIT_PATH_PAIRING, 2)]);
+    }
+
+    #[test]
+    fn bare_post_send_does_not_publish_a_generation_switch() {
+        // A raw mailbox WRITE carries no gen/rkey/slots words, so it
+        // settles ring-ledger drains but not the growth publish.
+        let src = "fn f(&mut self, peer: Rank) {\n\
+                   let old = self.conn_mut(peer).install_grown_ring(mr, n);\n\
+                   self.conn_mut(peer).stage_retired_ring(old);\n\
+                   ibfabric::post_send(ctx, qp, wr);\n}";
+        let hits = rules_hit("crates/core/src/progress.rs", src);
+        assert_eq!(hits, [(CREDIT_PATH_PAIRING, 2)]);
+    }
+
+    #[test]
+    fn ring_growth_question_mark_path_leaks_both_halves() {
+        let src = "fn f(&mut self, peer: Rank) -> Result<(), E> {\n\
+                   let old = self.conn_mut(peer).install_grown_ring(mr, n);\n\
+                   let qp = self.established_qp(peer)?;\n\
+                   self.conn_mut(peer).stage_retired_ring(old);\n\
+                   self.send_rdma_credit_update(qp);\n\
+                   Ok(())\n}";
+        let hits = rules_hit("crates/core/src/progress.rs", src);
+        assert_eq!(hits, [(CREDIT_PATH_PAIRING, 2), (CREDIT_PATH_PAIRING, 2)]);
     }
 
     #[test]

@@ -125,6 +125,21 @@ fn ring_ledger_fixture() {
 }
 
 #[test]
+fn ring_growth_fixture() {
+    // Growth obligations anchor at the `install_grown_ring` call whose
+    // path leaks: a publish without staging the displaced ring (5), a
+    // stage without publishing the new generation (10), and a `?` that
+    // exits before either half — both leak, so line 15 reports twice.
+    assert_eq!(
+        hits("bad_ring_growth.rs", "crates/core/src/x.rs"),
+        expect(rules::CREDIT_PATH_PAIRING, &[5, 10, 15, 15])
+    );
+    assert!(hits("good_ring_growth.rs", "crates/core/src/x.rs").is_empty());
+    // Like the other ledger rules, scoped to crates/core library code.
+    assert!(hits("bad_ring_growth.rs", "crates/fabric/src/x.rs").is_empty());
+}
+
+#[test]
 fn protocol_match_fixture() {
     assert_eq!(
         hits("bad_protocol_match.rs", "crates/core/src/x.rs"),

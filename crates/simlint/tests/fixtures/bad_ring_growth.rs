@@ -1,0 +1,20 @@
+//! Fixture: ring-generation switches that leak one (or both) of the
+//! growth obligations on some exit path.
+
+fn forgets_to_stage_the_old_ring(c: &mut Conn, mr: MrId) {
+    let old = c.install_grown_ring(mr, 64);
+    c.send_rdma_credit_update(c.qp);
+}
+
+fn forgets_to_publish_the_switch(c: &mut Conn, mr: MrId) {
+    let old = c.install_grown_ring(mr, 64);
+    c.stage_retired_ring(old);
+}
+
+fn early_return_skips_both(c: &mut Conn, mr: MrId) -> Result<(), Error> {
+    let old = c.install_grown_ring(mr, 64);
+    let qp = c.established_qp()?;
+    c.stage_retired_ring(old);
+    c.send_rdma_credit_update(qp);
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! Fixture: every ring-generation switch stages the displaced ring for
+//! tail draining and publishes the new generation on all exit paths.
+
+fn grow_ring(c: &mut Conn, mr: MrId) {
+    let old = c.install_grown_ring(mr, 64);
+    c.stage_retired_ring(old);
+    c.send_rdma_credit_update(c.qp);
+}
+
+fn fallible_work_before_the_switch(c: &mut Conn, mr: MrId) -> Result<(), Error> {
+    let qp = c.established_qp()?;
+    let old = c.install_grown_ring(mr, 64);
+    c.stage_retired_ring(old);
+    c.send_rdma_credit_update(qp);
+    Ok(())
+}
+
+fn capped_ring_returns_before_switching(c: &mut Conn, mr: MrId, max: u32) {
+    if c.my_ring_slots >= max {
+        return;
+    }
+    let old = c.install_grown_ring(mr, 64);
+    c.stage_retired_ring(old);
+    c.send_rdma_credit_update(c.qp);
+}

@@ -51,10 +51,18 @@ done
 # pool widths plus the golden counter snapshot.
 run cargo test -q --release --locked --offline -p ibflow-bench --test chaos
 
+# Checkpoint/restore matrix: the snapshot-kill-restore ladder must land
+# byte-identically on its golden at serial and moderate pool widths
+# (mirrors the CI ckpt-restore matrix).
+for jobs in 1 4; do
+    run env IBFLOW_JOBS=$jobs cargo test -q --release --locked --offline -p ibflow-bench --test ckpt
+done
+
 # Smoke: the two headline experiment binaries must complete cleanly with
 # the pool engaged, and print how long each takes.
 timed env IBFLOW_JOBS=4 cargo run --release --locked --offline -p ibflow-bench --bin fig2_latency >/dev/null
 timed env IBFLOW_CLASS=test IBFLOW_JOBS=4 cargo run --release --locked --offline -p ibflow-bench --bin table1_ecm >/dev/null
 timed env IBFLOW_JOBS=4 cargo run --release --locked --offline -p ibflow-bench --bin chaos >/dev/null
+timed env IBFLOW_JOBS=4 cargo run --release --locked --offline -p ibflow-bench --bin ckpt >/dev/null
 
 echo "All checks passed."

@@ -1,8 +1,9 @@
 //! Runs the entire reproduction battery — every figure and table — and
 //! writes the results under `bench_results/`.
 //!
-//! The eight targets (Fig 2, Figs 3–8, and the NAS battery backing
-//! Figs 9/10 and Tables 1/2) run as [`ibpool`] jobs, so the battery is
+//! The nine targets (Fig 2, Figs 3–8, the NAS battery backing Figs 9/10
+//! and Tables 1/2, and the checkpoint ladder) run as [`ibpool`] jobs, so
+//! the battery is
 //! parallel across targets as well as within each target's sweep.
 //! Sections are assembled in submission order, so `experiments.md` is
 //! byte-identical at any `IBFLOW_JOBS` setting; only the wall-clock
@@ -34,7 +35,7 @@ fn main() {
     let t0 = Instant::now();
     let class = ibflow_bench::nas_class_from_env();
     let workers = ibpool::worker_count();
-    println!("running 8 targets (NAS class {class:?}) across {workers} worker(s)...");
+    println!("running 9 targets (NAS class {class:?}) across {workers} worker(s)...");
 
     let mut names = vec!["fig2_latency".to_string()];
     let mut jobs: Vec<ibpool::Job<'_, TargetOut>> = vec![ibpool::job("target/fig2", move || {
@@ -136,6 +137,21 @@ fn main() {
                     &table2(&runs),
                 ),
             ]
+        })
+    }));
+    // The checkpoint ladder nests its own pool batch (one job per
+    // scheme); each batch gets its own scoped threads, so nesting can't
+    // deadlock, and results stay in submission order either way.
+    names.push("ckpt_ladder".to_string());
+    jobs.push(ibpool::job("target/ckpt_ladder", move || {
+        timed(|| {
+            let seed = ibflow_bench::chaos::seed_from_env();
+            let epoch = ibflow_bench::ckpt::snap_epoch_from_env();
+            let runs = ibflow_bench::ckpt::ckpt_ladder(seed, epoch);
+            vec![section(
+                "Checkpoint ladder — CG snapshot / restore / replace / chaos-soak",
+                &ibflow_bench::ckpt::ckpt_table(&runs),
+            )]
         })
     }));
 

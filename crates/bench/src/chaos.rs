@@ -166,13 +166,21 @@ const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 ///
 /// Panics if the run fails to complete, a payload arrives mangled, a
 /// fabric fault is recorded (infinite retry budgets must absorb every
-/// injected loss), or a credit ledger leaks.
+/// injected loss), or a credit ledger leaks. Every message names the
+/// level, the scheme, and the effective `IBFLOW_CHAOS_SEED`, so a
+/// failure under a non-default seed is reproducible from the log alone.
 pub fn run_one(level: &ChaosLevel, scheme: FlowControlScheme, seed: u64) -> ChaosRun {
+    let ctx = format!(
+        "chaos {}/{} (IBFLOW_CHAOS_SEED={seed:#x})",
+        level.name,
+        scheme.label()
+    );
     let cfg = MpiConfig {
         fault_plan: Some(level.plan(seed)),
         ..MpiConfig::scheme(scheme, 2)
     };
-    let out = MpiWorld::run(NPROCS, cfg, FabricParams::mt23108(), async |mpi| {
+    let body_ctx = ctx.clone();
+    let out = MpiWorld::run(NPROCS, cfg, FabricParams::mt23108(), async move |mpi| {
         let me = mpi.rank();
         let dst = (me + 1) % NPROCS;
         let src = (me + NPROCS - 1) % NPROCS;
@@ -184,10 +192,13 @@ pub fn run_one(level: &ChaosLevel, scheme: FlowControlScheme, seed: u64) -> Chao
             let (status, data) = mpi
                 .sendrecv(&vec![fill; len], dst, i as i32, Some(src), Some(i as i32))
                 .await;
-            assert_eq!(status.len, len, "rank {me} iter {i}: wrong length");
+            assert_eq!(
+                status.len, len,
+                "{body_ctx}: rank {me} iter {i}: wrong length"
+            );
             assert!(
                 data.iter().all(|&b| b == expect_fill),
-                "rank {me} iter {i}: payload mangled in transit"
+                "{body_ctx}: rank {me} iter {i}: payload mangled in transit"
             );
             digest = fnv_u64(digest, status.source as u64);
             digest = fnv_u64(digest, len as u64);
@@ -203,7 +214,7 @@ pub fn run_one(level: &ChaosLevel, scheme: FlowControlScheme, seed: u64) -> Chao
                     let (_, burst_data) = mpi.recv(Some(src), Some(1000 + b as i32)).await;
                     assert!(
                         burst_data.iter().all(|&x| x == expect_fill ^ 0xFF),
-                        "rank {me} iter {i}: burst payload mangled"
+                        "{body_ctx}: rank {me} iter {i}: burst payload mangled"
                     );
                     digest = fnv_u64(digest, burst_data.len() as u64);
                 }
@@ -211,22 +222,15 @@ pub fn run_one(level: &ChaosLevel, scheme: FlowControlScheme, seed: u64) -> Chao
         }
         digest
     })
-    .unwrap_or_else(|e| panic!("chaos {}/{} failed: {e}", level.name, scheme.label()));
+    .unwrap_or_else(|e| panic!("{ctx}: run failed: {e}"));
 
     assert_eq!(
         out.stats.total_faults(),
         0,
-        "chaos {}/{}: infinite retry budgets must absorb every loss",
-        level.name,
-        scheme.label()
+        "{ctx}: infinite retry budgets must absorb every loss"
     );
     let ledger_ok = out.stats.all_ledgers_conserved();
-    assert!(
-        ledger_ok,
-        "chaos {}/{}: credit ledger leaked",
-        level.name,
-        scheme.label()
-    );
+    assert!(ledger_ok, "{ctx}: credit ledger leaked");
     let checksum = out
         .results
         .iter()

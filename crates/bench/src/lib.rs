@@ -14,6 +14,7 @@
 
 pub mod ablations;
 pub mod chaos;
+pub mod ckpt;
 pub mod figures;
 pub mod micro;
 pub mod nas;

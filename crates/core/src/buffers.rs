@@ -97,6 +97,19 @@ impl RecvSlab {
     pub fn free_count(&self) -> usize {
         self.free.len()
     }
+
+    /// The free-slot stack, bottom to top (checkpoint encode).
+    pub fn free_slots(&self) -> &[u32] {
+        &self.free
+    }
+
+    /// Restores the free-slot stack captured by [`RecvSlab::free_slots`].
+    /// Order matters: `take_free` pops, so the stack order decides which
+    /// slot the next post uses — part of byte-identical resume.
+    pub fn restore_free(&mut self, free: Vec<u32>) {
+        debug_assert!(free.iter().all(|&s| s < self.slot_count));
+        self.free = free;
+    }
 }
 
 #[cfg(test)]

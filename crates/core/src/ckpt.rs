@@ -1,0 +1,1361 @@
+//! Checkpoint/restart and elastic rank replacement.
+//!
+//! # The quiesce protocol
+//!
+//! A checkpoint must capture the world at a point where nothing is in
+//! flight: no WQE on a send queue, no message on the wire, no retransmit
+//! timer armed, no request half-completed. [`MpiRank::checkpoint`] reaches
+//! that point with the same three-phase drain `finalize` uses:
+//!
+//! 1. **Drain** — wait until this rank's backlogs are empty and no send
+//!    transport is pending, then assert the application-level requirements
+//!    (no live requests, no posted receives, no unmatched rendezvous).
+//! 2. **Barrier** — a world barrier so no peer still needs this rank's
+//!    progress engine.
+//! 3. **Drain again** — the barrier's own traffic (including detached
+//!    rendezvous handshakes) must finish before the world is silent.
+//!
+//! Each rank then deposits its serialized state on the [`CkptBus`] (at a
+//! snapshot epoch), stamps the epoch it is waiting on, and parks at the
+//! **checkpoint fence** ([`CKPT_FENCE_NOTE`]). Once every live rank is
+//! parked there the event queue drains, [`ibsim::Sim::run_with_fence`]
+//! invokes the fence callback, and the driver either *releases* the fence
+//! (wakes everyone; the run continues) or *stops* with a [`Snapshot`].
+//! A rank that checkpoints under plain [`crate::MpiWorld::run`] — or a
+//! world where ranks disagree on how many checkpoints to take — surfaces
+//! as a deadlock report at the fence note, not silent corruption.
+//!
+//! # Byte-identical resume
+//!
+//! The released and the restored run execute the same event sequence from
+//! the fence onward: the fence callback clears every transient waker in
+//! both paths (all live ranks are parked at the fence, so every registered
+//! CQ waiter and RDMA watcher is stale), the engine's release wakes ranks
+//! in process-id order consuming the same event sequence numbers `spawn`
+//! consumes in a restored run, and the snapshot carries the scheduler
+//! clock, the full fabric image, and each rank's protocol state. A run
+//! driven through [`crate::MpiWorld::run_with_checkpoints`] with
+//! `snapshot_epoch: None` therefore serves as the uninterrupted golden a
+//! snapshot → [`crate::MpiWorld::restore`] → resume run is compared
+//! against, byte for byte.
+//!
+//! Traffic that lands *after* a rank encoded its blob but *before* the
+//! fence fires (a peer's phase-3 credit return, say) is consistent by
+//! construction: the bytes sit in fabric memory — captured by the fabric
+//! image — and the parked rank's blob predates them, so both the released
+//! and the restored run process them identically after the fence.
+//!
+//! # Elastic replacement
+//!
+//! [`RestoreOptions::replace`] models a node killed by the fault plane and
+//! hot-swapped: the victim's QPs (both ends) are reset and re-established
+//! through the normal [`ibfabric::connect`] path, the transport counters
+//! captured from the snapshot are re-applied, and the replacement rank is
+//! spawned from the victim's own blob — re-registering its regions (the
+//! fabric image recreates them at their original indices) and re-seeding
+//! its credit and ring ledgers. Reconnecting a quiescent QP schedules no
+//! events, so the replacement run stays byte-identical to the golden.
+//!
+//! What is **not** in a snapshot: configuration. [`MpiConfig`],
+//! [`FabricParams`] and any [`ibfabric::FaultPlan`] are supplied again at
+//! restore; the fabric image carries only the plan's RNG position, keyed
+//! by seed, so resuming under the same plan continues its fault stream
+//! while a fresh plan (the kill-and-replace scenario) starts its own.
+
+use crate::collectives;
+use crate::comm::Comm;
+use crate::config::MpiConfig;
+use crate::conn::{Conn, RetiredRing};
+use crate::rank::{MpiRank, RankSetup, Unexpected};
+use crate::regcache::RegCache;
+use crate::stats::RankStats;
+use crate::types::{CommCtx, Rank, Tag};
+use crate::wire::MsgHeader;
+use crate::world::{self, MpiRunError, MpiRunOutput, MpiWorld};
+use ibfabric::{CkptBus, Fabric, FabricParams, MrId, NodeId};
+use ibsim::codec::{CodecError, Reader, Writer};
+use ibsim::stats::{Counter, Peak};
+use ibsim::{FenceAction, Sim, SimClock, SimConfig, SimDuration, SimError, SimTime};
+use std::rc::Rc;
+
+/// Park note every rank uses at the checkpoint fence; the engine treats a
+/// drained queue with every live process parked here as a quiesce fence
+/// rather than a deadlock.
+pub const CKPT_FENCE_NOTE: &str = "checkpoint fence";
+
+/// Snapshot container format: magic, version, and section tags.
+const SNAPSHOT_MAGIC: u32 = 0x4942_434B; // "IBCK"
+const SNAPSHOT_VERSION: u32 = 1;
+const TAG_SNAP_META: u32 = 0xCB01;
+const TAG_SNAP_FABRIC: u32 = 0xCB02;
+const TAG_SNAP_RANKS: u32 = 0xCB03;
+
+/// Rank blob format: version and section tags.
+const RANK_BLOB_VERSION: u32 = 1;
+const TAG_RANK: u32 = 0xC4A1;
+const TAG_UNEXPECTED: u32 = 0xC4A2;
+const TAG_REGCACHE: u32 = 0xC4A3;
+const TAG_RANK_STATS: u32 = 0xC4A4;
+const TAG_CONNS: u32 = 0xC4A5;
+const TAG_APP: u32 = 0xC4A6;
+
+/// A [`Counter`] holding `v` (checkpoint decode).
+fn counter(v: u64) -> Counter {
+    let mut c = Counter::default();
+    c.add(v);
+    c
+}
+
+/// A [`Peak`] holding `v` (checkpoint decode).
+fn peak(v: u64) -> Peak {
+    let mut p = Peak::default();
+    p.observe(v);
+    p
+}
+
+/// The scheme and effective chaos seed, for assertion messages: when a
+/// checkpoint invariant trips under the chaos battery, the report carries
+/// everything needed to reproduce the run.
+pub fn chaos_context(cfg: &MpiConfig) -> String {
+    let seed = std::env::var("IBFLOW_CHAOS_SEED").unwrap_or_else(|_| "unset".into());
+    format!("scheme={} IBFLOW_CHAOS_SEED={}", cfg.scheme.label(), seed)
+}
+
+/// What a rank body receives when it starts: whether it is resuming from a
+/// snapshot, and the application bytes it passed to the checkpoint that
+/// produced that snapshot.
+#[derive(Debug)]
+pub struct CkptStart {
+    /// `0` for a fresh run; the snapshot's epoch when resuming, in which
+    /// case the body must skip the work already done before that epoch.
+    pub resumed_epoch: u64,
+    /// The `app_state` bytes this rank passed to
+    /// [`MpiRank::checkpoint`] at the snapshot epoch (empty for a fresh
+    /// run).
+    pub app_state: Vec<u8>,
+}
+
+/// A stopped world: the scheduler clock, the fabric image, and one blob
+/// per rank, captured at a checkpoint fence. Self-describing and
+/// versioned via [`Snapshot::to_bytes`] / [`Snapshot::from_bytes`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The checkpoint epoch this snapshot was taken at.
+    pub epoch: u64,
+    /// World size.
+    pub nprocs: usize,
+    clock: SimClock,
+    fabric_image: Vec<u8>,
+    rank_blobs: Vec<Vec<u8>>,
+}
+
+impl Snapshot {
+    /// Virtual time at the snapshot fence.
+    pub fn time(&self) -> SimTime {
+        self.clock.now
+    }
+
+    /// Serializes the snapshot (versioned; see [`Snapshot::from_bytes`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(SNAPSHOT_MAGIC);
+        w.u32(SNAPSHOT_VERSION);
+        w.section(TAG_SNAP_META, |w| {
+            w.u64(self.epoch);
+            w.usize(self.nprocs);
+            w.u64(self.clock.now.as_nanos());
+            w.u64(self.clock.seq);
+            w.u64(self.clock.events_processed);
+        });
+        w.section(TAG_SNAP_FABRIC, |w| w.bytes(&self.fabric_image));
+        w.section(TAG_SNAP_RANKS, |w| {
+            w.usize(self.rank_blobs.len());
+            for b in &self.rank_blobs {
+                w.bytes(b);
+            }
+        });
+        w.finish()
+    }
+
+    /// Parses bytes produced by [`Snapshot::to_bytes`]. Truncation, a bad
+    /// magic, or an unknown version surface as typed [`CodecError`]s — an
+    /// image from a future format version is rejected, never misread.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, CodecError> {
+        let mut r = Reader::new(bytes);
+        let magic = r.u32("snapshot magic")?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(CodecError::BadTag {
+                context: "snapshot magic",
+                want: u64::from(SNAPSHOT_MAGIC),
+                got: u64::from(magic),
+            });
+        }
+        let version = r.u32("snapshot version")?;
+        if version != SNAPSHOT_VERSION {
+            return Err(CodecError::BadTag {
+                context: "snapshot version",
+                want: u64::from(SNAPSHOT_VERSION),
+                got: u64::from(version),
+            });
+        }
+        let mut meta = r.section(TAG_SNAP_META, "snapshot meta")?;
+        let epoch = meta.u64("snapshot epoch")?;
+        let nprocs = meta.usize("snapshot nprocs")?;
+        if nprocs == 0 || nprocs > usize::from(u16::MAX) {
+            return Err(CodecError::Overflow {
+                context: "snapshot nprocs",
+                value: nprocs as u64,
+                max: u64::from(u16::MAX),
+            });
+        }
+        let clock = SimClock {
+            now: SimTime::from_nanos(meta.u64("snapshot clock.now")?),
+            seq: meta.u64("snapshot clock.seq")?,
+            events_processed: meta.u64("snapshot clock.events")?,
+        };
+        meta.done("snapshot meta")?;
+        let mut fs = r.section(TAG_SNAP_FABRIC, "snapshot fabric")?;
+        let fabric_image = fs.bytes("snapshot fabric image")?;
+        fs.done("snapshot fabric")?;
+        let mut rs = r.section(TAG_SNAP_RANKS, "snapshot ranks")?;
+        let n = rs.usize("snapshot rank count")?;
+        if n != nprocs {
+            return Err(CodecError::Overflow {
+                context: "snapshot rank count",
+                value: n as u64,
+                max: nprocs as u64,
+            });
+        }
+        let mut rank_blobs = Vec::with_capacity(n);
+        for _ in 0..n {
+            rank_blobs.push(rs.bytes("snapshot rank blob")?);
+        }
+        rs.done("snapshot ranks")?;
+        r.done("snapshot")?;
+        Ok(Snapshot {
+            epoch,
+            nprocs,
+            clock,
+            fabric_image,
+            rank_blobs,
+        })
+    }
+}
+
+/// Outcome of a checkpoint-aware run: either the world ran to completion,
+/// or it stopped at the requested snapshot epoch.
+#[derive(Debug)]
+pub enum CkptRun<R> {
+    /// Every rank finished; no snapshot was requested (or the requested
+    /// epoch was never reached before completion). Boxed: the output
+    /// (per-rank stats inline) dwarfs the `Snapshot` variant.
+    Completed(Box<MpiRunOutput<R>>),
+    /// The run stopped at the snapshot fence; resume it with
+    /// [`MpiWorld::restore`].
+    Snapshot(Snapshot),
+}
+
+impl<R> CkptRun<R> {
+    /// Unwraps the completed output.
+    ///
+    /// # Panics
+    /// Panics when the run stopped at a snapshot fence instead.
+    pub fn into_completed(self) -> MpiRunOutput<R> {
+        match self {
+            CkptRun::Completed(out) => *out,
+            // simlint: allow(no-panic-in-lib): explicit unwrap helper; the variant is part of its contract
+            CkptRun::Snapshot(s) => panic!("run stopped at snapshot epoch {}", s.epoch),
+        }
+    }
+
+    /// Unwraps the snapshot.
+    ///
+    /// # Panics
+    /// Panics when the run completed instead of stopping at a fence.
+    pub fn into_snapshot(self) -> Snapshot {
+        match self {
+            // simlint: allow(no-panic-in-lib): explicit unwrap helper; the variant is part of its contract
+            CkptRun::Completed(_) => panic!("run completed without reaching the snapshot epoch"),
+            CkptRun::Snapshot(s) => s,
+        }
+    }
+}
+
+/// How to resume a [`Snapshot`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RestoreOptions {
+    /// Hot-swap this rank: its QPs are torn to Reset and re-established
+    /// through the normal connection path, its transport counters
+    /// re-applied, and its coroutine respawned from its own blob — the
+    /// elastic-replacement model for a node the fault plane killed.
+    pub replace: Option<Rank>,
+    /// Stop again at this (strictly later) checkpoint epoch, producing a
+    /// fresh snapshot — checkpoint ladders.
+    pub snapshot_epoch: Option<u64>,
+}
+
+impl MpiRank {
+    /// Takes a coordinated checkpoint: drains this rank to a stable point,
+    /// synchronizes with the world, and parks at the checkpoint fence
+    /// until the driver releases it (or stops the run with a snapshot).
+    /// Returns the completed epoch. `app_state` is this rank's opaque
+    /// application payload; it comes back through
+    /// [`CkptStart::app_state`] on resume.
+    ///
+    /// Requirements at the call site (asserted): every non-blocking
+    /// request waited on, no posted receives outstanding, and no unmatched
+    /// rendezvous pending — an unmatched `RndzStart` leaves its sender
+    /// unable to drain, which surfaces as a deadlock at the drain note.
+    ///
+    /// Only meaningful under [`MpiWorld::run_with_checkpoints`] /
+    /// [`MpiWorld::restore`]; under plain [`MpiWorld::run`] the fence is
+    /// never released and the run reports a deadlock at
+    /// [`CKPT_FENCE_NOTE`].
+    pub async fn checkpoint(&mut self, app_state: &[u8]) -> u64 {
+        let epoch = self.ckpt_epoch + 1;
+        // Phase 1: drain this rank's own traffic (mirrors `finalize`).
+        self.wait_until(
+            |r| {
+                r.conns.iter().flatten().all(|c| c.backlog.is_empty())
+                    && !r.reqs.has_pending_transport()
+            },
+            "checkpoint: draining backlog",
+        )
+        .await;
+        assert_eq!(
+            self.reqs.live_count(),
+            0,
+            "rank {} entered checkpoint epoch {epoch} with outstanding requests ({})",
+            self.rank,
+            chaos_context(&self.cfg),
+        );
+        assert!(
+            self.posted_recvs.is_empty(),
+            "rank {} entered checkpoint epoch {epoch} with posted receives ({})",
+            self.rank,
+            chaos_context(&self.cfg),
+        );
+        // Phase 2: world barrier — no peer still needs our progress.
+        let world = Comm::world_internal(self.size);
+        collectives::barrier(self, &world).await;
+        // Phase 3: drain what the barrier itself generated.
+        self.wait_until(
+            |r| {
+                r.outstanding_ctrl == 0
+                    && !r.reqs.has_pending_transport()
+                    && r.conns.iter().flatten().all(|c| c.backlog.is_empty())
+            },
+            "checkpoint: draining sends",
+        )
+        .await;
+        self.flush_charge().await;
+        // No awaits from here to the park: deposit and stamp atomically
+        // with respect to the simulation.
+        self.ckpt_epoch = epoch;
+        let snapshotting = self
+            .proc
+            .with(|ctx| ctx.world.ckpt.snapshot_epoch == Some(epoch));
+        if snapshotting {
+            let blob = self.encode_blob(app_state);
+            let rank = self.rank;
+            self.proc.with(|ctx| {
+                let blobs = &mut ctx.world.ckpt.rank_blobs;
+                assert!(
+                    rank < blobs.len(),
+                    "checkpoint bus not sized for rank {rank}: run under the checkpoint driver"
+                );
+                blobs[rank] = Some(blob);
+            });
+        }
+        self.proc.with(|ctx| ctx.world.ckpt.pending_epoch = epoch);
+        // Spurious wakes re-check and re-park; the fence callback bumps
+        // `released_epoch` before waking anyone.
+        loop {
+            if self.proc.with(|ctx| ctx.world.ckpt.released_epoch >= epoch) {
+                break;
+            }
+            self.proc.park(CKPT_FENCE_NOTE).await;
+        }
+        epoch
+    }
+
+    /// Serializes this rank's protocol state. Called only at a checkpoint
+    /// fence, with the drain invariants already holding (asserted).
+    fn encode_blob(&self, app_state: &[u8]) -> Vec<u8> {
+        let ctx = || chaos_context(&self.cfg);
+        assert_eq!(
+            self.outstanding_ctrl,
+            0,
+            "rank {}: control sends outstanding at a checkpoint fence ({})",
+            self.rank,
+            ctx(),
+        );
+        assert_eq!(
+            self.pending_charge,
+            SimDuration::ZERO,
+            "rank {}: uncharged software cost at a checkpoint fence ({})",
+            self.rank,
+            ctx(),
+        );
+        assert!(
+            self.stats.faults.is_empty(),
+            "rank {}: snapshot after a fabric fault ({}); checkpoints must precede the kill",
+            self.rank,
+            ctx(),
+        );
+        let mut w = Writer::new();
+        w.u32(RANK_BLOB_VERSION);
+        w.section(TAG_RANK, |w| {
+            w.usize(self.rank);
+            w.usize(self.size);
+            w.u64(self.ckpt_epoch);
+            w.u16(self.next_ctx);
+            w.usize(self.coll_seq.len());
+            for (&c, &s) in &self.coll_seq {
+                w.u16(c);
+                w.u32(s);
+            }
+            w.u64(self.rdma_seen);
+            w.bool(self.ring_residual);
+            // Establishment order matters: the watchlist is polled in
+            // insertion order, which on-demand connections make
+            // run-dependent — so it is serialized, never re-derived.
+            w.usize(self.rdma_watch.len());
+            for &p in &self.rdma_watch {
+                w.usize(p);
+            }
+            let (req_slots, req_free) = self.reqs.shape();
+            w.u32(req_slots);
+            w.usize(req_free.len());
+            for s in req_free {
+                w.u32(s);
+            }
+        });
+        w.section(TAG_UNEXPECTED, |w| {
+            w.usize(self.unexpected.len());
+            for u in &self.unexpected {
+                match u {
+                    Unexpected::Eager {
+                        src,
+                        tag,
+                        comm,
+                        data,
+                    } => {
+                        w.usize(*src);
+                        w.i32(*tag);
+                        w.u16(*comm);
+                        w.bytes(data);
+                    }
+                    Unexpected::Rndz { src, .. } => {
+                        // simlint: allow(no-panic-in-lib): an unmatched rendezvous start means its sender cannot have drained, so reaching the fence with one is a protocol bug
+                        panic!(
+                            "rank {}: unmatched rendezvous from rank {src} at a checkpoint \
+                             fence ({}); post the matching receive before checkpointing",
+                            self.rank,
+                            ctx(),
+                        )
+                    }
+                }
+            }
+        });
+        w.section(TAG_REGCACHE, |w| self.regcache.encode(w));
+        w.section(TAG_RANK_STATS, |w| {
+            w.u64(self.stats.msgs_received.get());
+            w.u64(self.stats.eager_bytes.get());
+            w.u64(self.stats.rndz_bytes.get());
+            w.u64(self.stats.unexpected_msgs.get());
+        });
+        w.section(TAG_CONNS, |w| {
+            for c in self.conns.iter().flatten() {
+                assert!(
+                    c.backlog.is_empty() && c.optimistic_req.is_none(),
+                    "rank {}: connection to {} not drained at a checkpoint fence ({})",
+                    self.rank,
+                    c.peer,
+                    ctx(),
+                );
+                assert!(
+                    !c.failed,
+                    "rank {}: connection to {} failed before the checkpoint fence ({})",
+                    self.rank,
+                    c.peer,
+                    ctx(),
+                );
+                encode_conn(c, w);
+            }
+        });
+        w.section(TAG_APP, |w| w.bytes(app_state));
+        w.finish()
+    }
+
+    /// Overwrites this (freshly constructed) rank's dynamic state with a
+    /// decoded image and returns the application bytes. Infallible: every
+    /// field was validated by [`decode_rank_blob`] before any coroutine
+    /// was spawned.
+    pub(crate) fn apply_image(&mut self, img: RankImage) -> Vec<u8> {
+        debug_assert_eq!(self.rank, img.rank);
+        debug_assert_eq!(self.size, img.size);
+        self.ckpt_epoch = img.ckpt_epoch;
+        self.next_ctx = img.next_ctx;
+        self.coll_seq = img.coll_seq.into_iter().collect();
+        self.rdma_seen = img.rdma_seen;
+        self.ring_residual = img.ring_residual;
+        self.rdma_watch = img.rdma_watch;
+        self.reqs.restore_shape(img.req_slots, img.req_free);
+        self.unexpected = img
+            .unexpected
+            .into_iter()
+            .map(|(src, tag, comm, data)| Unexpected::Eager {
+                src,
+                tag,
+                comm,
+                data,
+            })
+            .collect();
+        self.regcache = img.regcache;
+        self.stats.msgs_received = counter(img.msgs_received);
+        self.stats.eager_bytes = counter(img.eager_bytes);
+        self.stats.rndz_bytes = counter(img.rndz_bytes);
+        self.stats.unexpected_msgs = counter(img.unexpected_msgs);
+        let mut conns = img.conns.into_iter();
+        for c in self.conns.iter_mut().flatten() {
+            // simlint: allow(no-panic-in-lib): decode produced exactly size-1 images in peer order, matching the bare setup
+            let ci = conns.next().expect("one image per connection");
+            apply_conn_image(c, ci);
+        }
+        img.app_state
+    }
+}
+
+/// Serializes one connection's dynamic state (field order is the format;
+/// [`decode_conn`] mirrors it).
+fn encode_conn(c: &Conn, w: &mut Writer) {
+    w.bool(c.established);
+    w.u32(c.credits);
+    w.u32(c.send_seq);
+    let free = c.slab.free_slots();
+    w.usize(free.len());
+    for &s in free {
+        w.u32(s);
+    }
+    w.u32(c.prepost_target);
+    w.u32(c.posted);
+    w.u32(c.consumed_since_update);
+    w.u64(c.granted_total);
+    w.u64(c.spent_total);
+    w.u64(c.consumed_total);
+    w.u64(c.returned_total);
+    w.u64(c.mailbox_seen);
+    w.u64(c.mailbox_sent_total);
+    w.u32(c.ring_credits);
+    w.u32(c.ring_consumed_since_update);
+    w.u64(c.ring_mailbox_sent_total);
+    w.u64(c.ring_granted_total);
+    w.u64(c.ring_spent_total);
+    w.u64(c.ring_consumed_total);
+    w.u64(c.ring_returned_total);
+    w.u64(c.ring_mailbox_seen);
+    w.u32(c.next_deliver_seq);
+    w.usize(c.reorder.len());
+    for (&seq, (h, payload)) in &c.reorder {
+        w.u32(seq);
+        // simlint: allow(no-panic-in-lib): reorder headers came off the wire, so their fields fit by construction
+        let hb = h.try_encode().expect("reorder header fields fit");
+        w.bytes(&hb);
+        w.bytes(payload);
+    }
+    w.u32(c.my_ring.as_raw());
+    w.u32(c.ring_read_slot);
+    w.u32(c.peer_ring.as_raw());
+    w.u32(c.ring_write_slot);
+    w.u32(c.my_ring_gen);
+    w.u32(c.my_ring_slots);
+    w.u32(c.peer_ring_gen);
+    w.u32(c.peer_ring_slots);
+    w.u32(c.peer_acked_gen);
+    w.usize(c.retired_rings.len());
+    for r in &c.retired_rings {
+        w.u32(r.gen);
+        w.u32(r.mr.as_raw());
+        w.u32(r.slots);
+        w.u32(r.read_slot);
+    }
+    w.u32(c.ring_full_since_update);
+    w.bool(c.ring_backlog_pending);
+    w.bool(c.ring_gen_ack_pending);
+    w.bool(c.ring_growth_pending);
+    // Run-filled statistics only: the ledger-snapshot fields stay zero
+    // until `finish_stats` and are recomputed there from the live ledger.
+    w.u64(c.stats.msgs_sent.get());
+    w.u64(c.stats.eager_sent.get());
+    w.u64(c.stats.ring_sent.get());
+    w.u64(c.stats.rndz_sent.get());
+    w.u64(c.stats.ecm_sent.get());
+    w.u64(c.stats.rdma_credit_updates.get());
+    w.u64(c.stats.backlogged.get());
+    w.u64(c.stats.credits_piggybacked.get());
+    w.u64(c.stats.max_posted.get());
+    w.u64(c.stats.growth_events.get());
+    w.u64(c.stats.ring_growth_events.get());
+    w.u64(c.stats.rings_retired.get());
+    w.u64(c.stats.ring_generation.get());
+}
+
+/// Decoded image of one connection (mirror of [`encode_conn`]).
+pub(crate) struct ConnImage {
+    established: bool,
+    credits: u32,
+    send_seq: u32,
+    slab_free: Vec<u32>,
+    prepost_target: u32,
+    posted: u32,
+    consumed_since_update: u32,
+    granted_total: u64,
+    spent_total: u64,
+    consumed_total: u64,
+    returned_total: u64,
+    mailbox_seen: u64,
+    mailbox_sent_total: u64,
+    ring_credits: u32,
+    ring_consumed_since_update: u32,
+    ring_mailbox_sent_total: u64,
+    ring_granted_total: u64,
+    ring_spent_total: u64,
+    ring_consumed_total: u64,
+    ring_returned_total: u64,
+    ring_mailbox_seen: u64,
+    next_deliver_seq: u32,
+    reorder: Vec<(u32, MsgHeader, Vec<u8>)>,
+    my_ring: MrId,
+    ring_read_slot: u32,
+    peer_ring: MrId,
+    ring_write_slot: u32,
+    my_ring_gen: u32,
+    my_ring_slots: u32,
+    peer_ring_gen: u32,
+    peer_ring_slots: u32,
+    peer_acked_gen: u32,
+    retired_rings: Vec<(u32, MrId, u32, u32)>,
+    ring_full_since_update: u32,
+    ring_backlog_pending: bool,
+    ring_gen_ack_pending: bool,
+    ring_growth_pending: bool,
+    stats: [u64; 13],
+}
+
+fn mr_id(raw: u32, n_mrs: usize, context: &'static str) -> Result<MrId, CodecError> {
+    if (raw as usize) < n_mrs {
+        Ok(MrId::from_raw(raw))
+    } else {
+        Err(CodecError::Overflow {
+            context,
+            value: u64::from(raw),
+            max: n_mrs as u64 - 1,
+        })
+    }
+}
+
+fn decode_conn(
+    r: &mut Reader<'_>,
+    max_prepost: u32,
+    n_mrs: usize,
+) -> Result<ConnImage, CodecError> {
+    let established = r.bool("conn.established")?;
+    let credits = r.u32("conn.credits")?;
+    let send_seq = r.u32("conn.send_seq")?;
+    let n_free = r.usize("conn.slab_free.count")?;
+    let mut slab_free = Vec::with_capacity(n_free);
+    for _ in 0..n_free {
+        let s = r.u32("conn.slab_free.slot")?;
+        if s >= max_prepost {
+            return Err(CodecError::Overflow {
+                context: "conn.slab_free.slot",
+                value: u64::from(s),
+                max: u64::from(max_prepost) - 1,
+            });
+        }
+        slab_free.push(s);
+    }
+    let prepost_target = r.u32("conn.prepost_target")?;
+    let posted = r.u32("conn.posted")?;
+    let consumed_since_update = r.u32("conn.consumed_since_update")?;
+    let granted_total = r.u64("conn.granted_total")?;
+    let spent_total = r.u64("conn.spent_total")?;
+    let consumed_total = r.u64("conn.consumed_total")?;
+    let returned_total = r.u64("conn.returned_total")?;
+    let mailbox_seen = r.u64("conn.mailbox_seen")?;
+    let mailbox_sent_total = r.u64("conn.mailbox_sent_total")?;
+    let ring_credits = r.u32("conn.ring_credits")?;
+    let ring_consumed_since_update = r.u32("conn.ring_consumed_since_update")?;
+    let ring_mailbox_sent_total = r.u64("conn.ring_mailbox_sent_total")?;
+    let ring_granted_total = r.u64("conn.ring_granted_total")?;
+    let ring_spent_total = r.u64("conn.ring_spent_total")?;
+    let ring_consumed_total = r.u64("conn.ring_consumed_total")?;
+    let ring_returned_total = r.u64("conn.ring_returned_total")?;
+    let ring_mailbox_seen = r.u64("conn.ring_mailbox_seen")?;
+    let next_deliver_seq = r.u32("conn.next_deliver_seq")?;
+    let n_reorder = r.usize("conn.reorder.count")?;
+    let mut reorder = Vec::with_capacity(n_reorder);
+    for _ in 0..n_reorder {
+        let seq = r.u32("conn.reorder.seq")?;
+        let hb = r.bytes("conn.reorder.header")?;
+        let h = MsgHeader::decode(&hb).map_err(|_| CodecError::BadTag {
+            context: "conn.reorder.header",
+            want: 0,
+            got: 1,
+        })?;
+        let payload = r.bytes("conn.reorder.payload")?;
+        reorder.push((seq, h, payload));
+    }
+    let my_ring = mr_id(r.u32("conn.my_ring")?, n_mrs, "conn.my_ring")?;
+    let ring_read_slot = r.u32("conn.ring_read_slot")?;
+    let peer_ring = mr_id(r.u32("conn.peer_ring")?, n_mrs, "conn.peer_ring")?;
+    let ring_write_slot = r.u32("conn.ring_write_slot")?;
+    let my_ring_gen = r.u32("conn.my_ring_gen")?;
+    let my_ring_slots = r.u32("conn.my_ring_slots")?;
+    let peer_ring_gen = r.u32("conn.peer_ring_gen")?;
+    let peer_ring_slots = r.u32("conn.peer_ring_slots")?;
+    let peer_acked_gen = r.u32("conn.peer_acked_gen")?;
+    let n_retired = r.usize("conn.retired.count")?;
+    let mut retired_rings = Vec::with_capacity(n_retired);
+    for _ in 0..n_retired {
+        let gen = r.u32("conn.retired.gen")?;
+        let mr = mr_id(r.u32("conn.retired.mr")?, n_mrs, "conn.retired.mr")?;
+        let slots = r.u32("conn.retired.slots")?;
+        let read_slot = r.u32("conn.retired.read_slot")?;
+        retired_rings.push((gen, mr, slots, read_slot));
+    }
+    let ring_full_since_update = r.u32("conn.ring_full_since_update")?;
+    let ring_backlog_pending = r.bool("conn.ring_backlog_pending")?;
+    let ring_gen_ack_pending = r.bool("conn.ring_gen_ack_pending")?;
+    let ring_growth_pending = r.bool("conn.ring_growth_pending")?;
+    let mut stats = [0u64; 13];
+    for s in &mut stats {
+        *s = r.u64("conn.stats")?;
+    }
+    Ok(ConnImage {
+        established,
+        credits,
+        send_seq,
+        slab_free,
+        prepost_target,
+        posted,
+        consumed_since_update,
+        granted_total,
+        spent_total,
+        consumed_total,
+        returned_total,
+        mailbox_seen,
+        mailbox_sent_total,
+        ring_credits,
+        ring_consumed_since_update,
+        ring_mailbox_sent_total,
+        ring_granted_total,
+        ring_spent_total,
+        ring_consumed_total,
+        ring_returned_total,
+        ring_mailbox_seen,
+        next_deliver_seq,
+        reorder,
+        my_ring,
+        ring_read_slot,
+        peer_ring,
+        ring_write_slot,
+        my_ring_gen,
+        my_ring_slots,
+        peer_ring_gen,
+        peer_ring_slots,
+        peer_acked_gen,
+        retired_rings,
+        ring_full_since_update,
+        ring_backlog_pending,
+        ring_gen_ack_pending,
+        ring_growth_pending,
+        stats,
+    })
+}
+
+fn apply_conn_image(c: &mut Conn, img: ConnImage) {
+    c.established = img.established;
+    c.credits = img.credits;
+    c.send_seq = img.send_seq;
+    c.slab.restore_free(img.slab_free);
+    c.prepost_target = img.prepost_target;
+    c.posted = img.posted;
+    c.consumed_since_update = img.consumed_since_update;
+    c.granted_total = img.granted_total;
+    c.spent_total = img.spent_total;
+    c.consumed_total = img.consumed_total;
+    c.returned_total = img.returned_total;
+    c.mailbox_seen = img.mailbox_seen;
+    c.mailbox_sent_total = img.mailbox_sent_total;
+    c.ring_credits = img.ring_credits;
+    // simlint: allow(credit-path-pairing): restore path — this write reinstates the snapshot's ledger position; the paired grant already went out in the run being resumed
+    c.ring_consumed_since_update = img.ring_consumed_since_update;
+    // simlint: allow(credit-path-pairing): restore path — same as above
+    c.ring_mailbox_sent_total = img.ring_mailbox_sent_total;
+    c.ring_granted_total = img.ring_granted_total;
+    c.ring_spent_total = img.ring_spent_total;
+    c.ring_consumed_total = img.ring_consumed_total;
+    c.ring_returned_total = img.ring_returned_total;
+    c.ring_mailbox_seen = img.ring_mailbox_seen;
+    c.next_deliver_seq = img.next_deliver_seq;
+    c.reorder = img
+        .reorder
+        .into_iter()
+        .map(|(seq, h, p)| (seq, (h, p)))
+        .collect();
+    c.my_ring = img.my_ring;
+    c.ring_read_slot = img.ring_read_slot;
+    c.peer_ring = img.peer_ring;
+    c.ring_write_slot = img.ring_write_slot;
+    c.my_ring_gen = img.my_ring_gen;
+    c.my_ring_slots = img.my_ring_slots;
+    c.peer_ring_gen = img.peer_ring_gen;
+    c.peer_ring_slots = img.peer_ring_slots;
+    c.peer_acked_gen = img.peer_acked_gen;
+    c.retired_rings = img
+        .retired_rings
+        .into_iter()
+        .map(|(gen, mr, slots, read_slot)| RetiredRing {
+            gen,
+            mr,
+            slots,
+            read_slot,
+        })
+        .collect();
+    c.ring_full_since_update = img.ring_full_since_update;
+    c.ring_backlog_pending = img.ring_backlog_pending;
+    c.ring_gen_ack_pending = img.ring_gen_ack_pending;
+    c.ring_growth_pending = img.ring_growth_pending;
+    let [msgs_sent, eager_sent, ring_sent, rndz_sent, ecm_sent, rdma_credit_updates, backlogged, credits_piggybacked, max_posted, growth_events, ring_growth_events, rings_retired, ring_generation] =
+        img.stats;
+    c.stats.msgs_sent = counter(msgs_sent);
+    c.stats.eager_sent = counter(eager_sent);
+    c.stats.ring_sent = counter(ring_sent);
+    c.stats.rndz_sent = counter(rndz_sent);
+    c.stats.ecm_sent = counter(ecm_sent);
+    c.stats.rdma_credit_updates = counter(rdma_credit_updates);
+    c.stats.backlogged = counter(backlogged);
+    c.stats.credits_piggybacked = counter(credits_piggybacked);
+    c.stats.max_posted = peak(max_posted);
+    c.stats.growth_events = counter(growth_events);
+    c.stats.ring_growth_events = counter(ring_growth_events);
+    c.stats.rings_retired = counter(rings_retired);
+    c.stats.ring_generation = peak(ring_generation);
+}
+
+/// Fully decoded image of one rank's blob, validated before any coroutine
+/// is spawned so a corrupt snapshot surfaces as
+/// [`MpiRunError::Snapshot`], never a panic inside the simulation.
+pub(crate) struct RankImage {
+    rank: Rank,
+    size: usize,
+    ckpt_epoch: u64,
+    next_ctx: CommCtx,
+    coll_seq: Vec<(CommCtx, u32)>,
+    rdma_seen: u64,
+    ring_residual: bool,
+    rdma_watch: Vec<Rank>,
+    req_slots: u32,
+    req_free: Vec<u32>,
+    unexpected: Vec<(Rank, Tag, CommCtx, Vec<u8>)>,
+    regcache: RegCache,
+    msgs_received: u64,
+    eager_bytes: u64,
+    rndz_bytes: u64,
+    unexpected_msgs: u64,
+    conns: Vec<ConnImage>,
+    app_state: Vec<u8>,
+}
+
+fn decode_rank_blob(
+    blob: &[u8],
+    rank: Rank,
+    size: usize,
+    node: NodeId,
+    cfg: &MpiConfig,
+    n_mrs: usize,
+) -> Result<RankImage, CodecError> {
+    let mut r = Reader::new(blob);
+    let version = r.u32("rank blob version")?;
+    if version != RANK_BLOB_VERSION {
+        return Err(CodecError::BadTag {
+            context: "rank blob version",
+            want: u64::from(RANK_BLOB_VERSION),
+            got: u64::from(version),
+        });
+    }
+    let mut rs = r.section(TAG_RANK, "rank blob")?;
+    let blob_rank = rs.usize("rank blob rank")?;
+    let blob_size = rs.usize("rank blob size")?;
+    if blob_rank != rank || blob_size != size {
+        return Err(CodecError::BadTag {
+            context: "rank blob identity",
+            want: rank as u64,
+            got: blob_rank as u64,
+        });
+    }
+    let ckpt_epoch = rs.u64("rank blob epoch")?;
+    let next_ctx = rs.u16("rank blob next_ctx")?;
+    let n_coll = rs.usize("rank blob coll_seq.count")?;
+    let mut coll_seq = Vec::with_capacity(n_coll);
+    for _ in 0..n_coll {
+        let c = rs.u16("rank blob coll_seq.ctx")?;
+        let s = rs.u32("rank blob coll_seq.seq")?;
+        coll_seq.push((c, s));
+    }
+    let rdma_seen = rs.u64("rank blob rdma_seen")?;
+    let ring_residual = rs.bool("rank blob ring_residual")?;
+    let n_watch = rs.usize("rank blob rdma_watch.count")?;
+    let mut rdma_watch = Vec::with_capacity(n_watch);
+    for _ in 0..n_watch {
+        let p = rs.usize("rank blob rdma_watch.peer")?;
+        if p >= size {
+            return Err(CodecError::Overflow {
+                context: "rank blob rdma_watch.peer",
+                value: p as u64,
+                max: size as u64 - 1,
+            });
+        }
+        rdma_watch.push(p);
+    }
+    let req_slots = rs.u32("rank blob req.slots")?;
+    let n_req_free = rs.usize("rank blob req.free.count")?;
+    if n_req_free != req_slots as usize {
+        // A fenced table has zero live requests, so every slot is free.
+        return Err(CodecError::Overflow {
+            context: "rank blob req.free.count",
+            value: n_req_free as u64,
+            max: u64::from(req_slots),
+        });
+    }
+    let mut req_free = Vec::with_capacity(n_req_free);
+    for _ in 0..n_req_free {
+        let s = rs.u32("rank blob req.free.slot")?;
+        if s >= req_slots {
+            return Err(CodecError::Overflow {
+                context: "rank blob req.free.slot",
+                value: u64::from(s),
+                max: u64::from(req_slots) - 1,
+            });
+        }
+        req_free.push(s);
+    }
+    rs.done("rank blob")?;
+
+    let mut us = r.section(TAG_UNEXPECTED, "rank blob unexpected")?;
+    let n_unexp = us.usize("unexpected.count")?;
+    let mut unexpected = Vec::with_capacity(n_unexp);
+    for _ in 0..n_unexp {
+        let src = us.usize("unexpected.src")?;
+        if src >= size {
+            return Err(CodecError::Overflow {
+                context: "unexpected.src",
+                value: src as u64,
+                max: size as u64 - 1,
+            });
+        }
+        let tag = us.i32("unexpected.tag")?;
+        let comm = us.u16("unexpected.comm")?;
+        let data = us.bytes("unexpected.data")?;
+        unexpected.push((src, tag, comm, data));
+    }
+    us.done("rank blob unexpected")?;
+
+    let mut gs = r.section(TAG_REGCACHE, "rank blob regcache")?;
+    let mut regcache = RegCache::new(node, cfg.regcache_capacity);
+    regcache.restore(&mut gs)?;
+    gs.done("rank blob regcache")?;
+
+    let mut ss = r.section(TAG_RANK_STATS, "rank blob stats")?;
+    let msgs_received = ss.u64("stats.msgs_received")?;
+    let eager_bytes = ss.u64("stats.eager_bytes")?;
+    let rndz_bytes = ss.u64("stats.rndz_bytes")?;
+    let unexpected_msgs = ss.u64("stats.unexpected_msgs")?;
+    ss.done("rank blob stats")?;
+
+    let mut cs = r.section(TAG_CONNS, "rank blob conns")?;
+    let mut conns = Vec::with_capacity(size.saturating_sub(1));
+    for _ in 0..size.saturating_sub(1) {
+        conns.push(decode_conn(&mut cs, cfg.max_prepost, n_mrs)?);
+    }
+    cs.done("rank blob conns")?;
+
+    let mut aps = r.section(TAG_APP, "rank blob app")?;
+    let app_state = aps.bytes("rank blob app state")?;
+    aps.done("rank blob app")?;
+    r.done("rank blob")?;
+
+    Ok(RankImage {
+        rank,
+        size,
+        ckpt_epoch,
+        next_ctx,
+        coll_seq,
+        rdma_seen,
+        ring_residual,
+        rdma_watch,
+        req_slots,
+        req_free,
+        unexpected,
+        regcache,
+        msgs_received,
+        eager_bytes,
+        rndz_bytes,
+        unexpected_msgs,
+        conns,
+        app_state,
+    })
+}
+
+/// Runs the fenced poll loop with the shared fence callback: release
+/// barrier-only epochs, stop-and-snapshot at the requested epoch, and
+/// enrich deadlock notes exactly like the plain run path.
+fn run_fenced(
+    mut sim: Sim<Fabric>,
+    nprocs: usize,
+) -> Result<(Sim<Fabric>, ibsim::RunReport, Option<Snapshot>), MpiRunError> {
+    let mut snapshot = None;
+    let result = sim.run_with_fence(CKPT_FENCE_NOTE, |world, clock| {
+        // Every live rank is parked at the fence, so every registered CQ
+        // waiter and RDMA watcher is stale; clearing them here (in BOTH
+        // paths) keeps the released run and the restored run identical.
+        world.clear_transient_wakers();
+        let epoch = world.ckpt.pending_epoch;
+        if world.ckpt.snapshot_epoch == Some(epoch) {
+            let n = world.ckpt.rank_blobs.len();
+            let rank_blobs: Vec<Vec<u8>> = (0..n)
+                .map(|i| {
+                    world.ckpt.rank_blobs[i].take().unwrap_or_else(|| {
+                        // simlint: allow(no-panic-in-lib): every rank deposits before stamping the epoch it parks on, so a missing blob is a protocol bug
+                        panic!("rank {i} reached snapshot epoch {epoch} without a blob")
+                    })
+                })
+                .collect();
+            let mut w = Writer::new();
+            ibfabric::encode_fabric(world, &mut w);
+            snapshot = Some(Snapshot {
+                epoch,
+                nprocs: n,
+                clock,
+                fabric_image: w.finish(),
+                rank_blobs,
+            });
+            FenceAction::Stop
+        } else {
+            world.ckpt.released_epoch = epoch;
+            FenceAction::Continue
+        }
+    });
+    match result {
+        Ok(report) => Ok((sim, report, snapshot)),
+        Err(SimError::Deadlock(mut info)) => {
+            let fabric = sim.into_world();
+            for (name, note) in info.parked.iter_mut() {
+                if let Some(i) = name
+                    .strip_prefix("rank")
+                    .and_then(|s| s.parse::<usize>().ok())
+                {
+                    world::append_fabric_diag(note, &fabric, nprocs, i);
+                }
+            }
+            Err(SimError::Deadlock(info).into())
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+impl MpiWorld {
+    /// Like [`MpiWorld::run`], but checkpoint-aware: rank bodies receive a
+    /// [`CkptStart`] (fresh here: epoch 0, empty state) and may call
+    /// [`MpiRank::checkpoint`]. With `snapshot_epoch: None` every fence is
+    /// released and the run completes — the uninterrupted golden. With
+    /// `Some(e)` the run stops at checkpoint epoch `e` and returns the
+    /// [`Snapshot`] for [`MpiWorld::restore`].
+    pub fn run_with_checkpoints<R, F>(
+        nprocs: usize,
+        cfg: MpiConfig,
+        params: FabricParams,
+        sim_config: SimConfig,
+        snapshot_epoch: Option<u64>,
+        body: F,
+    ) -> Result<CkptRun<R>, MpiRunError>
+    where
+        R: 'static,
+        F: AsyncFn(&mut MpiRank, CkptStart) -> R + 'static,
+    {
+        cfg.validate().map_err(MpiRunError::Config)?;
+        let (mut fabric, mut setups) = world::bootstrap_fabric(nprocs, &cfg, params);
+        fabric.ckpt = CkptBus {
+            released_epoch: 0,
+            pending_epoch: 0,
+            snapshot_epoch,
+            rank_blobs: vec![None; nprocs],
+        };
+        let mut sim = Sim::new(fabric, sim_config);
+        world::connect_all(&sim, nprocs, &cfg);
+        let body = Rc::new(body);
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, R, RankStats)>();
+        for (i, setup) in setups.iter_mut().enumerate() {
+            // simlint: allow(no-panic-in-lib): each setup slot is filled by bootstrap and taken exactly once here
+            let setup = setup.take().expect("setup present");
+            let body = Rc::clone(&body);
+            let tx = tx.clone();
+            sim.spawn(format!("rank{i}"), move |proc| async move {
+                let mut mpi = MpiRank::new(proc, setup);
+                let start = CkptStart {
+                    resumed_epoch: 0,
+                    app_state: Vec::new(),
+                };
+                let result = (*body)(&mut mpi, start).await;
+                mpi.finalize().await;
+                let stats = mpi.finish_stats();
+                let _ = tx.send((mpi.rank(), result, stats));
+            });
+        }
+        drop(tx);
+        let (sim, report, snapshot) = run_fenced(sim, nprocs)?;
+        if report.stopped_at_fence {
+            // simlint: allow(no-panic-in-lib): the fence callback returns Stop only after building the snapshot
+            return Ok(CkptRun::Snapshot(snapshot.expect("stop implies snapshot")));
+        }
+        let (results, stats) = world::collect_results(rx, nprocs);
+        Ok(CkptRun::Completed(Box::new(MpiRunOutput {
+            results,
+            stats,
+            end_time: report.end_time,
+            events: report.events_processed,
+            fabric: sim.into_world(),
+        })))
+    }
+
+    /// Resumes a [`Snapshot`]: rebuilds the fabric from its image,
+    /// re-decodes every rank blob (typed [`MpiRunError::Snapshot`] errors
+    /// on corruption), optionally hot-swaps a killed rank
+    /// ([`RestoreOptions::replace`]), and continues the run on the
+    /// snapshot's scheduler clock. `cfg` and `params` must match the
+    /// original run's; `cfg.fault_plan` may differ (e.g. a kill plan for
+    /// the crash leg of a kill-and-replace experiment — a plan with the
+    /// snapshotted seed resumes its fault stream, any other starts fresh).
+    pub fn restore<R, F>(
+        snapshot: &Snapshot,
+        cfg: MpiConfig,
+        params: FabricParams,
+        sim_config: SimConfig,
+        opts: RestoreOptions,
+        body: F,
+    ) -> Result<CkptRun<R>, MpiRunError>
+    where
+        R: 'static,
+        F: AsyncFn(&mut MpiRank, CkptStart) -> R + 'static,
+    {
+        cfg.validate().map_err(MpiRunError::Config)?;
+        let nprocs = snapshot.nprocs;
+        if let Some(v) = opts.replace {
+            assert!(v < nprocs, "replacement rank {v} out of range");
+        }
+        if let Some(e) = opts.snapshot_epoch {
+            assert!(
+                e > snapshot.epoch,
+                "next snapshot epoch {e} must exceed the resumed epoch {}",
+                snapshot.epoch
+            );
+        }
+        let mut fabric = Fabric::new(params);
+        if let Some(plan) = cfg.fault_plan.clone() {
+            fabric.set_fault_plan(plan);
+        }
+        ibfabric::restore_fabric(&mut fabric, &mut Reader::new(&snapshot.fabric_image))?;
+        if fabric.node_count() != nprocs {
+            return Err(CodecError::Overflow {
+                context: "snapshot fabric node count",
+                value: fabric.node_count() as u64,
+                max: nprocs as u64,
+            }
+            .into());
+        }
+        let n_mrs = fabric.mr_count();
+        // Decode everything before spawning anything: a corrupt blob is a
+        // typed error, never a panic inside a half-built simulation.
+        let mut images = Vec::with_capacity(nprocs);
+        for (i, blob) in snapshot.rank_blobs.iter().enumerate() {
+            images.push(decode_rank_blob(
+                blob,
+                i,
+                nprocs,
+                fabric.node_by_index(i),
+                &cfg,
+                n_mrs,
+            )?);
+        }
+        let nodes: Vec<NodeId> = (0..nprocs).map(|i| fabric.node_by_index(i)).collect();
+        let cqs: Vec<_> = (0..nprocs).map(|i| fabric.cq_by_index(i)).collect();
+        fabric.ckpt = CkptBus {
+            released_epoch: snapshot.epoch,
+            pending_epoch: snapshot.epoch,
+            snapshot_epoch: opts.snapshot_epoch,
+            rank_blobs: vec![None; nprocs],
+        };
+        let mut sim = Sim::resume(fabric, sim_config, snapshot.clock);
+        if let Some(victim) = opts.replace {
+            // Elastic replacement: the victim's connections (both ends) go
+            // back through the normal handshake, then the snapshot's
+            // transport counters are re-applied. The re-registration of
+            // the victim's regions is modeled by the fabric image having
+            // recreated them at their original indices. Reconnecting a
+            // quiescent QP launches nothing, so no event sequence numbers
+            // are consumed and byte-identity with the golden holds.
+            sim.with_world(|ctx| {
+                for j in 0..nprocs {
+                    if j == victim {
+                        continue;
+                    }
+                    let mine = world::qp_id_for(nprocs, victim, j);
+                    let theirs = world::qp_id_for(nprocs, j, victim);
+                    let tm = ibfabric::qp_transport(ctx.world, mine);
+                    let tt = ibfabric::qp_transport(ctx.world, theirs);
+                    ibfabric::reset_qp_for_reconnect(ctx.world, mine);
+                    ibfabric::reset_qp_for_reconnect(ctx.world, theirs);
+                    ibfabric::connect(ctx, mine, theirs);
+                    ibfabric::apply_qp_transport(ctx.world, mine, tm);
+                    ibfabric::apply_qp_transport(ctx.world, theirs, tt);
+                }
+            });
+        }
+        let body = Rc::new(body);
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, R, RankStats)>();
+        let resumed_epoch = snapshot.epoch;
+        for (i, image) in images.into_iter().enumerate() {
+            let mut conns: Vec<Option<Conn>> = Vec::with_capacity(nprocs);
+            for j in 0..nprocs {
+                if i == j {
+                    conns.push(None);
+                } else {
+                    // Bare connection: the image overwrites every dynamic
+                    // field, so no preposting or credit seeding here.
+                    conns.push(Some(world::make_conn(nprocs, &cfg, i, j)));
+                }
+            }
+            let setup = RankSetup {
+                rank: i,
+                size: nprocs,
+                node: nodes[i],
+                cq: cqs[i],
+                conns,
+                cfg: cfg.clone(),
+            };
+            let body = Rc::clone(&body);
+            let tx = tx.clone();
+            sim.spawn(format!("rank{i}"), move |proc| async move {
+                let mut mpi = MpiRank::new(proc, setup);
+                let app_state = mpi.apply_image(image);
+                let start = CkptStart {
+                    resumed_epoch,
+                    app_state,
+                };
+                let result = (*body)(&mut mpi, start).await;
+                mpi.finalize().await;
+                let stats = mpi.finish_stats();
+                let _ = tx.send((mpi.rank(), result, stats));
+            });
+        }
+        drop(tx);
+        let (sim, report, next_snapshot) = run_fenced(sim, nprocs)?;
+        if report.stopped_at_fence {
+            // simlint: allow(no-panic-in-lib): the fence callback returns Stop only after building the snapshot
+            let snap = next_snapshot.expect("stop implies snapshot");
+            return Ok(CkptRun::Snapshot(snap));
+        }
+        let (results, mut stats) = world::collect_results(rx, nprocs);
+        stats.restores = 1;
+        stats.rejoined_ranks = u64::from(opts.replace.is_some());
+        Ok(CkptRun::Completed(Box::new(MpiRunOutput {
+            results,
+            stats,
+            end_time: report.end_time,
+            events: report.events_processed,
+            fabric: sim.into_world(),
+        })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            epoch: 3,
+            nprocs: 2,
+            clock: SimClock {
+                now: SimTime::from_nanos(12_345),
+                seq: 678,
+                events_processed: 910,
+            },
+            fabric_image: vec![1, 2, 3, 4],
+            rank_blobs: vec![vec![5], vec![6, 7]],
+        }
+    }
+
+    #[test]
+    fn snapshot_bytes_roundtrip() {
+        let s = sample();
+        let bytes = s.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.time(), SimTime::from_nanos(12_345));
+    }
+
+    #[test]
+    fn truncated_snapshot_is_a_typed_error() {
+        let bytes = sample().to_bytes();
+        for cut in [0, 4, 8, bytes.len() / 2, bytes.len() - 1] {
+            let err = Snapshot::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CodecError::Truncated { .. } | CodecError::BadTag { .. }
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes).unwrap_err(),
+            CodecError::BadTag {
+                context: "snapshot magic",
+                ..
+            }
+        ));
+        let mut bytes = sample().to_bytes();
+        bytes[4] = 99; // future format version
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes).unwrap_err(),
+            CodecError::BadTag {
+                context: "snapshot version",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        assert!(Snapshot::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn chaos_context_names_the_scheme() {
+        let cfg = MpiConfig::scheme(crate::FlowControlScheme::RdmaChannel, 8);
+        let ctx = chaos_context(&cfg);
+        assert!(ctx.contains("scheme=rdma-channel"), "{ctx}");
+        assert!(ctx.contains("IBFLOW_CHAOS_SEED="), "{ctx}");
+    }
+}

@@ -69,6 +69,7 @@
 #![deny(unsafe_code)]
 
 mod buffers;
+mod ckpt;
 pub mod collectives;
 mod comm;
 mod config;
@@ -85,6 +86,7 @@ mod types;
 pub mod wire;
 mod world;
 
+pub use ckpt::{chaos_context, CkptRun, CkptStart, RestoreOptions, Snapshot, CKPT_FENCE_NOTE};
 pub use comm::Comm;
 pub use config::{CreditMsgMode, FlowControlScheme, GrowthPolicy, MpiConfig};
 pub use fault::FabricFault;

@@ -95,6 +95,9 @@ pub struct MpiRank {
     pub(crate) ring_residual: bool,
     /// Reusable staging buffer for ring frames (no per-frame allocation).
     pub(crate) ring_scratch: Vec<u8>,
+    /// Checkpoint epochs this rank has passed through (see `ckpt.rs`; the
+    /// next fence this rank enters is epoch `ckpt_epoch + 1`).
+    pub(crate) ckpt_epoch: u64,
 }
 
 impl MpiRank {
@@ -134,6 +137,7 @@ impl MpiRank {
             rdma_seen: 0,
             ring_residual: false,
             ring_scratch: Vec::new(),
+            ckpt_epoch: 0,
         }
     }
 

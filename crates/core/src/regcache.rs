@@ -7,6 +7,7 @@
 //! state of iterative applications into pure zero-copy.
 
 use ibfabric::{Access, Fabric, MrId, NodeId};
+use ibsim::codec::{CodecError, Reader, Writer};
 use ibsim::stats::Counter;
 use ibsim::SimDuration;
 use std::collections::BTreeMap;
@@ -33,6 +34,13 @@ struct Entry {
     mr: MrId,
     len: usize,
     last_use: u64,
+}
+
+/// A [`Counter`] holding `v` (checkpoint decode).
+fn counter(v: u64) -> Counter {
+    let mut c = Counter::default();
+    c.add(v);
+    c
 }
 
 /// An LRU pin-down cache for one node.
@@ -102,6 +110,50 @@ impl RegCache {
         );
         self.evict_to_capacity();
         (mr, cost)
+    }
+
+    /// Serializes the cache's dynamic state (entries, LRU clock,
+    /// counters) for a checkpoint. The node and capacity are
+    /// configuration the restoring caller supplies again via
+    /// [`RegCache::new`]; the cached [`MrId`]s stay valid because a fabric
+    /// restore recreates every region at its original index.
+    pub fn encode(&self, w: &mut Writer) {
+        w.u64(self.used_bytes as u64);
+        w.u64(self.tick);
+        w.u64(self.hits.get());
+        w.u64(self.misses.get());
+        w.u64(self.evictions.get());
+        w.u64(self.entries.len() as u64);
+        for (k, e) in &self.entries {
+            w.u64(k.slot as u64);
+            w.u64(k.len as u64);
+            w.u32(e.mr.as_raw());
+            w.u64(e.len as u64);
+            w.u64(e.last_use);
+        }
+    }
+
+    /// Restores the dynamic state captured by [`RegCache::encode`] into a
+    /// freshly constructed cache.
+    pub fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), CodecError> {
+        self.used_bytes = r.u64("regcache used_bytes")? as usize;
+        self.tick = r.u64("regcache tick")?;
+        self.hits = counter(r.u64("regcache hits")?);
+        self.misses = counter(r.u64("regcache misses")?);
+        self.evictions = counter(r.u64("regcache evictions")?);
+        let n = r.u64("regcache entry count")?;
+        self.entries.clear();
+        for _ in 0..n {
+            let key = BufKey {
+                slot: r.u64("regcache key slot")? as usize,
+                len: r.u64("regcache key len")? as usize,
+            };
+            let mr = MrId::from_raw(r.u32("regcache entry mr")?);
+            let len = r.u64("regcache entry len")? as usize;
+            let last_use = r.u64("regcache entry last_use")?;
+            self.entries.insert(key, Entry { mr, len, last_use });
+        }
+        Ok(())
     }
 
     fn evict_to_capacity(&mut self) {

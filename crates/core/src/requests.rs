@@ -187,6 +187,29 @@ impl ReqTable {
             .collect()
     }
 
+    /// The table's allocation shape — total slot count plus the free-slot
+    /// stack, bottom to top. Only meaningful when the table is empty
+    /// (checkpoint fences require `live_count() == 0`); the shape still
+    /// matters because `insert` pops the free stack, so a restored table
+    /// must hand out the same [`ReqId`]s the uninterrupted run would.
+    pub fn shape(&self) -> (u32, Vec<u32>) {
+        debug_assert_eq!(self.live_count(), 0, "shape of a non-empty table");
+        (self.slots.len() as u32, self.free.clone())
+    }
+
+    /// Rebuilds an empty table with the shape captured by
+    /// [`ReqTable::shape`].
+    pub fn restore_shape(&mut self, slot_count: u32, free: Vec<u32>) {
+        debug_assert_eq!(
+            slot_count as usize,
+            free.len(),
+            "empty table: every slot free"
+        );
+        debug_assert!(free.iter().all(|&s| s < slot_count));
+        self.slots = (0..slot_count).map(|_| None).collect();
+        self.free = free;
+    }
+
     /// True while any send operation's *transport* is still outstanding
     /// (backlogged, handshaking, or writing).
     pub fn has_pending_transport(&self) -> bool {

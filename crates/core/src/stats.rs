@@ -137,6 +137,13 @@ impl RankStats {
 pub struct WorldStats {
     /// Per-rank statistics.
     pub ranks: Vec<RankStats>,
+    /// Checkpoint restores this world has been through (0 for a run
+    /// started fresh, `n` when the driver resumed it from a snapshot `n`
+    /// times).
+    pub restores: u64,
+    /// Ranks that rejoined the world as elastic replacements (fresh state
+    /// re-seeded from survivors' snapshots).
+    pub rejoined_ranks: u64,
 }
 
 impl WorldStats {
@@ -180,6 +187,25 @@ impl WorldStats {
     pub fn total_faults(&self) -> usize {
         self.ranks.iter().map(|r| r.faults.len()).sum()
     }
+
+    /// One-line recovery summary: every counter an operator reads first
+    /// when judging whether a faulty or restored run healed itself. The
+    /// transport-level half comes from the fabric's aggregate statistics.
+    pub fn summary_line(&self, fabric: &ibfabric::FabricStats) -> String {
+        format!(
+            "recovery: retransmissions={} ack_timeouts={} rnr_naks={} dup_suppressed={} \
+             ud_drops={} faults_observed={} restores={} rejoined_ranks={} ledgers_conserved={}",
+            fabric.retransmissions.get(),
+            fabric.ack_timeouts.get(),
+            fabric.rnr_naks.get(),
+            fabric.dup_suppressed.get(),
+            fabric.ud_drops.get(),
+            self.total_faults(),
+            self.restores,
+            self.rejoined_ranks,
+            self.all_ledgers_conserved(),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -190,6 +216,7 @@ mod tests {
     fn table_extractors() {
         let mut ws = WorldStats {
             ranks: vec![RankStats::new(2), RankStats::new(2)],
+            ..Default::default()
         };
         ws.ranks[0].conns[1].ecm_sent.add(4);
         ws.ranks[0].conns[1].msgs_sent.add(10);

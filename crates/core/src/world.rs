@@ -17,6 +17,8 @@ pub enum MpiRunError {
     Config(String),
     /// The simulation failed (deadlock, process panic, or limit).
     Sim(SimError),
+    /// A checkpoint image failed to decode.
+    Snapshot(ibsim::codec::CodecError),
 }
 
 impl std::fmt::Display for MpiRunError {
@@ -24,6 +26,7 @@ impl std::fmt::Display for MpiRunError {
         match self {
             MpiRunError::Config(s) => write!(f, "bad MPI configuration: {s}"),
             MpiRunError::Sim(e) => write!(f, "simulation failed: {e}"),
+            MpiRunError::Snapshot(e) => write!(f, "bad checkpoint image: {e}"),
         }
     }
 }
@@ -33,6 +36,12 @@ impl std::error::Error for MpiRunError {}
 impl From<SimError> for MpiRunError {
     fn from(e: SimError) -> Self {
         MpiRunError::Sim(e)
+    }
+}
+
+impl From<ibsim::codec::CodecError> for MpiRunError {
+    fn from(e: ibsim::codec::CodecError) -> Self {
+        MpiRunError::Snapshot(e)
     }
 }
 
@@ -74,19 +83,38 @@ pub(crate) fn slab_mr_for(n: usize, i: usize, j: usize) -> MrId {
 }
 
 /// Credit mailbox MR on rank `i` written by rank `j`.
-fn mailbox_mr_for(n: usize, i: usize, j: usize) -> MrId {
+pub(crate) fn mailbox_mr_for(n: usize, i: usize, j: usize) -> MrId {
     MrId::from_raw((n * (n - 1) + pair_index(n, i, j)) as u32)
 }
 
 /// RDMA eager-channel ring MR on rank `i` written by rank `j`.
-fn ring_mr_for(n: usize, i: usize, j: usize) -> MrId {
+pub(crate) fn ring_mr_for(n: usize, i: usize, j: usize) -> MrId {
     MrId::from_raw((2 * n * (n - 1) + pair_index(n, i, j)) as u32)
+}
+
+/// Builds the bare connection object of rank `i` toward rank `j` from the
+/// deterministic layout: receive slab and verbs handles, every dynamic
+/// counter zeroed. Bootstrap layers preposting/credits on top of this; a
+/// checkpoint restore instead overwrites the dynamic fields from the
+/// rank's serialized blob.
+pub(crate) fn make_conn(nprocs: usize, cfg: &MpiConfig, i: usize, j: usize) -> Conn {
+    let slab = RecvSlab::new(slab_mr_for(nprocs, i, j), cfg.buf_size, cfg.max_prepost);
+    Conn::new(
+        j,
+        qp_id_for(nprocs, i, j),
+        slab,
+        cfg.prepost,
+        mailbox_mr_for(nprocs, i, j),
+        mailbox_mr_for(nprocs, j, i),
+        ring_mr_for(nprocs, i, j),
+        ring_mr_for(nprocs, j, i),
+    )
 }
 
 /// Appends rank `i`'s fabric-level connection state (posted receives,
 /// queued sends, peer in-flight messages) to a deadlock park note. Quiet
 /// connections are skipped so wide worlds stay readable.
-fn append_fabric_diag(note: &mut String, fabric: &Fabric, nprocs: usize, i: usize) {
+pub(crate) fn append_fabric_diag(note: &mut String, fabric: &Fabric, nprocs: usize, i: usize) {
     use std::fmt::Write as _;
     for j in 0..nprocs {
         if i == j {
@@ -142,141 +170,10 @@ impl MpiWorld {
         F: AsyncFn(&mut MpiRank) -> R + 'static,
     {
         cfg.validate().map_err(MpiRunError::Config)?;
-        assert!(
-            nprocs >= 1 && nprocs <= u16::MAX as usize,
-            "unsupported world size"
-        );
-
-        let mut fabric = Fabric::new(params);
-        if let Some(plan) = cfg.fault_plan.clone() {
-            fabric.set_fault_plan(plan);
-        }
-        let nodes: Vec<_> = (0..nprocs).map(|_| fabric.add_node()).collect();
-        let cqs: Vec<_> = nodes.iter().map(|&n| fabric.create_cq(n)).collect();
-
-        // QPs in the deterministic pair order. The default budgets retry
-        // forever (MPI reliability: a lossy fabric is waited out); finite
-        // budgets surface exhaustion as typed faults (see `fault.rs`).
-        let attrs = QpAttrs {
-            rnr_retry: cfg.rnr_retry,
-            retry_cnt: cfg.retry_cnt,
-            ..Default::default()
-        };
-        for i in 0..nprocs {
-            for j in 0..nprocs {
-                if i != j {
-                    let qp = fabric.create_qp(nodes[i], cqs[i], cqs[i], attrs);
-                    debug_assert_eq!(qp, qp_id_for(nprocs, i, j));
-                }
-            }
-        }
-        // Receive slabs, then mailboxes (order must match the layout fns).
-        let slab_bytes = cfg.max_prepost as usize * cfg.buf_size;
-        for (i, &node) in nodes.iter().enumerate() {
-            for j in 0..nprocs {
-                if i != j {
-                    let mr = fabric.register(node, slab_bytes, Access::LOCAL_WRITE);
-                    debug_assert_eq!(mr, slab_mr_for(nprocs, i, j));
-                }
-            }
-        }
-        for (i, &node) in nodes.iter().enumerate() {
-            for j in 0..nprocs {
-                if i != j {
-                    // 32 bytes: [0..8] buffer-credit counter, [8..16]
-                    // ring-slot counter (RDMA eager channel), [16..28]
-                    // offered ring generation/rkey/slots and [28..32]
-                    // acknowledged generation (dynamic ring growth; the
-                    // growth words stay zero when growth is disabled —
-                    // only the payload the writer sends differs).
-                    let mr = fabric.register(node, 32, Access::FULL);
-                    debug_assert_eq!(mr, mailbox_mr_for(nprocs, i, j));
-                }
-            }
-        }
-        let ring_bytes = cfg.rdma_ring_slots as usize * cfg.buf_size;
-        for (i, &node) in nodes.iter().enumerate() {
-            for j in 0..nprocs {
-                if i != j {
-                    let mr = fabric.register(node, ring_bytes, Access::FULL);
-                    debug_assert_eq!(mr, ring_mr_for(nprocs, i, j));
-                }
-            }
-        }
-
-        // Build per-rank connection state; pre-post and connect unless
-        // on-demand mode defers that to first use.
-        let mut setups: Vec<Option<RankSetup>> = Vec::with_capacity(nprocs);
-        for i in 0..nprocs {
-            let mut conns: Vec<Option<Conn>> = Vec::with_capacity(nprocs);
-            for j in 0..nprocs {
-                if i == j {
-                    conns.push(None);
-                    continue;
-                }
-                let slab = RecvSlab::new(slab_mr_for(nprocs, i, j), cfg.buf_size, cfg.max_prepost);
-                let mut conn = Conn::new(
-                    j,
-                    qp_id_for(nprocs, i, j),
-                    slab,
-                    cfg.prepost,
-                    mailbox_mr_for(nprocs, i, j),
-                    mailbox_mr_for(nprocs, j, i),
-                    ring_mr_for(nprocs, i, j),
-                    ring_mr_for(nprocs, j, i),
-                );
-                if cfg.rdma_eager_channel {
-                    conn.apply_ring_credits(cfg.rdma_ring_slots);
-                    // Generation 0 = the bootstrap ring on both sides.
-                    conn.my_ring_slots = cfg.rdma_ring_slots;
-                    conn.peer_ring_slots = cfg.rdma_ring_slots;
-                }
-                if !cfg.on_demand_connections {
-                    // Pre-post the initial pool (before connect, so the RC
-                    // handshake advertises them as initial credits).
-                    for _ in 0..cfg.prepost {
-                        // simlint: allow(no-panic-in-lib): cfg.validate() guarantees prepost <= max_prepost, the slab's slot count
-                        let slot = conn.slab.take_free().expect("prepost exceeds slab");
-                        fabric
-                            .post_recv(
-                                conn.qp,
-                                RecvWr {
-                                    wr_id: encode_wrid(WrKind::RecvSlot, slot as u64),
-                                    mr: conn.slab.mr,
-                                    offset: conn.slab.byte_offset(slot),
-                                    len: conn.slab.slot_size,
-                                },
-                            )
-                            // simlint: allow(no-panic-in-lib): receive queues are created empty and sized past max_prepost
-                            .expect("prepost");
-                    }
-                    conn.posted = cfg.prepost;
-                    conn.apply_credits(cfg.prepost);
-                    conn.established = true;
-                    conn.stats.max_posted.observe(cfg.prepost as u64);
-                }
-                conns.push(Some(conn));
-            }
-            setups.push(Some(RankSetup {
-                rank: i,
-                size: nprocs,
-                node: nodes[i],
-                cq: cqs[i],
-                conns,
-                cfg: cfg.clone(),
-            }));
-        }
+        let (fabric, mut setups) = bootstrap_fabric(nprocs, &cfg, params);
 
         let mut sim = Sim::new(fabric, sim_config);
-        if !cfg.on_demand_connections {
-            sim.with_world(|ctx| {
-                for i in 0..nprocs {
-                    for j in (i + 1)..nprocs {
-                        ibfabric::connect(ctx, qp_id_for(nprocs, i, j), qp_id_for(nprocs, j, i));
-                    }
-                }
-            });
-        }
+        connect_all(&sim, nprocs, &cfg);
 
         let body = Rc::new(body);
         let (tx, rx) = std::sync::mpsc::channel::<(usize, R, RankStats)>();
@@ -315,15 +212,7 @@ impl MpiWorld {
             }
             Err(e) => return Err(e.into()),
         };
-        let mut collected: Vec<(usize, R, RankStats)> = rx.try_iter().collect();
-        collected.sort_by_key(|(r, _, _)| *r);
-        assert_eq!(collected.len(), nprocs, "missing rank results");
-        let mut results = Vec::with_capacity(nprocs);
-        let mut stats = WorldStats::default();
-        for (_, r, s) in collected {
-            results.push(r);
-            stats.ranks.push(s);
-        }
+        let (results, stats) = collect_results(rx, nprocs);
         Ok(MpiRunOutput {
             results,
             stats,
@@ -332,6 +221,166 @@ impl MpiWorld {
             fabric: sim.into_world(),
         })
     }
+}
+
+/// Builds the fabric (nodes, CQs, QPs, slabs, mailboxes, rings — in the
+/// deterministic layout order) and each rank's bootstrap setup, including
+/// the initial prepost unless on-demand connections defer it. Shared by
+/// the plain run path and the checkpoint driver.
+pub(crate) fn bootstrap_fabric(
+    nprocs: usize,
+    cfg: &MpiConfig,
+    params: FabricParams,
+) -> (Fabric, Vec<Option<RankSetup>>) {
+    assert!(
+        nprocs >= 1 && nprocs <= u16::MAX as usize,
+        "unsupported world size"
+    );
+
+    let mut fabric = Fabric::new(params);
+    if let Some(plan) = cfg.fault_plan.clone() {
+        fabric.set_fault_plan(plan);
+    }
+    let nodes: Vec<_> = (0..nprocs).map(|_| fabric.add_node()).collect();
+    let cqs: Vec<_> = nodes.iter().map(|&n| fabric.create_cq(n)).collect();
+
+    // QPs in the deterministic pair order. The default budgets retry
+    // forever (MPI reliability: a lossy fabric is waited out); finite
+    // budgets surface exhaustion as typed faults (see `fault.rs`).
+    let attrs = QpAttrs {
+        rnr_retry: cfg.rnr_retry,
+        retry_cnt: cfg.retry_cnt,
+        ..Default::default()
+    };
+    for i in 0..nprocs {
+        for j in 0..nprocs {
+            if i != j {
+                let qp = fabric.create_qp(nodes[i], cqs[i], cqs[i], attrs);
+                debug_assert_eq!(qp, qp_id_for(nprocs, i, j));
+            }
+        }
+    }
+    // Receive slabs, then mailboxes (order must match the layout fns).
+    let slab_bytes = cfg.max_prepost as usize * cfg.buf_size;
+    for (i, &node) in nodes.iter().enumerate() {
+        for j in 0..nprocs {
+            if i != j {
+                let mr = fabric.register(node, slab_bytes, Access::LOCAL_WRITE);
+                debug_assert_eq!(mr, slab_mr_for(nprocs, i, j));
+            }
+        }
+    }
+    for (i, &node) in nodes.iter().enumerate() {
+        for j in 0..nprocs {
+            if i != j {
+                // 32 bytes: [0..8] buffer-credit counter, [8..16]
+                // ring-slot counter (RDMA eager channel), [16..28]
+                // offered ring generation/rkey/slots and [28..32]
+                // acknowledged generation (dynamic ring growth; the
+                // growth words stay zero when growth is disabled —
+                // only the payload the writer sends differs).
+                let mr = fabric.register(node, 32, Access::FULL);
+                debug_assert_eq!(mr, mailbox_mr_for(nprocs, i, j));
+            }
+        }
+    }
+    let ring_bytes = cfg.rdma_ring_slots as usize * cfg.buf_size;
+    for (i, &node) in nodes.iter().enumerate() {
+        for j in 0..nprocs {
+            if i != j {
+                let mr = fabric.register(node, ring_bytes, Access::FULL);
+                debug_assert_eq!(mr, ring_mr_for(nprocs, i, j));
+            }
+        }
+    }
+
+    // Build per-rank connection state; pre-post and connect unless
+    // on-demand mode defers that to first use.
+    let mut setups: Vec<Option<RankSetup>> = Vec::with_capacity(nprocs);
+    for i in 0..nprocs {
+        let mut conns: Vec<Option<Conn>> = Vec::with_capacity(nprocs);
+        for j in 0..nprocs {
+            if i == j {
+                conns.push(None);
+                continue;
+            }
+            let mut conn = make_conn(nprocs, cfg, i, j);
+            if cfg.rdma_eager_channel {
+                conn.apply_ring_credits(cfg.rdma_ring_slots);
+                // Generation 0 = the bootstrap ring on both sides.
+                conn.my_ring_slots = cfg.rdma_ring_slots;
+                conn.peer_ring_slots = cfg.rdma_ring_slots;
+            }
+            if !cfg.on_demand_connections {
+                // Pre-post the initial pool (before connect, so the RC
+                // handshake advertises them as initial credits).
+                for _ in 0..cfg.prepost {
+                    // simlint: allow(no-panic-in-lib): cfg.validate() guarantees prepost <= max_prepost, the slab's slot count
+                    let slot = conn.slab.take_free().expect("prepost exceeds slab");
+                    fabric
+                        .post_recv(
+                            conn.qp,
+                            RecvWr {
+                                wr_id: encode_wrid(WrKind::RecvSlot, slot as u64),
+                                mr: conn.slab.mr,
+                                offset: conn.slab.byte_offset(slot),
+                                len: conn.slab.slot_size,
+                            },
+                        )
+                        // simlint: allow(no-panic-in-lib): receive queues are created empty and sized past max_prepost
+                        .expect("prepost");
+                }
+                conn.posted = cfg.prepost;
+                conn.apply_credits(cfg.prepost);
+                conn.established = true;
+                conn.stats.max_posted.observe(cfg.prepost as u64);
+            }
+            conns.push(Some(conn));
+        }
+        setups.push(Some(RankSetup {
+            rank: i,
+            size: nprocs,
+            node: nodes[i],
+            cq: cqs[i],
+            conns,
+            cfg: cfg.clone(),
+        }));
+    }
+    (fabric, setups)
+}
+
+/// Runs the pairwise RC connection handshakes (eager connection mode; a
+/// no-op for on-demand connections, which pay the handshake at first use).
+pub(crate) fn connect_all(sim: &Sim<Fabric>, nprocs: usize, cfg: &MpiConfig) {
+    if cfg.on_demand_connections {
+        return;
+    }
+    sim.with_world(|ctx| {
+        for i in 0..nprocs {
+            for j in (i + 1)..nprocs {
+                ibfabric::connect(ctx, qp_id_for(nprocs, i, j), qp_id_for(nprocs, j, i));
+            }
+        }
+    });
+}
+
+/// Drains the per-rank result channel into rank-ordered results and world
+/// statistics. Panics when a rank never reported (its coroutine was
+/// dropped mid-run).
+pub(crate) fn collect_results<R>(
+    rx: std::sync::mpsc::Receiver<(usize, R, RankStats)>,
+    nprocs: usize,
+) -> (Vec<R>, WorldStats) {
+    let mut collected: Vec<(usize, R, RankStats)> = rx.try_iter().collect();
+    collected.sort_by_key(|(r, _, _)| *r);
+    assert_eq!(collected.len(), nprocs, "missing rank results");
+    let mut results = Vec::with_capacity(nprocs);
+    let mut stats = WorldStats::default();
+    for (_, r, s) in collected {
+        results.push(r);
+        stats.ranks.push(s);
+    }
+    (results, stats)
 }
 
 #[cfg(test)]

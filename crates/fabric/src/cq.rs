@@ -62,6 +62,24 @@ impl Cq {
         self.entries.pop_front()
     }
 
+    /// Snapshot view of the queued completions (checkpoint encode).
+    pub(crate) fn entries(&self) -> &VecDeque<Cqe> {
+        &self.entries
+    }
+
+    /// Replaces the queued completions (checkpoint restore).
+    pub(crate) fn restore_entries(&mut self, entries: VecDeque<Cqe>) {
+        self.entries = entries;
+    }
+
+    /// Drops every registered waiter. Used at a checkpoint fence: the
+    /// parked processes all resume from the fence and re-register their
+    /// wakers on the next blocking wait, so a restored world (which starts
+    /// with no waiters) and a released world behave identically.
+    pub(crate) fn clear_waiters(&mut self) {
+        self.waiters.clear();
+    }
+
     /// Registers `waker` to be woken when the next completion is pushed.
     /// The registration is one-shot; spurious wakes are possible.
     pub fn register_waiter(&mut self, waker: Waker) {

@@ -88,6 +88,10 @@ pub struct Fabric {
     pub(crate) fault: Option<FaultPlan>,
     /// Aggregate statistics.
     pub stats: FabricStats,
+    /// Checkpoint coordination state shared by the ranks and the fence
+    /// callback. Deliberately *not* part of the snapshot image: it is
+    /// reconstructed by whoever drives a restore.
+    pub ckpt: crate::snap::CkptBus,
 }
 
 impl Fabric {
@@ -102,6 +106,7 @@ impl Fabric {
             net: Net::new(0),
             fault: None,
             stats: FabricStats::default(),
+            ckpt: crate::snap::CkptBus::default(),
         }
     }
 
@@ -233,6 +238,26 @@ impl Fabric {
         &mut self.mrs[mr.index()].bytes
     }
 
+    /// Number of registered memory regions (restore drivers bounds-check
+    /// serialized MR handles against this).
+    pub fn mr_count(&self) -> usize {
+        self.mrs.len()
+    }
+
+    /// The node handle for dense index `i` (restore drivers rebuilding a
+    /// per-rank setup from a fabric image). Panics when out of range.
+    pub fn node_by_index(&self, i: usize) -> NodeId {
+        assert!(i < self.nodes.len(), "node index {i} out of range");
+        NodeId(i as u32)
+    }
+
+    /// The CQ handle for dense index `i` (restore drivers). Panics when
+    /// out of range.
+    pub fn cq_by_index(&self, i: usize) -> CqId {
+        assert!(i < self.cqs.len(), "cq index {i} out of range");
+        CqId(i as u32)
+    }
+
     /// Immutable access to a QP (diagnostics and tests).
     pub fn qp(&self, qp: QpId) -> &Qp {
         &self.qps[qp.index()]
@@ -300,6 +325,24 @@ impl Fabric {
     /// (eager rings, credit mailboxes) when nothing new can have arrived.
     pub fn rdma_delivered(&self, node: NodeId) -> u64 {
         self.nodes[node.index()].rdma_delivered
+    }
+
+    /// Drops every registered CQ waiter and RDMA watcher.
+    ///
+    /// Called at a checkpoint fence, where every process is parked at the
+    /// fence note and the engine is about to wake all of them anyway (or
+    /// the run is stopping for a snapshot). Registered wakers are one-shot
+    /// hints, so dropping them is semantically free — the owning processes
+    /// re-register on their next blocking wait — and it keeps a *released*
+    /// world byte-identical to a *restored* one, which necessarily starts
+    /// with no registrations.
+    pub fn clear_transient_wakers(&mut self) {
+        for cq in &mut self.cqs {
+            cq.clear_waiters();
+        }
+        for n in &mut self.nodes {
+            n.rdma_watchers.clear();
+        }
     }
 }
 

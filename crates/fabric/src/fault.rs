@@ -168,6 +168,19 @@ impl FaultPlan {
         self.seed
     }
 
+    /// The raw RNG stream position, for checkpointing. Restoring it with
+    /// [`FaultPlan::set_rng_state`] continues the fault draw sequence
+    /// exactly where this plan left off.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restores the RNG stream position captured by
+    /// [`FaultPlan::rng_state`].
+    pub fn set_rng_state(&mut self, s: [u64; 4]) {
+        self.rng = DetRng::from_state(s);
+    }
+
     /// True when the plan can actually affect the fabric. An inert plan
     /// (`enabled() == false`) is guaranteed invisible: the transport
     /// neither draws randomness nor arms recovery timers for it.

@@ -73,6 +73,7 @@ mod mem;
 mod net;
 mod params;
 mod qp;
+pub mod snap;
 mod stats;
 mod transport;
 mod wr;
@@ -83,5 +84,9 @@ pub use fault::{FaultPlan, FlapScope, LinkFaultRates, LinkFlap};
 pub use mem::{Access, Mr, MrId};
 pub use params::FabricParams;
 pub use qp::{QpAttrs, QpId, QpState, QpType};
+pub use snap::{
+    apply_qp_transport, encode_fabric, qp_transport, reset_qp_for_reconnect, restore_fabric,
+    CkptBus, QpTransport,
+};
 pub use stats::{FabricStats, QpStats};
 pub use wr::{Cqe, CqeOpcode, CqeStatus, RecvWr, SendOp, SendWr};

@@ -58,6 +58,17 @@ impl Access {
     pub fn allows(self, needed: Access) -> bool {
         self.0 & needed.0 == needed.0
     }
+
+    /// The raw flag bits (checkpoint encode).
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuilds flags from bits captured by [`Access::bits`]. The decoder
+    /// validates the range before calling this.
+    pub(crate) fn from_bits(bits: u8) -> Access {
+        Access(bits)
+    }
 }
 
 impl std::ops::BitOr for Access {

@@ -52,6 +52,18 @@ impl Net {
     pub fn egress_busy_until(&self, node: NodeId) -> SimTime {
         self.egress_busy_until[node.index()]
     }
+
+    /// All egress horizons in node order (checkpoint encode).
+    pub(crate) fn egress_horizons(&self) -> &[SimTime] {
+        &self.egress_busy_until
+    }
+
+    /// Replaces the egress horizons (checkpoint restore). The caller has
+    /// already recreated the nodes, so the lengths must agree.
+    pub(crate) fn restore_egress(&mut self, horizons: Vec<SimTime>) {
+        debug_assert_eq!(horizons.len(), self.egress_busy_until.len());
+        self.egress_busy_until = horizons;
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,767 @@
+//! Checkpoint encode/decode for a quiesced fabric.
+//!
+//! The encoder only runs at a **checkpoint fence**: every MPI rank has
+//! drained its outstanding work and parked, the event queue is empty, and
+//! therefore the fabric is totally silent — no send queue holds a WQE, no
+//! message is in flight, no retransmit timer or backoff pump event is
+//! armed. Those invariants are asserted here; everything that remains
+//! (busy horizons, credit counters, sequence numbers, posted receive WQEs,
+//! queued completions, memory contents, fault-RNG position, statistics) is
+//! written through the checked [`ibsim::codec`] so a restored fabric is
+//! field-for-field identical to the snapshotted one.
+//!
+//! What is *not* in the image: configuration. [`crate::FabricParams`] and
+//! the [`crate::FaultPlan`] structure (rates, flap windows) are inputs the
+//! restoring caller supplies again; the snapshot carries only the plan's
+//! RNG position, keyed by its seed, so resuming under the *same* plan
+//! continues the fault draw sequence exactly while restoring under a
+//! *different* plan (e.g. a kill-and-replace scenario) starts that plan's
+//! own stream untouched.
+
+use crate::cq::CqId;
+use crate::fabric::Fabric;
+use crate::mem::Access;
+use crate::qp::{QpAttrs, QpId, QpState, QpType};
+use crate::wr::{Cqe, CqeOpcode, CqeStatus, RecvWr};
+use ibsim::codec::{CodecError, Reader, Writer};
+use ibsim::stats::{Counter, Peak};
+use ibsim::SimTime;
+use std::collections::VecDeque;
+
+/// Section tags of the fabric image (arbitrary but stable).
+const TAG_FABRIC: u32 = 0xFAB0;
+const TAG_NODES: u32 = 0xFAB1;
+const TAG_CQS: u32 = 0xFAB2;
+const TAG_QPS: u32 = 0xFAB3;
+const TAG_MRS: u32 = 0xFAB4;
+const TAG_NET: u32 = 0xFAB5;
+const TAG_FAULT: u32 = 0xFAB6;
+const TAG_STATS: u32 = 0xFAB7;
+
+/// Checkpoint coordination state shared by the MPI ranks and the engine's
+/// fence callback. Lives on the [`Fabric`] because that is the world type
+/// every rank can reach, but it is *not* serialized: the driver of a
+/// restore reconstructs it (bumping `released_epoch` past the snapshot
+/// epoch so resumed ranks fall through the fence they were parked at).
+#[derive(Debug, Default)]
+pub struct CkptBus {
+    /// Highest checkpoint epoch the fence callback has released. A rank
+    /// parked at fence epoch `e` resumes once `released_epoch >= e`.
+    pub released_epoch: u64,
+    /// Epoch the currently-fencing ranks are waiting on. Every rank stamps
+    /// this before parking; the fence callback reads it to learn which
+    /// epoch just completed (all ranks necessarily agree — the fence only
+    /// fires when every live rank is parked at the checkpoint note).
+    pub pending_epoch: u64,
+    /// Epoch at which ranks self-serialize into `rank_blobs` (None when
+    /// the run is merely fencing, e.g. for a barrier-only epoch).
+    pub snapshot_epoch: Option<u64>,
+    /// Per-rank serialized state collected at the snapshot epoch.
+    pub rank_blobs: Vec<Option<Vec<u8>>>,
+}
+
+/// The transport-level counters of one QP that survive an elastic
+/// reconnect: after [`reset_qp_for_reconnect`] and a fresh
+/// [`crate::connect`], re-applying these makes the rebuilt connection
+/// indistinguishable from one that was never torn down — which is what
+/// lets a kill-and-replace run stay byte-identical to the uninterrupted
+/// golden.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QpTransport {
+    /// Next message sequence number the requester will assign.
+    pub next_msn: u64,
+    /// Credits the peer advertised, minus optimistic decrements.
+    pub adv_credits: u32,
+    /// Send-type messages in flight (zero at any fence).
+    pub unacked_sends: u32,
+    /// Next message sequence number expected from the peer.
+    pub expected_msn: u64,
+    /// Consecutive unproductive ACK timeouts (backoff ladder position).
+    pub timeout_streak: u32,
+    /// RNR backoff horizon (stale at a fence, but part of the image).
+    pub backoff_until: Option<SimTime>,
+    /// ACK-timeout horizon of the oldest unacknowledged message. Stale at
+    /// a fence — the next launch rebases it — but carried so a reconnected
+    /// QP serializes byte-for-byte like an untouched one.
+    pub retry_deadline: SimTime,
+}
+
+/// Reads the reconnect-surviving transport counters of `qp`.
+pub fn qp_transport(f: &Fabric, qp: QpId) -> QpTransport {
+    let q = &f.qps[qp.index()];
+    QpTransport {
+        next_msn: q.next_msn,
+        adv_credits: q.adv_credits,
+        unacked_sends: q.unacked_sends,
+        expected_msn: q.expected_msn,
+        timeout_streak: q.timeout_streak,
+        backoff_until: q.backoff_until,
+        retry_deadline: q.retry_deadline,
+    }
+}
+
+/// Re-applies transport counters captured by [`qp_transport`] onto a QP
+/// that has been reset and reconnected.
+pub fn apply_qp_transport(f: &mut Fabric, qp: QpId, t: QpTransport) {
+    let q = &mut f.qps[qp.index()];
+    q.next_msn = t.next_msn;
+    q.adv_credits = t.adv_credits;
+    q.unacked_sends = t.unacked_sends;
+    q.expected_msn = t.expected_msn;
+    q.timeout_streak = t.timeout_streak;
+    q.backoff_until = t.backoff_until;
+    q.retry_deadline = t.retry_deadline;
+}
+
+/// Returns a quiescent QP to the [`QpState::Reset`] state so it can go
+/// through [`crate::connect`] again — the elastic-replacement path, where
+/// a hot-swapped rank re-establishes its connections through the normal
+/// handshake. Posted receive WQEs are deliberately *kept*: the replacement
+/// re-advertises them as initial credits during connect, exactly as a
+/// fresh rank that pre-posted its slab would.
+pub fn reset_qp_for_reconnect(f: &mut Fabric, qp: QpId) {
+    let q = &mut f.qps[qp.index()];
+    assert!(
+        q.sq.is_empty() && q.inflight.is_empty(),
+        "resetting a QP with live work (qp {}): reconnect is only legal at a quiesce fence",
+        qp.index()
+    );
+    q.peer = None;
+    q.state = QpState::Reset;
+    q.next_msn = 0;
+    q.adv_credits = 0;
+    q.unacked_sends = 0;
+    q.backoff_until = None;
+    q.pump_scheduled = false;
+    q.retry_armed = false;
+    q.retry_deadline = SimTime::ZERO;
+    q.timeout_streak = 0;
+    q.expected_msn = 0;
+}
+
+fn counter(v: u64) -> Counter {
+    let mut c = Counter::default();
+    c.add(v);
+    c
+}
+
+fn peak(v: u64) -> Peak {
+    let mut p = Peak::default();
+    p.observe(v);
+    p
+}
+
+fn state_tag(s: QpState) -> u8 {
+    match s {
+        QpState::Reset => 0,
+        QpState::ReadyToSend => 1,
+        QpState::Error => 2,
+    }
+}
+
+fn state_from_tag(t: u8, context: &'static str) -> Result<QpState, CodecError> {
+    match t {
+        0 => Ok(QpState::Reset),
+        1 => Ok(QpState::ReadyToSend),
+        2 => Ok(QpState::Error),
+        got => Err(CodecError::BadTag {
+            context,
+            want: 2,
+            got: u64::from(got),
+        }),
+    }
+}
+
+fn opcode_tag(o: CqeOpcode) -> u8 {
+    match o {
+        CqeOpcode::SendComplete => 0,
+        CqeOpcode::RecvComplete => 1,
+        CqeOpcode::RdmaWriteComplete => 2,
+        CqeOpcode::RdmaReadComplete => 3,
+    }
+}
+
+fn opcode_from_tag(t: u8, context: &'static str) -> Result<CqeOpcode, CodecError> {
+    match t {
+        0 => Ok(CqeOpcode::SendComplete),
+        1 => Ok(CqeOpcode::RecvComplete),
+        2 => Ok(CqeOpcode::RdmaWriteComplete),
+        3 => Ok(CqeOpcode::RdmaReadComplete),
+        got => Err(CodecError::BadTag {
+            context,
+            want: 3,
+            got: u64::from(got),
+        }),
+    }
+}
+
+fn status_from_code(c: u32, context: &'static str) -> Result<CqeStatus, CodecError> {
+    match c {
+        0 => Ok(CqeStatus::Success),
+        1 => Ok(CqeStatus::LocalLengthError),
+        5 => Ok(CqeStatus::WorkRequestFlushed),
+        10 => Ok(CqeStatus::RemoteAccessError),
+        12 => Ok(CqeStatus::TransportRetryExceeded),
+        13 => Ok(CqeStatus::RnrRetryExceeded),
+        got => Err(CodecError::BadTag {
+            context,
+            want: 13,
+            got: u64::from(got),
+        }),
+    }
+}
+
+fn opt_u32(v: Option<u32>) -> Option<u64> {
+    v.map(u64::from)
+}
+
+fn opt_u32_from(v: Option<u64>, context: &'static str) -> Result<Option<u32>, CodecError> {
+    match v {
+        None => Ok(None),
+        Some(x) => u32::try_from(x)
+            .map(Some)
+            .map_err(|_| CodecError::Overflow {
+                context,
+                value: x,
+                max: u64::from(u32::MAX),
+            }),
+    }
+}
+
+/// Serializes a quiesced fabric into `w` as one tagged section.
+///
+/// # Panics
+/// Asserts the quiesce invariants: no queued or in-flight send work, no
+/// armed retry timer or scheduled backoff pump, no registered wakers.
+/// Violations mean the caller snapshotted a world that was not at a fence
+/// — a protocol bug, not a data error.
+pub fn encode_fabric(f: &Fabric, w: &mut Writer) {
+    w.section(TAG_FABRIC, |w| {
+        w.section(TAG_NODES, |w| {
+            w.usize(f.nodes.len());
+            for (i, n) in f.nodes.iter().enumerate() {
+                assert!(
+                    n.rdma_watchers.is_empty(),
+                    "node {i}: RDMA watcher registered across a quiesce fence"
+                );
+                w.u64(n.tx_busy_until.as_nanos());
+                w.u64(n.rx_busy_until.as_nanos());
+                w.u64(n.rdma_delivered);
+            }
+        });
+        w.section(TAG_CQS, |w| {
+            w.usize(f.cqs.len());
+            for cq in &f.cqs {
+                w.u32(cq.node.0);
+                w.usize(cq.peak_depth);
+                w.usize(cq.entries().len());
+                for e in cq.entries() {
+                    w.u64(e.wr_id);
+                    w.u32(e.qp.0);
+                    w.u8(opcode_tag(e.opcode));
+                    w.u32(e.status.code());
+                    w.usize(e.byte_len);
+                }
+            }
+        });
+        w.section(TAG_QPS, |w| {
+            w.usize(f.qps.len());
+            for q in &f.qps {
+                assert!(
+                    q.sq.is_empty() && q.inflight.is_empty(),
+                    "qp {}: send work alive across a quiesce fence",
+                    q.id.index()
+                );
+                assert!(
+                    !q.retry_armed && !q.pump_scheduled,
+                    "qp {}: timer event alive across a quiesce fence",
+                    q.id.index()
+                );
+                w.u32(q.node.0);
+                w.opt_u64(q.peer.map(|p| u64::from(p.0)));
+                w.u32(q.send_cq.0);
+                w.u32(q.recv_cq.0);
+                w.u8(state_tag(q.state));
+                w.opt_u64(opt_u32(q.attrs.rnr_retry));
+                w.opt_u64(opt_u32(q.attrs.retry_cnt));
+                w.u8(match q.attrs.qp_type {
+                    QpType::ReliableConnection => 0,
+                    QpType::UnreliableDatagram => 1,
+                });
+                w.u64(q.next_msn);
+                w.u32(q.adv_credits);
+                w.u32(q.unacked_sends);
+                w.opt_u64(q.backoff_until.map(|t| t.as_nanos()));
+                w.u64(q.retry_deadline.as_nanos());
+                w.u32(q.timeout_streak);
+                w.u64(q.expected_msn);
+                w.usize(q.rq.len());
+                for r in &q.rq {
+                    w.u64(r.wr_id);
+                    w.u32(r.mr.0);
+                    w.usize(r.offset);
+                    w.usize(r.len);
+                }
+                w.usize(q.peak_sq_depth);
+                w.usize(q.peak_rq_depth);
+                w.u64(q.stats.sends_launched.get());
+                w.u64(q.stats.rdma_writes.get());
+                w.u64(q.stats.rdma_reads.get());
+                w.u64(q.stats.bytes_launched.get());
+                w.u64(q.stats.retransmissions.get());
+                w.u64(q.stats.rnr_naks_sent.get());
+                w.u64(q.stats.rnr_naks_received.get());
+                w.u64(q.stats.acks_received.get());
+                w.u64(q.stats.zero_credit_probes.get());
+                w.u64(q.stats.ack_timeouts.get());
+                w.u64(q.stats.peak_inflight.get());
+            }
+        });
+        w.section(TAG_MRS, |w| {
+            w.usize(f.mrs.len());
+            for mr in &f.mrs {
+                w.u32(mr.node.0);
+                w.u8(mr.access.bits());
+                w.bytes(&mr.bytes);
+            }
+        });
+        w.section(TAG_NET, |w| {
+            let horizons = f.net.egress_horizons();
+            w.usize(horizons.len());
+            for t in horizons {
+                w.u64(t.as_nanos());
+            }
+        });
+        w.section(TAG_FAULT, |w| match &f.fault {
+            Some(plan) => {
+                w.u8(1);
+                w.u64(plan.seed());
+                for word in plan.rng_state() {
+                    w.u64(word);
+                }
+            }
+            None => w.u8(0),
+        });
+        w.section(TAG_STATS, |w| {
+            let s = &f.stats;
+            w.u64(s.msgs_delivered.get());
+            w.u64(s.bytes_delivered.get());
+            w.u64(s.rnr_naks.get());
+            w.u64(s.retransmissions.get());
+            w.u64(s.cqes.get());
+            w.u64(s.ud_drops.get());
+            w.u64(s.msgs_dropped.get());
+            w.u64(s.msgs_corrupted.get());
+            w.u64(s.flap_drops.get());
+            w.u64(s.acks_delayed.get());
+            w.u64(s.ack_timeouts.get());
+            w.u64(s.dup_suppressed.get());
+            w.u64(s.read_replays.get());
+        });
+    });
+}
+
+/// Rebuilds a fabric from an image produced by [`encode_fabric`].
+///
+/// `f` must be freshly constructed with the *same* [`crate::FabricParams`]
+/// as the snapshotted fabric, with no nodes yet; if a [`crate::FaultPlan`]
+/// should govern the resumed run, install it first — when its seed matches
+/// the snapshotted plan's, its RNG position is restored so the fault draw
+/// stream continues seamlessly, and otherwise the installed plan's fresh
+/// stream is left untouched.
+pub fn restore_fabric(f: &mut Fabric, r: &mut Reader<'_>) -> Result<(), CodecError> {
+    assert!(
+        f.nodes.is_empty() && f.qps.is_empty() && f.cqs.is_empty() && f.mrs.is_empty(),
+        "restore target must be a freshly constructed fabric"
+    );
+    let mut s = r.section(TAG_FABRIC, "fabric")?;
+
+    let mut ns = s.section(TAG_NODES, "fabric.nodes")?;
+    let n_nodes = ns.usize("fabric.nodes.count")?;
+    for _ in 0..n_nodes {
+        let id = f.add_node();
+        let tx = SimTime::from_nanos(ns.u64("node.tx_busy")?);
+        let rx = SimTime::from_nanos(ns.u64("node.rx_busy")?);
+        let delivered = ns.u64("node.rdma_delivered")?;
+        let n = &mut f.nodes[id.index()];
+        n.tx_busy_until = tx;
+        n.rx_busy_until = rx;
+        n.rdma_delivered = delivered;
+    }
+    ns.done("fabric.nodes")?;
+
+    let mut cs = s.section(TAG_CQS, "fabric.cqs")?;
+    let n_cqs = cs.usize("fabric.cqs.count")?;
+    for _ in 0..n_cqs {
+        let node = node_id(cs.u32("cq.node")?, n_nodes, "cq.node")?;
+        let id = f.create_cq(node);
+        let peak_depth = cs.usize("cq.peak_depth")?;
+        let n_entries = cs.usize("cq.entries.count")?;
+        let mut entries = VecDeque::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            entries.push_back(Cqe {
+                wr_id: cs.u64("cqe.wr_id")?,
+                qp: QpId(cs.u32("cqe.qp")?),
+                opcode: opcode_from_tag(cs.u8("cqe.opcode")?, "cqe.opcode")?,
+                status: status_from_code(cs.u32("cqe.status")?, "cqe.status")?,
+                byte_len: cs.usize("cqe.byte_len")?,
+            });
+        }
+        let cq = &mut f.cqs[id.index()];
+        cq.peak_depth = peak_depth;
+        cq.restore_entries(entries);
+    }
+    cs.done("fabric.cqs")?;
+
+    let mut qs = s.section(TAG_QPS, "fabric.qps")?;
+    let n_qps = qs.usize("fabric.qps.count")?;
+    for _ in 0..n_qps {
+        let node = node_id(qs.u32("qp.node")?, n_nodes, "qp.node")?;
+        let peer = match qs.opt_u64("qp.peer")? {
+            None => None,
+            Some(p) if (p as usize) < n_qps => Some(QpId(p as u32)),
+            Some(p) => {
+                return Err(CodecError::Overflow {
+                    context: "qp.peer",
+                    value: p,
+                    max: n_qps as u64 - 1,
+                })
+            }
+        };
+        let send_cq = cq_id(qs.u32("qp.send_cq")?, n_cqs, "qp.send_cq")?;
+        let recv_cq = cq_id(qs.u32("qp.recv_cq")?, n_cqs, "qp.recv_cq")?;
+        let state = state_from_tag(qs.u8("qp.state")?, "qp.state")?;
+        let rnr_retry = opt_u32_from(qs.opt_u64("qp.rnr_retry")?, "qp.rnr_retry")?;
+        let retry_cnt = opt_u32_from(qs.opt_u64("qp.retry_cnt")?, "qp.retry_cnt")?;
+        let qp_type = match qs.u8("qp.type")? {
+            0 => QpType::ReliableConnection,
+            1 => QpType::UnreliableDatagram,
+            got => {
+                return Err(CodecError::BadTag {
+                    context: "qp.type",
+                    want: 1,
+                    got: u64::from(got),
+                })
+            }
+        };
+        let id = f.create_qp(
+            node,
+            send_cq,
+            recv_cq,
+            QpAttrs {
+                rnr_retry,
+                retry_cnt,
+                qp_type,
+            },
+        );
+        let next_msn = qs.u64("qp.next_msn")?;
+        let adv_credits = qs.u32("qp.adv_credits")?;
+        let unacked_sends = qs.u32("qp.unacked_sends")?;
+        let backoff_until = qs.opt_u64("qp.backoff_until")?.map(SimTime::from_nanos);
+        let retry_deadline = SimTime::from_nanos(qs.u64("qp.retry_deadline")?);
+        let timeout_streak = qs.u32("qp.timeout_streak")?;
+        let expected_msn = qs.u64("qp.expected_msn")?;
+        let n_rq = qs.usize("qp.rq.count")?;
+        let mut rq = VecDeque::with_capacity(n_rq);
+        for _ in 0..n_rq {
+            rq.push_back(RecvWr {
+                wr_id: qs.u64("rwqe.wr_id")?,
+                mr: crate::mem::MrId(qs.u32("rwqe.mr")?),
+                offset: qs.usize("rwqe.offset")?,
+                len: qs.usize("rwqe.len")?,
+            });
+        }
+        let peak_sq_depth = qs.usize("qp.peak_sq_depth")?;
+        let peak_rq_depth = qs.usize("qp.peak_rq_depth")?;
+        let q = &mut f.qps[id.index()];
+        q.peer = peer;
+        q.state = state;
+        q.next_msn = next_msn;
+        q.adv_credits = adv_credits;
+        q.unacked_sends = unacked_sends;
+        q.backoff_until = backoff_until;
+        q.retry_deadline = retry_deadline;
+        q.timeout_streak = timeout_streak;
+        q.expected_msn = expected_msn;
+        q.rq = rq;
+        q.peak_sq_depth = peak_sq_depth;
+        q.peak_rq_depth = peak_rq_depth;
+        q.stats.sends_launched = counter(qs.u64("qp.stats.sends_launched")?);
+        q.stats.rdma_writes = counter(qs.u64("qp.stats.rdma_writes")?);
+        q.stats.rdma_reads = counter(qs.u64("qp.stats.rdma_reads")?);
+        q.stats.bytes_launched = counter(qs.u64("qp.stats.bytes_launched")?);
+        q.stats.retransmissions = counter(qs.u64("qp.stats.retransmissions")?);
+        q.stats.rnr_naks_sent = counter(qs.u64("qp.stats.rnr_naks_sent")?);
+        q.stats.rnr_naks_received = counter(qs.u64("qp.stats.rnr_naks_received")?);
+        q.stats.acks_received = counter(qs.u64("qp.stats.acks_received")?);
+        q.stats.zero_credit_probes = counter(qs.u64("qp.stats.zero_credit_probes")?);
+        q.stats.ack_timeouts = counter(qs.u64("qp.stats.ack_timeouts")?);
+        q.stats.peak_inflight = peak(qs.u64("qp.stats.peak_inflight")?);
+    }
+    qs.done("fabric.qps")?;
+
+    let mut ms = s.section(TAG_MRS, "fabric.mrs")?;
+    let n_mrs = ms.usize("fabric.mrs.count")?;
+    for _ in 0..n_mrs {
+        let node = node_id(ms.u32("mr.node")?, n_nodes, "mr.node")?;
+        let bits = ms.u8("mr.access")?;
+        if bits > Access::FULL.bits() {
+            return Err(CodecError::Overflow {
+                context: "mr.access",
+                value: u64::from(bits),
+                max: u64::from(Access::FULL.bits()),
+            });
+        }
+        let bytes = ms.bytes("mr.bytes")?;
+        let id = f.register(node, 0, Access::from_bits(bits));
+        f.mrs[id.index()].bytes = bytes;
+    }
+    ms.done("fabric.mrs")?;
+
+    let mut es = s.section(TAG_NET, "fabric.net")?;
+    let n_egress = es.usize("fabric.net.count")?;
+    if n_egress != n_nodes {
+        return Err(CodecError::Overflow {
+            context: "fabric.net.count",
+            value: n_egress as u64,
+            max: n_nodes as u64,
+        });
+    }
+    let mut horizons = Vec::with_capacity(n_egress);
+    for _ in 0..n_egress {
+        horizons.push(SimTime::from_nanos(es.u64("net.egress_busy")?));
+    }
+    f.net.restore_egress(horizons);
+    es.done("fabric.net")?;
+
+    let mut fs = s.section(TAG_FAULT, "fabric.fault")?;
+    match fs.u8("fault.present")? {
+        0 => {}
+        1 => {
+            let seed = fs.u64("fault.seed")?;
+            let mut state = [0u64; 4];
+            for word in &mut state {
+                *word = fs.u64("fault.rng")?;
+            }
+            if state == [0; 4] {
+                return Err(CodecError::BadTag {
+                    context: "fault.rng",
+                    want: 1,
+                    got: 0,
+                });
+            }
+            if let Some(plan) = f.fault.as_mut() {
+                if plan.seed() == seed {
+                    plan.set_rng_state(state);
+                }
+            }
+        }
+        got => {
+            return Err(CodecError::BadTag {
+                context: "fault.present",
+                want: 1,
+                got: u64::from(got),
+            })
+        }
+    }
+    fs.done("fabric.fault")?;
+
+    let mut ss = s.section(TAG_STATS, "fabric.stats")?;
+    f.stats.msgs_delivered = counter(ss.u64("stats.msgs_delivered")?);
+    f.stats.bytes_delivered = counter(ss.u64("stats.bytes_delivered")?);
+    f.stats.rnr_naks = counter(ss.u64("stats.rnr_naks")?);
+    f.stats.retransmissions = counter(ss.u64("stats.retransmissions")?);
+    f.stats.cqes = counter(ss.u64("stats.cqes")?);
+    f.stats.ud_drops = counter(ss.u64("stats.ud_drops")?);
+    f.stats.msgs_dropped = counter(ss.u64("stats.msgs_dropped")?);
+    f.stats.msgs_corrupted = counter(ss.u64("stats.msgs_corrupted")?);
+    f.stats.flap_drops = counter(ss.u64("stats.flap_drops")?);
+    f.stats.acks_delayed = counter(ss.u64("stats.acks_delayed")?);
+    f.stats.ack_timeouts = counter(ss.u64("stats.ack_timeouts")?);
+    f.stats.dup_suppressed = counter(ss.u64("stats.dup_suppressed")?);
+    f.stats.read_replays = counter(ss.u64("stats.read_replays")?);
+    ss.done("fabric.stats")?;
+
+    s.done("fabric")?;
+    Ok(())
+}
+
+fn node_id(
+    raw: u32,
+    count: usize,
+    context: &'static str,
+) -> Result<crate::fabric::NodeId, CodecError> {
+    if (raw as usize) < count {
+        Ok(crate::fabric::NodeId(raw))
+    } else {
+        Err(CodecError::Overflow {
+            context,
+            value: u64::from(raw),
+            max: count as u64 - 1,
+        })
+    }
+}
+
+fn cq_id(raw: u32, count: usize, context: &'static str) -> Result<CqId, CodecError> {
+    if (raw as usize) < count {
+        Ok(CqId(raw))
+    } else {
+        Err(CodecError::Overflow {
+            context,
+            value: u64::from(raw),
+            max: count as u64 - 1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::{connect, post_send};
+    use crate::params::FabricParams;
+    use crate::wr::SendWr;
+    use crate::FaultPlan;
+    use ibsim::{Sim, SimConfig};
+
+    /// Builds a two-node fabric, runs a little traffic to completion, and
+    /// returns the (quiescent) world with one un-polled CQE left queued.
+    fn exercised_fabric(plan: Option<FaultPlan>) -> Fabric {
+        let mut fabric = Fabric::new(FabricParams::mt23108());
+        if let Some(p) = plan {
+            fabric.set_fault_plan(p);
+        }
+        let a = fabric.add_node();
+        let b = fabric.add_node();
+        let cq_a = fabric.create_cq(a);
+        let cq_b = fabric.create_cq(b);
+        let qp_a = fabric.create_qp(a, cq_a, cq_a, QpAttrs::default());
+        let qp_b = fabric.create_qp(b, cq_b, cq_b, QpAttrs::default());
+        let mr_b = fabric.register(b, 4096, Access::FULL);
+        let mr_a = fabric.register(a, 4096, Access::FULL);
+        let mut sim = Sim::new(fabric, SimConfig::default());
+        sim.with_world(|ctx| {
+            for i in 0..4 {
+                ctx.world
+                    .post_recv(
+                        qp_b,
+                        RecvWr {
+                            wr_id: 100 + i,
+                            mr: mr_b,
+                            offset: 64 * i as usize,
+                            len: 64,
+                        },
+                    )
+                    .unwrap();
+            }
+            connect(ctx, qp_a, qp_b);
+            post_send(ctx, qp_a, SendWr::inline_send(7, b"hello ckpt".to_vec())).unwrap();
+            post_send(
+                ctx,
+                qp_a,
+                SendWr::rdma_write(8, vec![0xAB; 256], mr_b, 1024),
+            )
+            .unwrap();
+            post_send(ctx, qp_a, SendWr::rdma_read(9, mr_b, 1024, mr_a, 0, 128)).unwrap();
+        });
+        sim.run().unwrap();
+        sim.into_world()
+    }
+
+    fn image(f: &Fabric) -> Vec<u8> {
+        let mut w = Writer::new();
+        encode_fabric(f, &mut w);
+        w.finish()
+    }
+
+    #[test]
+    fn roundtrip_is_byte_identical() {
+        let f = exercised_fabric(None);
+        let bytes = image(&f);
+        let mut restored = Fabric::new(FabricParams::mt23108());
+        restore_fabric(&mut restored, &mut Reader::new(&bytes)).unwrap();
+        assert_eq!(image(&restored), bytes);
+        // Spot-check restored contents against the source.
+        assert_eq!(restored.node_count(), 2);
+        assert_eq!(
+            restored.mr_bytes(crate::mem::MrId(0)),
+            f.mr_bytes(crate::mem::MrId(0))
+        );
+        assert_eq!(
+            restored.stats.msgs_delivered.get(),
+            f.stats.msgs_delivered.get()
+        );
+        let q = restored.qp(QpId(0));
+        assert_eq!(q.state(), QpState::ReadyToSend);
+        assert_eq!(q.peer(), Some(QpId(1)));
+    }
+
+    #[test]
+    fn same_seed_plan_rng_position_is_restored() {
+        let plan = FaultPlan::new(99).with_drop(0.2);
+        let f = exercised_fabric(Some(plan.clone()));
+        let before = f.fault_plan().unwrap().rng_state();
+        assert_ne!(
+            before,
+            FaultPlan::new(99).rng_state(),
+            "traffic under a 20% drop plan must have consumed fault draws"
+        );
+        let bytes = image(&f);
+        let mut restored = Fabric::new(FabricParams::mt23108());
+        restored.set_fault_plan(FaultPlan::new(99).with_drop(0.2));
+        restore_fabric(&mut restored, &mut Reader::new(&bytes)).unwrap();
+        assert_eq!(restored.fault_plan().unwrap().rng_state(), before);
+        // A different-seed plan keeps its own fresh stream.
+        let mut other = Fabric::new(FabricParams::mt23108());
+        other.set_fault_plan(FaultPlan::new(7).with_drop(0.2));
+        restore_fabric(&mut other, &mut Reader::new(&bytes)).unwrap();
+        assert_eq!(
+            other.fault_plan().unwrap().rng_state(),
+            FaultPlan::new(7).rng_state()
+        );
+    }
+
+    #[test]
+    fn truncated_image_is_a_typed_error() {
+        let f = exercised_fabric(None);
+        let bytes = image(&f);
+        let err = {
+            let mut fresh = Fabric::new(FabricParams::mt23108());
+            restore_fabric(&mut fresh, &mut Reader::new(&bytes[..bytes.len() / 2])).unwrap_err()
+        };
+        assert!(matches!(err, CodecError::Truncated { .. }), "{err}");
+        let err2 = {
+            let mut fresh = Fabric::new(FabricParams::mt23108());
+            restore_fabric(&mut fresh, &mut Reader::new(&[0u8; 16])).unwrap_err()
+        };
+        assert!(matches!(err2, CodecError::BadTag { .. }), "{err2}");
+    }
+
+    #[test]
+    fn reset_and_reconnect_restores_transport_numbers() {
+        let f = exercised_fabric(None);
+        let bytes = image(&f);
+        let mut restored = Fabric::new(FabricParams::mt23108());
+        restore_fabric(&mut restored, &mut Reader::new(&bytes)).unwrap();
+        let ta = qp_transport(&restored, QpId(0));
+        let tb = qp_transport(&restored, QpId(1));
+        reset_qp_for_reconnect(&mut restored, QpId(0));
+        reset_qp_for_reconnect(&mut restored, QpId(1));
+        assert_eq!(restored.qp(QpId(0)).state(), QpState::Reset);
+        let rq_before = restored.qp(QpId(1)).posted_recvs();
+        let sim = Sim::new(restored, SimConfig::default());
+        sim.with_world(|ctx| {
+            connect(ctx, QpId(0), QpId(1));
+            apply_qp_transport(ctx.world, QpId(0), ta);
+            apply_qp_transport(ctx.world, QpId(1), tb);
+        });
+        let rebuilt = sim.into_world();
+        assert_eq!(rebuilt.qp(QpId(0)).state(), QpState::ReadyToSend);
+        assert_eq!(rebuilt.qp(QpId(0)).peer(), Some(QpId(1)));
+        assert_eq!(rebuilt.qp(QpId(1)).posted_recvs(), rq_before);
+        assert_eq!(qp_transport(&rebuilt, QpId(0)), ta);
+        assert_eq!(qp_transport(&rebuilt, QpId(1)), tb);
+        // The reconnected fabric serializes identically to the plain
+        // restore, which is the property the kill-and-replace e2e needs.
+        assert_eq!(image(&rebuilt), bytes);
+    }
+}

@@ -12,9 +12,11 @@
 use crate::common::{
     block_range, charge_flops, global_checksum, timed, Kernel, KernelOutput, NasClass,
 };
+use ibsim::codec::{Reader, Writer};
 use ibsim::rng::det_rng;
-use mpib::collectives::{allgather_bytes, allreduce_scalars};
-use mpib::{decode_slice, encode_slice, Comm, MpiRank, ReduceOp};
+use ibsim::SimDuration;
+use mpib::collectives::{allgather_bytes, allreduce_scalars, barrier};
+use mpib::{decode_slice, encode_slice, CkptStart, Comm, MpiRank, ReduceOp};
 
 /// Problem shape for one class.
 #[derive(Clone, Copy, Debug)]
@@ -175,6 +177,145 @@ pub async fn run(mpi: &mut MpiRank, class: NasClass) -> KernelOutput {
         verified,
         checksum,
         time,
+    }
+}
+
+/// Application-level checkpoint state for [`run_with_ckpt`]: everything
+/// the outer power-method loop carries between iterations. The matrix is
+/// *not* here — rows are regenerated deterministically from the seeded
+/// RNG on resume, which is the textbook split between recomputable and
+/// irreplaceable state.
+struct CgState {
+    /// Outer iterations completed (equals the checkpoint epoch).
+    done: u64,
+    /// Timed virtual span accumulated so far (checkpoint overhead
+    /// excluded, so the metric matches an uncheckpointed run's shape).
+    elapsed: SimDuration,
+    zeta: f64,
+    rnorm: f64,
+    /// This rank's block of the normalized iterate.
+    x: Vec<f64>,
+}
+
+fn encode_cg_state(s: &CgState) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(s.done);
+    w.u64(s.elapsed.as_nanos());
+    w.f64(s.zeta);
+    w.f64(s.rnorm);
+    w.usize(s.x.len());
+    for &v in &s.x {
+        w.f64(v);
+    }
+    w.finish()
+}
+
+fn decode_cg_state(bytes: &[u8], rows: usize) -> CgState {
+    // These are our own checkpoint bytes coming back through the MPI
+    // layer's validated snapshot; a decode failure here means the driver
+    // resumed the wrong kernel, which deserves a loud stop.
+    let fail = |e| -> ! { panic!("CG checkpoint state corrupted: {e}") };
+    let mut r = Reader::new(bytes);
+    let done = r.u64("cg.done").unwrap_or_else(|e| fail(e));
+    let elapsed = SimDuration::nanos(r.u64("cg.elapsed").unwrap_or_else(|e| fail(e)));
+    let zeta = r.f64("cg.zeta").unwrap_or_else(|e| fail(e));
+    let rnorm = r.f64("cg.rnorm").unwrap_or_else(|e| fail(e));
+    let len = r.usize("cg.x.len").unwrap_or_else(|e| fail(e));
+    assert_eq!(len, rows, "CG checkpoint taken with a different layout");
+    let mut x = Vec::with_capacity(len);
+    for _ in 0..len {
+        x.push(r.f64("cg.x").unwrap_or_else(|e| fail(e)));
+    }
+    r.done("cg state").unwrap_or_else(|e| fail(e));
+    CgState {
+        done,
+        elapsed,
+        zeta,
+        rnorm,
+        x,
+    }
+}
+
+/// Checkpoint-aware CG: identical numerics to [`run`], but the outer
+/// power-method loop takes a coordinated [`MpiRank::checkpoint`] after
+/// every iteration, carrying [`CgState`] as application payload. On
+/// resume ([`CkptStart::resumed_epoch`] > 0) the completed iterations are
+/// skipped and the matrix block is regenerated deterministically.
+pub async fn run_with_ckpt(mpi: &mut MpiRank, class: NasClass, start: CkptStart) -> KernelOutput {
+    let cfg = CgConfig::for_class(class);
+    let world = Comm::world(mpi);
+    let p = world.size();
+    let me = world.my_rank(mpi);
+    let (row0, rows) = block_range(cfg.n, p, me);
+    let a = build_rows(&cfg, row0, rows);
+
+    let mut st = if start.resumed_epoch == 0 {
+        CgState {
+            done: 0,
+            elapsed: SimDuration::ZERO,
+            zeta: 0.0,
+            rnorm: f64::INFINITY,
+            x: vec![1.0; rows],
+        }
+    } else {
+        let st = decode_cg_state(&start.app_state, rows);
+        assert_eq!(
+            st.done, start.resumed_epoch,
+            "CG state and checkpoint epoch disagree"
+        );
+        st
+    };
+
+    while st.done < cfg.outer as u64 {
+        // Entry barrier + timestamp mirror `timed`, per iteration, so the
+        // accumulated span excludes the checkpoint machinery itself.
+        barrier(mpi, &world).await;
+        let t0 = mpi.now();
+
+        let mut z = vec![0.0f64; rows];
+        let mut r = st.x.clone();
+        let mut pvec = r.clone();
+        let mut rho = ddot(mpi, &world, &r, &r).await;
+        for _ in 0..cfg.inner {
+            let pfull = gather_full(mpi, &world, &pvec, cfg.n).await;
+            let mut q = vec![0.0f64; rows];
+            spmv(mpi, &a, &pfull, &mut q).await;
+            let alpha = rho / ddot(mpi, &world, &pvec, &q).await;
+            for i in 0..rows {
+                z[i] += alpha * pvec[i];
+                r[i] -= alpha * q[i];
+            }
+            charge_flops(mpi, rows as f64 * 4.0).await;
+            let rho_new = ddot(mpi, &world, &r, &r).await;
+            let beta = rho_new / rho;
+            rho = rho_new;
+            for i in 0..rows {
+                pvec[i] = r[i] + beta * pvec[i];
+            }
+            charge_flops(mpi, rows as f64 * 2.0).await;
+        }
+        st.rnorm = rho.sqrt();
+        let xz = ddot(mpi, &world, &st.x, &z).await;
+        st.zeta = 20.0 + 1.0 / xz;
+        let znorm = ddot(mpi, &world, &z, &z).await.sqrt();
+        for (xi, &zi) in st.x.iter_mut().zip(&z) {
+            *xi = zi / znorm;
+        }
+        charge_flops(mpi, rows as f64 * 2.0).await;
+
+        st.elapsed += mpi.now().since(t0);
+        st.done += 1;
+        let stamped = mpi.checkpoint(&encode_cg_state(&st)).await;
+        assert_eq!(stamped, st.done, "one checkpoint epoch per outer iteration");
+    }
+
+    let checksum = global_checksum(mpi, &world, st.zeta / p as f64).await;
+    let verified = st.rnorm.is_finite() && st.rnorm < 1e-3 && st.zeta.is_finite();
+    KernelOutput {
+        name: Kernel::Cg.name(),
+        verified,
+        checksum,
+        time: st.elapsed,
     }
 }
 

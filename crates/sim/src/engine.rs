@@ -206,6 +206,33 @@ pub struct RunReport {
     pub events_processed: u64,
     /// Number of processes that ran to completion.
     pub procs_finished: usize,
+    /// True when [`Sim::run_with_fence`] stopped at a quiesce fence
+    /// instead of running every process to completion.
+    pub stopped_at_fence: bool,
+}
+
+/// The scheduler counters a checkpoint must capture so a resumed run
+/// replays the exact `(time, seq)` event order of the original.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimClock {
+    /// Virtual time at the fence.
+    pub now: SimTime,
+    /// Next event sequence number the scheduler would assign.
+    pub seq: u64,
+    /// Events processed so far.
+    pub events_processed: u64,
+}
+
+/// What a fence callback tells [`Sim::run_with_fence`] to do once the
+/// world has drained to a quiesce fence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FenceAction {
+    /// Release the fence: wake every parked process at the fence instant
+    /// and keep running.
+    Continue,
+    /// Stop the run at the fence (checkpoint-and-exit). Parked coroutines
+    /// are dropped with the simulation.
+    Stop,
 }
 
 /// A process coroutine: the pinned state machine the executor polls.
@@ -234,6 +261,35 @@ impl<W: 'static> Sim<W> {
                         queue: BinaryHeap::new(),
                         procs: Vec::new(),
                         events_processed: 0,
+                    },
+                }),
+                config,
+            }),
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Rebuilds a simulation from a checkpointed world and the scheduler
+    /// clock captured at the fence.
+    ///
+    /// The event queue starts empty: at a quiesce fence every in-flight
+    /// event has drained, so the only state the scheduler carries across
+    /// a snapshot is the `(now, seq, events_processed)` triple. Processes
+    /// respawned afterwards consume sequence numbers starting at
+    /// `clock.seq` — exactly the numbers the fence release would have
+    /// assigned in the uninterrupted run, which is what makes a restored
+    /// run byte-identical to one that never stopped.
+    pub fn resume(world: W, config: SimConfig, clock: SimClock) -> Self {
+        Sim {
+            shared: Rc::new(Shared {
+                state: RefCell::new(State {
+                    world,
+                    sched: Sched {
+                        now: clock.now,
+                        seq: clock.seq,
+                        queue: BinaryHeap::new(),
+                        procs: Vec::new(),
+                        events_processed: clock.events_processed,
                     },
                 }),
                 config,
@@ -328,6 +384,7 @@ impl<W: 'static> Sim<W> {
                             end_time: st.sched.now,
                             events_processed: st.sched.events_processed,
                             procs_finished: st.sched.procs.len(),
+                            stopped_at_fence: false,
                         });
                     }
                     return Err(SimError::Deadlock(DeadlockInfo {
@@ -340,6 +397,164 @@ impl<W: 'static> Sim<W> {
                 }
                 KernelStep::TimeLimit(at) => return Err(SimError::TimeLimitExceeded { at }),
             }
+        }
+    }
+
+    /// Like [`Sim::run`], but recognises a *quiesce fence*: whenever the
+    /// event queue drains and every live process is parked with
+    /// `fence_note`, the world is fully quiescent — no packet, timer or
+    /// wake is in flight anywhere — and `fence` is invoked against it
+    /// with the scheduler clock. [`FenceAction::Continue`] releases the
+    /// fence (every process is woken at the fence instant, in process-id
+    /// order); [`FenceAction::Stop`] ends the run at the fence.
+    ///
+    /// A drained queue with a *mix* of fence and non-fence park notes is
+    /// still a deadlock: some process is stuck for a reason the fence
+    /// protocol does not explain.
+    ///
+    /// The non-checkpointing hot path is untouched: [`Sim::run`] contains
+    /// no fence checks at all, and here the check only runs in the
+    /// queue-empty (i.e. end-of-run or fence) state, never per event.
+    pub fn run_with_fence(
+        &mut self,
+        fence_note: &'static str,
+        mut fence: impl FnMut(&mut W, SimClock) -> FenceAction,
+    ) -> Result<RunReport, SimError> {
+        let mut cx = Context::from_waker(std::task::Waker::noop());
+        loop {
+            let step = {
+                let mut st = self.shared.lock();
+                let State { world, sched } = &mut *st;
+                sched.drain_calls(world, &self.shared.config)
+            };
+            match step {
+                KernelStep::Handoff(p) => {
+                    let mut task = match self.tasks[p.0].take() {
+                        Some(t) => t,
+                        None => continue,
+                    };
+                    match catch_unwind(AssertUnwindSafe(|| task.as_mut().poll(&mut cx))) {
+                        Ok(Poll::Pending) => self.tasks[p.0] = Some(task),
+                        Ok(Poll::Ready(())) => {
+                            self.shared.lock().sched.procs[p.0].status = ProcStatus::Done;
+                        }
+                        Err(payload) => {
+                            return Err(SimError::ProcPanicked {
+                                name: self.proc_name(p),
+                                message: panic_message(&*payload),
+                            });
+                        }
+                    }
+                }
+                KernelStep::QueueEmpty => {
+                    let at_fence = {
+                        let st = self.shared.lock();
+                        let mut live = 0usize;
+                        let mut fenced = 0usize;
+                        for p in &st.sched.procs {
+                            if !matches!(p.status, ProcStatus::Done) {
+                                live += 1;
+                                if p.park_note == fence_note {
+                                    fenced += 1;
+                                }
+                            }
+                        }
+                        live > 0 && live == fenced
+                    };
+                    if at_fence {
+                        let procs = self.begin_quiesce();
+                        let action = {
+                            let mut st = self.shared.lock();
+                            let State { world, sched } = &mut *st;
+                            let clock = SimClock {
+                                now: sched.now,
+                                seq: sched.seq,
+                                events_processed: sched.events_processed,
+                            };
+                            fence(world, clock)
+                        };
+                        match action {
+                            FenceAction::Continue => {
+                                self.resume_world(procs);
+                                continue;
+                            }
+                            FenceAction::Stop => return Ok(self.abort_quiesce(procs)),
+                        }
+                    }
+                    let st = self.shared.lock();
+                    let parked: Vec<(String, String)> = st
+                        .sched
+                        .procs
+                        .iter()
+                        .filter(|p| !matches!(p.status, ProcStatus::Done))
+                        .map(|p| (p.name.clone(), p.park_note.to_string()))
+                        .collect();
+                    if parked.is_empty() {
+                        return Ok(RunReport {
+                            end_time: st.sched.now,
+                            events_processed: st.sched.events_processed,
+                            procs_finished: st.sched.procs.len(),
+                            stopped_at_fence: false,
+                        });
+                    }
+                    return Err(SimError::Deadlock(DeadlockInfo {
+                        at: st.sched.now,
+                        parked,
+                    }));
+                }
+                KernelStep::EventLimit(events, at) => {
+                    return Err(SimError::EventLimitExceeded { events, at });
+                }
+                KernelStep::TimeLimit(at) => return Err(SimError::TimeLimitExceeded { at }),
+            }
+        }
+    }
+
+    /// Opens a quiesce window at a fence: records every live (parked)
+    /// process, in process-id order. The caller *must* close the window
+    /// on every path — [`Sim::resume_world`] to release the fence, or
+    /// [`Sim::abort_quiesce`] to end the run at it (the `quiesce-pairing`
+    /// lint enforces this).
+    fn begin_quiesce(&mut self) -> Vec<ProcId> {
+        let st = self.shared.lock();
+        st.sched
+            .procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !matches!(p.status, ProcStatus::Done))
+            .map(|(i, p)| {
+                debug_assert!(
+                    matches!(p.status, ProcStatus::Parked) && !p.resume_pending,
+                    "quiesce fence with a runnable process"
+                );
+                ProcId(i)
+            })
+            .collect()
+    }
+
+    /// Releases a quiesce fence: wakes every recorded process at the
+    /// fence instant, in process-id order. The wakes consume consecutive
+    /// sequence numbers — the same numbers `spawn` would consume for the
+    /// same processes in a restored run, so released and restored worlds
+    /// replay identically.
+    fn resume_world(&mut self, procs: Vec<ProcId>) {
+        let mut st = self.shared.lock();
+        let now = st.sched.now;
+        for p in procs {
+            st.sched.wake_at(p, now);
+        }
+    }
+
+    /// Ends the run at a quiesce fence (the checkpoint-and-exit path);
+    /// the recorded processes stay parked and drop with the simulation.
+    fn abort_quiesce(&mut self, procs: Vec<ProcId>) -> RunReport {
+        let st = self.shared.lock();
+        debug_assert!(!procs.is_empty());
+        RunReport {
+            end_time: st.sched.now,
+            events_processed: st.sched.events_processed,
+            procs_finished: st.sched.procs.len() - procs.len(),
+            stopped_at_fence: true,
         }
     }
 
@@ -673,6 +888,158 @@ mod tests {
         let report = sim.run().unwrap();
         assert_eq!(report.procs_finished, 32);
         assert_eq!(sim.into_world(), 32);
+    }
+
+    const FENCE: &str = "ckpt fence";
+
+    /// World for the fence tests: a release epoch the fence callback
+    /// bumps, plus an op trace for byte-identity comparisons.
+    #[derive(Clone, Default, PartialEq, Debug)]
+    struct FenceWorld {
+        released: u64,
+        trace: Vec<(usize, u64, u64)>, // (proc, round, time)
+    }
+
+    fn spawn_fence_procs(sim: &mut Sim<FenceWorld>, start_round: u64) {
+        for id in 0..3usize {
+            sim.spawn(format!("p{id}"), move |mut p| async move {
+                for round in start_round..3 {
+                    p.advance(SimDuration::nanos(10 + id as u64 * round)).await;
+                    p.with(|c| {
+                        let t = c.now().as_nanos();
+                        c.world.trace.push((id, round, t));
+                    });
+                    let epoch = round + 1;
+                    while p.with(|c| c.world.released < epoch) {
+                        p.park(FENCE).await;
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn fence_fires_once_per_epoch_and_releases_the_world() {
+        let mut sim: Sim<FenceWorld> = Sim::new(FenceWorld::default(), SimConfig::default());
+        spawn_fence_procs(&mut sim, 0);
+        let mut fence_clocks = Vec::new();
+        let report = sim
+            .run_with_fence(FENCE, |w, clock| {
+                w.released += 1;
+                fence_clocks.push(clock);
+                FenceAction::Continue
+            })
+            .unwrap();
+        assert!(!report.stopped_at_fence);
+        assert_eq!(report.procs_finished, 3);
+        assert_eq!(fence_clocks.len(), 3, "one fence per round");
+        let w = sim.into_world();
+        assert_eq!(w.trace.len(), 9);
+        // Clocks are strictly increasing across fences.
+        assert!(fence_clocks.windows(2).all(|p| p[0].now < p[1].now));
+    }
+
+    #[test]
+    fn fence_stop_ends_the_run_at_the_fence() {
+        let mut sim: Sim<FenceWorld> = Sim::new(FenceWorld::default(), SimConfig::default());
+        spawn_fence_procs(&mut sim, 0);
+        let mut stop_clock = None;
+        let report = sim
+            .run_with_fence(FENCE, |w, clock| {
+                if w.released == 1 {
+                    stop_clock = Some(clock);
+                    return FenceAction::Stop;
+                }
+                w.released += 1;
+                FenceAction::Continue
+            })
+            .unwrap();
+        assert!(report.stopped_at_fence);
+        assert_eq!(report.procs_finished, 0, "everyone is parked at the fence");
+        let clock = stop_clock.unwrap();
+        assert_eq!(report.end_time, clock.now);
+        // The stop fires at the second fence: rounds 0 and 1 ran.
+        assert_eq!(sim.into_world().trace.len(), 6);
+    }
+
+    #[test]
+    fn resumed_run_is_identical_to_uninterrupted_run() {
+        // Uninterrupted run: all three rounds with fences released.
+        let mut golden: Sim<FenceWorld> = Sim::new(FenceWorld::default(), SimConfig::default());
+        spawn_fence_procs(&mut golden, 0);
+        let golden_report = golden
+            .run_with_fence(FENCE, |w, _| {
+                w.released += 1;
+                FenceAction::Continue
+            })
+            .unwrap();
+        let golden_world = golden.into_world();
+
+        // Checkpoint run: stop at the second fence (after round 1).
+        let mut first: Sim<FenceWorld> = Sim::new(FenceWorld::default(), SimConfig::default());
+        spawn_fence_procs(&mut first, 0);
+        let mut snap = None;
+        first
+            .run_with_fence(FENCE, |w, clock| {
+                if w.released == 1 {
+                    snap = Some((w.clone(), clock));
+                    return FenceAction::Stop;
+                }
+                w.released += 1;
+                FenceAction::Continue
+            })
+            .unwrap();
+        let (mut world, clock) = snap.unwrap();
+
+        // Restore: the world resumes exactly where the snapshot was taken;
+        // respawned bodies fast-forward past the completed rounds. The
+        // release the stopped fence never performed happens on the first
+        // fence of the resumed run (same epoch, same instant).
+        world.released += 1;
+        let mut resumed = Sim::resume(world, SimConfig::default(), clock);
+        spawn_fence_procs(&mut resumed, 2);
+        let resumed_report = resumed
+            .run_with_fence(FENCE, |w, _| {
+                w.released += 1;
+                FenceAction::Continue
+            })
+            .unwrap();
+        let resumed_world = resumed.into_world();
+
+        assert_eq!(resumed_world.trace, golden_world.trace);
+        assert_eq!(resumed_report.end_time, golden_report.end_time);
+        assert_eq!(
+            resumed_report.events_processed,
+            golden_report.events_processed
+        );
+    }
+
+    #[test]
+    fn mixed_park_notes_still_deadlock_under_a_fence_run() {
+        let mut sim: Sim<()> = Sim::new((), SimConfig::default());
+        sim.spawn("fenced", |mut p| async move { p.park(FENCE).await });
+        sim.spawn("stuck", |mut p| async move {
+            p.park("waiting for a message that never comes").await
+        });
+        match sim.run_with_fence(FENCE, |_, _| FenceAction::Continue) {
+            Err(SimError::Deadlock(info)) => assert_eq!(info.parked.len(), 2),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fence_run_without_fences_matches_plain_run() {
+        let mut sim: Sim<u64> = Sim::new(0, SimConfig::default());
+        sim.spawn("p", |mut p| async move {
+            p.advance(SimDuration::micros(1)).await;
+            p.with(|ctx| *ctx.world = ctx.now().as_nanos());
+        });
+        let report = sim
+            .run_with_fence(FENCE, |_, _| FenceAction::Continue)
+            .unwrap();
+        assert!(!report.stopped_at_fence);
+        assert_eq!(report.end_time.as_nanos(), 1_000);
+        assert_eq!(sim.into_world(), 1_000);
     }
 
     #[test]

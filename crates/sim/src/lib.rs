@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod codec;
 mod engine;
 mod error;
 mod event;
@@ -62,7 +63,7 @@ pub mod stats;
 mod time;
 mod waker;
 
-pub use engine::{Ctx, RunReport, Sim, SimConfig};
+pub use engine::{Ctx, FenceAction, RunReport, Sim, SimClock, SimConfig};
 pub use error::{DeadlockInfo, SimError};
 pub use process::{ProcCtx, ProcId};
 pub use time::{SimDuration, SimTime};

@@ -30,6 +30,13 @@
 //!   the displaced ring must be staged for draining
 //!   (`stage_retired_ring`) and the new generation must be published
 //!   (`send_rdma_credit_update`) before the function exits.
+//! * **quiesce pairing** (`quiesce-pairing`): the same abstract
+//!   interpretation over `crates/sim` library code, with fence
+//!   obligations instead of ledger ops: a `begin_quiesce()` call opens a
+//!   quiesce window, and every exit edge must have closed it with
+//!   `resume_world` (release the fence) or `abort_quiesce` (end the run
+//!   at it) — otherwise a checkpoint fence that takes an early-exit path
+//!   leaves the whole world parked forever.
 //! * **protocol matches** (`exhaustive-protocol-match`): a `match`
 //!   involving the wire/completion enums must not have a catch-all arm,
 //!   so adding a variant (e.g. for the RDMA channel) fails to compile
@@ -43,7 +50,7 @@
 use crate::ast::{Block, Chain, Expr, FnDef, Node, Op, Stmt};
 use crate::rules::{
     is_lib_code, push, Finding, AWAIT_UNDER_LOCK, BORROW_ACROSS_AWAIT, CREDIT_PATH_PAIRING,
-    EXHAUSTIVE_PROTOCOL_MATCH, NO_BLOCKING_IN_ASYNC, NO_PANIC_IN_LIB,
+    EXHAUSTIVE_PROTOCOL_MATCH, NO_BLOCKING_IN_ASYNC, NO_PANIC_IN_LIB, QUIESCE_PAIRING,
 };
 use std::collections::BTreeSet;
 
@@ -105,6 +112,12 @@ fn credit_rule_applies(path: &str) -> bool {
     path.contains("crates/core/") && path.contains("/src/")
 }
 
+/// quiesce-pairing watches the engine crate's library code: that is
+/// where fences are opened and released.
+fn quiesce_rule_applies(path: &str) -> bool {
+    path.contains("crates/sim/") && path.contains("/src/")
+}
+
 fn protocol_match_applies(path: &str) -> bool {
     crate::rules::in_sim_crates(path) && path.contains("/src/")
 }
@@ -134,6 +147,12 @@ pub fn collect_ast_findings(path: &str, fns: &[FnDef], out: &mut Vec<Finding>) {
             && !CREDIT_SKIP_FNS.contains(&f.name.as_str())
         {
             credit_pairing(path, f, out);
+        }
+        if quiesce_rule_applies(path)
+            && f.name != QUIESCE_BEGIN_OP
+            && !QUIESCE_CLOSE_OPS.contains(&f.name.as_str())
+        {
+            quiesce_pairing(path, f, out);
         }
         if protocol_match_applies(path) {
             protocol_matches_in_block(path, &f.body, out);
@@ -650,52 +669,111 @@ fn blocking_calls(path: &str, scope: &Block, out: &mut Vec<Finding>) {
 /// call not yet discharged by a send/grant op on this path.
 type Pending = BTreeSet<(u32, String)>;
 
+/// One pairing rule's parameters, shared by the path walk:
+/// credit-path-pairing and quiesce-pairing differ only in which calls
+/// open/close obligations and how a leak is worded.
 struct CreditCtx<'a> {
+    rule: &'static str,
     path: &'a str,
     out: &'a mut Vec<Finding>,
+    /// Call-site transition: `(name, line, pending)` — inserts and/or
+    /// discharges obligations.
+    transition: &'a dyn Fn(&str, u32, &mut Pending),
+    /// Statement-level obligation (the ring-ledger counter mutations);
+    /// `None`-returning for rules without one.
+    stmt_obligation: &'a dyn Fn(&Expr) -> Option<(u32, String)>,
+    /// Renders one leaked obligation at one exit edge.
+    message: &'a dyn Fn(&str, &str) -> String,
 }
 
 fn credit_pairing(path: &str, f: &FnDef, out: &mut Vec<Finding>) {
-    let mut ctx = CreditCtx { path, out };
+    let mut ctx = CreditCtx {
+        rule: CREDIT_PATH_PAIRING,
+        path,
+        out,
+        transition: &credit_transition,
+        stmt_obligation: &|expr| ring_ledger_mutation(expr).map(|(l, f)| (l, f.to_string())),
+        message: &credit_message,
+    };
     let mut st = Pending::new();
     credit_block(&mut ctx, &f.body, &mut st, &mut Vec::new());
     credit_exit(&mut ctx, &mut st, "the end of the function");
 }
 
+const QUIESCE_BEGIN_OP: &str = "begin_quiesce";
+const QUIESCE_CLOSE_OPS: [&str; 2] = ["resume_world", "abort_quiesce"];
+
+fn quiesce_pairing(path: &str, f: &FnDef, out: &mut Vec<Finding>) {
+    let mut ctx = CreditCtx {
+        rule: QUIESCE_PAIRING,
+        path,
+        out,
+        transition: &quiesce_transition,
+        stmt_obligation: &|_| None,
+        message: &quiesce_message,
+    };
+    let mut st = Pending::new();
+    credit_block(&mut ctx, &f.body, &mut st, &mut Vec::new());
+    credit_exit(&mut ctx, &mut st, "the end of the function");
+}
+
+fn quiesce_transition(name: &str, line: u32, st: &mut Pending) {
+    if QUIESCE_CLOSE_OPS.contains(&name) {
+        st.clear();
+    } else if name == QUIESCE_BEGIN_OP {
+        st.insert((line, QUIESCE_BEGIN_OP.to_string()));
+    }
+}
+
+fn quiesce_message(_op: &str, edge: &str) -> String {
+    format!(
+        "`begin_quiesce()` opens a quiesce window here, but a path \
+         reaches {edge} without `resume_world` releasing the fence or \
+         `abort_quiesce` ending the run at it; every live process stays \
+         parked forever on that path"
+    )
+}
+
 /// Reports (and clears) every pending consume at an exit edge.
 fn credit_exit(ctx: &mut CreditCtx, st: &mut Pending, edge: &str) {
     for (line, op) in std::mem::take(st) {
-        let msg = if op == GROWTH_PUBLISH_OB {
-            format!(
-                "`install_grown_ring()` switches the live ring generation \
+        let msg = (ctx.message)(&op, edge);
+        push(ctx.out, ctx.rule, ctx.path, line, msg);
+    }
+}
+
+/// Wording for one leaked credit obligation (the credit-path-pairing
+/// half of [`CreditCtx::message`]).
+fn credit_message(op: &str, edge: &str) -> String {
+    if op == GROWTH_PUBLISH_OB {
+        format!(
+            "`install_grown_ring()` switches the live ring generation \
                  here, but a path reaches {edge} without \
                  `send_rdma_credit_update` publishing the new \
                  generation/rkey/slots; the sender keeps writing the \
                  displaced ring and the slot grant never arrives"
-            )
-        } else if op == GROWTH_RETIRE_OB {
-            format!(
-                "`install_grown_ring()` displaces the old ring generation \
+        )
+    } else if op == GROWTH_RETIRE_OB {
+        format!(
+            "`install_grown_ring()` displaces the old ring generation \
                  here, but a path reaches {edge} without \
                  `stage_retired_ring` keeping it polled until its tail \
                  drains; in-flight WRITEs against the old rkey are lost"
-            )
-        } else if RING_LEDGER_FIELDS.contains(&op.as_str()) {
-            format!(
-                "ring ledger counter `{op}` is drained here, but a path \
+        )
+    } else if RING_LEDGER_FIELDS.contains(&op) {
+        format!(
+            "ring ledger counter `{op}` is drained here, but a path \
                  reaches {edge} without `send_rdma_credit_update` (or the \
                  `post_send` publishing the mailbox) making the return \
                  visible to the peer; the ring credits drift on that path"
-            )
-        } else {
-            format!(
-                "`{op}()` consumes credit state, but a path reaches {edge} \
+        )
+    } else {
+        format!(
+            "`{op}()` consumes credit state, but a path reaches {edge} \
                  without a matching send/grant op \
                  (post_frame/post_ring_frame/send_*/start_rndz); the credit \
                  is lost on that path"
-            )
-        };
-        push(ctx.out, CREDIT_PATH_PAIRING, ctx.path, line, msg);
+        )
     }
 }
 
@@ -743,8 +821,8 @@ fn credit_block(
                 }
             }
             Stmt::Expr { expr, .. } => {
-                if let Some((line, field)) = ring_ledger_mutation(expr) {
-                    st.insert((line, field.to_string()));
+                if let Some((line, op)) = (ctx.stmt_obligation)(expr) {
+                    st.insert((line, op));
                 }
                 credit_expr(ctx, expr, st, loop_exits);
             }
@@ -822,8 +900,12 @@ fn credit_expr(ctx: &mut CreditCtx, expr: &Expr, st: &mut Pending, loop_exits: &
                 entry2.extend(pass1.iter().cloned());
                 let mut suppressed = Vec::new(); // findings already reported in pass 1
                 let mut ctx2 = CreditCtx {
+                    rule: ctx.rule,
                     path: ctx.path,
                     out: &mut suppressed,
+                    transition: ctx.transition,
+                    stmt_obligation: ctx.stmt_obligation,
+                    message: ctx.message,
                 };
                 credit_block(&mut ctx2, body, &mut entry2, &mut exits);
                 // After the loop: any break state, the fall-through, or
@@ -909,6 +991,12 @@ fn credit_chain(ctx: &mut CreditCtx, c: &Chain, st: &mut Pending, loop_exits: &m
 }
 
 fn credit_call(ctx: &mut CreditCtx, name: &str, line: u32, st: &mut Pending) {
+    (ctx.transition)(name, line, st);
+}
+
+/// Call-site transition for credit-path-pairing (the
+/// [`CreditCtx::transition`] of that rule).
+fn credit_transition(name: &str, line: u32, st: &mut Pending) {
     if name == GROWTH_STAGE_OP {
         st.retain(|(_, op)| op != GROWTH_RETIRE_OB);
     } else if CREDIT_SEND_OPS.contains(&name) {
@@ -930,7 +1018,6 @@ fn credit_call(ctx: &mut CreditCtx, name: &str, line: u32, st: &mut Pending) {
     } else if CREDIT_CONSUME_OPS.contains(&name) {
         st.insert((line, name.to_string()));
     }
-    let _ = ctx;
 }
 
 // ---------------------------------------------------------------------
@@ -1534,6 +1621,59 @@ mod tests {
         let src = "fn f(&mut self) { self.conn.spend_credit(); }";
         assert!(rules_hit("crates/bench/src/figures.rs", src).is_empty());
         assert!(rules_hit("crates/core/tests/flow.rs", src).is_empty());
+    }
+
+    // -- quiesce-pairing --------------------------------------------------
+
+    #[test]
+    fn quiesce_released_is_clean() {
+        let src = "fn f(&mut self) {\n\
+                   let procs = self.begin_quiesce();\n\
+                   self.resume_world(procs);\n}";
+        assert!(rules_hit("crates/sim/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn quiesce_aborted_is_clean() {
+        let src = "fn f(&mut self) -> RunReport {\n\
+                   let procs = self.begin_quiesce();\n\
+                   self.abort_quiesce(procs)\n}";
+        assert!(rules_hit("crates/sim/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn quiesce_leak_fires_at_fn_end() {
+        let src = "fn f(&mut self) {\n\
+                   let procs = self.begin_quiesce();\n\
+                   self.note_fence(procs);\n}";
+        let hits = rules_hit("crates/sim/src/engine.rs", src);
+        assert_eq!(hits, [(QUIESCE_PAIRING, 2)]);
+        // Scoped to crates/sim library code.
+        assert!(rules_hit("crates/core/src/world.rs", src).is_empty());
+        assert!(rules_hit("crates/sim/tests/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn quiesce_question_mark_path_leaks() {
+        let src = "fn f(&mut self) -> Result<(), E> {\n\
+                   let procs = self.begin_quiesce();\n\
+                   let action = self.fence_action()?;\n\
+                   self.resume_world(procs);\n\
+                   Ok(())\n}";
+        let hits = rules_hit("crates/sim/src/engine.rs", src);
+        assert_eq!(hits, [(QUIESCE_PAIRING, 2)]);
+    }
+
+    #[test]
+    fn quiesce_branch_where_both_arms_close_is_clean() {
+        let src = "fn f(&mut self, stop: bool) {\n\
+                   let procs = self.begin_quiesce();\n\
+                   if stop {\n\
+                   self.abort_quiesce(procs);\n\
+                   } else {\n\
+                   self.resume_world(procs);\n\
+                   }\n}";
+        assert!(rules_hit("crates/sim/src/engine.rs", src).is_empty());
     }
 
     // -- exhaustive-protocol-match ---------------------------------------

@@ -15,10 +15,11 @@
 //! | `await-under-lock` | a lock guard live at an `.await` point |
 //! | `no-blocking-in-async` | `thread::sleep`/`spawn`, blocking `recv`, `.lock()` in async bodies |
 //! | `credit-path-pairing` | a consume-side ledger op whose path can exit without a send/grant |
+//! | `quiesce-pairing` | a `begin_quiesce` whose path can exit without `resume_world`/`abort_quiesce` |
 //! | `exhaustive-protocol-match` | catch-all arms in `match`es over the wire/completion enums |
 //!
 //! The first five are token rules (their idents can appear outside any
-//! function body); the last five run on the AST built by [`ast`] with the
+//! function body); the last six run on the AST built by [`ast`] with the
 //! control-flow walks in [`analyses`]. Escapes are per-line comments —
 //! `// simlint: allow(<rule>): <why>` — and are audited: an escape with
 //! no justification, or one that suppresses nothing, is itself a

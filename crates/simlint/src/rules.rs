@@ -11,7 +11,7 @@
 use crate::lexer::{lex, Lexed, TokKind};
 
 /// Names of every rule, in reporting order.
-pub const RULE_NAMES: [&str; 12] = [
+pub const RULE_NAMES: [&str; 13] = [
     NO_WALL_CLOCK,
     NO_UNORDERED_ITERATION,
     NO_TRUNCATING_CAST,
@@ -21,6 +21,7 @@ pub const RULE_NAMES: [&str; 12] = [
     AWAIT_UNDER_LOCK,
     NO_BLOCKING_IN_ASYNC,
     CREDIT_PATH_PAIRING,
+    QUIESCE_PAIRING,
     EXHAUSTIVE_PROTOCOL_MATCH,
     UNAUDITED_SUPPRESSION,
     UNUSED_SUPPRESSION,
@@ -35,6 +36,7 @@ pub const BORROW_ACROSS_AWAIT: &str = "borrow-across-await";
 pub const AWAIT_UNDER_LOCK: &str = "await-under-lock";
 pub const NO_BLOCKING_IN_ASYNC: &str = "no-blocking-in-async";
 pub const CREDIT_PATH_PAIRING: &str = "credit-path-pairing";
+pub const QUIESCE_PAIRING: &str = "quiesce-pairing";
 pub const EXHAUSTIVE_PROTOCOL_MATCH: &str = "exhaustive-protocol-match";
 pub const UNAUDITED_SUPPRESSION: &str = "unaudited-suppression";
 pub const UNUSED_SUPPRESSION: &str = "unused-suppression";

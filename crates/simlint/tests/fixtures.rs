@@ -140,6 +140,21 @@ fn ring_growth_fixture() {
 }
 
 #[test]
+fn quiesce_pairing_fixture() {
+    // Findings anchor at the `begin_quiesce` whose window can leak: the
+    // `?` right after it (4), a branch that returns without releasing
+    // (11), and a fall-off with the world still parked (19).
+    assert_eq!(
+        hits("bad_quiesce.rs", "crates/sim/src/engine.rs"),
+        expect(rules::QUIESCE_PAIRING, &[4, 11, 19])
+    );
+    assert!(hits("good_quiesce.rs", "crates/sim/src/engine.rs").is_empty());
+    // Scoped to the engine crate's library code.
+    assert!(hits("bad_quiesce.rs", "crates/core/src/world.rs").is_empty());
+    assert!(hits("bad_quiesce.rs", "crates/sim/tests/engine.rs").is_empty());
+}
+
+#[test]
 fn protocol_match_fixture() {
     assert_eq!(
         hits("bad_protocol_match.rs", "crates/core/src/x.rs"),

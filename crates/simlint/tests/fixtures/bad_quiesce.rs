@@ -1,0 +1,21 @@
+//! Fixture: quiesce windows opened without a close on every path.
+
+fn error_path_leaves_world_parked(sim: &mut Sim) -> Result<(), SimError> {
+    let procs = sim.begin_quiesce();
+    let action = sim.fence_action()?;
+    sim.resume_world(procs);
+    Ok(())
+}
+
+fn branch_skips_the_release(sim: &mut Sim) {
+    let procs = sim.begin_quiesce();
+    if sim.stop_requested {
+        return;
+    }
+    sim.resume_world(procs);
+}
+
+fn falls_off_without_closing(sim: &mut Sim) {
+    let procs = sim.begin_quiesce();
+    sim.snapshot_world(&procs);
+}

@@ -1,0 +1,34 @@
+//! Fixture: every quiesce window is released or aborted on every path.
+
+fn fence_released(sim: &mut Sim) {
+    let procs = sim.begin_quiesce();
+    sim.resume_world(procs);
+}
+
+fn fence_aborts_the_run(sim: &mut Sim) -> RunReport {
+    let procs = sim.begin_quiesce();
+    sim.abort_quiesce(procs)
+}
+
+fn both_arms_close_the_window(sim: &mut Sim, action: FenceAction) -> Option<RunReport> {
+    let procs = sim.begin_quiesce();
+    match action {
+        FenceAction::Continue => {
+            sim.resume_world(procs);
+            None
+        }
+        FenceAction::Stop => Some(sim.abort_quiesce(procs)),
+    }
+}
+
+fn fallible_work_before_the_window(sim: &mut Sim) -> Result<(), SimError> {
+    let action = sim.fence_action()?;
+    let procs = sim.begin_quiesce();
+    match action {
+        FenceAction::Continue => sim.resume_world(procs),
+        FenceAction::Stop => {
+            sim.abort_quiesce(procs);
+        }
+    }
+    Ok(())
+}
